@@ -1,0 +1,160 @@
+//! Criterion microbenchmarks of the instrumented kernels: wall-clock time
+//! of the simulator itself plus, more importantly, a harness that reports
+//! the *simulated cycle counts* driving Figures 7/8 and Table 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_bench::runtime::{synthetic_lut, LayerBench};
+use wp_core::reference::PooledConvShape;
+use wp_kernels::cmsis::conv_cmsis;
+use wp_kernels::{conv_bitserial, BitSerialOptions, OutputQuant, PrecomputeMode};
+use wp_mcu::{Mcu, McuSpec};
+
+fn bench_bitserial_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitserial_conv_16x16x64");
+    let bench = LayerBench { channels: 64, hw: 16, pool_size: 64 };
+    let variants: [(&str, BitSerialOptions); 3] = [
+        (
+            "baseline",
+            BitSerialOptions {
+                lut_cache: false,
+                precompute: PrecomputeMode::ForceOff,
+                ..BitSerialOptions::paper_default(8)
+            },
+        ),
+        (
+            "lut_cache",
+            BitSerialOptions {
+                precompute: PrecomputeMode::ForceOff,
+                ..BitSerialOptions::paper_default(8)
+            },
+        ),
+        (
+            "cache_precompute",
+            BitSerialOptions {
+                precompute: PrecomputeMode::ForceOn,
+                ..BitSerialOptions::paper_default(8)
+            },
+        ),
+    ];
+    for (name, opts) in variants {
+        // Print the simulated cycles once per variant so `cargo bench`
+        // output doubles as a Figure 7 datapoint dump.
+        let cycles = bench.run_bitserial(&opts, 7);
+        eprintln!("[cycles] bitserial 64f/{name}: {cycles}");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| bench.run_bitserial(std::hint::black_box(opts), 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_act_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitserial_act_bits");
+    let bench = LayerBench { channels: 32, hw: 8, pool_size: 32 };
+    for bits in [1u8, 4, 8] {
+        let opts = BitSerialOptions {
+            precompute: PrecomputeMode::ForceOff,
+            ..BitSerialOptions::paper_default(bits)
+        };
+        let cycles = bench.run_bitserial(&opts, 8);
+        eprintln!("[cycles] bitserial {bits}-bit: {cycles}");
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &opts, |b, opts| {
+            b.iter(|| bench.run_bitserial(std::hint::black_box(opts), 8))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cmsis_baseline(c: &mut Criterion) {
+    let shape = PooledConvShape {
+        in_ch: 32,
+        out_ch: 32,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        in_h: 16,
+        in_w: 16,
+    };
+    let codes = vec![1i32; 32 * 256];
+    let weights = vec![1i8; 32 * 32 * 9];
+    let bias = vec![0i32; 32];
+    let oq = OutputQuant::identity(8);
+    let mut mcu = Mcu::new(McuSpec::mc_large());
+    conv_cmsis(&mut mcu, &codes, &shape, &weights, &bias, &oq);
+    eprintln!("[cycles] cmsis 32f 3x3 16x16: {}", mcu.cycles());
+
+    c.bench_function("cmsis_conv_16x16x32", |b| {
+        b.iter(|| {
+            let mut mcu = Mcu::new(McuSpec::mc_large());
+            conv_cmsis(
+                &mut mcu,
+                std::hint::black_box(&codes),
+                &shape,
+                &weights,
+                &bias,
+                &oq,
+            );
+            mcu.cycles()
+        })
+    });
+}
+
+fn bench_bitserial_vs_cmsis_cycles(c: &mut Criterion) {
+    // Not only a wall-clock benchmark: report the simulated-cycle ratio the
+    // paper's Table 7 is about, on one mid-size layer.
+    let bench = LayerBench { channels: 64, hw: 16, pool_size: 64 };
+    let shape = bench.shape();
+    let codes = vec![1i32; shape.in_ch * 256];
+    let weights = vec![1i8; shape.out_ch * shape.in_ch * 9];
+    let bias = vec![0i32; shape.out_ch];
+    let oq = OutputQuant::identity(8);
+    let mut mcu = Mcu::new(McuSpec::mc_large());
+    conv_cmsis(&mut mcu, &codes, &shape, &weights, &bias, &oq);
+    let cmsis_cycles = mcu.cycles();
+    let (_pool, lut) = synthetic_lut(64, 8, 3);
+    let mut mcu2 = Mcu::new(McuSpec::mc_large());
+    let indices = vec![0u8; shape.index_count(8)];
+    conv_bitserial(
+        &mut mcu2,
+        &codes,
+        &shape,
+        &indices,
+        &lut,
+        &bias,
+        &oq,
+        &BitSerialOptions::paper_default(8),
+    );
+    eprintln!(
+        "[cycles] 64f layer: cmsis {} vs bitserial {} => speedup {:.2}x",
+        cmsis_cycles,
+        mcu2.cycles(),
+        cmsis_cycles as f64 / mcu2.cycles() as f64
+    );
+    c.bench_function("table7_single_layer_pair", |b| {
+        b.iter(|| {
+            let mut m = Mcu::new(McuSpec::mc_large());
+            conv_bitserial(
+                &mut m,
+                std::hint::black_box(&codes),
+                &shape,
+                &indices,
+                &lut,
+                &bias,
+                &oq,
+                &BitSerialOptions::paper_default(8),
+            );
+            m.cycles()
+        })
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_bitserial_variants,
+        bench_act_bits,
+        bench_cmsis_baseline,
+        bench_bitserial_vs_cmsis_cycles
+);
+criterion_main!(kernels);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the compression-side pipeline: LUT generation,
+//! pool clustering and model projection (host-side costs in Figure 1's
+//! offline phase).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use wp_core::{LookupTable, LutOrder, PoolConfig, WeightPool};
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect()
+}
+
+fn bench_lut_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lut_build");
+    for pool_size in [32usize, 64, 128] {
+        let pool = WeightPool::from_vectors(random_vectors(pool_size, 8, 1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pool_size),
+            &pool,
+            |b, pool| b.iter(|| LookupTable::build(pool, 8, LutOrder::InputOriented)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_pool_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_pool_build");
+    group.sample_size(10);
+    for n in [1024usize, 4096] {
+        let samples = random_vectors(n, 8, 2);
+        let cfg = PoolConfig::new(64).kmeans_iters(20);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &samples, |b, samples| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+                WeightPool::build(samples, &cfg, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let pool = WeightPool::from_vectors(random_vectors(64, 8, 4));
+    let samples = random_vectors(4096, 8, 5);
+    c.bench_function("assign_4096_vectors", |b| {
+        b.iter(|| pool.assign_all(std::hint::black_box(&samples), wp_cluster::DistanceMetric::Cosine))
+    });
+}
+
+criterion_group!(
+    name = lut;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lut_build, bench_pool_clustering, bench_assignment
+);
+criterion_main!(lut);

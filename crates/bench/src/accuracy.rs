@@ -1,0 +1,357 @@
+//! Shared pipeline for the accuracy experiments (Tables 1/4/5/6, Figure 4).
+//!
+//! One base model per network family is trained on its synthetic dataset;
+//! each experiment configuration then restores the base weights, applies
+//! the compression under test (z-pool / xy-pool, pool size, group size),
+//! fine-tunes, and evaluates — either in float (pool-only accuracy) or
+//! through the bit-serial LUT simulation (LUT/activation bitwidth tables).
+
+use crate::Effort;
+use rand::SeedableRng;
+use wp_core::compress;
+use wp_core::simulate::{calibrate_and_arm, SimInstallation};
+use wp_core::xy_pool::{extract_xy_kernels, project_xy, XyPool};
+use wp_core::{LookupTable, LutOrder, PoolConfig, WeightPool};
+use wp_data::{Dataset, SyntheticSpec};
+use wp_models::micro;
+use wp_models::BuiltModel;
+use wp_nn::train::{evaluate, train_epoch, Batch, EpochStats};
+use wp_nn::{ActQuantMode, LrSchedule, Sgd};
+
+/// The five evaluation network families, micro-scaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroKind {
+    /// TinyConv on the Quickdraw-like dataset.
+    TinyConv,
+    /// ResNet-s on the CIFAR-like dataset.
+    ResNetS,
+    /// ResNet-10 on the CIFAR-like dataset.
+    ResNet10,
+    /// ResNet-14 on the CIFAR-like dataset.
+    ResNet14,
+    /// MobileNet-v2 on the Quickdraw-like dataset.
+    MobileNetV2,
+}
+
+impl MicroKind {
+    /// All five families in the paper's table order.
+    pub fn all() -> [MicroKind; 5] {
+        [
+            MicroKind::ResNetS,
+            MicroKind::ResNet10,
+            MicroKind::ResNet14,
+            MicroKind::TinyConv,
+            MicroKind::MobileNetV2,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MicroKind::TinyConv => "TinyConv",
+            MicroKind::ResNetS => "ResNet-s",
+            MicroKind::ResNet10 => "ResNet-10",
+            MicroKind::ResNet14 => "ResNet-14",
+            MicroKind::MobileNetV2 => "MobileNet-v2",
+        }
+    }
+
+    /// The dataset family this network is evaluated on.
+    pub fn dataset_name(&self) -> &'static str {
+        match self {
+            MicroKind::TinyConv | MicroKind::MobileNetV2 => "Quickdraw-like",
+            _ => "CIFAR-like",
+        }
+    }
+
+    fn dataset(&self, effort: Effort, seed: u64) -> Dataset {
+        match self {
+            MicroKind::TinyConv | MicroKind::MobileNetV2 => {
+                let mut spec = SyntheticSpec::quickdraw_like(2, seed);
+                // 100 classes is the paper's Quickdraw-100 setting; shrink
+                // per-class counts instead of classes.
+                if effort.fast {
+                    spec.classes = 20;
+                    spec.train_per_class = 24;
+                    spec.test_per_class = 8;
+                } else {
+                    spec.train_per_class = 24;
+                    spec.test_per_class = 6;
+                }
+                spec.generate()
+            }
+            _ => {
+                let mut spec = SyntheticSpec::cifar_like(2, seed);
+                if effort.fast {
+                    spec.train_per_class = 48;
+                    spec.test_per_class = 20;
+                } else {
+                    spec.train_per_class = 100;
+                    spec.test_per_class = 40;
+                }
+                spec.generate()
+            }
+        }
+    }
+
+    fn build(&self, classes: usize, rng: &mut rand::rngs::StdRng) -> BuiltModel {
+        match self {
+            MicroKind::TinyConv => micro::tinyconv(classes, rng),
+            MicroKind::ResNetS => micro::resnet_s(classes, rng),
+            MicroKind::ResNet10 => micro::resnet_10(classes, rng),
+            MicroKind::ResNet14 => micro::resnet_14(classes, rng),
+            MicroKind::MobileNetV2 => micro::mobilenet_v2(classes, rng),
+        }
+    }
+}
+
+/// A trained base model, its data, and a snapshot to restore between
+/// experiment configurations.
+pub struct TrainedModel {
+    /// The model (weights mutate as configurations are applied).
+    pub built: BuiltModel,
+    /// Train/test data.
+    pub data: Dataset,
+    /// Snapshot of the trained base weights.
+    pub base_state: wp_nn::StateDict,
+    /// Float test accuracy of the base model ("Original" columns).
+    pub float_acc: f32,
+    /// Network family.
+    pub kind: MicroKind,
+}
+
+impl std::fmt::Debug for TrainedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedModel")
+            .field("kind", &self.kind)
+            .field("float_acc", &self.float_acc)
+            .finish()
+    }
+}
+
+/// Trains the base model for a network family.
+pub fn train_base(kind: MicroKind, effort: Effort, seed: u64) -> TrainedModel {
+    let data = kind.dataset(effort, seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xB17);
+    let mut built = kind.build(data.classes, &mut rng);
+    let epochs = effort.train_epochs();
+    let schedule = LrSchedule::step(0.04, vec![epochs * 2 / 3], 0.2);
+    let mut opt = Sgd::new(schedule.at(0)).momentum(0.9).weight_decay(1e-4);
+    let mut last = EpochStats { loss: f32::NAN, accuracy: 0.0 };
+    for epoch in 0..epochs {
+        opt.set_lr(schedule.at(epoch));
+        last = train_epoch(&mut built.net, &mut opt, &data.train);
+    }
+    let _ = last;
+    let float_acc = evaluate(&mut built.net, &data.test).accuracy;
+    let base_state = built.net.state_dict();
+    TrainedModel { built, data, base_state, float_acc, kind }
+}
+
+impl TrainedModel {
+    /// Restores the trained base weights (undoing any projection).
+    pub fn restore(&mut self) {
+        self.built.net.load_state_dict(&self.base_state);
+        // Also clear any leftover quantization state.
+        for h in &self.built.act_handles {
+            h.set_mode(ActQuantMode::Off);
+        }
+    }
+
+    /// Evaluates float test accuracy on up to `max_images` test images.
+    pub fn eval(&mut self, max_images: usize) -> f32 {
+        eval_subset(&mut self.built.net, &self.data.test, max_images)
+    }
+}
+
+/// Evaluates accuracy on a bounded number of test images.
+pub fn eval_subset(net: &mut wp_nn::Sequential, batches: &[Batch], max_images: usize) -> f32 {
+    let mut used = Vec::new();
+    let mut count = 0usize;
+    for b in batches {
+        if count >= max_images {
+            break;
+        }
+        used.push(b.clone());
+        count += b.len();
+    }
+    if used.is_empty() {
+        used.push(batches[0].clone());
+    }
+    evaluate(net, &used).accuracy
+}
+
+/// Builds a z-dimension pool from the current (trained) weights, projects
+/// the model onto it, fine-tunes, and returns the pool with the float
+/// ("No-LUT") accuracy.
+pub fn pool_finetune_eval(
+    tm: &mut TrainedModel,
+    cfg: &PoolConfig,
+    effort: Effort,
+    seed: u64,
+) -> (WeightPool, f32) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9001);
+    let pool = compress::build_pool(&mut tm.built.net, cfg, &mut rng)
+        .expect("pool construction failed");
+    let mut opt = Sgd::new(0.01).momentum(0.9);
+    compress::finetune(
+        &mut tm.built.net,
+        &pool,
+        cfg,
+        &mut opt,
+        &tm.data.train,
+        effort.finetune_epochs(),
+    );
+    let acc = tm.eval(effort.eval_images());
+    (pool, acc)
+}
+
+/// Evaluates the projected model through the bit-serial LUT simulation.
+///
+/// `lut_bits = None` uses exact (unquantized) partial dot products — the
+/// ablation isolating activation quantization. The model must already be
+/// projected onto `pool`.
+pub fn lut_sim_eval(
+    tm: &mut TrainedModel,
+    pool: &WeightPool,
+    cfg: &PoolConfig,
+    lut_bits: Option<u8>,
+    act_bits: u8,
+    effort: Effort,
+) -> f32 {
+    let lut = LookupTable::build(pool, lut_bits.unwrap_or(16), LutOrder::InputOriented);
+    let calib: Vec<Batch> = tm.data.train.iter().take(2).cloned().collect();
+    let install: SimInstallation = calibrate_and_arm(
+        &mut tm.built.net,
+        pool,
+        lut,
+        cfg,
+        &calib,
+        act_bits,
+        lut_bits.is_none(),
+    );
+    let acc = eval_subset(&mut tm.built.net, &tm.data.test, effort.sim_eval_images());
+    install.uninstall(&mut tm.built.net);
+    acc
+}
+
+/// Quantization-aware retraining at a given activation bitwidth (the
+/// bracketed numbers in Table 6): calibrate the fake-quant sites, enable
+/// them, and fine-tune against the pool.
+pub fn qat_retrain(tm: &mut TrainedModel, pool: &WeightPool, cfg: &PoolConfig, act_bits: u8, effort: Effort) {
+    // Calibrate the activation sites on a couple of training batches.
+    for h in &tm.built.act_handles {
+        h.clear_samples();
+        h.set_mode(ActQuantMode::Observe);
+    }
+    for batch in tm.data.train.iter().take(2) {
+        tm.built.net.forward(&batch.images, false);
+    }
+    for h in &tm.built.act_handles {
+        if h.sample_count() == 0 {
+            // A site that saw no activations (should not happen for the
+            // micro models, but stay robust): leave it off.
+            continue;
+        }
+        h.finalize(act_bits, 30);
+        h.set_mode(ActQuantMode::Quantize);
+    }
+    let mut opt = Sgd::new(0.005).momentum(0.9);
+    compress::finetune(
+        &mut tm.built.net,
+        pool,
+        cfg,
+        &mut opt,
+        &tm.data.train,
+        effort.finetune_epochs(),
+    );
+    for h in &tm.built.act_handles {
+        h.set_mode(ActQuantMode::Off);
+    }
+}
+
+/// Figure 4's baseline: xy-dimension (whole 3×3 kernel) pooling with or
+/// without per-kernel scaling coefficients. Builds the kernel pool,
+/// straight-through fine-tunes against it (mirroring the z-pool pipeline
+/// so the comparison is like for like), and returns test accuracy with the
+/// model left projected.
+pub fn xy_pool_eval(tm: &mut TrainedModel, pool_size: usize, with_coeff: bool, effort: Effort, seed: u64) -> f32 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x2277);
+    // Collect all 3x3 kernels (skip first conv).
+    let mut samples = Vec::new();
+    compress::for_each_conv_indexed(&mut tm.built.net, |pos, conv| {
+        if pos > 0 && conv.kernel() == 3 {
+            samples.extend(extract_xy_kernels(conv.weight(), 3));
+        }
+    });
+    let pool = XyPool::build(&samples, pool_size, 3, &mut rng).expect("xy pool build");
+    let project_all = |net: &mut wp_nn::Sequential| {
+        compress::for_each_conv_indexed(net, |pos, conv| {
+            if pos > 0 && conv.kernel() == 3 {
+                project_xy(conv.weight_mut(), &pool, with_coeff);
+            }
+        });
+    };
+    // Straight-through fine-tuning: forward/backward at the projected
+    // point, update the latent weights.
+    let mut opt = Sgd::new(0.01).momentum(0.9);
+    for _ in 0..effort.finetune_epochs() {
+        for batch in tm.data.train.clone() {
+            let latent = tm.built.net.state_dict();
+            project_all(&mut tm.built.net);
+            let logits = tm.built.net.forward(&batch.images, true);
+            let out = wp_nn::SoftmaxCrossEntropy::compute(&logits, &batch.labels);
+            tm.built.net.backward(&out.grad);
+            tm.built.net.load_state_dict(&latent);
+            opt.step(&mut tm.built.net);
+        }
+    }
+    project_all(&mut tm.built.net);
+    tm.eval(effort.eval_images())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Effort {
+        Effort { fast: true }
+    }
+
+    #[test]
+    fn base_training_learns() {
+        let tm = train_base(MicroKind::ResNetS, fast(), 3);
+        // 10-class task, 2 fast epochs: anything clearly above chance.
+        assert!(tm.float_acc > 0.2, "accuracy {}", tm.float_acc);
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut tm = train_base(MicroKind::ResNetS, fast(), 4);
+        let before = tm.eval(100);
+        let cfg = PoolConfig::new(16).kmeans_iters(10);
+        let (_pool, _acc) = pool_finetune_eval(&mut tm, &cfg, fast(), 4);
+        tm.restore();
+        let after = tm.eval(100);
+        assert!((before - after).abs() < 1e-6, "restore changed accuracy");
+    }
+
+    #[test]
+    fn pool_pipeline_produces_accuracy() {
+        let mut tm = train_base(MicroKind::ResNetS, fast(), 5);
+        let cfg = PoolConfig::new(32).kmeans_iters(10);
+        let (pool, acc) = pool_finetune_eval(&mut tm, &cfg, fast(), 5);
+        assert_eq!(pool.len(), 32);
+        assert!((0.0..=1.0).contains(&acc));
+        // LUT simulation runs end to end.
+        let sim_acc = lut_sim_eval(&mut tm, &pool, &cfg, Some(8), 8, fast());
+        assert!((0.0..=1.0).contains(&sim_acc));
+    }
+
+    #[test]
+    fn xy_eval_runs() {
+        let mut tm = train_base(MicroKind::ResNetS, fast(), 6);
+        let acc = xy_pool_eval(&mut tm, 16, true, fast(), 6);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

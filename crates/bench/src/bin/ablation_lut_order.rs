@@ -1,0 +1,6 @@
+//! Regenerates the ablation lut order study. Pass `--fast` for a quick smoke run.
+
+fn main() {
+    let effort = wp_bench::Effort::from_env();
+    println!("{}", wp_bench::experiments::ablation_lut_order(effort));
+}

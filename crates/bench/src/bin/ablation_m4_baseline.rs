@@ -1,0 +1,6 @@
+//! Regenerates the baseline-core-strength ablation.
+
+fn main() {
+    let effort = wp_bench::Effort::from_env();
+    println!("{}", wp_bench::experiments::ablation_m4_baseline(effort));
+}

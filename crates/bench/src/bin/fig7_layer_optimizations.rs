@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig7 layer optimizations result. Pass `--fast` for a quick
+//! smoke run.
+
+fn main() {
+    let effort = wp_bench::Effort::from_env();
+    let _ = effort;
+    println!("{}", wp_bench::experiments::fig7_layer_optimizations(effort));
+}

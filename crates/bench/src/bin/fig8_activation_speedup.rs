@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig8 activation speedup result. Pass `--fast` for a quick
+//! smoke run.
+
+fn main() {
+    let effort = wp_bench::Effort::from_env();
+    let _ = effort;
+    println!("{}", wp_bench::experiments::fig8_activation_speedup(effort));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the footnote1 fc compression study. Pass `--fast` for a quick smoke run.
+
+fn main() {
+    let effort = wp_bench::Effort::from_env();
+    println!("{}", wp_bench::experiments::footnote1_fc_compression(effort));
+}

@@ -1,0 +1,15 @@
+//! Runs every experiment and writes the combined report to
+//! `experiments_output.md` in the current directory. Pass `--fast` for a
+//! quick smoke run.
+
+fn main() {
+    let effort = wp_bench::Effort::from_env();
+    let report = wp_bench::experiments::run_all(effort);
+    println!("{report}");
+    let path = "experiments_output.md";
+    if let Err(e) = std::fs::write(path, &report) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        eprintln!("[run_all] report written to {path}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table1 group size result. Pass `--fast` for a quick
+//! smoke run.
+
+fn main() {
+    let effort = wp_bench::Effort::from_env();
+    let _ = effort;
+    println!("{}", wp_bench::experiments::table1_group_size(effort));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table4 pool size result. Pass `--fast` for a quick
+//! smoke run.
+
+fn main() {
+    let effort = wp_bench::Effort::from_env();
+    let _ = effort;
+    println!("{}", wp_bench::experiments::table4_pool_size(effort));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table5 lut bitwidth result. Pass `--fast` for a quick
+//! smoke run.
+
+fn main() {
+    let effort = wp_bench::Effort::from_env();
+    let _ = effort;
+    println!("{}", wp_bench::experiments::table5_lut_bitwidth(effort));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table6 activation bitwidth result. Pass `--fast` for a quick
+//! smoke run.
+
+fn main() {
+    let effort = wp_bench::Effort::from_env();
+    let _ = effort;
+    println!("{}", wp_bench::experiments::table6_activation_bitwidth(effort));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table7 full network result. Pass `--fast` for a quick
+//! smoke run.
+
+fn main() {
+    let effort = wp_bench::Effort::from_env();
+    let _ = effort;
+    println!("{}", wp_bench::experiments::table7_full_network(effort));
+}

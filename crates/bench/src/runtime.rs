@@ -1,0 +1,129 @@
+//! Shared helpers for the runtime experiments (Table 7, Figures 7/8).
+
+use rand::{Rng, SeedableRng};
+use wp_core::reference::PooledConvShape;
+use wp_core::{LookupTable, LutOrder, WeightPool};
+use wp_kernels::network::{DeployMode, NetworkRunResult};
+use wp_kernels::{conv_bitserial, BitSerialOptions, OutputQuant};
+use wp_mcu::{Mcu, McuSpec};
+
+/// A deterministic random pool + LUT of the given size (runtime results
+/// are value-independent; only shapes matter).
+pub fn synthetic_lut(pool_size: usize, lut_bits: u8, seed: u64) -> (WeightPool, LookupTable) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vectors: Vec<Vec<f32>> = (0..pool_size)
+        .map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect())
+        .collect();
+    let pool = WeightPool::from_vectors(vectors);
+    let lut = LookupTable::build(&pool, lut_bits, LutOrder::InputOriented);
+    (pool, lut)
+}
+
+/// The single-layer benchmark configuration of Figures 7 and 8: a 3×3
+/// convolution on a square input with equal channel and filter counts.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerBench {
+    /// Channels = filters.
+    pub channels: usize,
+    /// Input height = width.
+    pub hw: usize,
+    /// Pool size.
+    pub pool_size: usize,
+}
+
+impl LayerBench {
+    /// The paper's Figure 7/8 setting: 16×16 input, pool 64.
+    pub fn paper(channels: usize) -> Self {
+        Self { channels, hw: 16, pool_size: 64 }
+    }
+
+    /// The conv shape.
+    pub fn shape(&self) -> PooledConvShape {
+        PooledConvShape {
+            in_ch: self.channels,
+            out_ch: self.channels,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: self.hw,
+            in_w: self.hw,
+        }
+    }
+
+    /// Runs the bit-serial kernel once on MC-large, returning cycles.
+    pub fn run_bitserial(&self, opts: &BitSerialOptions, seed: u64) -> u64 {
+        let shape = self.shape();
+        let (_pool, lut) = synthetic_lut(self.pool_size, 8, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFEED);
+        let hi = 1i32 << opts.act_bits;
+        let codes: Vec<i32> =
+            (0..shape.in_ch * shape.in_h * shape.in_w).map(|_| rng.gen_range(0..hi)).collect();
+        let indices: Vec<u8> = (0..shape.index_count(8))
+            .map(|_| rng.gen_range(0..self.pool_size) as u8)
+            .collect();
+        let bias = vec![0i32; shape.out_ch];
+        let oq = OutputQuant::identity(8);
+        let mut mcu = Mcu::new(McuSpec::mc_large());
+        conv_bitserial(&mut mcu, &codes, &shape, &indices, &lut, &bias, &oq, opts);
+        mcu.cycles()
+    }
+}
+
+/// Formats a network-run latency cell for Table 7 ("/" when the network
+/// does not fit in flash, as in the paper).
+pub fn latency_cell(result: &NetworkRunResult) -> String {
+    if result.fits_flash {
+        format!("{:.2}", result.seconds)
+    } else {
+        "/".to_string()
+    }
+}
+
+/// Convenience: run a network spec in a deploy mode on a device.
+pub fn run(device: &McuSpec, net: &wp_core::netspec::NetSpec, mode: &DeployMode<'_>) -> NetworkRunResult {
+    wp_kernels::network::run_network(device, net, mode, 42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_kernels::PrecomputeMode;
+
+    #[test]
+    fn layer_bench_runs() {
+        let bench = LayerBench { channels: 16, hw: 4, pool_size: 8 };
+        let cycles = bench.run_bitserial(&BitSerialOptions::paper_default(8), 0);
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn figure7_shape_holds_at_small_scale() {
+        // Caching + precompute beats caching-only beats no-caching for
+        // filters > pool, even at reduced scale.
+        let bench = LayerBench { channels: 32, hw: 4, pool_size: 16 };
+        let base = bench.run_bitserial(
+            &BitSerialOptions {
+                lut_cache: false,
+                precompute: PrecomputeMode::ForceOff,
+                ..BitSerialOptions::paper_default(8)
+            },
+            1,
+        );
+        let cache = bench.run_bitserial(
+            &BitSerialOptions {
+                precompute: PrecomputeMode::ForceOff,
+                ..BitSerialOptions::paper_default(8)
+            },
+            1,
+        );
+        let cache_pre = bench.run_bitserial(
+            &BitSerialOptions {
+                precompute: PrecomputeMode::ForceOn,
+                ..BitSerialOptions::paper_default(8)
+            },
+            1,
+        );
+        assert!(cache < base, "caching should win: {cache} vs {base}");
+        assert!(cache_pre < cache, "precompute should stack: {cache_pre} vs {cache}");
+    }
+}

@@ -1,0 +1,462 @@
+//! K-means clustering used to generate weight pools.
+//!
+//! The paper clusters 1×8 weight vectors with K-means using a **cosine
+//! distance metric** "to avoid scaling dependence" (§3). This crate provides
+//! both plain Euclidean K-means and a spherical variant realizing the
+//! paper's choice:
+//!
+//! * assignment by cosine similarity (direction only),
+//! * centroid direction = renormalized mean of member directions,
+//! * centroid magnitude = mean member norm (so pool entries remain *actual
+//!   weight values*, which the LUT generation step then consumes).
+//!
+//! # Example
+//!
+//! ```
+//! use wp_cluster::{KMeans, DistanceMetric};
+//! use rand::SeedableRng;
+//!
+//! let points = vec![
+//!     vec![1.0, 0.0], vec![0.9, 0.1],   // cluster A
+//!     vec![0.0, 1.0], vec![0.1, 0.9],   // cluster B
+//! ];
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let result = KMeans::new(2, DistanceMetric::Euclidean)
+//!     .max_iters(50)
+//!     .fit(&points, &mut rng)?;
+//! assert_eq!(result.assignments[0], result.assignments[1]);
+//! assert_ne!(result.assignments[0], result.assignments[2]);
+//! # Ok::<(), wp_cluster::ClusterError>(())
+//! ```
+
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// How point-to-centroid distance is measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistanceMetric {
+    /// Squared Euclidean distance; standard Lloyd's algorithm.
+    Euclidean,
+    /// Cosine distance `1 - cos(a, b)`; spherical K-means. Zero vectors are
+    /// treated as distance 1 from everything.
+    Cosine,
+}
+
+/// Error produced by [`KMeans::fit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Fewer points than requested clusters.
+    TooFewPoints { points: usize, k: usize },
+    /// Points have inconsistent or zero dimensionality.
+    BadDimensions,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::TooFewPoints { points, k } => {
+                write!(f, "cannot form {k} clusters from {points} points")
+            }
+            ClusterError::BadDimensions => {
+                write!(f, "points must be non-empty and share one dimensionality")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+/// Result of a K-means fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster centers, `k` rows of the input dimensionality.
+    pub centroids: Vec<Vec<f32>>,
+    /// Index of the nearest centroid for each input point.
+    pub assignments: Vec<usize>,
+    /// Final sum of point-to-assigned-centroid distances.
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// K-means clusterer with k-means++ initialization and empty-cluster repair.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    metric: DistanceMetric,
+    max_iters: usize,
+    tol: f64,
+}
+
+impl KMeans {
+    /// Creates a clusterer for `k` clusters under the given metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize, metric: DistanceMetric) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, metric, max_iters: 100, tol: 1e-6 }
+    }
+
+    /// Sets the maximum number of Lloyd iterations (default 100).
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets the relative inertia-improvement convergence tolerance
+    /// (default `1e-6`).
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Runs K-means on `points`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::TooFewPoints`] if `points.len() < k` and
+    /// [`ClusterError::BadDimensions`] if points are empty or ragged.
+    pub fn fit(
+        &self,
+        points: &[Vec<f32>],
+        rng: &mut impl Rng,
+    ) -> Result<KMeansResult, ClusterError> {
+        if points.len() < self.k {
+            return Err(ClusterError::TooFewPoints { points: points.len(), k: self.k });
+        }
+        let dim = points.first().map(|p| p.len()).unwrap_or(0);
+        if dim == 0 || points.iter().any(|p| p.len() != dim) {
+            return Err(ClusterError::BadDimensions);
+        }
+
+        let mut centroids = self.init_plus_plus(points, rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut last_inertia = f64::INFINITY;
+        let mut iterations = 0;
+
+        for iter in 0..self.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut inertia = 0.0f64;
+            for (i, p) in points.iter().enumerate() {
+                let (best, d) = nearest(p, &centroids, self.metric);
+                assignments[i] = best;
+                inertia += d as f64;
+            }
+            // Update step.
+            centroids = self.recompute_centroids(points, &assignments, rng);
+
+            if last_inertia.is_finite() {
+                let improvement = (last_inertia - inertia).abs() / last_inertia.max(1e-12);
+                if improvement < self.tol {
+                    break;
+                }
+            }
+            last_inertia = inertia;
+        }
+
+        // Final assignment against the final centroids.
+        let mut inertia = 0.0f64;
+        for (i, p) in points.iter().enumerate() {
+            let (best, d) = nearest(p, &centroids, self.metric);
+            assignments[i] = best;
+            inertia += d as f64;
+        }
+
+        Ok(KMeansResult { centroids, assignments, inertia, iterations })
+    }
+
+    /// k-means++ seeding: first centroid uniform, later ones proportional to
+    /// distance-to-nearest-chosen.
+    fn init_plus_plus(&self, points: &[Vec<f32>], rng: &mut impl Rng) -> Vec<Vec<f32>> {
+        let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(self.k);
+        centroids.push(points[rng.gen_range(0..points.len())].clone());
+        let mut dists: Vec<f32> = points
+            .iter()
+            .map(|p| distance(p, &centroids[0], self.metric))
+            .collect();
+
+        while centroids.len() < self.k {
+            let total: f64 = dists.iter().map(|&d| d as f64).sum();
+            let chosen = if total <= 0.0 {
+                // All points coincide with existing centroids; pick uniformly.
+                rng.gen_range(0..points.len())
+            } else {
+                let mut target = rng.gen::<f64>() * total;
+                let mut idx = points.len() - 1;
+                for (i, &d) in dists.iter().enumerate() {
+                    target -= d as f64;
+                    if target <= 0.0 {
+                        idx = i;
+                        break;
+                    }
+                }
+                idx
+            };
+            centroids.push(points[chosen].clone());
+            for (i, p) in points.iter().enumerate() {
+                let d = distance(p, centroids.last().unwrap(), self.metric);
+                if d < dists[i] {
+                    dists[i] = d;
+                }
+            }
+        }
+        centroids
+    }
+
+    fn recompute_centroids(
+        &self,
+        points: &[Vec<f32>],
+        assignments: &[usize],
+        rng: &mut impl Rng,
+    ) -> Vec<Vec<f32>> {
+        let dim = points[0].len();
+        let mut sums = vec![vec![0.0f64; dim]; self.k];
+        let mut norm_sums = vec![0.0f64; self.k];
+        let mut counts = vec![0usize; self.k];
+
+        for (p, &a) in points.iter().zip(assignments) {
+            counts[a] += 1;
+            match self.metric {
+                DistanceMetric::Euclidean => {
+                    for (s, &v) in sums[a].iter_mut().zip(p) {
+                        *s += v as f64;
+                    }
+                }
+                DistanceMetric::Cosine => {
+                    let n = norm(p);
+                    norm_sums[a] += n as f64;
+                    if n > 0.0 {
+                        for (s, &v) in sums[a].iter_mut().zip(p) {
+                            *s += (v / n) as f64;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut centroids = Vec::with_capacity(self.k);
+        for c in 0..self.k {
+            if counts[c] == 0 {
+                // Empty-cluster repair: reseed on a random point.
+                centroids.push(points[rng.gen_range(0..points.len())].clone());
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            match self.metric {
+                DistanceMetric::Euclidean => {
+                    centroids.push(sums[c].iter().map(|&s| (s * inv) as f32).collect());
+                }
+                DistanceMetric::Cosine => {
+                    // Direction: renormalized mean direction.
+                    // Magnitude: mean member norm, keeping pool entries at
+                    // realistic weight scale.
+                    let mean_dir: Vec<f32> = sums[c].iter().map(|&s| (s * inv) as f32).collect();
+                    let dir_norm = norm(&mean_dir);
+                    let mag = (norm_sums[c] * inv) as f32;
+                    if dir_norm > 0.0 {
+                        centroids
+                            .push(mean_dir.iter().map(|&v| v / dir_norm * mag).collect());
+                    } else {
+                        centroids.push(points[rng.gen_range(0..points.len())].clone());
+                    }
+                }
+            }
+        }
+        centroids
+    }
+}
+
+/// Euclidean norm of a vector.
+fn norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Distance between two vectors under `metric`.
+///
+/// Euclidean returns the *squared* distance (the K-means objective);
+/// cosine returns `1 - cos(a, b)` in `[0, 2]`.
+pub fn distance(a: &[f32], b: &[f32], metric: DistanceMetric) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match metric {
+        DistanceMetric::Euclidean => {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        }
+        DistanceMetric::Cosine => {
+            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na = norm(a);
+            let nb = norm(b);
+            if na == 0.0 || nb == 0.0 {
+                1.0
+            } else {
+                1.0 - dot / (na * nb)
+            }
+        }
+    }
+}
+
+/// Index and distance of the nearest centroid to `p`.
+pub fn nearest(p: &[f32], centroids: &[Vec<f32>], metric: DistanceMetric) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = distance(p, c, metric);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn separable_clusters_recovered_euclidean() {
+        let mut points = Vec::new();
+        let mut r = rng(1);
+        for _ in 0..50 {
+            points.push(vec![10.0 + r.gen::<f32>(), 10.0 + r.gen::<f32>()]);
+            points.push(vec![-10.0 + r.gen::<f32>(), -10.0 + r.gen::<f32>()]);
+        }
+        let res = KMeans::new(2, DistanceMetric::Euclidean).fit(&points, &mut r).unwrap();
+        // Even-indexed points are one cluster, odd-indexed the other.
+        let a = res.assignments[0];
+        assert!(res.assignments.iter().step_by(2).all(|&x| x == a));
+        assert!(res.assignments.iter().skip(1).step_by(2).all(|&x| x != a));
+    }
+
+    #[test]
+    fn cosine_ignores_scale() {
+        // Same direction at very different magnitudes must co-cluster.
+        let points = vec![
+            vec![1.0, 0.0],
+            vec![100.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 55.0],
+        ];
+        let mut r = rng(2);
+        let res = KMeans::new(2, DistanceMetric::Cosine).fit(&points, &mut r).unwrap();
+        assert_eq!(res.assignments[0], res.assignments[1]);
+        assert_eq!(res.assignments[2], res.assignments[3]);
+        assert_ne!(res.assignments[0], res.assignments[2]);
+    }
+
+    #[test]
+    fn cosine_centroid_magnitude_is_mean_norm() {
+        let points = vec![vec![2.0, 0.0], vec![4.0, 0.0]];
+        let mut r = rng(3);
+        let res = KMeans::new(1, DistanceMetric::Cosine).fit(&points, &mut r).unwrap();
+        let c = &res.centroids[0];
+        assert!((norm(c) - 3.0).abs() < 1e-5, "centroid {c:?}");
+        assert!(c[0] > 0.0 && c[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_equal_n_gives_zero_inertia() {
+        let points = vec![vec![0.0, 0.0], vec![5.0, 5.0], vec![-3.0, 9.0]];
+        let mut r = rng(4);
+        let res = KMeans::new(3, DistanceMetric::Euclidean).fit(&points, &mut r).unwrap();
+        assert!(res.inertia < 1e-9, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn too_few_points_is_error() {
+        let points = vec![vec![1.0]];
+        let mut r = rng(5);
+        let err = KMeans::new(2, DistanceMetric::Euclidean).fit(&points, &mut r);
+        assert_eq!(err, Err(ClusterError::TooFewPoints { points: 1, k: 2 }));
+    }
+
+    #[test]
+    fn ragged_points_is_error() {
+        let points = vec![vec![1.0, 2.0], vec![3.0]];
+        let mut r = rng(6);
+        let err = KMeans::new(1, DistanceMetric::Euclidean).fit(&points, &mut r);
+        assert_eq!(err, Err(ClusterError::BadDimensions));
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash() {
+        let points = vec![vec![1.0, 1.0]; 20];
+        let mut r = rng(7);
+        let res = KMeans::new(4, DistanceMetric::Euclidean).fit(&points, &mut r).unwrap();
+        assert!(res.inertia < 1e-9);
+        assert_eq!(res.assignments.len(), 20);
+    }
+
+    #[test]
+    fn zero_vectors_under_cosine_do_not_crash() {
+        let points = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut r = rng(8);
+        let res = KMeans::new(2, DistanceMetric::Cosine).fit(&points, &mut r).unwrap();
+        assert_eq!(res.assignments.len(), 3);
+    }
+
+    #[test]
+    fn distance_euclidean_is_squared() {
+        assert_eq!(distance(&[0.0, 0.0], &[3.0, 4.0], DistanceMetric::Euclidean), 25.0);
+    }
+
+    #[test]
+    fn distance_cosine_bounds() {
+        assert!(distance(&[1.0, 0.0], &[1.0, 0.0], DistanceMetric::Cosine).abs() < 1e-6);
+        assert!(
+            (distance(&[1.0, 0.0], &[-1.0, 0.0], DistanceMetric::Cosine) - 2.0).abs() < 1e-6
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Every point must be assigned to its true nearest centroid.
+        #[test]
+        fn prop_assignments_are_nearest(
+            seed in 0u64..500,
+            n in 8usize..40,
+            k in 1usize..6,
+            dim in 1usize..6,
+        ) {
+            prop_assume!(n >= k);
+            let mut r = rng(seed);
+            let points: Vec<Vec<f32>> = (0..n)
+                .map(|_| (0..dim).map(|_| r.gen_range(-5.0f32..5.0)).collect())
+                .collect();
+            let res = KMeans::new(k, DistanceMetric::Euclidean).fit(&points, &mut r).unwrap();
+            for (p, &a) in points.iter().zip(&res.assignments) {
+                let (best, _) = nearest(p, &res.centroids, DistanceMetric::Euclidean);
+                let da = distance(p, &res.centroids[a], DistanceMetric::Euclidean);
+                let db = distance(p, &res.centroids[best], DistanceMetric::Euclidean);
+                prop_assert!(da <= db + 1e-5);
+            }
+        }
+
+        /// Inertia with k clusters is no worse than the 1-cluster mean.
+        #[test]
+        fn prop_more_clusters_never_hurt_much(
+            seed in 0u64..200,
+            n in 10usize..30,
+        ) {
+            let mut r = rng(seed);
+            let points: Vec<Vec<f32>> = (0..n)
+                .map(|_| vec![r.gen_range(-1.0f32..1.0), r.gen_range(-1.0f32..1.0)])
+                .collect();
+            let res1 = KMeans::new(1, DistanceMetric::Euclidean).fit(&points, &mut r).unwrap();
+            let res4 = KMeans::new(4, DistanceMetric::Euclidean).fit(&points, &mut r).unwrap();
+            // k-means++ with repair should practically never be worse than
+            // the single-mean solution; allow tiny numerical slack.
+            prop_assert!(res4.inertia <= res1.inertia * 1.001 + 1e-6);
+        }
+    }
+}

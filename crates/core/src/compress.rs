@@ -1,0 +1,392 @@
+//! Model-level compression: pool building, projection and straight-through
+//! fine-tuning (paper Figure 2).
+
+use crate::grouping::{extract_z_vectors, is_groupable, write_z_vectors};
+use crate::{PoolConfig, PoolError, WeightPool};
+use rand::Rng;
+use wp_nn::train::{Batch, EpochStats};
+use wp_nn::{Conv2d, Sequential, Sgd, SoftmaxCrossEntropy};
+
+/// Visits every standard conv with its traversal position. All passes of
+/// the pipeline (collection, projection, index extraction, simulation
+/// installation) use this same traversal, so positions are stable
+/// identifiers for convs.
+pub fn for_each_conv_indexed(model: &mut Sequential, mut f: impl FnMut(usize, &mut Conv2d)) {
+    let mut pos = 0usize;
+    model.visit_convs(&mut |conv| {
+        f(pos, conv);
+        pos += 1;
+    });
+}
+
+/// Whether the conv at `pos` is compressed under `cfg`: the first conv is
+/// skipped when configured (the paper keeps it uncompressed), and layers
+/// whose depth is not a multiple of the group size are kept (paper §3:
+/// "we choose to keep such layers uncompressed").
+pub fn is_compressible(pos: usize, conv: &Conv2d, cfg: &PoolConfig) -> bool {
+    if cfg.skip_first_conv && pos == 0 {
+        return false;
+    }
+    is_groupable(conv.in_channels(), cfg.group_size)
+}
+
+/// Collects the z-vectors of every compressible conv, in traversal order.
+pub fn collect_vectors(model: &mut Sequential, cfg: &PoolConfig) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    for_each_conv_indexed(model, |pos, conv| {
+        if is_compressible(pos, conv, cfg) {
+            out.extend(extract_z_vectors(conv.weight(), cfg.group_size));
+        }
+    });
+    out
+}
+
+/// Builds a weight pool by clustering the model's z-vectors.
+///
+/// # Errors
+///
+/// Returns [`PoolError`] if no layer is compressible or clustering fails.
+pub fn build_pool(
+    model: &mut Sequential,
+    cfg: &PoolConfig,
+    rng: &mut impl Rng,
+) -> Result<WeightPool, PoolError> {
+    let vectors = collect_vectors(model, cfg);
+    WeightPool::build(&vectors, cfg, rng)
+}
+
+/// Statistics from projecting a model onto a pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectionStats {
+    /// Convs that were projected.
+    pub layers_compressed: usize,
+    /// Convs left untouched.
+    pub layers_skipped: usize,
+    /// Total vectors replaced.
+    pub vectors_replaced: usize,
+    /// Mean squared weight perturbation introduced by the projection.
+    pub mse: f64,
+}
+
+/// Replaces every compressible conv's weights with their nearest pool
+/// vectors, in place.
+///
+/// # Panics
+///
+/// Panics if the pool's group size differs from `cfg.group_size`.
+pub fn project(model: &mut Sequential, pool: &WeightPool, cfg: &PoolConfig) -> ProjectionStats {
+    assert_eq!(pool.group_size(), cfg.group_size, "pool/group size mismatch");
+    let mut stats = ProjectionStats {
+        layers_compressed: 0,
+        layers_skipped: 0,
+        vectors_replaced: 0,
+        mse: 0.0,
+    };
+    let mut err_acc = 0.0f64;
+    let mut err_n = 0usize;
+    for_each_conv_indexed(model, |pos, conv| {
+        if !is_compressible(pos, conv, cfg) {
+            stats.layers_skipped += 1;
+            return;
+        }
+        let vectors = extract_z_vectors(conv.weight(), cfg.group_size);
+        let mut replaced = Vec::with_capacity(vectors.len());
+        for v in &vectors {
+            let p = pool.vector(pool.assign(v, cfg.metric));
+            for (a, b) in v.iter().zip(p) {
+                err_acc += ((a - b) as f64).powi(2);
+                err_n += 1;
+            }
+            replaced.push(p.to_vec());
+        }
+        stats.vectors_replaced += replaced.len();
+        write_z_vectors(conv.weight_mut(), cfg.group_size, &replaced);
+        stats.layers_compressed += 1;
+    });
+    stats.mse = if err_n > 0 { err_acc / err_n as f64 } else { 0.0 };
+    stats
+}
+
+/// Extracts the pool-index map of every conv (in traversal order):
+/// `Some(indices)` in canonical grouping order for compressed layers,
+/// `None` for skipped ones.
+///
+/// # Panics
+///
+/// Panics if the pool has more than 256 vectors (indices are stored as
+/// bytes, as a deployed network would).
+pub fn index_maps(
+    model: &mut Sequential,
+    pool: &WeightPool,
+    cfg: &PoolConfig,
+) -> Vec<Option<Vec<u8>>> {
+    assert!(pool.len() <= 256, "u8 indices require pool size <= 256");
+    let mut out = Vec::new();
+    for_each_conv_indexed(model, |pos, conv| {
+        if !is_compressible(pos, conv, cfg) {
+            out.push(None);
+            return;
+        }
+        let vectors = extract_z_vectors(conv.weight(), cfg.group_size);
+        let indices: Vec<u8> =
+            vectors.iter().map(|v| pool.assign(v, cfg.metric) as u8).collect();
+        out.push(Some(indices));
+    });
+    out
+}
+
+/// Snapshot of the compressible convs' weights (the "latent" weights of
+/// straight-through fine-tuning).
+fn snapshot_weights(model: &mut Sequential, cfg: &PoolConfig) -> Vec<Option<Vec<f32>>> {
+    let mut out = Vec::new();
+    for_each_conv_indexed(model, |pos, conv| {
+        if is_compressible(pos, conv, cfg) {
+            out.push(Some(conv.weight().data().to_vec()));
+        } else {
+            out.push(None);
+        }
+    });
+    out
+}
+
+/// Restores weights captured by [`snapshot_weights`].
+fn restore_weights(model: &mut Sequential, saved: &[Option<Vec<f32>>]) {
+    for_each_conv_indexed(model, |pos, conv| {
+        if let Some(Some(w)) = saved.get(pos) {
+            conv.weight_mut().data_mut().copy_from_slice(w);
+        }
+    });
+}
+
+/// One epoch of straight-through fine-tuning against a **fixed** pool
+/// (paper §3: "the backward pass updates the network weights and the
+/// forward pass reassigns indices").
+///
+/// Per batch: weights are projected onto the pool for the forward/backward
+/// pass, then the latent (unprojected) weights receive the gradient update.
+/// Call [`project`] once after the final epoch to leave the model in its
+/// deployable pool-constrained state.
+pub fn finetune_epoch(
+    model: &mut Sequential,
+    pool: &WeightPool,
+    cfg: &PoolConfig,
+    opt: &mut Sgd,
+    batches: &[Batch],
+) -> EpochStats {
+    assert!(!batches.is_empty(), "no fine-tuning batches supplied");
+    let mut total_loss = 0.0f64;
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    for batch in batches {
+        let latent = snapshot_weights(model, cfg);
+        project(model, pool, cfg);
+        let logits = model.forward(&batch.images, true);
+        let out = SoftmaxCrossEntropy::compute(&logits, &batch.labels);
+        model.backward(&out.grad);
+        restore_weights(model, &latent);
+        opt.step(model);
+        total_loss += out.loss as f64;
+        correct += out.correct;
+        seen += batch.len();
+    }
+    EpochStats {
+        loss: (total_loss / batches.len() as f64) as f32,
+        accuracy: correct as f32 / seen as f32,
+    }
+}
+
+/// Runs `epochs` of straight-through fine-tuning and leaves the model
+/// projected onto the pool. Returns per-epoch statistics.
+pub fn finetune(
+    model: &mut Sequential,
+    pool: &WeightPool,
+    cfg: &PoolConfig,
+    opt: &mut Sgd,
+    batches: &[Batch],
+    epochs: usize,
+) -> Vec<EpochStats> {
+    let mut stats = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        stats.push(finetune_epoch(model, pool, cfg, opt, batches));
+    }
+    project(model, pool, cfg);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wp_cluster::DistanceMetric;
+    use wp_nn::{BasicBlock, Relu};
+    use wp_tensor::Tensor;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn toy_model(r: &mut rand::rngs::StdRng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(3, 8, 3, 1, 1, r)); // first conv: skipped
+        net.push(Relu::new());
+        net.push(Conv2d::new(8, 16, 3, 1, 1, r)); // compressed
+        net.push(Conv2d::new(16, 16, 1, 1, 0, r)); // compressed (1x1)
+        net
+    }
+
+    #[test]
+    fn first_conv_skipped_by_default() {
+        let mut r = rng(0);
+        let mut net = toy_model(&mut r);
+        let cfg = PoolConfig::new(4).group_size(8);
+        let mut flags = Vec::new();
+        for_each_conv_indexed(&mut net, |pos, conv| {
+            flags.push(is_compressible(pos, conv, &cfg));
+        });
+        assert_eq!(flags, vec![false, true, true]);
+    }
+
+    #[test]
+    fn indivisible_depth_skipped() {
+        let mut r = rng(1);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(8, 6, 3, 1, 1, &mut r));
+        net.push(Conv2d::new(6, 8, 3, 1, 1, &mut r)); // 6 % 8 != 0
+        let cfg = PoolConfig::new(4).group_size(8).skip_first_conv(false);
+        let mut flags = Vec::new();
+        for_each_conv_indexed(&mut net, |pos, conv| {
+            flags.push(is_compressible(pos, conv, &cfg));
+        });
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn collect_counts_vectors() {
+        let mut r = rng(2);
+        let mut net = toy_model(&mut r);
+        let cfg = PoolConfig::new(4).group_size(8);
+        let vs = collect_vectors(&mut net, &cfg);
+        // conv2: 16 filters x 1 group x 9 taps = 144; conv3: 16 x 2 x 1 = 32.
+        assert_eq!(vs.len(), 144 + 32);
+        assert!(vs.iter().all(|v| v.len() == 8));
+    }
+
+    #[test]
+    fn project_zero_error_when_pool_holds_all_vectors() {
+        let mut r = rng(3);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(8, 2, 1, 1, 0, &mut r));
+        let cfg = PoolConfig::new(2).group_size(8).skip_first_conv(false);
+        let vs = collect_vectors(&mut net, &cfg);
+        let pool = WeightPool::from_vectors(vs);
+        let stats = project(&mut net, &pool, &cfg);
+        assert!(stats.mse < 1e-10, "mse {}", stats.mse);
+        assert_eq!(stats.layers_compressed, 1);
+        assert_eq!(stats.vectors_replaced, 2);
+    }
+
+    #[test]
+    fn project_makes_weights_pool_members() {
+        let mut r = rng(4);
+        let mut net = toy_model(&mut r);
+        let cfg = PoolConfig::new(4).group_size(8).metric(DistanceMetric::Euclidean);
+        let pool = build_pool(&mut net, &cfg, &mut r).unwrap();
+        project(&mut net, &pool, &cfg);
+        // Every z-vector of compressed layers must now be a pool member.
+        for_each_conv_indexed(&mut net, |pos, conv| {
+            if pos == 0 {
+                return;
+            }
+            for v in extract_z_vectors(conv.weight(), 8) {
+                let best = pool.vector(pool.assign(&v, DistanceMetric::Euclidean));
+                for (a, b) in v.iter().zip(best) {
+                    assert!((a - b).abs() < 1e-6);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn index_maps_align_with_projection() {
+        let mut r = rng(5);
+        let mut net = toy_model(&mut r);
+        let cfg = PoolConfig::new(4).group_size(8).metric(DistanceMetric::Euclidean);
+        let pool = build_pool(&mut net, &cfg, &mut r).unwrap();
+        let maps = index_maps(&mut net, &pool, &cfg);
+        assert_eq!(maps.len(), 3);
+        assert!(maps[0].is_none());
+        assert_eq!(maps[1].as_ref().unwrap().len(), 144);
+        assert_eq!(maps[2].as_ref().unwrap().len(), 32);
+        // After projection the index maps must be unchanged (projection is
+        // idempotent with respect to assignment).
+        project(&mut net, &pool, &cfg);
+        let maps2 = index_maps(&mut net, &pool, &cfg);
+        assert_eq!(maps, maps2);
+    }
+
+    #[test]
+    fn finetune_improves_or_maintains_projected_loss() {
+        use wp_nn::train::Batch;
+        let mut r = rng(6);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(3, 8, 3, 1, 1, &mut r));
+        net.push(Relu::new());
+        net.push(Conv2d::new(8, 8, 3, 1, 1, &mut r));
+        net.push(wp_nn::GlobalAvgPool::new());
+        net.push(wp_nn::Dense::new(8, 2, &mut r));
+
+        // Tiny synthetic 2-class batch set.
+        let mut batches = Vec::new();
+        for i in 0..4 {
+            let mut imgs = Tensor::<f32>::zeros(&[4, 3, 6, 6]);
+            wp_tensor::fill_uniform(&mut imgs, -1.0, 1.0, &mut r);
+            // Bias class-0 images positive, class-1 negative.
+            let labels: Vec<usize> = (0..4).map(|j| (i + j) % 2).collect();
+            for (j, &l) in labels.iter().enumerate() {
+                let sign = if l == 0 { 1.0 } else { -1.0 };
+                for c in 0..3 {
+                    for y in 0..6 {
+                        for x in 0..6 {
+                            let v = imgs.get4(j, c, y, x);
+                            imgs.set4(j, c, y, x, v + sign * 0.8);
+                        }
+                    }
+                }
+            }
+            batches.push(Batch::new(imgs, labels));
+        }
+
+        let cfg = PoolConfig::new(8).group_size(8).metric(DistanceMetric::Euclidean);
+        let pool = build_pool(&mut net, &cfg, &mut r).unwrap();
+        let mut opt = Sgd::new(0.05).momentum(0.9);
+        let stats = finetune(&mut net, &pool, &cfg, &mut opt, &batches, 8);
+        assert!(
+            stats.last().unwrap().loss <= stats.first().unwrap().loss,
+            "fine-tuning increased loss: {stats:?}"
+        );
+        // Model must end projected: all vectors are pool members.
+        for_each_conv_indexed(&mut net, |pos, conv| {
+            if pos == 0 {
+                return;
+            }
+            for v in extract_z_vectors(conv.weight(), 8) {
+                let p = pool.vector(pool.assign(&v, cfg.metric));
+                for (a, b) in v.iter().zip(p) {
+                    assert!((a - b).abs() < 1e-6);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn traverses_composite_blocks() {
+        let mut r = rng(7);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(3, 8, 3, 1, 1, &mut r));
+        net.push(BasicBlock::new(8, 8, 1, &mut r));
+        let cfg = PoolConfig::new(4).group_size(8);
+        let vs = collect_vectors(&mut net, &cfg);
+        // Block convs: 2 layers x 8 filters x 1 group x 9 taps = 144.
+        assert_eq!(vs.len(), 144);
+    }
+}

@@ -1,0 +1,217 @@
+//! Z-dimension weight grouping (paper Figure 3).
+//!
+//! A `[K, C, R, S]` convolution weight tensor is sliced along the channel
+//! axis into vectors of length `G`: for filter `k`, channel group `g` and
+//! spatial tap `(r, s)`, the vector is
+//! `[w[k][g*G + i][r][s] for i in 0..G]`.
+//!
+//! The canonical ordering used everywhere (pool building, projection, index
+//! maps, kernels) is `k`-major, then `g`, then `r`, then `s`.
+
+use wp_tensor::Tensor;
+
+/// Number of z-vectors a `[K, C, R, S]` weight tensor yields at group size
+/// `group`.
+///
+/// # Panics
+///
+/// Panics if `group` is zero or does not divide `c`.
+pub fn vector_count(k: usize, c: usize, r: usize, s: usize, group: usize) -> usize {
+    assert!(group > 0, "group size must be positive");
+    assert_eq!(c % group, 0, "channels {c} not divisible by group size {group}");
+    k * (c / group) * r * s
+}
+
+/// Whether a conv layer with `in_ch` channels can be z-grouped at `group`.
+pub fn is_groupable(in_ch: usize, group: usize) -> bool {
+    group > 0 && in_ch % group == 0
+}
+
+/// Extracts all z-vectors from a `[K, C, R, S]` weight tensor in canonical
+/// order.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 4 or `C` is not divisible by `group`.
+pub fn extract_z_vectors(weight: &Tensor<f32>, group: usize) -> Vec<Vec<f32>> {
+    let d = weight.dims();
+    assert_eq!(d.len(), 4, "expected [K, C, R, S] weights");
+    let (k, c, r, s) = (d[0], d[1], d[2], d[3]);
+    assert!(is_groupable(c, group), "channels {c} not divisible by group {group}");
+    let groups = c / group;
+    let mut out = Vec::with_capacity(vector_count(k, c, r, s, group));
+    for f in 0..k {
+        for g in 0..groups {
+            for ky in 0..r {
+                for kx in 0..s {
+                    let mut v = Vec::with_capacity(group);
+                    for i in 0..group {
+                        v.push(weight.get4(f, g * group + i, ky, kx));
+                    }
+                    out.push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Writes z-vectors (in canonical order) back into a `[K, C, R, S]` weight
+/// tensor — the inverse of [`extract_z_vectors`].
+///
+/// # Panics
+///
+/// Panics on rank/divisibility mismatch, wrong vector count, or wrong
+/// vector lengths.
+pub fn write_z_vectors(weight: &mut Tensor<f32>, group: usize, vectors: &[Vec<f32>]) {
+    let d = weight.dims().to_vec();
+    assert_eq!(d.len(), 4, "expected [K, C, R, S] weights");
+    let (k, c, r, s) = (d[0], d[1], d[2], d[3]);
+    assert!(is_groupable(c, group), "channels {c} not divisible by group {group}");
+    let groups = c / group;
+    assert_eq!(
+        vectors.len(),
+        vector_count(k, c, r, s, group),
+        "vector count mismatch"
+    );
+    let mut it = vectors.iter();
+    for f in 0..k {
+        for g in 0..groups {
+            for ky in 0..r {
+                for kx in 0..s {
+                    let v = it.next().unwrap();
+                    assert_eq!(v.len(), group, "vector length mismatch");
+                    for (i, &val) in v.iter().enumerate() {
+                        weight.set4(f, g * group + i, ky, kx, val);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Canonical flat position of the vector for `(filter, group, r, s)`; the
+/// same ordering [`extract_z_vectors`] produces and index maps store.
+#[inline]
+pub fn vector_position(
+    filter: usize,
+    group_idx: usize,
+    r: usize,
+    s: usize,
+    groups: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+) -> usize {
+    ((filter * groups + group_idx) * kernel_h + r) * kernel_w + s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counts_match_figure3_example() {
+        // Figure 3: an 8x3x3 filter with group size 4 yields 18 vectors.
+        assert_eq!(vector_count(1, 8, 3, 3, 4), 18);
+    }
+
+    #[test]
+    fn extract_reads_channel_runs() {
+        // weight[k][c][r][s] encoded as value k*1000 + c*100 + r*10 + s.
+        let mut w = Tensor::<f32>::zeros(&[2, 4, 2, 2]);
+        for k in 0..2 {
+            for c in 0..4 {
+                for r in 0..2 {
+                    for s in 0..2 {
+                        w.set4(k, c, r, s, (k * 1000 + c * 100 + r * 10 + s) as f32);
+                    }
+                }
+            }
+        }
+        let vecs = extract_z_vectors(&w, 4);
+        assert_eq!(vecs.len(), 2 * 2 * 2);
+        // First vector: filter 0, group 0, tap (0,0): channels 0..4.
+        assert_eq!(vecs[0], vec![0.0, 100.0, 200.0, 300.0]);
+        // Last vector: filter 1, tap (1,1).
+        assert_eq!(vecs[7], vec![1011.0, 1111.0, 1211.0, 1311.0]);
+    }
+
+    #[test]
+    fn round_trip_write_extract() {
+        let mut w = Tensor::<f32>::zeros(&[3, 8, 3, 3]);
+        for (i, v) in w.data_mut().iter_mut().enumerate() {
+            *v = i as f32 * 0.5;
+        }
+        let vecs = extract_z_vectors(&w, 8);
+        let mut w2 = Tensor::<f32>::zeros(&[3, 8, 3, 3]);
+        write_z_vectors(&mut w2, 8, &vecs);
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn vector_position_matches_extract_order() {
+        let mut w = Tensor::<f32>::zeros(&[2, 8, 3, 3]);
+        for (i, v) in w.data_mut().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let vecs = extract_z_vectors(&w, 4);
+        let groups = 2;
+        for f in 0..2 {
+            for g in 0..groups {
+                for r in 0..3 {
+                    for s in 0..3 {
+                        let pos = vector_position(f, g, r, s, groups, 3, 3);
+                        let expect: Vec<f32> =
+                            (0..4).map(|i| w.get4(f, g * 4 + i, r, s)).collect();
+                        assert_eq!(vecs[pos], expect);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one_kernels_supported() {
+        let w = Tensor::<f32>::full(&[4, 8, 1, 1], 1.0);
+        let vecs = extract_z_vectors(&w, 8);
+        assert_eq!(vecs.len(), 4);
+        assert!(vecs.iter().all(|v| v.len() == 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_channels_rejected() {
+        let w = Tensor::<f32>::zeros(&[1, 6, 3, 3]);
+        extract_z_vectors(&w, 4);
+    }
+
+    #[test]
+    fn is_groupable_checks() {
+        assert!(is_groupable(64, 8));
+        assert!(!is_groupable(3, 8));
+        assert!(!is_groupable(8, 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_round_trip(
+            k in 1usize..4,
+            groups in 1usize..3,
+            g in prop::sample::select(vec![4usize, 8]),
+            r in 1usize..4,
+        ) {
+            let c = groups * g;
+            let mut w = Tensor::<f32>::zeros(&[k, c, r, r]);
+            for (i, v) in w.data_mut().iter_mut().enumerate() {
+                *v = (i as f32).sin();
+            }
+            let vecs = extract_z_vectors(&w, g);
+            prop_assert_eq!(vecs.len(), vector_count(k, c, r, r, g));
+            let mut w2 = Tensor::<f32>::zeros(&[k, c, r, r]);
+            write_z_vectors(&mut w2, g, &vecs);
+            prop_assert_eq!(w, w2);
+        }
+    }
+}

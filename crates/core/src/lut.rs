@@ -1,0 +1,299 @@
+//! Lookup-table generation (paper §3.1–3.2).
+//!
+//! For every pool vector `p_s` the table stores the dot products with all
+//! `2^G` possible activation **bit** vectors: entry `(s, m)` holds
+//! `Σ_{i : bit i of m} p_s[i]`. Bit `i` of the pattern corresponds to
+//! element `i` of the group. Entries are quantized symmetrically to the
+//! lookup-table bitwidth `Bl` (4/8/16, Table 5) with one shared scale.
+
+use crate::WeightPool;
+use serde::{Deserialize, Serialize};
+use wp_quant::QuantParams;
+
+/// Memory ordering of LUT entries (paper §4.2 and appendix).
+///
+/// Input-oriented order groups all pool vectors' results for one bit
+/// pattern contiguously, which is what the LUT-caching optimization copies
+/// into SRAM block-by-block; weight-oriented order groups one pool vector's
+/// results for all patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LutOrder {
+    /// `entry(m, s)` contiguous in `s` — blocks addressed by bit pattern.
+    InputOriented,
+    /// `entry(s, m)` contiguous in `m` — blocks addressed by pool vector.
+    WeightOriented,
+}
+
+/// The quantized dot-product lookup table.
+///
+/// # Example
+///
+/// ```
+/// use wp_core::{LookupTable, LutOrder, WeightPool};
+///
+/// let pool = WeightPool::from_vectors(vec![vec![1.0, -2.0, 0.5, 0.25]]);
+/// let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+/// // Pattern 0b0101 selects elements 0 and 2: 1.0 + 0.5.
+/// assert!((lut.value(0, 0b0101) - 1.5).abs() < 0.02);
+/// assert_eq!(lut.num_patterns(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LookupTable {
+    group: usize,
+    pool_size: usize,
+    bits: u8,
+    scale: f32,
+    order: LutOrder,
+    codes: Vec<i32>,
+}
+
+impl LookupTable {
+    /// Builds the table from a pool at `bits`-bit entry precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's group size exceeds 12 (table would exceed
+    /// 4096 entries per vector) or `bits` is outside `2..=16`.
+    pub fn build(pool: &WeightPool, bits: u8, order: LutOrder) -> Self {
+        let group = pool.group_size();
+        assert!(group <= 12, "group size {group} makes 2^{group} patterns impractical");
+        let pool_size = pool.len();
+        let patterns = 1usize << group;
+
+        // Exact entries first, then a shared symmetric quantizer.
+        let mut exact = vec![0.0f32; pool_size * patterns];
+        for s in 0..pool_size {
+            let v = pool.vector(s);
+            for m in 0..patterns {
+                exact[s * patterns + m] = Self::exact_dot(v, m as u32);
+            }
+        }
+        let params = QuantParams::symmetric_from_values(&exact, bits);
+
+        let mut codes = vec![0i32; pool_size * patterns];
+        for s in 0..pool_size {
+            for m in 0..patterns {
+                let q = params.quantize(exact[s * patterns + m]);
+                let at = match order {
+                    LutOrder::WeightOriented => s * patterns + m,
+                    LutOrder::InputOriented => m * pool_size + s,
+                };
+                codes[at] = q;
+            }
+        }
+        Self { group, pool_size, bits, scale: params.scale(), order, codes }
+    }
+
+    /// The exact (unquantized) dot product of `vector` with bit pattern
+    /// `m`: sums elements whose bit is set.
+    pub fn exact_dot(vector: &[f32], m: u32) -> f32 {
+        let mut acc = 0.0f32;
+        for (i, &w) in vector.iter().enumerate() {
+            if (m >> i) & 1 == 1 {
+                acc += w;
+            }
+        }
+        acc
+    }
+
+    /// Group (vector) size `G`.
+    pub fn group_size(&self) -> usize {
+        self.group
+    }
+
+    /// Pool size `S`.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Entry bitwidth `Bl`.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The real value represented by one code step.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Memory ordering.
+    pub fn order(&self) -> LutOrder {
+        self.order
+    }
+
+    /// Number of bit patterns, `2^G`.
+    pub fn num_patterns(&self) -> usize {
+        1usize << self.group
+    }
+
+    /// The quantized code of entry `(s, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `s` or `m` is out of range.
+    #[inline]
+    pub fn code(&self, s: usize, m: usize) -> i32 {
+        debug_assert!(s < self.pool_size && m < self.num_patterns());
+        match self.order {
+            LutOrder::WeightOriented => self.codes[s * self.num_patterns() + m],
+            LutOrder::InputOriented => self.codes[m * self.pool_size + s],
+        }
+    }
+
+    /// The dequantized real value of entry `(s, m)`.
+    pub fn value(&self, s: usize, m: usize) -> f32 {
+        self.code(s, m) as f32 * self.scale
+    }
+
+    /// Raw code storage in table order (used by kernels that model block
+    /// copies).
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Storage footprint in bits: `2^G × S × Bl` (Eq. 3).
+    pub fn storage_bits(&self) -> u64 {
+        (self.num_patterns() * self.pool_size) as u64 * self.bits as u64
+    }
+
+    /// Storage footprint in bytes (entries packed at `Bl` bits).
+    pub fn storage_bytes(&self) -> usize {
+        (self.storage_bits() as usize).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_pool() -> WeightPool {
+        WeightPool::from_vectors(vec![
+            vec![1.0, 2.0, -1.0, 0.5],
+            vec![0.0, -0.5, 0.25, 1.5],
+        ])
+    }
+
+    #[test]
+    fn pattern_zero_is_zero() {
+        let lut = LookupTable::build(&small_pool(), 8, LutOrder::InputOriented);
+        assert_eq!(lut.code(0, 0), 0);
+        assert_eq!(lut.code(1, 0), 0);
+    }
+
+    #[test]
+    fn all_ones_pattern_sums_vector() {
+        let lut = LookupTable::build(&small_pool(), 16, LutOrder::InputOriented);
+        assert!((lut.value(0, 0b1111) - 2.5).abs() < 1e-3);
+        assert!((lut.value(1, 0b1111) - 1.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bit_i_selects_element_i() {
+        let pool = WeightPool::from_vectors(vec![vec![10.0, 20.0, 40.0]]);
+        let lut = LookupTable::build(&pool, 16, LutOrder::WeightOriented);
+        assert!((lut.value(0, 0b001) - 10.0).abs() < 0.01);
+        assert!((lut.value(0, 0b010) - 20.0).abs() < 0.01);
+        assert!((lut.value(0, 0b100) - 40.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn orders_agree_on_values() {
+        let pool = small_pool();
+        let a = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        let b = LookupTable::build(&pool, 8, LutOrder::WeightOriented);
+        for s in 0..pool.len() {
+            for m in 0..a.num_patterns() {
+                assert_eq!(a.code(s, m), b.code(s, m));
+            }
+        }
+    }
+
+    #[test]
+    fn input_oriented_blocks_are_contiguous_by_pattern() {
+        let pool = small_pool();
+        let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        // Block m starts at m * S in raw storage.
+        let s_count = pool.len();
+        for m in 0..lut.num_patterns() {
+            for s in 0..s_count {
+                assert_eq!(lut.codes()[m * s_count + s], lut.code(s, m));
+            }
+        }
+    }
+
+    #[test]
+    fn storage_matches_eq3() {
+        // 64-vector pool of 8-element vectors at 8 bits: 2^8 * 64 * 8 bits
+        // = 16 kB, the paper's §3.2 example.
+        let pool = WeightPool::from_vectors(vec![vec![0.1; 8]; 64]);
+        let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        assert_eq!(lut.storage_bits(), 256 * 64 * 8);
+        assert_eq!(lut.storage_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn lower_bitwidth_coarser_values() {
+        let pool = small_pool();
+        let lut4 = LookupTable::build(&pool, 4, LutOrder::InputOriented);
+        let lut16 = LookupTable::build(&pool, 16, LutOrder::InputOriented);
+        // Max error of 4-bit must exceed that of 16-bit.
+        let mut err4 = 0.0f32;
+        let mut err16 = 0.0f32;
+        for s in 0..pool.len() {
+            for m in 0..16 {
+                let exact = LookupTable::exact_dot(pool.vector(s), m as u32);
+                err4 = err4.max((lut4.value(s, m) - exact).abs());
+                err16 = err16.max((lut16.value(s, m) - exact).abs());
+            }
+        }
+        assert!(err4 > err16);
+        assert!(err16 < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "impractical")]
+    fn oversized_group_rejected() {
+        let pool = WeightPool::from_vectors(vec![vec![0.0; 16]]);
+        LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Quantized entries are within half a scale step of the exact dot.
+        #[test]
+        fn prop_entry_error_bounded(
+            seed in 0u64..200,
+            bits in prop::sample::select(vec![4u8, 8, 16]),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let vectors: Vec<Vec<f32>> = (0..4)
+                .map(|_| (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                .collect();
+            let pool = WeightPool::from_vectors(vectors);
+            let lut = LookupTable::build(&pool, bits, LutOrder::InputOriented);
+            for s in 0..pool.len() {
+                for m in 0..lut.num_patterns() {
+                    let exact = LookupTable::exact_dot(pool.vector(s), m as u32);
+                    prop_assert!(
+                        (lut.value(s, m) - exact).abs() <= lut.scale() * 0.5 + 1e-6
+                    );
+                }
+            }
+        }
+
+        /// Dot-product linearity: entry(m1 | m2) = entry(m1) + entry(m2)
+        /// for disjoint patterns (exactly, pre-quantization).
+        #[test]
+        fn prop_exact_dot_additive(m1 in 0u32..64, m2 in 0u32..64) {
+            let v: Vec<f32> = (0..6).map(|i| (i as f32 * 0.37).sin()).collect();
+            prop_assume!(m1 & m2 == 0);
+            let a = LookupTable::exact_dot(&v, m1);
+            let b = LookupTable::exact_dot(&v, m2);
+            let ab = LookupTable::exact_dot(&v, m1 | m2);
+            prop_assert!((a + b - ab).abs() < 1e-5);
+        }
+    }
+}

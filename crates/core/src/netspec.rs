@@ -1,0 +1,329 @@
+//! Architecture shape descriptions shared by storage accounting and the
+//! runtime simulator.
+//!
+//! A [`NetSpec`] is a flat, parameter-free description of a network's layer
+//! shapes. It deliberately carries no weights: compression ratios (Table 3)
+//! depend only on shapes, and the MCU runtime simulation (Table 7) runs
+//! kernels on synthetic data of the right shape.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of one standard convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels (filters).
+    pub out_ch: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+    /// Whether this layer is weight-pool compressed.
+    pub compressed: bool,
+}
+
+impl ConvSpec {
+    /// Weight parameter count, `K·C·R·S`.
+    pub fn weights(&self) -> u64 {
+        (self.out_ch * self.in_ch * self.kernel * self.kernel) as u64
+    }
+}
+
+/// One layer of a network, shapes only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// Standard convolution (assumed followed by ReLU in runtime cost).
+    Conv(ConvSpec),
+    /// Depthwise convolution (one kernel per channel; never compressed).
+    DwConv {
+        /// Channels (input = output).
+        channels: usize,
+        /// Square kernel side.
+        kernel: usize,
+        /// Spatial stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Fully-connected layer.
+    Dense {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Whether compressed with the pool (off by default, footnote 1).
+        compressed: bool,
+    },
+    /// Non-overlapping max pooling.
+    MaxPool {
+        /// Window and stride.
+        size: usize,
+    },
+    /// Non-overlapping average pooling.
+    AvgPool {
+        /// Window and stride.
+        size: usize,
+    },
+    /// Global average pooling to 1×1.
+    GlobalAvgPool,
+    /// Elementwise residual add at the current activation shape
+    /// (runtime cost only; no parameters).
+    ResidualAdd,
+}
+
+/// A network description: input shape, classes and ordered layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetSpec {
+    /// Human-readable network name.
+    pub name: String,
+    /// Input shape `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// Number of output classes.
+    pub classes: usize,
+    /// Layers in execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+/// A layer with its activation shapes resolved by walking the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedLayer {
+    /// The layer.
+    pub spec: LayerSpec,
+    /// Input channels at this point.
+    pub in_ch: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+/// Weight-count summary of a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParamCounts {
+    /// Standard-conv weights.
+    pub conv: u64,
+    /// Standard-conv weights in compressed layers.
+    pub conv_compressed: u64,
+    /// Depthwise-conv weights.
+    pub depthwise: u64,
+    /// Dense weights.
+    pub dense: u64,
+    /// Dense weights in compressed layers.
+    pub dense_compressed: u64,
+}
+
+impl ParamCounts {
+    /// All weights (conv + depthwise + dense), the storage baseline.
+    pub fn total(&self) -> u64 {
+        self.conv + self.depthwise + self.dense
+    }
+
+    /// Weights covered by the pool.
+    pub fn compressed(&self) -> u64 {
+        self.conv_compressed + self.dense_compressed
+    }
+
+    /// Weights stored directly at the baseline precision.
+    pub fn uncompressed(&self) -> u64 {
+        self.total() - self.compressed()
+    }
+}
+
+impl NetSpec {
+    /// Walks the network, resolving every layer's activation shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dense layer's `in_features` does not match the flattened
+    /// activation size, or a pool window exceeds the activation.
+    pub fn resolve(&self) -> Vec<ResolvedLayer> {
+        let (mut c, mut h, mut w) = self.input;
+        let mut out = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (in_ch, in_h, in_w) = (c, h, w);
+            match *layer {
+                LayerSpec::Conv(cs) => {
+                    assert_eq!(cs.in_ch, c, "{}: conv in_ch {} at activation depth {c}", self.name, cs.in_ch);
+                    c = cs.out_ch;
+                    h = (h + 2 * cs.pad - cs.kernel) / cs.stride + 1;
+                    w = (w + 2 * cs.pad - cs.kernel) / cs.stride + 1;
+                }
+                LayerSpec::DwConv { channels, kernel, stride, pad } => {
+                    assert_eq!(channels, c, "{}: depthwise channels mismatch", self.name);
+                    h = (h + 2 * pad - kernel) / stride + 1;
+                    w = (w + 2 * pad - kernel) / stride + 1;
+                }
+                LayerSpec::Dense { in_features, out_features, .. } => {
+                    assert_eq!(
+                        in_features,
+                        c * h * w,
+                        "{}: dense expects {in_features}, activation is {c}x{h}x{w}",
+                        self.name
+                    );
+                    c = out_features;
+                    h = 1;
+                    w = 1;
+                }
+                LayerSpec::MaxPool { size } | LayerSpec::AvgPool { size } => {
+                    assert!(h >= size && w >= size, "{}: pool window too large", self.name);
+                    h /= size;
+                    w /= size;
+                }
+                LayerSpec::GlobalAvgPool => {
+                    h = 1;
+                    w = 1;
+                }
+                LayerSpec::ResidualAdd => {}
+            }
+            out.push(ResolvedLayer { spec: *layer, in_ch, in_h, in_w, out_ch: c, out_h: h, out_w: w });
+        }
+        out
+    }
+
+    /// Weight-count summary.
+    pub fn params(&self) -> ParamCounts {
+        let mut p = ParamCounts::default();
+        for layer in &self.layers {
+            match *layer {
+                LayerSpec::Conv(cs) => {
+                    p.conv += cs.weights();
+                    if cs.compressed {
+                        p.conv_compressed += cs.weights();
+                    }
+                }
+                LayerSpec::DwConv { channels, kernel, .. } => {
+                    p.depthwise += (channels * kernel * kernel) as u64;
+                }
+                LayerSpec::Dense { in_features, out_features, compressed } => {
+                    let n = (in_features * out_features) as u64;
+                    p.dense += n;
+                    if compressed {
+                        p.dense_compressed += n;
+                    }
+                }
+                _ => {}
+            }
+        }
+        p
+    }
+
+    /// Multiply-accumulate count of one inference (convs + dense).
+    pub fn macs(&self) -> u64 {
+        let mut macs = 0u64;
+        for layer in self.resolve() {
+            match layer.spec {
+                LayerSpec::Conv(cs) => {
+                    macs += cs.weights() * (layer.out_h * layer.out_w) as u64;
+                }
+                LayerSpec::DwConv { channels, kernel, .. } => {
+                    macs += (channels * kernel * kernel * layer.out_h * layer.out_w) as u64;
+                }
+                LayerSpec::Dense { in_features, out_features, .. } => {
+                    macs += (in_features * out_features) as u64;
+                }
+                _ => {}
+            }
+        }
+        macs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_net() -> NetSpec {
+        NetSpec {
+            name: "toy".into(),
+            input: (3, 8, 8),
+            classes: 10,
+            layers: vec![
+                LayerSpec::Conv(ConvSpec {
+                    in_ch: 3,
+                    out_ch: 16,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    compressed: false,
+                }),
+                LayerSpec::MaxPool { size: 2 },
+                LayerSpec::Conv(ConvSpec {
+                    in_ch: 16,
+                    out_ch: 32,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    compressed: true,
+                }),
+                LayerSpec::GlobalAvgPool,
+                LayerSpec::Dense { in_features: 32, out_features: 10, compressed: false },
+            ],
+        }
+    }
+
+    #[test]
+    fn resolve_tracks_shapes() {
+        let r = toy_net().resolve();
+        assert_eq!((r[0].out_ch, r[0].out_h, r[0].out_w), (16, 8, 8));
+        assert_eq!((r[1].out_h, r[1].out_w), (4, 4));
+        assert_eq!((r[2].out_ch, r[2].out_h), (32, 4));
+        assert_eq!((r[3].out_h, r[3].out_w), (1, 1));
+        assert_eq!(r[4].out_ch, 10);
+    }
+
+    #[test]
+    fn params_split_compressed() {
+        let p = toy_net().params();
+        assert_eq!(p.conv, (16 * 3 * 9 + 32 * 16 * 9) as u64);
+        assert_eq!(p.conv_compressed, (32 * 16 * 9) as u64);
+        assert_eq!(p.dense, 320);
+        assert_eq!(p.uncompressed(), (16 * 3 * 9) as u64 + 320);
+    }
+
+    #[test]
+    fn macs_count() {
+        let m = toy_net().macs();
+        let expect = (16 * 3 * 9 * 64) + (32 * 16 * 9 * 16) + 320;
+        assert_eq!(m, expect as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "conv in_ch")]
+    fn mismatched_channels_rejected() {
+        let mut net = toy_net();
+        net.layers[2] = LayerSpec::Conv(ConvSpec {
+            in_ch: 99,
+            out_ch: 32,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            compressed: true,
+        });
+        net.resolve();
+    }
+
+    #[test]
+    #[should_panic(expected = "dense expects")]
+    fn mismatched_dense_rejected() {
+        let mut net = toy_net();
+        net.layers[4] = LayerSpec::Dense { in_features: 7, out_features: 10, compressed: false };
+        net.resolve();
+    }
+
+    #[test]
+    fn residual_add_keeps_shape() {
+        let mut net = toy_net();
+        net.layers.insert(1, LayerSpec::ResidualAdd);
+        let r = net.resolve();
+        assert_eq!((r[1].out_ch, r[1].out_h, r[1].out_w), (16, 8, 8));
+    }
+}

@@ -1,0 +1,321 @@
+//! The weight pool: a small set of shared weight vectors.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use wp_cluster::{nearest, ClusterError, DistanceMetric, KMeans};
+
+/// Error produced while building a [`WeightPool`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolError {
+    /// No groupable weight vectors were found (e.g. every layer skipped).
+    NoVectors,
+    /// The underlying clustering failed.
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::NoVectors => write!(f, "no weight vectors available for pooling"),
+            PoolError::Cluster(e) => write!(f, "clustering failed: {e}"),
+        }
+    }
+}
+
+impl Error for PoolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PoolError::Cluster(e) => Some(e),
+            PoolError::NoVectors => None,
+        }
+    }
+}
+
+impl From<ClusterError> for PoolError {
+    fn from(e: ClusterError) -> Self {
+        PoolError::Cluster(e)
+    }
+}
+
+/// Configuration of the weight-pool compression (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolConfig {
+    /// Pool size `S`: how many shared vectors (32/64/128 in the paper).
+    pub pool_size: usize,
+    /// Group (vector) size `G` along the channel dimension (default 8).
+    pub group_size: usize,
+    /// Clustering/assignment metric (the paper uses cosine).
+    pub metric: DistanceMetric,
+    /// Skip the first convolution (paper keeps it uncompressed).
+    pub skip_first_conv: bool,
+    /// Maximum K-means iterations.
+    pub kmeans_iters: usize,
+    /// Subsample cap on vectors fed to K-means (keeps pool generation fast
+    /// on big networks; assignment still uses every vector).
+    pub sample_limit: usize,
+}
+
+impl PoolConfig {
+    /// Creates a config with the paper's defaults: group size 8, cosine
+    /// metric, first conv skipped.
+    pub fn new(pool_size: usize) -> Self {
+        Self {
+            pool_size,
+            group_size: 8,
+            metric: DistanceMetric::Cosine,
+            skip_first_conv: true,
+            kmeans_iters: 50,
+            sample_limit: 16_384,
+        }
+    }
+
+    /// Sets the group (vector) size.
+    pub fn group_size(mut self, g: usize) -> Self {
+        self.group_size = g;
+        self
+    }
+
+    /// Sets the clustering metric.
+    pub fn metric(mut self, m: DistanceMetric) -> Self {
+        self.metric = m;
+        self
+    }
+
+    /// Sets whether the first convolution is kept uncompressed.
+    pub fn skip_first_conv(mut self, skip: bool) -> Self {
+        self.skip_first_conv = skip;
+        self
+    }
+
+    /// Sets the K-means iteration cap.
+    pub fn kmeans_iters(mut self, iters: usize) -> Self {
+        self.kmeans_iters = iters;
+        self
+    }
+}
+
+/// A pool of shared weight vectors. All vectors have the same length
+/// (the group size `G`); the pool size `S` is the number of vectors.
+///
+/// # Example
+///
+/// ```
+/// use wp_core::WeightPool;
+///
+/// let pool = WeightPool::from_vectors(vec![
+///     vec![1.0, 0.0],
+///     vec![0.0, 1.0],
+/// ]);
+/// assert_eq!(pool.len(), 2);
+/// assert_eq!(pool.group_size(), 2);
+/// assert_eq!(pool.assign(&[0.9, 0.1], wp_cluster::DistanceMetric::Euclidean), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightPool {
+    vectors: Vec<Vec<f32>>,
+}
+
+impl WeightPool {
+    /// Wraps explicit vectors as a pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or ragged.
+    pub fn from_vectors(vectors: Vec<Vec<f32>>) -> Self {
+        assert!(!vectors.is_empty(), "pool must contain at least one vector");
+        let g = vectors[0].len();
+        assert!(g > 0, "pool vectors must be non-empty");
+        assert!(
+            vectors.iter().all(|v| v.len() == g),
+            "pool vectors must share one length"
+        );
+        Self { vectors }
+    }
+
+    /// Builds a pool by clustering `samples` according to `cfg`.
+    ///
+    /// `samples` are the z-vectors extracted from every compressible layer;
+    /// they are subsampled to `cfg.sample_limit` for clustering speed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::NoVectors`] for an empty sample set and
+    /// [`PoolError::Cluster`] if K-means cannot run (e.g. fewer samples
+    /// than clusters).
+    pub fn build(
+        samples: &[Vec<f32>],
+        cfg: &PoolConfig,
+        rng: &mut impl rand::Rng,
+    ) -> Result<Self, PoolError> {
+        if samples.is_empty() {
+            return Err(PoolError::NoVectors);
+        }
+        let subsampled: Vec<Vec<f32>> = if samples.len() > cfg.sample_limit {
+            let stride = samples.len() as f64 / cfg.sample_limit as f64;
+            (0..cfg.sample_limit)
+                .map(|i| samples[(i as f64 * stride) as usize].clone())
+                .collect()
+        } else {
+            samples.to_vec()
+        };
+        let result = KMeans::new(cfg.pool_size, cfg.metric)
+            .max_iters(cfg.kmeans_iters)
+            .fit(&subsampled, rng)?;
+        Ok(Self { vectors: result.centroids })
+    }
+
+    /// Number of vectors in the pool (`S`).
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the pool is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Vector length (`G`, the group size).
+    pub fn group_size(&self) -> usize {
+        self.vectors[0].len()
+    }
+
+    /// The `s`-th pool vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.len()`.
+    pub fn vector(&self, s: usize) -> &[f32] {
+        &self.vectors[s]
+    }
+
+    /// All pool vectors.
+    pub fn vectors(&self) -> &[Vec<f32>] {
+        &self.vectors
+    }
+
+    /// Index of the pool vector nearest to `v` under `metric`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the group size.
+    pub fn assign(&self, v: &[f32], metric: DistanceMetric) -> usize {
+        assert_eq!(v.len(), self.group_size(), "vector length mismatch");
+        nearest(v, &self.vectors, metric).0
+    }
+
+    /// Assigns every vector in `vs`, returning pool indices.
+    pub fn assign_all(&self, vs: &[Vec<f32>], metric: DistanceMetric) -> Vec<usize> {
+        vs.iter().map(|v| self.assign(v, metric)).collect()
+    }
+
+    /// Mean squared reconstruction error of replacing each vector in `vs`
+    /// with its assigned pool vector.
+    pub fn reconstruction_mse(&self, vs: &[Vec<f32>], metric: DistanceMetric) -> f64 {
+        if vs.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0f64;
+        let mut n = 0usize;
+        for v in vs {
+            let p = self.vector(self.assign(v, metric));
+            for (a, b) in v.iter().zip(p) {
+                acc += ((a - b) as f64).powi(2);
+                n += 1;
+            }
+        }
+        acc / n as f64
+    }
+
+    /// Bits needed to store the raw pool at `bits_per_weight` precision
+    /// (the pool itself is not deployed — the LUT is — but this quantifies
+    /// Eq. 4's alternatives).
+    pub fn storage_bits(&self, bits_per_weight: u32) -> u64 {
+        (self.len() * self.group_size()) as u64 * bits_per_weight as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn build_recovers_cluster_structure() {
+        let mut samples = Vec::new();
+        for i in 0..100 {
+            let t = i as f32 * 0.001;
+            samples.push(vec![1.0 + t, 0.0, 0.0, 0.0]);
+            samples.push(vec![0.0, 1.0 - t, 0.0, 0.0]);
+        }
+        let cfg = PoolConfig::new(2).group_size(4).metric(DistanceMetric::Euclidean);
+        let pool = WeightPool::build(&samples, &cfg, &mut rng(0)).unwrap();
+        assert_eq!(pool.len(), 2);
+        let a = pool.assign(&[1.0, 0.0, 0.0, 0.0], DistanceMetric::Euclidean);
+        let b = pool.assign(&[0.0, 1.0, 0.0, 0.0], DistanceMetric::Euclidean);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sample_limit_subsamples() {
+        let samples: Vec<Vec<f32>> =
+            (0..1000).map(|i| vec![(i % 17) as f32, (i % 5) as f32]).collect();
+        let mut cfg = PoolConfig::new(4).group_size(2).metric(DistanceMetric::Euclidean);
+        cfg.sample_limit = 64;
+        let pool = WeightPool::build(&samples, &cfg, &mut rng(1)).unwrap();
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn empty_samples_is_error() {
+        let cfg = PoolConfig::new(4);
+        assert_eq!(
+            WeightPool::build(&[], &cfg, &mut rng(2)),
+            Err(PoolError::NoVectors)
+        );
+    }
+
+    #[test]
+    fn too_few_samples_is_cluster_error() {
+        let cfg = PoolConfig::new(8).group_size(2);
+        let err = WeightPool::build(&[vec![1.0, 2.0]], &cfg, &mut rng(3)).unwrap_err();
+        assert!(matches!(err, PoolError::Cluster(_)));
+    }
+
+    #[test]
+    fn reconstruction_mse_zero_when_pool_contains_vectors() {
+        let vs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let pool = WeightPool::from_vectors(vs.clone());
+        assert!(pool.reconstruction_mse(&vs, DistanceMetric::Euclidean) < 1e-12);
+    }
+
+    #[test]
+    fn assign_all_matches_assign() {
+        let pool = WeightPool::from_vectors(vec![vec![0.0, 0.0], vec![10.0, 10.0]]);
+        let vs = vec![vec![1.0, 1.0], vec![9.0, 9.0]];
+        assert_eq!(pool.assign_all(&vs, DistanceMetric::Euclidean), vec![0, 1]);
+    }
+
+    #[test]
+    fn storage_bits_formula() {
+        let pool = WeightPool::from_vectors(vec![vec![0.0; 8]; 64]);
+        assert_eq!(pool.storage_bits(8), 64 * 8 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one length")]
+    fn ragged_pool_rejected() {
+        WeightPool::from_vectors(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn assign_wrong_length_rejected() {
+        let pool = WeightPool::from_vectors(vec![vec![1.0, 2.0]]);
+        pool.assign(&[1.0], DistanceMetric::Euclidean);
+    }
+}

@@ -1,0 +1,477 @@
+//! Reference integer semantics of the bit-serial lookup-table convolution.
+//!
+//! This module defines, in the simplest possible loop order, *exactly* what
+//! the bit-serial kernel computes on quantized data. The instrumented MCU
+//! kernels in `wp-kernels` — with all their dataflow optimizations — are
+//! required by test to produce bit-identical accumulators to these
+//! functions, which pins down that the optimizations are pure refactorings
+//! of the arithmetic.
+//!
+//! Accumulators are in units of `lut.scale() × act_scale`; callers multiply
+//! by those scales (or fold them into a requantizer) to recover real values.
+
+use crate::grouping::vector_position;
+use crate::LookupTable;
+use wp_tensor::Conv2dGeometry;
+
+/// How quantized activation codes are decomposed into bits (paper Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActEncoding {
+    /// Codes in `[0, 2^M - 1]`; every bit has weight `+2^j`. This is the
+    /// paper's setting (post-ReLU activations).
+    Unsigned,
+    /// Two's-complement codes in `[-2^(M-1), 2^(M-1) - 1]`; the MSB pass has
+    /// weight `-2^(M-1)`. Used for MobileNet-v2's linear-bottleneck inputs,
+    /// which are signed.
+    SignedTwosComplement,
+}
+
+impl ActEncoding {
+    /// The accumulation weight of bit position `j` under `bits`-bit codes.
+    #[inline]
+    pub fn bit_weight(&self, j: u8, bits: u8) -> i64 {
+        match self {
+            ActEncoding::Unsigned => 1i64 << j,
+            ActEncoding::SignedTwosComplement => {
+                if j == bits - 1 {
+                    -(1i64 << j)
+                } else {
+                    1i64 << j
+                }
+            }
+        }
+    }
+
+    /// Valid code range for `bits`-bit activations under this encoding.
+    pub fn code_range(&self, bits: u8) -> (i32, i32) {
+        match self {
+            ActEncoding::Unsigned => (0, (1i32 << bits) - 1),
+            ActEncoding::SignedTwosComplement => {
+                (-(1i32 << (bits - 1)), (1i32 << (bits - 1)) - 1)
+            }
+        }
+    }
+}
+
+/// Shape of one pooled conv layer as consumed by reference and kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PooledConvShape {
+    /// Input channels (must be divisible by the group size).
+    pub in_ch: usize,
+    /// Output channels (filters).
+    pub out_ch: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+}
+
+impl PooledConvShape {
+    /// The convolution geometry.
+    pub fn geometry(&self) -> Conv2dGeometry {
+        Conv2dGeometry::new(self.in_h, self.in_w, self.kernel, self.kernel, self.stride, self.pad)
+    }
+
+    /// Number of channel groups at group size `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` does not divide the input channels.
+    pub fn groups(&self, g: usize) -> usize {
+        assert_eq!(self.in_ch % g, 0, "channels {} not divisible by group {g}", self.in_ch);
+        self.in_ch / g
+    }
+
+    /// Number of pool indices this layer stores (`K × C/G × R × S`).
+    pub fn index_count(&self, g: usize) -> usize {
+        self.out_ch * self.groups(g) * self.kernel * self.kernel
+    }
+}
+
+/// Builds the bit pattern for `(group, bit j)` at input position
+/// `(iy, ix)`: bit `i` of the result is bit `j` of the code of channel
+/// `g*G + i`. Out-of-bounds positions (padding) contribute zero bits.
+#[inline]
+fn bit_pattern(
+    codes: &[i32],
+    in_h: usize,
+    in_w: usize,
+    group_base: usize,
+    group: usize,
+    iy: Option<usize>,
+    ix: Option<usize>,
+    j: u8,
+) -> usize {
+    let (iy, ix) = match (iy, ix) {
+        (Some(y), Some(x)) => (y, x),
+        _ => return 0,
+    };
+    let mut m = 0usize;
+    for i in 0..group {
+        let code = codes[((group_base + i) * in_h + iy) * in_w + ix];
+        m |= (((code >> j) & 1) as usize) << i;
+    }
+    m
+}
+
+/// Reference bit-serial LUT convolution: returns `[K, OH, OW]` accumulators
+/// in units of `lut.scale() × act_scale`.
+///
+/// `codes` is the `[C, H, W]` quantized activation plane; `indices` the
+/// canonical-order pool indices (see [`crate::grouping`]); `act_bits` the
+/// activation bitwidth `M` (bits above `M` in the codes must be zero for
+/// unsigned encoding).
+///
+/// # Panics
+///
+/// Panics on any shape mismatch or if a code is outside the encoding's
+/// range for `act_bits`.
+pub fn bitserial_conv_acc(
+    codes: &[i32],
+    shape: &PooledConvShape,
+    indices: &[u8],
+    lut: &LookupTable,
+    act_bits: u8,
+    encoding: ActEncoding,
+) -> Vec<i32> {
+    let g = lut.group_size();
+    let groups = shape.groups(g);
+    assert_eq!(codes.len(), shape.in_ch * shape.in_h * shape.in_w, "activation size mismatch");
+    assert_eq!(indices.len(), shape.index_count(g), "index count mismatch");
+    assert!(act_bits >= 1, "need at least one activation bit");
+    let (lo, hi) = encoding.code_range(act_bits);
+    assert!(
+        codes.iter().all(|&c| (lo..=hi).contains(&c)),
+        "activation code outside [{lo}, {hi}]"
+    );
+
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let mut out = vec![0i32; shape.out_ch * oh * ow];
+
+    for k in 0..shape.out_ch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: i64 = 0;
+                for grp in 0..groups {
+                    for ky in 0..shape.kernel {
+                        let iy = geo.input_row(oy, ky);
+                        for kx in 0..shape.kernel {
+                            let ix = geo.input_col(ox, kx);
+                            let idx = indices
+                                [vector_position(k, grp, ky, kx, groups, shape.kernel, shape.kernel)]
+                                as usize;
+                            for j in 0..act_bits {
+                                let m = bit_pattern(
+                                    codes,
+                                    shape.in_h,
+                                    shape.in_w,
+                                    grp * g,
+                                    g,
+                                    iy,
+                                    ix,
+                                    j,
+                                );
+                                acc += encoding.bit_weight(j, act_bits)
+                                    * lut.code(idx, m) as i64;
+                            }
+                        }
+                    }
+                }
+                out[(k * oh + oy) * ow + ox] =
+                    i32::try_from(acc).expect("accumulator overflow");
+            }
+        }
+    }
+    out
+}
+
+/// Reference direct integer convolution (the CMSIS-style baseline):
+/// `[K, OH, OW]` accumulators from `[C, H, W]` activation codes and
+/// `[K, C, R, S]` quantized weights.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn direct_conv_acc(
+    codes: &[i32],
+    shape: &PooledConvShape,
+    weights: &[i8],
+) -> Vec<i32> {
+    assert_eq!(codes.len(), shape.in_ch * shape.in_h * shape.in_w, "activation size mismatch");
+    assert_eq!(
+        weights.len(),
+        shape.out_ch * shape.in_ch * shape.kernel * shape.kernel,
+        "weight size mismatch"
+    );
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let k_sz = shape.kernel;
+    let mut out = vec![0i32; shape.out_ch * oh * ow];
+    for k in 0..shape.out_ch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc: i64 = 0;
+                for c in 0..shape.in_ch {
+                    for ky in 0..k_sz {
+                        let iy = match geo.input_row(oy, ky) {
+                            Some(v) => v,
+                            None => continue,
+                        };
+                        for kx in 0..k_sz {
+                            let ix = match geo.input_col(ox, kx) {
+                                Some(v) => v,
+                                None => continue,
+                            };
+                            let a = codes[(c * shape.in_h + iy) * shape.in_w + ix] as i64;
+                            let w = weights[((k * shape.in_ch + c) * k_sz + ky) * k_sz + kx]
+                                as i64;
+                            acc += a * w;
+                        }
+                    }
+                }
+                out[(k * oh + oy) * ow + ox] =
+                    i32::try_from(acc).expect("accumulator overflow");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LutOrder, WeightPool};
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn shape_1x1(in_ch: usize, out_ch: usize, hw: usize) -> PooledConvShape {
+        PooledConvShape {
+            in_ch,
+            out_ch,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            in_h: hw,
+            in_w: hw,
+        }
+    }
+
+    /// With integer pool vectors whose LUT scale is exactly 1 (max entry =
+    /// qmax), the bit-serial accumulator must equal the plain integer dot
+    /// product.
+    #[test]
+    fn bitserial_equals_integer_dot_product() {
+        // Pool vector chosen so max |dot| = 127 exactly => scale = 1.
+        let pool = WeightPool::from_vectors(vec![
+            vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 0.0],
+        ]);
+        let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        assert!((lut.scale() - 1.0).abs() < 1e-6);
+
+        let shape = shape_1x1(8, 1, 1);
+        let codes: Vec<i32> = vec![3, 0, 1, 2, 5, 7, 1, 9];
+        let acc = bitserial_conv_acc(&codes, &shape, &[0], &lut, 8, ActEncoding::Unsigned);
+        let expect: i32 = codes
+            .iter()
+            .zip(pool.vector(0))
+            .map(|(&a, &w)| a * w as i32)
+            .sum();
+        assert_eq!(acc, vec![expect]);
+    }
+
+    #[test]
+    fn signed_encoding_handles_negative_codes() {
+        let pool = WeightPool::from_vectors(vec![
+            vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 0.0],
+        ]);
+        let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        let shape = shape_1x1(8, 1, 1);
+        let codes: Vec<i32> = vec![-3, 0, 1, -2, 5, -8, 1, 7];
+        let acc = bitserial_conv_acc(
+            &codes,
+            &shape,
+            &[0],
+            &lut,
+            8,
+            ActEncoding::SignedTwosComplement,
+        );
+        let expect: i32 = codes
+            .iter()
+            .zip(pool.vector(0))
+            .map(|(&a, &w)| a * w as i32)
+            .sum();
+        assert_eq!(acc, vec![expect]);
+    }
+
+    #[test]
+    fn truncating_bits_drops_low_bits() {
+        let pool = WeightPool::from_vectors(vec![
+            vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 0.0],
+        ]);
+        let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        let shape = shape_1x1(8, 1, 1);
+        // Codes fit in 4 bits; computing at 4 bits must equal full result.
+        let codes: Vec<i32> = vec![3, 7, 1, 2, 5, 15, 1, 9];
+        let full = bitserial_conv_acc(&codes, &shape, &[0], &lut, 8, ActEncoding::Unsigned);
+        let trunc = bitserial_conv_acc(&codes, &shape, &[0], &lut, 4, ActEncoding::Unsigned);
+        assert_eq!(full, trunc);
+    }
+
+    #[test]
+    fn padding_contributes_zero() {
+        let pool = WeightPool::from_vectors(vec![vec![1.0; 4]]);
+        let lut = LookupTable::build(&pool, 16, LutOrder::InputOriented);
+        let shape = PooledConvShape {
+            in_ch: 4,
+            out_ch: 1,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 1,
+            in_w: 1,
+        };
+        // Single pixel with code 1 in each channel; 3x3 kernel: only the
+        // center tap is inside.
+        let codes = vec![1i32; 4];
+        let indices = vec![0u8; 9];
+        let acc = bitserial_conv_acc(&codes, &shape, &indices, &lut, 8, ActEncoding::Unsigned);
+        // dot([1,1,1,1] bits) at one tap: LUT code for pattern 0b1111.
+        assert_eq!(acc, vec![lut.code(0, 0b1111)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation code outside")]
+    fn code_out_of_range_rejected() {
+        let pool = WeightPool::from_vectors(vec![vec![1.0; 4]]);
+        let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        let shape = shape_1x1(4, 1, 1);
+        bitserial_conv_acc(&[300, 0, 0, 0], &shape, &[0], &lut, 8, ActEncoding::Unsigned);
+    }
+
+    #[test]
+    fn direct_conv_matches_manual() {
+        let shape = PooledConvShape {
+            in_ch: 1,
+            out_ch: 1,
+            kernel: 3,
+            stride: 1,
+            pad: 0,
+            in_h: 3,
+            in_w: 3,
+        };
+        let codes: Vec<i32> = (1..=9).collect();
+        let weights: Vec<i8> = vec![1, 0, -1, 2, 0, -2, 1, 0, -1]; // Sobel-ish
+        let acc = direct_conv_acc(&codes, &shape, &weights);
+        let expect: i32 = codes
+            .iter()
+            .zip(&weights)
+            .map(|(&a, &w)| a * w as i32)
+            .sum();
+        assert_eq!(acc, vec![expect]);
+    }
+
+    /// The float reconstruction of the bit-serial accumulator must match a
+    /// float convolution with the pool weights, within LUT quantization
+    /// error bounds.
+    #[test]
+    fn float_reconstruction_close_to_float_conv() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = 8;
+        let pool_vecs: Vec<Vec<f32>> = (0..4)
+            .map(|_| (0..g).map(|_| rng.gen_range(-0.5f32..0.5)).collect())
+            .collect();
+        let pool = WeightPool::from_vectors(pool_vecs.clone());
+        let lut = LookupTable::build(&pool, 16, LutOrder::InputOriented);
+        let shape = PooledConvShape {
+            in_ch: 8,
+            out_ch: 2,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 5,
+            in_w: 5,
+        };
+        let act_scale = 0.05f32;
+        let codes: Vec<i32> = (0..8 * 25).map(|_| rng.gen_range(0..256)).collect();
+        let indices: Vec<u8> = (0..shape.index_count(g)).map(|_| rng.gen_range(0..4)).collect();
+
+        let acc = bitserial_conv_acc(&codes, &shape, &indices, &lut, 8, ActEncoding::Unsigned);
+
+        // Float reference: conv with weights = assigned pool vectors.
+        let geo = shape.geometry();
+        for k in 0..2 {
+            for oy in 0..5 {
+                for ox in 0..5 {
+                    let mut expect = 0.0f64;
+                    for grp in 0..1 {
+                        for ky in 0..3 {
+                            for kx in 0..3 {
+                                if let (Some(iy), Some(ix)) =
+                                    (geo.input_row(oy, ky), geo.input_col(ox, kx))
+                                {
+                                    let idx =
+                                        indices[((k + grp) * 3 + ky) * 3 + kx] as usize;
+                                    for i in 0..g {
+                                        let a = codes[((grp * g + i) * 5 + iy) * 5 + ix]
+                                            as f64
+                                            * act_scale as f64;
+                                        expect += a * pool_vecs[idx][i] as f64;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let got = acc[(k * 5 + oy) * 5 + ox] as f64
+                        * lut.scale() as f64
+                        * act_scale as f64;
+                    // 16-bit LUT: per-entry error <= scale/2; across
+                    // 9 taps x 8 bits the bound is 9*255*scale/2 roughly.
+                    let bound = 9.0 * 255.0 * lut.scale() as f64 * act_scale as f64;
+                    assert!(
+                        (got - expect).abs() <= bound,
+                        "k={k} oy={oy} ox={ox}: {got} vs {expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Bit-serial LUT conv at 16-bit LUT ≈ direct conv with the
+        /// quantized pool weights when pool entries are powers of two
+        /// (exactly representable).
+        #[test]
+        fn prop_linear_in_activation_codes(seed in 0u64..100) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let pool = WeightPool::from_vectors(vec![
+                vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 0.0],
+                vec![0.0, 64.0, 32.0, 16.0, 8.0, 4.0, 2.0, 1.0],
+            ]);
+            let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+            prop_assert!((lut.scale() - 1.0).abs() < 1e-6);
+            let shape = shape_1x1(8, 2, 2);
+            let codes: Vec<i32> = (0..8 * 4).map(|_| rng.gen_range(0..16)).collect();
+            let indices: Vec<u8> = (0..shape.index_count(8)).map(|_| rng.gen_range(0..2)).collect();
+            let acc = bitserial_conv_acc(&codes, &shape, &indices, &lut, 4, ActEncoding::Unsigned);
+            // Independent direct computation.
+            for k in 0..2 {
+                for p in 0..4 {
+                    let idx = indices[k] as usize;
+                    let expect: i32 = (0..8)
+                        .map(|i| codes[i * 4 + p] * pool.vector(idx)[i] as i32)
+                        .sum();
+                    prop_assert_eq!(acc[k * 4 + p], expect);
+                }
+            }
+        }
+    }
+}

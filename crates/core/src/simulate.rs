@@ -1,0 +1,605 @@
+//! Inference-time simulation of the bit-serial lookup-table implementation.
+//!
+//! The paper evaluates LUT-bitwidth and activation-bitwidth accuracy by
+//! simulating the bit-serial implementation inside the training framework
+//! (§5.3.2). This module does the same: a [`BitSerialSim`] is installed as
+//! a [`ConvOverride`] on each compressed convolution, and at eval time it
+//! quantizes its input activations, runs the **exact integer reference
+//! semantics** ([`crate::reference`]) against the quantized LUT, and
+//! rescales the accumulators back to floats for the rest of the network.
+//!
+//! Activation ranges are calibrated per conv by an observe pass (the
+//! override records its own input samples, then an iterative clip search
+//! picks the range — §5.3.3). Signed inputs (MobileNet-v2's linear
+//! bottlenecks) switch that conv to a two's-complement bit decomposition.
+
+use crate::compress::{for_each_conv_indexed, index_maps};
+use crate::reference::{bitserial_conv_acc, ActEncoding, PooledConvShape};
+use crate::{LookupTable, PoolConfig, WeightPool};
+use std::cell::RefCell;
+use std::rc::Rc;
+use wp_nn::train::Batch;
+use wp_nn::{Conv2d, ConvOverride, Sequential};
+use wp_quant::{search_unsigned_clip, QuantParams, UnsignedQuantParams};
+use wp_tensor::Tensor;
+
+/// What a [`BitSerialSim`] does on forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMode {
+    /// Run the plain float convolution (overrides effectively disabled).
+    Bypass,
+    /// Run the float convolution but record input samples for calibration.
+    Observe,
+    /// Run the bit-serial LUT arithmetic.
+    Simulate,
+}
+
+/// Calibrated activation quantizer for one conv input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActParams {
+    /// Post-ReLU inputs: unsigned codes, every bit weight positive.
+    Unsigned(UnsignedQuantParams),
+    /// Signed inputs: two's-complement codes, MSB weight negative.
+    Signed(QuantParams),
+}
+
+impl ActParams {
+    /// The quantization scale.
+    pub fn scale(&self) -> f32 {
+        match self {
+            ActParams::Unsigned(p) => p.scale(),
+            ActParams::Signed(p) => p.scale(),
+        }
+    }
+
+    /// The bit encoding this parameterization implies.
+    pub fn encoding(&self) -> ActEncoding {
+        match self {
+            ActParams::Unsigned(_) => ActEncoding::Unsigned,
+            ActParams::Signed(_) => ActEncoding::SignedTwosComplement,
+        }
+    }
+
+    /// Quantizes one value to a code valid for `bits`-bit decomposition.
+    #[inline]
+    pub fn quantize(&self, v: f32) -> i32 {
+        match self {
+            ActParams::Unsigned(p) => p.quantize(v) as i32,
+            ActParams::Signed(p) => p.quantize(v),
+        }
+    }
+
+    /// Re-derives the parameters at a new bitwidth, keeping the calibrated
+    /// clip range.
+    pub fn with_bits(&self, bits: u8) -> ActParams {
+        match self {
+            ActParams::Unsigned(p) => ActParams::Unsigned(p.with_bits(bits)),
+            ActParams::Signed(p) => {
+                let max_abs = p.scale() * p.qmax() as f32;
+                ActParams::Signed(QuantParams::symmetric_from_max_abs(max_abs, bits))
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SimState {
+    mode: SimMode,
+    act_bits: u8,
+    act_params: Option<ActParams>,
+    samples: Vec<f32>,
+    max_samples: usize,
+    indices: Vec<u8>,
+    lut: Rc<LookupTable>,
+    /// When set, partial dot products use exact float values instead of the
+    /// quantized LUT (isolates activation-quantization effects).
+    exact_pool: Option<Rc<WeightPool>>,
+}
+
+/// The per-conv bit-serial simulation override. Create via
+/// [`SimInstallation::install`].
+#[derive(Debug)]
+pub struct BitSerialSim {
+    state: RefCell<SimState>,
+}
+
+impl BitSerialSim {
+    /// Sets the mode.
+    pub fn set_mode(&self, mode: SimMode) {
+        self.state.borrow_mut().mode = mode;
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> SimMode {
+        self.state.borrow().mode
+    }
+
+    /// Number of recorded calibration samples.
+    pub fn sample_count(&self) -> usize {
+        self.state.borrow().samples.len()
+    }
+
+    /// Calibrated activation parameters, if any.
+    pub fn act_params(&self) -> Option<ActParams> {
+        self.state.borrow().act_params
+    }
+
+    /// Finalizes calibration: picks unsigned clip-searched or signed
+    /// symmetric parameters from the recorded samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn finalize(&self, search_steps: usize) {
+        let mut s = self.state.borrow_mut();
+        assert!(!s.samples.is_empty(), "finalize without calibration samples");
+        let has_negative = s.samples.iter().any(|&v| v < -1e-6);
+        let params = if has_negative {
+            let max_abs = s.samples.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            ActParams::Signed(QuantParams::symmetric_from_max_abs(max_abs, s.act_bits.max(2)))
+        } else {
+            ActParams::Unsigned(
+                search_unsigned_clip(&s.samples, s.act_bits, search_steps).params,
+            )
+        };
+        s.act_params = Some(params);
+        s.samples.clear();
+    }
+
+    /// Changes the activation bitwidth, preserving the calibrated range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`BitSerialSim::finalize`].
+    pub fn set_act_bits(&self, bits: u8) {
+        let mut s = self.state.borrow_mut();
+        s.act_bits = bits;
+        let p = s.act_params.expect("set_act_bits before calibration");
+        s.act_params = Some(p.with_bits(if matches!(p, ActParams::Signed(_)) {
+            bits.max(2)
+        } else {
+            bits
+        }));
+    }
+
+    fn record_samples(&self, input: &Tensor<f32>) {
+        let mut s = self.state.borrow_mut();
+        let remaining = s.max_samples.saturating_sub(s.samples.len());
+        if remaining == 0 {
+            return;
+        }
+        let stride = (input.len() / remaining).max(1);
+        let vals: Vec<f32> = input.data().iter().step_by(stride).take(remaining).copied().collect();
+        s.samples.extend(vals);
+    }
+
+    fn simulate(&self, conv: &Conv2d, input: &Tensor<f32>) -> Tensor<f32> {
+        let s = self.state.borrow();
+        let params = s.act_params.expect("Simulate mode without calibrated params");
+        let d = input.dims();
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let shape = PooledConvShape {
+            in_ch: c,
+            out_ch: conv.out_channels(),
+            kernel: conv.kernel(),
+            stride: conv.stride(),
+            pad: conv.pad(),
+            in_h: h,
+            in_w: w,
+        };
+        let geo = shape.geometry();
+        let (oh, ow) = (geo.out_h(), geo.out_w());
+        let mut out = Tensor::<f32>::zeros(&[n, shape.out_ch, oh, ow]);
+        let bias = conv.bias().data();
+        let act_scale = params.scale();
+        let plane = c * h * w;
+
+        for b in 0..n {
+            let codes: Vec<i32> = input.data()[b * plane..(b + 1) * plane]
+                .iter()
+                .map(|&v| params.quantize(v))
+                .collect();
+            let rescale: Vec<f32> = if let Some(pool) = &s.exact_pool {
+                // Exact partial dot products (no LUT quantization).
+                exact_bitserial(&codes, &shape, &s.indices, pool, s.act_bits, params.encoding())
+                    .into_iter()
+                    .map(|acc| acc as f32 * act_scale)
+                    .collect()
+            } else {
+                bitserial_conv_acc(
+                    &codes,
+                    &shape,
+                    &s.indices,
+                    &s.lut,
+                    s.act_bits,
+                    params.encoding(),
+                )
+                .into_iter()
+                .map(|acc| acc as f32 * s.lut.scale() * act_scale)
+                .collect()
+            };
+            let odata = out.data_mut();
+            let out_plane = shape.out_ch * oh * ow;
+            for k in 0..shape.out_ch {
+                for p in 0..oh * ow {
+                    odata[b * out_plane + k * oh * ow + p] =
+                        rescale[k * oh * ow + p] + bias[k];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Exact-value bit-serial accumulation (float partial dot products),
+/// returned in units of the activation scale.
+fn exact_bitserial(
+    codes: &[i32],
+    shape: &PooledConvShape,
+    indices: &[u8],
+    pool: &WeightPool,
+    act_bits: u8,
+    encoding: ActEncoding,
+) -> Vec<f64> {
+    let g = pool.group_size();
+    let groups = shape.groups(g);
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let mut out = vec![0.0f64; shape.out_ch * oh * ow];
+    for k in 0..shape.out_ch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f64;
+                for grp in 0..groups {
+                    for ky in 0..shape.kernel {
+                        for kx in 0..shape.kernel {
+                            let (iy, ix) = match (geo.input_row(oy, ky), geo.input_col(ox, kx)) {
+                                (Some(y), Some(x)) => (y, x),
+                                _ => continue,
+                            };
+                            let idx = indices[crate::grouping::vector_position(
+                                k,
+                                grp,
+                                ky,
+                                kx,
+                                groups,
+                                shape.kernel,
+                                shape.kernel,
+                            )] as usize;
+                            let v = pool.vector(idx);
+                            for j in 0..act_bits {
+                                let mut m = 0u32;
+                                for i in 0..g {
+                                    let code =
+                                        codes[((grp * g + i) * shape.in_h + iy) * shape.in_w + ix];
+                                    m |= (((code >> j) & 1) as u32) << i;
+                                }
+                                acc += encoding.bit_weight(j, act_bits) as f64
+                                    * LookupTable::exact_dot(v, m) as f64;
+                            }
+                        }
+                    }
+                }
+                out[(k * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Plain float convolution used for Bypass/Observe modes (overrides cannot
+/// call the conv's own forward).
+fn float_conv(conv: &Conv2d, input: &Tensor<f32>) -> Tensor<f32> {
+    let d = input.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let geo = conv.geometry_for(h, w);
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let k_sz = conv.kernel();
+    let kc = conv.out_channels();
+    let mut out = Tensor::<f32>::zeros(&[n, kc, oh, ow]);
+    let wdat = conv.weight().data();
+    let bdat = conv.bias().data();
+    for b in 0..n {
+        for f in 0..kc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bdat[f];
+                    for ch in 0..c {
+                        for ky in 0..k_sz {
+                            let iy = match geo.input_row(oy, ky) {
+                                Some(v) => v,
+                                None => continue,
+                            };
+                            for kx in 0..k_sz {
+                                let ix = match geo.input_col(ox, kx) {
+                                    Some(v) => v,
+                                    None => continue,
+                                };
+                                acc += input.get4(b, ch, iy, ix)
+                                    * wdat[((f * c + ch) * k_sz + ky) * k_sz + kx];
+                            }
+                        }
+                    }
+                    out.set4(b, f, oy, ox, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl ConvOverride for BitSerialSim {
+    fn forward(&self, conv: &Conv2d, input: &Tensor<f32>) -> Tensor<f32> {
+        let mode = self.state.borrow().mode;
+        match mode {
+            SimMode::Bypass => float_conv(conv, input),
+            SimMode::Observe => {
+                self.record_samples(input);
+                float_conv(conv, input)
+            }
+            SimMode::Simulate => self.simulate(conv, input),
+        }
+    }
+}
+
+/// The set of simulation overrides installed on a model, one per
+/// compressed conv (by traversal position).
+#[derive(Debug)]
+pub struct SimInstallation {
+    /// `Some(sim)` for each compressed conv position, `None` for skipped.
+    pub sims: Vec<Option<Rc<BitSerialSim>>>,
+}
+
+impl SimInstallation {
+    /// Installs bit-serial simulation overrides on every compressed conv of
+    /// `model`. The model should already be projected onto `pool` (the
+    /// index maps are derived from current weights). Sims start in
+    /// [`SimMode::Observe`].
+    ///
+    /// Pass `exact_lut = true` to bypass LUT quantization (the ablation
+    /// isolating activation effects).
+    pub fn install(
+        model: &mut Sequential,
+        pool: &WeightPool,
+        lut: LookupTable,
+        cfg: &PoolConfig,
+        act_bits: u8,
+        exact_lut: bool,
+    ) -> Self {
+        let maps = index_maps(model, pool, cfg);
+        let lut = Rc::new(lut);
+        let pool_rc = Rc::new(pool.clone());
+        let mut sims: Vec<Option<Rc<BitSerialSim>>> = Vec::with_capacity(maps.len());
+        for map in maps {
+            sims.push(map.map(|indices| {
+                Rc::new(BitSerialSim {
+                    state: RefCell::new(SimState {
+                        mode: SimMode::Observe,
+                        act_bits,
+                        act_params: None,
+                        samples: Vec::new(),
+                        max_samples: 4096,
+                        indices,
+                        lut: Rc::clone(&lut),
+                        exact_pool: exact_lut.then(|| Rc::clone(&pool_rc)),
+                    }),
+                })
+            }));
+        }
+        let install = Self { sims };
+        for_each_conv_indexed(model, |pos, conv| {
+            if let Some(Some(sim)) = install.sims.get(pos) {
+                let rc: Rc<dyn ConvOverride> = Rc::clone(sim) as Rc<dyn ConvOverride>;
+                conv.set_override(Some(rc));
+            }
+        });
+        install
+    }
+
+    /// Sets every sim's mode.
+    pub fn set_mode(&self, mode: SimMode) {
+        for sim in self.sims.iter().flatten() {
+            sim.set_mode(mode);
+        }
+    }
+
+    /// Finalizes every sim's calibration.
+    pub fn finalize(&self, search_steps: usize) {
+        for sim in self.sims.iter().flatten() {
+            sim.finalize(search_steps);
+        }
+    }
+
+    /// Changes every sim's activation bitwidth, keeping calibrated ranges.
+    pub fn set_act_bits(&self, bits: u8) {
+        for sim in self.sims.iter().flatten() {
+            sim.set_act_bits(bits);
+        }
+    }
+
+    /// Removes all overrides from `model`.
+    pub fn uninstall(&self, model: &mut Sequential) {
+        for_each_conv_indexed(model, |pos, conv| {
+            if matches!(self.sims.get(pos), Some(Some(_))) {
+                conv.set_override(None);
+            }
+        });
+    }
+}
+
+/// Convenience pipeline: install sims on a projected model, calibrate on
+/// `calib` batches, and arm simulation at `act_bits`.
+pub fn calibrate_and_arm(
+    model: &mut Sequential,
+    pool: &WeightPool,
+    lut: LookupTable,
+    cfg: &PoolConfig,
+    calib: &[Batch],
+    act_bits: u8,
+    exact_lut: bool,
+) -> SimInstallation {
+    let install = SimInstallation::install(model, pool, lut, cfg, act_bits, exact_lut);
+    for batch in calib {
+        model.forward(&batch.images, false);
+    }
+    install.finalize(40);
+    install.set_mode(SimMode::Simulate);
+    install
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{build_pool, project};
+    use crate::LutOrder;
+    use rand::SeedableRng;
+    use wp_cluster::DistanceMetric;
+    use wp_nn::{GlobalAvgPool, Relu};
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// Builds a small projected model + pool + a test batch.
+    fn setup(seed: u64) -> (Sequential, WeightPool, PoolConfig, Tensor<f32>) {
+        let mut r = rng(seed);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(3, 8, 3, 1, 1, &mut r));
+        net.push(Relu::new());
+        net.push(Conv2d::new(8, 8, 3, 1, 1, &mut r));
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        net.push(wp_nn::Dense::new(8, 4, &mut r));
+        let cfg = PoolConfig::new(8).group_size(8).metric(DistanceMetric::Euclidean);
+        let pool = build_pool(&mut net, &cfg, &mut r).unwrap();
+        project(&mut net, &pool, &cfg);
+        let mut x = Tensor::<f32>::zeros(&[2, 3, 6, 6]);
+        wp_tensor::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        (net, pool, cfg, x)
+    }
+
+    #[test]
+    fn bypass_matches_normal_forward() {
+        let (mut net, pool, cfg, x) = setup(0);
+        let baseline = net.forward(&x, false);
+        let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        let install = SimInstallation::install(&mut net, &pool, lut, &cfg, 8, false);
+        install.set_mode(SimMode::Bypass);
+        let bypass = net.forward(&x, false);
+        for (a, b) in baseline.data().iter().zip(bypass.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        install.uninstall(&mut net);
+        let restored = net.forward(&x, false);
+        assert_eq!(restored.dims(), baseline.dims());
+    }
+
+    #[test]
+    fn simulate_with_fine_lut_close_to_float() {
+        let (mut net, pool, cfg, x) = setup(1);
+        let baseline = net.forward(&x, false);
+        let lut = LookupTable::build(&pool, 16, LutOrder::InputOriented);
+        let install = SimInstallation::install(&mut net, &pool, lut, &cfg, 8, false);
+        // Calibrate on the input itself.
+        net.forward(&x, false);
+        install.finalize(40);
+        install.set_mode(SimMode::Simulate);
+        let sim = net.forward(&x, false);
+        // 16-bit LUT + 8-bit activations: logits should track closely.
+        for (a, b) in baseline.data().iter().zip(sim.data()) {
+            assert!(
+                (a - b).abs() < 0.15 * a.abs().max(1.0),
+                "baseline {a} vs simulated {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_act_bits_increase_error() {
+        let (mut net, pool, cfg, x) = setup(2);
+        let baseline = net.forward(&x, false);
+        let lut = LookupTable::build(&pool, 16, LutOrder::InputOriented);
+        let install = SimInstallation::install(&mut net, &pool, lut, &cfg, 8, false);
+        net.forward(&x, false);
+        install.finalize(40);
+        install.set_mode(SimMode::Simulate);
+
+        let err_at = |install: &SimInstallation, net: &mut Sequential, bits: u8| -> f64 {
+            install.set_act_bits(bits);
+            let y = net.forward(&x, false);
+            baseline
+                .data()
+                .iter()
+                .zip(y.data())
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+        };
+        let e8 = err_at(&install, &mut net, 8);
+        let e2 = err_at(&install, &mut net, 2);
+        assert!(e2 > e8, "2-bit error {e2} not worse than 8-bit {e8}");
+    }
+
+    #[test]
+    fn exact_lut_beats_4bit_lut() {
+        let (mut net, pool, cfg, x) = setup(3);
+        let baseline = net.forward(&x, false);
+
+        let run = |exact: bool, bits: u8, net: &mut Sequential| -> f64 {
+            let lut = LookupTable::build(&pool, bits, LutOrder::InputOriented);
+            let install = SimInstallation::install(net, &pool, lut, &cfg, 8, exact);
+            net.forward(&x, false);
+            install.finalize(40);
+            install.set_mode(SimMode::Simulate);
+            let y = net.forward(&x, false);
+            install.uninstall(net);
+            baseline
+                .data()
+                .iter()
+                .zip(y.data())
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+        };
+        let e_exact = run(true, 8, &mut net);
+        let e4 = run(false, 4, &mut net);
+        assert!(e4 >= e_exact, "4-bit LUT {e4} not worse than exact {e_exact}");
+    }
+
+    #[test]
+    fn signed_inputs_get_signed_params() {
+        let mut r = rng(4);
+        let mut net = Sequential::new();
+        // No ReLU before the compressed conv: inputs can be negative.
+        net.push(Conv2d::new(3, 8, 3, 1, 1, &mut r));
+        net.push(Conv2d::new(8, 8, 1, 1, 0, &mut r));
+        let cfg = PoolConfig::new(4).group_size(8).metric(DistanceMetric::Euclidean);
+        let pool = build_pool(&mut net, &cfg, &mut r).unwrap();
+        project(&mut net, &pool, &cfg);
+        let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        let install = SimInstallation::install(&mut net, &pool, lut, &cfg, 8, false);
+        let mut x = Tensor::<f32>::zeros(&[1, 3, 4, 4]);
+        wp_tensor::fill_uniform(&mut x, -1.0, 1.0, &mut r);
+        net.forward(&x, false);
+        install.finalize(20);
+        let sim = install.sims[1].as_ref().unwrap();
+        assert!(matches!(sim.act_params(), Some(ActParams::Signed(_))));
+        // And simulation still runs.
+        install.set_mode(SimMode::Simulate);
+        let y = net.forward(&x, false);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn calibrate_and_arm_convenience() {
+        let (mut net, pool, cfg, x) = setup(5);
+        let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        let batch = Batch::new(x.clone(), vec![0, 1]);
+        let install =
+            calibrate_and_arm(&mut net, &pool, lut, &cfg, &[batch], 8, false);
+        for sim in install.sims.iter().flatten() {
+            assert_eq!(sim.mode(), SimMode::Simulate);
+            assert!(sim.act_params().is_some());
+        }
+        let y = net.forward(&x, false);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,256 @@
+//! XY-dimension weight pooling: the Figure 4 baseline.
+//!
+//! Prior weight-sharing work (Son et al., 2018) clusters whole 2D
+//! convolution kernels (e.g. 3×3 slices), optionally with a per-kernel
+//! scaling coefficient fit by least squares. The paper benchmarks this
+//! against its z-dimension pools in Figure 4; this module implements both
+//! xy variants so the comparison can be regenerated.
+
+use rand::Rng;
+use wp_cluster::{DistanceMetric, KMeans};
+use wp_tensor::Tensor;
+
+use crate::PoolError;
+
+/// A pool of shared 2D kernels (flattened `R×S` vectors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct XyPool {
+    vectors: Vec<Vec<f32>>,
+    kernel: usize,
+}
+
+impl XyPool {
+    /// Builds a pool by K-means over flattened kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError`] if `samples` is empty or clustering fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if samples are not all `kernel²` long.
+    pub fn build(
+        samples: &[Vec<f32>],
+        pool_size: usize,
+        kernel: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, PoolError> {
+        if samples.is_empty() {
+            return Err(PoolError::NoVectors);
+        }
+        assert!(
+            samples.iter().all(|s| s.len() == kernel * kernel),
+            "kernel samples must be {0}x{0}",
+            kernel
+        );
+        let result = KMeans::new(pool_size, DistanceMetric::Euclidean)
+            .max_iters(50)
+            .fit(samples, rng)?;
+        Ok(Self { vectors: result.centroids, kernel })
+    }
+
+    /// Number of shared kernels.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the pool is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Nearest pool kernel without scaling (plain Euclidean).
+    pub fn assign_plain(&self, kernel: &[f32]) -> usize {
+        wp_cluster::nearest(kernel, &self.vectors, DistanceMetric::Euclidean).0
+    }
+
+    /// Best `(index, coefficient)` pair minimizing `‖k − α·p‖²` where
+    /// `α = (k·p)/(p·p)` per candidate.
+    pub fn assign_scaled(&self, kernel: &[f32]) -> (usize, f32) {
+        let mut best = (0usize, 0.0f32);
+        let mut best_err = f32::INFINITY;
+        for (s, p) in self.vectors.iter().enumerate() {
+            let pp: f32 = p.iter().map(|v| v * v).sum();
+            let alpha = if pp > 0.0 {
+                kernel.iter().zip(p).map(|(a, b)| a * b).sum::<f32>() / pp
+            } else {
+                0.0
+            };
+            let err: f32 = kernel
+                .iter()
+                .zip(p)
+                .map(|(a, b)| (a - alpha * b) * (a - alpha * b))
+                .sum();
+            if err < best_err {
+                best_err = err;
+                best = (s, alpha);
+            }
+        }
+        best
+    }
+
+    /// The `s`-th shared kernel.
+    pub fn vector(&self, s: usize) -> &[f32] {
+        &self.vectors[s]
+    }
+}
+
+/// Extracts every `kernel×kernel` 2D slice of a `[K, C, R, S]` weight
+/// tensor as a flattened vector (c-major within filter).
+///
+/// # Panics
+///
+/// Panics if the weight is not rank 4 or its kernel does not match.
+pub fn extract_xy_kernels(weight: &Tensor<f32>, kernel: usize) -> Vec<Vec<f32>> {
+    let d = weight.dims();
+    assert_eq!(d.len(), 4, "expected [K, C, R, S] weights");
+    assert_eq!(d[2], kernel, "kernel height mismatch");
+    assert_eq!(d[3], kernel, "kernel width mismatch");
+    let mut out = Vec::with_capacity(d[0] * d[1]);
+    for k in 0..d[0] {
+        for c in 0..d[1] {
+            let mut v = Vec::with_capacity(kernel * kernel);
+            for r in 0..kernel {
+                for s in 0..kernel {
+                    v.push(weight.get4(k, c, r, s));
+                }
+            }
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Replaces every 2D kernel slice with its assigned pool kernel
+/// (optionally scaled), in place. Returns the mean squared projection
+/// error.
+///
+/// # Panics
+///
+/// Panics on shape mismatches (see [`extract_xy_kernels`]).
+pub fn project_xy(weight: &mut Tensor<f32>, pool: &XyPool, with_coeff: bool) -> f64 {
+    let d = weight.dims().to_vec();
+    let kernel = pool.kernel();
+    assert_eq!(d[2], kernel, "kernel mismatch");
+    let mut err = 0.0f64;
+    let mut n = 0usize;
+    for k in 0..d[0] {
+        for c in 0..d[1] {
+            let mut v = Vec::with_capacity(kernel * kernel);
+            for r in 0..kernel {
+                for s in 0..kernel {
+                    v.push(weight.get4(k, c, r, s));
+                }
+            }
+            let (idx, alpha) = if with_coeff {
+                pool.assign_scaled(&v)
+            } else {
+                (pool.assign_plain(&v), 1.0)
+            };
+            let p = pool.vector(idx);
+            for r in 0..kernel {
+                for s in 0..kernel {
+                    let new = alpha * p[r * kernel + s];
+                    err += ((v[r * kernel + s] - new) as f64).powi(2);
+                    n += 1;
+                    weight.set4(k, c, r, s, new);
+                }
+            }
+        }
+    }
+    err / n.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn extract_kernels_flattens_rows() {
+        let mut w = Tensor::<f32>::zeros(&[1, 2, 2, 2]);
+        for (i, v) in w.data_mut().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let ks = extract_xy_kernels(&w, 2);
+        assert_eq!(ks, vec![vec![0.0, 1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0, 7.0]]);
+    }
+
+    #[test]
+    fn scaled_assignment_finds_scaled_match() {
+        // Pool has direction [1, 0]; kernel 5*[1, 0] should be recovered
+        // exactly with a coefficient.
+        let pool = XyPool {
+            vectors: vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]],
+            kernel: 2,
+        };
+        let (idx, alpha) = pool.assign_scaled(&[5.0, 0.0, 0.0, 0.0]);
+        assert_eq!(idx, 0);
+        assert!((alpha - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plain_assignment_ignores_scale() {
+        let pool = XyPool {
+            vectors: vec![vec![1.0, 0.0, 0.0, 0.0], vec![4.0, 0.0, 0.0, 0.0]],
+            kernel: 2,
+        };
+        // 5*[1,0..] is closer to [4,0..] in Euclidean distance.
+        assert_eq!(pool.assign_plain(&[5.0, 0.0, 0.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn project_scaled_beats_plain() {
+        // Kernels at many scales of few directions: coefficients matter.
+        let mut r = rng(0);
+        let mut samples = Vec::new();
+        for _ in 0..60 {
+            let scale: f32 = r.gen_range(0.1..3.0);
+            let dir = if r.gen_bool(0.5) {
+                vec![1.0, 0.0, 0.5, 0.0, 1.0, 0.0, 0.5, 0.0, 1.0]
+            } else {
+                vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]
+            };
+            samples.push(dir.iter().map(|v| v * scale).collect());
+        }
+        let pool = XyPool::build(&samples, 4, 3, &mut r).unwrap();
+
+        let mut w_plain = Tensor::<f32>::zeros(&[4, 15, 3, 3]);
+        for (i, v) in w_plain.data_mut().iter_mut().enumerate() {
+            let s = &samples[i / 9 % samples.len()];
+            *v = s[i % 9];
+        }
+        let mut w_scaled = w_plain.clone();
+        let err_plain = project_xy(&mut w_plain, &pool, false);
+        let err_scaled = project_xy(&mut w_scaled, &pool, true);
+        assert!(
+            err_scaled <= err_plain + 1e-9,
+            "scaled {err_scaled} worse than plain {err_plain}"
+        );
+    }
+
+    #[test]
+    fn empty_samples_error() {
+        let mut r = rng(1);
+        assert!(matches!(XyPool::build(&[], 4, 3, &mut r), Err(PoolError::NoVectors)));
+    }
+
+    #[test]
+    fn project_exact_pool_member_zero_error() {
+        let sample = vec![0.5f32; 9];
+        let pool = XyPool { vectors: vec![sample.clone()], kernel: 3 };
+        let mut w = Tensor::<f32>::zeros(&[1, 1, 3, 3]);
+        w.data_mut().copy_from_slice(&sample);
+        let err = project_xy(&mut w, &pool, false);
+        assert!(err < 1e-12);
+    }
+}

@@ -1,0 +1,750 @@
+//! The bit-serial lookup-table convolution (paper §3.1, §4, Algorithm 1).
+//!
+//! One kernel, four independently toggleable optimizations:
+//!
+//! * **input reuse** (§4.1) — bit-unpack each activation group once per
+//!   (output pixel, tap, group) and share the decomposed bit rows across
+//!   all filters; disabling it models the naive implementation that
+//!   unpacks inside the filter loop (the "roughly 9× slower" variant);
+//! * **LUT caching** (§4.2) — before the filter loop, copy the `M` active
+//!   LUT blocks (one per activation bit row) from flash into SRAM, so the
+//!   per-filter lookups hit SRAM. Input-oriented LUT order makes each block
+//!   a contiguous word-copy; weight-oriented order degrades to byte
+//!   gathers, which is why the paper picks input-oriented;
+//! * **precomputation** (§4.3) — when a layer has more filters than the
+//!   pool has vectors, compute each pool vector's partial dot product once
+//!   per (pixel, tap, group) and let every filter fetch its result by
+//!   index;
+//! * **memoization** (appendix) — the lazy alternative: compute a pool
+//!   vector's partial on first use inside the filter loop and reuse it
+//!   afterwards, paying a per-filter flag check.
+//!
+//! The arithmetic is identical in every configuration and is checked
+//! bit-for-bit against [`wp_core::reference::bitserial_conv_acc`]; only the
+//! charged cycles differ.
+
+use crate::common::OutputQuant;
+use wp_core::reference::{ActEncoding, PooledConvShape};
+use wp_core::{LookupTable, LutOrder};
+use wp_mcu::Mcu;
+
+/// Precomputation policy (paper §4.3: beneficial iff `filters > pool`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrecomputeMode {
+    /// Enable exactly when the layer has more filters than pool vectors.
+    #[default]
+    Auto,
+    /// Always precompute.
+    ForceOn,
+    /// Never precompute.
+    ForceOff,
+}
+
+/// Configuration of one bit-serial convolution invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct BitSerialOptions {
+    /// Activation bitwidth `M` (1–8); runtime scales with it.
+    pub act_bits: u8,
+    /// Bit decomposition (unsigned post-ReLU or signed two's complement).
+    pub encoding: ActEncoding,
+    /// Share bit unpacking across filters (§4.1). Disabling also disables
+    /// caching/precomputation (they presuppose the shared dataflow).
+    pub input_reuse: bool,
+    /// Cache active LUT blocks in SRAM (§4.2).
+    pub lut_cache: bool,
+    /// Precomputation policy (§4.3).
+    pub precompute: PrecomputeMode,
+    /// Use memoization instead of precomputation (appendix comparison).
+    /// Ignored unless precomputation resolves to off.
+    pub memoize: bool,
+}
+
+impl Default for BitSerialOptions {
+    fn default() -> Self {
+        Self {
+            act_bits: 8,
+            encoding: ActEncoding::Unsigned,
+            input_reuse: true,
+            lut_cache: true,
+            precompute: PrecomputeMode::Auto,
+            memoize: false,
+        }
+    }
+}
+
+impl BitSerialOptions {
+    /// The paper's deployment configuration at a given activation bitwidth.
+    pub fn paper_default(act_bits: u8) -> Self {
+        Self { act_bits, ..Self::default() }
+    }
+
+    fn precompute_on(&self, out_ch: usize, pool_size: usize) -> bool {
+        if !self.input_reuse {
+            return false;
+        }
+        match self.precompute {
+            PrecomputeMode::Auto => out_ch > pool_size,
+            PrecomputeMode::ForceOn => true,
+            PrecomputeMode::ForceOff => false,
+        }
+    }
+}
+
+/// Bit-unpacks one activation group at `(iy, ix)` into 8 bit-pattern rows
+/// (the paper's implementation always unpacks the full stored byte — the
+/// "fixed bit unpacking overhead" of Figure 8).
+#[inline]
+fn unpack_group(
+    mcu: &mut Mcu,
+    codes: &[i32],
+    in_h: usize,
+    in_w: usize,
+    base_ch: usize,
+    g: usize,
+    iy: usize,
+    ix: usize,
+    naive: bool,
+) -> [usize; 8] {
+    let mut rows = [0usize; 8];
+    if naive {
+        // The naive implementation of S4.1: iterate over every element and
+        // every bit (the "64 iterations ... for a single dot product"),
+        // extracting one bit at a time.
+        for _ in 0..g {
+            mcu.loop_iter();
+            mcu.load_sram();
+            mcu.alu_n(3 * 8); // shift+mask+or per bit
+        }
+        for _ in 0..8 {
+            mcu.store_sram_word();
+        }
+    } else {
+        // Optimized: load the G activation bytes as words and run the
+        // classic SWAR 8x8 bit-matrix transpose (Hacker's Delight
+        // transpose8), ~4 ALU ops per element, then store the 8 bit rows.
+        // All 8 rows are produced regardless of the activation bitwidth -
+        // the "fixed bit unpacking overhead" visible in Figure 8.
+        for _ in 0..g.div_ceil(4) {
+            mcu.load_sram_word();
+        }
+        mcu.alu_n(4 * g as u64);
+        for _ in 0..8 {
+            mcu.store_sram_word();
+        }
+    }
+    for i in 0..g {
+        let code = (codes[(base_ch + i) * in_h * in_w + iy * in_w + ix] & 0xFF) as usize;
+        for (j, row) in rows.iter_mut().enumerate() {
+            *row |= ((code >> j) & 1) << i;
+        }
+    }
+    rows
+}
+
+/// Fetches the LUT entry for pool vector `s` at bit row `j`, charging
+/// either a cached-SRAM or a flash access pattern.
+#[inline]
+fn lut_fetch(
+    mcu: &mut Mcu,
+    lut: &LookupTable,
+    cached: bool,
+    s: usize,
+    rows: &[usize; 8],
+    j: usize,
+) -> i32 {
+    if cached {
+        // cache[j * S + s]: address arithmetic + SRAM load.
+        mcu.alu();
+        mcu.load_sram();
+    } else {
+        // Load the bit row, form the address, read flash.
+        mcu.load_sram();
+        mcu.alu();
+        mcu.load_flash();
+    }
+    lut.code(s, rows[j])
+}
+
+/// Computes the `M`-bit partial dot product for pool vector `s` via
+/// MSB-first shift-accumulate (Algorithm 1 lines 11–13 / 19–21).
+#[inline]
+fn partial_dot(
+    mcu: &mut Mcu,
+    lut: &LookupTable,
+    cached: bool,
+    s: usize,
+    rows: &[usize; 8],
+    opts: &BitSerialOptions,
+) -> i32 {
+    let m = opts.act_bits as usize;
+    let mut partial = 0i32;
+    // The bit loop is fully unrolled in deployment (M is a compile-time
+    // specialization, M <= 8): a pointer bump per bit instead of per-bit
+    // branch overhead; the caller's loop bookkeeping covers the rest.
+    for jj in 0..m {
+        let j = m - 1 - jj;
+        let e = lut_fetch(mcu, lut, cached, s, rows, j);
+        mcu.alu(); // shift-and-accumulate (single cycle via barrel shifter)
+        mcu.alu(); // pointer/row bump of the unrolled step
+        if jj == 0 && opts.encoding == ActEncoding::SignedTwosComplement {
+            partial = -e;
+        } else {
+            partial = (partial << 1) + e;
+        }
+    }
+    partial
+}
+
+/// Charges the cost of copying the `M` active LUT blocks into SRAM
+/// (§4.2). Input-oriented order copies each block as contiguous words;
+/// weight-oriented order pays per-entry gathers.
+fn charge_cache_copy(mcu: &mut Mcu, lut: &LookupTable, m_bits: usize) {
+    let s_count = lut.pool_size();
+    let entry_bytes = (lut.bits() as usize).div_ceil(8);
+    for _ in 0..m_bits {
+        mcu.loop_iter();
+        mcu.load_sram(); // the bit row selecting the block
+        mcu.alu(); // block base address
+        match lut.order() {
+            LutOrder::InputOriented => {
+                // A contiguous block: burst-read from flash (sequential
+                // words stream from the 128-bit flash line) and
+                // multiple-store to SRAM.
+                let words = (s_count * entry_bytes).div_ceil(4) as u64;
+                mcu.load_flash_burst(words);
+                mcu.store_sram_burst(words);
+                mcu.loop_iters(words.div_ceil(4));
+            }
+            LutOrder::WeightOriented => {
+                for _ in 0..s_count {
+                    mcu.load_flash();
+                    mcu.store_sram();
+                    mcu.loop_iter();
+                }
+            }
+        }
+    }
+}
+
+/// The bit-serial weight-pool convolution. Returns output codes
+/// `[K, OH, OW]` after bias add, requantization and optional fused ReLU.
+///
+/// `codes` is the `[C, H, W]` activation plane (values must fit
+/// `opts.act_bits` under `opts.encoding`); `indices` the canonical-order
+/// pool indices (`wp-core::grouping`); `bias` per-filter accumulator-scale
+/// biases stored in flash.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or if scratch buffers exceed device SRAM.
+pub fn conv_bitserial(
+    mcu: &mut Mcu,
+    codes: &[i32],
+    shape: &PooledConvShape,
+    indices: &[u8],
+    lut: &LookupTable,
+    bias: &[i32],
+    oq: &OutputQuant,
+    opts: &BitSerialOptions,
+) -> Vec<i32> {
+    let g = lut.group_size();
+    let groups = shape.groups(g);
+    let s_count = lut.pool_size();
+    let m_bits = opts.act_bits as usize;
+    assert!(m_bits >= 1 && m_bits <= 8, "activation bits must be 1..=8");
+    assert_eq!(codes.len(), shape.in_ch * shape.in_h * shape.in_w, "activation size mismatch");
+    assert_eq!(indices.len(), shape.index_count(g), "index count mismatch");
+    assert_eq!(bias.len(), shape.out_ch, "bias size mismatch");
+
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let k_count = shape.out_ch;
+    let precompute = opts.precompute_on(k_count, s_count);
+    let cache_on = opts.lut_cache && opts.input_reuse;
+    let memoize = opts.memoize && opts.input_reuse && !precompute;
+
+    // --- SRAM reservations ------------------------------------------------
+    let acc_bytes = k_count * 4;
+    let rows_bytes = 8 * 4;
+    let entry_bytes = (lut.bits() as usize).div_ceil(8);
+    let cache_bytes = if cache_on { m_bits * s_count * entry_bytes } else { 0 };
+    let results_bytes = if precompute || memoize { s_count * 4 } else { 0 };
+    let flags_bytes = if memoize { s_count.div_ceil(8) } else { 0 };
+    let scratch = acc_bytes + rows_bytes + cache_bytes + results_bytes + flags_bytes;
+    mcu.alloc_sram(scratch).expect("bit-serial scratch exceeds SRAM");
+    mcu.call();
+
+    let mut acc = vec![0i64; k_count];
+    let mut results = vec![0i32; s_count];
+    let mut flags = vec![false; s_count];
+    let mut out = vec![0i32; k_count * oh * ow];
+
+    for oy in 0..oh {
+        mcu.loop_iter();
+        for ox in 0..ow {
+            mcu.loop_iter();
+            // Zero the per-pixel accumulators (word stores).
+            for a in acc.iter_mut() {
+                *a = 0;
+            }
+            mcu.loop_iters((k_count as u64).div_ceil(4));
+            for _ in 0..k_count {
+                mcu.store_sram_word();
+            }
+
+            for ky in 0..shape.kernel {
+                mcu.loop_iter();
+                let iy = match geo.input_row(oy, ky) {
+                    Some(v) => v,
+                    None => {
+                        mcu.branch();
+                        continue;
+                    }
+                };
+                for kx in 0..shape.kernel {
+                    mcu.loop_iter();
+                    let ix = match geo.input_col(ox, kx) {
+                        Some(v) => v,
+                        None => {
+                            mcu.branch();
+                            continue;
+                        }
+                    };
+                    for grp in 0..groups {
+                        mcu.loop_iter();
+                        mcu.alu_n(2); // index/base address arithmetic
+                        let idx_base = crate::index_base(grp, ky, kx, shape.kernel);
+
+                        if opts.input_reuse {
+                            let rows = unpack_group(
+                                mcu, codes, shape.in_h, shape.in_w, grp * g, g, iy, ix, false,
+                            );
+                            if cache_on {
+                                charge_cache_copy(mcu, lut, m_bits);
+                            }
+                            if precompute {
+                                // Compute every pool vector's partial once.
+                                for (s, slot) in results.iter_mut().enumerate() {
+                                    mcu.loop_iter();
+                                    *slot = partial_dot(mcu, lut, cache_on, s, &rows, opts);
+                                    mcu.store_sram_word();
+                                }
+                                for (k, a) in acc.iter_mut().enumerate() {
+                                    mcu.loop_iter();
+                                    // Indices are bytes; load 4 per flash
+                                    // word and extract (they are shared
+                                    // across activation bits, §3.3).
+                                    if k % 4 == 0 {
+                                        mcu.load_flash_word();
+                                    }
+                                    mcu.alu(); // extract index byte
+                                    let idx = indices[k * groups * shape.kernel * shape.kernel
+                                        + idx_base] as usize;
+                                    mcu.load_sram_word(); // precomputed result
+                                    mcu.load_sram_word(); // accumulator
+                                    mcu.alu();
+                                    mcu.store_sram_word();
+                                    *a += results[idx] as i64;
+                                }
+                            } else if memoize {
+                                for f in flags.iter_mut() {
+                                    *f = false;
+                                }
+                                mcu.loop_iters((s_count as u64).div_ceil(32));
+                                for _ in 0..s_count.div_ceil(32) {
+                                    mcu.store_sram_word();
+                                }
+                                for (k, a) in acc.iter_mut().enumerate() {
+                                    mcu.loop_iter();
+                                    if k % 4 == 0 {
+                                        mcu.load_flash_word(); // 4 index bytes
+                                    }
+                                    mcu.alu(); // extract index byte
+                                    let idx = indices[k * groups * shape.kernel * shape.kernel
+                                        + idx_base] as usize;
+                                    mcu.load_sram(); // flag bit
+                                    mcu.branch();
+                                    if !flags[idx] {
+                                        results[idx] =
+                                            partial_dot(mcu, lut, cache_on, idx, &rows, opts);
+                                        flags[idx] = true;
+                                        mcu.store_sram_word(); // result
+                                        mcu.store_sram(); // flag
+                                    } else {
+                                        mcu.load_sram_word(); // memoized result
+                                    }
+                                    mcu.load_sram_word(); // accumulator
+                                    mcu.alu();
+                                    mcu.store_sram_word();
+                                    *a += results[idx] as i64;
+                                }
+                            } else {
+                                for (k, a) in acc.iter_mut().enumerate() {
+                                    mcu.loop_iter();
+                                    if k % 4 == 0 {
+                                        mcu.load_flash_word(); // 4 index bytes
+                                    }
+                                    mcu.alu(); // extract index byte
+                                    let idx = indices[k * groups * shape.kernel * shape.kernel
+                                        + idx_base] as usize;
+                                    let partial = partial_dot(mcu, lut, cache_on, idx, &rows, opts);
+                                    mcu.load_sram_word(); // accumulator
+                                    mcu.alu();
+                                    mcu.store_sram_word();
+                                    *a += partial as i64;
+                                }
+                            }
+                        } else {
+                            // Naive dataflow: unpack inside the filter loop.
+                            for (k, a) in acc.iter_mut().enumerate() {
+                                mcu.loop_iter();
+                                mcu.load_flash();
+                                let idx = indices
+                                    [k * groups * shape.kernel * shape.kernel + idx_base]
+                                    as usize;
+                                let rows = unpack_group(
+                                    mcu, codes, shape.in_h, shape.in_w, grp * g, g, iy, ix, true,
+                                );
+                                let partial = partial_dot(mcu, lut, false, idx, &rows, opts);
+                                mcu.load_sram_word();
+                                mcu.alu();
+                                mcu.store_sram_word();
+                                *a += partial as i64;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Bias + requantize + store this pixel's outputs.
+            for (k, a) in acc.iter().enumerate() {
+                mcu.loop_iter();
+                mcu.load_sram_word(); // accumulator
+                mcu.load_flash_word(); // bias
+                mcu.alu();
+                let biased = i32::try_from(*a + bias[k] as i64).expect("accumulator overflow");
+                let q = oq.apply(mcu, biased);
+                mcu.store_sram();
+                out[(k * oh + oy) * ow + ox] = q;
+            }
+        }
+    }
+
+    mcu.free_sram(scratch);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use wp_core::reference::bitserial_conv_acc;
+    use wp_core::WeightPool;
+    use wp_mcu::McuSpec;
+
+    fn mcu() -> Mcu {
+        Mcu::new(McuSpec::mc_large())
+    }
+
+    fn random_setup(
+        seed: u64,
+        in_ch: usize,
+        out_ch: usize,
+        hw: usize,
+        pool_size: usize,
+        lut_bits: u8,
+        order: LutOrder,
+    ) -> (PooledConvShape, Vec<i32>, Vec<u8>, LookupTable, WeightPool) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let shape = PooledConvShape {
+            in_ch,
+            out_ch,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: hw,
+            in_w: hw,
+        };
+        let vectors: Vec<Vec<f32>> = (0..pool_size)
+            .map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect())
+            .collect();
+        let pool = WeightPool::from_vectors(vectors);
+        let lut = LookupTable::build(&pool, lut_bits, order);
+        let codes: Vec<i32> = (0..in_ch * hw * hw).map(|_| rng.gen_range(0..256)).collect();
+        let indices: Vec<u8> = (0..shape.index_count(8))
+            .map(|_| rng.gen_range(0..pool_size) as u8)
+            .collect();
+        (shape, codes, indices, lut, pool)
+    }
+
+    /// Raw-accumulator comparison: identity requant + wide signed clamp.
+    fn raw_oq() -> OutputQuant {
+        OutputQuant {
+            requant: wp_quant::Requantizer::from_real_multiplier(1.0),
+            relu: false,
+            out_bits: 31,
+        }
+    }
+
+    #[test]
+    fn all_option_combos_match_reference() {
+        let (shape, codes, indices, lut, _) =
+            random_setup(1, 16, 12, 5, 8, 8, LutOrder::InputOriented);
+        let bias = vec![0i32; shape.out_ch];
+        let expect = bitserial_conv_acc(&codes, &shape, &indices, &lut, 8, ActEncoding::Unsigned);
+        for input_reuse in [true, false] {
+            for lut_cache in [true, false] {
+                for precompute in
+                    [PrecomputeMode::Auto, PrecomputeMode::ForceOn, PrecomputeMode::ForceOff]
+                {
+                    for memoize in [true, false] {
+                        let opts = BitSerialOptions {
+                            act_bits: 8,
+                            encoding: ActEncoding::Unsigned,
+                            input_reuse,
+                            lut_cache,
+                            precompute,
+                            memoize,
+                        };
+                        let mut m = mcu();
+                        let got = conv_bitserial(
+                            &mut m, &codes, &shape, &indices, &lut, &bias, &raw_oq(), &opts,
+                        );
+                        assert_eq!(got, expect, "mismatch with {opts:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_at_every_bitwidth() {
+        for bits in 1..=8u8 {
+            let (shape, mut codes, indices, lut, _) =
+                random_setup(bits as u64, 8, 4, 4, 4, 8, LutOrder::InputOriented);
+            // Restrict codes to the bitwidth.
+            for c in codes.iter_mut() {
+                *c &= (1 << bits) - 1;
+            }
+            let bias = vec![0i32; shape.out_ch];
+            let expect =
+                bitserial_conv_acc(&codes, &shape, &indices, &lut, bits, ActEncoding::Unsigned);
+            let mut m = mcu();
+            let opts = BitSerialOptions::paper_default(bits);
+            let got =
+                conv_bitserial(&mut m, &codes, &shape, &indices, &lut, &bias, &raw_oq(), &opts);
+            assert_eq!(got, expect, "bitwidth {bits}");
+        }
+    }
+
+    #[test]
+    fn signed_encoding_matches_reference() {
+        let (shape, mut codes, indices, lut, _) =
+            random_setup(9, 8, 6, 4, 8, 8, LutOrder::InputOriented);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for c in codes.iter_mut() {
+            *c = rng.gen_range(-128..128);
+        }
+        let bias = vec![0i32; shape.out_ch];
+        let expect = bitserial_conv_acc(
+            &codes,
+            &shape,
+            &indices,
+            &lut,
+            8,
+            ActEncoding::SignedTwosComplement,
+        );
+        let opts = BitSerialOptions {
+            encoding: ActEncoding::SignedTwosComplement,
+            ..BitSerialOptions::paper_default(8)
+        };
+        let mut m = mcu();
+        let got = conv_bitserial(&mut m, &codes, &shape, &indices, &lut, &bias, &raw_oq(), &opts);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bias_and_relu_applied() {
+        let (shape, codes, indices, lut, _) =
+            random_setup(3, 8, 2, 3, 4, 8, LutOrder::InputOriented);
+        let bias = vec![1000i32, -1_000_000];
+        let oq = OutputQuant::identity(8);
+        let mut m = mcu();
+        let got = conv_bitserial(
+            &mut m,
+            &codes,
+            &shape,
+            &indices,
+            &lut,
+            &bias,
+            &oq,
+            &BitSerialOptions::paper_default(8),
+        );
+        let raw = bitserial_conv_acc(&codes, &shape, &indices, &lut, 8, ActEncoding::Unsigned);
+        let pixels = 9;
+        for p in 0..pixels {
+            assert_eq!(got[p], (raw[p] + 1000).clamp(0, 255));
+            // Filter 1's huge negative bias forces zero after ReLU.
+            assert_eq!(got[pixels + p], 0);
+        }
+    }
+
+    #[test]
+    fn runtime_scales_with_act_bits() {
+        let (shape, mut codes, indices, lut, _) =
+            random_setup(4, 32, 32, 8, 16, 8, LutOrder::InputOriented);
+        for c in codes.iter_mut() {
+            *c &= 1; // valid for every bitwidth
+        }
+        let bias = vec![0i32; shape.out_ch];
+        let cycles = |bits: u8| {
+            let mut m = mcu();
+            let opts = BitSerialOptions {
+                precompute: PrecomputeMode::ForceOff,
+                ..BitSerialOptions::paper_default(bits)
+            };
+            conv_bitserial(&mut m, &codes, &shape, &indices, &lut, &bias, &raw_oq(), &opts);
+            m.cycles()
+        };
+        let c8 = cycles(8);
+        let c4 = cycles(4);
+        let c1 = cycles(1);
+        // Paper Figure 8(a): near-linear scaling, with a fixed unpacking
+        // floor keeping the 1-bit speedup below 8x.
+        let s4 = c8 as f64 / c4 as f64;
+        let s1 = c8 as f64 / c1 as f64;
+        assert!((1.5..2.2).contains(&s4), "4-bit speedup {s4}");
+        assert!((3.0..7.5).contains(&s1), "1-bit speedup {s1}");
+    }
+
+    #[test]
+    fn lut_cache_pays_off_with_many_filters() {
+        // Figure 7: caching ~breaks even at 32 filters, wins at 192.
+        let run = |filters: usize, cache: bool| {
+            let (shape, codes, indices, lut, _) =
+                random_setup(5, 16, filters, 4, 64, 8, LutOrder::InputOriented);
+            let bias = vec![0i32; filters];
+            let opts = BitSerialOptions {
+                lut_cache: cache,
+                precompute: PrecomputeMode::ForceOff,
+                ..BitSerialOptions::paper_default(8)
+            };
+            let mut m = mcu();
+            conv_bitserial(&mut m, &codes, &shape, &indices, &lut, &bias, &raw_oq(), &opts);
+            m.cycles()
+        };
+        let speedup_192 = run(192, false) as f64 / run(192, true) as f64;
+        let speedup_32 = run(32, false) as f64 / run(32, true) as f64;
+        assert!(speedup_192 > 1.2, "192-filter cache speedup {speedup_192}");
+        assert!(speedup_192 > speedup_32, "{speedup_192} vs {speedup_32}");
+    }
+
+    #[test]
+    fn precompute_helps_iff_filters_exceed_pool() {
+        let run = |filters: usize, pre: PrecomputeMode| {
+            let (shape, codes, indices, lut, _) =
+                random_setup(6, 16, filters, 4, 64, 8, LutOrder::InputOriented);
+            let bias = vec![0i32; filters];
+            let opts =
+                BitSerialOptions { precompute: pre, ..BitSerialOptions::paper_default(8) };
+            let mut m = mcu();
+            conv_bitserial(&mut m, &codes, &shape, &indices, &lut, &bias, &raw_oq(), &opts);
+            m.cycles()
+        };
+        // 192 filters > 64 pool: precompute must win.
+        assert!(run(192, PrecomputeMode::ForceOn) < run(192, PrecomputeMode::ForceOff));
+        // 32 filters < 64 pool: precompute must lose (paper §4.3).
+        assert!(run(32, PrecomputeMode::ForceOn) > run(32, PrecomputeMode::ForceOff));
+        // Auto picks the winner in both regimes.
+        assert_eq!(
+            run(192, PrecomputeMode::Auto),
+            run(192, PrecomputeMode::ForceOn)
+        );
+        assert_eq!(run(32, PrecomputeMode::Auto), run(32, PrecomputeMode::ForceOff));
+    }
+
+    #[test]
+    fn naive_unpacking_is_much_slower() {
+        let (shape, codes, indices, lut, _) =
+            random_setup(7, 16, 64, 4, 64, 8, LutOrder::InputOriented);
+        let bias = vec![0i32; 64];
+        let run = |reuse: bool| {
+            let opts = BitSerialOptions {
+                input_reuse: reuse,
+                lut_cache: false,
+                precompute: PrecomputeMode::ForceOff,
+                ..BitSerialOptions::paper_default(8)
+            };
+            let mut m = mcu();
+            conv_bitserial(&mut m, &codes, &shape, &indices, &lut, &bias, &raw_oq(), &opts);
+            m.cycles()
+        };
+        let slowdown = run(false) as f64 / run(true) as f64;
+        // §4.1: per-dot-product unpacking makes things several times slower.
+        assert!(slowdown > 2.0, "naive slowdown only {slowdown}");
+    }
+
+    #[test]
+    fn weight_oriented_cache_copy_costs_more() {
+        let run = |order: LutOrder| {
+            let (shape, codes, indices, lut, _) = random_setup(8, 16, 32, 4, 64, 8, order);
+            let bias = vec![0i32; 32];
+            let opts = BitSerialOptions {
+                precompute: PrecomputeMode::ForceOff,
+                ..BitSerialOptions::paper_default(8)
+            };
+            let mut m = mcu();
+            conv_bitserial(&mut m, &codes, &shape, &indices, &lut, &bias, &raw_oq(), &opts);
+            m.cycles()
+        };
+        assert!(
+            run(LutOrder::WeightOriented) > run(LutOrder::InputOriented),
+            "input-oriented order should make caching cheaper (paper §4.2)"
+        );
+    }
+
+    #[test]
+    fn memoize_slower_than_precompute_on_wide_layers() {
+        // Appendix: precomputation beats memoization.
+        let (shape, codes, indices, lut, _) =
+            random_setup(10, 16, 192, 4, 64, 8, LutOrder::InputOriented);
+        let bias = vec![0i32; 192];
+        let run = |pre: PrecomputeMode, memo: bool| {
+            let opts = BitSerialOptions {
+                precompute: pre,
+                memoize: memo,
+                ..BitSerialOptions::paper_default(8)
+            };
+            let mut m = mcu();
+            conv_bitserial(&mut m, &codes, &shape, &indices, &lut, &bias, &raw_oq(), &opts);
+            m.cycles()
+        };
+        let pre = run(PrecomputeMode::ForceOn, false);
+        let memo = run(PrecomputeMode::ForceOff, true);
+        let neither = run(PrecomputeMode::ForceOff, false);
+        assert!(pre < memo, "precompute {pre} not faster than memoize {memo}");
+        assert!(memo < neither, "memoize {memo} not faster than plain {neither}");
+    }
+
+    #[test]
+    fn scratch_exceeding_sram_panics() {
+        let (shape, codes, indices, lut, _) =
+            random_setup(11, 8, 6000, 2, 8, 8, LutOrder::InputOriented);
+        let bias = vec![0i32; 6000];
+        let mut m = Mcu::new(McuSpec::mc_small());
+        // 6000 filters x 4B accumulators = 24 kB > 20 kB SRAM.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            conv_bitserial(
+                &mut m,
+                &codes,
+                &shape,
+                &indices,
+                &lut,
+                &bias,
+                &raw_oq(),
+                &BitSerialOptions::paper_default(8),
+            )
+        }));
+        assert!(result.is_err());
+    }
+}

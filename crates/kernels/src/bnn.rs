@@ -1,0 +1,222 @@
+//! XNOR-popcount binarized convolution (paper §5.5 comparison).
+//!
+//! Binarized networks (3PXNet and kin) pack weights and activations as
+//! sign bits (32 per word) and replace dot products with
+//! XNOR + population count. Cortex-M3 has no popcount instruction, so the
+//! kernel charges a SWAR software popcount (~12 ALU ops per word), which is
+//! what binarized-network MCU libraries do.
+//!
+//! The dot product identity for `±1` vectors packed as sign bits (bit 1 =
+//! +1): `dot = 2·popcount(XNOR(a, w)) − n`.
+
+use crate::common::OutputQuant;
+use wp_core::reference::PooledConvShape;
+use wp_mcu::Mcu;
+
+/// Packs a `±1` vector (given as signs of the input values, `>= 0` → bit 1)
+/// into 32-bit words, little-endian bit order.
+pub fn pack_signs(values: &[i32]) -> Vec<u32> {
+    let mut out = vec![0u32; values.len().div_ceil(32)];
+    for (i, &v) in values.iter().enumerate() {
+        if v >= 0 {
+            out[i / 32] |= 1u32 << (i % 32);
+        }
+    }
+    out
+}
+
+/// Software SWAR popcount with its Cortex-M3 cycle charge.
+#[inline]
+fn popcount(mcu: &mut Mcu, x: u32) -> u32 {
+    mcu.alu_n(12);
+    x.count_ones()
+}
+
+/// Binarized convolution over sign-packed operands.
+///
+/// `packed_input` holds, per (channel-word, pixel), the packed input signs:
+/// layout `[ceil(C/32)][H][W]` of words, where word `cw` packs channels
+/// `32·cw ..`. `packed_weights` is `[K][R][S][ceil(C/32)]`. The returned
+/// plane holds the integer dot products (`[-C·R·S, C·R·S]`) after
+/// requantization.
+///
+/// Out-of-image taps contribute zero (skipped), matching zero-padding of a
+/// `±1` representation only approximately — binarized MCU kernels
+/// typically pad with +1; we skip instead, which is cycle-equivalent and
+/// keeps the arithmetic well-defined.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv_bnn(
+    mcu: &mut Mcu,
+    packed_input: &[u32],
+    shape: &PooledConvShape,
+    packed_weights: &[u32],
+    oq: &OutputQuant,
+) -> Vec<i32> {
+    let cw = shape.in_ch.div_ceil(32);
+    assert_eq!(packed_input.len(), cw * shape.in_h * shape.in_w, "packed input size mismatch");
+    assert_eq!(
+        packed_weights.len(),
+        shape.out_ch * shape.kernel * shape.kernel * cw,
+        "packed weight size mismatch"
+    );
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let valid_bits = shape.in_ch % 32;
+    let last_mask: u32 =
+        if valid_bits == 0 { u32::MAX } else { (1u32 << valid_bits) - 1 };
+    let mut out = vec![0i32; shape.out_ch * oh * ow];
+    mcu.call();
+
+    for k in 0..shape.out_ch {
+        mcu.loop_iter();
+        for oy in 0..oh {
+            mcu.loop_iter();
+            for ox in 0..ow {
+                mcu.loop_iter();
+                let mut plus = 0i32; // popcount total
+                let mut lanes = 0i32; // total compared bits
+                for ky in 0..shape.kernel {
+                    let iy = match geo.input_row(oy, ky) {
+                        Some(v) => v,
+                        None => {
+                            mcu.branch();
+                            continue;
+                        }
+                    };
+                    for kx in 0..shape.kernel {
+                        let ix = match geo.input_col(ox, kx) {
+                            Some(v) => v,
+                            None => {
+                                mcu.branch();
+                                continue;
+                            }
+                        };
+                        for w in 0..cw {
+                            mcu.loop_iter();
+                            mcu.load_sram(); // packed activations
+                            mcu.load_flash(); // packed weights
+                            mcu.alu(); // XNOR (EOR + MVN folds to 1-2 ops)
+                            let a = packed_input[(w * shape.in_h + iy) * shape.in_w + ix];
+                            let wt = packed_weights
+                                [((k * shape.kernel + ky) * shape.kernel + kx) * cw + w];
+                            let mask = if w == cw - 1 { last_mask } else { u32::MAX };
+                            let agreement = !(a ^ wt) & mask;
+                            plus += popcount(mcu, agreement) as i32;
+                            mcu.alu(); // accumulate
+                            lanes += mask.count_ones() as i32;
+                        }
+                    }
+                }
+                // dot = 2*agreements - lanes.
+                mcu.alu_n(2);
+                let dot = 2 * plus - lanes;
+                let q = oq.apply(mcu, dot);
+                mcu.store_sram();
+                out[(k * oh + oy) * ow + ox] = q;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_mcu::McuSpec;
+
+    fn mcu() -> Mcu {
+        Mcu::new(McuSpec::mc_large())
+    }
+
+    fn raw_oq() -> OutputQuant {
+        OutputQuant {
+            requant: wp_quant::Requantizer::from_real_multiplier(1.0),
+            relu: false,
+            out_bits: 16,
+        }
+    }
+
+    #[test]
+    fn pack_signs_bit_layout() {
+        let packed = pack_signs(&[1, -1, 1, 1]);
+        assert_eq!(packed, vec![0b1101]);
+        let long = pack_signs(&vec![1i32; 40]);
+        assert_eq!(long.len(), 2);
+        assert_eq!(long[0], u32::MAX);
+        assert_eq!(long[1], 0xFF);
+    }
+
+    #[test]
+    fn dot_product_identity() {
+        // 1x1 conv, 32 channels: dot of +-1 vectors.
+        let shape = PooledConvShape {
+            in_ch: 32,
+            out_ch: 1,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            in_h: 1,
+            in_w: 1,
+        };
+        let acts: Vec<i32> = (0..32).map(|i| if i % 3 == 0 { 1 } else { -1 }).collect();
+        let weights: Vec<i32> = (0..32).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        let expect: i32 = acts.iter().zip(&weights).map(|(a, w)| a * w).sum();
+        let mut m = mcu();
+        let got = conv_bnn(&mut m, &pack_signs(&acts), &shape, &pack_signs(&weights), &raw_oq());
+        assert_eq!(got, vec![expect]);
+    }
+
+    #[test]
+    fn partial_last_word_masked() {
+        // 8 channels: only 8 valid lanes in the single word.
+        let shape = PooledConvShape {
+            in_ch: 8,
+            out_ch: 1,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            in_h: 1,
+            in_w: 1,
+        };
+        let acts = vec![1i32; 8];
+        let weights = vec![1i32; 8];
+        let mut m = mcu();
+        let got = conv_bnn(&mut m, &pack_signs(&acts), &shape, &pack_signs(&weights), &raw_oq());
+        assert_eq!(got, vec![8]);
+    }
+
+    #[test]
+    fn bnn_much_faster_than_byte_kernels_per_mac() {
+        // The whole point: ~32 MACs per word op. Check cycles per
+        // (binary) MAC is far below 1.
+        let shape = PooledConvShape {
+            in_ch: 64,
+            out_ch: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 8,
+            in_w: 8,
+        };
+        let acts = vec![1i32; 64 * 64];
+        let _weights = vec![-1i32; 16 * 9 * 64];
+        // Pack per-pixel along channels.
+        let mut packed_in = vec![0u32; 2 * 64];
+        for p in 0..64 {
+            for c in 0..64 {
+                if acts[c * 64 + p] >= 0 {
+                    packed_in[(c / 32 * 64) + p] |= 1 << (c % 32);
+                }
+            }
+        }
+        let packed_w = vec![0u32; 16 * 9 * 2];
+        let mut m = mcu();
+        conv_bnn(&mut m, &packed_in, &shape, &packed_w, &raw_oq());
+        let macs = (16 * 64 * 9 * 64) as f64;
+        let cpm = m.cycles() as f64 / macs;
+        assert!(cpm < 2.0, "binary cycles/MAC = {cpm}");
+    }
+}

@@ -1,0 +1,432 @@
+//! CMSIS-NN-style baseline kernels.
+//!
+//! These follow the structure of ARM's `arm_convolve_HWC_q7_basic` family
+//! on a DSP-less Cortex-M3: an im2col stage copies (and sign-extends) the
+//! receptive field into an SRAM buffer, then each filter runs a plain
+//! load/load/MAC inner product with weights streamed from flash. Output
+//! requantization matches CMSIS's fixed-point multiplier scheme.
+//!
+//! Activations are `i32` code planes in CHW order (values fit the layer's
+//! bitwidth); weights are `i8`; accumulators are `i32`.
+
+use crate::common::OutputQuant;
+use wp_core::reference::PooledConvShape;
+use wp_mcu::Mcu;
+
+/// CMSIS-style direct int8 convolution.
+///
+/// Returns the output code plane `[K, OH, OW]` and charges `mcu` for the
+/// im2col copies, weight/activation loads, MACs and requantization.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or if the im2col buffer does not fit SRAM.
+pub fn conv_cmsis(
+    mcu: &mut Mcu,
+    codes: &[i32],
+    shape: &PooledConvShape,
+    weights: &[i8],
+    bias: &[i32],
+    oq: &OutputQuant,
+) -> Vec<i32> {
+    let (c, k_sz) = (shape.in_ch, shape.kernel);
+    assert_eq!(codes.len(), c * shape.in_h * shape.in_w, "activation size mismatch");
+    assert_eq!(weights.len(), shape.out_ch * c * k_sz * k_sz, "weight size mismatch");
+    assert_eq!(bias.len(), shape.out_ch, "bias size mismatch");
+
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let patch = c * k_sz * k_sz;
+
+    // im2col buffer of one output pixel's receptive field (q15 in CMSIS).
+    let buf_bytes = patch * 2;
+    mcu.alloc_sram(buf_bytes).expect("im2col buffer exceeds SRAM");
+    let mut buf = vec![0i32; patch];
+    let mut out = vec![0i32; shape.out_ch * oh * ow];
+    mcu.call();
+
+    for oy in 0..oh {
+        mcu.loop_iter();
+        for ox in 0..ow {
+            mcu.loop_iter();
+            // --- im2col: gather + q7→q15 convert into SRAM ---
+            let mut p = 0usize;
+            for ch in 0..c {
+                mcu.loop_iter();
+                for ky in 0..k_sz {
+                    let iy = geo.input_row(oy, ky);
+                    for kx in 0..k_sz {
+                        let ix = geo.input_col(ox, kx);
+                        match (iy, ix) {
+                            (Some(y), Some(x)) => {
+                                mcu.load_sram(); // activation byte
+                                mcu.alu(); // sign/zero extend
+                                mcu.store_sram(); // buffer halfword
+                                buf[p] = codes[(ch * shape.in_h + y) * shape.in_w + x];
+                            }
+                            _ => {
+                                mcu.store_sram(); // zero fill
+                                buf[p] = 0;
+                            }
+                        }
+                        mcu.loop_iter();
+                        p += 1;
+                    }
+                }
+            }
+            // --- inner product per filter ---
+            for k in 0..shape.out_ch {
+                mcu.loop_iter();
+                mcu.load_flash_word(); // bias
+                let mut acc: i64 = bias[k] as i64;
+                let wbase = k * patch;
+                // Inner product, 4x unrolled as in CMSIS-NN's hand
+                // optimized loops: loop bookkeeping every 4 MACs plus one
+                // pointer bump per element.
+                for i in 0..patch {
+                    mcu.load_flash(); // weight byte
+                    mcu.load_sram(); // buffered activation
+                    mcu.mac();
+                    mcu.alu();
+                    if i % 4 == 0 {
+                        mcu.loop_iter();
+                    }
+                    acc += weights[wbase + i] as i64 * buf[i] as i64;
+                }
+                let q = oq.apply(mcu, i32::try_from(acc).expect("accumulator overflow"));
+                mcu.store_sram();
+                out[(k * oh + oy) * ow + ox] = q;
+            }
+        }
+    }
+    mcu.free_sram(buf_bytes);
+    out
+}
+
+/// CMSIS-style depthwise int8 convolution (one kernel per channel; no
+/// im2col — taps are gathered directly).
+///
+/// # Panics
+///
+/// Panics on shape mismatches (`shape.out_ch` must equal `shape.in_ch`).
+pub fn dwconv_cmsis(
+    mcu: &mut Mcu,
+    codes: &[i32],
+    shape: &PooledConvShape,
+    weights: &[i8],
+    bias: &[i32],
+    oq: &OutputQuant,
+) -> Vec<i32> {
+    assert_eq!(shape.out_ch, shape.in_ch, "depthwise conv requires in_ch == out_ch");
+    let (c, k_sz) = (shape.in_ch, shape.kernel);
+    assert_eq!(weights.len(), c * k_sz * k_sz, "weight size mismatch");
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let mut out = vec![0i32; c * oh * ow];
+    mcu.call();
+
+    for ch in 0..c {
+        mcu.loop_iter();
+        for oy in 0..oh {
+            mcu.loop_iter();
+            for ox in 0..ow {
+                mcu.loop_iter();
+                mcu.load_flash_word();
+                let mut acc: i64 = bias[ch] as i64;
+                for ky in 0..k_sz {
+                    for kx in 0..k_sz {
+                        mcu.loop_iter();
+                        if let (Some(y), Some(x)) = (geo.input_row(oy, ky), geo.input_col(ox, kx))
+                        {
+                            mcu.load_sram();
+                            mcu.load_flash();
+                            mcu.mac();
+                            acc += codes[(ch * shape.in_h + y) * shape.in_w + x] as i64
+                                * weights[(ch * k_sz + ky) * k_sz + kx] as i64;
+                        } else {
+                            mcu.branch();
+                        }
+                    }
+                }
+                let q = oq.apply(mcu, acc as i32);
+                mcu.store_sram();
+                out[(ch * oh + oy) * ow + ox] = q;
+            }
+        }
+    }
+    out
+}
+
+/// CMSIS-style dense (fully-connected) int8 kernel.
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+pub fn dense_cmsis(
+    mcu: &mut Mcu,
+    codes: &[i32],
+    weights: &[i8],
+    bias: &[i32],
+    out_features: usize,
+    oq: &OutputQuant,
+) -> Vec<i32> {
+    let in_features = codes.len();
+    assert_eq!(weights.len(), in_features * out_features, "weight size mismatch");
+    assert_eq!(bias.len(), out_features, "bias size mismatch");
+    let mut out = vec![0i32; out_features];
+    mcu.call();
+    for o in 0..out_features {
+        mcu.loop_iter();
+        mcu.load_flash_word();
+        let mut acc: i64 = bias[o] as i64;
+        for i in 0..in_features {
+            mcu.load_flash();
+            mcu.load_sram();
+            mcu.mac();
+            mcu.alu();
+            if i % 4 == 0 {
+                mcu.loop_iter();
+            }
+            acc += weights[o * in_features + i] as i64 * codes[i] as i64;
+        }
+        let q = oq.apply(mcu, acc as i32);
+        mcu.store_sram();
+        out[o] = q;
+    }
+    out
+}
+
+/// Max pooling over non-overlapping square windows.
+///
+/// # Panics
+///
+/// Panics if the window exceeds the input.
+pub fn maxpool(mcu: &mut Mcu, codes: &[i32], ch: usize, h: usize, w: usize, size: usize) -> Vec<i32> {
+    assert!(h >= size && w >= size, "pool window larger than input");
+    let (oh, ow) = (h / size, w / size);
+    let mut out = vec![0i32; ch * oh * ow];
+    mcu.call();
+    for c in 0..ch {
+        mcu.loop_iter();
+        for oy in 0..oh {
+            for ox in 0..ow {
+                mcu.loop_iter();
+                let mut best = i32::MIN;
+                for dy in 0..size {
+                    for dx in 0..size {
+                        mcu.load_sram();
+                        mcu.alu(); // compare
+                        let v = codes[(c * h + oy * size + dy) * w + ox * size + dx];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                mcu.store_sram();
+                out[(c * oh + oy) * ow + ox] = best;
+            }
+        }
+    }
+    out
+}
+
+/// Average pooling over non-overlapping square windows (integer mean with
+/// rounding).
+///
+/// # Panics
+///
+/// Panics if the window exceeds the input.
+pub fn avgpool(mcu: &mut Mcu, codes: &[i32], ch: usize, h: usize, w: usize, size: usize) -> Vec<i32> {
+    assert!(h >= size && w >= size, "pool window larger than input");
+    let (oh, ow) = (h / size, w / size);
+    let div = (size * size) as i32;
+    let mut out = vec![0i32; ch * oh * ow];
+    mcu.call();
+    for c in 0..ch {
+        mcu.loop_iter();
+        for oy in 0..oh {
+            for ox in 0..ow {
+                mcu.loop_iter();
+                let mut acc = 0i32;
+                for dy in 0..size {
+                    for dx in 0..size {
+                        mcu.load_sram();
+                        mcu.alu();
+                        acc += codes[(c * h + oy * size + dy) * w + ox * size + dx];
+                    }
+                }
+                mcu.alu_n(2); // divide (shift for power-of-two windows)
+                mcu.store_sram();
+                out[(c * oh + oy) * ow + ox] = (acc + div / 2).div_euclid(div);
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling to one value per channel.
+pub fn global_avgpool(mcu: &mut Mcu, codes: &[i32], ch: usize, h: usize, w: usize) -> Vec<i32> {
+    let n = (h * w) as i32;
+    let mut out = vec![0i32; ch];
+    mcu.call();
+    for c in 0..ch {
+        mcu.loop_iter();
+        let mut acc = 0i32;
+        for p in 0..(h * w) {
+            mcu.load_sram();
+            mcu.alu();
+            mcu.loop_iter();
+            acc += codes[c * h * w + p];
+        }
+        mcu.mul(); // divide by pixel count
+        mcu.store_sram();
+        out[c] = (acc + n / 2).div_euclid(n);
+    }
+    out
+}
+
+/// Saturating elementwise residual add of two code planes.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn residual_add(mcu: &mut Mcu, a: &[i32], b: &[i32], out_bits: u8) -> Vec<i32> {
+    assert_eq!(a.len(), b.len(), "residual operands must match");
+    let hi = (1i32 << out_bits) - 1;
+    let mut out = vec![0i32; a.len()];
+    mcu.call();
+    for i in 0..a.len() {
+        mcu.load_sram();
+        mcu.load_sram();
+        mcu.alu_n(2); // add + saturate
+        mcu.store_sram();
+        mcu.loop_iter();
+        out[i] = (a[i] + b[i]).clamp(0, hi);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_core::reference::direct_conv_acc;
+    use wp_mcu::McuSpec;
+
+    fn mcu() -> Mcu {
+        Mcu::new(McuSpec::mc_large())
+    }
+
+    fn shape(in_ch: usize, out_ch: usize, kernel: usize, hw: usize, pad: usize) -> PooledConvShape {
+        PooledConvShape { in_ch, out_ch, kernel, stride: 1, pad, in_h: hw, in_w: hw }
+    }
+
+    #[test]
+    fn conv_matches_reference_accumulators() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let s = shape(4, 3, 3, 5, 1);
+        let codes: Vec<i32> = (0..4 * 25).map(|_| rng.gen_range(0..256)).collect();
+        let weights: Vec<i8> = (0..3 * 4 * 9).map(|_| rng.gen_range(-127..=127)).collect();
+        let bias = vec![0i32; 3];
+        // Identity requantizer + wide clamp leaves accumulators intact
+        // provided they are small; compare against reference + relu clamp.
+        let oq = OutputQuant::identity(8);
+        let mut m = mcu();
+        let got = conv_cmsis(&mut m, &codes, &s, &weights, &bias, &oq);
+        let expect: Vec<i32> = direct_conv_acc(&codes, &s, &weights)
+            .into_iter()
+            .map(|v| v.clamp(0, 255))
+            .collect();
+        assert_eq!(got, expect);
+        assert!(m.cycles() > 0);
+    }
+
+    #[test]
+    fn conv_cycles_scale_with_filters() {
+        let s32 = shape(8, 32, 3, 8, 1);
+        let s64 = shape(8, 64, 3, 8, 1);
+        let codes = vec![1i32; 8 * 64];
+        let w32 = vec![1i8; 32 * 8 * 9];
+        let w64 = vec![1i8; 64 * 8 * 9];
+        let oq = OutputQuant::identity(8);
+        let mut m32 = mcu();
+        conv_cmsis(&mut m32, &codes, &s32, &w32, &vec![0; 32], &oq);
+        let mut m64 = mcu();
+        conv_cmsis(&mut m64, &codes, &s64, &w64, &vec![0; 64], &oq);
+        let ratio = m64.cycles() as f64 / m32.cycles() as f64;
+        assert!(
+            (1.6..2.2).contains(&ratio),
+            "doubling filters should ~double cycles, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn cycles_per_mac_in_realistic_band() {
+        // The paper's Table 7 CMSIS times imply roughly 10-16 cycles/MAC on
+        // these boards. Guard the model against drifting out of that band.
+        let s = shape(16, 32, 3, 16, 1);
+        let codes = vec![1i32; 16 * 256];
+        let weights = vec![1i8; 32 * 16 * 9];
+        let oq = OutputQuant::identity(8);
+        let mut m = mcu();
+        conv_cmsis(&mut m, &codes, &s, &weights, &vec![0; 32], &oq);
+        let macs = (32 * 16 * 9 * 256) as f64;
+        let cpm = m.cycles() as f64 / macs;
+        assert!((8.0..18.0).contains(&cpm), "cycles/MAC = {cpm}");
+    }
+
+    #[test]
+    fn dwconv_channels_independent() {
+        let s = PooledConvShape { in_ch: 2, out_ch: 2, kernel: 3, stride: 1, pad: 1, in_h: 4, in_w: 4 };
+        let codes = vec![1i32; 2 * 16];
+        let mut weights = vec![0i8; 2 * 9];
+        weights[4] = 1; // channel 0: identity center tap
+        let oq = OutputQuant::identity(8);
+        let mut m = mcu();
+        let out = dwconv_cmsis(&mut m, &codes, &s, &weights, &[0, 0], &oq);
+        assert!(out[..16].iter().all(|&v| v == 1));
+        assert!(out[16..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn dense_matches_manual() {
+        let codes = vec![1i32, 2, 3];
+        let weights = vec![1i8, 1, 1, 2, 0, -1];
+        let bias = vec![10i32, -1];
+        let oq = OutputQuant { requant: wp_quant::Requantizer::from_real_multiplier(1.0), relu: false, out_bits: 8 };
+        let mut m = mcu();
+        let out = dense_cmsis(&mut m, &codes, &weights, &bias, 2, &oq);
+        assert_eq!(out, vec![16, -2]);
+    }
+
+    #[test]
+    fn pool_kernels_compute() {
+        let codes = vec![1i32, 2, 3, 4];
+        let mut m = mcu();
+        assert_eq!(maxpool(&mut m, &codes, 1, 2, 2, 2), vec![4]);
+        assert_eq!(avgpool(&mut m, &codes, 1, 2, 2, 2), vec![3]); // 2.5 rounds up
+        assert_eq!(global_avgpool(&mut m, &codes, 1, 2, 2), vec![3]);
+    }
+
+    #[test]
+    fn residual_add_saturates() {
+        let mut m = mcu();
+        let out = residual_add(&mut m, &[250, 10], &[10, 5], 8);
+        assert_eq!(out, vec![255, 15]);
+    }
+
+    #[test]
+    fn im2col_buffer_respects_sram() {
+        // A giant patch on the small MCU must fail the SRAM reservation.
+        let s = shape(512, 1, 5, 64, 2);
+        let codes = vec![0i32; 512 * 64 * 64];
+        let weights = vec![0i8; 512 * 25];
+        let oq = OutputQuant::identity(8);
+        let mut m = Mcu::new(McuSpec::mc_small());
+        // 512*25*2 = 25.6 kB > 20 kB SRAM.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            conv_cmsis(&mut m, &codes, &s, &weights, &[0], &oq)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared output-quantization helper for the instrumented kernels.
+
+use wp_mcu::Mcu;
+use wp_quant::Requantizer;
+
+/// Output requantization applied by every conv/dense kernel: accumulator →
+/// next layer's activation code, with optional fused ReLU.
+#[derive(Debug, Clone, Copy)]
+pub struct OutputQuant {
+    /// Fixed-point multiplier from accumulator scale to output scale.
+    pub requant: Requantizer,
+    /// Fuse ReLU (clamp at zero) before writing the code.
+    pub relu: bool,
+    /// Output code bitwidth (unsigned when `relu`, two's complement
+    /// otherwise).
+    pub out_bits: u8,
+}
+
+impl OutputQuant {
+    /// An identity requantizer producing `bits`-bit ReLU outputs — handy in
+    /// tests where only cycle counts matter.
+    pub fn identity(bits: u8) -> Self {
+        Self { requant: Requantizer::from_real_multiplier(1.0), relu: true, out_bits: bits }
+    }
+
+    /// Applies requantization to one accumulator, charging `mcu` for the
+    /// widening multiply, rounding shift and clamp.
+    #[inline]
+    pub fn apply(&self, mcu: &mut Mcu, acc: i32) -> i32 {
+        // SMULL + shift + round on Cortex-M3.
+        mcu.mul();
+        mcu.alu_n(2);
+        let q = self.requant.apply(acc);
+        // Clamp into the output range.
+        mcu.alu_n(2);
+        if self.relu {
+            let hi = (1i32 << self.out_bits) - 1;
+            q.clamp(0, hi)
+        } else {
+            let hi = (1i32 << (self.out_bits - 1)) - 1;
+            q.clamp(-hi - 1, hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_mcu::McuSpec;
+
+    #[test]
+    fn identity_passes_values_through_clamped() {
+        let q = OutputQuant::identity(8);
+        let mut mcu = Mcu::new(McuSpec::mc_large());
+        assert_eq!(q.apply(&mut mcu, 100), 100);
+        assert_eq!(q.apply(&mut mcu, -5), 0); // relu
+        assert_eq!(q.apply(&mut mcu, 400), 255); // saturate
+        assert!(mcu.cycles() > 0);
+    }
+
+    #[test]
+    fn signed_output_clamps_two_sided() {
+        let q = OutputQuant {
+            requant: Requantizer::from_real_multiplier(1.0),
+            relu: false,
+            out_bits: 8,
+        };
+        let mut mcu = Mcu::new(McuSpec::mc_large());
+        assert_eq!(q.apply(&mut mcu, -300), -128);
+        assert_eq!(q.apply(&mut mcu, 300), 127);
+        assert_eq!(q.apply(&mut mcu, -7), -7);
+    }
+
+    #[test]
+    fn scaling_requantizer_scales() {
+        let q = OutputQuant {
+            requant: Requantizer::from_real_multiplier(0.25),
+            relu: true,
+            out_bits: 8,
+        };
+        let mut mcu = Mcu::new(McuSpec::mc_large());
+        assert_eq!(q.apply(&mut mcu, 100), 25);
+    }
+}

@@ -1,0 +1,38 @@
+//! Cost-model-instrumented inference kernels.
+//!
+//! Every kernel in this crate does two things at once: it computes the real
+//! quantized result (bit-identical to the reference semantics in
+//! `wp-core::reference`), and it charges every memory access, ALU op and
+//! loop iteration to a [`wp_mcu::Mcu`]. The cycle totals are the
+//! reproduction's stand-in for the paper's on-board measurements.
+//!
+//! Kernel families:
+//!
+//! * [`cmsis`] — the baseline: CMSIS-NN-style direct int8 convolution
+//!   (im2col into an SRAM buffer + MAC inner product), dense, depthwise,
+//!   pooling and residual-add kernels;
+//! * [`bitserial`] — the paper's contribution: bit-serial lookup-table
+//!   convolution with individually toggleable optimizations (input-reuse
+//!   dataflow, LUT caching into SRAM, precomputation, memoization) and
+//!   arbitrary activation bitwidth 1–8;
+//! * [`bnn`] — XNOR-popcount binarized convolution for the §5.5
+//!   comparison;
+//! * [`network`] — a whole-network driver that walks a
+//!   `wp-core::netspec::NetSpec`, places weights in flash, and sums
+//!   per-layer latencies (Table 7).
+
+pub mod bitserial;
+pub mod bnn;
+pub mod cmsis;
+mod common;
+pub mod network;
+
+pub use bitserial::{conv_bitserial, BitSerialOptions, PrecomputeMode};
+pub use common::OutputQuant;
+
+/// Offset of the `(group, ky, kx)` tap within one filter's canonical-order
+/// index block (`wp-core::grouping` layout: `[k][g][r][s]`).
+#[inline]
+pub(crate) fn index_base(grp: usize, ky: usize, kx: usize, kernel: usize) -> usize {
+    (grp * kernel + ky) * kernel + kx
+}

@@ -1,0 +1,354 @@
+//! Whole-network runtime simulation (Table 7).
+//!
+//! Walks a [`NetSpec`], fabricates deterministic synthetic weights and
+//! activations of the right shapes (cycle counts are data-independent in
+//! the cost model), places parameters in flash, and executes every layer
+//! through the instrumented kernels, summing cycles.
+
+use crate::bitserial::{conv_bitserial, BitSerialOptions};
+use crate::cmsis::{
+    avgpool, conv_cmsis, dense_cmsis, dwconv_cmsis, global_avgpool, maxpool, residual_add,
+};
+use crate::common::OutputQuant;
+use rand::{Rng, SeedableRng};
+use wp_core::netspec::{LayerSpec, NetSpec};
+use wp_core::reference::PooledConvShape;
+use wp_core::LookupTable;
+use wp_mcu::{Mcu, McuSpec};
+use wp_quant::Requantizer;
+
+/// How the network's convolutions are executed.
+#[derive(Debug, Clone, Copy)]
+pub enum DeployMode<'a> {
+    /// CMSIS-NN-style int8 kernels for every layer (the baseline).
+    Cmsis,
+    /// Bit-serial weight-pool kernels for compressed convs; CMSIS kernels
+    /// for uncompressed layers (first conv, depthwise, dense).
+    BitSerial {
+        /// The network's shared lookup table.
+        lut: &'a LookupTable,
+        /// Kernel options (activation bitwidth, optimizations).
+        opts: BitSerialOptions,
+    },
+}
+
+/// Per-layer cycle record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerTiming {
+    /// Short layer description.
+    pub name: String,
+    /// Cycles spent in this layer.
+    pub cycles: u64,
+}
+
+/// Result of simulating one inference.
+#[derive(Debug, Clone)]
+pub struct NetworkRunResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total simulated seconds on the device.
+    pub seconds: f64,
+    /// Flash bytes required by weights/indices/LUT/biases.
+    pub flash_bytes: usize,
+    /// Whether that fits the device flash (Table 7 prints "/" when not).
+    pub fits_flash: bool,
+    /// Peak SRAM during the run (activations + kernel scratch).
+    pub sram_peak: usize,
+    /// Whether peak SRAM fits the device.
+    pub fits_sram: bool,
+    /// Per-layer cycle breakdown.
+    pub per_layer: Vec<LayerTiming>,
+}
+
+/// Flash bytes needed to deploy `net` in the given mode: weights at one
+/// byte each (indices replace compressed weights at one byte per group),
+/// 4-byte biases, plus the LUT in bit-serial mode.
+pub fn flash_footprint(net: &NetSpec, mode: &DeployMode<'_>) -> usize {
+    let mut bytes = 0usize;
+    for layer in &net.layers {
+        match *layer {
+            LayerSpec::Conv(cs) => {
+                let compressed = matches!(mode, DeployMode::BitSerial { .. }) && cs.compressed;
+                if compressed {
+                    let group = match mode {
+                        DeployMode::BitSerial { lut, .. } => lut.group_size(),
+                        DeployMode::Cmsis => unreachable!(),
+                    };
+                    bytes += cs.weights() as usize / group; // one index byte per group
+                } else {
+                    bytes += cs.weights() as usize;
+                }
+                bytes += cs.out_ch * 4; // bias
+            }
+            LayerSpec::DwConv { channels, kernel, .. } => {
+                bytes += channels * kernel * kernel + channels * 4;
+            }
+            LayerSpec::Dense { in_features, out_features, .. } => {
+                bytes += in_features * out_features + out_features * 4;
+            }
+            _ => {}
+        }
+    }
+    if let DeployMode::BitSerial { lut, .. } = mode {
+        bytes += lut.storage_bytes();
+    }
+    bytes
+}
+
+/// Simulates one inference of `net` on a device, returning cycles and
+/// memory accounting.
+///
+/// # Panics
+///
+/// Panics if a kernel's scratch requirements exceed device SRAM (activation
+/// buffers themselves are accounted but allowed to exceed, since streaming
+/// implementations can tile them; the result reports `fits_sram`).
+pub fn run_network(
+    device: &McuSpec,
+    net: &NetSpec,
+    mode: &DeployMode<'_>,
+    seed: u64,
+) -> NetworkRunResult {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut mcu = Mcu::new(device.clone());
+
+    let flash_bytes = flash_footprint(net, mode);
+    let fits_flash = mcu.place_flash(flash_bytes).is_ok();
+
+    let act_bits = match mode {
+        DeployMode::Cmsis => 8u8,
+        DeployMode::BitSerial { opts, .. } => opts.act_bits,
+    };
+    // Requantizer scaling accumulators down into the activation range; the
+    // exact value only influences data (not cycles), picked so outputs stay
+    // in-range rather than pinning at the clamp.
+    let requant = Requantizer::from_real_multiplier(2e-4);
+    let oq_hidden = OutputQuant { requant, relu: true, out_bits: act_bits };
+    let oq_final = OutputQuant { requant, relu: false, out_bits: 8 };
+
+    let resolved = net.resolve();
+    let (c0, h0, w0) = net.input;
+    let mut codes: Vec<i32> =
+        (0..c0 * h0 * w0).map(|_| rng.gen_range(0..(1i32 << act_bits))).collect();
+    let mut per_layer = Vec::with_capacity(resolved.len());
+    let mut sram_soft_peak = 0usize;
+
+    for (li, layer) in resolved.iter().enumerate() {
+        let in_plane = layer.in_ch * layer.in_h * layer.in_w;
+        let out_plane = layer.out_ch * layer.out_h * layer.out_w;
+        // Activation buffers (ping-pong): tracked as a soft watermark so a
+        // too-large activation is reported, not fatal.
+        sram_soft_peak = sram_soft_peak.max(in_plane + out_plane + mcu.sram_in_use());
+
+        let before = mcu.cycles();
+        let is_last = li == resolved.len() - 1;
+        let oq = if is_last { &oq_final } else { &oq_hidden };
+
+        let name;
+        match layer.spec {
+            LayerSpec::Conv(cs) => {
+                let shape = PooledConvShape {
+                    in_ch: cs.in_ch,
+                    out_ch: cs.out_ch,
+                    kernel: cs.kernel,
+                    stride: cs.stride,
+                    pad: cs.pad,
+                    in_h: layer.in_h,
+                    in_w: layer.in_w,
+                };
+                match mode {
+                    DeployMode::BitSerial { lut, opts } if cs.compressed => {
+                        name = format!(
+                            "conv {}x{}x{} (bit-serial)",
+                            cs.out_ch, cs.kernel, cs.kernel
+                        );
+                        let groups = shape.groups(lut.group_size());
+                        let indices: Vec<u8> = (0..shape.index_count(lut.group_size()))
+                            .map(|_| rng.gen_range(0..lut.pool_size()) as u8)
+                            .collect();
+                        let bias = vec![0i32; cs.out_ch];
+                        let _ = groups;
+                        codes =
+                            conv_bitserial(&mut mcu, &codes, &shape, &indices, lut, &bias, oq, opts);
+                    }
+                    _ => {
+                        name = format!("conv {}x{}x{} (int8)", cs.out_ch, cs.kernel, cs.kernel);
+                        let weights: Vec<i8> = (0..cs.weights() as usize)
+                            .map(|_| rng.gen_range(-127i32..=127) as i8)
+                            .collect();
+                        let bias = vec![0i32; cs.out_ch];
+                        codes = conv_cmsis(&mut mcu, &codes, &shape, &weights, &bias, oq);
+                    }
+                }
+            }
+            LayerSpec::DwConv { channels, kernel, stride, pad } => {
+                name = format!("dwconv {channels}x{kernel}x{kernel}");
+                let shape = PooledConvShape {
+                    in_ch: channels,
+                    out_ch: channels,
+                    kernel,
+                    stride,
+                    pad,
+                    in_h: layer.in_h,
+                    in_w: layer.in_w,
+                };
+                let weights: Vec<i8> = (0..channels * kernel * kernel)
+                    .map(|_| rng.gen_range(-127i32..=127) as i8)
+                    .collect();
+                let bias = vec![0i32; channels];
+                codes = dwconv_cmsis(&mut mcu, &codes, &shape, &weights, &bias, oq);
+            }
+            LayerSpec::Dense { in_features, out_features, .. } => {
+                name = format!("dense {in_features}->{out_features}");
+                let weights: Vec<i8> = (0..in_features * out_features)
+                    .map(|_| rng.gen_range(-127i32..=127) as i8)
+                    .collect();
+                let bias = vec![0i32; out_features];
+                codes = dense_cmsis(&mut mcu, &codes, &weights, &bias, out_features, oq);
+            }
+            LayerSpec::MaxPool { size } => {
+                name = format!("maxpool{size}");
+                codes = maxpool(&mut mcu, &codes, layer.in_ch, layer.in_h, layer.in_w, size);
+            }
+            LayerSpec::AvgPool { size } => {
+                name = format!("avgpool{size}");
+                codes = avgpool(&mut mcu, &codes, layer.in_ch, layer.in_h, layer.in_w, size);
+            }
+            LayerSpec::GlobalAvgPool => {
+                name = "global_avgpool".to_string();
+                codes = global_avgpool(&mut mcu, &codes, layer.in_ch, layer.in_h, layer.in_w);
+            }
+            LayerSpec::ResidualAdd => {
+                name = "residual_add".to_string();
+                let other = codes.clone();
+                codes = residual_add(&mut mcu, &codes, &other, act_bits);
+            }
+        }
+        per_layer.push(LayerTiming { name, cycles: mcu.cycles() - before });
+    }
+
+    let sram_peak = sram_soft_peak.max(mcu.sram_peak());
+    NetworkRunResult {
+        cycles: mcu.cycles(),
+        seconds: device.seconds(mcu.cycles()),
+        flash_bytes,
+        fits_flash,
+        sram_peak,
+        fits_sram: sram_peak <= device.sram_bytes,
+        per_layer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_core::netspec::ConvSpec;
+    use wp_core::{LutOrder, WeightPool};
+
+    fn tiny_net() -> NetSpec {
+        NetSpec {
+            name: "tiny".into(),
+            input: (3, 8, 8),
+            classes: 4,
+            layers: vec![
+                LayerSpec::Conv(ConvSpec {
+                    in_ch: 3,
+                    out_ch: 8,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    compressed: false,
+                }),
+                LayerSpec::Conv(ConvSpec {
+                    in_ch: 8,
+                    out_ch: 16,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    compressed: true,
+                }),
+                LayerSpec::MaxPool { size: 2 },
+                LayerSpec::ResidualAdd,
+                LayerSpec::GlobalAvgPool,
+                LayerSpec::Dense { in_features: 16, out_features: 4, compressed: false },
+            ],
+        }
+    }
+
+    fn test_lut(pool_size: usize) -> LookupTable {
+        let vectors: Vec<Vec<f32>> = (0..pool_size)
+            .map(|s| (0..8).map(|i| ((s * 8 + i) as f32 * 0.1).sin() * 0.3).collect())
+            .collect();
+        LookupTable::build(&WeightPool::from_vectors(vectors), 8, LutOrder::InputOriented)
+    }
+
+    #[test]
+    fn cmsis_run_produces_cycles_and_layers() {
+        let net = tiny_net();
+        let res = run_network(&McuSpec::mc_large(), &net, &DeployMode::Cmsis, 0);
+        assert_eq!(res.per_layer.len(), net.layers.len());
+        assert!(res.cycles > 0);
+        assert!(res.fits_flash);
+        assert!(res.seconds > 0.0);
+    }
+
+    #[test]
+    fn bitserial_run_uses_less_flash() {
+        let net = tiny_net();
+        let lut = test_lut(16);
+        let bs = DeployMode::BitSerial { lut: &lut, opts: BitSerialOptions::paper_default(8) };
+        let f_cmsis = flash_footprint(&net, &DeployMode::Cmsis);
+        let f_bs = flash_footprint(&net, &bs);
+        // Compressed conv: 1152 weights -> 144 index bytes, but adds a
+        // 4 kB LUT; for this tiny net flash is larger, so compare the
+        // weights-only part by subtracting the LUT.
+        assert_eq!(f_cmsis - (1152 - 144), f_bs - lut.storage_bytes());
+    }
+
+    #[test]
+    fn lower_act_bits_run_faster() {
+        let net = tiny_net();
+        let lut = test_lut(16);
+        let run = |bits: u8| {
+            let mode =
+                DeployMode::BitSerial { lut: &lut, opts: BitSerialOptions::paper_default(bits) };
+            run_network(&McuSpec::mc_large(), &net, &mode, 0).cycles
+        };
+        assert!(run(4) < run(8), "4-bit should beat 8-bit");
+    }
+
+    #[test]
+    fn oversized_network_reports_flash_overflow() {
+        let mut net = tiny_net();
+        net.layers[1] = LayerSpec::Conv(ConvSpec {
+            in_ch: 8,
+            out_ch: 2048,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            compressed: false,
+        });
+        net.layers[3] = LayerSpec::ResidualAdd;
+        net.layers[4] = LayerSpec::GlobalAvgPool;
+        net.layers[5] = LayerSpec::Dense { in_features: 2048, out_features: 4, compressed: false };
+        // 2048*8*9 = 147k weights > 128k flash on MC-small.
+        let res = run_network(&McuSpec::mc_small(), &net, &DeployMode::Cmsis, 0);
+        assert!(!res.fits_flash);
+    }
+
+    #[test]
+    fn per_layer_cycles_sum_to_total() {
+        let net = tiny_net();
+        let res = run_network(&McuSpec::mc_large(), &net, &DeployMode::Cmsis, 1);
+        let sum: u64 = res.per_layer.iter().map(|l| l.cycles).sum();
+        assert_eq!(sum, res.cycles);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let net = tiny_net();
+        let a = run_network(&McuSpec::mc_large(), &net, &DeployMode::Cmsis, 5);
+        let b = run_network(&McuSpec::mc_large(), &net, &DeployMode::Cmsis, 5);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,0 +1,32 @@
+//! A Cortex-M3-style cycle-cost and memory-placement simulator.
+//!
+//! The paper measures runtime on two STM32 Nucleo boards with the ARM
+//! compiler's cycle counter (Table 2). This crate is the substitution for
+//! that hardware: kernels in `wp-kernels` execute their real computation
+//! while charging every memory access, arithmetic op and branch to an
+//! [`Mcu`], which accumulates cycles according to a per-device
+//! [`CycleCosts`] profile. Relative results (speedups, scaling with filter
+//! count or activation bitwidth) depend on these op counts, which are exact;
+//! absolute seconds follow from the device clock.
+//!
+//! Capacity accounting is also modeled: flash placement of weights/LUTs
+//! (Table 7 marks networks that do not fit with "/") and an SRAM watermark
+//! for activations and scratch buffers.
+//!
+//! # Example
+//!
+//! ```
+//! use wp_mcu::{Mcu, McuSpec};
+//!
+//! let mut mcu = Mcu::new(McuSpec::mc_large());
+//! mcu.load_flash(); // e.g. a weight byte
+//! mcu.load_sram();  // an activation byte
+//! mcu.mac();
+//! assert!(mcu.cycles() > 0);
+//! ```
+
+mod machine;
+mod profile;
+
+pub use machine::{CapacityError, Mcu, OpCounts};
+pub use profile::{CycleCosts, McuSpec};

@@ -1,0 +1,421 @@
+//! The instrumented machine: cycle accumulation and memory accounting.
+
+use crate::{CycleCosts, McuSpec};
+use std::error::Error;
+use std::fmt;
+
+/// Counts of each operation category charged to the machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Plain ALU operations.
+    pub alu: u64,
+    /// Multiplies.
+    pub mul: u64,
+    /// Multiply-accumulates.
+    pub mac: u64,
+    /// SRAM loads (byte or word).
+    pub loads_sram: u64,
+    /// SRAM stores (byte or word).
+    pub stores_sram: u64,
+    /// Flash loads (byte or word).
+    pub loads_flash: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Loop iterations.
+    pub loop_iters: u64,
+    /// Function calls.
+    pub calls: u64,
+}
+
+/// Error returned when a placement exceeds device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityError {
+    /// "SRAM" or "flash".
+    pub region: &'static str,
+    /// Bytes requested beyond current usage.
+    pub requested: usize,
+    /// Bytes already in use.
+    pub in_use: usize,
+    /// Region capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} overflow: {} bytes requested with {}/{} in use",
+            self.region, self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl Error for CapacityError {}
+
+/// An instrumented microcontroller: kernels charge cycles and memory to it
+/// as they execute.
+///
+/// Cycle charging methods are `#[inline]` single-field additions so the
+/// instrumented kernels stay fast enough to simulate full networks.
+#[derive(Debug, Clone)]
+pub struct Mcu {
+    spec: McuSpec,
+    cycles: u64,
+    counts: OpCounts,
+    sram_in_use: usize,
+    sram_peak: usize,
+    flash_in_use: usize,
+}
+
+impl Mcu {
+    /// Creates a machine from a device profile.
+    pub fn new(spec: McuSpec) -> Self {
+        Self {
+            spec,
+            cycles: 0,
+            counts: OpCounts::default(),
+            sram_in_use: 0,
+            sram_peak: 0,
+            flash_in_use: 0,
+        }
+    }
+
+    /// The device profile.
+    pub fn spec(&self) -> &McuSpec {
+        &self.spec
+    }
+
+    #[inline]
+    fn costs(&self) -> &CycleCosts {
+        &self.spec.costs
+    }
+
+    /// Total cycles charged so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Elapsed simulated time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.spec.seconds(self.cycles)
+    }
+
+    /// Operation counts charged so far.
+    pub fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    /// Resets cycles and op counts (memory accounting is preserved).
+    pub fn reset_cycles(&mut self) {
+        self.cycles = 0;
+        self.counts = OpCounts::default();
+    }
+
+    // ---- cycle charging -------------------------------------------------
+
+    /// Charges one plain ALU op (add/sub/shift/logic).
+    #[inline]
+    pub fn alu(&mut self) {
+        self.cycles += self.costs().alu;
+        self.counts.alu += 1;
+    }
+
+    /// Charges `n` plain ALU ops.
+    #[inline]
+    pub fn alu_n(&mut self, n: u64) {
+        self.cycles += self.costs().alu * n;
+        self.counts.alu += n;
+    }
+
+    /// Charges one multiply.
+    #[inline]
+    pub fn mul(&mut self) {
+        self.cycles += self.costs().mul;
+        self.counts.mul += 1;
+    }
+
+    /// Charges one multiply-accumulate.
+    #[inline]
+    pub fn mac(&mut self) {
+        self.cycles += self.costs().mac;
+        self.counts.mac += 1;
+    }
+
+    /// Charges one byte/halfword load from SRAM.
+    #[inline]
+    pub fn load_sram(&mut self) {
+        self.cycles += self.costs().load_sram;
+        self.counts.loads_sram += 1;
+    }
+
+    /// Charges one word load from SRAM.
+    #[inline]
+    pub fn load_sram_word(&mut self) {
+        self.cycles += self.costs().load_sram_word;
+        self.counts.loads_sram += 1;
+    }
+
+    /// Charges one byte/halfword store to SRAM.
+    #[inline]
+    pub fn store_sram(&mut self) {
+        self.cycles += self.costs().store_sram;
+        self.counts.stores_sram += 1;
+    }
+
+    /// Charges one word store to SRAM.
+    #[inline]
+    pub fn store_sram_word(&mut self) {
+        self.cycles += self.costs().store_sram_word;
+        self.counts.stores_sram += 1;
+    }
+
+    /// Charges one byte/halfword data load from flash.
+    #[inline]
+    pub fn load_flash(&mut self) {
+        self.cycles += self.costs().load_flash;
+        self.counts.loads_flash += 1;
+    }
+
+    /// Charges one word data load from flash.
+    #[inline]
+    pub fn load_flash_word(&mut self) {
+        self.cycles += self.costs().load_flash_word;
+        self.counts.loads_flash += 1;
+    }
+
+    /// Charges a sequential burst of `words` word loads from flash: the
+    /// first access pays wait states, subsequent words stream from the
+    /// 128-bit flash line / prefetch buffer at one cycle each (STM32 flash
+    /// read interface).
+    #[inline]
+    pub fn load_flash_burst(&mut self, words: u64) {
+        if words == 0 {
+            return;
+        }
+        self.cycles += self.costs().load_flash_word + (words - 1);
+        self.counts.loads_flash += words;
+    }
+
+    /// Charges a sequential burst of `words` word stores to SRAM (STM-style
+    /// multiple store: address setup once, then one cycle per word).
+    #[inline]
+    pub fn store_sram_burst(&mut self, words: u64) {
+        if words == 0 {
+            return;
+        }
+        self.cycles += self.costs().store_sram_word + (words - 1);
+        self.counts.stores_sram += words;
+    }
+
+    /// Charges one taken branch.
+    #[inline]
+    pub fn branch(&mut self) {
+        self.cycles += self.costs().branch;
+        self.counts.branches += 1;
+    }
+
+    /// Charges one loop iteration's bookkeeping.
+    #[inline]
+    pub fn loop_iter(&mut self) {
+        self.cycles += self.costs().loop_iter;
+        self.counts.loop_iters += 1;
+    }
+
+    /// Charges `n` loop iterations' bookkeeping.
+    #[inline]
+    pub fn loop_iters(&mut self, n: u64) {
+        self.cycles += self.costs().loop_iter * n;
+        self.counts.loop_iters += n;
+    }
+
+    /// Charges a function call + return.
+    #[inline]
+    pub fn call(&mut self) {
+        self.cycles += self.costs().call;
+        self.counts.calls += 1;
+    }
+
+    // ---- memory accounting ----------------------------------------------
+
+    /// Reserves `bytes` of SRAM (activations, scratch, cached LUT).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if the reservation exceeds SRAM capacity.
+    pub fn alloc_sram(&mut self, bytes: usize) -> Result<(), CapacityError> {
+        if self.sram_in_use + bytes > self.spec.sram_bytes {
+            return Err(CapacityError {
+                region: "SRAM",
+                requested: bytes,
+                in_use: self.sram_in_use,
+                capacity: self.spec.sram_bytes,
+            });
+        }
+        self.sram_in_use += bytes;
+        self.sram_peak = self.sram_peak.max(self.sram_in_use);
+        Ok(())
+    }
+
+    /// Releases `bytes` of SRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if releasing more than is in use (an accounting bug).
+    pub fn free_sram(&mut self, bytes: usize) {
+        assert!(bytes <= self.sram_in_use, "freeing {bytes} bytes with {} in use", self.sram_in_use);
+        self.sram_in_use -= bytes;
+    }
+
+    /// Places `bytes` in flash (weights, indices, lookup tables, code data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] if flash capacity is exceeded.
+    pub fn place_flash(&mut self, bytes: usize) -> Result<(), CapacityError> {
+        if self.flash_in_use + bytes > self.spec.flash_bytes {
+            return Err(CapacityError {
+                region: "flash",
+                requested: bytes,
+                in_use: self.flash_in_use,
+                capacity: self.spec.flash_bytes,
+            });
+        }
+        self.flash_in_use += bytes;
+        Ok(())
+    }
+
+    /// Current SRAM usage in bytes.
+    pub fn sram_in_use(&self) -> usize {
+        self.sram_in_use
+    }
+
+    /// High-water mark of SRAM usage.
+    pub fn sram_peak(&self) -> usize {
+        self.sram_peak
+    }
+
+    /// Flash bytes placed.
+    pub fn flash_in_use(&self) -> usize {
+        self.flash_in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mcu() -> Mcu {
+        Mcu::new(McuSpec::mc_large())
+    }
+
+    #[test]
+    fn cycles_accumulate_per_costs() {
+        let mut m = mcu();
+        let c = m.spec().costs;
+        m.alu();
+        m.mul();
+        m.mac();
+        m.load_sram();
+        m.load_flash();
+        assert_eq!(m.cycles(), c.alu + c.mul + c.mac + c.load_sram + c.load_flash);
+    }
+
+    #[test]
+    fn op_counts_track_categories() {
+        let mut m = mcu();
+        m.alu_n(5);
+        m.load_flash();
+        m.load_flash_word();
+        m.loop_iters(3);
+        let counts = m.counts();
+        assert_eq!(counts.alu, 5);
+        assert_eq!(counts.loads_flash, 2);
+        assert_eq!(counts.loop_iters, 3);
+    }
+
+    #[test]
+    fn reset_clears_cycles_not_memory() {
+        let mut m = mcu();
+        m.alloc_sram(100).unwrap();
+        m.alu();
+        m.reset_cycles();
+        assert_eq!(m.cycles(), 0);
+        assert_eq!(m.sram_in_use(), 100);
+    }
+
+    #[test]
+    fn sram_peak_tracks_watermark() {
+        let mut m = mcu();
+        m.alloc_sram(1000).unwrap();
+        m.alloc_sram(500).unwrap();
+        m.free_sram(1200);
+        m.alloc_sram(100).unwrap();
+        assert_eq!(m.sram_peak(), 1500);
+        assert_eq!(m.sram_in_use(), 400);
+    }
+
+    #[test]
+    fn sram_overflow_is_error() {
+        let mut m = Mcu::new(McuSpec::mc_small());
+        assert!(m.alloc_sram(20 * 1024).is_ok());
+        let err = m.alloc_sram(1).unwrap_err();
+        assert_eq!(err.region, "SRAM");
+        assert_eq!(err.capacity, 20 * 1024);
+    }
+
+    #[test]
+    fn flash_overflow_is_error() {
+        let mut m = Mcu::new(McuSpec::mc_small());
+        assert!(m.place_flash(128 * 1024).is_ok());
+        assert!(m.place_flash(1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut m = mcu();
+        m.free_sram(1);
+    }
+
+    #[test]
+    fn burst_loads_amortize_wait_states() {
+        let mut m = mcu();
+        m.load_flash_burst(8);
+        let burst = m.cycles();
+        let mut m2 = mcu();
+        for _ in 0..8 {
+            m2.load_flash_word();
+        }
+        assert!(burst < m2.cycles(), "burst {burst} vs serial {}", m2.cycles());
+        assert_eq!(m.counts().loads_flash, 8);
+    }
+
+    #[test]
+    fn zero_length_burst_is_free() {
+        let mut m = mcu();
+        m.load_flash_burst(0);
+        m.store_sram_burst(0);
+        assert_eq!(m.cycles(), 0);
+    }
+
+    #[test]
+    fn store_burst_counts_words() {
+        let mut m = mcu();
+        m.store_sram_burst(5);
+        assert_eq!(m.counts().stores_sram, 5);
+        // First word pays setup, rest stream at 1 cycle.
+        assert_eq!(m.cycles(), m.spec().costs.store_sram_word + 4);
+    }
+
+    #[test]
+    fn seconds_reflect_clock() {
+        let mut large = Mcu::new(McuSpec::mc_large());
+        let mut small = Mcu::new(McuSpec::mc_small());
+        for _ in 0..1000 {
+            large.alu();
+            small.alu();
+        }
+        // Same cycles, slower clock => more seconds.
+        assert!(small.seconds() > large.seconds());
+    }
+}

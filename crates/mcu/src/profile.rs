@@ -1,0 +1,177 @@
+//! Device profiles: cycle costs and memory capacities.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation cycle costs for a Cortex-M3-class core.
+///
+/// Defaults follow the ARM Cortex-M3 technical reference manual plus STM32
+/// flash wait-state documentation:
+///
+/// * single-cycle ALU (including shift-and-accumulate via barrel shifter);
+/// * 1-cycle `MUL`, 2-cycle `MLA`-style multiply-accumulate;
+/// * 2-cycle loads/stores against zero-wait-state SRAM;
+/// * flash data reads pay wait states (3–5 at the boards' clocks; the ART
+///   prefetcher accelerates instruction fetch, not data reads);
+/// * ~3 cycles per not-taken-friendly loop iteration (compare + branch with
+///   pipeline refill, partially amortized by unrolling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleCosts {
+    /// Plain ALU op (add/sub/shift/logic, including flexible second operand).
+    pub alu: u64,
+    /// 32×32 multiply.
+    pub mul: u64,
+    /// Multiply-accumulate (`MLA`, 2 cycles on Cortex-M3).
+    pub mac: u64,
+    /// Load from SRAM.
+    pub load_sram: u64,
+    /// Store to SRAM.
+    pub store_sram: u64,
+    /// Data load from flash (includes wait states).
+    pub load_flash: u64,
+    /// Word (32-bit) load from flash: sequential burst reads amortize wait
+    /// states, so this is cheaper than four byte loads.
+    pub load_flash_word: u64,
+    /// Word (32-bit) load from SRAM.
+    pub load_sram_word: u64,
+    /// Word (32-bit) store to SRAM.
+    pub store_sram_word: u64,
+    /// Taken branch (pipeline refill).
+    pub branch: u64,
+    /// Per-iteration loop overhead (increment + compare + branch), partially
+    /// amortized assuming modest unrolling by the compiler.
+    pub loop_iter: u64,
+    /// Function call + return overhead.
+    pub call: u64,
+}
+
+impl CycleCosts {
+    /// Cortex-M3 with `wait_states` flash wait states on data reads.
+    pub fn cortex_m3(wait_states: u64) -> Self {
+        Self {
+            alu: 1,
+            mul: 1,
+            mac: 2,
+            load_sram: 2,
+            store_sram: 2,
+            load_flash: 2 + wait_states,
+            load_flash_word: 2 + wait_states,
+            load_sram_word: 2,
+            store_sram_word: 2,
+            branch: 3,
+            loop_iter: 3,
+            call: 6,
+        }
+    }
+
+    /// Cortex-M4 with the DSP extension: single-cycle MAC (`MLA`/`SMLAD`),
+    /// otherwise M3-like timing. Used by the baseline-strength ablation —
+    /// the paper targets DSP-less M0/M3 cores where its comparison is most
+    /// favorable.
+    pub fn cortex_m4_dsp(wait_states: u64) -> Self {
+        Self { mac: 1, ..Self::cortex_m3(wait_states) }
+    }
+}
+
+/// A microcontroller device profile: clock, memories and cycle costs.
+///
+/// The two built-in profiles mirror the paper's Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McuSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Core clock in Hz.
+    pub clock_hz: u64,
+    /// SRAM capacity in bytes.
+    pub sram_bytes: usize,
+    /// Flash capacity in bytes.
+    pub flash_bytes: usize,
+    /// Per-op cycle costs.
+    pub costs: CycleCosts,
+}
+
+impl McuSpec {
+    /// "MC-large": STM32 Nucleo F207ZG — 128 kB SRAM, 1 MB flash, Cortex-M3
+    /// at 120 MHz (3 flash wait states at this clock).
+    pub fn mc_large() -> Self {
+        Self {
+            name: "MC-large (F207ZG)".to_string(),
+            clock_hz: 120_000_000,
+            sram_bytes: 128 * 1024,
+            flash_bytes: 1024 * 1024,
+            costs: CycleCosts::cortex_m3(3),
+        }
+    }
+
+    /// "MC-small": STM32 Nucleo F103RB — 20 kB SRAM, 128 kB flash, Cortex-M3
+    /// at 72 MHz (2 flash wait states at this clock).
+    pub fn mc_small() -> Self {
+        Self {
+            name: "MC-small (F103RB)".to_string(),
+            clock_hz: 72_000_000,
+            sram_bytes: 20 * 1024,
+            flash_bytes: 128 * 1024,
+            costs: CycleCosts::cortex_m3(2),
+        }
+    }
+
+    /// A hypothetical MC-large with a Cortex-M4F (DSP extension) at the
+    /// same clock and memories — the baseline-strength ablation target.
+    pub fn mc_large_m4() -> Self {
+        Self {
+            name: "MC-large-M4 (hypothetical)".to_string(),
+            clock_hz: 120_000_000,
+            sram_bytes: 128 * 1024,
+            flash_bytes: 1024 * 1024,
+            costs: CycleCosts::cortex_m4_dsp(3),
+        }
+    }
+
+    /// Converts a cycle count to seconds on this device.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_table2() {
+        let large = McuSpec::mc_large();
+        assert_eq!(large.sram_bytes, 131_072);
+        assert_eq!(large.flash_bytes, 1_048_576);
+        assert_eq!(large.clock_hz, 120_000_000);
+
+        let small = McuSpec::mc_small();
+        assert_eq!(small.sram_bytes, 20_480);
+        assert_eq!(small.flash_bytes, 131_072);
+        assert_eq!(small.clock_hz, 72_000_000);
+    }
+
+    #[test]
+    fn flash_slower_than_sram() {
+        let c = CycleCosts::cortex_m3(3);
+        assert!(c.load_flash > c.load_sram);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let large = McuSpec::mc_large();
+        assert!((large.seconds(120_000_000) - 1.0).abs() < 1e-12);
+        assert!((large.seconds(60_000_000) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn m4_mac_is_single_cycle() {
+        assert_eq!(CycleCosts::cortex_m4_dsp(3).mac, 1);
+        assert_eq!(CycleCosts::cortex_m3(3).mac, 2);
+    }
+
+    #[test]
+    fn more_wait_states_cost_more() {
+        assert!(
+            CycleCosts::cortex_m3(5).load_flash > CycleCosts::cortex_m3(2).load_flash
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! The evaluation model zoo.
+//!
+//! Two families:
+//!
+//! * [`specs`] — full-size [`NetSpec`](wp_core::netspec::NetSpec) shape
+//!   descriptions of the paper's five evaluation networks (TinyConv,
+//!   ResNet-s, ResNet-10, ResNet-14, MobileNet-v2). These drive the
+//!   storage accounting (Table 3) and MCU runtime simulation (Table 7).
+//!   The three ResNets' conv-weight totals match the paper's "Total param"
+//!   column **exactly** (2,729,664 / 665,280 / 170,928), which pins down
+//!   the architectures: CIFAR-style ResNet-18 truncations with option-A
+//!   (parameter-free) shortcuts. TinyConv and MobileNet-v2 are
+//!   reconstructed from their cited sources and land within a few percent.
+//! * [`micro`] — width/size-scaled **trainable** versions of the same
+//!   architectures built on `wp-nn`, used by the accuracy experiments
+//!   (Tables 1/4/5/6, Figure 4) on the synthetic datasets. Every micro
+//!   model attaches activation fake-quant sites and returns their handles.
+
+pub mod micro;
+pub mod specs;
+
+pub use micro::BuiltModel;

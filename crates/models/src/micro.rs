@@ -1,0 +1,223 @@
+//! Trainable width/size-scaled model variants for the accuracy experiments.
+//!
+//! Full-scale CIFAR training is out of reach for a scalar CPU training
+//! stack, so the accuracy tables run on these micro models: the same
+//! architecture families (conv/pool stem networks, option-A residual
+//! ResNets, inverted-residual MobileNet) at reduced width and input size,
+//! trained on the synthetic datasets from `wp-data`. Channel widths are
+//! kept multiples of 8 so the z-dimension pooling applies exactly as in
+//! the full networks.
+
+use rand::Rng;
+use wp_nn::{
+    ActQuantHandle, BasicBlock, Conv2d, Dense, GlobalAvgPool, InvertedResidual, MaxPool2d, Relu,
+    Sequential,
+};
+
+/// A constructed trainable model plus its activation-quantization handles.
+pub struct BuiltModel {
+    /// The trainable network.
+    pub net: Sequential,
+    /// Handles of every activation fake-quant site, in network order.
+    pub act_handles: Vec<ActQuantHandle>,
+    /// Model family name.
+    pub name: &'static str,
+    /// Expected input shape `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+}
+
+impl std::fmt::Debug for BuiltModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltModel")
+            .field("name", &self.name)
+            .field("input", &self.input)
+            .field("act_sites", &self.act_handles.len())
+            .finish()
+    }
+}
+
+/// Micro TinyConv: 5×5 conv/pool stages on 14×14 single-channel input
+/// (the scale-2 Quickdraw-like shape).
+pub fn tinyconv(classes: usize, rng: &mut impl Rng) -> BuiltModel {
+    let mut net = Sequential::new();
+    let mut handles = Vec::new();
+    net.push(Conv2d::new(1, 16, 5, 1, 2, rng));
+    net.push(Relu::new());
+    push_act_quant(&mut net, &mut handles);
+    net.push(MaxPool2d::new(2));
+    net.push(Conv2d::new(16, 16, 5, 1, 2, rng));
+    net.push(Relu::new());
+    push_act_quant(&mut net, &mut handles);
+    net.push(MaxPool2d::new(2));
+    net.push(Conv2d::new(16, 32, 3, 1, 1, rng));
+    net.push(Relu::new());
+    push_act_quant(&mut net, &mut handles);
+    net.push(GlobalAvgPool::new());
+    net.push(Dense::new(32, classes, rng));
+    BuiltModel { net, act_handles: handles, name: "TinyConv-u", input: (1, 14, 14) }
+}
+
+fn push_act_quant(net: &mut Sequential, handles: &mut Vec<ActQuantHandle>) {
+    let handle = ActQuantHandle::new();
+    net.push(wp_nn::ActQuant::new(handle.clone()));
+    handles.push(handle);
+}
+
+fn push_block(
+    net: &mut Sequential,
+    handles: &mut Vec<ActQuantHandle>,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    rng: &mut impl Rng,
+) {
+    let mut block = BasicBlock::new(in_ch, out_ch, stride, rng);
+    let (h1, h2) = block.attach_act_quant();
+    handles.push(h1);
+    handles.push(h2);
+    net.push(block);
+}
+
+/// Shared micro-ResNet scaffold on 16×16 RGB input.
+fn micro_resnet(
+    name: &'static str,
+    stem: usize,
+    stages: &[(usize, usize)], // (channels, stride)
+    classes: usize,
+    rng: &mut impl Rng,
+) -> BuiltModel {
+    let mut net = Sequential::new();
+    let mut handles = Vec::new();
+    net.push(Conv2d::new(3, stem, 3, 1, 1, rng));
+    net.push(Relu::new());
+    push_act_quant(&mut net, &mut handles);
+    let mut ch = stem;
+    for &(out_ch, stride) in stages {
+        push_block(&mut net, &mut handles, ch, out_ch, stride, rng);
+        ch = out_ch;
+    }
+    net.push(GlobalAvgPool::new());
+    net.push(Dense::new(ch, classes, rng));
+    BuiltModel { net, act_handles: handles, name, input: (3, 16, 16) }
+}
+
+/// Micro ResNet-s: 8-channel stem, stages 8/16/32.
+pub fn resnet_s(classes: usize, rng: &mut impl Rng) -> BuiltModel {
+    micro_resnet("ResNet-s-u", 8, &[(8, 1), (16, 2), (32, 2)], classes, rng)
+}
+
+/// Micro ResNet-10: 16-channel stem, stages 16/32.
+pub fn resnet_10(classes: usize, rng: &mut impl Rng) -> BuiltModel {
+    micro_resnet("ResNet-10-u", 16, &[(16, 1), (32, 2)], classes, rng)
+}
+
+/// Micro ResNet-14: 16-channel stem, stages 16/32/64 (used for the group
+/// size and pool-dimension studies, Tables 1 and Figure 4).
+pub fn resnet_14(classes: usize, rng: &mut impl Rng) -> BuiltModel {
+    micro_resnet("ResNet-14-u", 16, &[(16, 1), (32, 2), (64, 2)], classes, rng)
+}
+
+/// Micro MobileNet-v2: inverted residual blocks with expansion 4 on 14×14
+/// single-channel input.
+pub fn mobilenet_v2(classes: usize, rng: &mut impl Rng) -> BuiltModel {
+    let mut net = Sequential::new();
+    let mut handles = Vec::new();
+    net.push(Conv2d::new(1, 16, 3, 1, 1, rng));
+    net.push(Relu::new());
+    push_act_quant(&mut net, &mut handles);
+    for &(in_ch, out_ch, stride, t) in
+        &[(16usize, 16usize, 1usize, 1usize), (16, 32, 2, 4), (32, 32, 1, 4), (32, 64, 2, 4)]
+    {
+        let mut block = InvertedResidual::new(in_ch, out_ch, stride, t, rng);
+        handles.extend(block.attach_act_quant());
+        net.push(block);
+    }
+    net.push(Conv2d::new(64, 128, 1, 1, 0, rng));
+    net.push(Relu::new());
+    push_act_quant(&mut net, &mut handles);
+    net.push(GlobalAvgPool::new());
+    net.push(Dense::new(128, classes, rng));
+    BuiltModel { net, act_handles: handles, name: "MobileNet-v2-u", input: (1, 14, 14) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wp_tensor::Tensor;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0)
+    }
+
+    fn check_forward(mut m: BuiltModel, classes: usize) {
+        let (c, h, w) = m.input;
+        let x = Tensor::<f32>::full(&[2, c, h, w], 0.3);
+        let y = m.net.forward(&x, true);
+        assert_eq!(y.dims(), &[2, classes], "{}", m.name);
+        assert!(!m.act_handles.is_empty());
+    }
+
+    #[test]
+    fn tinyconv_builds_and_runs() {
+        check_forward(tinyconv(10, &mut rng()), 10);
+    }
+
+    #[test]
+    fn resnets_build_and_run() {
+        check_forward(resnet_s(10, &mut rng()), 10);
+        check_forward(resnet_10(10, &mut rng()), 10);
+        check_forward(resnet_14(10, &mut rng()), 10);
+    }
+
+    #[test]
+    fn mobilenet_builds_and_runs() {
+        check_forward(mobilenet_v2(20, &mut rng()), 20);
+    }
+
+    #[test]
+    fn compressible_convs_have_groupable_depth() {
+        // Every conv except the stem must have in_ch % 8 == 0 so the
+        // micro models pool exactly like the full ones.
+        for build in [
+            tinyconv(10, &mut rng()),
+            resnet_s(10, &mut rng()),
+            resnet_10(10, &mut rng()),
+            resnet_14(10, &mut rng()),
+            mobilenet_v2(10, &mut rng()),
+        ] {
+            let mut net = build.net;
+            let mut pos = 0;
+            net.visit_convs(&mut |conv| {
+                if pos > 0 {
+                    assert_eq!(
+                        conv.in_channels() % 8,
+                        0,
+                        "{}: conv {pos} depth {}",
+                        build.name,
+                        conv.in_channels()
+                    );
+                }
+                pos += 1;
+            });
+            assert!(pos >= 3, "{} has too few convs", build.name);
+        }
+    }
+
+    #[test]
+    fn micro_models_are_trainable_size() {
+        // Keep the accuracy experiments fast: every micro model under 150k
+        // parameters.
+        for build in [
+            tinyconv(100, &mut rng()),
+            resnet_s(10, &mut rng()),
+            resnet_10(10, &mut rng()),
+            resnet_14(10, &mut rng()),
+            mobilenet_v2(100, &mut rng()),
+        ] {
+            let mut net = build.net;
+            let n = net.num_params();
+            assert!(n < 150_000, "{}: {n} params", build.name);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Full-size network shape descriptions (paper §5.1).
+
+use wp_core::netspec::{ConvSpec, LayerSpec, NetSpec};
+
+fn conv(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, pad: usize) -> LayerSpec {
+    // Compressed iff the channel depth is z-groupable at the paper's group
+    // size of 8; the first layer of each network is marked uncompressed by
+    // the builders below.
+    LayerSpec::Conv(ConvSpec { in_ch, out_ch, kernel, stride, pad, compressed: in_ch % 8 == 0 })
+}
+
+fn uncompressed_conv(
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> LayerSpec {
+    LayerSpec::Conv(ConvSpec { in_ch, out_ch, kernel, stride, pad, compressed: false })
+}
+
+/// Appends one option-A basic block (two 3×3 convs + residual add).
+fn push_basic_block(layers: &mut Vec<LayerSpec>, in_ch: usize, out_ch: usize, stride: usize) {
+    layers.push(conv(in_ch, out_ch, 3, stride, 1));
+    layers.push(conv(out_ch, out_ch, 3, 1, 1));
+    layers.push(LayerSpec::ResidualAdd);
+}
+
+/// CIFAR-style truncated ResNet shared scaffold: 3×3 stem, basic-block
+/// stages, global pool, classifier.
+fn resnet(
+    name: &str,
+    stem_ch: usize,
+    stem_stride: usize,
+    stages: &[(usize, usize, usize)], // (channels, blocks, first stride)
+    classes: usize,
+) -> NetSpec {
+    let mut layers = vec![uncompressed_conv(3, stem_ch, 3, stem_stride, 1)];
+    let mut ch = stem_ch;
+    for &(out_ch, blocks, first_stride) in stages {
+        for b in 0..blocks {
+            let stride = if b == 0 { first_stride } else { 1 };
+            push_basic_block(&mut layers, ch, out_ch, stride);
+            ch = out_ch;
+        }
+    }
+    layers.push(LayerSpec::GlobalAvgPool);
+    layers.push(LayerSpec::Dense { in_features: ch, out_features: classes, compressed: false });
+    NetSpec { name: name.to_string(), input: (3, 32, 32), classes, layers }
+}
+
+/// ResNet-s: the scaled-down ResNet-18 used by MLPerf Tiny
+/// (Banbury et al., 2021) — 16-channel stem, stages 16/32/64 with two
+/// blocks each. Conv weights: 170,928 (paper Table 3 exactly).
+pub fn resnet_s() -> NetSpec {
+    resnet("ResNet-s", 16, 1, &[(16, 2, 2), (32, 2, 2), (64, 2, 2)], 10)
+}
+
+/// ResNet-10: ResNet-18 with the last two blocks truncated — 64-channel
+/// stem (stride 2 on 32×32 input), stages 64/128. Conv weights: 665,280
+/// (paper Table 3 exactly).
+pub fn resnet_10() -> NetSpec {
+    resnet("ResNet-10", 64, 2, &[(64, 2, 1), (128, 2, 2)], 10)
+}
+
+/// ResNet-14: ResNet-18 with the last block truncated — stages 64/128/256.
+/// Conv weights: 2,729,664 (paper Table 3 exactly).
+pub fn resnet_14() -> NetSpec {
+    resnet("ResNet-14", 64, 2, &[(64, 2, 1), (128, 2, 2), (256, 2, 2)], 10)
+}
+
+/// TinyConv: the CMSIS-NN-style convnet (Lai et al., 2018) adapted to
+/// Quickdraw-100's 28×28 grayscale input: three 5×5 conv/pool stages and a
+/// classifier. Conv weights: 77,600 (paper reports 81,600; the exact
+/// classifier head of their variant is not specified — see DESIGN.md).
+pub fn tinyconv() -> NetSpec {
+    NetSpec {
+        name: "TinyConv".to_string(),
+        input: (1, 28, 28),
+        classes: 100,
+        layers: vec![
+            uncompressed_conv(1, 32, 5, 1, 2),
+            LayerSpec::MaxPool { size: 2 },
+            conv(32, 32, 5, 1, 2),
+            LayerSpec::MaxPool { size: 2 },
+            conv(32, 64, 5, 1, 2),
+            LayerSpec::MaxPool { size: 2 },
+            LayerSpec::GlobalAvgPool,
+            LayerSpec::Dense { in_features: 64, out_features: 100, compressed: false },
+        ],
+    }
+}
+
+/// MobileNet-v2 (width 1.0) adapted to Quickdraw-100's 28×28 input with
+/// CIFAR-style strides. Only 1×1 pointwise convolutions are compressed
+/// (paper §5.1); depthwise layers and the 3×3 stem stay direct. Conv
+/// weights ≈ 2.29 M (paper reports 2,249,792).
+pub fn mobilenet_v2() -> NetSpec {
+    // (expansion t, out channels c, repeats n, first stride s)
+    let cfg: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 1),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut layers = vec![uncompressed_conv(1, 32, 3, 1, 1)];
+    let mut ch = 32usize;
+    for &(t, c, n, s) in &cfg {
+        for rep in 0..n {
+            let stride = if rep == 0 { s } else { 1 };
+            let hidden = ch * t;
+            if t != 1 {
+                layers.push(conv(ch, hidden, 1, 1, 0)); // expand (pointwise)
+            }
+            layers.push(LayerSpec::DwConv { channels: hidden, kernel: 3, stride, pad: 1 });
+            layers.push(conv(hidden, c, 1, 1, 0)); // project (pointwise)
+            if stride == 1 && ch == c {
+                layers.push(LayerSpec::ResidualAdd);
+            }
+            ch = c;
+        }
+    }
+    layers.push(conv(ch, 1280, 1, 1, 0)); // head (pointwise)
+    layers.push(LayerSpec::GlobalAvgPool);
+    layers.push(LayerSpec::Dense { in_features: 1280, out_features: 100, compressed: false });
+    NetSpec { name: "MobileNet-v2".to_string(), input: (1, 28, 28), classes: 100, layers }
+}
+
+/// All five evaluation networks in the paper's Table 3 order.
+pub fn all_networks() -> Vec<NetSpec> {
+    vec![tinyconv(), resnet_s(), resnet_10(), resnet_14(), mobilenet_v2()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_param_counts_match_paper_exactly() {
+        // Paper Table 3, "Total param" column (conv weights only).
+        assert_eq!(resnet_s().params().conv, 170_928);
+        assert_eq!(resnet_10().params().conv, 665_280);
+        assert_eq!(resnet_14().params().conv, 2_729_664);
+    }
+
+    #[test]
+    fn tinyconv_params_close_to_paper() {
+        let p = tinyconv().params().conv;
+        let paper = 81_600f64;
+        let rel = (p as f64 - paper).abs() / paper;
+        assert!(rel < 0.06, "TinyConv conv weights {p} vs paper 81,600");
+    }
+
+    #[test]
+    fn mobilenet_params_close_to_paper() {
+        let p = mobilenet_v2().params();
+        let total_conv = p.conv + p.depthwise;
+        let paper = 2_249_792f64;
+        let rel = (total_conv as f64 - paper).abs() / paper;
+        assert!(rel < 0.06, "MobileNet-v2 conv weights {total_conv} vs paper 2,249,792");
+    }
+
+    #[test]
+    fn all_specs_resolve() {
+        for net in all_networks() {
+            let resolved = net.resolve();
+            assert!(!resolved.is_empty(), "{} resolves", net.name);
+            // Last layer must produce the class count.
+            assert_eq!(resolved.last().unwrap().out_ch, net.classes, "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn first_conv_is_uncompressed_everywhere() {
+        for net in all_networks() {
+            let first_conv = net
+                .layers
+                .iter()
+                .find_map(|l| match l {
+                    wp_core::netspec::LayerSpec::Conv(c) => Some(c),
+                    _ => None,
+                })
+                .unwrap();
+            assert!(!first_conv.compressed, "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn compressed_layers_are_groupable() {
+        for net in all_networks() {
+            for layer in &net.layers {
+                if let wp_core::netspec::LayerSpec::Conv(c) = layer {
+                    if c.compressed {
+                        assert_eq!(c.in_ch % 8, 0, "{}: {c:?}", net.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mobilenet_depthwise_fraction_small() {
+        // Paper §5.1: depthwise layers are 2.93% of storage.
+        let p = mobilenet_v2().params();
+        let frac = p.depthwise as f64 / (p.conv + p.depthwise + p.dense) as f64;
+        assert!(frac < 0.05, "depthwise fraction {frac}");
+    }
+
+    #[test]
+    fn compressed_fraction_dominates_on_resnet14() {
+        let p = resnet_14().params();
+        assert!(p.conv_compressed as f64 / p.conv as f64 > 0.99);
+    }
+
+    #[test]
+    fn macs_are_mcu_scale() {
+        // Sanity: the paper runs these on 120 MHz cores in seconds, so MAC
+        // counts must be tens of millions, not billions.
+        for net in all_networks() {
+            let macs = net.macs();
+            assert!(
+                (1_000_000..300_000_000).contains(&macs),
+                "{}: {macs} MACs",
+                net.name
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Elementwise activations.
+
+use crate::layer::Layer;
+use wp_tensor::Tensor;
+
+/// Rectified linear unit, `max(0, x)`.
+///
+/// ReLU matters to the bit-serial pipeline beyond nonlinearity: it makes
+/// activations non-negative, so they quantize to *unsigned* codes whose bits
+/// are plain 0/1 multipliers in the bit-serial decomposition (paper Eq. 2).
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+        self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        assert_eq!(mask.len(), grad_out.len());
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.dims())
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// ReLU clipped at 6, `min(max(0, x), 6)`, as used by MobileNet-v2.
+#[derive(Debug, Default)]
+pub struct Relu6 {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu6 {
+    /// Creates a ReLU6 layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu6 {
+    fn forward(&mut self, input: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+        self.mask = Some(input.data().iter().map(|&v| v > 0.0 && v < 6.0).collect());
+        input.map(|v| v.clamp(0.0, 6.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        assert_eq!(mask.len(), grad_out.len());
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.dims())
+    }
+
+    fn name(&self) -> &'static str {
+        "relu6"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clips_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0f32, 0.0, 2.0], &[3]);
+        let y = relu.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0f32, 0.5, 3.0], &[3]);
+        relu.forward(&x, true);
+        let g = relu.backward(&Tensor::from_vec(vec![1.0f32, 1.0, 1.0], &[3]));
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu6_clips_both_sides() {
+        let mut relu = Relu6::new();
+        let x = Tensor::from_vec(vec![-2.0f32, 3.0, 9.0], &[3]);
+        let y = relu.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn relu6_gradient_zero_in_saturation() {
+        let mut relu = Relu6::new();
+        let x = Tensor::from_vec(vec![-2.0f32, 3.0, 9.0], &[3]);
+        relu.forward(&x, true);
+        let g = relu.backward(&Tensor::from_vec(vec![1.0f32, 1.0, 1.0], &[3]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Activation fake-quantization layer with shared control handles.
+//!
+//! The paper's accuracy experiments need two behaviours at activation sites:
+//!
+//! 1. **Calibration** (observe): record activation samples so the iterative
+//!    clip search (`wp-quant::search_unsigned_clip`) can pick quantization
+//!    ranges (paper §5.3.3).
+//! 2. **Fake quantization** (quantize): snap activations onto the M-bit grid
+//!    during forward, with a straight-through backward, enabling
+//!    quantization-aware retraining (Table 6's bracketed results).
+//!
+//! Because activation sites live inside composite blocks, each [`ActQuant`]
+//! layer shares its state through a cloneable [`ActQuantHandle`]; model
+//! builders collect the handles so experiments can flip every site's mode
+//! at once.
+
+use crate::layer::Layer;
+use std::cell::RefCell;
+use std::rc::Rc;
+use wp_quant::{fake_quantize, search_unsigned_clip, UnsignedQuantParams};
+use wp_tensor::Tensor;
+
+/// What an [`ActQuant`] layer does on forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActQuantMode {
+    /// Pass activations through unchanged (default).
+    Off,
+    /// Pass through, but record a subsample of values for calibration.
+    Observe,
+    /// Fake-quantize using the calibrated parameters.
+    Quantize,
+}
+
+/// Shared state of one activation-quantization site.
+#[derive(Debug)]
+pub struct ActQuantState {
+    /// Current mode.
+    pub mode: ActQuantMode,
+    /// Calibrated quantizer, set by [`ActQuantHandle::finalize`].
+    pub params: Option<UnsignedQuantParams>,
+    /// Sampled activation values collected in observe mode.
+    pub samples: Vec<f32>,
+    /// Cap on retained samples (observe mode subsamples beyond this).
+    pub max_samples: usize,
+    observe_counter: usize,
+}
+
+impl Default for ActQuantState {
+    fn default() -> Self {
+        Self {
+            mode: ActQuantMode::Off,
+            params: None,
+            samples: Vec::new(),
+            max_samples: 4096,
+            observe_counter: 0,
+        }
+    }
+}
+
+/// Cloneable handle controlling one activation-quantization site.
+#[derive(Debug, Clone, Default)]
+pub struct ActQuantHandle {
+    state: Rc<RefCell<ActQuantState>>,
+}
+
+impl ActQuantHandle {
+    /// Creates a handle with default (Off) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the mode.
+    pub fn set_mode(&self, mode: ActQuantMode) {
+        self.state.borrow_mut().mode = mode;
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> ActQuantMode {
+        self.state.borrow().mode
+    }
+
+    /// Clears collected calibration samples.
+    pub fn clear_samples(&self) {
+        let mut s = self.state.borrow_mut();
+        s.samples.clear();
+        s.observe_counter = 0;
+    }
+
+    /// Number of collected calibration samples.
+    pub fn sample_count(&self) -> usize {
+        self.state.borrow().samples.len()
+    }
+
+    /// Runs the clip search on collected samples and stores `bits`-bit
+    /// quantization parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were collected.
+    pub fn finalize(&self, bits: u8, search_steps: usize) {
+        let mut s = self.state.borrow_mut();
+        assert!(!s.samples.is_empty(), "finalize called with no calibration samples");
+        let result = search_unsigned_clip(&s.samples, bits, search_steps);
+        s.params = Some(result.params);
+    }
+
+    /// Re-derives parameters at a different bitwidth keeping the calibrated
+    /// clip (used to sweep activation bitwidth without re-calibrating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ActQuantHandle::finalize`] has not run.
+    pub fn set_bits(&self, bits: u8) {
+        let mut s = self.state.borrow_mut();
+        let params = s.params.expect("set_bits requires calibrated params");
+        s.params = Some(params.with_bits(bits));
+    }
+
+    /// The calibrated quantizer, if any.
+    pub fn params(&self) -> Option<UnsignedQuantParams> {
+        self.state.borrow().params
+    }
+
+    /// Directly installs quantization parameters (used by tests and by
+    /// deployment code that already knows the range).
+    pub fn set_params(&self, params: UnsignedQuantParams) {
+        self.state.borrow_mut().params = Some(params);
+    }
+}
+
+/// The activation fake-quantization layer. Create one per activation site
+/// and keep the [`ActQuantHandle`] to control it.
+#[derive(Debug, Default)]
+pub struct ActQuant {
+    handle: ActQuantHandle,
+}
+
+impl ActQuant {
+    /// Creates a layer controlled by `handle`.
+    pub fn new(handle: ActQuantHandle) -> Self {
+        Self { handle }
+    }
+
+    /// The controlling handle.
+    pub fn handle(&self) -> ActQuantHandle {
+        self.handle.clone()
+    }
+}
+
+impl Layer for ActQuant {
+    fn forward(&mut self, input: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+        let mut state = self.handle.state.borrow_mut();
+        match state.mode {
+            ActQuantMode::Off => input.clone(),
+            ActQuantMode::Observe => {
+                // Deterministic strided subsampling caps memory while
+                // covering the value distribution.
+                let remaining = state.max_samples.saturating_sub(state.samples.len());
+                if remaining > 0 {
+                    let stride = (input.len() / remaining).max(1);
+                    let offset = state.observe_counter % stride;
+                    let vals: Vec<f32> = input
+                        .data()
+                        .iter()
+                        .skip(offset)
+                        .step_by(stride)
+                        .take(remaining)
+                        .copied()
+                        .collect();
+                    state.samples.extend(vals);
+                }
+                state.observe_counter += 1;
+                input.clone()
+            }
+            ActQuantMode::Quantize => {
+                let params = state
+                    .params
+                    .expect("ActQuant in Quantize mode without calibrated params");
+                fake_quantize(input, &params)
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        // Straight-through estimator: gradients pass unchanged.
+        grad_out.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "act_quant"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_mode_is_identity() {
+        let mut aq = ActQuant::default();
+        let x = Tensor::from_vec(vec![0.1f32, -0.5, 2.7], &[3]);
+        assert_eq!(aq.forward(&x, false), x);
+    }
+
+    #[test]
+    fn observe_collects_then_finalize_quantizes() {
+        let aq_handle = ActQuantHandle::new();
+        let mut aq = ActQuant::new(aq_handle.clone());
+        aq_handle.set_mode(ActQuantMode::Observe);
+        let x = Tensor::from_vec((0..64).map(|i| i as f32 / 16.0).collect(), &[64]);
+        aq.forward(&x, false);
+        assert!(aq_handle.sample_count() > 0);
+        aq_handle.finalize(4, 20);
+        aq_handle.set_mode(ActQuantMode::Quantize);
+        let y = aq.forward(&x, false);
+        let params = aq_handle.params().unwrap();
+        for &v in y.data() {
+            let code = v / params.scale();
+            assert!((code - code.round()).abs() < 1e-4, "{v} off grid");
+        }
+    }
+
+    #[test]
+    fn backward_is_straight_through() {
+        let mut aq = ActQuant::default();
+        let x = Tensor::from_vec(vec![1.0f32, 2.0], &[2]);
+        aq.forward(&x, true);
+        let g = Tensor::from_vec(vec![0.3f32, -0.7], &[2]);
+        assert_eq!(aq.backward(&g), g);
+    }
+
+    #[test]
+    fn set_bits_keeps_clip() {
+        let handle = ActQuantHandle::new();
+        handle.set_params(UnsignedQuantParams::from_max(4.0, 8));
+        handle.set_bits(3);
+        let p = handle.params().unwrap();
+        assert_eq!(p.bits(), 3);
+        assert!((p.clip() - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sample_cap_respected() {
+        let handle = ActQuantHandle::new();
+        let mut aq = ActQuant::new(handle.clone());
+        handle.set_mode(ActQuantMode::Observe);
+        let x = Tensor::<f32>::full(&[10_000], 1.0);
+        aq.forward(&x, false);
+        aq.forward(&x, false);
+        assert!(handle.sample_count() <= 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "without calibrated params")]
+    fn quantize_without_params_panics() {
+        let handle = ActQuantHandle::new();
+        let mut aq = ActQuant::new(handle.clone());
+        handle.set_mode(ActQuantMode::Quantize);
+        aq.forward(&Tensor::from_vec(vec![1.0f32], &[1]), false);
+    }
+}

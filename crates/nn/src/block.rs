@@ -1,0 +1,459 @@
+//! Composite residual blocks: the CIFAR ResNet basic block with option-A
+//! shortcuts and MobileNet-v2's inverted residual.
+
+use crate::layer::{Layer, Param};
+use crate::{ActQuant, ActQuantHandle, BatchNorm2d, Conv2d, DepthwiseConv2d, Relu, Relu6};
+use rand::Rng;
+use wp_tensor::Tensor;
+
+/// A ResNet basic block: `relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x))`.
+///
+/// The shortcut is **option A** (parameter-free), matching the architecture
+/// whose conv-weight counts reproduce the paper's Table 3 exactly: identity
+/// when shape is preserved, otherwise stride-subsampling plus zero-padding
+/// of the new channels.
+#[derive(Debug)]
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    aq1: Option<ActQuant>,
+    aq2: Option<ActQuant>,
+    cached_input_dims: Option<Vec<usize>>,
+    final_mask: Option<Vec<bool>>,
+}
+
+impl BasicBlock {
+    /// Creates a basic block mapping `in_ch` channels to `out_ch` at the
+    /// given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_ch < in_ch` when a projection-free (option-A) shortcut
+    /// is required, or if any dimension is zero.
+    pub fn new(in_ch: usize, out_ch: usize, stride: usize, rng: &mut impl Rng) -> Self {
+        assert!(
+            out_ch >= in_ch,
+            "option-A shortcut cannot reduce channels ({in_ch} -> {out_ch})"
+        );
+        Self {
+            conv1: Conv2d::new(in_ch, out_ch, 3, stride, 1, rng),
+            bn1: BatchNorm2d::new(out_ch),
+            relu1: Relu::new(),
+            conv2: Conv2d::new(out_ch, out_ch, 3, 1, 1, rng),
+            bn2: BatchNorm2d::new(out_ch),
+            in_ch,
+            out_ch,
+            stride,
+            aq1: None,
+            aq2: None,
+            cached_input_dims: None,
+            final_mask: None,
+        }
+    }
+
+    /// Attaches activation fake-quant sites after both ReLUs, returning
+    /// their control handles (inner ReLU first, block output second).
+    pub fn attach_act_quant(&mut self) -> (ActQuantHandle, ActQuantHandle) {
+        let h1 = ActQuantHandle::new();
+        let h2 = ActQuantHandle::new();
+        self.aq1 = Some(ActQuant::new(h1.clone()));
+        self.aq2 = Some(ActQuant::new(h2.clone()));
+        (h1, h2)
+    }
+
+    /// Applies the option-A shortcut: stride-subsample and zero-pad channels.
+    fn shortcut(&self, input: &Tensor<f32>) -> Tensor<f32> {
+        let d = input.dims();
+        let (n, h, w) = (d[0], d[2], d[3]);
+        let s = self.stride;
+        let (oh, ow) = ((h - 1) / s + 1, (w - 1) / s + 1);
+        if s == 1 && self.in_ch == self.out_ch {
+            return input.clone();
+        }
+        let mut out = Tensor::<f32>::zeros(&[n, self.out_ch, oh, ow]);
+        for b in 0..n {
+            for c in 0..self.in_ch {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        out.set4(b, c, y, x, input.get4(b, c, y * s, x * s));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward through the option-A shortcut.
+    fn shortcut_backward(&self, grad: &Tensor<f32>, in_dims: &[usize]) -> Tensor<f32> {
+        let s = self.stride;
+        if s == 1 && self.in_ch == self.out_ch {
+            return grad.clone();
+        }
+        let (n, h, w) = (in_dims[0], in_dims[2], in_dims[3]);
+        let (oh, ow) = ((h - 1) / s + 1, (w - 1) / s + 1);
+        let mut out = Tensor::<f32>::zeros(in_dims);
+        for b in 0..n {
+            for c in 0..self.in_ch {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        out.set4(b, c, y * s, x * s, grad.get4(b, c, y, x));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        self.cached_input_dims = Some(input.dims().to_vec());
+        let mut y = self.conv1.forward(input, train);
+        y = self.bn1.forward(&y, train);
+        y = self.relu1.forward(&y, train);
+        if let Some(aq) = self.aq1.as_mut() {
+            y = aq.forward(&y, train);
+        }
+        y = self.conv2.forward(&y, train);
+        y = self.bn2.forward(&y, train);
+        let sc = self.shortcut(input);
+        assert_eq!(y.dims(), sc.dims(), "residual branch shapes diverged");
+        let mut sum = y;
+        sum.add_scaled(&sc, 1.0);
+        self.final_mask = Some(sum.data().iter().map(|&v| v > 0.0).collect());
+        let mut out = sum.map(|v| v.max(0.0));
+        if let Some(aq) = self.aq2.as_mut() {
+            out = aq.forward(&out, train);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let mask = self.final_mask.as_ref().expect("backward before forward");
+        // ActQuant backward is straight-through, so grad_out passes the aq2
+        // site unchanged before hitting the final-ReLU mask.
+        let masked = Tensor::from_vec(
+            grad_out
+                .data()
+                .iter()
+                .zip(mask)
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect(),
+            grad_out.dims(),
+        );
+        // Main branch.
+        let mut g = self.bn2.backward(&masked);
+        g = self.conv2.backward(&g);
+        g = self.relu1.backward(&g);
+        g = self.bn1.backward(&g);
+        let mut grad_in = self.conv1.backward(&g);
+        // Shortcut branch.
+        let in_dims = self.cached_input_dims.clone().unwrap();
+        let sc_grad = self.shortcut_backward(&masked, &in_dims);
+        grad_in.add_scaled(&sc_grad, 1.0);
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = self.conv1.params_mut();
+        out.extend(self.bn1.params_mut());
+        out.extend(self.conv2.params_mut());
+        out.extend(self.bn2.params_mut());
+        out
+    }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        self.conv1.visit_convs(f);
+        self.conv2.visit_convs(f);
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        let mut out = self.bn1.buffers_mut();
+        out.extend(self.bn2.buffers_mut());
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "basic_block"
+    }
+}
+
+/// MobileNet-v2's inverted residual: 1×1 expand → 3×3 depthwise → 1×1
+/// project, with a skip connection when shape is preserved.
+#[derive(Debug)]
+pub struct InvertedResidual {
+    expand: Option<(Conv2d, BatchNorm2d, Relu6)>,
+    depthwise: DepthwiseConv2d,
+    bn_dw: BatchNorm2d,
+    relu_dw: Relu6,
+    project: Conv2d,
+    bn_proj: BatchNorm2d,
+    use_skip: bool,
+    aq_expand: Option<ActQuant>,
+    aq_dw: Option<ActQuant>,
+}
+
+impl InvertedResidual {
+    /// Creates an inverted residual with expansion factor `expand_ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the expansion ratio is zero.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        expand_ratio: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(expand_ratio > 0, "expansion ratio must be positive");
+        let hidden = in_ch * expand_ratio;
+        let expand = if expand_ratio != 1 {
+            Some((
+                Conv2d::new(in_ch, hidden, 1, 1, 0, rng),
+                BatchNorm2d::new(hidden),
+                Relu6::new(),
+            ))
+        } else {
+            None
+        };
+        Self {
+            expand,
+            depthwise: DepthwiseConv2d::new(hidden, 3, stride, 1, rng),
+            bn_dw: BatchNorm2d::new(hidden),
+            relu_dw: Relu6::new(),
+            project: Conv2d::new(hidden, out_ch, 1, 1, 0, rng),
+            bn_proj: BatchNorm2d::new(out_ch),
+            use_skip: stride == 1 && in_ch == out_ch,
+            aq_expand: None,
+            aq_dw: None,
+        }
+    }
+
+    /// Whether this block adds the skip connection.
+    pub fn has_skip(&self) -> bool {
+        self.use_skip
+    }
+
+    /// Attaches activation fake-quant sites after each ReLU6 the block
+    /// actually has (post-expand only when an expand conv exists, then
+    /// post-depthwise), returning their control handles in forward order.
+    pub fn attach_act_quant(&mut self) -> Vec<ActQuantHandle> {
+        let mut handles = Vec::new();
+        if self.expand.is_some() {
+            let h = ActQuantHandle::new();
+            self.aq_expand = Some(ActQuant::new(h.clone()));
+            handles.push(h);
+        }
+        let h = ActQuantHandle::new();
+        self.aq_dw = Some(ActQuant::new(h.clone()));
+        handles.push(h);
+        handles
+    }
+}
+
+impl Layer for InvertedResidual {
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let mut y = input.clone();
+        if let Some((conv, bn, act)) = self.expand.as_mut() {
+            y = conv.forward(&y, train);
+            y = bn.forward(&y, train);
+            y = act.forward(&y, train);
+            if let Some(aq) = self.aq_expand.as_mut() {
+                y = aq.forward(&y, train);
+            }
+        }
+        y = self.depthwise.forward(&y, train);
+        y = self.bn_dw.forward(&y, train);
+        y = self.relu_dw.forward(&y, train);
+        if let Some(aq) = self.aq_dw.as_mut() {
+            y = aq.forward(&y, train);
+        }
+        y = self.project.forward(&y, train);
+        y = self.bn_proj.forward(&y, train);
+        if self.use_skip {
+            y.add_scaled(input, 1.0);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let mut g = self.bn_proj.backward(grad_out);
+        g = self.project.backward(&g);
+        g = self.relu_dw.backward(&g);
+        g = self.bn_dw.backward(&g);
+        g = self.depthwise.backward(&g);
+        if let Some((conv, bn, act)) = self.expand.as_mut() {
+            g = act.backward(&g);
+            g = bn.backward(&g);
+            g = conv.backward(&g);
+        }
+        if self.use_skip {
+            let mut grad_in = g;
+            grad_in.add_scaled(grad_out, 1.0);
+            grad_in
+        } else {
+            g
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        if let Some((conv, bn, _)) = self.expand.as_mut() {
+            out.extend(conv.params_mut());
+            out.extend(bn.params_mut());
+        }
+        out.extend(self.depthwise.params_mut());
+        out.extend(self.bn_dw.params_mut());
+        out.extend(self.project.params_mut());
+        out.extend(self.bn_proj.params_mut());
+        out
+    }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        // Depthwise is intentionally excluded (uncompressed in the paper).
+        if let Some((conv, _, _)) = self.expand.as_mut() {
+            conv.visit_convs(f);
+        }
+        self.project.visit_convs(f);
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        let mut out = Vec::new();
+        if let Some((_, bn, _)) = self.expand.as_mut() {
+            out.extend(bn.buffers_mut());
+        }
+        out.extend(self.bn_dw.buffers_mut());
+        out.extend(self.bn_proj.buffers_mut());
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "inverted_residual"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn identity_block_shape() {
+        let mut r = rng(0);
+        let mut blk = BasicBlock::new(8, 8, 1, &mut r);
+        let x = Tensor::<f32>::full(&[2, 8, 8, 8], 0.3);
+        let y = blk.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn downsample_block_shape() {
+        let mut r = rng(0);
+        let mut blk = BasicBlock::new(8, 16, 2, &mut r);
+        let x = Tensor::<f32>::full(&[1, 8, 8, 8], 0.3);
+        let y = blk.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 16, 4, 4]);
+    }
+
+    #[test]
+    fn option_a_shortcut_zero_pads() {
+        let mut r = rng(0);
+        let blk = BasicBlock::new(2, 4, 2, &mut r);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 2, 2, 4]);
+        let sc = blk.shortcut(&x);
+        assert_eq!(sc.dims(), &[1, 4, 1, 2]);
+        // First two channels subsampled, last two all zero.
+        assert_eq!(sc.get4(0, 0, 0, 0), x.get4(0, 0, 0, 0));
+        assert_eq!(sc.get4(0, 0, 0, 1), x.get4(0, 0, 0, 2));
+        assert_eq!(sc.get4(0, 2, 0, 0), 0.0);
+        assert_eq!(sc.get4(0, 3, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn block_gradcheck_through_shortcut() {
+        let mut r = rng(7);
+        let mut blk = BasicBlock::new(2, 4, 2, &mut r);
+        let mut x = Tensor::<f32>::zeros(&[1, 2, 4, 4]);
+        wp_tensor::fill_uniform(&mut x, -1.0, 1.0, &mut r);
+        let weights: Vec<f32> = (0..16).map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.3).collect();
+        let loss = |y: &Tensor<f32>| -> f32 {
+            y.data().iter().zip(&weights).map(|(v, w)| v * w).sum()
+        };
+        let y = blk.forward(&x, true);
+        assert_eq!(y.len(), weights.len());
+        let grad_out = Tensor::from_vec(weights.clone(), y.dims());
+        let grad_in = blk.backward(&grad_out);
+        let eps = 1e-2f32;
+        let mut checked = 0;
+        for xi in 0..x.len() {
+            let orig = x.data()[xi];
+            x.data_mut()[xi] = orig + eps;
+            let lp = loss(&blk.forward(&x, true));
+            x.data_mut()[xi] = orig - eps;
+            let lm = loss(&blk.forward(&x, true));
+            x.data_mut()[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.data()[xi];
+            // ReLU kinks make exact agreement impossible at some points;
+            // require agreement where the numeric gradient is stable.
+            if (numeric - analytic).abs() < 0.1 * analytic.abs().max(0.5) {
+                checked += 1;
+            }
+        }
+        assert!(checked >= x.len() * 3 / 4, "only {checked}/{} gradients stable", x.len());
+    }
+
+    #[test]
+    fn inverted_residual_shapes() {
+        let mut r = rng(1);
+        let mut blk = InvertedResidual::new(4, 8, 2, 6, &mut r);
+        assert!(!blk.has_skip());
+        let x = Tensor::<f32>::full(&[1, 4, 8, 8], 0.2);
+        let y = blk.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 8, 4, 4]);
+
+        let mut blk2 = InvertedResidual::new(8, 8, 1, 6, &mut r);
+        assert!(blk2.has_skip());
+        let y2 = blk2.forward(&y, true);
+        assert_eq!(y2.dims(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn expand_ratio_one_has_no_expand_conv() {
+        let mut r = rng(2);
+        let mut blk = InvertedResidual::new(4, 6, 1, 1, &mut r);
+        let mut convs = 0;
+        blk.visit_convs(&mut |_| convs += 1);
+        assert_eq!(convs, 1, "only the projection conv should be visited");
+    }
+
+    #[test]
+    fn visit_convs_skips_depthwise() {
+        let mut r = rng(3);
+        let mut blk = InvertedResidual::new(4, 6, 1, 6, &mut r);
+        let mut kernel_sizes = Vec::new();
+        blk.visit_convs(&mut |c| kernel_sizes.push(c.kernel()));
+        // Expand and project are 1x1; the 3x3 depthwise is not visited.
+        assert_eq!(kernel_sizes, vec![1, 1]);
+    }
+
+    #[test]
+    fn basic_block_visit_convs_sees_both() {
+        let mut r = rng(4);
+        let mut blk = BasicBlock::new(4, 4, 1, &mut r);
+        let mut n = 0;
+        blk.visit_convs(&mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+}

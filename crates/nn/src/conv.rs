@@ -1,0 +1,600 @@
+//! Standard and depthwise 2D convolutions with backward passes.
+
+use crate::layer::{Layer, Param};
+use rand::Rng;
+use std::rc::Rc;
+use wp_tensor::{fill_kaiming_normal, Conv2dGeometry, Tensor};
+
+/// An inference-time replacement for a convolution's forward computation.
+///
+/// The weight-pool compressor installs overrides that execute the bit-serial
+/// lookup-table arithmetic (including LUT and activation quantization) in
+/// place of the float convolution, which is how the paper simulates the
+/// proposed bit-serial lookup implementation for the accuracy tables.
+/// Overrides apply only when `forward` is called with `train == false`.
+pub trait ConvOverride {
+    /// Computes the layer output from `input`, with read access to the
+    /// conv's own weights/bias/geometry.
+    fn forward(&self, conv: &Conv2d, input: &Tensor<f32>) -> Tensor<f32>;
+}
+
+/// A standard 2D convolution, weight layout `[K, C, R, S]`, with bias.
+///
+/// Stride and padding are uniform in both spatial dimensions; the geometry
+/// is recomputed from the incoming tensor every forward call, so one layer
+/// instance can serve any input resolution.
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cached_input: Option<Tensor<f32>>,
+    cached_geo: Option<Conv2dGeometry>,
+    override_hook: Option<Rc<dyn ConvOverride>>,
+}
+
+impl std::fmt::Debug for Conv2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conv2d")
+            .field("in_ch", &self.in_ch)
+            .field("out_ch", &self.out_ch)
+            .field("kernel", &self.kernel)
+            .field("stride", &self.stride)
+            .field("pad", &self.pad)
+            .field("override", &self.override_hook.is_some())
+            .finish()
+    }
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_ch`, `out_ch`, `kernel`, `stride` is zero.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && kernel > 0 && stride > 0);
+        let mut weight = Tensor::zeros(&[out_ch, in_ch, kernel, kernel]);
+        fill_kaiming_normal(&mut weight, in_ch * kernel * kernel, rng);
+        let bias = Tensor::zeros(&[out_ch]);
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            cached_input: None,
+            cached_geo: None,
+            override_hook: None,
+        }
+    }
+
+    /// Installs (or clears) an inference-time forward override.
+    pub fn set_override(&mut self, hook: Option<Rc<dyn ConvOverride>>) {
+        self.override_hook = hook;
+    }
+
+    /// Whether an inference override is installed.
+    pub fn has_override(&self) -> bool {
+        self.override_hook.is_some()
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Number of filters (output channels).
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Spatial stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// The weight tensor, `[K, C, R, S]`.
+    pub fn weight(&self) -> &Tensor<f32> {
+        &self.weight.value
+    }
+
+    /// Mutable weight access (used by the weight-pool projector).
+    pub fn weight_mut(&mut self) -> &mut Tensor<f32> {
+        &mut self.weight.value
+    }
+
+    /// The bias vector, `[K]`.
+    pub fn bias(&self) -> &Tensor<f32> {
+        &self.bias.value
+    }
+
+    /// The convolution geometry this layer produces for an `h`×`w` input.
+    pub fn geometry_for(&self, h: usize, w: usize) -> Conv2dGeometry {
+        Conv2dGeometry::new(h, w, self.kernel, self.kernel, self.stride, self.pad)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        if !train {
+            if let Some(hook) = self.override_hook.clone() {
+                return hook.forward(self, input);
+            }
+        }
+        let d = input.dims();
+        assert_eq!(d.len(), 4, "conv expects [N, C, H, W]");
+        assert_eq!(d[1], self.in_ch, "channel mismatch: got {}, want {}", d[1], self.in_ch);
+        let (n, h, w) = (d[0], d[2], d[3]);
+        let geo = Conv2dGeometry::new(h, w, self.kernel, self.kernel, self.stride, self.pad);
+        let (oh, ow) = (geo.out_h(), geo.out_w());
+        let mut out = Tensor::<f32>::zeros(&[n, self.out_ch, oh, ow]);
+
+        let wdat = self.weight.value.data();
+        let bdat = self.bias.value.data();
+        let idat = input.data();
+        let odat = out.data_mut();
+        let k = self.kernel;
+
+        for b in 0..n {
+            for f in 0..self.out_ch {
+                let w_f = &wdat[f * self.in_ch * k * k..(f + 1) * self.in_ch * k * k];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bdat[f];
+                        for c in 0..self.in_ch {
+                            let in_base = ((b * self.in_ch + c) * h) * w;
+                            let w_base = c * k * k;
+                            for ky in 0..k {
+                                let iy = match geo.input_row(oy, ky) {
+                                    Some(v) => v,
+                                    None => continue,
+                                };
+                                for kx in 0..k {
+                                    let ix = match geo.input_col(ox, kx) {
+                                        Some(v) => v,
+                                        None => continue,
+                                    };
+                                    acc += idat[in_base + iy * w + ix]
+                                        * w_f[w_base + ky * k + kx];
+                                }
+                            }
+                        }
+                        odat[((b * self.out_ch + f) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+
+        self.cached_input = Some(input.clone());
+        self.cached_geo = Some(geo);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let geo = self.cached_geo.expect("backward before forward");
+        let d = input.dims();
+        let (n, h, w) = (d[0], d[2], d[3]);
+        let (oh, ow) = (geo.out_h(), geo.out_w());
+        assert_eq!(grad_out.dims(), &[n, self.out_ch, oh, ow]);
+
+        let mut grad_in = Tensor::<f32>::zeros(&[n, self.in_ch, h, w]);
+        let k = self.kernel;
+        let idat = input.data();
+        let godat = grad_out.data();
+        let wdat = self.weight.value.data();
+        let gw = self.weight.grad.data_mut();
+        let gb = self.bias.grad.data_mut();
+        let gi = grad_in.data_mut();
+
+        for b in 0..n {
+            for f in 0..self.out_ch {
+                let w_f = &wdat[f * self.in_ch * k * k..(f + 1) * self.in_ch * k * k];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = godat[((b * self.out_ch + f) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[f] += g;
+                        for c in 0..self.in_ch {
+                            let in_base = ((b * self.in_ch + c) * h) * w;
+                            let w_base = (f * self.in_ch + c) * k * k;
+                            for ky in 0..k {
+                                let iy = match geo.input_row(oy, ky) {
+                                    Some(v) => v,
+                                    None => continue,
+                                };
+                                for kx in 0..k {
+                                    let ix = match geo.input_col(ox, kx) {
+                                        Some(v) => v,
+                                        None => continue,
+                                    };
+                                    let x = idat[in_base + iy * w + ix];
+                                    gw[w_base + ky * k + kx] += g * x;
+                                    gi[in_base + iy * w + ix] +=
+                                        g * w_f[c * k * k + ky * k + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        f(self);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// A depthwise 2D convolution: one `[R, S]` kernel per channel, weight
+/// layout `[C, 1, R, S]`.
+///
+/// MobileNet-v2's depthwise layers stay *uncompressed* in the paper (§5.1);
+/// this layer exists so the MobileNet-v2 model is structurally faithful.
+#[derive(Debug)]
+pub struct DepthwiseConv2d {
+    weight: Param,
+    bias: Param,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cached_input: Option<Tensor<f32>>,
+    cached_geo: Option<Conv2dGeometry>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution with Kaiming-normal weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels`, `kernel`, or `stride` is zero.
+    pub fn new(channels: usize, kernel: usize, stride: usize, pad: usize, rng: &mut impl Rng) -> Self {
+        assert!(channels > 0 && kernel > 0 && stride > 0);
+        let mut weight = Tensor::zeros(&[channels, 1, kernel, kernel]);
+        fill_kaiming_normal(&mut weight, kernel * kernel, rng);
+        let bias = Tensor::zeros(&[channels]);
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            channels,
+            kernel,
+            stride,
+            pad,
+            cached_input: None,
+            cached_geo: None,
+        }
+    }
+
+    /// Number of channels (input = output).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The weight tensor, `[C, 1, R, S]`.
+    pub fn weight(&self) -> &Tensor<f32> {
+        &self.weight.value
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, input: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+        let d = input.dims();
+        assert_eq!(d.len(), 4, "depthwise conv expects [N, C, H, W]");
+        assert_eq!(d[1], self.channels, "channel mismatch");
+        let (n, h, w) = (d[0], d[2], d[3]);
+        let geo = Conv2dGeometry::new(h, w, self.kernel, self.kernel, self.stride, self.pad);
+        let (oh, ow) = (geo.out_h(), geo.out_w());
+        let mut out = Tensor::<f32>::zeros(&[n, self.channels, oh, ow]);
+        let k = self.kernel;
+
+        for b in 0..n {
+            for c in 0..self.channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = self.bias.value.data()[c];
+                        for ky in 0..k {
+                            let iy = match geo.input_row(oy, ky) {
+                                Some(v) => v,
+                                None => continue,
+                            };
+                            for kx in 0..k {
+                                let ix = match geo.input_col(ox, kx) {
+                                    Some(v) => v,
+                                    None => continue,
+                                };
+                                acc += input.get4(b, c, iy, ix)
+                                    * self.weight.value.get4(c, 0, ky, kx);
+                            }
+                        }
+                        out.set4(b, c, oy, ox, acc);
+                    }
+                }
+            }
+        }
+
+        self.cached_input = Some(input.clone());
+        self.cached_geo = Some(geo);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let geo = self.cached_geo.expect("backward before forward");
+        let d = input.dims();
+        let (n, h, w) = (d[0], d[2], d[3]);
+        let (oh, ow) = (geo.out_h(), geo.out_w());
+        let mut grad_in = Tensor::<f32>::zeros(&[n, self.channels, h, w]);
+        let k = self.kernel;
+
+        for b in 0..n {
+            for c in 0..self.channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.get4(b, c, oy, ox);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.bias.grad.data_mut()[c] += g;
+                        for ky in 0..k {
+                            let iy = match geo.input_row(oy, ky) {
+                                Some(v) => v,
+                                None => continue,
+                            };
+                            for kx in 0..k {
+                                let ix = match geo.input_col(ox, kx) {
+                                    Some(v) => v,
+                                    None => continue,
+                                };
+                                let x = input.get4(b, c, iy, ix);
+                                *self.weight.grad.at_mut(&[c, 0, ky, kx]) += g * x;
+                                *grad_in.at_mut(&[b, c, iy, ix]) +=
+                                    g * self.weight.value.get4(c, 0, ky, kx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "depthwise_conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn forward_shape_same_padding() {
+        let mut r = rng(0);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut r);
+        let x = Tensor::<f32>::full(&[2, 3, 8, 8], 0.5);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn forward_shape_stride2() {
+        let mut r = rng(0);
+        let mut conv = Conv2d::new(4, 6, 3, 2, 1, &mut r);
+        let x = Tensor::<f32>::zeros(&[1, 4, 16, 16]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 6, 8, 8]);
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut r = rng(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut r);
+        conv.weight_mut().data_mut()[0] = 1.0;
+        let x = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let mut r = rng(0);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut r);
+        conv.weight_mut().data_mut().fill(0.0);
+        conv.bias.value.data_mut().copy_from_slice(&[1.5, -2.0]);
+        let x = Tensor::<f32>::zeros(&[1, 1, 2, 2]);
+        let y = conv.forward(&x, false);
+        assert!(y.data()[..4].iter().all(|&v| v == 1.5));
+        assert!(y.data()[4..].iter().all(|&v| v == -2.0));
+    }
+
+    /// Finite-difference gradient check for Conv2d (weights, bias, input).
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut r = rng(42);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut r);
+        let x = {
+            let mut t = Tensor::<f32>::zeros(&[1, 2, 4, 4]);
+            wp_tensor::fill_uniform(&mut t, -1.0, 1.0, &mut r);
+            t
+        };
+        // Loss = sum(output); grad_out = ones.
+        let y = conv.forward(&x, true);
+        let ones = Tensor::<f32>::full(y.dims(), 1.0);
+        let grad_in = conv.backward(&ones);
+
+        let eps = 1e-3f32;
+        // Check a scattering of weight coordinates.
+        for &wi in &[0usize, 5, 17, 33, 53] {
+            let orig = conv.weight.value.data()[wi];
+            conv.weight.value.data_mut()[wi] = orig + eps;
+            let lp: f32 = conv.forward(&x, true).data().iter().sum();
+            conv.weight.value.data_mut()[wi] = orig - eps;
+            let lm: f32 = conv.forward(&x, true).data().iter().sum();
+            conv.weight.value.data_mut()[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = conv.weight.grad.data()[wi];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+                "weight[{wi}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Check input gradient coordinates.
+        let mut x2 = x.clone();
+        for &xi in &[0usize, 7, 15, 31] {
+            let orig = x2.data()[xi];
+            x2.data_mut()[xi] = orig + eps;
+            let lp: f32 = conv.forward(&x2, true).data().iter().sum();
+            x2.data_mut()[xi] = orig - eps;
+            let lm: f32 = conv.forward(&x2, true).data().iter().sum();
+            x2.data_mut()[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.data()[xi];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+                "input[{xi}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Bias gradient of sum-loss is the number of output pixels.
+        let px = (4 * 4) as f32;
+        for f in 0..3 {
+            assert!((conv.bias.grad.data()[f] - px).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn depthwise_channels_are_independent() {
+        let mut r = rng(1);
+        let mut dw = DepthwiseConv2d::new(2, 3, 1, 1, &mut r);
+        // Zero the second channel's kernel: its output must be all bias (0).
+        for ky in 0..3 {
+            for kx in 0..3 {
+                *dw.weight.value.at_mut(&[1, 0, ky, kx]) = 0.0;
+            }
+        }
+        let mut x = Tensor::<f32>::zeros(&[1, 2, 4, 4]);
+        wp_tensor::fill_uniform(&mut x, -1.0, 1.0, &mut r);
+        let y = dw.forward(&x, false);
+        for oy in 0..4 {
+            for ox in 0..4 {
+                assert_eq!(y.get4(0, 1, oy, ox), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_gradcheck() {
+        let mut r = rng(9);
+        let mut dw = DepthwiseConv2d::new(2, 3, 1, 1, &mut r);
+        let mut x = Tensor::<f32>::zeros(&[1, 2, 4, 4]);
+        wp_tensor::fill_uniform(&mut x, -1.0, 1.0, &mut r);
+        let y = dw.forward(&x, true);
+        let ones = Tensor::<f32>::full(y.dims(), 1.0);
+        dw.backward(&ones);
+        let eps = 1e-3f32;
+        for &wi in &[0usize, 4, 9, 17] {
+            let orig = dw.weight.value.data()[wi];
+            dw.weight.value.data_mut()[wi] = orig + eps;
+            let lp: f32 = dw.forward(&x, true).data().iter().sum();
+            dw.weight.value.data_mut()[wi] = orig - eps;
+            let lm: f32 = dw.forward(&x, true).data().iter().sum();
+            dw.weight.value.data_mut()[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = dw.weight.grad.data()[wi];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+                "weight[{wi}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn visit_convs_reaches_self() {
+        let mut r = rng(2);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut r);
+        let mut seen = 0;
+        conv.visit_convs(&mut |c| {
+            seen += 1;
+            assert_eq!(c.out_channels(), 4);
+        });
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_rejected() {
+        let mut r = rng(3);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, &mut r);
+        conv.forward(&Tensor::<f32>::zeros(&[1, 2, 4, 4]), false);
+    }
+
+    struct ConstOverride(f32);
+    impl ConvOverride for ConstOverride {
+        fn forward(&self, conv: &Conv2d, input: &Tensor<f32>) -> Tensor<f32> {
+            let d = input.dims();
+            let geo = conv.geometry_for(d[2], d[3]);
+            Tensor::full(&[d[0], conv.out_channels(), geo.out_h(), geo.out_w()], self.0)
+        }
+    }
+
+    #[test]
+    fn override_replaces_eval_forward_only() {
+        let mut r = rng(5);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut r);
+        conv.set_override(Some(std::rc::Rc::new(ConstOverride(7.0))));
+        let x = Tensor::<f32>::full(&[1, 1, 4, 4], 1.0);
+        // Eval uses the override.
+        let y = conv.forward(&x, false);
+        assert!(y.data().iter().all(|&v| v == 7.0));
+        // Training ignores it.
+        let y_train = conv.forward(&x, true);
+        assert!(y_train.data().iter().any(|&v| v != 7.0));
+        // Clearing restores normal eval.
+        conv.set_override(None);
+        let y_clear = conv.forward(&x, false);
+        assert_eq!(y_clear, y_train);
+    }
+}

@@ -1,0 +1,198 @@
+//! Fully-connected layer.
+
+use crate::layer::{Layer, Param};
+use rand::Rng;
+use wp_tensor::{fill_kaiming_normal, Tensor};
+
+/// A fully-connected layer, weight layout `[out, in]`, with bias.
+///
+/// Accepts either `[N, in]` input or `[N, C, H, W]` with `C*H*W == in`
+/// (implicit flatten), which is how the classifier head consumes the last
+/// feature map.
+#[derive(Debug)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor<f32>>, // flattened [N, in]
+    cached_orig_dims: Option<Vec<usize>>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        assert!(in_features > 0 && out_features > 0);
+        let mut weight = Tensor::zeros(&[out_features, in_features]);
+        fill_kaiming_normal(&mut weight, in_features, rng);
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+            cached_orig_dims: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight matrix, `[out, in]`.
+    pub fn weight(&self) -> &Tensor<f32> {
+        &self.weight.value
+    }
+
+    /// Mutable weight access (used by the FC-pooling study).
+    pub fn weight_mut(&mut self) -> &mut Tensor<f32> {
+        &mut self.weight.value
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+        let d = input.dims();
+        let n = d[0];
+        let flat: usize = d[1..].iter().product();
+        assert_eq!(
+            flat, self.in_features,
+            "dense expects {} features, got {flat}",
+            self.in_features
+        );
+        let x = input.reshape(&[n, self.in_features]);
+        let mut out = Tensor::<f32>::zeros(&[n, self.out_features]);
+        for b in 0..n {
+            let row = &x.data()[b * self.in_features..(b + 1) * self.in_features];
+            for o in 0..self.out_features {
+                let wrow =
+                    &self.weight.value.data()[o * self.in_features..(o + 1) * self.in_features];
+                let mut acc = self.bias.value.data()[o];
+                for (xi, wi) in row.iter().zip(wrow) {
+                    acc += xi * wi;
+                }
+                out.data_mut()[b * self.out_features + o] = acc;
+            }
+        }
+        self.cached_orig_dims = Some(d.to_vec());
+        self.cached_input = Some(x);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        let n = x.dims()[0];
+        assert_eq!(grad_out.dims(), &[n, self.out_features]);
+        let mut grad_in = Tensor::<f32>::zeros(&[n, self.in_features]);
+
+        for b in 0..n {
+            let row = &x.data()[b * self.in_features..(b + 1) * self.in_features];
+            for o in 0..self.out_features {
+                let g = grad_out.data()[b * self.out_features + o];
+                if g == 0.0 {
+                    continue;
+                }
+                self.bias.grad.data_mut()[o] += g;
+                let wbase = o * self.in_features;
+                for i in 0..self.in_features {
+                    self.weight.grad.data_mut()[wbase + i] += g * row[i];
+                    grad_in.data_mut()[b * self.in_features + i] +=
+                        g * self.weight.value.data()[wbase + i];
+                }
+            }
+        }
+        let dims = self.cached_orig_dims.as_ref().unwrap();
+        grad_in.reshape(dims)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_dense(&mut self, f: &mut dyn FnMut(&mut Dense)) {
+        f(self);
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual_matmul() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(0);
+        let mut d = Dense::new(3, 2, &mut r);
+        d.weight.value = Tensor::from_vec(vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.5], &[2, 3]);
+        d.bias.value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let y = d.forward(&x, false);
+        assert_eq!(y.data(), &[1.0 - 3.0 + 0.5, 2.0 + 2.0 + 1.5 - 0.5]);
+    }
+
+    #[test]
+    fn flattens_nchw_input() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(0);
+        let mut d = Dense::new(12, 4, &mut r);
+        let x = Tensor::<f32>::full(&[2, 3, 2, 2], 0.1);
+        let y = d.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 4]);
+        // Backward restores the original shape.
+        let g = d.backward(&Tensor::<f32>::full(&[2, 4], 1.0));
+        assert_eq!(g.dims(), &[2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn gradcheck() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(5);
+        let mut d = Dense::new(4, 3, &mut r);
+        let mut x = Tensor::<f32>::zeros(&[2, 4]);
+        wp_tensor::fill_uniform(&mut x, -1.0, 1.0, &mut r);
+        let y = d.forward(&x, true);
+        let ones = Tensor::<f32>::full(y.dims(), 1.0);
+        let grad_in = d.backward(&ones);
+        let eps = 1e-3f32;
+        for wi in 0..12 {
+            let orig = d.weight.value.data()[wi];
+            d.weight.value.data_mut()[wi] = orig + eps;
+            let lp: f32 = d.forward(&x, true).data().iter().sum();
+            d.weight.value.data_mut()[wi] = orig - eps;
+            let lm: f32 = d.forward(&x, true).data().iter().sum();
+            d.weight.value.data_mut()[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - d.weight.grad.data()[wi]).abs() < 0.02);
+        }
+        for xi in 0..8 {
+            let orig = x.data()[xi];
+            x.data_mut()[xi] = orig + eps;
+            let lp: f32 = d.forward(&x, true).data().iter().sum();
+            x.data_mut()[xi] = orig - eps;
+            let lm: f32 = d.forward(&x, true).data().iter().sum();
+            x.data_mut()[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad_in.data()[xi]).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn wrong_feature_count_rejected() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(0);
+        let mut d = Dense::new(4, 2, &mut r);
+        d.forward(&Tensor::<f32>::zeros(&[1, 5]), false);
+    }
+}

@@ -1,0 +1,89 @@
+//! The [`Layer`] trait and trainable [`Param`] storage.
+
+use wp_tensor::Tensor;
+
+/// A trainable parameter: its value and the gradient accumulated by the most
+/// recent backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor<f32>,
+    /// Gradient with respect to the value, overwritten by each backward pass.
+    pub grad: Tensor<f32>,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient of matching shape.
+    pub fn new(value: Tensor<f32>) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Self { value, grad }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+/// A neural-network layer with explicit forward and backward passes.
+///
+/// Layers cache whatever they need during `forward` so that `backward` can
+/// compute gradients; callers must therefore pair each `backward` with the
+/// immediately preceding `forward`.
+pub trait Layer {
+    /// Computes the layer output. `train` selects training behaviour
+    /// (batch statistics in batch norm); inference passes `false`.
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Tensor<f32>;
+
+    /// Propagates `grad_out` (gradient w.r.t. the forward output) back to
+    /// the input, accumulating parameter gradients along the way.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32>;
+
+    /// Mutable access to every trainable parameter, outermost layer first.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Visits every standard convolution in this layer (recursively for
+    /// composites), passing mutable weight access to `f`. Depthwise
+    /// convolutions are *not* visited: the paper compresses only standard
+    /// convolutions with z-dimension pools (§5.1).
+    fn visit_convs(&mut self, _f: &mut dyn FnMut(&mut crate::Conv2d)) {}
+
+    /// Mutable access to non-trainable state that must survive save/load
+    /// (batch-norm running statistics). Default: none.
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        Vec::new()
+    }
+
+    /// Visits every dense (fully-connected) layer, recursively for
+    /// composites. Used by the optional FC-pooling study (paper
+    /// footnote 1).
+    fn visit_dense(&mut self, _f: &mut dyn FnMut(&mut crate::Dense)) {}
+
+    /// Short human-readable layer name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_new_zeroes_grad() {
+        let p = Param::new(Tensor::from_vec(vec![1.0f32, 2.0], &[2]));
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.0f32], &[1]));
+        p.grad.data_mut()[0] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0]);
+    }
+}

@@ -1,0 +1,64 @@
+//! A minimal CPU training stack for small CNNs.
+//!
+//! The weight-pool pipeline needs more than inference: the paper *fine-tunes*
+//! index assignments against a frozen pool (§3, Figure 2) and *retrains*
+//! under activation quantization (Table 6). This crate provides exactly the
+//! pieces those experiments need, implemented from scratch:
+//!
+//! * layers with forward **and** backward passes: [`Conv2d`],
+//!   [`DepthwiseConv2d`], [`Dense`], [`BatchNorm2d`], [`Relu`], [`MaxPool2d`],
+//!   [`AvgPool2d`], [`GlobalAvgPool`], residual [`BasicBlock`] (option-A
+//!   shortcuts, as used by the paper's CIFAR ResNets) and MobileNet-v2's
+//!   [`InvertedResidual`];
+//! * [`SoftmaxCrossEntropy`] loss;
+//! * [`Sgd`] with momentum, weight decay and step LR schedules;
+//! * a [`Sequential`] container with state save/load and conv-weight
+//!   visitation hooks that the weight-pool compressor uses to project
+//!   weights onto a pool.
+//!
+//! # Example
+//!
+//! ```
+//! use wp_nn::{Sequential, Dense, Relu, SoftmaxCrossEntropy, Sgd};
+//! use wp_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = Sequential::new();
+//! net.push(Dense::new(4, 8, &mut rng));
+//! net.push(Relu::new());
+//! net.push(Dense::new(8, 2, &mut rng));
+//!
+//! let x = Tensor::from_vec(vec![0.1; 8], &[2, 4]);
+//! let logits = net.forward(&x, true);
+//! assert_eq!(logits.dims(), &[2, 2]);
+//!
+//! let loss = SoftmaxCrossEntropy::compute(&logits, &[0, 1]);
+//! net.backward(&loss.grad);
+//! Sgd::new(0.1).step(&mut net);
+//! ```
+
+mod activation;
+mod actquant;
+mod block;
+mod conv;
+mod dense;
+mod layer;
+mod loss;
+mod norm;
+mod optim;
+mod pool;
+mod sequential;
+pub mod train;
+
+pub use activation::{Relu, Relu6};
+pub use actquant::{ActQuant, ActQuantHandle, ActQuantMode, ActQuantState};
+pub use block::{BasicBlock, InvertedResidual};
+pub use conv::{Conv2d, ConvOverride, DepthwiseConv2d};
+pub use dense::Dense;
+pub use layer::{Layer, Param};
+pub use loss::{LossOutput, SoftmaxCrossEntropy};
+pub use norm::BatchNorm2d;
+pub use optim::{LrSchedule, Sgd};
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+pub use sequential::{Sequential, StateDict};

@@ -1,0 +1,130 @@
+//! Softmax cross-entropy loss.
+
+use wp_tensor::Tensor;
+
+/// Loss value and gradient returned by [`SoftmaxCrossEntropy::compute`].
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits, `[N, classes]`.
+    pub grad: Tensor<f32>,
+    /// Number of correct argmax predictions in the batch.
+    pub correct: usize,
+}
+
+/// Numerically-stable softmax cross-entropy over a batch of logits.
+#[derive(Debug, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Computes mean loss, logits gradient, and top-1 correctness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not `[N, classes]`, `labels.len() != N`, or a
+    /// label is out of range.
+    pub fn compute(logits: &Tensor<f32>, labels: &[usize]) -> LossOutput {
+        let d = logits.dims();
+        assert_eq!(d.len(), 2, "logits must be [N, classes]");
+        let (n, classes) = (d[0], d[1]);
+        assert_eq!(labels.len(), n, "label count must match batch size");
+
+        let mut grad = Tensor::<f32>::zeros(&[n, classes]);
+        let mut loss = 0.0f64;
+        let mut correct = 0usize;
+
+        for b in 0..n {
+            let row = &logits.data()[b * classes..(b + 1) * classes];
+            let label = labels[b];
+            assert!(label < classes, "label {label} out of range for {classes} classes");
+
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            if argmax == label {
+                correct += 1;
+            }
+
+            loss += -((exps[label] / sum).max(1e-30).ln()) as f64;
+            for c in 0..classes {
+                let p = exps[c] / sum;
+                let target = if c == label { 1.0 } else { 0.0 };
+                grad.data_mut()[b * classes + c] = (p - target) / n as f32;
+            }
+        }
+
+        LossOutput { loss: (loss / n as f64) as f32, grad, correct }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::<f32>::zeros(&[2, 4]);
+        let out = SoftmaxCrossEntropy::compute(&logits, &[0, 3]);
+        assert!((out.loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0f32, -10.0], &[1, 2]);
+        let out = SoftmaxCrossEntropy::compute(&logits, &[0]);
+        assert!(out.loss < 1e-6);
+        assert_eq!(out.correct, 1);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let out = SoftmaxCrossEntropy::compute(&logits, &[2, 0]);
+        for b in 0..2 {
+            let s: f32 = out.grad.data()[b * 3..(b + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradcheck() {
+        let vals = vec![0.5f32, -1.0, 2.0];
+        let labels = [1usize];
+        let logits = Tensor::from_vec(vals.clone(), &[1, 3]);
+        let out = SoftmaxCrossEntropy::compute(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut plus = vals.clone();
+            plus[i] += eps;
+            let lp = SoftmaxCrossEntropy::compute(&Tensor::from_vec(plus, &[1, 3]), &labels).loss;
+            let mut minus = vals.clone();
+            minus[i] -= eps;
+            let lm = SoftmaxCrossEntropy::compute(&Tensor::from_vec(minus, &[1, 3]), &labels).loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - out.grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let logits = Tensor::from_vec(vec![1000.0f32, -1000.0], &[1, 2]);
+        let out = SoftmaxCrossEntropy::compute(&logits, &[1]);
+        assert!(out.loss.is_finite());
+        assert!(out.grad.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_rejected() {
+        let logits = Tensor::<f32>::zeros(&[1, 2]);
+        SoftmaxCrossEntropy::compute(&logits, &[5]);
+    }
+}

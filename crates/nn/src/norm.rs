@@ -1,0 +1,285 @@
+//! Batch normalization over NCHW feature maps.
+
+use crate::layer::{Layer, Param};
+use wp_tensor::Tensor;
+
+/// Per-channel batch normalization with learnable scale/shift and running
+/// statistics for inference.
+///
+/// Training uses batch statistics and updates running mean/variance with
+/// exponential averaging (momentum 0.1, PyTorch convention); inference
+/// normalizes with the running statistics.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+    // Cached values from the training forward pass.
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor<f32>,
+    inv_std: Vec<f32>,
+    dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with unit scale and zero shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0);
+        Self {
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of normalized channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The learnable per-channel scale.
+    pub fn gamma(&self) -> &Tensor<f32> {
+        &self.gamma.value
+    }
+
+    /// The learnable per-channel shift.
+    pub fn beta(&self) -> &Tensor<f32> {
+        &self.beta.value
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let d = input.dims();
+        assert_eq!(d.len(), 4, "batchnorm expects [N, C, H, W]");
+        assert_eq!(d[1], self.channels, "channel mismatch");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let count = (n * h * w) as f32;
+
+        let (mean, var) = if train {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for b in 0..n {
+                for ch in 0..c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            mean[ch] += input.get4(b, ch, y, x);
+                        }
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= count;
+            }
+            for b in 0..n {
+                for ch in 0..c {
+                    for y in 0..h {
+                        for x in 0..w {
+                            let dlt = input.get4(b, ch, y, x) - mean[ch];
+                            var[ch] += dlt * dlt;
+                        }
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= count;
+            }
+            for ch in 0..c {
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean[ch];
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var[ch];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut x_hat = Tensor::<f32>::zeros(d);
+        let mut out = Tensor::<f32>::zeros(d);
+        for b in 0..n {
+            for ch in 0..c {
+                let g = self.gamma.value.data()[ch];
+                let bt = self.beta.value.data()[ch];
+                for y in 0..h {
+                    for x in 0..w {
+                        let xh = (input.get4(b, ch, y, x) - mean[ch]) * inv_std[ch];
+                        x_hat.set4(b, ch, y, x, xh);
+                        out.set4(b, ch, y, x, g * xh + bt);
+                    }
+                }
+            }
+        }
+
+        if train {
+            self.cache = Some(BnCache { x_hat, inv_std, dims: d.to_vec() });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let cache = self.cache.as_ref().expect("backward requires a training forward");
+        let d = &cache.dims;
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        assert_eq!(grad_out.dims(), d.as_slice());
+        let count = (n * h * w) as f32;
+
+        // Standard batch-norm backward:
+        // dx = gamma * inv_std / m * (m*dy - sum(dy) - x_hat * sum(dy*x_hat))
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..h {
+                    for x in 0..w {
+                        let g = grad_out.get4(b, ch, y, x);
+                        sum_dy[ch] += g;
+                        sum_dy_xhat[ch] += g * cache.x_hat.get4(b, ch, y, x);
+                    }
+                }
+            }
+        }
+        for ch in 0..c {
+            self.beta.grad.data_mut()[ch] += sum_dy[ch];
+            self.gamma.grad.data_mut()[ch] += sum_dy_xhat[ch];
+        }
+
+        let mut grad_in = Tensor::<f32>::zeros(d);
+        for b in 0..n {
+            for ch in 0..c {
+                let g = self.gamma.value.data()[ch];
+                let k = g * cache.inv_std[ch] / count;
+                for y in 0..h {
+                    for x in 0..w {
+                        let dy = grad_out.get4(b, ch, y, x);
+                        let xh = cache.x_hat.get4(b, ch, y, x);
+                        grad_in.set4(
+                            b,
+                            ch,
+                            y,
+                            x,
+                            k * (count * dy - sum_dy[ch] - xh * sum_dy_xhat[ch]),
+                        );
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        vec![&mut self.running_mean, &mut self.running_var]
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(0);
+        let mut bn = BatchNorm2d::new(2);
+        let mut x = Tensor::<f32>::zeros(&[4, 2, 3, 3]);
+        wp_tensor::fill_uniform(&mut x, -3.0, 5.0, &mut r);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ~0, var ~1.
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                for yy in 0..3 {
+                    for xx in 0..3 {
+                        vals.push(y.get4(b, ch, yy, xx));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // With default running stats (mean 0, var 1), inference is identity.
+        let x = Tensor::from_vec(vec![1.0f32, -2.0, 0.5, 3.0], &[1, 1, 2, 2]);
+        let y = bn.forward(&x, false);
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradcheck_input() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(3);
+        let mut bn = BatchNorm2d::new(2);
+        let mut x = Tensor::<f32>::zeros(&[2, 2, 2, 2]);
+        wp_tensor::fill_uniform(&mut x, -1.0, 1.0, &mut r);
+        // Use a weighted-sum loss so gradients are not trivially zero
+        // (sum of normalized values is 0 by construction).
+        let weights: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).sin()).collect();
+        let loss = |y: &Tensor<f32>| -> f32 {
+            y.data().iter().zip(&weights).map(|(v, w)| v * w).sum()
+        };
+        let y = bn.forward(&x, true);
+        let _ = loss(&y);
+        let grad_out = Tensor::from_vec(weights.clone(), y.dims());
+        let grad_in = bn.backward(&grad_out);
+        let eps = 1e-3f32;
+        for xi in 0..16 {
+            let orig = x.data()[xi];
+            x.data_mut()[xi] = orig + eps;
+            let lp = loss(&bn.forward(&x, true));
+            x.data_mut()[xi] = orig - eps;
+            let lm = loss(&bn.forward(&x, true));
+            x.data_mut()[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.data()[xi];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(0.5),
+                "x[{xi}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_batch_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![2.0f32; 8], &[2, 1, 2, 2]);
+        for _ in 0..200 {
+            bn.forward(&x, true);
+        }
+        assert!((bn.running_mean[0] - 2.0).abs() < 1e-2);
+        assert!(bn.running_var[0] < 1e-2);
+    }
+}

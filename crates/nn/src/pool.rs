@@ -1,0 +1,279 @@
+//! Spatial pooling layers.
+
+use crate::layer::Layer;
+use wp_tensor::Tensor;
+
+/// Non-overlapping max pooling with a square window.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    size: usize,
+    argmax: Option<Vec<usize>>, // flat input index of each output's max
+    in_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with window and stride `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0);
+        Self { size, argmax: None, in_dims: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+        let d = input.dims();
+        assert_eq!(d.len(), 4, "pool expects [N, C, H, W]");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let s = self.size;
+        assert!(h >= s && w >= s, "input {h}x{w} smaller than pool window {s}");
+        let (oh, ow) = (h / s, w / s);
+        let mut out = Tensor::<f32>::zeros(&[n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..s {
+                            for dx in 0..s {
+                                let iy = oy * s + dy;
+                                let ix = ox * s + dx;
+                                let v = input.get4(b, ch, iy, ix);
+                                if v > best {
+                                    best = v;
+                                    best_idx = ((b * c + ch) * h + iy) * w + ix;
+                                }
+                            }
+                        }
+                        out.set4(b, ch, oy, ox, best);
+                        argmax[((b * c + ch) * oh + oy) * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.in_dims = Some(d.to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let argmax = self.argmax.as_ref().expect("backward before forward");
+        let in_dims = self.in_dims.as_ref().unwrap();
+        let mut grad_in = Tensor::<f32>::zeros(in_dims);
+        for (g, &idx) in grad_out.data().iter().zip(argmax) {
+            grad_in.data_mut()[idx] += g;
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+/// Non-overlapping average pooling with a square window.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    size: usize,
+    in_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with window and stride `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0);
+        Self { size, in_dims: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+        let d = input.dims();
+        assert_eq!(d.len(), 4, "pool expects [N, C, H, W]");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let s = self.size;
+        assert!(h >= s && w >= s, "input {h}x{w} smaller than pool window {s}");
+        let (oh, ow) = (h / s, w / s);
+        let inv = 1.0 / (s * s) as f32;
+        let mut out = Tensor::<f32>::zeros(&[n, c, oh, ow]);
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for dy in 0..s {
+                            for dx in 0..s {
+                                acc += input.get4(b, ch, oy * s + dy, ox * s + dx);
+                            }
+                        }
+                        out.set4(b, ch, oy, ox, acc * inv);
+                    }
+                }
+            }
+        }
+        self.in_dims = Some(d.to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let in_dims = self.in_dims.as_ref().expect("backward before forward");
+        let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
+        let s = self.size;
+        let (oh, ow) = (h / s, w / s);
+        let inv = 1.0 / (s * s) as f32;
+        let mut grad_in = Tensor::<f32>::zeros(in_dims);
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.get4(b, ch, oy, ox) * inv;
+                        for dy in 0..s {
+                            for dx in 0..s {
+                                *grad_in.at_mut(&[b, ch, oy * s + dy, ox * s + dx]) += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "avgpool2d"
+    }
+}
+
+/// Global average pooling: `[N, C, H, W]` → `[N, C, 1, 1]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    in_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor<f32>, _train: bool) -> Tensor<f32> {
+        let d = input.dims();
+        assert_eq!(d.len(), 4, "pool expects [N, C, H, W]");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut out = Tensor::<f32>::zeros(&[n, c, 1, 1]);
+        for b in 0..n {
+            for ch in 0..c {
+                let mut acc = 0.0;
+                for y in 0..h {
+                    for x in 0..w {
+                        acc += input.get4(b, ch, y, x);
+                    }
+                }
+                out.set4(b, ch, 0, 0, acc * inv);
+            }
+        }
+        self.in_dims = Some(d.to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let in_dims = self.in_dims.as_ref().expect("backward before forward");
+        let (n, c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut grad_in = Tensor::<f32>::zeros(in_dims);
+        for b in 0..n {
+            for ch in 0..c {
+                let g = grad_out.get4(b, ch, 0, 0) * inv;
+                for y in 0..h {
+                    for x in 0..w {
+                        grad_in.set4(b, ch, y, x, g);
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_max() {
+        let x = Tensor::from_vec(
+            vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        );
+        let mut p = MaxPool2d::new(2);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_gradient_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0f32, 9.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let mut p = MaxPool2d::new(2);
+        p.forward(&x, true);
+        let g = p.backward(&Tensor::from_vec(vec![5.0f32], &[1, 1, 1, 1]));
+        assert_eq!(g.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let x = Tensor::from_vec(vec![1.0f32, 3.0, 5.0, 7.0], &[1, 1, 2, 2]);
+        let mut p = AvgPool2d::new(2);
+        let y = p.forward(&x, false);
+        assert_eq!(y.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avgpool_gradient_spreads_evenly() {
+        let x = Tensor::from_vec(vec![1.0f32, 3.0, 5.0, 7.0], &[1, 1, 2, 2]);
+        let mut p = AvgPool2d::new(2);
+        p.forward(&x, true);
+        let g = p.backward(&Tensor::from_vec(vec![8.0f32], &[1, 1, 1, 1]));
+        assert_eq!(g.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_shape_and_value() {
+        let x = Tensor::from_vec((1..=8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let mut p = GlobalAvgPool::new();
+        let y = p.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 2, 1, 1]);
+        assert_eq!(y.data(), &[2.5, 6.5]);
+    }
+
+    #[test]
+    fn odd_sizes_truncate() {
+        let x = Tensor::<f32>::full(&[1, 1, 5, 5], 1.0);
+        let mut p = MaxPool2d::new(2);
+        let y = p.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than pool window")]
+    fn window_larger_than_input_rejected() {
+        let x = Tensor::<f32>::zeros(&[1, 1, 2, 2]);
+        MaxPool2d::new(3).forward(&x, false);
+    }
+}

@@ -1,0 +1,284 @@
+//! Sequential model container with state save/load.
+
+use crate::layer::{Layer, Param};
+use crate::Conv2d;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use wp_tensor::Tensor;
+
+/// An ordered stack of layers trained and evaluated as one model.
+///
+/// # Example
+///
+/// ```
+/// use wp_nn::{Sequential, Dense, Relu};
+/// use wp_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(2, 4, &mut rng));
+/// net.push(Relu::new());
+/// let y = net.forward(&Tensor::from_vec(vec![1.0, -1.0], &[1, 2]), false);
+/// assert_eq!(y.dims(), &[1, 4]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+/// Serializable parameter snapshot of a [`Sequential`] model.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct StateDict {
+    /// Flattened values of every trainable parameter, traversal order.
+    pub params: Vec<Vec<f32>>,
+    /// Non-trainable buffers (batch-norm running statistics), traversal
+    /// order.
+    #[serde(default)]
+    pub buffers: Vec<Vec<f32>>,
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs every layer in order.
+    pub fn forward(&mut self, input: &Tensor<f32>, train: bool) -> Tensor<f32> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Back-propagates through every layer in reverse order.
+    pub fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Mutable access to every trainable parameter.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            out.extend(layer.params_mut());
+        }
+        out
+    }
+
+    /// Total number of trainable scalar parameters.
+    pub fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Visits every standard convolution in the model (recursively through
+    /// composite blocks). The weight-pool compressor uses this hook to read
+    /// and project conv weights.
+    pub fn visit_convs(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        for layer in &mut self.layers {
+            layer.visit_convs(f);
+        }
+    }
+
+    /// Visits every dense layer in the model (recursively through
+    /// composites); used by the optional FC-pooling study.
+    pub fn visit_dense(&mut self, f: &mut dyn FnMut(&mut crate::Dense)) {
+        for layer in &mut self.layers {
+            layer.visit_dense(f);
+        }
+    }
+
+    /// Snapshots every parameter value and non-trainable buffer.
+    pub fn state_dict(&mut self) -> StateDict {
+        let params = self.params_mut().iter().map(|p| p.value.data().to_vec()).collect();
+        let buffers = self.buffers_mut().iter().map(|b| b.to_vec()).collect();
+        StateDict { params, buffers }
+    }
+
+    /// Mutable access to every non-trainable buffer (batch-norm running
+    /// statistics), traversal order.
+    pub fn buffers_mut(&mut self) -> Vec<&mut Vec<f32>> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            out.extend(layer.buffers_mut());
+        }
+        out
+    }
+
+    /// Restores parameter values and buffers from a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's parameter count or any length mismatches.
+    /// A snapshot with no buffers (older format) restores parameters only.
+    pub fn load_state_dict(&mut self, state: &StateDict) {
+        let mut params = self.params_mut();
+        assert_eq!(
+            params.len(),
+            state.params.len(),
+            "state dict has {} parameters, model has {}",
+            state.params.len(),
+            params.len()
+        );
+        for (p, saved) in params.iter_mut().zip(&state.params) {
+            assert_eq!(p.value.len(), saved.len(), "parameter length mismatch");
+            p.value.data_mut().copy_from_slice(saved);
+        }
+        if !state.buffers.is_empty() {
+            let mut buffers = self.buffers_mut();
+            assert_eq!(
+                buffers.len(),
+                state.buffers.len(),
+                "state dict has {} buffers, model has {}",
+                state.buffers.len(),
+                buffers.len()
+            );
+            for (b, saved) in buffers.iter_mut().zip(&state.buffers) {
+                assert_eq!(b.len(), saved.len(), "buffer length mismatch");
+                b.copy_from_slice(saved);
+            }
+        }
+    }
+
+    /// Saves the parameter snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error.
+    pub fn save(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let state = self.state_dict();
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), &state)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Loads a parameter snapshot saved by [`Sequential::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or deserialization error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the model architecture.
+    pub fn load(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = std::fs::File::open(path)?;
+        let state: StateDict = serde_json::from_reader(std::io::BufReader::new(file))
+            .map_err(std::io::Error::other)?;
+        self.load_state_dict(&state);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential").field("layers", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BasicBlock, Dense, Relu};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn forward_backward_chain() {
+        let mut r = rng(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 8, &mut r));
+        net.push(Relu::new());
+        net.push(Dense::new(8, 2, &mut r));
+        let x = Tensor::from_vec(vec![0.5f32; 4], &[1, 4]);
+        let y = net.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 2]);
+        let g = net.backward(&Tensor::from_vec(vec![1.0f32, -1.0], &[1, 2]));
+        assert_eq!(g.dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn state_dict_round_trip() {
+        let mut r = rng(1);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 3, &mut r));
+        let state = net.state_dict();
+        // Perturb, then restore.
+        for p in net.params_mut() {
+            p.value.data_mut().fill(9.0);
+        }
+        net.load_state_dict(&state);
+        let restored = net.state_dict();
+        assert_eq!(state.params, restored.params);
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let mut r = rng(2);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut r));
+        let dir = std::env::temp_dir().join("wp_nn_test_save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        net.save(&path).unwrap();
+        let before = net.state_dict();
+        for p in net.params_mut() {
+            p.value.data_mut().fill(0.0);
+        }
+        net.load(&path).unwrap();
+        assert_eq!(net.state_dict().params, before.params);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "state dict has")]
+    fn mismatched_state_rejected() {
+        let mut r = rng(3);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut r));
+        net.load_state_dict(&StateDict { params: vec![], buffers: vec![] });
+    }
+
+    #[test]
+    fn visit_convs_recurses_into_blocks() {
+        let mut r = rng(4);
+        let mut net = Sequential::new();
+        net.push(crate::Conv2d::new(3, 8, 3, 1, 1, &mut r));
+        net.push(BasicBlock::new(8, 8, 1, &mut r));
+        let mut n = 0;
+        net.visit_convs(&mut |_| n += 1);
+        assert_eq!(n, 3); // stem + two block convs
+    }
+
+    #[test]
+    fn num_params_counts_everything() {
+        let mut r = rng(5);
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 3, &mut r)); // 12 weights + 3 bias
+        assert_eq!(net.num_params(), 15);
+    }
+}

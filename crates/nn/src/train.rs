@@ -1,0 +1,151 @@
+//! Training-loop helpers: batches, epochs and evaluation.
+
+use crate::{LossOutput, Sequential, Sgd, SoftmaxCrossEntropy};
+use wp_tensor::Tensor;
+
+/// A training or evaluation batch: images `[N, C, H, W]` with one label per
+/// image.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Input images, `[N, C, H, W]`.
+    pub images: Tensor<f32>,
+    /// Class labels, length `N`.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Creates a batch, checking that labels match the batch dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the leading image dimension.
+    pub fn new(images: Tensor<f32>, labels: Vec<usize>) -> Self {
+        assert_eq!(images.dims()[0], labels.len(), "labels must match batch size");
+        Self { images, labels }
+    }
+
+    /// Number of examples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Aggregate statistics from one epoch or evaluation pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean loss per batch.
+    pub loss: f32,
+    /// Top-1 accuracy over all examples.
+    pub accuracy: f32,
+}
+
+/// Runs one training epoch over `batches`, updating `net` with `opt`.
+///
+/// # Panics
+///
+/// Panics if `batches` is empty.
+pub fn train_epoch(net: &mut Sequential, opt: &mut Sgd, batches: &[Batch]) -> EpochStats {
+    assert!(!batches.is_empty(), "no training batches supplied");
+    let mut total_loss = 0.0f64;
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    for batch in batches {
+        let logits = net.forward(&batch.images, true);
+        let out: LossOutput = SoftmaxCrossEntropy::compute(&logits, &batch.labels);
+        net.backward(&out.grad);
+        opt.step(net);
+        total_loss += out.loss as f64;
+        correct += out.correct;
+        seen += batch.len();
+    }
+    EpochStats {
+        loss: (total_loss / batches.len() as f64) as f32,
+        accuracy: correct as f32 / seen as f32,
+    }
+}
+
+/// Evaluates `net` on `batches` without updating parameters.
+///
+/// # Panics
+///
+/// Panics if `batches` is empty.
+pub fn evaluate(net: &mut Sequential, batches: &[Batch]) -> EpochStats {
+    assert!(!batches.is_empty(), "no evaluation batches supplied");
+    let mut total_loss = 0.0f64;
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    for batch in batches {
+        let logits = net.forward(&batch.images, false);
+        let out = SoftmaxCrossEntropy::compute(&logits, &batch.labels);
+        total_loss += out.loss as f64;
+        correct += out.correct;
+        seen += batch.len();
+    }
+    EpochStats {
+        loss: (total_loss / batches.len() as f64) as f32,
+        accuracy: correct as f32 / seen as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Relu};
+    use rand::SeedableRng;
+
+    /// A linearly separable 2-class problem the net must learn quickly.
+    fn toy_batches() -> Vec<Batch> {
+        let mut batches = Vec::new();
+        for i in 0..8 {
+            let mut images = Vec::new();
+            let mut labels = Vec::new();
+            for j in 0..8 {
+                let x = (i * 8 + j) as f32 / 64.0 * 2.0 - 1.0;
+                let label = usize::from(x > 0.0);
+                images.extend_from_slice(&[x, -x, 0.5 * x, 1.0]);
+                labels.push(label);
+            }
+            batches.push(Batch::new(Tensor::from_vec(images, &[8, 4]), labels));
+        }
+        batches
+    }
+
+    #[test]
+    fn training_learns_separable_problem() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 8, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(8, 2, &mut rng));
+        let mut opt = Sgd::new(0.2).momentum(0.9);
+        let batches = toy_batches();
+        let mut last = EpochStats { loss: f32::INFINITY, accuracy: 0.0 };
+        for _ in 0..20 {
+            last = train_epoch(&mut net, &mut opt, &batches);
+        }
+        assert!(last.accuracy > 0.95, "accuracy {}", last.accuracy);
+        let eval = evaluate(&mut net, &batches);
+        assert!(eval.accuracy > 0.95, "eval accuracy {}", eval.accuracy);
+    }
+
+    #[test]
+    fn evaluate_does_not_change_params() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 2, &mut rng));
+        let before = net.state_dict();
+        evaluate(&mut net, &toy_batches());
+        assert_eq!(net.state_dict().params, before.params);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must match")]
+    fn batch_label_mismatch_rejected() {
+        Batch::new(Tensor::<f32>::zeros(&[2, 4]), vec![0]);
+    }
+}

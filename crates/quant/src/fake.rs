@@ -1,0 +1,57 @@
+//! Fake quantization (quantize→dequantize) for simulation and retraining.
+
+use crate::UnsignedQuantParams;
+use wp_tensor::Tensor;
+
+/// Applies quantize-then-dequantize elementwise, returning a float tensor
+/// whose values lie exactly on the quantization grid.
+///
+/// This is how accuracy experiments simulate reduced activation bitwidth
+/// inside the float training stack (paper Tables 5/6), and how
+/// quantization-aware retraining injects quantization noise into the
+/// forward pass while gradients flow through unchanged
+/// (straight-through estimator).
+pub fn fake_quantize(t: &Tensor<f32>, params: &UnsignedQuantParams) -> Tensor<f32> {
+    t.map(|v| params.dequantize(params.quantize(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn output_is_on_grid() {
+        let p = UnsignedQuantParams::from_max(1.0, 2); // codes {0, 1/3, 2/3, 1}
+        let t = Tensor::from_vec(vec![0.1f32, 0.4, 0.9, -0.3], &[4]);
+        let q = fake_quantize(&t, &p);
+        for &v in q.data() {
+            let code = v / p.scale();
+            assert!((code - code.round()).abs() < 1e-5, "{v} not on grid");
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let p = UnsignedQuantParams::from_max(2.0, 4);
+        let t = Tensor::from_vec(vec![0.3f32, 1.7, 0.05], &[3]);
+        let once = fake_quantize(&t, &p);
+        let twice = fake_quantize(&once, &p);
+        assert_eq!(once, twice);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_error_bounded_by_half_step(
+            vals in prop::collection::vec(0.0f32..4.0, 1..32),
+            bits in 1u8..=8,
+        ) {
+            let p = UnsignedQuantParams::from_max(4.0, bits);
+            let t = Tensor::from_vec(vals.clone(), &[vals.len()]);
+            let q = fake_quantize(&t, &p);
+            for (orig, fq) in vals.iter().zip(q.data()) {
+                prop_assert!((orig - fq).abs() <= p.scale() * 0.5 + 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Quantization substrate: per-tensor quantizers, activation-range search,
+//! fake-quant for retraining, and CMSIS-style fixed-point requantization.
+//!
+//! The bit-serial weight-pool pipeline quantizes three things:
+//!
+//! 1. **Activations** to unsigned `M`-bit integers (post-ReLU), `M ∈ 1..=8`.
+//!    The bit-serial kernel walks these bits MSB→LSB, so `M` directly sets
+//!    the inner-loop trip count (paper §3.3).
+//! 2. **Lookup-table entries** to signed `Bl`-bit integers (`Bl ∈ {4,8,16}`,
+//!    paper §3.2/Table 5).
+//! 3. **Accumulators** back down to the next layer's activation scale using a
+//!    fixed-point multiplier + shift, as integer kernels on Cortex-M do.
+//!
+//! # Example
+//!
+//! ```
+//! use wp_quant::QuantParams;
+//!
+//! let p = QuantParams::symmetric_from_max_abs(1.0, 8);
+//! let q = p.quantize(0.5);
+//! assert!((p.dequantize(q) - 0.5).abs() < 0.01);
+//! ```
+
+mod fake;
+mod params;
+mod range;
+mod requant;
+
+pub use fake::fake_quantize;
+pub use params::{QuantParams, UnsignedQuantParams};
+pub use range::{search_unsigned_clip, ClipSearchResult};
+pub use requant::Requantizer;

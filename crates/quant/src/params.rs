@@ -1,0 +1,290 @@
+//! Quantization parameter types.
+
+use serde::{Deserialize, Serialize};
+
+/// Symmetric signed quantizer: `real ≈ q * scale`, `q ∈ [-2^(b-1)+1, 2^(b-1)-1]`.
+///
+/// Used for weights and lookup-table entries. The range is symmetric
+/// (the most negative code is unused) so negation never saturates
+/// asymmetrically.
+///
+/// # Example
+///
+/// ```
+/// use wp_quant::QuantParams;
+///
+/// let p = QuantParams::symmetric_from_max_abs(2.0, 8);
+/// assert_eq!(p.quantize(2.0), 127);
+/// assert_eq!(p.quantize(-2.0), -127);
+/// assert_eq!(p.quantize(100.0), 127); // saturates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    scale: f32,
+    bits: u8,
+}
+
+impl QuantParams {
+    /// Builds a symmetric quantizer whose representable range covers
+    /// `[-max_abs, max_abs]`.
+    ///
+    /// A zero or non-finite `max_abs` falls back to scale 1.0 so an all-zero
+    /// tensor still round-trips exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`.
+    pub fn symmetric_from_max_abs(max_abs: f32, bits: u8) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16, got {bits}");
+        let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+        let scale = if max_abs.is_finite() && max_abs > 0.0 { max_abs / qmax } else { 1.0 };
+        Self { scale, bits }
+    }
+
+    /// Builds a quantizer covering the largest magnitude in `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 16`.
+    pub fn symmetric_from_values(values: &[f32], bits: u8) -> Self {
+        let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        Self::symmetric_from_max_abs(max_abs, bits)
+    }
+
+    /// The real value represented by one integer step.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantized bitwidth.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Largest representable code, `2^(bits-1) - 1`.
+    pub fn qmax(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// Quantizes a real value with round-to-nearest and saturation.
+    pub fn quantize(&self, value: f32) -> i32 {
+        let q = (value / self.scale).round() as i64;
+        q.clamp(-(self.qmax() as i64), self.qmax() as i64) as i32
+    }
+
+    /// Reconstructs the real value of a code.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+}
+
+/// Unsigned affine-free quantizer for post-ReLU activations:
+/// `real ≈ q * scale`, `q ∈ [0, 2^bits - 1]`.
+///
+/// Zero point is fixed at 0 because weight-pool layers run after ReLU, which
+/// is exactly the setting of the paper's bit-serial decomposition (each
+/// activation bit is a plain 0/1 multiplier, Eq. 2).
+///
+/// # Example
+///
+/// ```
+/// use wp_quant::UnsignedQuantParams;
+///
+/// let p = UnsignedQuantParams::from_max(4.0, 4); // 4-bit activations
+/// assert_eq!(p.quantize(4.0), 15);
+/// assert_eq!(p.quantize(-1.0), 0); // clipped at zero
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnsignedQuantParams {
+    scale: f32,
+    bits: u8,
+}
+
+impl UnsignedQuantParams {
+    /// Builds a quantizer covering `[0, max]` with `bits`-bit codes.
+    ///
+    /// A zero or non-finite `max` falls back to scale 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 8` (the paper's activation bitwidths).
+    pub fn from_max(max: f32, bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "activation bits must be in 1..=8, got {bits}");
+        let qmax = ((1u32 << bits) - 1) as f32;
+        let scale = if max.is_finite() && max > 0.0 { max / qmax } else { 1.0 };
+        Self { scale, bits }
+    }
+
+    /// Builds a quantizer directly from a scale (used when rescaling a
+    /// calibrated 8-bit range down to fewer bits while keeping the clip
+    /// value fixed).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 8` and `scale` is positive and finite.
+    pub fn from_scale(scale: f32, bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "activation bits must be in 1..=8, got {bits}");
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        Self { scale, bits }
+    }
+
+    /// The real value represented by one integer step.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantized bitwidth.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Largest representable code, `2^bits - 1`.
+    pub fn qmax(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// The real clip value (largest representable real).
+    pub fn clip(&self) -> f32 {
+        self.qmax() as f32 * self.scale
+    }
+
+    /// Quantizes with round-to-nearest, clipping into `[0, qmax]`.
+    pub fn quantize(&self, value: f32) -> u32 {
+        let q = (value / self.scale).round();
+        if q <= 0.0 {
+            0
+        } else if q >= self.qmax() as f32 {
+            self.qmax()
+        } else {
+            q as u32
+        }
+    }
+
+    /// Reconstructs the real value of a code.
+    pub fn dequantize(&self, q: u32) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Re-expresses this range with a different bitwidth while keeping the
+    /// same real clip value (truncating precision, not range) — this is how
+    /// the evaluation sweeps activation bitwidth (paper Table 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 8`.
+    pub fn with_bits(&self, bits: u8) -> Self {
+        Self::from_max(self.clip(), bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn symmetric_round_trip_small_error() {
+        let p = QuantParams::symmetric_from_max_abs(1.0, 8);
+        for &v in &[0.0f32, 0.25, -0.75, 1.0, -1.0] {
+            assert!((p.dequantize(p.quantize(v)) - v).abs() <= p.scale() / 2.0 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn symmetric_saturates() {
+        let p = QuantParams::symmetric_from_max_abs(1.0, 8);
+        assert_eq!(p.quantize(10.0), 127);
+        assert_eq!(p.quantize(-10.0), -127);
+    }
+
+    #[test]
+    fn symmetric_from_values_covers_extremes() {
+        let p = QuantParams::symmetric_from_values(&[0.1, -3.0, 2.0], 8);
+        assert_eq!(p.quantize(-3.0), -127);
+    }
+
+    #[test]
+    fn zero_tensor_round_trips() {
+        let p = QuantParams::symmetric_from_values(&[0.0, 0.0], 8);
+        assert_eq!(p.quantize(0.0), 0);
+        assert_eq!(p.dequantize(0), 0.0);
+    }
+
+    #[test]
+    fn four_bit_range() {
+        let p = QuantParams::symmetric_from_max_abs(7.0, 4);
+        assert_eq!(p.qmax(), 7);
+        assert_eq!(p.quantize(7.0), 7);
+        assert_eq!(p.quantize(-7.0), -7);
+    }
+
+    #[test]
+    fn sixteen_bit_is_precise() {
+        let p = QuantParams::symmetric_from_max_abs(1.0, 16);
+        let err = (p.dequantize(p.quantize(0.123456)) - 0.123456f32).abs();
+        assert!(err < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn bits_out_of_range_rejected() {
+        QuantParams::symmetric_from_max_abs(1.0, 17);
+    }
+
+    #[test]
+    fn unsigned_clips_negatives_to_zero() {
+        let p = UnsignedQuantParams::from_max(1.0, 8);
+        assert_eq!(p.quantize(-0.5), 0);
+    }
+
+    #[test]
+    fn unsigned_qmax_by_bits() {
+        assert_eq!(UnsignedQuantParams::from_max(1.0, 1).qmax(), 1);
+        assert_eq!(UnsignedQuantParams::from_max(1.0, 5).qmax(), 31);
+        assert_eq!(UnsignedQuantParams::from_max(1.0, 8).qmax(), 255);
+    }
+
+    #[test]
+    fn with_bits_keeps_clip() {
+        let p8 = UnsignedQuantParams::from_max(6.0, 8);
+        let p3 = p8.with_bits(3);
+        assert!((p3.clip() - 6.0).abs() < 1e-5);
+        assert_eq!(p3.qmax(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation bits")]
+    fn unsigned_zero_bits_rejected() {
+        UnsignedQuantParams::from_max(1.0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetric_error_bounded(v in -10.0f32..10.0, max_abs in 0.1f32..10.0) {
+            let p = QuantParams::symmetric_from_max_abs(max_abs, 8);
+            let clipped = v.clamp(-max_abs, max_abs);
+            let err = (p.dequantize(p.quantize(v)) - clipped).abs();
+            prop_assert!(err <= p.scale() * 0.5 + 1e-5);
+        }
+
+        #[test]
+        fn prop_unsigned_error_bounded(
+            v in 0.0f32..10.0,
+            max in 0.1f32..10.0,
+            bits in 1u8..=8,
+        ) {
+            let p = UnsignedQuantParams::from_max(max, bits);
+            let clipped = v.min(p.clip());
+            let err = (p.dequantize(p.quantize(v)) - clipped).abs();
+            prop_assert!(err <= p.scale() * 0.5 + 1e-5);
+        }
+
+        #[test]
+        fn prop_quantize_monotone(a in -5.0f32..5.0, b in -5.0f32..5.0) {
+            let p = QuantParams::symmetric_from_max_abs(3.0, 8);
+            if a <= b {
+                prop_assert!(p.quantize(a) <= p.quantize(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Iterative activation-range (clip) search.
+//!
+//! The paper (§5.3.3) uses "an iterative search algorithm to determine the
+//! optimal range when quantizing activations". This module implements that
+//! calibration: given sampled activation values, it scans candidate clip
+//! points and keeps the one minimizing quantization mean-squared-error. With
+//! few bits, clipping the long tail of the activation distribution beats
+//! covering the max, which is exactly why a search outperforms naive
+//! max-calibration.
+
+use crate::UnsignedQuantParams;
+
+/// Outcome of [`search_unsigned_clip`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClipSearchResult {
+    /// The calibrated quantizer.
+    pub params: UnsignedQuantParams,
+    /// Mean squared quantization error at the chosen clip.
+    pub mse: f64,
+    /// The chosen clip value.
+    pub clip: f32,
+}
+
+/// Searches for the clip value minimizing quantization MSE of `samples`
+/// under an unsigned `bits`-bit quantizer.
+///
+/// `steps` candidate clips are evaluated, spaced linearly between 40% and
+/// 100% of the sample maximum (plus the maximum itself). Negative samples
+/// are treated as zero, matching post-ReLU semantics.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, `steps` is zero, or `bits` is out of
+/// `1..=8`.
+pub fn search_unsigned_clip(samples: &[f32], bits: u8, steps: usize) -> ClipSearchResult {
+    assert!(!samples.is_empty(), "cannot calibrate on an empty sample set");
+    assert!(steps > 0, "need at least one candidate clip");
+    let max = samples.iter().fold(0.0f32, |m, &v| m.max(v.max(0.0)));
+    if max == 0.0 {
+        let params = UnsignedQuantParams::from_max(1.0, bits);
+        return ClipSearchResult { params, mse: 0.0, clip: 1.0 };
+    }
+
+    let mut best: Option<ClipSearchResult> = None;
+    for i in 0..=steps {
+        let frac = 0.4 + 0.6 * (i as f32 / steps as f32);
+        let clip = max * frac;
+        let params = UnsignedQuantParams::from_max(clip, bits);
+        let mse = quant_mse(samples, &params);
+        if best.map(|b| mse < b.mse).unwrap_or(true) {
+            best = Some(ClipSearchResult { params, mse, clip });
+        }
+    }
+    best.expect("at least one candidate evaluated")
+}
+
+/// Mean squared error of quantizing `samples` (negatives treated as 0).
+fn quant_mse(samples: &[f32], params: &UnsignedQuantParams) -> f64 {
+    let mut acc = 0.0f64;
+    for &v in samples {
+        let v = v.max(0.0);
+        let r = params.dequantize(params.quantize(v));
+        acc += ((v - r) as f64).powi(2);
+    }
+    acc / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn uniform_samples_prefer_full_range() {
+        // With a uniform distribution there is no tail to clip, so the best
+        // clip should be near the max.
+        let samples: Vec<f32> = (0..1000).map(|i| i as f32 / 1000.0).collect();
+        let res = search_unsigned_clip(&samples, 8, 30);
+        assert!(res.clip > 0.9, "clip {} unexpectedly aggressive", res.clip);
+    }
+
+    #[test]
+    fn heavy_tail_gets_clipped_at_low_bits() {
+        // 99.8% of mass near 0.5, two outliers at 10.0: at 3 bits the search
+        // must clip well below the max.
+        let mut samples = vec![0.5f32; 998];
+        samples.extend(vec![10.0f32; 2]);
+        let res = search_unsigned_clip(&samples, 3, 50);
+        assert!(res.clip < 9.0, "clip {} failed to cut the tail", res.clip);
+    }
+
+    #[test]
+    fn all_zero_samples_handled() {
+        let res = search_unsigned_clip(&[0.0, 0.0, -1.0], 8, 10);
+        assert_eq!(res.mse, 0.0);
+    }
+
+    #[test]
+    fn search_beats_or_matches_max_calibration() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        // Exponential-ish tail.
+        let samples: Vec<f32> =
+            (0..2000).map(|_| -(1.0 - rng.gen::<f32>()).ln() * 0.5).collect();
+        for bits in [2u8, 3, 4] {
+            let searched = search_unsigned_clip(&samples, bits, 60);
+            let max = samples.iter().cloned().fold(0.0f32, f32::max);
+            let naive = UnsignedQuantParams::from_max(max, bits);
+            let naive_mse = super::quant_mse(&samples, &naive);
+            assert!(
+                searched.mse <= naive_mse + 1e-12,
+                "bits={bits}: searched {} > naive {naive_mse}",
+                searched.mse
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_samples_rejected() {
+        search_unsigned_clip(&[], 8, 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_result_clip_is_positive(seed in 0u64..100, bits in 1u8..=8) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let samples: Vec<f32> = (0..256).map(|_| rng.gen_range(0.0f32..4.0)).collect();
+            let res = search_unsigned_clip(&samples, bits, 20);
+            prop_assert!(res.clip > 0.0);
+            prop_assert!(res.mse.is_finite());
+        }
+    }
+}

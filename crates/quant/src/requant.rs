@@ -1,0 +1,147 @@
+//! Fixed-point requantization, CMSIS-NN style.
+//!
+//! Integer kernels accumulate in i32 at scale `in_scale`, and the next layer
+//! expects codes at scale `out_scale`. The ratio `in_scale / out_scale` is
+//! represented as a Q31-style fixed-point multiplier plus a right shift so
+//! the runtime needs only one widening multiply and one shift per output —
+//! exactly the structure ARM's CMSIS-NN uses on Cortex-M.
+
+use serde::{Deserialize, Serialize};
+
+/// A real multiplier `m ∈ (0, 2^31)` factored as `mult * 2^(-shift)` with
+/// `mult` a positive i32 in `[2^30, 2^31)` (one integer bit of headroom).
+///
+/// # Example
+///
+/// ```
+/// use wp_quant::Requantizer;
+///
+/// let r = Requantizer::from_real_multiplier(0.25);
+/// assert_eq!(r.apply(100), 25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Requantizer {
+    mult: i32,
+    shift: i32, // total right shift applied after the widening multiply
+}
+
+impl Requantizer {
+    /// Builds a requantizer computing `round(x * real_multiplier)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real_multiplier` is not finite and positive, or is too
+    /// large to represent (≥ 2^31).
+    pub fn from_real_multiplier(real_multiplier: f64) -> Self {
+        assert!(
+            real_multiplier.is_finite() && real_multiplier > 0.0,
+            "multiplier must be positive and finite, got {real_multiplier}"
+        );
+        assert!(real_multiplier < (1u64 << 31) as f64, "multiplier {real_multiplier} too large");
+        // Normalize into [0.5, 1.0) * 2^exp.
+        let mut exp = 0i32;
+        let mut m = real_multiplier;
+        while m >= 1.0 {
+            m /= 2.0;
+            exp += 1;
+        }
+        while m < 0.5 {
+            m *= 2.0;
+            exp -= 1;
+        }
+        // m in [0.5, 1.0): encode as a Q31 value in [2^30, 2^31).
+        let mut mult = (m * (1i64 << 31) as f64).round() as i64;
+        if mult == 1i64 << 31 {
+            mult /= 2;
+            exp += 1;
+        }
+        // apply(x) = x * mult * 2^(-31 + exp) => right shift of (31 - exp).
+        Self { mult: mult as i32, shift: 31 - exp }
+    }
+
+    /// Applies the multiplier with round-to-nearest (ties away from zero).
+    pub fn apply(&self, x: i32) -> i32 {
+        let prod = x as i64 * self.mult as i64;
+        round_shift(prod, self.shift)
+    }
+
+    /// The exact real multiplier this requantizer implements.
+    pub fn real_multiplier(&self) -> f64 {
+        self.mult as f64 * 2f64.powi(-self.shift)
+    }
+}
+
+/// Arithmetic right shift with round-to-nearest, ties away from zero.
+fn round_shift(value: i64, shift: i32) -> i32 {
+    debug_assert!((0..63).contains(&shift));
+    if shift == 0 {
+        return value as i32;
+    }
+    let offset = 1i64 << (shift - 1);
+    if value >= 0 {
+        ((value + offset) >> shift) as i32
+    } else {
+        -(((-value + offset) >> shift) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_powers_of_two() {
+        let r = Requantizer::from_real_multiplier(0.5);
+        assert_eq!(r.apply(10), 5);
+        assert_eq!(r.apply(-10), -5);
+        let r2 = Requantizer::from_real_multiplier(2.0);
+        assert_eq!(r2.apply(10), 20);
+    }
+
+    #[test]
+    fn identity_multiplier() {
+        let r = Requantizer::from_real_multiplier(1.0);
+        for x in [-1000, -1, 0, 1, 12345] {
+            assert_eq!(r.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn rounding_is_to_nearest() {
+        // 0.125 is exactly representable in Q31, so ties are exact ties.
+        let r = Requantizer::from_real_multiplier(0.125);
+        assert_eq!(r.apply(12), 2); // 1.5 rounds away from zero
+        assert_eq!(r.apply(11), 1); // 1.375 rounds down
+        assert_eq!(r.apply(-12), -2); // ties away from zero
+    }
+
+    #[test]
+    fn real_multiplier_round_trips() {
+        for &m in &[0.001, 0.37, 1.0, 3.17, 250.0] {
+            let r = Requantizer::from_real_multiplier(m);
+            let rel = (r.real_multiplier() - m).abs() / m;
+            assert!(rel < 1e-8, "multiplier {m} encoded as {}", r.real_multiplier());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_multiplier_rejected() {
+        Requantizer::from_real_multiplier(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_float_reference(
+            x in -1_000_000i32..1_000_000,
+            m in 0.0001f64..100.0,
+        ) {
+            let r = Requantizer::from_real_multiplier(m);
+            let expect = (x as f64 * m).round();
+            let got = r.apply(x) as f64;
+            // One ULP of slack for the Q31 encoding of m.
+            prop_assert!((got - expect).abs() <= 1.0, "x={x} m={m} got={got} expect={expect}");
+        }
+    }
+}

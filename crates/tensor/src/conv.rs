@@ -1,0 +1,311 @@
+//! Convolution geometry: output-size arithmetic and im2col patch extraction.
+
+use crate::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2D convolution: kernel size, stride and zero padding.
+///
+/// The same geometry object drives the float reference convolution in
+/// `wp-nn`, the quantized CMSIS-style kernel and the bit-serial LUT kernel in
+/// `wp-kernels`, guaranteeing all paths agree on which input pixels feed
+/// which outputs.
+///
+/// # Example
+///
+/// ```
+/// use wp_tensor::Conv2dGeometry;
+///
+/// // 3x3 stride-1 "same" convolution on a 16x16 input.
+/// let g = Conv2dGeometry::new(16, 16, 3, 3, 1, 1);
+/// assert_eq!(g.out_h(), 16);
+/// assert_eq!(g.out_w(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dGeometry {
+    in_h: usize,
+    in_w: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a convolution geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input or if `stride` is
+    /// zero.
+    pub fn new(
+        in_h: usize,
+        in_w: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            in_h + 2 * pad >= kernel_h && in_w + 2 * pad >= kernel_w,
+            "kernel {kernel_h}x{kernel_w} larger than padded input {}x{}",
+            in_h + 2 * pad,
+            in_w + 2 * pad
+        );
+        Self { in_h, in_w, kernel_h, kernel_w, stride, pad }
+    }
+
+    /// Input height.
+    pub fn in_h(&self) -> usize {
+        self.in_h
+    }
+
+    /// Input width.
+    pub fn in_w(&self) -> usize {
+        self.in_w
+    }
+
+    /// Kernel height.
+    pub fn kernel_h(&self) -> usize {
+        self.kernel_h
+    }
+
+    /// Kernel width.
+    pub fn kernel_w(&self) -> usize {
+        self.kernel_w
+    }
+
+    /// Stride (same in both spatial dimensions).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding (same on all four sides).
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kernel_w) / self.stride + 1
+    }
+
+    /// Number of output pixels per channel.
+    pub fn out_pixels(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Maps an output coordinate and kernel tap to the input row, or `None`
+    /// if the tap lands in padding.
+    #[inline]
+    pub fn input_row(&self, out_y: usize, ky: usize) -> Option<usize> {
+        let y = out_y * self.stride + ky;
+        y.checked_sub(self.pad).filter(|&v| v < self.in_h)
+    }
+
+    /// Maps an output coordinate and kernel tap to the input column, or
+    /// `None` if the tap lands in padding.
+    #[inline]
+    pub fn input_col(&self, out_x: usize, kx: usize) -> Option<usize> {
+        let x = out_x * self.stride + kx;
+        x.checked_sub(self.pad).filter(|&v| v < self.in_w)
+    }
+}
+
+/// Extracts convolution patches into a `[C*KH*KW, OH*OW]` matrix (im2col).
+///
+/// Padding positions are filled with zero. The row ordering is channel-major
+/// then kernel-row then kernel-column, matching the `[K, C, R, S]` weight
+/// layout flattened per filter, so a convolution becomes a plain
+/// matrix-vector product per filter.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 3 (`[C, H, W]`) or its spatial extents do
+/// not match `geo`.
+pub fn im2col(input: &Tensor<f32>, geo: &Conv2dGeometry) -> Tensor<f32> {
+    let dims = input.dims();
+    assert_eq!(dims.len(), 3, "im2col expects a [C, H, W] tensor");
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    assert_eq!(h, geo.in_h(), "input height mismatch");
+    assert_eq!(w, geo.in_w(), "input width mismatch");
+
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let rows = c * geo.kernel_h() * geo.kernel_w();
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let in_data = input.data();
+
+    for ch in 0..c {
+        for ky in 0..geo.kernel_h() {
+            for kx in 0..geo.kernel_w() {
+                let row = (ch * geo.kernel_h() + ky) * geo.kernel_w() + kx;
+                for oy in 0..oh {
+                    let iy = match geo.input_row(oy, ky) {
+                        Some(v) => v,
+                        None => continue,
+                    };
+                    for ox in 0..ow {
+                        let ix = match geo.input_col(ox, kx) {
+                            Some(v) => v,
+                            None => continue,
+                        };
+                        out[row * cols + oy * ow + ox] = in_data[(ch * h + iy) * w + ix];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_conv_geometry() {
+        let g = Conv2dGeometry::new(32, 32, 3, 3, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (32, 32));
+    }
+
+    #[test]
+    fn strided_conv_geometry() {
+        let g = Conv2dGeometry::new(32, 32, 3, 3, 2, 1);
+        assert_eq!((g.out_h(), g.out_w()), (16, 16));
+    }
+
+    #[test]
+    fn valid_conv_geometry() {
+        let g = Conv2dGeometry::new(28, 28, 5, 5, 1, 0);
+        assert_eq!((g.out_h(), g.out_w()), (24, 24));
+    }
+
+    #[test]
+    fn one_by_one_geometry() {
+        let g = Conv2dGeometry::new(8, 8, 1, 1, 1, 0);
+        assert_eq!((g.out_h(), g.out_w()), (8, 8));
+    }
+
+    #[test]
+    fn input_row_handles_padding() {
+        let g = Conv2dGeometry::new(4, 4, 3, 3, 1, 1);
+        assert_eq!(g.input_row(0, 0), None); // top padding
+        assert_eq!(g.input_row(0, 1), Some(0));
+        assert_eq!(g.input_row(3, 2), None); // bottom padding
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        Conv2dGeometry::new(4, 4, 3, 3, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn oversized_kernel_rejected() {
+        Conv2dGeometry::new(2, 2, 5, 5, 1, 0);
+    }
+
+    #[test]
+    fn im2col_identity_for_1x1() {
+        // A 1x1 kernel im2col is just a [C, H*W] reshape.
+        let input = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 2, 2]);
+        let g = Conv2dGeometry::new(2, 2, 1, 1, 1, 0);
+        let m = im2col(&input, &g);
+        assert_eq!(m.dims(), &[3, 4]);
+        assert_eq!(m.data(), input.data());
+    }
+
+    #[test]
+    fn im2col_pads_with_zero() {
+        let input = Tensor::from_vec(vec![1.0f32], &[1, 1, 1]);
+        let g = Conv2dGeometry::new(1, 1, 3, 3, 1, 1);
+        let m = im2col(&input, &g);
+        assert_eq!(m.dims(), &[9, 1]);
+        // Only the center tap sees the single input value.
+        let expect: Vec<f32> =
+            (0..9).map(|i| if i == 4 { 1.0 } else { 0.0 }).collect();
+        assert_eq!(m.data(), expect.as_slice());
+    }
+
+    /// Direct (nested-loop) convolution used as the oracle for im2col.
+    fn direct_conv(
+        input: &Tensor<f32>,
+        weight: &Tensor<f32>,
+        geo: &Conv2dGeometry,
+    ) -> Vec<f32> {
+        let (k, c) = (weight.dims()[0], weight.dims()[1]);
+        let (oh, ow) = (geo.out_h(), geo.out_w());
+        let mut out = vec![0.0f32; k * oh * ow];
+        for f in 0..k {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ch in 0..c {
+                        for ky in 0..geo.kernel_h() {
+                            for kx in 0..geo.kernel_w() {
+                                if let (Some(iy), Some(ix)) =
+                                    (geo.input_row(oy, ky), geo.input_col(ox, kx))
+                                {
+                                    acc += input.at(&[ch, iy, ix])
+                                        * weight.get4(f, ch, ky, kx);
+                                }
+                            }
+                        }
+                    }
+                    out[(f * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_im2col_matches_direct_conv(
+            c in 1usize..4,
+            k in 1usize..4,
+            hw in 3usize..8,
+            ks in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..2,
+            seed in 0u64..1000,
+        ) {
+            prop_assume!(hw + 2 * pad >= ks);
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let input = Tensor::from_vec(
+                (0..c * hw * hw).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+                &[c, hw, hw],
+            );
+            let weight = Tensor::from_vec(
+                (0..k * c * ks * ks).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+                &[k, c, ks, ks],
+            );
+            let geo = Conv2dGeometry::new(hw, hw, ks, ks, stride, pad);
+            let patches = im2col(&input, &geo);
+            let cols = geo.out_pixels();
+            let rows = c * ks * ks;
+
+            let direct = direct_conv(&input, &weight, &geo);
+            // Matrix product: weight [K, rows] x patches [rows, cols].
+            for f in 0..k {
+                for col in 0..cols {
+                    let mut acc = 0.0f32;
+                    for r in 0..rows {
+                        acc += weight.data()[f * rows + r] * patches.data()[r * cols + col];
+                    }
+                    prop_assert!((acc - direct[f * cols + col]).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

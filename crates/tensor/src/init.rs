@@ -1,0 +1,97 @@
+//! Random weight initialization helpers.
+
+use crate::Tensor;
+use rand::Rng;
+use rand_distr_shim::sample_standard_normal;
+
+/// Fills a tensor with Kaiming-normal initialized values,
+/// `N(0, sqrt(2 / fan_in))`, the standard initialization for ReLU CNNs.
+///
+/// `fan_in` should be `in_channels * kernel_h * kernel_w` for convolutions
+/// and the input feature count for dense layers.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn fill_kaiming_normal(t: &mut Tensor<f32>, fan_in: usize, rng: &mut impl Rng) {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    for v in t.data_mut() {
+        *v = sample_standard_normal(rng) * std;
+    }
+}
+
+/// Fills a tensor with values drawn uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn fill_uniform(t: &mut Tensor<f32>, lo: f32, hi: f32, rng: &mut impl Rng) {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    for v in t.data_mut() {
+        *v = rng.gen_range(lo..hi);
+    }
+}
+
+/// Box-Muller standard-normal sampling so we do not need the `rand_distr`
+/// crate for a single distribution.
+mod rand_distr_shim {
+    use rand::Rng;
+
+    pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+        // Box-Muller transform; u1 in (0, 1] to keep ln finite.
+        let u1: f32 = 1.0 - rng.gen::<f32>();
+        let u2: f32 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_has_reasonable_spread() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut t = Tensor::<f32>::zeros(&[64, 8, 3, 3]);
+        fill_kaiming_normal(&mut t, 8 * 3 * 3, &mut rng);
+        let n = t.len() as f32;
+        let mean: f32 = t.data().iter().sum::<f32>() / n;
+        let var: f32 = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        let expect_std = (2.0f32 / 72.0).sqrt();
+        assert!(mean.abs() < 0.01, "mean {mean} too far from 0");
+        assert!(
+            (var.sqrt() - expect_std).abs() / expect_std < 0.1,
+            "std {} vs expected {expect_std}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut t = Tensor::<f32>::zeros(&[1000]);
+        fill_uniform(&mut t, -0.5, 0.25, &mut rng);
+        assert!(t.data().iter().all(|&v| (-0.5..0.25).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Tensor::<f32>::zeros(&[16]);
+        let mut b = Tensor::<f32>::zeros(&[16]);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        fill_kaiming_normal(&mut a, 4, &mut r1);
+        fill_kaiming_normal(&mut b, 4, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in")]
+    fn zero_fan_in_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut t = Tensor::<f32>::zeros(&[4]);
+        fill_kaiming_normal(&mut t, 0, &mut rng);
+    }
+}

@@ -1,0 +1,32 @@
+//! Dense NCHW tensors and convolution shape math.
+//!
+//! This crate is the data-plane substrate for the bit-serial weight pools
+//! reproduction: a small, owned, row-major tensor type plus the convolution
+//! geometry helpers (padding/stride arithmetic, im2col patch extraction) that
+//! the training stack (`wp-nn`), the compression pipeline (`wp-core`) and
+//! the instrumented microcontroller kernels (`wp-kernels`) all share.
+//!
+//! The design goal is predictability, not peak throughput: every layout is
+//! plain row-major `Vec<T>`, every index is checked in debug builds, and all
+//! shapes are explicit.
+//!
+//! # Example
+//!
+//! ```
+//! use wp_tensor::Tensor;
+//!
+//! let mut t = Tensor::<f32>::zeros(&[1, 2, 3, 3]);
+//! t.set4(0, 1, 2, 2, 7.0);
+//! assert_eq!(t.get4(0, 1, 2, 2), 7.0);
+//! assert_eq!(t.len(), 18);
+//! ```
+
+mod conv;
+mod init;
+mod shape;
+mod tensor;
+
+pub use conv::{im2col, Conv2dGeometry};
+pub use init::{fill_kaiming_normal, fill_uniform};
+pub use shape::Shape;
+pub use tensor::Tensor;

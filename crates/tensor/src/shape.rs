@@ -1,0 +1,199 @@
+//! Shape and stride arithmetic for row-major tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The extents of a row-major tensor, outermost dimension first.
+///
+/// For activations the convention throughout the workspace is `[N, C, H, W]`;
+/// for convolution weights it is `[K, C, R, S]` (filters, channels, kernel
+/// height, kernel width).
+///
+/// # Example
+///
+/// ```
+/// use wp_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4, 4]);
+/// assert_eq!(s.len(), 96);
+/// assert_eq!(s.strides(), vec![48, 16, 4, 1]);
+/// assert_eq!(s.offset(&[1, 2, 3, 3]), 95);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains a zero extent.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "shape must have at least one dimension");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimensions are not supported: {dims:?}"
+        );
+        Self { dims: dims.to_vec() }
+    }
+
+    /// The dimension extents, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape holds zero elements. Always false by construction,
+    /// provided for API completeness alongside [`Shape::len`].
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Row-major strides (innermost stride is 1).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for i in (0..self.dims.len()).rev() {
+            assert!(
+                index[i] < self.dims[i],
+                "index {index:?} out of bounds for shape {:?}",
+                self.dims
+            );
+            off += index[i] * stride;
+            stride *= self.dims[i];
+        }
+        off
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).len(), 24);
+        assert_eq!(Shape::new(&[7]).len(), 7);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        let strides = s.strides();
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    assert_eq!(
+                        s.offset(&[n, c, h]),
+                        n * strides[0] + c * strides[1] + h * strides[2]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_cover_range_exactly_once() {
+        let s = Shape::new(&[3, 2, 2]);
+        let mut seen = vec![false; s.len()];
+        for a in 0..3 {
+            for b in 0..2 {
+                for c in 0..2 {
+                    let off = s.offset(&[a, b, c]);
+                    assert!(!seen[off]);
+                    seen[off] = true;
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|v| v));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_panics_out_of_bounds() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_panics_wrong_rank() {
+        Shape::new(&[2, 2]).offset(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_dim_rejected() {
+        Shape::new(&[2, 0]);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(&[1, 8, 3, 3]).to_string(), "[1x8x3x3]");
+    }
+}

@@ -1,0 +1,316 @@
+//! The owned dense tensor type.
+
+use crate::Shape;
+use serde::{Deserialize, Serialize};
+
+/// An owned, row-major, dense tensor.
+///
+/// Activations use `[N, C, H, W]` layout and convolution weights use
+/// `[K, C, R, S]`. Elements are stored contiguously with the innermost
+/// dimension varying fastest.
+///
+/// # Example
+///
+/// ```
+/// use wp_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], &[2, 2]);
+/// assert_eq!(t.at(&[1, 0]), 3.0);
+/// assert_eq!(t.data()[3], 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Creates a tensor of the given shape filled with `T::default()`.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![T::default(); shape.len()];
+        Self { shape, data }
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(dims: &[usize], value: T) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.len()];
+        Self { shape, data }
+    }
+}
+
+impl<T: Copy> Tensor<T> {
+    /// Wraps an existing buffer in a tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `dims`.
+    pub fn from_vec(data: Vec<T>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing buffer in row-major order.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer in row-major order.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or has the wrong rank.
+    pub fn at(&self, index: &[usize]) -> T {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable reference to the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or has the wrong rank.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut T {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Fast-path getter for rank-4 tensors (`[N, C, H, W]` or `[K, C, R, S]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the tensor is not rank 4 or the index is out
+    /// of bounds.
+    #[inline]
+    pub fn get4(&self, n: usize, c: usize, h: usize, w: usize) -> T {
+        debug_assert_eq!(self.shape.rank(), 4);
+        let d = self.shape.dims();
+        debug_assert!(n < d[0] && c < d[1] && h < d[2] && w < d[3]);
+        self.data[((n * d[1] + c) * d[2] + h) * d[3] + w]
+    }
+
+    /// Fast-path setter for rank-4 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the tensor is not rank 4 or the index is out
+    /// of bounds.
+    #[inline]
+    pub fn set4(&mut self, n: usize, c: usize, h: usize, w: usize, value: T) {
+        debug_assert_eq!(self.shape.rank(), 4);
+        let d = self.shape.dims();
+        debug_assert!(n < d[0] && c < d[1] && h < d[2] && w < d[3]);
+        self.data[((n * d[1] + c) * d[2] + h) * d[3] + w] = value;
+    }
+
+    /// Returns a tensor with the same data reinterpreted under a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's element count differs.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor<T> {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "cannot reshape {} elements into {shape}",
+            self.data.len()
+        );
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Applies `f` elementwise, producing a new tensor of the same shape.
+    pub fn map<U: Copy>(&self, f: impl FnMut(T) -> U) -> Tensor<U> {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().copied().map(f).collect(),
+        }
+    }
+}
+
+impl Tensor<f32> {
+    /// Sum of squared elements (used for weight-decay and norm diagnostics).
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Largest absolute element value, or 0.0 for an all-zero tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Elementwise `self + alpha * other`, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor<f32>, alpha: f32) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_scaled");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_has_default_values() {
+        let t = Tensor::<f32>::zeros(&[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn full_fills_value() {
+        let t = Tensor::full(&[2, 2], 5i32);
+        assert!(t.data().iter().all(|&v| v == 5));
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let t = Tensor::from_vec(vec![1u8, 2, 3, 4, 5, 6], &[2, 3]);
+        assert_eq!(t.at(&[0, 2]), 3);
+        assert_eq!(t.at(&[1, 0]), 4);
+        assert_eq!(t.into_vec(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_length() {
+        Tensor::from_vec(vec![1u8, 2, 3], &[2, 2]);
+    }
+
+    #[test]
+    fn get4_matches_at() {
+        let data: Vec<f32> = (0..24).map(|v| v as f32).collect();
+        let t = Tensor::from_vec(data, &[2, 3, 2, 2]);
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..2 {
+                    for w in 0..2 {
+                        assert_eq!(t.get4(n, c, h, w), t.at(&[n, c, h, w]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set4_then_get4() {
+        let mut t = Tensor::<i32>::zeros(&[1, 2, 2, 2]);
+        t.set4(0, 1, 1, 0, 42);
+        assert_eq!(t.get4(0, 1, 1, 0), 42);
+        assert_eq!(t.at(&[0, 1, 1, 0]), 42);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1, 2, 3, 4, 5, 6], &[2, 3]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.dims(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_rejects_wrong_len() {
+        Tensor::from_vec(vec![1, 2, 3], &[3]).reshape(&[2, 2]);
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let t = Tensor::from_vec(vec![1.5f32, -2.5], &[2]);
+        let q = t.map(|v| v as i32);
+        assert_eq!(q.data(), &[1, -2]);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::from_vec(vec![1.0f32, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0f32, 20.0], &[2]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn max_abs_handles_negatives() {
+        let t = Tensor::from_vec(vec![-3.0f32, 2.0, 0.5], &[3]);
+        assert_eq!(t.max_abs(), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_at_and_data_agree(dims in prop::collection::vec(1usize..5, 1..4)) {
+            let len: usize = dims.iter().product();
+            let data: Vec<i64> = (0..len as i64).collect();
+            let t = Tensor::from_vec(data, &dims);
+            // Walk every index and check `at` agrees with row-major order.
+            let mut idx = vec![0usize; dims.len()];
+            for lin in 0..len {
+                prop_assert_eq!(t.at(&idx), lin as i64);
+                // increment multi-index
+                for d in (0..dims.len()).rev() {
+                    idx[d] += 1;
+                    if idx[d] < dims[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+            }
+        }
+
+        #[test]
+        fn prop_reshape_round_trip(a in 1usize..6, b in 1usize..6) {
+            let t = Tensor::from_vec((0..(a * b) as i32).collect(), &[a, b]);
+            let back = t.reshape(&[b, a]).reshape(&[a, b]);
+            prop_assert_eq!(back, t);
+        }
+    }
+}

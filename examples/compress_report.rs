@@ -1,0 +1,43 @@
+//! Storage planner: print the compression breakdown of every evaluation
+//! network at a chosen pool size and LUT bitwidth.
+//!
+//! ```sh
+//! cargo run --release --example compress_report            # defaults: 64, 8
+//! cargo run --release --example compress_report -- 32 8    # pool 32
+//! ```
+
+use weight_pools::models::specs;
+use weight_pools::pool::compression::{storage_report, CompressionConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pool_size: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(64);
+    let lut_bits: u32 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(8);
+
+    let mut cfg = CompressionConfig::paper_default(pool_size);
+    cfg.lut_bits = lut_bits;
+
+    println!("pool size {pool_size}, {lut_bits}-bit LUT, byte indices, 8-bit baseline\n");
+    println!(
+        "{:>14} | {:>10} | {:>9} | {:>9} | {:>9} | {:>6} | {:>8}",
+        "network", "weights", "idx kB", "LUT kB", "kept kB", "CR", "LUT %"
+    );
+    for net in specs::all_networks() {
+        let r = storage_report(&net, &cfg);
+        println!(
+            "{:>14} | {:>10} | {:>9.1} | {:>9.1} | {:>9.1} | {:>6.2} | {:>8.1}",
+            r.name,
+            r.total_weights,
+            r.index_bits_total as f64 / 8.0 / 1024.0,
+            r.lut_bits_total as f64 / 8.0 / 1024.0,
+            r.uncompressed_weight_bits as f64 / 8.0 / 1024.0,
+            r.compression_ratio,
+            r.lut_overhead * 100.0,
+        );
+    }
+    println!(
+        "\nCR = 8-bit baseline bits / (indices + LUT + uncompressed weights).\n\
+         The LUT is a fixed cost, so compression improves with network size\n\
+         (paper Table 3)."
+    );
+}

@@ -1,0 +1,94 @@
+//! Quickstart: train a small CNN, compress it with a bit-serial weight
+//! pool, and compare float / weight-pool / bit-serial-LUT accuracy.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use weight_pools::pool::simulate::calibrate_and_arm;
+use weight_pools::prelude::*;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    // --- 1. data: a CIFAR-shaped synthetic task -------------------------
+    let mut spec = weight_pools::data::SyntheticSpec::cifar_like(2, 7);
+    spec.train_per_class = 80;
+    spec.test_per_class = 30;
+    let data = spec.generate();
+    println!(
+        "dataset: {} classes, {} train / {} test images of {}x{}x{}",
+        data.classes,
+        data.train_len(),
+        data.test_len(),
+        data.channels,
+        data.height,
+        data.width
+    );
+
+    // --- 2. model: a small residual CNN ---------------------------------
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(3, 16, 3, 1, 1, &mut rng)); // stem: kept exact
+    net.push(Relu::new());
+    net.push(BasicBlock::new(16, 16, 1, &mut rng));
+    net.push(BasicBlock::new(16, 32, 2, &mut rng));
+    net.push(GlobalAvgPool::new());
+    net.push(Dense::new(32, data.classes, &mut rng));
+
+    // --- 3. train --------------------------------------------------------
+    let mut opt = Sgd::new(0.04).momentum(0.9).weight_decay(1e-4);
+    for epoch in 0..8 {
+        let stats = train_epoch(&mut net, &mut opt, &data.train);
+        println!(
+            "epoch {epoch}: loss {:.3}, train accuracy {:.1}%",
+            stats.loss,
+            stats.accuracy * 100.0
+        );
+    }
+    let float_acc = evaluate(&mut net, &data.test).accuracy;
+    println!("float test accuracy: {:.1}%", float_acc * 100.0);
+
+    // --- 4. compress: build a 64-vector pool and fine-tune ---------------
+    let cfg = PoolConfig::new(64);
+    let pool = compress::build_pool(&mut net, &cfg, &mut rng).expect("pool");
+    let stats = compress::project(&mut net, &pool, &cfg);
+    println!(
+        "projected {} conv layers ({} weight vectors) onto a {}-vector pool, mse {:.2e}",
+        stats.layers_compressed,
+        stats.vectors_replaced,
+        pool.len(),
+        stats.mse
+    );
+    let projected_acc = evaluate(&mut net, &data.test).accuracy;
+
+    let mut ft_opt = Sgd::new(0.01).momentum(0.9);
+    compress::finetune(&mut net, &pool, &cfg, &mut ft_opt, &data.train, 3);
+    let finetuned_acc = evaluate(&mut net, &data.test).accuracy;
+    println!(
+        "weight-pool accuracy: {:.1}% after projection, {:.1}% after fine-tuning",
+        projected_acc * 100.0,
+        finetuned_acc * 100.0
+    );
+
+    // --- 5. deploy-side numerics: bit-serial lookup-table simulation -----
+    let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    println!(
+        "lookup table: {} entries x {} vectors at {} bits = {} bytes",
+        lut.num_patterns(),
+        lut.pool_size(),
+        lut.bits(),
+        lut.storage_bytes()
+    );
+    let calib: Vec<Batch> = data.train.iter().take(2).cloned().collect();
+    for act_bits in [8u8, 4] {
+        let install =
+            calibrate_and_arm(&mut net, &pool, lut.clone(), &cfg, &calib, act_bits, false);
+        let acc = evaluate(&mut net, &data.test).accuracy;
+        install.uninstall(&mut net);
+        println!(
+            "bit-serial execution at {act_bits}-bit activations: {:.1}% accuracy",
+            acc * 100.0
+        );
+    }
+}

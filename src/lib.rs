@@ -1,0 +1,90 @@
+//! # Bit-serial Weight Pools
+//!
+//! A Rust reproduction of *"Bit-serial Weight Pools: Compression and
+//! Arbitrary Precision Execution of Neural Networks on Resource Constrained
+//! Processors"* (Li & Gupta, MLSys 2022).
+//!
+//! The framework has two halves, mirroring the paper's Figure 1:
+//!
+//! 1. **Compression (host side)** — group a trained CNN's conv weights into
+//!    1×8 vectors along the channel dimension, cluster them into a small
+//!    shared pool, fine-tune the index assignment, and generate the
+//!    bit-serial dot-product lookup table ([`pool`], [`nn`], [`cluster`]).
+//! 2. **Execution (device side)** — run compressed networks on
+//!    microcontrollers with bit-serial lookup-table kernels supporting any
+//!    activation bitwidth from 1 to 8, simulated here on a Cortex-M3-style
+//!    cycle-cost model ([`kernels`], [`mcu`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use weight_pools::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A tiny CNN: stem (kept exact) + one poolable conv.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = Sequential::new();
+//! net.push(Conv2d::new(3, 8, 3, 1, 1, &mut rng));
+//! net.push(Relu::new());
+//! net.push(Conv2d::new(8, 8, 3, 1, 1, &mut rng));
+//!
+//! // Compress: cluster z-vectors into a pool, project the model onto it.
+//! let cfg = PoolConfig::new(8);
+//! let pool = compress::build_pool(&mut net, &cfg, &mut rng)?;
+//! let stats = compress::project(&mut net, &pool, &cfg);
+//! assert_eq!(stats.layers_compressed, 1);
+//!
+//! // Generate the deployable lookup table (2^8 entries per pool vector).
+//! let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+//! assert_eq!(lut.storage_bytes(), 256 * 8);
+//! # Ok::<(), weight_pools::pool::PoolError>(())
+//! ```
+//!
+//! See `examples/` for end-to-end walkthroughs (compression, MCU
+//! deployment, precision sweeps) and `crates/bench` for the harness that
+//! regenerates every table and figure of the paper's evaluation.
+
+/// Weight pools, lookup tables, compression accounting (the paper's core).
+pub use wp_core as pool;
+
+/// K-means clustering (Euclidean + cosine).
+pub use wp_cluster as cluster;
+
+/// Synthetic datasets standing in for CIFAR-10 / Quickdraw-100.
+pub use wp_data as data;
+
+/// Cost-model-instrumented MCU kernels (CMSIS baseline, bit-serial, BNN).
+pub use wp_kernels as kernels;
+
+/// Cortex-M3-style cycle-cost and memory simulator.
+pub use wp_mcu as mcu;
+
+/// The evaluation model zoo (full-size specs + trainable micro variants).
+pub use wp_models as models;
+
+/// The CNN training stack (layers with backward passes, SGD).
+pub use wp_nn as nn;
+
+/// Quantizers, activation-range search, fixed-point requantization.
+pub use wp_quant as quant;
+
+/// Dense NCHW tensors and convolution geometry.
+pub use wp_tensor as tensor;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use wp_core::compress;
+    pub use wp_core::netspec::NetSpec;
+    pub use wp_core::reference::{ActEncoding, PooledConvShape};
+    pub use wp_core::simulate;
+    pub use wp_core::{LookupTable, LutOrder, PoolConfig, WeightPool};
+    pub use wp_kernels::{conv_bitserial, BitSerialOptions, OutputQuant, PrecomputeMode};
+    pub use wp_mcu::{Mcu, McuSpec};
+    pub use wp_nn::train::{evaluate, train_epoch, Batch};
+    pub use wp_nn::{
+        BasicBlock, Conv2d, Dense, GlobalAvgPool, MaxPool2d, Relu, Sequential, Sgd,
+        SoftmaxCrossEntropy,
+    };
+    pub use wp_quant::{QuantParams, Requantizer, UnsignedQuantParams};
+    pub use wp_tensor::{Conv2dGeometry, Shape, Tensor};
+}

@@ -1,0 +1,142 @@
+//! Deployment-level integration: storage accounting vs flash placement,
+//! fit/no-fit decisions, and CMSIS-vs-bit-serial latency ordering on the
+//! full-size evaluation networks.
+
+use rand::{Rng, SeedableRng};
+use weight_pools::kernels::network::{flash_footprint, run_network, DeployMode};
+use weight_pools::models::specs;
+use weight_pools::pool::compression::{storage_report, CompressionConfig};
+use weight_pools::prelude::*;
+
+fn pool_and_lut(pool_size: usize) -> (WeightPool, LookupTable) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let vectors: Vec<Vec<f32>> = (0..pool_size)
+        .map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect())
+        .collect();
+    let pool = WeightPool::from_vectors(vectors);
+    let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    (pool, lut)
+}
+
+/// The storage report (wp-core) and the flash footprint (wp-kernels) are
+/// independent implementations of the same accounting; their weight-side
+/// numbers must agree (the footprint adds 4-byte biases the paper's CR
+/// math ignores).
+#[test]
+fn storage_report_agrees_with_flash_footprint() {
+    let (_pool, lut) = pool_and_lut(64);
+    let cfg = CompressionConfig::paper_default(64);
+    for net in specs::all_networks() {
+        let report = storage_report(&net, &cfg);
+        let mode = DeployMode::BitSerial { lut: &lut, opts: BitSerialOptions::paper_default(8) };
+        let footprint = flash_footprint(&net, &mode);
+        let bias_bytes: usize = net
+            .layers
+            .iter()
+            .map(|l| match *l {
+                weight_pools::pool::netspec::LayerSpec::Conv(c) => c.out_ch * 4,
+                weight_pools::pool::netspec::LayerSpec::DwConv { channels, .. } => channels * 4,
+                weight_pools::pool::netspec::LayerSpec::Dense { out_features, .. } => {
+                    out_features * 4
+                }
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(
+            footprint - bias_bytes,
+            (report.compressed_bits / 8) as usize,
+            "{}: footprint disagrees with storage report",
+            net.name
+        );
+    }
+}
+
+/// Table 7's "/" cells: ResNet-14 and MobileNet-v2 overflow MC-large's
+/// 1 MB flash as int8 networks but fit as weight pools.
+#[test]
+fn large_networks_fit_only_with_pools() {
+    let (_pool, lut) = pool_and_lut(64);
+    let device = McuSpec::mc_large();
+    for name in ["ResNet-14", "MobileNet-v2"] {
+        let net = specs::all_networks().into_iter().find(|n| n.name == name).unwrap();
+        let int8 = flash_footprint(&net, &DeployMode::Cmsis);
+        let pooled = flash_footprint(
+            &net,
+            &DeployMode::BitSerial { lut: &lut, opts: BitSerialOptions::paper_default(8) },
+        );
+        assert!(int8 > device.flash_bytes, "{name} unexpectedly fits as int8 ({int8} B)");
+        assert!(pooled < device.flash_bytes, "{name} must fit as weight pool ({pooled} B)");
+    }
+}
+
+/// TinyConv fits MC-small both ways; ResNet-s only fits once pooled.
+///
+/// Note a genuine inconsistency in the paper here: its own Table 3 gives
+/// ResNet-s 170,928 8-bit weights (167 kB), which cannot fit the F103RB's
+/// 128 kB flash from Table 2, yet Table 7 reports a CMSIS latency for it.
+/// Strict byte accounting therefore marks ResNet-s/int8 as not fitting.
+#[test]
+fn small_networks_fit_mc_small() {
+    let (_pool, lut) = pool_and_lut(64);
+    let device = McuSpec::mc_small();
+    let pooled_mode =
+        DeployMode::BitSerial { lut: &lut, opts: BitSerialOptions::paper_default(8) };
+    let tinyconv = specs::tinyconv();
+    assert!(
+        flash_footprint(&tinyconv, &DeployMode::Cmsis) <= device.flash_bytes,
+        "TinyConv int8 should fit MC-small"
+    );
+    assert!(
+        flash_footprint(&tinyconv, &pooled_mode) <= device.flash_bytes,
+        "TinyConv pooled should fit MC-small"
+    );
+    let resnet_s = specs::resnet_s();
+    assert!(
+        flash_footprint(&resnet_s, &DeployMode::Cmsis) > device.flash_bytes,
+        "ResNet-s int8 weights exceed 128 kB by the paper's own Table 3 count"
+    );
+    assert!(
+        flash_footprint(&resnet_s, &pooled_mode) <= device.flash_bytes,
+        "ResNet-s pooled should fit MC-small"
+    );
+}
+
+/// Bit-serial weight pools beat the CMSIS baseline at 8 bits and scale
+/// down with activation bitwidth (Table 7's column ordering), checked on
+/// ResNet-s (small enough to simulate quickly).
+#[test]
+fn latency_ordering_matches_table7() {
+    let (_p64, lut64) = pool_and_lut(64);
+    let (_p32, lut32) = pool_and_lut(32);
+    let device = McuSpec::mc_large();
+    let net = specs::resnet_s();
+
+    let cmsis = run_network(&device, &net, &DeployMode::Cmsis, 1).cycles;
+    let bs = |lut: &LookupTable, bits: u8| {
+        run_network(
+            &device,
+            &net,
+            &DeployMode::BitSerial { lut, opts: BitSerialOptions::paper_default(bits) },
+            1,
+        )
+        .cycles
+    };
+    let c64_8 = bs(&lut64, 8);
+    let c32_8 = bs(&lut32, 8);
+    let c64_4 = bs(&lut64, 4);
+    let c32_4 = bs(&lut32, 4);
+
+    assert!(c64_8 < cmsis, "64-8 ({c64_8}) should beat CMSIS ({cmsis})");
+    assert!(c32_8 < c64_8, "pool 32 should beat pool 64 at 8 bits");
+    assert!(c64_4 < c64_8, "4-bit should beat 8-bit");
+    assert!(c32_4 < c32_8, "4-bit should beat 8-bit at pool 32");
+}
+
+/// Latency on the slower board is longer in seconds for the same network.
+#[test]
+fn mc_small_slower_in_wall_clock() {
+    let net = specs::tinyconv();
+    let large = run_network(&McuSpec::mc_large(), &net, &DeployMode::Cmsis, 2);
+    let small = run_network(&McuSpec::mc_small(), &net, &DeployMode::Cmsis, 2);
+    assert!(small.seconds > large.seconds);
+}

@@ -1,0 +1,209 @@
+//! End-to-end integration: train → compress → fine-tune → simulate →
+//! deploy-grade kernel equality, across all crates.
+
+use rand::SeedableRng;
+use weight_pools::data::SyntheticSpec;
+use weight_pools::pool::compress;
+use weight_pools::pool::grouping::extract_z_vectors;
+use weight_pools::pool::reference::{bitserial_conv_acc, ActEncoding, PooledConvShape};
+use weight_pools::pool::simulate::calibrate_and_arm;
+use weight_pools::prelude::*;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Trains a small model on an easy synthetic task and returns it with its
+/// data and float accuracy.
+fn trained_model() -> (Sequential, weight_pools::data::Dataset, f32) {
+    let mut r = rng(11);
+    let mut spec = SyntheticSpec::tiny_test(4);
+    spec.train_per_class = 24;
+    spec.test_per_class = 10;
+    spec.height = 12;
+    spec.width = 12;
+    let data = spec.generate();
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(1, 8, 3, 1, 1, &mut r));
+    net.push(Relu::new());
+    net.push(Conv2d::new(8, 16, 3, 1, 1, &mut r));
+    net.push(Relu::new());
+    net.push(GlobalAvgPool::new());
+    net.push(Dense::new(16, 4, &mut r));
+    let mut opt = Sgd::new(0.05).momentum(0.9);
+    for _ in 0..15 {
+        train_epoch(&mut net, &mut opt, &data.train);
+    }
+    let acc = evaluate(&mut net, &data.test).accuracy;
+    (net, data, acc)
+}
+
+#[test]
+fn compression_preserves_most_accuracy_on_easy_task() {
+    let (mut net, data, float_acc) = trained_model();
+    assert!(float_acc > 0.7, "base model failed to learn: {float_acc}");
+
+    let cfg = PoolConfig::new(32);
+    let mut r = rng(12);
+    let pool = compress::build_pool(&mut net, &cfg, &mut r).unwrap();
+    let mut ft = Sgd::new(0.01).momentum(0.9);
+    compress::finetune(&mut net, &pool, &cfg, &mut ft, &data.train, 3);
+    let pooled_acc = evaluate(&mut net, &data.test).accuracy;
+    assert!(
+        pooled_acc > float_acc - 0.15,
+        "weight pool destroyed accuracy: {pooled_acc} vs {float_acc}"
+    );
+}
+
+#[test]
+fn bitserial_simulation_tracks_projected_model() {
+    let (mut net, data, _) = trained_model();
+    let cfg = PoolConfig::new(32);
+    let mut r = rng(13);
+    let pool = compress::build_pool(&mut net, &cfg, &mut r).unwrap();
+    compress::project(&mut net, &pool, &cfg);
+    let projected_acc = evaluate(&mut net, &data.test).accuracy;
+
+    let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    let calib: Vec<Batch> = data.train.iter().take(2).cloned().collect();
+    let install = calibrate_and_arm(&mut net, &pool, lut, &cfg, &calib, 8, false);
+    let sim_acc = evaluate(&mut net, &data.test).accuracy;
+    install.uninstall(&mut net);
+
+    assert!(
+        (projected_acc - sim_acc).abs() <= 0.1,
+        "8-bit bit-serial simulation diverged: float {projected_acc} vs sim {sim_acc}"
+    );
+}
+
+/// The deploy-grade MCU kernel must agree **exactly** with the reference
+/// semantics when fed a conv layer extracted from a genuinely trained and
+/// compressed model (not just random fixtures).
+#[test]
+fn mcu_kernel_matches_reference_on_trained_weights() {
+    let (mut net, data, _) = trained_model();
+    let cfg = PoolConfig::new(16);
+    let mut r = rng(14);
+    let pool = compress::build_pool(&mut net, &cfg, &mut r).unwrap();
+    compress::project(&mut net, &pool, &cfg);
+    let maps = compress::index_maps(&mut net, &pool, &cfg);
+    let indices = maps[1].clone().expect("second conv is compressed");
+
+    // Index maps must agree with the projected weights.
+    let mut weights = None;
+    compress::for_each_conv_indexed(&mut net, |pos, conv| {
+        if pos == 1 {
+            weights = Some(conv.weight().clone());
+        }
+    });
+    let weights = weights.unwrap();
+    for (i, v) in extract_z_vectors(&weights, 8).iter().enumerate() {
+        let assigned = pool.vector(indices[i] as usize);
+        for (a, b) in v.iter().zip(assigned) {
+            assert!((a - b).abs() < 1e-6, "index map inconsistent at vector {i}");
+        }
+    }
+
+    // Run the instrumented kernel vs the reference on a real test image,
+    // quantized exactly as deployment would.
+    let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    let image = &data.test[0].images;
+    let plane: Vec<f32> = image.data()[..144].to_vec(); // first image, 1x12x12
+    let act = UnsignedQuantParams::from_max(
+        plane.iter().fold(0.0f32, |m, v| m.max(*v)).max(1e-6),
+        8,
+    );
+    // The compressed conv consumes the stem's ReLU output; build it.
+    let stem_out = {
+        let x = Tensor::from_vec(plane, &[1, 1, 12, 12]);
+        let y = net.forward(&x, false); // full forward, but we need stem only
+        let _ = y;
+        // Recompute stem conv + relu manually through visit.
+        let mut stem = None;
+        compress::for_each_conv_indexed(&mut net, |pos, conv| {
+            if pos == 0 {
+                stem = Some(conv.weight().clone());
+            }
+        });
+        let stem_w = stem.unwrap();
+        let shape = PooledConvShape {
+            in_ch: 1,
+            out_ch: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 12,
+            in_w: 12,
+        };
+        let geo = shape.geometry();
+        let mut out = vec![0.0f32; 8 * 144];
+        for k in 0..8 {
+            for oy in 0..12 {
+                for ox in 0..12 {
+                    let mut acc = 0.0;
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            if let (Some(iy), Some(ix)) =
+                                (geo.input_row(oy, ky), geo.input_col(ox, kx))
+                            {
+                                acc += x.get4(0, 0, iy, ix) * stem_w.get4(k, 0, ky, kx);
+                            }
+                        }
+                    }
+                    out[(k * 12 + oy) * 12 + ox] = acc.max(0.0);
+                }
+            }
+        }
+        out
+    };
+    let codes: Vec<i32> = stem_out.iter().map(|&v| act.quantize(v) as i32).collect();
+
+    let shape = PooledConvShape {
+        in_ch: 8,
+        out_ch: 16,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        in_h: 12,
+        in_w: 12,
+    };
+    let expect = bitserial_conv_acc(&codes, &shape, &indices, &lut, 8, ActEncoding::Unsigned);
+
+    let mut mcu = Mcu::new(McuSpec::mc_large());
+    let oq = OutputQuant {
+        requant: Requantizer::from_real_multiplier(1.0),
+        relu: false,
+        out_bits: 31,
+    };
+    let bias = vec![0i32; 16];
+    let got = weight_pools::kernels::conv_bitserial(
+        &mut mcu,
+        &codes,
+        &shape,
+        &indices,
+        &lut,
+        &bias,
+        &oq,
+        &BitSerialOptions::paper_default(8),
+    );
+    assert_eq!(got, expect, "instrumented kernel diverged from reference");
+    assert!(mcu.cycles() > 0);
+}
+
+#[test]
+fn finetuning_recovers_projection_loss() {
+    let (mut net, data, _) = trained_model();
+    let cfg = PoolConfig::new(16); // aggressive pool: visible projection loss
+    let mut r = rng(15);
+    let pool = compress::build_pool(&mut net, &cfg, &mut r).unwrap();
+    compress::project(&mut net, &pool, &cfg);
+    let projected = evaluate(&mut net, &data.test).accuracy;
+
+    let mut ft = Sgd::new(0.02).momentum(0.9);
+    compress::finetune(&mut net, &pool, &cfg, &mut ft, &data.train, 4);
+    let finetuned = evaluate(&mut net, &data.test).accuracy;
+    assert!(
+        finetuned >= projected - 0.02,
+        "fine-tuning should not hurt: {projected} -> {finetuned}"
+    );
+}

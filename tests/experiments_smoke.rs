@@ -1,0 +1,87 @@
+//! Smoke tests of the experiment harness: every table/figure generator must
+//! run in fast mode and exhibit the paper's qualitative invariants.
+
+use wp_bench::experiments;
+use wp_bench::Effort;
+
+fn fast() -> Effort {
+    Effort { fast: true }
+}
+
+#[test]
+fn table3_reports_expected_ordering() {
+    let md = experiments::table3_compression();
+    // Compression ratio must grow with network size: extract the CR column
+    // for TinyConv (smallest) and ResNet-14 (largest).
+    let cr = |name: &str| -> f64 {
+        let line = md.lines().find(|l| l.contains(name)).unwrap();
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        cells[4].parse().unwrap()
+    };
+    assert!(cr("ResNet-14") > cr("ResNet-10"));
+    assert!(cr("ResNet-10") > cr("ResNet-s"));
+    assert!(cr("ResNet-s") > cr("TinyConv"));
+    // ResNet CRs match the paper closely (architectures are exact).
+    assert!((cr("ResNet-10") - 6.51).abs() < 0.15, "ResNet-10 CR {}", cr("ResNet-10"));
+    assert!((cr("ResNet-14") - 7.55).abs() < 0.15, "ResNet-14 CR {}", cr("ResNet-14"));
+}
+
+#[test]
+fn fig7_speedups_increase_with_filters() {
+    let md = experiments::fig7_layer_optimizations(fast());
+    let speedup = |filters: &str| -> (f64, f64) {
+        let line = md
+            .lines()
+            .find(|l| l.trim_start().starts_with(&format!("| {filters}")))
+            .unwrap_or_else(|| panic!("no row for {filters} in:\n{md}"));
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        (cells[2].parse().unwrap(), cells[3].parse().unwrap())
+    };
+    let (cache32, _) = speedup("32");
+    let (cache64, pre64) = speedup("64");
+    assert!(cache64 >= cache32, "caching speedup should grow with filters");
+    assert!(pre64 > 0.5, "precompute column parses");
+}
+
+#[test]
+fn fig8_speedup_monotone_in_bits() {
+    let md = experiments::fig8_activation_speedup(fast());
+    // The no-precompute column must increase monotonically as bits shrink.
+    let mut values = Vec::new();
+    for line in md.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() >= 4 {
+            if let (Ok(bits), Ok(speedup)) = (cells[1].parse::<u8>(), cells[2].parse::<f64>()) {
+                values.push((bits, speedup));
+            }
+        }
+    }
+    assert!(values.len() >= 6, "rows parsed from:\n{md}");
+    for pair in values.windows(2) {
+        assert!(
+            pair[1].1 >= pair[0].1 * 0.98,
+            "speedup should grow as bits shrink: {values:?}"
+        );
+    }
+    // 1-bit speedup is large but below the theoretical 8x.
+    let one_bit = values.last().unwrap();
+    assert_eq!(one_bit.0, 1);
+    assert!((2.0..8.0).contains(&one_bit.1), "1-bit speedup {}", one_bit.1);
+}
+
+#[test]
+fn lut_order_ablation_penalizes_weight_oriented() {
+    let md = experiments::ablation_lut_order(fast());
+    assert!(md.contains("Penalty"));
+    // Penalty factor > 1.
+    let line = md.lines().find(|l| l.contains('x') && l.starts_with("| 32")).unwrap();
+    let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+    let penalty: f64 = cells[4].trim_end_matches('x').parse().unwrap();
+    assert!(penalty > 1.0, "weight-oriented should cost more, got {penalty}");
+}
+
+#[test]
+fn compression_formula_check_has_paper_example() {
+    let md = experiments::compression_formula_check();
+    assert!(md.contains("16.0"), "the 16 kB LUT example:\n{md}");
+}

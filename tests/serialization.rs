@@ -1,0 +1,83 @@
+//! Serde round-trips of every persisted artifact: pools, lookup tables,
+//! network specs and model state dictionaries.
+
+use rand::SeedableRng;
+use weight_pools::models::specs;
+use weight_pools::prelude::*;
+
+#[test]
+fn weight_pool_round_trips_through_json() {
+    let pool = WeightPool::from_vectors(vec![
+        vec![0.1, -0.2, 0.3, 0.0, 1.5, -1.0, 0.25, 0.125],
+        vec![0.0; 8],
+    ]);
+    let json = serde_json::to_string(&pool).unwrap();
+    let back: WeightPool = serde_json::from_str(&json).unwrap();
+    assert_eq!(pool, back);
+}
+
+#[test]
+fn lookup_table_round_trips_through_json() {
+    let pool = WeightPool::from_vectors(vec![vec![0.5, -0.25, 0.125, 1.0]]);
+    let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    let json = serde_json::to_string(&lut).unwrap();
+    let back: LookupTable = serde_json::from_str(&json).unwrap();
+    assert_eq!(lut, back);
+    // Codes must be identical entry by entry.
+    for m in 0..lut.num_patterns() {
+        assert_eq!(lut.code(0, m), back.code(0, m));
+    }
+}
+
+#[test]
+fn netspec_round_trips_through_json() {
+    for net in specs::all_networks() {
+        let json = serde_json::to_string(&net).unwrap();
+        let back: NetSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(net, back);
+        assert_eq!(net.params(), back.params());
+    }
+}
+
+#[test]
+fn model_state_round_trips_through_file() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(3, 8, 3, 1, 1, &mut rng));
+    net.push(Dense::new(8 * 4 * 4, 2, &mut rng));
+    let dir = std::env::temp_dir().join("wp_integration_save");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    net.save(&path).unwrap();
+
+    let x = Tensor::<f32>::full(&[1, 3, 4, 4], 0.5);
+    let before = net.forward(&x, false);
+    for p in net.params_mut() {
+        p.value.data_mut().fill(0.0);
+    }
+    net.load(&path).unwrap();
+    let after = net.forward(&x, false);
+    assert_eq!(before, after);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn quant_params_round_trip_through_json() {
+    let qp = QuantParams::symmetric_from_max_abs(1.5, 8);
+    let uq = UnsignedQuantParams::from_max(4.0, 5);
+    let r = Requantizer::from_real_multiplier(0.0173);
+    let qp2: QuantParams = serde_json::from_str(&serde_json::to_string(&qp).unwrap()).unwrap();
+    let uq2: UnsignedQuantParams =
+        serde_json::from_str(&serde_json::to_string(&uq).unwrap()).unwrap();
+    let r2: Requantizer = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+    assert_eq!(qp, qp2);
+    assert_eq!(uq, uq2);
+    assert_eq!(r, r2);
+}
+
+#[test]
+fn tensor_round_trips_through_json() {
+    let t = Tensor::from_vec(vec![1.0f32, -2.5, 3.25], &[3]);
+    let back: Tensor<f32> = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    assert_eq!(t, back);
+}
