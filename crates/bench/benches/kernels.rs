@@ -66,15 +66,8 @@ fn bench_act_bits(c: &mut Criterion) {
 }
 
 fn bench_cmsis_baseline(c: &mut Criterion) {
-    let shape = PooledConvShape {
-        in_ch: 32,
-        out_ch: 32,
-        kernel: 3,
-        stride: 1,
-        pad: 1,
-        in_h: 16,
-        in_w: 16,
-    };
+    let shape =
+        PooledConvShape { in_ch: 32, out_ch: 32, kernel: 3, stride: 1, pad: 1, in_h: 16, in_w: 16 };
     let codes = vec![1i32; 32 * 256];
     let weights = vec![1i8; 32 * 32 * 9];
     let bias = vec![0i32; 32];
@@ -86,14 +79,7 @@ fn bench_cmsis_baseline(c: &mut Criterion) {
     c.bench_function("cmsis_conv_16x16x32", |b| {
         b.iter(|| {
             let mut mcu = Mcu::new(McuSpec::mc_large());
-            conv_cmsis(
-                &mut mcu,
-                std::hint::black_box(&codes),
-                &shape,
-                &weights,
-                &bias,
-                &oq,
-            );
+            conv_cmsis(&mut mcu, std::hint::black_box(&codes), &shape, &weights, &bias, &oq);
             mcu.cycles()
         })
     });

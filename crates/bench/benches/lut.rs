@@ -15,11 +15,9 @@ fn bench_lut_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("lut_build");
     for pool_size in [32usize, 64, 128] {
         let pool = WeightPool::from_vectors(random_vectors(pool_size, 8, 1));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(pool_size),
-            &pool,
-            |b, pool| b.iter(|| LookupTable::build(pool, 8, LutOrder::InputOriented)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(pool_size), &pool, |b, pool| {
+            b.iter(|| LookupTable::build(pool, 8, LutOrder::InputOriented))
+        });
     }
     group.finish();
 }
@@ -44,7 +42,9 @@ fn bench_assignment(c: &mut Criterion) {
     let pool = WeightPool::from_vectors(random_vectors(64, 8, 4));
     let samples = random_vectors(4096, 8, 5);
     c.bench_function("assign_4096_vectors", |b| {
-        b.iter(|| pool.assign_all(std::hint::black_box(&samples), wp_cluster::DistanceMetric::Cosine))
+        b.iter(|| {
+            pool.assign_all(std::hint::black_box(&samples), wp_cluster::DistanceMetric::Cosine)
+        })
     });
 }
 

@@ -191,8 +191,8 @@ pub fn pool_finetune_eval(
     seed: u64,
 ) -> (WeightPool, f32) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9001);
-    let pool = compress::build_pool(&mut tm.built.net, cfg, &mut rng)
-        .expect("pool construction failed");
+    let pool =
+        compress::build_pool(&mut tm.built.net, cfg, &mut rng).expect("pool construction failed");
     let mut opt = Sgd::new(0.01).momentum(0.9);
     compress::finetune(
         &mut tm.built.net,
@@ -221,15 +221,8 @@ pub fn lut_sim_eval(
 ) -> f32 {
     let lut = LookupTable::build(pool, lut_bits.unwrap_or(16), LutOrder::InputOriented);
     let calib: Vec<Batch> = tm.data.train.iter().take(2).cloned().collect();
-    let install: SimInstallation = calibrate_and_arm(
-        &mut tm.built.net,
-        pool,
-        lut,
-        cfg,
-        &calib,
-        act_bits,
-        lut_bits.is_none(),
-    );
+    let install: SimInstallation =
+        calibrate_and_arm(&mut tm.built.net, pool, lut, cfg, &calib, act_bits, lut_bits.is_none());
     let acc = eval_subset(&mut tm.built.net, &tm.data.test, effort.sim_eval_images());
     install.uninstall(&mut tm.built.net);
     acc
@@ -238,7 +231,13 @@ pub fn lut_sim_eval(
 /// Quantization-aware retraining at a given activation bitwidth (the
 /// bracketed numbers in Table 6): calibrate the fake-quant sites, enable
 /// them, and fine-tune against the pool.
-pub fn qat_retrain(tm: &mut TrainedModel, pool: &WeightPool, cfg: &PoolConfig, act_bits: u8, effort: Effort) {
+pub fn qat_retrain(
+    tm: &mut TrainedModel,
+    pool: &WeightPool,
+    cfg: &PoolConfig,
+    act_bits: u8,
+    effort: Effort,
+) {
     // Calibrate the activation sites on a couple of training batches.
     for h in &tm.built.act_handles {
         h.clear_samples();
@@ -275,7 +274,13 @@ pub fn qat_retrain(tm: &mut TrainedModel, pool: &WeightPool, cfg: &PoolConfig, a
 /// straight-through fine-tunes against it (mirroring the z-pool pipeline
 /// so the comparison is like for like), and returns test accuracy with the
 /// model left projected.
-pub fn xy_pool_eval(tm: &mut TrainedModel, pool_size: usize, with_coeff: bool, effort: Effort, seed: u64) -> f32 {
+pub fn xy_pool_eval(
+    tm: &mut TrainedModel,
+    pool_size: usize,
+    with_coeff: bool,
+    effort: Effort,
+    seed: u64,
+) -> f32 {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x2277);
     // Collect all 3x3 kernels (skip first conv).
     let mut samples = Vec::new();

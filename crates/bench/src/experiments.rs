@@ -137,11 +137,8 @@ pub fn table4_pool_size(effort: Effort) -> String {
     for (kind, (pname, paper_row)) in MicroKind::all().iter().zip(paper) {
         assert_eq!(kind.name(), pname);
         let mut tm = train_base(*kind, effort, 100 + *kind as u64);
-        let mut cells = vec![
-            kind.name().to_string(),
-            kind.dataset_name().to_string(),
-            pct(tm.float_acc),
-        ];
+        let mut cells =
+            vec![kind.name().to_string(), kind.dataset_name().to_string(), pct(tm.float_acc)];
         for pool_size in [32usize, 64, 128] {
             tm.restore();
             let cfg = default_cfg(pool_size);
@@ -178,8 +175,7 @@ pub fn table5_lut_bitwidth(effort: Effort) -> String {
         let cfg = default_cfg(64);
         let (pool, _no_quant_acc) = pool_finetune_eval(&mut tm, &cfg, effort, 200);
         let no_lut = lut_sim_eval(&mut tm, &pool, &cfg, None, 8, effort);
-        let mut cells =
-            vec![kind.name().to_string(), pct(no_lut)];
+        let mut cells = vec![kind.name().to_string(), pct(no_lut)];
         for bits in [16u8, 8, 4] {
             let acc = lut_sim_eval(&mut tm, &pool, &cfg, Some(bits), 8, effort);
             cells.push(pct(acc));
@@ -202,13 +198,8 @@ pub fn table6_activation_bitwidth(effort: Effort) -> String {
          values in parentheses are after retraining",
         &["Network", "8", "7", "6", "5", "4", "3", "Min bits (<1% drop)", "Paper min"],
     );
-    let paper_min: [(&str, u8); 5] = [
-        ("ResNet-s", 4),
-        ("ResNet-10", 4),
-        ("ResNet-14", 3),
-        ("TinyConv", 4),
-        ("MobileNet-v2", 5),
-    ];
+    let paper_min: [(&str, u8); 5] =
+        [("ResNet-s", 4), ("ResNet-10", 4), ("ResNet-14", 3), ("TinyConv", 4), ("MobileNet-v2", 5)];
     for (kind, (pname, paper_m)) in MicroKind::all().iter().zip(paper_min) {
         assert_eq!(kind.name(), pname);
         let mut tm = train_base(*kind, effort, 300 + *kind as u64);
@@ -267,7 +258,16 @@ fn paper_min_bits(name: &str) -> u8 {
 pub fn table7_full_network(effort: Effort) -> String {
     let mut t = Table::new(
         "Table 7 - full-network latency in seconds ('/' = does not fit in flash)",
-        &["Device", "Network", "CMSIS", "64-8", "32-8", "64-m", "32-m", "Paper (CM/64-8/32-8/64-m/32-m)"],
+        &[
+            "Device",
+            "Network",
+            "CMSIS",
+            "64-8",
+            "32-8",
+            "64-m",
+            "32-m",
+            "Paper (CM/64-8/32-8/64-m/32-m)",
+        ],
     );
     let paper: &[(&str, &str, &str)] = &[
         ("MC-large", "TinyConv", "1.06 / 0.83 / 0.75 / 0.60 / 0.57"),
@@ -324,10 +324,13 @@ pub fn fig7_layer_optimizations(effort: Effort) -> String {
         "Figure 7 - layer speedup vs baseline bit-serial implementation (3x3 conv, 16x16 input, pool 64)",
         &["Filters", "LUT caching", "Caching + precompute", "Paper caching", "Paper cache+pre"],
     );
-    let paper: [(usize, &str, &str); 4] =
-        [(32, "~1.05", "~0.95"), (64, "~1.15", "~1.2"), (128, "~1.3", "~1.9"), (192, "1.4", "2.45")];
-    let filters: Vec<usize> =
-        if effort.fast { vec![32, 64] } else { vec![32, 64, 128, 192] };
+    let paper: [(usize, &str, &str); 4] = [
+        (32, "~1.05", "~0.95"),
+        (64, "~1.15", "~1.2"),
+        (128, "~1.3", "~1.9"),
+        (192, "1.4", "2.45"),
+    ];
+    let filters: Vec<usize> = if effort.fast { vec![32, 64] } else { vec![32, 64, 128, 192] };
     for (fcount, paper_cache, paper_pre) in paper {
         if !filters.contains(&fcount) {
             continue;
@@ -369,8 +372,11 @@ pub fn fig7_layer_optimizations(effort: Effort) -> String {
     }
 
     // §4.1's claim: naive per-dot-product unpacking is several times slower.
-    let bench =
-        if effort.fast { LayerBench { channels: 64, hw: 8, pool_size: 64 } } else { LayerBench::paper(64) };
+    let bench = if effort.fast {
+        LayerBench { channels: 64, hw: 8, pool_size: 64 }
+    } else {
+        LayerBench::paper(64)
+    };
     let tuned = bench.run_bitserial(
         &BitSerialOptions {
             precompute: PrecomputeMode::ForceOff,
@@ -473,7 +479,7 @@ pub fn sec55_binarized(effort: Effort) -> String {
     let codes = vec![1i32; 32 * 14 * 14];
     let weights = vec![1i8; 32 * 32 * 25];
     let oq = wp_kernels::OutputQuant::identity(8);
-    wp_kernels::cmsis::conv_cmsis(&mut m_int8, &codes, &shape, &weights, &vec![0; 32], &oq);
+    wp_kernels::cmsis::conv_cmsis(&mut m_int8, &codes, &shape, &weights, &[0; 32], &oq);
     let mut m_bnn = wp_mcu::Mcu::new(McuSpec::mc_large());
     let packed_in = vec![0u32; 14 * 14];
     let packed_w = vec![0u32; 32 * 25];
@@ -528,8 +534,7 @@ fn binarize_convs(net: &mut wp_nn::Sequential) {
             return;
         }
         let w = conv.weight_mut();
-        let mean_abs =
-            w.data().iter().map(|v| v.abs()).sum::<f32>() / w.len() as f32;
+        let mean_abs = w.data().iter().map(|v| v.abs()).sum::<f32>() / w.len() as f32;
         for v in w.data_mut() {
             *v = if *v >= 0.0 { mean_abs } else { -mean_abs };
         }
@@ -568,10 +573,8 @@ pub fn footnote1_fc_compression(effort: Effort) -> String {
     for (kind, paper_note) in paper {
         // Storage side: full-size spec with/without FC compression.
         let spec_name = kind.name();
-        let mut spec = wp_models::specs::all_networks()
-            .into_iter()
-            .find(|n| n.name == spec_name)
-            .unwrap();
+        let mut spec =
+            wp_models::specs::all_networks().into_iter().find(|n| n.name == spec_name).unwrap();
         let ccfg = CompressionConfig::paper_default(64);
         let cr_conv = storage_report(&spec, &ccfg).compression_ratio;
         for layer in &mut spec.layers {
@@ -743,10 +746,13 @@ pub fn ablation_m4_baseline(_effort: Effort) -> String {
     t.to_markdown()
 }
 
+/// A named experiment: report title plus the closure that renders it.
+type NamedExperiment = (&'static str, Box<dyn Fn() -> String>);
+
 /// Runs every experiment and returns the combined report.
 pub fn run_all(effort: Effort) -> String {
     let mut out = String::new();
-    let experiments: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+    let experiments: Vec<NamedExperiment> = vec![
         ("Table 3", Box::new(table3_compression)),
         ("Eq. 3/4", Box::new(compression_formula_check)),
         ("Figure 7", Box::new(move || fig7_layer_optimizations(effort))),

@@ -11,9 +11,8 @@ use wp_mcu::{Mcu, McuSpec};
 /// are value-independent; only shapes matter).
 pub fn synthetic_lut(pool_size: usize, lut_bits: u8, seed: u64) -> (WeightPool, LookupTable) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let vectors: Vec<Vec<f32>> = (0..pool_size)
-        .map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect())
-        .collect();
+    let vectors: Vec<Vec<f32>> =
+        (0..pool_size).map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect();
     let pool = WeightPool::from_vectors(vectors);
     let lut = LookupTable::build(&pool, lut_bits, LutOrder::InputOriented);
     (pool, lut)
@@ -58,9 +57,8 @@ impl LayerBench {
         let hi = 1i32 << opts.act_bits;
         let codes: Vec<i32> =
             (0..shape.in_ch * shape.in_h * shape.in_w).map(|_| rng.gen_range(0..hi)).collect();
-        let indices: Vec<u8> = (0..shape.index_count(8))
-            .map(|_| rng.gen_range(0..self.pool_size) as u8)
-            .collect();
+        let indices: Vec<u8> =
+            (0..shape.index_count(8)).map(|_| rng.gen_range(0..self.pool_size) as u8).collect();
         let bias = vec![0i32; shape.out_ch];
         let oq = OutputQuant::identity(8);
         let mut mcu = Mcu::new(McuSpec::mc_large());
@@ -80,7 +78,11 @@ pub fn latency_cell(result: &NetworkRunResult) -> String {
 }
 
 /// Convenience: run a network spec in a deploy mode on a device.
-pub fn run(device: &McuSpec, net: &wp_core::netspec::NetSpec, mode: &DeployMode<'_>) -> NetworkRunResult {
+pub fn run(
+    device: &McuSpec,
+    net: &wp_core::netspec::NetSpec,
+    mode: &DeployMode<'_>,
+) -> NetworkRunResult {
     wp_kernels::network::run_network(device, net, mode, 42)
 }
 

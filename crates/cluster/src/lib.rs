@@ -174,10 +174,8 @@ impl KMeans {
     fn init_plus_plus(&self, points: &[Vec<f32>], rng: &mut impl Rng) -> Vec<Vec<f32>> {
         let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(self.k);
         centroids.push(points[rng.gen_range(0..points.len())].clone());
-        let mut dists: Vec<f32> = points
-            .iter()
-            .map(|p| distance(p, &centroids[0], self.metric))
-            .collect();
+        let mut dists: Vec<f32> =
+            points.iter().map(|p| distance(p, &centroids[0], self.metric)).collect();
 
         while centroids.len() < self.k {
             let total: f64 = dists.iter().map(|&d| d as f64).sum();
@@ -258,8 +256,7 @@ impl KMeans {
                     let dir_norm = norm(&mean_dir);
                     let mag = (norm_sums[c] * inv) as f32;
                     if dir_norm > 0.0 {
-                        centroids
-                            .push(mean_dir.iter().map(|&v| v / dir_norm * mag).collect());
+                        centroids.push(mean_dir.iter().map(|&v| v / dir_norm * mag).collect());
                     } else {
                         centroids.push(points[rng.gen_range(0..points.len())].clone());
                     }
@@ -282,9 +279,7 @@ fn norm(v: &[f32]) -> f32 {
 pub fn distance(a: &[f32], b: &[f32], metric: DistanceMetric) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     match metric {
-        DistanceMetric::Euclidean => {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        }
+        DistanceMetric::Euclidean => a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum(),
         DistanceMetric::Cosine => {
             let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
             let na = norm(a);
@@ -340,12 +335,7 @@ mod tests {
     #[test]
     fn cosine_ignores_scale() {
         // Same direction at very different magnitudes must co-cluster.
-        let points = vec![
-            vec![1.0, 0.0],
-            vec![100.0, 0.0],
-            vec![0.0, 1.0],
-            vec![0.0, 55.0],
-        ];
+        let points = vec![vec![1.0, 0.0], vec![100.0, 0.0], vec![0.0, 1.0], vec![0.0, 55.0]];
         let mut r = rng(2);
         let res = KMeans::new(2, DistanceMetric::Cosine).fit(&points, &mut r).unwrap();
         assert_eq!(res.assignments[0], res.assignments[1]);
@@ -412,9 +402,7 @@ mod tests {
     #[test]
     fn distance_cosine_bounds() {
         assert!(distance(&[1.0, 0.0], &[1.0, 0.0], DistanceMetric::Cosine).abs() < 1e-6);
-        assert!(
-            (distance(&[1.0, 0.0], &[-1.0, 0.0], DistanceMetric::Cosine) - 2.0).abs() < 1e-6
-        );
+        assert!((distance(&[1.0, 0.0], &[-1.0, 0.0], DistanceMetric::Cosine) - 2.0).abs() < 1e-6);
     }
 
     proptest! {

@@ -76,12 +76,8 @@ pub struct ProjectionStats {
 /// Panics if the pool's group size differs from `cfg.group_size`.
 pub fn project(model: &mut Sequential, pool: &WeightPool, cfg: &PoolConfig) -> ProjectionStats {
     assert_eq!(pool.group_size(), cfg.group_size, "pool/group size mismatch");
-    let mut stats = ProjectionStats {
-        layers_compressed: 0,
-        layers_skipped: 0,
-        vectors_replaced: 0,
-        mse: 0.0,
-    };
+    let mut stats =
+        ProjectionStats { layers_compressed: 0, layers_skipped: 0, vectors_replaced: 0, mse: 0.0 };
     let mut err_acc = 0.0f64;
     let mut err_n = 0usize;
     for_each_conv_indexed(model, |pos, conv| {
@@ -128,8 +124,7 @@ pub fn index_maps(
             return;
         }
         let vectors = extract_z_vectors(conv.weight(), cfg.group_size);
-        let indices: Vec<u8> =
-            vectors.iter().map(|v| pool.assign(v, cfg.metric) as u8).collect();
+        let indices: Vec<u8> = vectors.iter().map(|v| pool.assign(v, cfg.metric) as u8).collect();
         out.push(Some(indices));
     });
     out

@@ -80,23 +80,16 @@ impl DeployBundle {
             } else {
                 debug_assert!(!is_compressible(p, conv, cfg));
                 let params = QuantParams::symmetric_from_values(conv.weight().data(), 8);
-                let weights: Vec<i8> = conv
-                    .weight()
-                    .data()
-                    .iter()
-                    .map(|&w| params.quantize(w) as i8)
-                    .collect();
+                let weights: Vec<i8> =
+                    conv.weight().data().iter().map(|&w| params.quantize(w) as i8).collect();
                 convs.push(ConvPayload::Direct { weights, scale: params.scale() });
             }
             pos += 1;
         });
-        let conv_specs = spec
-            .layers
-            .iter()
-            .filter(|l| matches!(l, LayerSpec::Conv(_)))
-            .count();
+        let conv_specs = spec.layers.iter().filter(|l| matches!(l, LayerSpec::Conv(_))).count();
         assert_eq!(
-            conv_specs, convs.len(),
+            conv_specs,
+            convs.len(),
             "spec has {conv_specs} convs, model has {}",
             convs.len()
         );
@@ -161,8 +154,7 @@ impl DeployBundle {
     /// Returns any I/O or serialization error.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
     /// Loads a bundle saved by [`DeployBundle::save`].

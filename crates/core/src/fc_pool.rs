@@ -13,7 +13,7 @@ use wp_tensor::Tensor;
 
 /// Whether a dense layer can be pooled at group size `g`.
 pub fn is_dense_groupable(layer: &Dense, g: usize) -> bool {
-    g > 0 && layer.in_features() % g == 0
+    g > 0 && layer.in_features().is_multiple_of(g)
 }
 
 /// Extracts the z-vectors of a dense weight matrix `[out, in]`: row-major
@@ -75,10 +75,8 @@ pub fn project_dense(model: &mut Sequential, pool: &WeightPool, cfg: &PoolConfig
             return;
         }
         let vectors = extract_dense_vectors(layer.weight(), cfg.group_size);
-        let projected: Vec<Vec<f32>> = vectors
-            .iter()
-            .map(|v| pool.vector(pool.assign(v, cfg.metric)).to_vec())
-            .collect();
+        let projected: Vec<Vec<f32>> =
+            vectors.iter().map(|v| pool.vector(pool.assign(v, cfg.metric)).to_vec()).collect();
         replaced += projected.len();
         write_dense_vectors(layer.weight_mut(), cfg.group_size, &projected);
     });

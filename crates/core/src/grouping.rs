@@ -24,7 +24,7 @@ pub fn vector_count(k: usize, c: usize, r: usize, s: usize, group: usize) -> usi
 
 /// Whether a conv layer with `in_ch` channels can be z-grouped at `group`.
 pub fn is_groupable(in_ch: usize, group: usize) -> bool {
-    group > 0 && in_ch % group == 0
+    group > 0 && in_ch.is_multiple_of(group)
 }
 
 /// Extracts all z-vectors from a `[K, C, R, S]` weight tensor in canonical
@@ -69,11 +69,7 @@ pub fn write_z_vectors(weight: &mut Tensor<f32>, group: usize, vectors: &[Vec<f3
     let (k, c, r, s) = (d[0], d[1], d[2], d[3]);
     assert!(is_groupable(c, group), "channels {c} not divisible by group {group}");
     let groups = c / group;
-    assert_eq!(
-        vectors.len(),
-        vector_count(k, c, r, s, group),
-        "vector count mismatch"
-    );
+    assert_eq!(vectors.len(), vector_count(k, c, r, s, group), "vector count mismatch");
     let mut it = vectors.iter();
     for f in 0..k {
         for g in 0..groups {
@@ -162,8 +158,7 @@ mod tests {
                 for r in 0..3 {
                     for s in 0..3 {
                         let pos = vector_position(f, g, r, s, groups, 3, 3);
-                        let expect: Vec<f32> =
-                            (0..4).map(|i| w.get4(f, g * 4 + i, r, s)).collect();
+                        let expect: Vec<f32> = (0..4).map(|i| w.get4(f, g * 4 + i, r, s)).collect();
                         assert_eq!(vecs[pos], expect);
                     }
                 }

@@ -168,10 +168,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn small_pool() -> WeightPool {
-        WeightPool::from_vectors(vec![
-            vec![1.0, 2.0, -1.0, 0.5],
-            vec![0.0, -0.5, 0.25, 1.5],
-        ])
+        WeightPool::from_vectors(vec![vec![1.0, 2.0, -1.0, 0.5], vec![0.0, -0.5, 0.25, 1.5]])
     }
 
     #[test]

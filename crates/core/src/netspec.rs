@@ -152,7 +152,11 @@ impl NetSpec {
             let (in_ch, in_h, in_w) = (c, h, w);
             match *layer {
                 LayerSpec::Conv(cs) => {
-                    assert_eq!(cs.in_ch, c, "{}: conv in_ch {} at activation depth {c}", self.name, cs.in_ch);
+                    assert_eq!(
+                        cs.in_ch, c,
+                        "{}: conv in_ch {} at activation depth {c}",
+                        self.name, cs.in_ch
+                    );
                     c = cs.out_ch;
                     h = (h + 2 * cs.pad - cs.kernel) / cs.stride + 1;
                     w = (w + 2 * cs.pad - cs.kernel) / cs.stride + 1;
@@ -184,7 +188,15 @@ impl NetSpec {
                 }
                 LayerSpec::ResidualAdd => {}
             }
-            out.push(ResolvedLayer { spec: *layer, in_ch, in_h, in_w, out_ch: c, out_h: h, out_w: w });
+            out.push(ResolvedLayer {
+                spec: *layer,
+                in_ch,
+                in_h,
+                in_w,
+                out_ch: c,
+                out_h: h,
+                out_w: w,
+            });
         }
         out
     }

@@ -126,10 +126,7 @@ impl WeightPool {
         assert!(!vectors.is_empty(), "pool must contain at least one vector");
         let g = vectors[0].len();
         assert!(g > 0, "pool vectors must be non-empty");
-        assert!(
-            vectors.iter().all(|v| v.len() == g),
-            "pool vectors must share one length"
-        );
+        assert!(vectors.iter().all(|v| v.len() == g), "pool vectors must share one length");
         Self { vectors }
     }
 
@@ -153,9 +150,7 @@ impl WeightPool {
         }
         let subsampled: Vec<Vec<f32>> = if samples.len() > cfg.sample_limit {
             let stride = samples.len() as f64 / cfg.sample_limit as f64;
-            (0..cfg.sample_limit)
-                .map(|i| samples[(i as f64 * stride) as usize].clone())
-                .collect()
+            (0..cfg.sample_limit).map(|i| samples[(i as f64 * stride) as usize].clone()).collect()
         } else {
             samples.to_vec()
         };
@@ -273,10 +268,7 @@ mod tests {
     #[test]
     fn empty_samples_is_error() {
         let cfg = PoolConfig::new(4);
-        assert_eq!(
-            WeightPool::build(&[], &cfg, &mut rng(2)),
-            Err(PoolError::NoVectors)
-        );
+        assert_eq!(WeightPool::build(&[], &cfg, &mut rng(2)), Err(PoolError::NoVectors));
     }
 
     #[test]

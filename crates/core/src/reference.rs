@@ -46,9 +46,7 @@ impl ActEncoding {
     pub fn code_range(&self, bits: u8) -> (i32, i32) {
         match self {
             ActEncoding::Unsigned => (0, (1i32 << bits) - 1),
-            ActEncoding::SignedTwosComplement => {
-                (-(1i32 << (bits - 1)), (1i32 << (bits - 1)) - 1)
-            }
+            ActEncoding::SignedTwosComplement => (-(1i32 << (bits - 1)), (1i32 << (bits - 1)) - 1),
         }
     }
 }
@@ -98,6 +96,7 @@ impl PooledConvShape {
 /// `(iy, ix)`: bit `i` of the result is bit `j` of the code of channel
 /// `g*G + i`. Out-of-bounds positions (padding) contribute zero bits.
 #[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the flat embedded-C kernel signature
 fn bit_pattern(
     codes: &[i32],
     in_h: usize,
@@ -146,10 +145,7 @@ pub fn bitserial_conv_acc(
     assert_eq!(indices.len(), shape.index_count(g), "index count mismatch");
     assert!(act_bits >= 1, "need at least one activation bit");
     let (lo, hi) = encoding.code_range(act_bits);
-    assert!(
-        codes.iter().all(|&c| (lo..=hi).contains(&c)),
-        "activation code outside [{lo}, {hi}]"
-    );
+    assert!(codes.iter().all(|&c| (lo..=hi).contains(&c)), "activation code outside [{lo}, {hi}]");
 
     let geo = shape.geometry();
     let (oh, ow) = (geo.out_h(), geo.out_w());
@@ -164,9 +160,15 @@ pub fn bitserial_conv_acc(
                         let iy = geo.input_row(oy, ky);
                         for kx in 0..shape.kernel {
                             let ix = geo.input_col(ox, kx);
-                            let idx = indices
-                                [vector_position(k, grp, ky, kx, groups, shape.kernel, shape.kernel)]
-                                as usize;
+                            let idx = indices[vector_position(
+                                k,
+                                grp,
+                                ky,
+                                kx,
+                                groups,
+                                shape.kernel,
+                                shape.kernel,
+                            )] as usize;
                             for j in 0..act_bits {
                                 let m = bit_pattern(
                                     codes,
@@ -178,14 +180,12 @@ pub fn bitserial_conv_acc(
                                     ix,
                                     j,
                                 );
-                                acc += encoding.bit_weight(j, act_bits)
-                                    * lut.code(idx, m) as i64;
+                                acc += encoding.bit_weight(j, act_bits) * lut.code(idx, m) as i64;
                             }
                         }
                     }
                 }
-                out[(k * oh + oy) * ow + ox] =
-                    i32::try_from(acc).expect("accumulator overflow");
+                out[(k * oh + oy) * ow + ox] = i32::try_from(acc).expect("accumulator overflow");
             }
         }
     }
@@ -199,11 +199,7 @@ pub fn bitserial_conv_acc(
 /// # Panics
 ///
 /// Panics on shape mismatches.
-pub fn direct_conv_acc(
-    codes: &[i32],
-    shape: &PooledConvShape,
-    weights: &[i8],
-) -> Vec<i32> {
+pub fn direct_conv_acc(codes: &[i32], shape: &PooledConvShape, weights: &[i8]) -> Vec<i32> {
     assert_eq!(codes.len(), shape.in_ch * shape.in_h * shape.in_w, "activation size mismatch");
     assert_eq!(
         weights.len(),
@@ -230,14 +226,12 @@ pub fn direct_conv_acc(
                                 None => continue,
                             };
                             let a = codes[(c * shape.in_h + iy) * shape.in_w + ix] as i64;
-                            let w = weights[((k * shape.in_ch + c) * k_sz + ky) * k_sz + kx]
-                                as i64;
+                            let w = weights[((k * shape.in_ch + c) * k_sz + ky) * k_sz + kx] as i64;
                             acc += a * w;
                         }
                     }
                 }
-                out[(k * oh + oy) * ow + ox] =
-                    i32::try_from(acc).expect("accumulator overflow");
+                out[(k * oh + oy) * ow + ox] = i32::try_from(acc).expect("accumulator overflow");
             }
         }
     }
@@ -252,15 +246,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn shape_1x1(in_ch: usize, out_ch: usize, hw: usize) -> PooledConvShape {
-        PooledConvShape {
-            in_ch,
-            out_ch,
-            kernel: 1,
-            stride: 1,
-            pad: 0,
-            in_h: hw,
-            in_w: hw,
-        }
+        PooledConvShape { in_ch, out_ch, kernel: 1, stride: 1, pad: 0, in_h: hw, in_w: hw }
     }
 
     /// With integer pool vectors whose LUT scale is exactly 1 (max entry =
@@ -269,52 +255,32 @@ mod tests {
     #[test]
     fn bitserial_equals_integer_dot_product() {
         // Pool vector chosen so max |dot| = 127 exactly => scale = 1.
-        let pool = WeightPool::from_vectors(vec![
-            vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 0.0],
-        ]);
+        let pool = WeightPool::from_vectors(vec![vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 0.0]]);
         let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
         assert!((lut.scale() - 1.0).abs() < 1e-6);
 
         let shape = shape_1x1(8, 1, 1);
         let codes: Vec<i32> = vec![3, 0, 1, 2, 5, 7, 1, 9];
         let acc = bitserial_conv_acc(&codes, &shape, &[0], &lut, 8, ActEncoding::Unsigned);
-        let expect: i32 = codes
-            .iter()
-            .zip(pool.vector(0))
-            .map(|(&a, &w)| a * w as i32)
-            .sum();
+        let expect: i32 = codes.iter().zip(pool.vector(0)).map(|(&a, &w)| a * w as i32).sum();
         assert_eq!(acc, vec![expect]);
     }
 
     #[test]
     fn signed_encoding_handles_negative_codes() {
-        let pool = WeightPool::from_vectors(vec![
-            vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 0.0],
-        ]);
+        let pool = WeightPool::from_vectors(vec![vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 0.0]]);
         let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
         let shape = shape_1x1(8, 1, 1);
         let codes: Vec<i32> = vec![-3, 0, 1, -2, 5, -8, 1, 7];
-        let acc = bitserial_conv_acc(
-            &codes,
-            &shape,
-            &[0],
-            &lut,
-            8,
-            ActEncoding::SignedTwosComplement,
-        );
-        let expect: i32 = codes
-            .iter()
-            .zip(pool.vector(0))
-            .map(|(&a, &w)| a * w as i32)
-            .sum();
+        let acc =
+            bitserial_conv_acc(&codes, &shape, &[0], &lut, 8, ActEncoding::SignedTwosComplement);
+        let expect: i32 = codes.iter().zip(pool.vector(0)).map(|(&a, &w)| a * w as i32).sum();
         assert_eq!(acc, vec![expect]);
     }
 
     #[test]
     fn truncating_bits_drops_low_bits() {
-        let pool = WeightPool::from_vectors(vec![
-            vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 0.0],
-        ]);
+        let pool = WeightPool::from_vectors(vec![vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 0.0]]);
         let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
         let shape = shape_1x1(8, 1, 1);
         // Codes fit in 4 bits; computing at 4 bits must equal full result.
@@ -328,15 +294,8 @@ mod tests {
     fn padding_contributes_zero() {
         let pool = WeightPool::from_vectors(vec![vec![1.0; 4]]);
         let lut = LookupTable::build(&pool, 16, LutOrder::InputOriented);
-        let shape = PooledConvShape {
-            in_ch: 4,
-            out_ch: 1,
-            kernel: 3,
-            stride: 1,
-            pad: 1,
-            in_h: 1,
-            in_w: 1,
-        };
+        let shape =
+            PooledConvShape { in_ch: 4, out_ch: 1, kernel: 3, stride: 1, pad: 1, in_h: 1, in_w: 1 };
         // Single pixel with code 1 in each channel; 3x3 kernel: only the
         // center tap is inside.
         let codes = vec![1i32; 4];
@@ -357,23 +316,12 @@ mod tests {
 
     #[test]
     fn direct_conv_matches_manual() {
-        let shape = PooledConvShape {
-            in_ch: 1,
-            out_ch: 1,
-            kernel: 3,
-            stride: 1,
-            pad: 0,
-            in_h: 3,
-            in_w: 3,
-        };
+        let shape =
+            PooledConvShape { in_ch: 1, out_ch: 1, kernel: 3, stride: 1, pad: 0, in_h: 3, in_w: 3 };
         let codes: Vec<i32> = (1..=9).collect();
         let weights: Vec<i8> = vec![1, 0, -1, 2, 0, -2, 1, 0, -1]; // Sobel-ish
         let acc = direct_conv_acc(&codes, &shape, &weights);
-        let expect: i32 = codes
-            .iter()
-            .zip(&weights)
-            .map(|(&a, &w)| a * w as i32)
-            .sum();
+        let expect: i32 = codes.iter().zip(&weights).map(|(&a, &w)| a * w as i32).sum();
         assert_eq!(acc, vec![expect]);
     }
 
@@ -384,20 +332,12 @@ mod tests {
     fn float_reconstruction_close_to_float_conv() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let g = 8;
-        let pool_vecs: Vec<Vec<f32>> = (0..4)
-            .map(|_| (0..g).map(|_| rng.gen_range(-0.5f32..0.5)).collect())
-            .collect();
+        let pool_vecs: Vec<Vec<f32>> =
+            (0..4).map(|_| (0..g).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect();
         let pool = WeightPool::from_vectors(pool_vecs.clone());
         let lut = LookupTable::build(&pool, 16, LutOrder::InputOriented);
-        let shape = PooledConvShape {
-            in_ch: 8,
-            out_ch: 2,
-            kernel: 3,
-            stride: 1,
-            pad: 1,
-            in_h: 5,
-            in_w: 5,
-        };
+        let shape =
+            PooledConvShape { in_ch: 8, out_ch: 2, kernel: 3, stride: 1, pad: 1, in_h: 5, in_w: 5 };
         let act_scale = 0.05f32;
         let codes: Vec<i32> = (0..8 * 25).map(|_| rng.gen_range(0..256)).collect();
         let indices: Vec<u8> = (0..shape.index_count(g)).map(|_| rng.gen_range(0..4)).collect();
@@ -416,11 +356,9 @@ mod tests {
                                 if let (Some(iy), Some(ix)) =
                                     (geo.input_row(oy, ky), geo.input_col(ox, kx))
                                 {
-                                    let idx =
-                                        indices[((k + grp) * 3 + ky) * 3 + kx] as usize;
+                                    let idx = indices[((k + grp) * 3 + ky) * 3 + kx] as usize;
                                     for i in 0..g {
-                                        let a = codes[((grp * g + i) * 5 + iy) * 5 + ix]
-                                            as f64
+                                        let a = codes[((grp * g + i) * 5 + iy) * 5 + ix] as f64
                                             * act_scale as f64;
                                         expect += a * pool_vecs[idx][i] as f64;
                                     }
@@ -428,9 +366,8 @@ mod tests {
                             }
                         }
                     }
-                    let got = acc[(k * 5 + oy) * 5 + ox] as f64
-                        * lut.scale() as f64
-                        * act_scale as f64;
+                    let got =
+                        acc[(k * 5 + oy) * 5 + ox] as f64 * lut.scale() as f64 * act_scale as f64;
                     // 16-bit LUT: per-entry error <= scale/2; across
                     // 9 taps x 8 bits the bound is 9*255*scale/2 roughly.
                     let bound = 9.0 * 255.0 * lut.scale() as f64 * act_scale as f64;

@@ -138,9 +138,7 @@ impl BitSerialSim {
             let max_abs = s.samples.iter().fold(0.0f32, |m, v| m.max(v.abs()));
             ActParams::Signed(QuantParams::symmetric_from_max_abs(max_abs, s.act_bits.max(2)))
         } else {
-            ActParams::Unsigned(
-                search_unsigned_clip(&s.samples, s.act_bits, search_steps).params,
-            )
+            ActParams::Unsigned(search_unsigned_clip(&s.samples, s.act_bits, search_steps).params)
         };
         s.act_params = Some(params);
         s.samples.clear();
@@ -155,11 +153,8 @@ impl BitSerialSim {
         let mut s = self.state.borrow_mut();
         s.act_bits = bits;
         let p = s.act_params.expect("set_act_bits before calibration");
-        s.act_params = Some(p.with_bits(if matches!(p, ActParams::Signed(_)) {
-            bits.max(2)
-        } else {
-            bits
-        }));
+        s.act_params =
+            Some(p.with_bits(if matches!(p, ActParams::Signed(_)) { bits.max(2) } else { bits }));
     }
 
     fn record_samples(&self, input: &Tensor<f32>) {
@@ -222,8 +217,7 @@ impl BitSerialSim {
             let out_plane = shape.out_ch * oh * ow;
             for k in 0..shape.out_ch {
                 for p in 0..oh * ow {
-                    odata[b * out_plane + k * oh * ow + p] =
-                        rescale[k * oh * ow + p] + bias[k];
+                    odata[b * out_plane + k * oh * ow + p] = rescale[k * oh * ow + p] + bias[k];
                 }
             }
         }
@@ -507,10 +501,7 @@ mod tests {
         let sim = net.forward(&x, false);
         // 16-bit LUT + 8-bit activations: logits should track closely.
         for (a, b) in baseline.data().iter().zip(sim.data()) {
-            assert!(
-                (a - b).abs() < 0.15 * a.abs().max(1.0),
-                "baseline {a} vs simulated {b}"
-            );
+            assert!((a - b).abs() < 0.15 * a.abs().max(1.0), "baseline {a} vs simulated {b}");
         }
     }
 
@@ -527,12 +518,7 @@ mod tests {
         let err_at = |install: &SimInstallation, net: &mut Sequential, bits: u8| -> f64 {
             install.set_act_bits(bits);
             let y = net.forward(&x, false);
-            baseline
-                .data()
-                .iter()
-                .zip(y.data())
-                .map(|(a, b)| ((a - b) as f64).powi(2))
-                .sum::<f64>()
+            baseline.data().iter().zip(y.data()).map(|(a, b)| ((a - b) as f64).powi(2)).sum::<f64>()
         };
         let e8 = err_at(&install, &mut net, 8);
         let e2 = err_at(&install, &mut net, 2);
@@ -552,12 +538,7 @@ mod tests {
             install.set_mode(SimMode::Simulate);
             let y = net.forward(&x, false);
             install.uninstall(net);
-            baseline
-                .data()
-                .iter()
-                .zip(y.data())
-                .map(|(a, b)| ((a - b) as f64).powi(2))
-                .sum::<f64>()
+            baseline.data().iter().zip(y.data()).map(|(a, b)| ((a - b) as f64).powi(2)).sum::<f64>()
         };
         let e_exact = run(true, 8, &mut net);
         let e4 = run(false, 4, &mut net);
@@ -593,8 +574,7 @@ mod tests {
         let (mut net, pool, cfg, x) = setup(5);
         let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
         let batch = Batch::new(x.clone(), vec![0, 1]);
-        let install =
-            calibrate_and_arm(&mut net, &pool, lut, &cfg, &[batch], 8, false);
+        let install = calibrate_and_arm(&mut net, &pool, lut, &cfg, &[batch], 8, false);
         for sim in install.sims.iter().flatten() {
             assert_eq!(sim.mode(), SimMode::Simulate);
             assert!(sim.act_params().is_some());

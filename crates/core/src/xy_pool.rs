@@ -43,9 +43,8 @@ impl XyPool {
             "kernel samples must be {0}x{0}",
             kernel
         );
-        let result = KMeans::new(pool_size, DistanceMetric::Euclidean)
-            .max_iters(50)
-            .fit(samples, rng)?;
+        let result =
+            KMeans::new(pool_size, DistanceMetric::Euclidean).max_iters(50).fit(samples, rng)?;
         Ok(Self { vectors: result.centroids, kernel })
     }
 
@@ -81,11 +80,8 @@ impl XyPool {
             } else {
                 0.0
             };
-            let err: f32 = kernel
-                .iter()
-                .zip(p)
-                .map(|(a, b)| (a - alpha * b) * (a - alpha * b))
-                .sum();
+            let err: f32 =
+                kernel.iter().zip(p).map(|(a, b)| (a - alpha * b) * (a - alpha * b)).sum();
             if err < best_err {
                 best_err = err;
                 best = (s, alpha);
@@ -147,11 +143,8 @@ pub fn project_xy(weight: &mut Tensor<f32>, pool: &XyPool, with_coeff: bool) -> 
                     v.push(weight.get4(k, c, r, s));
                 }
             }
-            let (idx, alpha) = if with_coeff {
-                pool.assign_scaled(&v)
-            } else {
-                (pool.assign_plain(&v), 1.0)
-            };
+            let (idx, alpha) =
+                if with_coeff { pool.assign_scaled(&v) } else { (pool.assign_plain(&v), 1.0) };
             let p = pool.vector(idx);
             for r in 0..kernel {
                 for s in 0..kernel {
@@ -189,10 +182,8 @@ mod tests {
     fn scaled_assignment_finds_scaled_match() {
         // Pool has direction [1, 0]; kernel 5*[1, 0] should be recovered
         // exactly with a coefficient.
-        let pool = XyPool {
-            vectors: vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]],
-            kernel: 2,
-        };
+        let pool =
+            XyPool { vectors: vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]], kernel: 2 };
         let (idx, alpha) = pool.assign_scaled(&[5.0, 0.0, 0.0, 0.0]);
         assert_eq!(idx, 0);
         assert!((alpha - 5.0).abs() < 1e-6);
@@ -200,10 +191,8 @@ mod tests {
 
     #[test]
     fn plain_assignment_ignores_scale() {
-        let pool = XyPool {
-            vectors: vec![vec![1.0, 0.0, 0.0, 0.0], vec![4.0, 0.0, 0.0, 0.0]],
-            kernel: 2,
-        };
+        let pool =
+            XyPool { vectors: vec![vec![1.0, 0.0, 0.0, 0.0], vec![4.0, 0.0, 0.0, 0.0]], kernel: 2 };
         // 5*[1,0..] is closer to [4,0..] in Euclidean distance.
         assert_eq!(pool.assign_plain(&[5.0, 0.0, 0.0, 0.0]), 1);
     }
@@ -232,10 +221,7 @@ mod tests {
         let mut w_scaled = w_plain.clone();
         let err_plain = project_xy(&mut w_plain, &pool, false);
         let err_scaled = project_xy(&mut w_scaled, &pool, true);
-        assert!(
-            err_scaled <= err_plain + 1e-9,
-            "scaled {err_scaled} worse than plain {err_plain}"
-        );
+        assert!(err_scaled <= err_plain + 1e-9, "scaled {err_scaled} worse than plain {err_plain}");
     }
 
     #[test]

@@ -169,17 +169,17 @@ impl SyntheticSpec {
             let mut params = Vec::new();
             for _ in 0..blobs {
                 params.push((
-                    rng.gen_range(0.0..h as f32),          // cy
-                    rng.gen_range(0.0..w as f32),          // cx
+                    rng.gen_range(0.0..h as f32),                  // cy
+                    rng.gen_range(0.0..w as f32),                  // cx
                     rng.gen_range(1.0..(h as f32 / 2.5).max(1.5)), // sigma
-                    rng.gen_range(-1.0f32..1.0),           // amplitude
+                    rng.gen_range(-1.0f32..1.0),                   // amplitude
                 ));
             }
             let (fy, fx, phase, gamp) = (
-                rng.gen_range(0.2..1.2),
-                rng.gen_range(0.2..1.2),
+                rng.gen_range(0.2f32..1.2),
+                rng.gen_range(0.2f32..1.2),
                 rng.gen_range(0.0..std::f32::consts::TAU),
-                rng.gen_range(0.2..0.6),
+                rng.gen_range(0.2f32..0.6),
             );
             for y in 0..h {
                 for x in 0..w {
@@ -217,8 +217,7 @@ impl SyntheticSpec {
                             let sy = (y as i32 + dy).rem_euclid(h as i32) as usize;
                             let sx = (x as i32 + dx).rem_euclid(w as i32) as usize;
                             let noise = (rng.gen::<f32>() - 0.5) * 2.0 * self.noise;
-                            img[(c * h + y) * w + x] =
-                                gain * proto[(c * h + sy) * w + sx] + noise;
+                            img[(c * h + y) * w + x] = gain * proto[(c * h + sy) * w + sx] + noise;
                         }
                     }
                 }
@@ -240,10 +239,7 @@ impl SyntheticSpec {
                 data.extend_from_slice(img);
                 labels.push(*label);
             }
-            batches.push(Batch::new(
-                Tensor::from_vec(data, &[n, self.channels, h, w]),
-                labels,
-            ));
+            batches.push(Batch::new(Tensor::from_vec(data, &[n, self.channels, h, w]), labels));
         }
         batches
     }
@@ -328,8 +324,8 @@ mod tests {
     fn task_is_learnable_by_small_net() {
         // A small dense net must beat chance comfortably on the tiny task —
         // guards against generating unlearnable noise.
-        use wp_nn::{train, Dense, Relu, Sequential, Sgd};
         use rand::SeedableRng;
+        use wp_nn::{train, Dense, Relu, Sequential, Sgd};
         let data = SyntheticSpec::tiny_test(3).generate();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut net = Sequential::new();

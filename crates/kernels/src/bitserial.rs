@@ -94,6 +94,7 @@ impl BitSerialOptions {
 /// (the paper's implementation always unpacks the full stored byte — the
 /// "fixed bit unpacking overhead" of Figure 8).
 #[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the flat embedded-C kernel signature
 fn unpack_group(
     mcu: &mut Mcu,
     codes: &[i32],
@@ -237,6 +238,7 @@ fn charge_cache_copy(mcu: &mut Mcu, lut: &LookupTable, m_bits: usize) {
 /// # Panics
 ///
 /// Panics on shape mismatches or if scratch buffers exceed device SRAM.
+#[allow(clippy::too_many_arguments)] // mirrors the flat embedded-C kernel signature
 pub fn conv_bitserial(
     mcu: &mut Mcu,
     codes: &[i32],
@@ -251,7 +253,7 @@ pub fn conv_bitserial(
     let groups = shape.groups(g);
     let s_count = lut.pool_size();
     let m_bits = opts.act_bits as usize;
-    assert!(m_bits >= 1 && m_bits <= 8, "activation bits must be 1..=8");
+    assert!((1..=8).contains(&m_bits), "activation bits must be 1..=8");
     assert_eq!(codes.len(), shape.in_ch * shape.in_h * shape.in_w, "activation size mismatch");
     assert_eq!(indices.len(), shape.index_count(g), "index count mismatch");
     assert_eq!(bias.len(), shape.out_ch, "bias size mismatch");
@@ -317,7 +319,15 @@ pub fn conv_bitserial(
 
                         if opts.input_reuse {
                             let rows = unpack_group(
-                                mcu, codes, shape.in_h, shape.in_w, grp * g, g, iy, ix, false,
+                                mcu,
+                                codes,
+                                shape.in_h,
+                                shape.in_w,
+                                grp * g,
+                                g,
+                                iy,
+                                ix,
+                                false,
                             );
                             if cache_on {
                                 charge_cache_copy(mcu, lut, m_bits);
@@ -338,8 +348,9 @@ pub fn conv_bitserial(
                                         mcu.load_flash_word();
                                     }
                                     mcu.alu(); // extract index byte
-                                    let idx = indices[k * groups * shape.kernel * shape.kernel
-                                        + idx_base] as usize;
+                                    let idx = indices
+                                        [k * groups * shape.kernel * shape.kernel + idx_base]
+                                        as usize;
                                     mcu.load_sram_word(); // precomputed result
                                     mcu.load_sram_word(); // accumulator
                                     mcu.alu();
@@ -360,8 +371,9 @@ pub fn conv_bitserial(
                                         mcu.load_flash_word(); // 4 index bytes
                                     }
                                     mcu.alu(); // extract index byte
-                                    let idx = indices[k * groups * shape.kernel * shape.kernel
-                                        + idx_base] as usize;
+                                    let idx = indices
+                                        [k * groups * shape.kernel * shape.kernel + idx_base]
+                                        as usize;
                                     mcu.load_sram(); // flag bit
                                     mcu.branch();
                                     if !flags[idx] {
@@ -385,8 +397,9 @@ pub fn conv_bitserial(
                                         mcu.load_flash_word(); // 4 index bytes
                                     }
                                     mcu.alu(); // extract index byte
-                                    let idx = indices[k * groups * shape.kernel * shape.kernel
-                                        + idx_base] as usize;
+                                    let idx = indices
+                                        [k * groups * shape.kernel * shape.kernel + idx_base]
+                                        as usize;
                                     let partial = partial_dot(mcu, lut, cache_on, idx, &rows, opts);
                                     mcu.load_sram_word(); // accumulator
                                     mcu.alu();
@@ -403,7 +416,15 @@ pub fn conv_bitserial(
                                     [k * groups * shape.kernel * shape.kernel + idx_base]
                                     as usize;
                                 let rows = unpack_group(
-                                    mcu, codes, shape.in_h, shape.in_w, grp * g, g, iy, ix, true,
+                                    mcu,
+                                    codes,
+                                    shape.in_h,
+                                    shape.in_w,
+                                    grp * g,
+                                    g,
+                                    iy,
+                                    ix,
+                                    true,
                                 );
                                 let partial = partial_dot(mcu, lut, false, idx, &rows, opts);
                                 mcu.load_sram_word();
@@ -456,24 +477,15 @@ mod tests {
         order: LutOrder,
     ) -> (PooledConvShape, Vec<i32>, Vec<u8>, LookupTable, WeightPool) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let shape = PooledConvShape {
-            in_ch,
-            out_ch,
-            kernel: 3,
-            stride: 1,
-            pad: 1,
-            in_h: hw,
-            in_w: hw,
-        };
-        let vectors: Vec<Vec<f32>> = (0..pool_size)
-            .map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect())
-            .collect();
+        let shape =
+            PooledConvShape { in_ch, out_ch, kernel: 3, stride: 1, pad: 1, in_h: hw, in_w: hw };
+        let vectors: Vec<Vec<f32>> =
+            (0..pool_size).map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect();
         let pool = WeightPool::from_vectors(vectors);
         let lut = LookupTable::build(&pool, lut_bits, order);
         let codes: Vec<i32> = (0..in_ch * hw * hw).map(|_| rng.gen_range(0..256)).collect();
-        let indices: Vec<u8> = (0..shape.index_count(8))
-            .map(|_| rng.gen_range(0..pool_size) as u8)
-            .collect();
+        let indices: Vec<u8> =
+            (0..shape.index_count(8)).map(|_| rng.gen_range(0..pool_size) as u8).collect();
         (shape, codes, indices, lut, pool)
     }
 
@@ -508,7 +520,14 @@ mod tests {
                         };
                         let mut m = mcu();
                         let got = conv_bitserial(
-                            &mut m, &codes, &shape, &indices, &lut, &bias, &raw_oq(), &opts,
+                            &mut m,
+                            &codes,
+                            &shape,
+                            &indices,
+                            &lut,
+                            &bias,
+                            &raw_oq(),
+                            &opts,
                         );
                         assert_eq!(got, expect, "mismatch with {opts:?}");
                     }
@@ -645,8 +664,7 @@ mod tests {
             let (shape, codes, indices, lut, _) =
                 random_setup(6, 16, filters, 4, 64, 8, LutOrder::InputOriented);
             let bias = vec![0i32; filters];
-            let opts =
-                BitSerialOptions { precompute: pre, ..BitSerialOptions::paper_default(8) };
+            let opts = BitSerialOptions { precompute: pre, ..BitSerialOptions::paper_default(8) };
             let mut m = mcu();
             conv_bitserial(&mut m, &codes, &shape, &indices, &lut, &bias, &raw_oq(), &opts);
             m.cycles()
@@ -656,10 +674,7 @@ mod tests {
         // 32 filters < 64 pool: precompute must lose (paper §4.3).
         assert!(run(32, PrecomputeMode::ForceOn) > run(32, PrecomputeMode::ForceOff));
         // Auto picks the winner in both regimes.
-        assert_eq!(
-            run(192, PrecomputeMode::Auto),
-            run(192, PrecomputeMode::ForceOn)
-        );
+        assert_eq!(run(192, PrecomputeMode::Auto), run(192, PrecomputeMode::ForceOn));
         assert_eq!(run(32, PrecomputeMode::Auto), run(32, PrecomputeMode::ForceOff));
     }
 

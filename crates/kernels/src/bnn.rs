@@ -65,8 +65,7 @@ pub fn conv_bnn(
     let geo = shape.geometry();
     let (oh, ow) = (geo.out_h(), geo.out_w());
     let valid_bits = shape.in_ch % 32;
-    let last_mask: u32 =
-        if valid_bits == 0 { u32::MAX } else { (1u32 << valid_bits) - 1 };
+    let last_mask: u32 = if valid_bits == 0 { u32::MAX } else { (1u32 << valid_bits) - 1 };
     let mut out = vec![0i32; shape.out_ch * oh * ow];
     mcu.call();
 
@@ -143,7 +142,7 @@ mod tests {
     fn pack_signs_bit_layout() {
         let packed = pack_signs(&[1, -1, 1, 1]);
         assert_eq!(packed, vec![0b1101]);
-        let long = pack_signs(&vec![1i32; 40]);
+        let long = pack_signs(&[1i32; 40]);
         assert_eq!(long.len(), 2);
         assert_eq!(long[0], u32::MAX);
         assert_eq!(long[1], 0xFF);
@@ -172,15 +171,8 @@ mod tests {
     #[test]
     fn partial_last_word_masked() {
         // 8 channels: only 8 valid lanes in the single word.
-        let shape = PooledConvShape {
-            in_ch: 8,
-            out_ch: 1,
-            kernel: 1,
-            stride: 1,
-            pad: 0,
-            in_h: 1,
-            in_w: 1,
-        };
+        let shape =
+            PooledConvShape { in_ch: 8, out_ch: 1, kernel: 1, stride: 1, pad: 0, in_h: 1, in_w: 1 };
         let acts = vec![1i32; 8];
         let weights = vec![1i32; 8];
         let mut m = mcu();

@@ -136,8 +136,7 @@ pub fn dwconv_cmsis(
                 for ky in 0..k_sz {
                     for kx in 0..k_sz {
                         mcu.loop_iter();
-                        if let (Some(y), Some(x)) = (geo.input_row(oy, ky), geo.input_col(ox, kx))
-                        {
+                        if let (Some(y), Some(x)) = (geo.input_row(oy, ky), geo.input_col(ox, kx)) {
                             mcu.load_sram();
                             mcu.load_flash();
                             mcu.mac();
@@ -201,7 +200,14 @@ pub fn dense_cmsis(
 /// # Panics
 ///
 /// Panics if the window exceeds the input.
-pub fn maxpool(mcu: &mut Mcu, codes: &[i32], ch: usize, h: usize, w: usize, size: usize) -> Vec<i32> {
+pub fn maxpool(
+    mcu: &mut Mcu,
+    codes: &[i32],
+    ch: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+) -> Vec<i32> {
     assert!(h >= size && w >= size, "pool window larger than input");
     let (oh, ow) = (h / size, w / size);
     let mut out = vec![0i32; ch * oh * ow];
@@ -236,7 +242,14 @@ pub fn maxpool(mcu: &mut Mcu, codes: &[i32], ch: usize, h: usize, w: usize, size
 /// # Panics
 ///
 /// Panics if the window exceeds the input.
-pub fn avgpool(mcu: &mut Mcu, codes: &[i32], ch: usize, h: usize, w: usize, size: usize) -> Vec<i32> {
+pub fn avgpool(
+    mcu: &mut Mcu,
+    codes: &[i32],
+    ch: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+) -> Vec<i32> {
     assert!(h >= size && w >= size, "pool window larger than input");
     let (oh, ow) = (h / size, w / size);
     let div = (size * size) as i32;
@@ -333,10 +346,8 @@ mod tests {
         let oq = OutputQuant::identity(8);
         let mut m = mcu();
         let got = conv_cmsis(&mut m, &codes, &s, &weights, &bias, &oq);
-        let expect: Vec<i32> = direct_conv_acc(&codes, &s, &weights)
-            .into_iter()
-            .map(|v| v.clamp(0, 255))
-            .collect();
+        let expect: Vec<i32> =
+            direct_conv_acc(&codes, &s, &weights).into_iter().map(|v| v.clamp(0, 255)).collect();
         assert_eq!(got, expect);
         assert!(m.cycles() > 0);
     }
@@ -350,14 +361,11 @@ mod tests {
         let w64 = vec![1i8; 64 * 8 * 9];
         let oq = OutputQuant::identity(8);
         let mut m32 = mcu();
-        conv_cmsis(&mut m32, &codes, &s32, &w32, &vec![0; 32], &oq);
+        conv_cmsis(&mut m32, &codes, &s32, &w32, &[0; 32], &oq);
         let mut m64 = mcu();
-        conv_cmsis(&mut m64, &codes, &s64, &w64, &vec![0; 64], &oq);
+        conv_cmsis(&mut m64, &codes, &s64, &w64, &[0; 64], &oq);
         let ratio = m64.cycles() as f64 / m32.cycles() as f64;
-        assert!(
-            (1.6..2.2).contains(&ratio),
-            "doubling filters should ~double cycles, got {ratio}"
-        );
+        assert!((1.6..2.2).contains(&ratio), "doubling filters should ~double cycles, got {ratio}");
     }
 
     #[test]
@@ -369,7 +377,7 @@ mod tests {
         let weights = vec![1i8; 32 * 16 * 9];
         let oq = OutputQuant::identity(8);
         let mut m = mcu();
-        conv_cmsis(&mut m, &codes, &s, &weights, &vec![0; 32], &oq);
+        conv_cmsis(&mut m, &codes, &s, &weights, &[0; 32], &oq);
         let macs = (32 * 16 * 9 * 256) as f64;
         let cpm = m.cycles() as f64 / macs;
         assert!((8.0..18.0).contains(&cpm), "cycles/MAC = {cpm}");
@@ -377,7 +385,8 @@ mod tests {
 
     #[test]
     fn dwconv_channels_independent() {
-        let s = PooledConvShape { in_ch: 2, out_ch: 2, kernel: 3, stride: 1, pad: 1, in_h: 4, in_w: 4 };
+        let s =
+            PooledConvShape { in_ch: 2, out_ch: 2, kernel: 3, stride: 1, pad: 1, in_h: 4, in_w: 4 };
         let codes = vec![1i32; 2 * 16];
         let mut weights = vec![0i8; 2 * 9];
         weights[4] = 1; // channel 0: identity center tap
@@ -393,7 +402,11 @@ mod tests {
         let codes = vec![1i32, 2, 3];
         let weights = vec![1i8, 1, 1, 2, 0, -1];
         let bias = vec![10i32, -1];
-        let oq = OutputQuant { requant: wp_quant::Requantizer::from_real_multiplier(1.0), relu: false, out_bits: 8 };
+        let oq = OutputQuant {
+            requant: wp_quant::Requantizer::from_real_multiplier(1.0),
+            relu: false,
+            out_bits: 8,
+        };
         let mut m = mcu();
         let out = dense_cmsis(&mut m, &codes, &weights, &bias, 2, &oq);
         assert_eq!(out, vec![16, -2]);

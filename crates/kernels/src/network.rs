@@ -158,18 +158,17 @@ pub fn run_network(
                 };
                 match mode {
                     DeployMode::BitSerial { lut, opts } if cs.compressed => {
-                        name = format!(
-                            "conv {}x{}x{} (bit-serial)",
-                            cs.out_ch, cs.kernel, cs.kernel
-                        );
+                        name =
+                            format!("conv {}x{}x{} (bit-serial)", cs.out_ch, cs.kernel, cs.kernel);
                         let groups = shape.groups(lut.group_size());
                         let indices: Vec<u8> = (0..shape.index_count(lut.group_size()))
                             .map(|_| rng.gen_range(0..lut.pool_size()) as u8)
                             .collect();
                         let bias = vec![0i32; cs.out_ch];
                         let _ = groups;
-                        codes =
-                            conv_bitserial(&mut mcu, &codes, &shape, &indices, lut, &bias, oq, opts);
+                        codes = conv_bitserial(
+                            &mut mcu, &codes, &shape, &indices, lut, &bias, oq, opts,
+                        );
                     }
                     _ => {
                         name = format!("conv {}x{}x{} (int8)", cs.out_ch, cs.kernel, cs.kernel);

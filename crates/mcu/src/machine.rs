@@ -262,7 +262,11 @@ impl Mcu {
     ///
     /// Panics if releasing more than is in use (an accounting bug).
     pub fn free_sram(&mut self, bytes: usize) {
-        assert!(bytes <= self.sram_in_use, "freeing {bytes} bytes with {} in use", self.sram_in_use);
+        assert!(
+            bytes <= self.sram_in_use,
+            "freeing {bytes} bytes with {} in use",
+            self.sram_in_use
+        );
         self.sram_in_use -= bytes;
     }
 

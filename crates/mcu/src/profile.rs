@@ -170,8 +170,6 @@ mod tests {
 
     #[test]
     fn more_wait_states_cost_more() {
-        assert!(
-            CycleCosts::cortex_m3(5).load_flash > CycleCosts::cortex_m3(2).load_flash
-        );
+        assert!(CycleCosts::cortex_m3(5).load_flash > CycleCosts::cortex_m3(2).load_flash);
     }
 }

@@ -6,7 +6,14 @@ fn conv(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, pad: usize) -
     // Compressed iff the channel depth is z-groupable at the paper's group
     // size of 8; the first layer of each network is marked uncompressed by
     // the builders below.
-    LayerSpec::Conv(ConvSpec { in_ch, out_ch, kernel, stride, pad, compressed: in_ch % 8 == 0 })
+    LayerSpec::Conv(ConvSpec {
+        in_ch,
+        out_ch,
+        kernel,
+        stride,
+        pad,
+        compressed: in_ch.is_multiple_of(8),
+    })
 }
 
 fn uncompressed_conv(
@@ -221,11 +228,7 @@ mod tests {
         // counts must be tens of millions, not billions.
         for net in all_networks() {
             let macs = net.macs();
-            assert!(
-                (1_000_000..300_000_000).contains(&macs),
-                "{}: {macs} MACs",
-                net.name
-            );
+            assert!((1_000_000..300_000_000).contains(&macs), "{}: {macs} MACs", net.name);
         }
     }
 }

@@ -29,12 +29,8 @@ impl Layer for Relu {
     fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
         let mask = self.mask.as_ref().expect("backward before forward");
         assert_eq!(mask.len(), grad_out.len());
-        let data = grad_out
-            .data()
-            .iter()
-            .zip(mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            grad_out.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Tensor::from_vec(data, grad_out.dims())
     }
 
@@ -65,12 +61,8 @@ impl Layer for Relu6 {
     fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
         let mask = self.mask.as_ref().expect("backward before forward");
         assert_eq!(mask.len(), grad_out.len());
-        let data = grad_out
-            .data()
-            .iter()
-            .zip(mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            grad_out.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Tensor::from_vec(data, grad_out.dims())
     }
 

@@ -156,8 +156,8 @@ impl Layer for ActQuant {
                 // Deterministic strided subsampling caps memory while
                 // covering the value distribution.
                 let remaining = state.max_samples.saturating_sub(state.samples.len());
-                if remaining > 0 {
-                    let stride = (input.len() / remaining).max(1);
+                if let Some(stride) = input.len().checked_div(remaining) {
+                    let stride = stride.max(1);
                     let offset = state.observe_counter % stride;
                     let vals: Vec<f32> = input
                         .data()
@@ -173,9 +173,8 @@ impl Layer for ActQuant {
                 input.clone()
             }
             ActQuantMode::Quantize => {
-                let params = state
-                    .params
-                    .expect("ActQuant in Quantize mode without calibrated params");
+                let params =
+                    state.params.expect("ActQuant in Quantize mode without calibrated params");
                 fake_quantize(input, &params)
             }
         }

@@ -37,10 +37,7 @@ impl BasicBlock {
     /// Panics if `out_ch < in_ch` when a projection-free (option-A) shortcut
     /// is required, or if any dimension is zero.
     pub fn new(in_ch: usize, out_ch: usize, stride: usize, rng: &mut impl Rng) -> Self {
-        assert!(
-            out_ch >= in_ch,
-            "option-A shortcut cannot reduce channels ({in_ch} -> {out_ch})"
-        );
+        assert!(out_ch >= in_ch, "option-A shortcut cannot reduce channels ({in_ch} -> {out_ch})");
         Self {
             conv1: Conv2d::new(in_ch, out_ch, 3, stride, 1, rng),
             bn1: BatchNorm2d::new(out_ch),
@@ -139,12 +136,7 @@ impl Layer for BasicBlock {
         // ActQuant backward is straight-through, so grad_out passes the aq2
         // site unchanged before hitting the final-ReLU mask.
         let masked = Tensor::from_vec(
-            grad_out
-                .data()
-                .iter()
-                .zip(mask)
-                .map(|(&g, &m)| if m { g } else { 0.0 })
-                .collect(),
+            grad_out.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect(),
             grad_out.dims(),
         );
         // Main branch.
@@ -215,11 +207,7 @@ impl InvertedResidual {
         assert!(expand_ratio > 0, "expansion ratio must be positive");
         let hidden = in_ch * expand_ratio;
         let expand = if expand_ratio != 1 {
-            Some((
-                Conv2d::new(in_ch, hidden, 1, 1, 0, rng),
-                BatchNorm2d::new(hidden),
-                Relu6::new(),
-            ))
+            Some((Conv2d::new(in_ch, hidden, 1, 1, 0, rng), BatchNorm2d::new(hidden), Relu6::new()))
         } else {
             None
         };
@@ -387,9 +375,8 @@ mod tests {
         let mut x = Tensor::<f32>::zeros(&[1, 2, 4, 4]);
         wp_tensor::fill_uniform(&mut x, -1.0, 1.0, &mut r);
         let weights: Vec<f32> = (0..16).map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.3).collect();
-        let loss = |y: &Tensor<f32>| -> f32 {
-            y.data().iter().zip(&weights).map(|(v, w)| v * w).sum()
-        };
+        let loss =
+            |y: &Tensor<f32>| -> f32 { y.data().iter().zip(&weights).map(|(v, w)| v * w).sum() };
         let y = blk.forward(&x, true);
         assert_eq!(y.len(), weights.len());
         let grad_out = Tensor::from_vec(weights.clone(), y.dims());

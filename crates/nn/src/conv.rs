@@ -177,8 +177,7 @@ impl Layer for Conv2d {
                                         Some(v) => v,
                                         None => continue,
                                     };
-                                    acc += idat[in_base + iy * w + ix]
-                                        * w_f[w_base + ky * k + kx];
+                                    acc += idat[in_base + iy * w + ix] * w_f[w_base + ky * k + kx];
                                 }
                             }
                         }
@@ -235,8 +234,7 @@ impl Layer for Conv2d {
                                     };
                                     let x = idat[in_base + iy * w + ix];
                                     gw[w_base + ky * k + kx] += g * x;
-                                    gi[in_base + iy * w + ix] +=
-                                        g * w_f[c * k * k + ky * k + kx];
+                                    gi[in_base + iy * w + ix] += g * w_f[c * k * k + ky * k + kx];
                                 }
                             }
                         }
@@ -283,7 +281,13 @@ impl DepthwiseConv2d {
     /// # Panics
     ///
     /// Panics if `channels`, `kernel`, or `stride` is zero.
-    pub fn new(channels: usize, kernel: usize, stride: usize, pad: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(channels > 0 && kernel > 0 && stride > 0);
         let mut weight = Tensor::zeros(&[channels, 1, kernel, kernel]);
         fill_kaiming_normal(&mut weight, kernel * kernel, rng);
@@ -337,8 +341,8 @@ impl Layer for DepthwiseConv2d {
                                     Some(v) => v,
                                     None => continue,
                                 };
-                                acc += input.get4(b, c, iy, ix)
-                                    * self.weight.value.get4(c, 0, ky, kx);
+                                acc +=
+                                    input.get4(b, c, iy, ix) * self.weight.value.get4(c, 0, ky, kx);
                             }
                         }
                         out.set4(b, c, oy, ox, acc);

@@ -104,8 +104,8 @@ impl Layer for Dense {
                 }
                 self.bias.grad.data_mut()[o] += g;
                 let wbase = o * self.in_features;
-                for i in 0..self.in_features {
-                    self.weight.grad.data_mut()[wbase + i] += g * row[i];
+                for (i, &xi) in row.iter().enumerate() {
+                    self.weight.grad.data_mut()[wbase + i] += g * xi;
                     grad_in.data_mut()[b * self.in_features + i] +=
                         g * self.weight.value.data()[wbase + i];
                 }

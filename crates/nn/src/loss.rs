@@ -34,9 +34,8 @@ impl SoftmaxCrossEntropy {
         let mut loss = 0.0f64;
         let mut correct = 0usize;
 
-        for b in 0..n {
+        for (b, &label) in labels.iter().enumerate() {
             let row = &logits.data()[b * classes..(b + 1) * classes];
-            let label = labels[b];
             assert!(label < classes, "label {label} out of range for {classes} classes");
 
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -54,8 +53,8 @@ impl SoftmaxCrossEntropy {
             }
 
             loss += -((exps[label] / sum).max(1e-30).ln()) as f64;
-            for c in 0..classes {
-                let p = exps[c] / sum;
+            for (c, &e) in exps.iter().enumerate() {
+                let p = e / sum;
                 let target = if c == label { 1.0 } else { 0.0 };
                 grad.data_mut()[b * classes + c] = (p - target) / n as f32;
             }

@@ -77,10 +77,10 @@ impl Layer for BatchNorm2d {
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
             for b in 0..n {
-                for ch in 0..c {
+                for (ch, m) in mean.iter_mut().enumerate() {
                     for y in 0..h {
                         for x in 0..w {
-                            mean[ch] += input.get4(b, ch, y, x);
+                            *m += input.get4(b, ch, y, x);
                         }
                     }
                 }
@@ -221,8 +221,7 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }
@@ -248,9 +247,8 @@ mod tests {
         // Use a weighted-sum loss so gradients are not trivially zero
         // (sum of normalized values is 0 by construction).
         let weights: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).sin()).collect();
-        let loss = |y: &Tensor<f32>| -> f32 {
-            y.data().iter().zip(&weights).map(|(v, w)| v * w).sum()
-        };
+        let loss =
+            |y: &Tensor<f32>| -> f32 { y.data().iter().zip(&weights).map(|(v, w)| v * w).sum() };
         let y = bn.forward(&x, true);
         let _ = loss(&y);
         let grad_out = Tensor::from_vec(weights.clone(), y.dims());

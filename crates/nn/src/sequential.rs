@@ -168,8 +168,7 @@ impl Sequential {
     pub fn save(&mut self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let state = self.state_dict();
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), &state)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), &state).map_err(std::io::Error::other)
     }
 
     /// Loads a parameter snapshot saved by [`Sequential::save`].

@@ -100,8 +100,7 @@ mod tests {
     fn search_beats_or_matches_max_calibration() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         // Exponential-ish tail.
-        let samples: Vec<f32> =
-            (0..2000).map(|_| -(1.0 - rng.gen::<f32>()).ln() * 0.5).collect();
+        let samples: Vec<f32> = (0..2000).map(|_| -(1.0 - rng.gen::<f32>()).ln() * 0.5).collect();
         for bits in [2u8, 3, 4] {
             let searched = search_unsigned_clip(&samples, bits, 60);
             let max = samples.iter().cloned().fold(0.0f32, f32::max);

@@ -230,17 +230,12 @@ mod tests {
         let m = im2col(&input, &g);
         assert_eq!(m.dims(), &[9, 1]);
         // Only the center tap sees the single input value.
-        let expect: Vec<f32> =
-            (0..9).map(|i| if i == 4 { 1.0 } else { 0.0 }).collect();
+        let expect: Vec<f32> = (0..9).map(|i| if i == 4 { 1.0 } else { 0.0 }).collect();
         assert_eq!(m.data(), expect.as_slice());
     }
 
     /// Direct (nested-loop) convolution used as the oracle for im2col.
-    fn direct_conv(
-        input: &Tensor<f32>,
-        weight: &Tensor<f32>,
-        geo: &Conv2dGeometry,
-    ) -> Vec<f32> {
+    fn direct_conv(input: &Tensor<f32>, weight: &Tensor<f32>, geo: &Conv2dGeometry) -> Vec<f32> {
         let (k, c) = (weight.dims()[0], weight.dims()[1]);
         let (oh, ow) = (geo.out_h(), geo.out_w());
         let mut out = vec![0.0f32; k * oh * ow];
@@ -254,8 +249,7 @@ mod tests {
                                 if let (Some(iy), Some(ix)) =
                                     (geo.input_row(oy, ky), geo.input_col(ox, kx))
                                 {
-                                    acc += input.at(&[ch, iy, ix])
-                                        * weight.get4(f, ch, ky, kx);
+                                    acc += input.at(&[ch, iy, ix]) * weight.get4(f, ch, ky, kx);
                                 }
                             }
                         }

@@ -32,10 +32,7 @@ impl Shape {
     /// Panics if `dims` is empty or contains a zero extent.
     pub fn new(dims: &[usize]) -> Self {
         assert!(!dims.is_empty(), "shape must have at least one dimension");
-        assert!(
-            dims.iter().all(|&d| d > 0),
-            "zero-sized dimensions are not supported: {dims:?}"
-        );
+        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimensions are not supported: {dims:?}");
         Self { dims: dims.to_vec() }
     }
 

@@ -157,10 +157,7 @@ impl<T: Copy> Tensor<T> {
 
     /// Applies `f` elementwise, producing a new tensor of the same shape.
     pub fn map<U: Copy>(&self, f: impl FnMut(T) -> U) -> Tensor<U> {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().copied().map(f).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().copied().map(f).collect() }
     }
 }
 

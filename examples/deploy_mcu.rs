@@ -9,18 +9,17 @@
 //! cargo run --release --example deploy_mcu
 //! ```
 
+use rand::Rng;
+use rand::SeedableRng;
 use weight_pools::kernels::network::{flash_footprint, run_network, DeployMode};
 use weight_pools::models::specs;
 use weight_pools::prelude::*;
-use rand::SeedableRng;
-use rand::Rng;
 
 fn main() {
     // A synthetic 64-vector pool: runtime depends on shapes, not values.
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let vectors: Vec<Vec<f32>> = (0..64)
-        .map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect())
-        .collect();
+    let vectors: Vec<Vec<f32>> =
+        (0..64).map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect();
     let pool = WeightPool::from_vectors(vectors);
     let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
 
@@ -36,10 +35,8 @@ fn main() {
             // The big networks are pointless to simulate on the small buard's
             // flash budget; report the footprint and move on.
             let cmsis_mode = DeployMode::Cmsis;
-            let bs_mode = DeployMode::BitSerial {
-                lut: &lut,
-                opts: BitSerialOptions::paper_default(8),
-            };
+            let bs_mode =
+                DeployMode::BitSerial { lut: &lut, opts: BitSerialOptions::paper_default(8) };
             let cmsis_flash = flash_footprint(&net, &cmsis_mode);
             let bs_flash = flash_footprint(&net, &bs_mode);
             println!(

@@ -54,10 +54,7 @@ fn main() {
         let acc = evaluate(&mut built.net, &subset).accuracy;
         install.uninstall(&mut built.net);
 
-        let mode = DeployMode::BitSerial {
-            lut: &lut,
-            opts: BitSerialOptions::paper_default(bits),
-        };
+        let mode = DeployMode::BitSerial { lut: &lut, opts: BitSerialOptions::paper_default(bits) };
         let run = run_network(&device, &full_spec, &mode, 9);
         let base = *base_latency.get_or_insert(run.seconds);
         println!(

@@ -10,9 +10,8 @@ use weight_pools::prelude::*;
 
 fn pool_and_lut(pool_size: usize) -> (WeightPool, LookupTable) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let vectors: Vec<Vec<f32>> = (0..pool_size)
-        .map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect())
-        .collect();
+    let vectors: Vec<Vec<f32>> =
+        (0..pool_size).map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect();
     let pool = WeightPool::from_vectors(vectors);
     let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
     (pool, lut)
@@ -79,8 +78,7 @@ fn large_networks_fit_only_with_pools() {
 fn small_networks_fit_mc_small() {
     let (_pool, lut) = pool_and_lut(64);
     let device = McuSpec::mc_small();
-    let pooled_mode =
-        DeployMode::BitSerial { lut: &lut, opts: BitSerialOptions::paper_default(8) };
+    let pooled_mode = DeployMode::BitSerial { lut: &lut, opts: BitSerialOptions::paper_default(8) };
     let tinyconv = specs::tinyconv();
     assert!(
         flash_footprint(&tinyconv, &DeployMode::Cmsis) <= device.flash_bytes,

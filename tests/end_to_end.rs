@@ -109,10 +109,8 @@ fn mcu_kernel_matches_reference_on_trained_weights() {
     let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
     let image = &data.test[0].images;
     let plane: Vec<f32> = image.data()[..144].to_vec(); // first image, 1x12x12
-    let act = UnsignedQuantParams::from_max(
-        plane.iter().fold(0.0f32, |m, v| m.max(*v)).max(1e-6),
-        8,
-    );
+    let act =
+        UnsignedQuantParams::from_max(plane.iter().fold(0.0f32, |m, v| m.max(*v)).max(1e-6), 8);
     // The compressed conv consumes the stem's ReLU output; build it.
     let stem_out = {
         let x = Tensor::from_vec(plane, &[1, 1, 12, 12]);
@@ -158,23 +156,13 @@ fn mcu_kernel_matches_reference_on_trained_weights() {
     };
     let codes: Vec<i32> = stem_out.iter().map(|&v| act.quantize(v) as i32).collect();
 
-    let shape = PooledConvShape {
-        in_ch: 8,
-        out_ch: 16,
-        kernel: 3,
-        stride: 1,
-        pad: 1,
-        in_h: 12,
-        in_w: 12,
-    };
+    let shape =
+        PooledConvShape { in_ch: 8, out_ch: 16, kernel: 3, stride: 1, pad: 1, in_h: 12, in_w: 12 };
     let expect = bitserial_conv_acc(&codes, &shape, &indices, &lut, 8, ActEncoding::Unsigned);
 
     let mut mcu = Mcu::new(McuSpec::mc_large());
-    let oq = OutputQuant {
-        requant: Requantizer::from_real_multiplier(1.0),
-        relu: false,
-        out_bits: 31,
-    };
+    let oq =
+        OutputQuant { requant: Requantizer::from_real_multiplier(1.0), relu: false, out_bits: 31 };
     let bias = vec![0i32; 16];
     let got = weight_pools::kernels::conv_bitserial(
         &mut mcu,

@@ -58,10 +58,7 @@ fn fig8_speedup_monotone_in_bits() {
     }
     assert!(values.len() >= 6, "rows parsed from:\n{md}");
     for pair in values.windows(2) {
-        assert!(
-            pair[1].1 >= pair[0].1 * 0.98,
-            "speedup should grow as bits shrink: {values:?}"
-        );
+        assert!(pair[1].1 >= pair[0].1 * 0.98, "speedup should grow as bits shrink: {values:?}");
     }
     // 1-bit speedup is large but below the theoretical 8x.
     let one_bit = values.last().unwrap();

@@ -1,0 +1,52 @@
+//! Smoke test mirroring the quickstart in `src/lib.rs`'s crate docs: the
+//! documented end-to-end pipeline (compress a tiny CNN onto a weight pool,
+//! generate the LUT, simulate bit-serial execution) must keep working under
+//! plain `cargo test`.
+
+use rand::SeedableRng;
+use weight_pools::data::SyntheticSpec;
+use weight_pools::pool::simulate::calibrate_and_arm;
+use weight_pools::prelude::*;
+
+#[test]
+fn quickstart_pipeline_runs_end_to_end() {
+    // A tiny CNN: stem (kept exact) + one poolable conv, as in the docs.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(3, 8, 3, 1, 1, &mut rng));
+    net.push(Relu::new());
+    net.push(Conv2d::new(8, 8, 3, 1, 1, &mut rng));
+
+    // Compress: cluster z-vectors into a pool, project the model onto it.
+    let cfg = PoolConfig::new(8);
+    let pool = compress::build_pool(&mut net, &cfg, &mut rng).expect("pool build must succeed");
+    let stats = compress::project(&mut net, &pool, &cfg);
+    assert_eq!(stats.layers_compressed, 1, "exactly the non-stem conv should compress");
+
+    // Generate the deployable lookup table (2^8 entries per pool vector).
+    let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    assert_eq!(lut.storage_bytes(), 256 * 8);
+
+    // Beyond the doc example: classification head + bit-serial simulation.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(1, 8, 3, 1, 1, &mut rng));
+    net.push(Relu::new());
+    net.push(Conv2d::new(8, 8, 3, 1, 1, &mut rng));
+    net.push(Relu::new());
+    net.push(GlobalAvgPool::new());
+    net.push(Dense::new(8, 4, &mut rng));
+
+    let data = SyntheticSpec::tiny_test(4).generate();
+    let pool = compress::build_pool(&mut net, &cfg, &mut rng).expect("pool build must succeed");
+    compress::project(&mut net, &pool, &cfg);
+
+    let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    let calib: Vec<Batch> = data.train.iter().take(1).cloned().collect();
+    let install = calibrate_and_arm(&mut net, &pool, lut, &cfg, &calib, 8, false);
+    let sim = evaluate(&mut net, &data.test);
+    install.uninstall(&mut net);
+
+    assert!(sim.accuracy.is_finite(), "simulated accuracy must be finite, got {}", sim.accuracy);
+    assert!((0.0..=1.0).contains(&sim.accuracy), "accuracy out of range: {}", sim.accuracy);
+}

@@ -1,0 +1,25 @@
+//! Sampling strategies over explicit value lists (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from a fixed list of values.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    choices: Vec<T>,
+}
+
+/// Picks one of `choices` uniformly.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select requires at least one choice");
+    Select { choices }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.choices.len() as u64) as usize;
+        self.choices[idx].clone()
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline, API-compatible subset of `serde` (vendored shim).
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the surface the workspace uses: `#[derive(Serialize, Deserialize)]`
+//! (with `#[serde(default)]` field support) and the traits backing
+//! `serde_json::{to_string, to_writer, from_str, from_reader}`.
+//!
+//! Unlike upstream serde's visitor architecture, this shim converts through
+//! an owned JSON-like [`Value`] tree — dramatically simpler, and sufficient
+//! for the configuration and model-snapshot payloads this repo serializes.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Self { msg: msg.to_string() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Int(n) => *n,
+                    Value::Float(f) if f.fract() == 0.0 && f.is_finite() => *f as i128,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {} out of range for {}",
+                        n,
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN), // serde_json writes non-finite floats as null
+                    other => Err(Error::custom(format!(
+                        "expected number, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = match v {
+                    Value::Array(items) => items,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected array (tuple), found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {}, found {}",
+                        expected,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Support functions used by the generated derive code.
+// ---------------------------------------------------------------------------
+
+/// Implementation details of the derive macros — not public API.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Interprets `v` as an object and returns its entries.
+    pub fn expect_object(v: &Value) -> Result<&[(String, Value)], Error> {
+        match v {
+            Value::Object(entries) => Ok(entries),
+            other => Err(Error::custom(format!("expected object, found {}", other.kind()))),
+        }
+    }
+
+    /// Looks up and deserializes a required struct field.
+    pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
+            None => Err(Error::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Looks up a `#[serde(default)]` struct field, falling back to
+    /// `Default::default()` when absent.
+    pub fn field_or_default<T: Deserialize + Default>(
+        entries: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Error for an unknown enum variant tag.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Error {
+        Error::custom(format!("unknown variant `{tag}` for enum {ty}"))
+    }
+
+    /// Error for an enum payload of the wrong JSON shape.
+    pub fn invalid_enum(ty: &str, v: &Value) -> Error {
+        Error::custom(format!(
+            "invalid representation for enum {ty}: expected string or single-key object, found {}",
+            v.kind()
+        ))
+    }
+}

@@ -1,0 +1,54 @@
+//! The JSON-shaped value tree the shim serializes through.
+
+/// An owned JSON-like value.
+///
+/// Objects preserve insertion order (fields serialize in declaration
+/// order), which keeps output deterministic for golden-file comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats, mirroring serde_json).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number without a fractional part.
+    Int(i128),
+    /// JSON number with a fractional part or exponent.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short human-readable name of the value's JSON type, for errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Returns the object entries if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}

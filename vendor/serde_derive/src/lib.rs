@@ -1,0 +1,226 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Implemented directly on the `proc_macro` API (the offline build
+//! environment has no `syn`/`quote`), which is practical because the shim
+//! only needs to support the shapes this workspace actually derives:
+//!
+//! * structs with named fields, optionally generic over type parameters;
+//! * enums whose variants are unit, one-element tuple ("newtype") or
+//!   struct-like;
+//! * the `#[serde(default)]` field attribute.
+//!
+//! Generated code goes through the shim's [`Value`]-tree model:
+//! `Serialize::to_value` / `Deserialize::from_value`, with structs as
+//! objects and enums externally tagged — the same wire shapes as upstream
+//! serde's JSON defaults.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Body, Input, Variant};
+
+/// Derives `serde::Serialize` (shim) for named structs and simple enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (shim) for named structs and simple enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let code = match parse::parse_input(&tokens) {
+        Ok(parsed) => gen(&parsed),
+        Err(msg) => format!("compile_error!({:?});", format!("serde shim derive: {msg}")),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!({:?});", format!("serde shim derive generated invalid code: {e}"))
+            .parse()
+            .expect("compile_error! must parse")
+    })
+}
+
+/// `impl<T: ::serde::Serialize> ::serde::Serialize for Name<T>` etc.
+fn impl_header(input: &Input, trait_name: &str) -> (String, String) {
+    let generics = if input.type_params.is_empty() {
+        String::new()
+    } else {
+        let bounded: Vec<String> =
+            input.type_params.iter().map(|p| format!("{p}: ::serde::{trait_name}")).collect();
+        format!("<{}>", bounded.join(", "))
+    };
+    let ty = if input.type_params.is_empty() {
+        input.name.clone()
+    } else {
+        format!("{}<{}>", input.name, input.type_params.join(", "))
+    };
+    (generics, ty)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (generics, ty) = impl_header(input, "Serialize");
+    let body = match &input.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(name) => format!(
+                        "{ty}::{name} => ::serde::Value::String(::std::string::String::from({name:?})),",
+                        ty = input.name
+                    ),
+                    Variant::Newtype(name) => format!(
+                        "{ty}::{name}(__f0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from({name:?}), ::serde::Serialize::to_value(__f0))]),",
+                        ty = input.name
+                    ),
+                    Variant::Struct(name, fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{n}: __f_{n}", n = f.name))
+                            .collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({n:?}), ::serde::Serialize::to_value(__f_{n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{ty}::{name} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({name:?}), \
+                             ::serde::Value::Object(::std::vec![{entries}]))]),",
+                            ty = input.name,
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (generics, ty) = impl_header(input, "Deserialize");
+    let body = match &input.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields.iter().map(field_init).collect();
+            format!(
+                "let __entries = ::serde::__private::expect_object(__v)?;\n\
+                 ::std::result::Result::Ok(Self {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(name) => Some(format!(
+                        "{name:?} => ::std::result::Result::Ok({ty}::{name}),",
+                        ty = input.name
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Newtype(name) => Some(format!(
+                        "{name:?} => ::std::result::Result::Ok(\
+                         {ty}::{name}(::serde::Deserialize::from_value(__content)?)),",
+                        ty = input.name
+                    )),
+                    Variant::Struct(name, fields) => {
+                        let inits: Vec<String> = fields.iter().map(field_init).collect();
+                        Some(format!(
+                            "{name:?} => {{\n\
+                                 let __entries = ::serde::__private::expect_object(__content)?;\n\
+                                 ::std::result::Result::Ok({ty}::{name} {{ {inits} }})\n\
+                             }}",
+                            ty = input.name,
+                            inits = inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::String(__tag) => match __tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(\
+                             ::serde::__private::unknown_variant({name:?}, __other)),\n\
+                     }},\n\
+                     ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __content) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::__private::unknown_variant({name:?}, __other)),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::__private::invalid_enum({name:?}, __other)),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n"),
+                name = input.name
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn field_init(f: &parse::Field) -> String {
+    if f.default {
+        format!("{n}: ::serde::__private::field_or_default(__entries, {n:?})?", n = f.name)
+    } else {
+        format!("{n}: ::serde::__private::field(__entries, {n:?})?", n = f.name)
+    }
+}
+
+/// Shared helper: is this token the given punctuation character?
+pub(crate) fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Shared helper: is this token a group with the given delimiter?
+pub(crate) fn group_with(tt: &TokenTree, d: Delimiter) -> Option<&proc_macro::Group> {
+    match tt {
+        TokenTree::Group(g) if g.delimiter() == d => Some(g),
+        _ => None,
+    }
+}

@@ -1,0 +1,274 @@
+//! Hand-rolled parser over `proc_macro::TokenTree` for derive input.
+//!
+//! Recognizes exactly the item shapes the workspace derives on (named
+//! structs and unit/newtype/struct-variant enums); anything else surfaces
+//! as a `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenTree};
+
+use crate::{group_with, is_punct};
+
+/// One named field with its `#[serde(default)]` flag.
+pub struct Field {
+    pub name: String,
+    pub default: bool,
+}
+
+/// An enum variant shape.
+pub enum Variant {
+    Unit(String),
+    Newtype(String),
+    Struct(String, Vec<Field>),
+}
+
+/// Struct vs enum payload.
+pub enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+/// The parsed derive input.
+pub struct Input {
+    pub name: String,
+    /// Type parameter names in declaration order (lifetimes excluded).
+    pub type_params: Vec<String>,
+    pub body: Body,
+}
+
+/// Parses the full derive input token list.
+pub fn parse_input(tokens: &[TokenTree]) -> Result<Input, String> {
+    let mut i = 0;
+    skip_attrs(tokens, &mut i);
+    skip_visibility(tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    let type_params = parse_generics(tokens, &mut i)?;
+
+    // Skip a where-clause (none in this workspace, but cheap to tolerate).
+    while i < tokens.len() && group_with(&tokens[i], Delimiter::Brace).is_none() {
+        if is_punct(&tokens[i], ';') {
+            return Err("tuple/unit structs are not supported by the serde shim".into());
+        }
+        i += 1;
+    }
+
+    let Some(body_group) = tokens.get(i).and_then(|t| group_with(t, Delimiter::Brace)) else {
+        return Err("expected `{ ... }` body (tuple structs are not supported)".into());
+    };
+    let body_tokens: Vec<TokenTree> = body_group.stream().into_iter().collect();
+
+    let body = if kind == "struct" {
+        Body::Struct(parse_named_fields(&body_tokens)?)
+    } else {
+        Body::Enum(parse_variants(&body_tokens)?)
+    };
+
+    Ok(Input { name, type_params, body })
+}
+
+/// Skips any number of outer attributes (`#[...]`), returning whether one
+/// of them was `#[serde(default)]`.
+fn skip_attrs_collect_default(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1;
+        if let Some(attr) = tokens.get(*i).and_then(|t| group_with(t, Delimiter::Bracket)) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(args) =
+                        inner.get(1).and_then(|t| group_with(t, Delimiter::Parenthesis))
+                    {
+                        has_default |= args.stream().into_iter().any(
+                            |t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"),
+                        );
+                    }
+                }
+            }
+            *i += 1;
+        }
+    }
+    has_default
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    skip_attrs_collect_default(tokens, i);
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if tokens.get(*i).map(|t| group_with(t, Delimiter::Parenthesis).is_some()) == Some(true) {
+            *i += 1;
+        }
+    }
+}
+
+/// Parses `<...>` generics if present, returning the type parameter names.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*i), Some(t) if is_punct(t, '<')) {
+        return Ok(params);
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while *i < tokens.len() {
+        let tt = &tokens[*i];
+        if is_punct(tt, '<') {
+            depth += 1;
+            at_param_start = false;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+            if depth == 0 {
+                *i += 1;
+                return Ok(params);
+            }
+        } else if is_punct(tt, ',') && depth == 1 {
+            at_param_start = true;
+        } else if is_punct(tt, '\'') {
+            // Lifetime: skip the quote; the following ident is consumed as
+            // part of the lifetime, not a type parameter.
+            *i += 1;
+            at_param_start = false;
+        } else if at_param_start {
+            if let TokenTree::Ident(id) = tt {
+                let text = id.to_string();
+                if text == "const" {
+                    return Err("const generics are not supported by the serde shim".into());
+                }
+                params.push(text);
+            }
+            at_param_start = false;
+        }
+        *i += 1;
+    }
+    Err("unterminated generics".into())
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies and
+/// struct-variant payloads).
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs_collect_default(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        if !matches!(tokens.get(i), Some(t) if is_punct(t, ':')) {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            let tt = &tokens[i];
+            if is_punct(tt, '<') {
+                depth += 1;
+            } else if is_punct(tt, '>') {
+                depth = depth.saturating_sub(1);
+            } else if is_punct(tt, ',') && depth == 0 {
+                break;
+            }
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // consume the comma
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Parses enum variant lists.
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let variant = match tokens.get(i) {
+            Some(t) if group_with(t, Delimiter::Parenthesis).is_some() => {
+                let payload = group_with(t, Delimiter::Parenthesis).unwrap();
+                let arity = tuple_arity(payload);
+                i += 1;
+                if arity != 1 {
+                    return Err(format!(
+                        "variant `{name}` has {arity} tuple fields; the serde shim only supports \
+                         newtype (1-field) tuple variants"
+                    ));
+                }
+                Variant::Newtype(name)
+            }
+            Some(t) if group_with(t, Delimiter::Brace).is_some() => {
+                let payload = group_with(t, Delimiter::Brace).unwrap();
+                let inner: Vec<TokenTree> = payload.stream().into_iter().collect();
+                i += 1;
+                Variant::Struct(name, parse_named_fields(&inner)?)
+            }
+            _ => Variant::Unit(name),
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(i), Some(t) if is_punct(t, '=')) {
+            while i < tokens.len() && !is_punct(&tokens[i], ',') {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(t) if is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+/// Number of top-level comma-separated entries in a parenthesized payload.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut arity = 1;
+    for tt in &tokens {
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth = depth.saturating_sub(1);
+        } else if is_punct(tt, ',') && depth == 0 {
+            arity += 1;
+        }
+    }
+    // A trailing comma does not add a field.
+    if is_punct(tokens.last().unwrap(), ',') {
+        arity -= 1;
+    }
+    arity
+}

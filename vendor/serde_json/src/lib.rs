@@ -1,0 +1,122 @@
+//! Offline, API-compatible subset of `serde_json` (vendored shim).
+//!
+//! Provides `to_string`, `to_writer`, `from_str` and `from_reader` over the
+//! shim [`serde::Value`] data model. The wire format is ordinary JSON:
+//! structs as objects, unit enum variants as strings, data-carrying
+//! variants as single-key objects — matching upstream serde's externally
+//! tagged default, so payloads stay readable and diffable.
+
+use serde::{Deserialize, Serialize, Value};
+
+pub use serde::Error;
+
+mod read;
+mod write;
+
+/// Serializes `value` to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serializes `value` as JSON into an [`std::io::Write`].
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes()).map_err(|e| Error::custom(format!("io error: {e}")))
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = read::parse(s)?;
+    T::from_value(&value)
+}
+
+/// Deserializes a value from an [`std::io::Read`] producing JSON.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf).map_err(|e| Error::custom(format!("io error: {e}")))?;
+    from_str(&buf)
+}
+
+/// Parses a JSON string into a [`Value`] tree.
+pub fn value_from_str(s: &str) -> Result<Value, Error> {
+    read::parse(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(!from_str::<bool>("false").unwrap());
+        assert_eq!(to_string("hi\n\"quoted\"").unwrap(), "\"hi\\n\\\"quoted\\\"\"");
+        assert_eq!(from_str::<String>("\"hi\\n\\\"quoted\\\"\"").unwrap(), "hi\n\"quoted\"");
+    }
+
+    #[test]
+    fn round_trip_floats() {
+        for v in [0.0f32, -1.5, 0.1, 3.4e38, 1e-20] {
+            let s = to_string(&v).unwrap();
+            let back: f32 = from_str(&s).unwrap();
+            assert_eq!(back, v, "round-trip failed for {v} via {s}");
+        }
+        // Non-finite floats serialize as null and come back as NaN.
+        assert_eq!(to_string(&f32::INFINITY).unwrap(), "null");
+        assert!(from_str::<f32>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn round_trip_containers() {
+        let v = vec![vec![1.0f32, 2.0], vec![3.0]];
+        let s = to_string(&v).unwrap();
+        let back: Vec<Vec<f32>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+
+        let t = (1usize, 2usize, 3usize);
+        let s = to_string(&t).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: (usize, usize, usize) = from_str(&s).unwrap();
+        assert_eq!(back, t);
+
+        let o: Option<u8> = None;
+        assert_eq!(to_string(&o).unwrap(), "null");
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u8>>("9").unwrap(), Some(9));
+    }
+
+    #[test]
+    fn parse_whitespace_and_nesting() {
+        let v = value_from_str(" { \"a\" : [ 1 , 2.5 , \"x\" ] , \"b\" : { } } ").unwrap();
+        match v {
+            Value::Object(entries) => {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[0].0, "a");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("{").is_err());
+        assert!(from_str::<u32>("12 34").is_err());
+        assert!(from_str::<u32>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>("\"\\u0041\\u00e9\"").unwrap(), "Aé");
+        // Surrogate pair for U+1F600.
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+    }
+}
