@@ -1,0 +1,89 @@
+//! Native engine throughput report: the committed benchmark behind the
+//! engine's two headline claims.
+//!
+//! 1. **Native vs. simulated**: the same pooled conv layer executed by
+//!    `wp_engine::NativeBackend` and by the cycle-accurate `wp_kernels`
+//!    path (both produce identical codes; only wall-clock differs).
+//! 2. **Batch scaling**: whole-network images/sec through
+//!    `wp_engine::BatchRunner` at increasing worker-thread counts.
+//!
+//! ```sh
+//! cargo run --release --bin engine_throughput -p wp_bench [-- --fast]
+//! ```
+
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use wp_bench::runtime::{synthetic_lut, synthetic_prepared_net};
+use wp_bench::Effort;
+use wp_core::reference::{ActEncoding, PooledConvShape};
+use wp_engine::{BatchRunner, NativeBackend};
+use wp_kernels::{conv_bitserial, BitSerialOptions, OutputQuant};
+use wp_mcu::{Mcu, McuSpec};
+use wp_quant::Requantizer;
+
+fn main() {
+    let effort = Effort::from_env();
+    let reps = if effort.fast { 3 } else { 10 };
+
+    // --- 1. Single layer: native vs cycle-simulated -----------------------
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let shape =
+        PooledConvShape { in_ch: 32, out_ch: 32, kernel: 3, stride: 1, pad: 1, in_h: 16, in_w: 16 };
+    let (_pool, lut) = synthetic_lut(64, 8, 1);
+    let codes: Vec<i32> =
+        (0..shape.in_ch * shape.in_h * shape.in_w).map(|_| rng.gen_range(0..256)).collect();
+    let indices: Vec<u8> = (0..shape.index_count(8)).map(|_| rng.gen_range(0..64) as u8).collect();
+    let bias = vec![0i32; shape.out_ch];
+    let oq =
+        OutputQuant { requant: Requantizer::from_real_multiplier(2e-4), relu: true, out_bits: 8 };
+    let opts = BitSerialOptions::paper_default(8);
+    let backend = NativeBackend::new(&lut, 8, ActEncoding::Unsigned);
+
+    let mut sim_best = f64::INFINITY;
+    let mut native_best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut mcu = Mcu::new(McuSpec::mc_large());
+        let sim = conv_bitserial(&mut mcu, &codes, &shape, &indices, &lut, &bias, &oq, &opts);
+        sim_best = sim_best.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let acc = backend.conv_pooled(&codes, &shape, &indices);
+        native_best = native_best.min(t.elapsed().as_secs_f64());
+
+        let native: Vec<i32> = acc.iter().map(|&a| oq.apply_value(a)).collect();
+        assert_eq!(native, sim, "native and simulated paths must agree bit-for-bit");
+    }
+    println!("== Single pooled conv (32x16x16, pool 64, 8-bit) ==");
+    println!("simulated (Mcu):  {:>9.3} ms", sim_best * 1e3);
+    println!("native  (engine): {:>9.3} ms", native_best * 1e3);
+    println!("speedup:          {:>9.1}x  (outputs verified identical)", sim_best / native_best);
+    println!();
+
+    // --- 2. Whole-network batch throughput vs worker threads --------------
+    let net = synthetic_prepared_net(64, 3);
+    let batch = if effort.fast { 16 } else { 64 };
+    let inputs = net.fabricate_inputs(batch, 9);
+    println!("== Batch throughput (3-conv net, {batch}-image batch) ==");
+    let mut base = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let runner = BatchRunner::new(threads);
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.min(5) {
+            let t = Instant::now();
+            let out = runner.run(&net, &inputs);
+            best = best.min(t.elapsed().as_secs_f64());
+            assert_eq!(out.len(), batch);
+        }
+        let ips = batch as f64 / best;
+        if threads == 1 {
+            base = ips;
+        }
+        println!("{threads:>2} threads: {ips:>10.1} images/sec  ({:.2}x vs 1 thread)", ips / base);
+    }
+    println!();
+    println!(
+        "(Thread scaling tracks physical cores; this machine reports {}.)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+}

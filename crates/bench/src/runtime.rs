@@ -67,6 +67,44 @@ impl LayerBench {
     }
 }
 
+/// A synthetic deployable bundle compiled for the native engine: direct
+/// stem + two pooled convs + pooling + dense head, sized by `channels`.
+/// Runtime throughput depends only on shapes, so weights are fabricated.
+pub fn synthetic_prepared_net(channels: usize, seed: u64) -> wp_engine::PreparedNet {
+    use wp_core::deploy::{ConvPayload, DeployBundle};
+    use wp_core::netspec::{ConvSpec, LayerSpec, NetSpec};
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (pool, lut) = synthetic_lut(64, 8, seed);
+    let conv = |in_ch: usize, out_ch: usize, compressed: bool| {
+        LayerSpec::Conv(ConvSpec { in_ch, out_ch, kernel: 3, stride: 1, pad: 1, compressed })
+    };
+    let spec = NetSpec {
+        name: format!("serve-{channels}"),
+        input: (3, 16, 16),
+        classes: 10,
+        layers: vec![
+            conv(3, channels, false),
+            conv(channels, channels, true),
+            LayerSpec::MaxPool { size: 2 },
+            conv(channels, channels, true),
+            LayerSpec::GlobalAvgPool,
+            LayerSpec::Dense { in_features: channels, out_features: 10, compressed: false },
+        ],
+    };
+    let stem: Vec<i8> = (0..channels * 3 * 9).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+    let mut pooled = || -> Vec<u8> {
+        (0..channels * (channels / 8) * 9).map(|_| rng.gen_range(0..64) as u8).collect()
+    };
+    let convs = vec![
+        ConvPayload::Direct { weights: stem, scale: 0.01 },
+        ConvPayload::Pooled { indices: pooled() },
+        ConvPayload::Pooled { indices: pooled() },
+    ];
+    let bundle = DeployBundle { spec, pool, lut, convs, act_bits: 8 };
+    wp_engine::PreparedNet::from_bundle(&bundle, &wp_engine::EngineOptions::default())
+}
+
 /// Formats a network-run latency cell for Table 7 ("/" when the network
 /// does not fit in flash, as in the paper).
 pub fn latency_cell(result: &NetworkRunResult) -> String {

@@ -57,6 +57,7 @@ impl LookupTable {
     pub fn build(pool: &WeightPool, bits: u8, order: LutOrder) -> Self {
         let group = pool.group_size();
         assert!(group <= 12, "group size {group} makes 2^{group} patterns impractical");
+        assert!((2..=16).contains(&bits), "lut bits must be in 2..=16, got {bits}");
         let pool_size = pool.len();
         let patterns = 1usize << group;
 
@@ -128,12 +129,22 @@ impl LookupTable {
 
     /// The quantized code of entry `(s, m)`.
     ///
+    /// The bounds check is unconditional (not `debug_assert`): the two
+    /// [`LutOrder`] layouts alias each other in the flat `codes` storage, so
+    /// an out-of-range `(s, m)` in a release build would silently read the
+    /// *wrong entry* rather than fail.
+    ///
     /// # Panics
     ///
-    /// Panics in debug builds if `s` or `m` is out of range.
+    /// Panics if `s` or `m` is out of range.
     #[inline]
     pub fn code(&self, s: usize, m: usize) -> i32 {
-        debug_assert!(s < self.pool_size && m < self.num_patterns());
+        assert!(
+            s < self.pool_size && m < self.num_patterns(),
+            "lut entry ({s}, {m}) out of range for pool size {} and {} patterns",
+            self.pool_size,
+            self.num_patterns()
+        );
         match self.order {
             LutOrder::WeightOriented => self.codes[s * self.num_patterns() + m],
             LutOrder::InputOriented => self.codes[m * self.pool_size + s],
@@ -253,6 +264,53 @@ mod tests {
     fn oversized_group_rejected() {
         let pool = WeightPool::from_vectors(vec![vec![0.0; 16]]);
         LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    }
+
+    #[test]
+    fn boundary_bitwidths_accepted() {
+        // 2 and 16 are the documented inclusive limits.
+        let lo = LookupTable::build(&small_pool(), 2, LutOrder::InputOriented);
+        let hi = LookupTable::build(&small_pool(), 16, LutOrder::WeightOriented);
+        assert_eq!(lo.bits(), 2);
+        assert_eq!(hi.bits(), 16);
+        // A 2-bit symmetric quantizer has codes in [-1, 1].
+        assert!(lo.codes().iter().all(|&c| (-1..=1).contains(&c)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lut bits must be in 2..=16")]
+    fn zero_bits_rejected() {
+        LookupTable::build(&small_pool(), 0, LutOrder::InputOriented);
+    }
+
+    #[test]
+    #[should_panic(expected = "lut bits must be in 2..=16")]
+    fn one_bit_rejected() {
+        LookupTable::build(&small_pool(), 1, LutOrder::InputOriented);
+    }
+
+    #[test]
+    #[should_panic(expected = "lut bits must be in 2..=16")]
+    fn seventeen_bits_rejected() {
+        LookupTable::build(&small_pool(), 17, LutOrder::InputOriented);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_vector_index_rejected() {
+        let lut = LookupTable::build(&small_pool(), 8, LutOrder::InputOriented);
+        lut.code(2, 0); // pool has 2 vectors
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pattern_rejected() {
+        // Regression: in weight-oriented order, (s=0, m=num_patterns)
+        // addresses a valid flat slot belonging to a *different* entry
+        // (vector 1, pattern 0), so a debug-only check would silently alias
+        // in release builds instead of failing.
+        let lut = LookupTable::build(&small_pool(), 8, LutOrder::WeightOriented);
+        lut.code(0, lut.num_patterns());
     }
 
     proptest! {

@@ -1,0 +1,538 @@
+//! The native per-layer kernels.
+//!
+//! [`NativeBackend::conv_pooled`] restructures the reference bit-serial
+//! loop for host speed while keeping the integer arithmetic untouched. It
+//! runs in two phases: an **input-stationary** pass bit-unpacks each
+//! activation group once (§4.1 input reuse, hoisted across the overlapping
+//! windows that revisit it) and computes every pool vector's `M`-bit
+//! partial dot product per input position as dense sweeps over the
+//! pattern-major [`LutCache`] slabs (§4.3 precomputation taken to its
+//! host-side limit); a **scatter** pass then sums each output pixel's taps
+//! through the per-filter index map. Because all of this merely
+//! reassociates an integer sum, the accumulators are bit-identical to
+//! [`wp_core::reference::bitserial_conv_acc`] — a property pinned down by
+//! the parity tests in `tests/parity.rs`.
+
+use wp_core::reference::{ActEncoding, PooledConvShape};
+use wp_core::LookupTable;
+
+/// The lookup table flattened into contiguous pattern-major blocks — the
+/// host analogue of the paper's §4.2 SRAM-cached LUT blocks.
+///
+/// Entry `(s, m)` lives at `m * S + s` regardless of the source table's
+/// [`wp_core::LutOrder`]: all pool vectors' results for one bit pattern
+/// are adjacent, exactly the input-oriented layout the paper picks so a
+/// bit row's block can be streamed as one contiguous run. The native
+/// kernel exploits this the same way the MCU kernel does — each activation
+/// bit row selects one contiguous slab, which the partial-dot sweep walks
+/// linearly (and the compiler vectorizes). [`crate::BatchRunner`] gives
+/// each worker thread its own copy (one "SRAM" per core).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutCache {
+    pool_size: usize,
+    patterns: usize,
+    group: usize,
+    codes: Vec<i32>,
+}
+
+impl LutCache {
+    /// Flattens `lut` into pattern-major order.
+    pub fn new(lut: &LookupTable) -> Self {
+        let pool_size = lut.pool_size();
+        let patterns = lut.num_patterns();
+        let mut codes = vec![0i32; pool_size * patterns];
+        for (m, block) in codes.chunks_mut(pool_size).enumerate() {
+            for (s, slot) in block.iter_mut().enumerate() {
+                *slot = lut.code(s, m);
+            }
+        }
+        Self { pool_size, patterns, group: lut.group_size(), codes }
+    }
+
+    /// Pool size `S`.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Group (vector) size `G`.
+    pub fn group_size(&self) -> usize {
+        self.group
+    }
+
+    /// Number of bit patterns, `2^G`.
+    pub fn num_patterns(&self) -> usize {
+        self.patterns
+    }
+
+    /// The code of entry `(s, m)` (same value as the source table's
+    /// `LookupTable::code`, independent of its memory order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `m` is out of range.
+    #[inline]
+    pub fn code(&self, s: usize, m: usize) -> i32 {
+        assert!(s < self.pool_size && m < self.patterns, "lut entry ({s}, {m}) out of range");
+        self.codes[m * self.pool_size + s]
+    }
+
+    /// The contiguous block of all pool vectors' codes for pattern `m`.
+    #[inline]
+    fn block(&self, m: usize) -> &[i32] {
+        &self.codes[m * self.pool_size..(m + 1) * self.pool_size]
+    }
+}
+
+/// A layer's pool-index map transposed to tap-major order by
+/// [`NativeBackend::prepare_indices`], ready for repeated
+/// [`NativeBackend::conv_pooled_prepared`] calls with no per-call setup.
+#[derive(Debug, Clone)]
+pub struct PreparedIndices {
+    k_count: usize,
+    idx_stride: usize,
+    tap_major: Vec<u8>,
+}
+
+/// Host-speed executor of the bit-serial weight-pool arithmetic.
+#[derive(Debug, Clone)]
+pub struct NativeBackend {
+    lut: LutCache,
+    act_bits: u8,
+    encoding: ActEncoding,
+    /// `bit_weight(j, act_bits)` for `j < act_bits`, hoisted out of the
+    /// inner loops. Magnitudes are at most `2^(M-1) <= 128`, so `i32` is
+    /// exact, and a whole partial (`|code| * (2^M - 1) <= 32767 * 255`)
+    /// stays far inside `i32`.
+    bit_weights: [i32; 8],
+}
+
+impl NativeBackend {
+    /// Builds a backend executing at `act_bits`-bit activations under
+    /// `encoding`, caching `lut` in pattern-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= act_bits <= 8`.
+    pub fn new(lut: &LookupTable, act_bits: u8, encoding: ActEncoding) -> Self {
+        Self::from_cache(LutCache::new(lut), act_bits, encoding)
+    }
+
+    /// Builds a backend around an already-flattened [`LutCache`] (used by
+    /// the batch engine to hand each worker its own copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= act_bits <= 8`.
+    pub fn from_cache(lut: LutCache, act_bits: u8, encoding: ActEncoding) -> Self {
+        assert!((1..=8).contains(&act_bits), "activation bits must be 1..=8, got {act_bits}");
+        let mut bit_weights = [0i32; 8];
+        for (j, w) in bit_weights.iter_mut().enumerate().take(act_bits as usize) {
+            *w = encoding.bit_weight(j as u8, act_bits) as i32;
+        }
+        Self { lut, act_bits, encoding, bit_weights }
+    }
+
+    /// Activation bitwidth `M`.
+    pub fn act_bits(&self) -> u8 {
+        self.act_bits
+    }
+
+    /// Activation bit decomposition.
+    pub fn encoding(&self) -> ActEncoding {
+        self.encoding
+    }
+
+    /// The cached LUT blocks.
+    pub fn lut(&self) -> &LutCache {
+        &self.lut
+    }
+
+    /// A fresh backend sharing nothing with `self` (deep-copies the LUT
+    /// cache) — one per worker thread in [`crate::BatchRunner`].
+    pub fn clone_for_worker(&self) -> Self {
+        self.clone()
+    }
+
+    /// Accumulates one bit row's weighted LUT block into the per-position
+    /// partials (Algorithm 1 lines 11–13, reassociated into a dense sweep
+    /// over the pattern's contiguous pool-vector slab).
+    #[inline]
+    fn sweep_row(&self, dst: &mut [i32], row: usize, weight: i32) {
+        for (d, &c) in dst.iter_mut().zip(self.lut.block(row)) {
+            *d += weight * c;
+        }
+    }
+
+    /// Transposes a canonical `[k][g][r][s]` index map into the tap-major
+    /// `[g][r][s][k]` layout the scatter pass reads sequentially. The
+    /// transpose depends only on the layer's static index map, so callers
+    /// executing a layer repeatedly (e.g. [`crate::PreparedNet`]) do it
+    /// once and pass the result to [`NativeBackend::conv_pooled_prepared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index count does not match the shape at the backend's
+    /// group size.
+    pub fn prepare_indices(&self, shape: &PooledConvShape, indices: &[u8]) -> PreparedIndices {
+        let g = self.lut.group;
+        let groups = shape.groups(g);
+        assert_eq!(indices.len(), shape.index_count(g), "index count mismatch");
+        let k_count = shape.out_ch;
+        let idx_stride = groups * shape.kernel * shape.kernel;
+        let mut tap_major = vec![0u8; indices.len()];
+        for k in 0..k_count {
+            for t in 0..idx_stride {
+                tap_major[t * k_count + k] = indices[k * idx_stride + t];
+            }
+        }
+        PreparedIndices { k_count, idx_stride, tap_major }
+    }
+
+    /// Native bit-serial LUT convolution: returns `[K, OH, OW]` raw
+    /// accumulators in units of `lut_scale × act_scale`, bit-identical to
+    /// [`wp_core::reference::bitserial_conv_acc`] on the same inputs.
+    ///
+    /// `codes` is the `[C, H, W]` quantized activation plane; `indices` the
+    /// canonical-order pool indices (see `wp_core::grouping`). One-shot
+    /// convenience over [`NativeBackend::conv_pooled_prepared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch or if a code is outside the encoding's
+    /// range for the backend's activation bitwidth.
+    pub fn conv_pooled(&self, codes: &[i32], shape: &PooledConvShape, indices: &[u8]) -> Vec<i32> {
+        self.conv_pooled_prepared(codes, shape, &self.prepare_indices(shape, indices))
+    }
+
+    /// [`NativeBackend::conv_pooled`] with the index transpose hoisted out:
+    /// `prep` must come from [`NativeBackend::prepare_indices`] for the
+    /// same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch (including `prep` built for a different
+    /// shape) or if a code is outside the encoding's range for the
+    /// backend's activation bitwidth.
+    pub fn conv_pooled_prepared(
+        &self,
+        codes: &[i32],
+        shape: &PooledConvShape,
+        prep: &PreparedIndices,
+    ) -> Vec<i32> {
+        let g = self.lut.group;
+        let groups = shape.groups(g);
+        assert_eq!(codes.len(), shape.in_ch * shape.in_h * shape.in_w, "activation size mismatch");
+        assert_eq!(
+            (prep.k_count, prep.idx_stride),
+            (shape.out_ch, groups * shape.kernel * shape.kernel),
+            "prepared indices do not match shape"
+        );
+        let (lo, hi) = self.encoding.code_range(self.act_bits);
+        assert!(
+            codes.iter().all(|&c| (lo..=hi).contains(&c)),
+            "activation code outside [{lo}, {hi}]"
+        );
+
+        let geo = shape.geometry();
+        let (oh, ow) = (geo.out_h(), geo.out_w());
+        let (in_h, in_w) = (shape.in_h, shape.in_w);
+        let k_count = shape.out_ch;
+        let s_count = self.lut.pool_size;
+        let m_bits = self.act_bits as usize;
+        let kernel = shape.kernel;
+
+        // Phase 1 — input-stationary precomputation: for every (group,
+        // input position), bit-unpack the activation group once (§4.1) and
+        // compute every pool vector's M-bit partial dot product once
+        // (§4.3 precomputation, hoisted out of the output loop entirely:
+        // a 3x3 kernel revisits each input position up to nine times, and
+        // every filter sharing a pool vector reuses the same partial).
+        // Each bit row selects one contiguous pattern-major LUT slab, so
+        // the inner sweep is a dense multiply-accumulate the compiler can
+        // vectorize. Partials are exact in `i32` (see `bit_weights`).
+        // Table layout: partial of vector `s` at `(grp, iy, ix)` lives at
+        // `((grp * in_h + iy) * in_w + ix) * s_count + s`.
+        let mut partials = vec![0i32; groups * in_h * in_w * s_count];
+        {
+            let mut chunks = partials.chunks_mut(s_count);
+            for grp in 0..groups {
+                let base = grp * g;
+                for iy in 0..in_h {
+                    for ix in 0..in_w {
+                        let mut rows = [0usize; 8];
+                        for i in 0..g {
+                            let code = codes[((base + i) * in_h + iy) * in_w + ix];
+                            for (j, row) in rows.iter_mut().enumerate().take(m_bits) {
+                                *row |= (((code >> j) & 1) as usize) << i;
+                            }
+                        }
+                        let dst = chunks.next().expect("partial table sized to positions");
+                        for (&row, &w) in rows.iter().zip(&self.bit_weights).take(m_bits) {
+                            self.sweep_row(dst, row, w);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — scatter: each output pixel sums its taps' precomputed
+        // partials, selected per filter by the index map. Padding taps
+        // contribute pattern 0 whose LUT entry is exactly 0, so skipping
+        // them is bit-exact.
+        let mut out = vec![0i32; k_count * oh * ow];
+        let mut acc = vec![0i64; k_count];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                acc.fill(0);
+                for ky in 0..kernel {
+                    let Some(iy) = geo.input_row(oy, ky) else { continue };
+                    for kx in 0..kernel {
+                        let Some(ix) = geo.input_col(ox, kx) else { continue };
+                        for grp in 0..groups {
+                            let block_at = ((grp * in_h + iy) * in_w + ix) * s_count;
+                            let block = &partials[block_at..block_at + s_count];
+                            let idx_base = (grp * kernel + ky) * kernel + kx;
+                            let taps =
+                                &prep.tap_major[idx_base * k_count..(idx_base + 1) * k_count];
+                            for (a, &idx) in acc.iter_mut().zip(taps) {
+                                *a += block[idx as usize] as i64;
+                            }
+                        }
+                    }
+                }
+                for (k, &a) in acc.iter().enumerate() {
+                    out[(k * oh + oy) * ow + ox] = i32::try_from(a).expect("accumulator overflow");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Native direct int8 convolution accumulators. The reference
+/// implementation is already a plain fast loop with no cycle charging, so
+/// this simply delegates to [`wp_core::reference::direct_conv_acc`].
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv_direct(codes: &[i32], shape: &PooledConvShape, weights: &[i8]) -> Vec<i32> {
+    wp_core::reference::direct_conv_acc(codes, shape, weights)
+}
+
+/// Native depthwise int8 convolution: `[C, OH, OW]` accumulators from a
+/// `[C, H, W]` plane and `[C, R, S]` weights (one kernel per channel).
+///
+/// # Panics
+///
+/// Panics on shape mismatches (`shape.out_ch` must equal `shape.in_ch`).
+pub fn dwconv_acc(codes: &[i32], shape: &PooledConvShape, weights: &[i8]) -> Vec<i32> {
+    assert_eq!(shape.out_ch, shape.in_ch, "depthwise conv requires in_ch == out_ch");
+    let (c, k_sz) = (shape.in_ch, shape.kernel);
+    assert_eq!(codes.len(), c * shape.in_h * shape.in_w, "activation size mismatch");
+    assert_eq!(weights.len(), c * k_sz * k_sz, "weight size mismatch");
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let mut out = vec![0i32; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i64;
+                for ky in 0..k_sz {
+                    let Some(iy) = geo.input_row(oy, ky) else { continue };
+                    for kx in 0..k_sz {
+                        let Some(ix) = geo.input_col(ox, kx) else { continue };
+                        let a = codes[(ch * shape.in_h + iy) * shape.in_w + ix] as i64;
+                        let w = weights[(ch * k_sz + ky) * k_sz + kx] as i64;
+                        acc += a * w;
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = i32::try_from(acc).expect("accumulator overflow");
+            }
+        }
+    }
+    out
+}
+
+/// Native dense accumulators: `out[o] = Σ_i w[o][i] · code[i]` (bias is
+/// added by the caller alongside requantization).
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+pub fn dense_acc(codes: &[i32], weights: &[i8], out_features: usize) -> Vec<i32> {
+    let in_features = codes.len();
+    assert_eq!(weights.len(), in_features * out_features, "weight size mismatch");
+    let mut out = vec![0i32; out_features];
+    for (o, slot) in out.iter_mut().enumerate() {
+        let row = &weights[o * in_features..(o + 1) * in_features];
+        let mut acc = 0i64;
+        for (&w, &a) in row.iter().zip(codes) {
+            acc += w as i64 * a as i64;
+        }
+        *slot = i32::try_from(acc).expect("accumulator overflow");
+    }
+    out
+}
+
+/// Max pooling over non-overlapping square windows (mirrors
+/// `wp_kernels::cmsis::maxpool` arithmetic).
+///
+/// # Panics
+///
+/// Panics if the window exceeds the input.
+pub fn maxpool(codes: &[i32], ch: usize, h: usize, w: usize, size: usize) -> Vec<i32> {
+    assert!(h >= size && w >= size, "pool window larger than input");
+    let (oh, ow) = (h / size, w / size);
+    let mut out = vec![0i32; ch * oh * ow];
+    for c in 0..ch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = i32::MIN;
+                for dy in 0..size {
+                    for dx in 0..size {
+                        best = best.max(codes[(c * h + oy * size + dy) * w + ox * size + dx]);
+                    }
+                }
+                out[(c * oh + oy) * ow + ox] = best;
+            }
+        }
+    }
+    out
+}
+
+/// Average pooling over non-overlapping square windows: integer mean with
+/// rounding, identical to `wp_kernels::cmsis::avgpool`.
+///
+/// # Panics
+///
+/// Panics if the window exceeds the input.
+pub fn avgpool(codes: &[i32], ch: usize, h: usize, w: usize, size: usize) -> Vec<i32> {
+    assert!(h >= size && w >= size, "pool window larger than input");
+    let (oh, ow) = (h / size, w / size);
+    let div = (size * size) as i32;
+    let mut out = vec![0i32; ch * oh * ow];
+    for c in 0..ch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i32;
+                for dy in 0..size {
+                    for dx in 0..size {
+                        acc += codes[(c * h + oy * size + dy) * w + ox * size + dx];
+                    }
+                }
+                out[(c * oh + oy) * ow + ox] = (acc + div / 2).div_euclid(div);
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling to one value per channel (rounded integer mean,
+/// identical to `wp_kernels::cmsis::global_avgpool`).
+pub fn global_avgpool(codes: &[i32], ch: usize, h: usize, w: usize) -> Vec<i32> {
+    let n = (h * w) as i32;
+    let mut out = vec![0i32; ch];
+    for (c, slot) in out.iter_mut().enumerate() {
+        let acc: i32 = codes[c * h * w..(c + 1) * h * w].iter().sum();
+        *slot = (acc + n / 2).div_euclid(n);
+    }
+    out
+}
+
+/// Saturating elementwise residual add of two code planes into an
+/// arbitrary code range (signed encodings clamp two-sided).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn residual_add_range(a: &[i32], b: &[i32], lo: i32, hi: i32) -> Vec<i32> {
+    assert_eq!(a.len(), b.len(), "residual operands must match");
+    a.iter().zip(b).map(|(&x, &y)| (x + y).clamp(lo, hi)).collect()
+}
+
+/// Saturating elementwise residual add of two unsigned code planes
+/// (identical to `wp_kernels::cmsis::residual_add`).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn residual_add(a: &[i32], b: &[i32], out_bits: u8) -> Vec<i32> {
+    residual_add_range(a, b, 0, (1i32 << out_bits) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_core::{LutOrder, WeightPool};
+
+    fn small_lut(order: LutOrder) -> LookupTable {
+        let pool = WeightPool::from_vectors(vec![
+            vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 0.0],
+            vec![0.0, 64.0, 32.0, 16.0, 8.0, 4.0, 2.0, 1.0],
+        ]);
+        LookupTable::build(&pool, 8, order)
+    }
+
+    #[test]
+    fn lut_cache_is_order_independent() {
+        let a = LutCache::new(&small_lut(LutOrder::InputOriented));
+        let b = LutCache::new(&small_lut(LutOrder::WeightOriented));
+        assert_eq!(a, b);
+        assert_eq!(a.pool_size(), 2);
+        assert_eq!(a.group_size(), 8);
+        assert_eq!(a.num_patterns(), 256);
+        // Entry values match the source table.
+        let lut = small_lut(LutOrder::InputOriented);
+        assert_eq!(a.code(1, 0b0110), lut.code(1, 0b0110));
+    }
+
+    #[test]
+    fn pooled_conv_equals_integer_dot_product() {
+        // LUT scale is exactly 1, so accumulators equal plain dot products.
+        let lut = small_lut(LutOrder::InputOriented);
+        let backend = NativeBackend::new(&lut, 8, ActEncoding::Unsigned);
+        let shape =
+            PooledConvShape { in_ch: 8, out_ch: 2, kernel: 1, stride: 1, pad: 0, in_h: 1, in_w: 1 };
+        let codes = vec![3, 0, 1, 2, 5, 7, 1, 9];
+        let acc = backend.conv_pooled(&codes, &shape, &[0, 1]);
+        let w0 = [1, 2, 4, 8, 16, 32, 64, 0];
+        let w1 = [0, 64, 32, 16, 8, 4, 2, 1];
+        let dot = |w: &[i32; 8]| codes.iter().zip(w).map(|(&a, &b)| a * b).sum::<i32>();
+        assert_eq!(acc, vec![dot(&w0), dot(&w1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation code outside")]
+    fn out_of_range_codes_rejected() {
+        let lut = small_lut(LutOrder::InputOriented);
+        let backend = NativeBackend::new(&lut, 4, ActEncoding::Unsigned);
+        let shape =
+            PooledConvShape { in_ch: 8, out_ch: 1, kernel: 1, stride: 1, pad: 0, in_h: 1, in_w: 1 };
+        backend.conv_pooled(&[16, 0, 0, 0, 0, 0, 0, 0], &shape, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation bits")]
+    fn zero_act_bits_rejected() {
+        NativeBackend::new(&small_lut(LutOrder::InputOriented), 0, ActEncoding::Unsigned);
+    }
+
+    #[test]
+    fn dense_acc_matches_manual() {
+        let codes = vec![1, 2, 3];
+        let weights: Vec<i8> = vec![1, 0, -1, 2, 2, 2];
+        assert_eq!(dense_acc(&codes, &weights, 2), vec![-2, 12]);
+    }
+
+    #[test]
+    fn residual_add_saturates() {
+        assert_eq!(residual_add(&[200, 100, 0], &[100, 20, 0], 8), vec![255, 120, 0]);
+    }
+
+    #[test]
+    fn avgpool_rounds_like_cmsis() {
+        // 2x2 window over [1, 2, 3, 4]: mean 2.5 rounds to 3.
+        assert_eq!(avgpool(&[1, 2, 3, 4], 1, 2, 2, 2), vec![3]);
+    }
+}

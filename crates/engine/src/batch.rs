@@ -1,0 +1,146 @@
+//! Threaded batch inference.
+//!
+//! [`BatchRunner`] fans a batch of inputs across scoped worker threads.
+//! The prepared network is shared read-only; each worker owns a private
+//! copy of the flattened LUT blocks (the per-core "SRAM" analogue of the
+//! paper's §4.2 cache), and work is distributed by an atomic cursor so
+//! fast workers steal the tail of the batch instead of idling.
+
+use crate::bundle::PreparedNet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width pool of inference workers over one [`PreparedNet`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner {
+    threads: usize,
+}
+
+impl BatchRunner {
+    /// A runner with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self::new(threads)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every input through `net`, returning outputs in input order.
+    /// Results are identical for any worker count (each inference is
+    /// independent and the arithmetic is deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input has the wrong size, or if a worker thread
+    /// panics (the panic is propagated).
+    pub fn run(&self, net: &PreparedNet, inputs: &[Vec<i32>]) -> Vec<Vec<i32>> {
+        let workers = self.threads.min(inputs.len().max(1));
+        if workers <= 1 {
+            return inputs.iter().map(|x| net.run_one(x)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<Vec<i32>>> = vec![None; inputs.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        // Per-worker LUT cache: no sharing on the hot path.
+                        let backend = net.worker_backend();
+                        let mut done = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= inputs.len() {
+                                break;
+                            }
+                            done.push((i, net.run_one_with(&backend, &inputs[i])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, out) in handle.join().expect("batch worker panicked") {
+                    results[i] = Some(out);
+                }
+            }
+        });
+        results.into_iter().map(|r| r.expect("every input processed")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::EngineOptions;
+    use rand::{Rng, SeedableRng};
+    use wp_core::deploy::{ConvPayload, DeployBundle};
+    use wp_core::netspec::{ConvSpec, LayerSpec, NetSpec};
+    use wp_core::{LookupTable, LutOrder, WeightPool};
+
+    fn bundle() -> DeployBundle {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let vectors: Vec<Vec<f32>> =
+            (0..8).map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect();
+        let pool = WeightPool::from_vectors(vectors);
+        let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        let spec = NetSpec {
+            name: "batch-toy".into(),
+            input: (8, 6, 6),
+            classes: 3,
+            layers: vec![
+                LayerSpec::Conv(ConvSpec {
+                    in_ch: 8,
+                    out_ch: 8,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    compressed: true,
+                }),
+                LayerSpec::GlobalAvgPool,
+                LayerSpec::Dense { in_features: 8, out_features: 3, compressed: false },
+            ],
+        };
+        let indices: Vec<u8> = (0..8 * 9).map(|_| rng.gen_range(0..8) as u8).collect();
+        DeployBundle { spec, pool, lut, convs: vec![ConvPayload::Pooled { indices }], act_bits: 8 }
+    }
+
+    #[test]
+    fn outputs_identical_across_thread_counts() {
+        let net = PreparedNet::from_bundle(&bundle(), &EngineOptions::default());
+        let inputs = net.fabricate_inputs(13, 4);
+        let serial = BatchRunner::new(1).run(&net, &inputs);
+        for threads in [2, 4, 7] {
+            assert_eq!(BatchRunner::new(threads).run(&net, &inputs), serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn outputs_are_in_input_order() {
+        let net = PreparedNet::from_bundle(&bundle(), &EngineOptions::default());
+        let inputs = net.fabricate_inputs(6, 8);
+        let batch = BatchRunner::new(3).run(&net, &inputs);
+        for (input, out) in inputs.iter().zip(&batch) {
+            assert_eq!(&net.run_one(input), out);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let net = PreparedNet::from_bundle(&bundle(), &EngineOptions::default());
+        assert!(BatchRunner::new(4).run(&net, &[]).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(BatchRunner::new(0).threads(), 1);
+    }
+}

@@ -1,0 +1,405 @@
+//! Compiling a [`DeployBundle`] into a native execution plan.
+//!
+//! A [`PreparedNet`] walks the bundle's [`wp_core::netspec::NetSpec`] once,
+//! resolves every layer's activation shapes, pairs each conv with its
+//! payload (pooled index map or direct int8 weights), and fixes the
+//! per-layer requantization — after which [`PreparedNet::run_one`] executes
+//! an inference with zero per-call setup. The bundle stores conv payloads
+//! only, so depthwise/dense weights are fabricated deterministically from
+//! [`EngineOptions::weight_seed`] and biases are zero — the same convention
+//! as the simulator's `wp_kernels::network::run_network`, which makes
+//! side-by-side throughput comparisons apples-to-apples.
+
+use crate::backend::{self, LutCache, NativeBackend, PreparedIndices};
+use rand::{Rng, SeedableRng};
+use wp_core::deploy::{ConvPayload, DeployBundle};
+use wp_core::netspec::LayerSpec;
+use wp_core::reference::{ActEncoding, PooledConvShape};
+use wp_kernels::OutputQuant;
+use wp_quant::Requantizer;
+
+/// Knobs for compiling a bundle into a [`PreparedNet`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Activation bitwidth override; `None` uses the bundle's calibrated
+    /// `act_bits`.
+    pub act_bits: Option<u8>,
+    /// Activation bit decomposition (the bundle's layers are post-ReLU, so
+    /// unsigned is the paper's setting).
+    pub encoding: ActEncoding,
+    /// Real multiplier scaling accumulators into the next layer's code
+    /// range (the simulator uses the same default).
+    pub requant_multiplier: f64,
+    /// Seed for the fabricated depthwise/dense weights.
+    pub weight_seed: u64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            act_bits: None,
+            encoding: ActEncoding::Unsigned,
+            requant_multiplier: 2e-4,
+            weight_seed: 0x5EED,
+        }
+    }
+}
+
+/// One compiled layer: the op plus everything it needs at run time.
+#[derive(Debug, Clone)]
+enum LayerKind {
+    PooledConv { shape: PooledConvShape, indices: PreparedIndices },
+    DirectConv { shape: PooledConvShape, weights: Vec<i8> },
+    DwConv { shape: PooledConvShape, weights: Vec<i8> },
+    Dense { weights: Vec<i8>, out_features: usize },
+    MaxPool { size: usize },
+    AvgPool { size: usize },
+    GlobalAvgPool,
+    ResidualAdd,
+}
+
+#[derive(Debug, Clone)]
+struct PreparedLayer {
+    kind: LayerKind,
+    /// Input activation dims `(C, H, W)` at this point of the walk.
+    in_dims: (usize, usize, usize),
+    /// Per-filter biases (zero — bundles carry no biases yet).
+    bias: Vec<i32>,
+    /// Requantization into the next layer's code range.
+    oq: OutputQuant,
+}
+
+/// A [`DeployBundle`] compiled for native execution.
+#[derive(Debug, Clone)]
+pub struct PreparedNet {
+    backend: NativeBackend,
+    layers: Vec<PreparedLayer>,
+    input: (usize, usize, usize),
+    act_bits: u8,
+}
+
+impl PreparedNet {
+    /// Compiles `bundle` into an execution plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundle's payloads disagree with its spec (wrong index
+    /// counts, wrong weight counts, channels not divisible by the pool's
+    /// group size on a pooled layer).
+    pub fn from_bundle(bundle: &DeployBundle, opts: &EngineOptions) -> Self {
+        let act_bits = opts.act_bits.unwrap_or(bundle.act_bits);
+        let backend = NativeBackend::new(&bundle.lut, act_bits, opts.encoding);
+        let requant = Requantizer::from_real_multiplier(opts.requant_multiplier);
+        // Hidden activations must land in the encoding's code range:
+        // unsigned (post-ReLU) clamps to [0, 2^M - 1]; signed two's
+        // complement clamps two-sided to [-2^(M-1), 2^(M-1) - 1], which is
+        // exactly `OutputQuant`'s non-ReLU behavior at `act_bits`.
+        let oq_hidden = OutputQuant {
+            requant,
+            relu: opts.encoding == ActEncoding::Unsigned,
+            out_bits: act_bits,
+        };
+        let oq_final = OutputQuant { requant, relu: false, out_bits: 8 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(opts.weight_seed);
+
+        let resolved = bundle.spec.resolve();
+        let mut payloads = bundle.convs.iter();
+        let mut layers = Vec::with_capacity(resolved.len());
+        for (li, layer) in resolved.iter().enumerate() {
+            let oq = if li == resolved.len() - 1 { oq_final } else { oq_hidden };
+            let in_dims = (layer.in_ch, layer.in_h, layer.in_w);
+            let (kind, bias) = match layer.spec {
+                LayerSpec::Conv(cs) => {
+                    let shape = PooledConvShape {
+                        in_ch: cs.in_ch,
+                        out_ch: cs.out_ch,
+                        kernel: cs.kernel,
+                        stride: cs.stride,
+                        pad: cs.pad,
+                        in_h: layer.in_h,
+                        in_w: layer.in_w,
+                    };
+                    let payload = payloads.next().expect("spec has more convs than payloads");
+                    let kind = match payload {
+                        ConvPayload::Pooled { indices } => {
+                            // Transpose once at compile time; runs reuse it
+                            // (prepare_indices validates the count).
+                            let prepared = backend.prepare_indices(&shape, indices);
+                            LayerKind::PooledConv { shape, indices: prepared }
+                        }
+                        ConvPayload::Direct { weights, .. } => {
+                            assert_eq!(
+                                weights.len(),
+                                cs.out_ch * cs.in_ch * cs.kernel * cs.kernel,
+                                "weight size mismatch"
+                            );
+                            LayerKind::DirectConv { shape, weights: weights.clone() }
+                        }
+                    };
+                    (kind, vec![0i32; cs.out_ch])
+                }
+                LayerSpec::DwConv { channels, kernel, stride, pad } => {
+                    let shape = PooledConvShape {
+                        in_ch: channels,
+                        out_ch: channels,
+                        kernel,
+                        stride,
+                        pad,
+                        in_h: layer.in_h,
+                        in_w: layer.in_w,
+                    };
+                    let weights: Vec<i8> = (0..channels * kernel * kernel)
+                        .map(|_| rng.gen_range(-127i32..=127) as i8)
+                        .collect();
+                    (LayerKind::DwConv { shape, weights }, vec![0i32; channels])
+                }
+                LayerSpec::Dense { in_features, out_features, .. } => {
+                    let weights: Vec<i8> = (0..in_features * out_features)
+                        .map(|_| rng.gen_range(-127i32..=127) as i8)
+                        .collect();
+                    (LayerKind::Dense { weights, out_features }, vec![0i32; out_features])
+                }
+                LayerSpec::MaxPool { size } => (LayerKind::MaxPool { size }, Vec::new()),
+                LayerSpec::AvgPool { size } => (LayerKind::AvgPool { size }, Vec::new()),
+                LayerSpec::GlobalAvgPool => (LayerKind::GlobalAvgPool, Vec::new()),
+                LayerSpec::ResidualAdd => (LayerKind::ResidualAdd, Vec::new()),
+            };
+            layers.push(PreparedLayer { kind, in_dims, bias, oq });
+        }
+        assert!(payloads.next().is_none(), "bundle has more conv payloads than spec convs");
+        Self { backend, layers, input: bundle.spec.input, act_bits }
+    }
+
+    /// The network's input shape `(C, H, W)`.
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        self.input
+    }
+
+    /// Activation bitwidth the plan executes at.
+    pub fn act_bits(&self) -> u8 {
+        self.act_bits
+    }
+
+    /// The shared backend (read-only; workers clone it).
+    pub fn backend(&self) -> &NativeBackend {
+        &self.backend
+    }
+
+    /// Deterministic synthetic input batch with codes in the encoding's
+    /// valid range — handy for benchmarks and round-trip tests.
+    pub fn fabricate_inputs(&self, n: usize, seed: u64) -> Vec<Vec<i32>> {
+        let (c, h, w) = self.input;
+        let (lo, hi) = self.backend.encoding().code_range(self.act_bits);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..c * h * w).map(|_| rng.gen_range(lo..=hi)).collect()).collect()
+    }
+
+    /// Runs one inference with the plan's own LUT cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the network's input size.
+    pub fn run_one(&self, input: &[i32]) -> Vec<i32> {
+        self.run_one_with(&self.backend, input)
+    }
+
+    /// Runs one inference through a caller-provided backend (each
+    /// [`crate::BatchRunner`] worker passes its own LUT-cache copy). The
+    /// backend must be a clone of this plan's backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the network's input size.
+    pub fn run_one_with(&self, backend: &NativeBackend, input: &[i32]) -> Vec<i32> {
+        let (c, h, w) = self.input;
+        assert_eq!(input.len(), c * h * w, "input size mismatch");
+        let mut codes = input.to_vec();
+        for layer in &self.layers {
+            let (in_ch, in_h, in_w) = layer.in_dims;
+            codes = match &layer.kind {
+                LayerKind::PooledConv { shape, indices } => {
+                    let acc = backend.conv_pooled_prepared(&codes, shape, indices);
+                    finish(acc, &layer.bias, &layer.oq, out_plane(shape))
+                }
+                LayerKind::DirectConv { shape, weights } => {
+                    let acc = backend::conv_direct(&codes, shape, weights);
+                    finish(acc, &layer.bias, &layer.oq, out_plane(shape))
+                }
+                LayerKind::DwConv { shape, weights } => {
+                    let acc = backend::dwconv_acc(&codes, shape, weights);
+                    finish(acc, &layer.bias, &layer.oq, out_plane(shape))
+                }
+                LayerKind::Dense { weights, out_features } => {
+                    let acc = backend::dense_acc(&codes, weights, *out_features);
+                    finish(acc, &layer.bias, &layer.oq, 1)
+                }
+                LayerKind::MaxPool { size } => backend::maxpool(&codes, in_ch, in_h, in_w, *size),
+                LayerKind::AvgPool { size } => backend::avgpool(&codes, in_ch, in_h, in_w, *size),
+                LayerKind::GlobalAvgPool => backend::global_avgpool(&codes, in_ch, in_h, in_w),
+                LayerKind::ResidualAdd => {
+                    // Self-add, mirroring the simulator's structural
+                    // stand-in; saturate into the encoding's code range.
+                    let (lo, hi) = backend.encoding().code_range(self.act_bits);
+                    backend::residual_add_range(&codes, &codes, lo, hi)
+                }
+            };
+        }
+        codes
+    }
+
+    /// A fresh LUT-cache-bearing backend for one worker thread.
+    pub fn worker_backend(&self) -> NativeBackend {
+        self.backend.clone_for_worker()
+    }
+
+    /// The LUT cache layout (exposed for diagnostics).
+    pub fn lut_cache(&self) -> &LutCache {
+        self.backend.lut()
+    }
+}
+
+/// Spatial positions per output channel.
+fn out_plane(shape: &PooledConvShape) -> usize {
+    let geo = shape.geometry();
+    geo.out_h() * geo.out_w()
+}
+
+/// Bias add + requantization per output channel: `plane` is the number of
+/// spatial positions per channel. Matches the instrumented kernels'
+/// `acc + bias → OutputQuant::apply` arithmetic exactly.
+fn finish(acc: Vec<i32>, bias: &[i32], oq: &OutputQuant, plane: usize) -> Vec<i32> {
+    debug_assert_eq!(acc.len(), bias.len() * plane);
+    acc.chunks(plane)
+        .zip(bias)
+        .flat_map(|(chunk, &b)| {
+            chunk.iter().map(move |&a| {
+                oq.apply_value(i32::try_from(a as i64 + b as i64).expect("accumulator overflow"))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_core::netspec::{ConvSpec, NetSpec};
+    use wp_core::{LookupTable, LutOrder, WeightPool};
+
+    /// A handmade bundle: direct stem + pooled conv + pooling + dense head.
+    fn toy_bundle(order: LutOrder) -> DeployBundle {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let vectors: Vec<Vec<f32>> =
+            (0..4).map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect();
+        let pool = WeightPool::from_vectors(vectors);
+        let lut = LookupTable::build(&pool, 8, order);
+        let spec = NetSpec {
+            name: "toy".into(),
+            input: (3, 8, 8),
+            classes: 4,
+            layers: vec![
+                LayerSpec::Conv(ConvSpec {
+                    in_ch: 3,
+                    out_ch: 8,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    compressed: false,
+                }),
+                LayerSpec::Conv(ConvSpec {
+                    in_ch: 8,
+                    out_ch: 16,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    compressed: true,
+                }),
+                LayerSpec::MaxPool { size: 2 },
+                LayerSpec::ResidualAdd,
+                LayerSpec::GlobalAvgPool,
+                LayerSpec::Dense { in_features: 16, out_features: 4, compressed: false },
+            ],
+        };
+        let direct: Vec<i8> = (0..8 * 3 * 9).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+        let indices: Vec<u8> = (0..16 * 9).map(|_| rng.gen_range(0..4) as u8).collect();
+        DeployBundle {
+            spec,
+            pool,
+            lut,
+            convs: vec![
+                ConvPayload::Direct { weights: direct, scale: 0.01 },
+                ConvPayload::Pooled { indices },
+            ],
+            act_bits: 8,
+        }
+    }
+
+    #[test]
+    fn bundle_runs_end_to_end_and_is_deterministic() {
+        let bundle = toy_bundle(LutOrder::InputOriented);
+        let net = PreparedNet::from_bundle(&bundle, &EngineOptions::default());
+        let input = net.fabricate_inputs(1, 3).pop().unwrap();
+        let a = net.run_one(&input);
+        let b = net.run_one(&input);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a, b);
+        // Final layer is signed 8-bit.
+        assert!(a.iter().all(|&v| (-128..=127).contains(&v)));
+    }
+
+    #[test]
+    fn lut_order_does_not_change_outputs() {
+        let a = PreparedNet::from_bundle(
+            &toy_bundle(LutOrder::InputOriented),
+            &EngineOptions::default(),
+        );
+        let b = PreparedNet::from_bundle(
+            &toy_bundle(LutOrder::WeightOriented),
+            &EngineOptions::default(),
+        );
+        let input = a.fabricate_inputs(1, 9).pop().unwrap();
+        assert_eq!(a.run_one(&input), b.run_one(&input));
+    }
+
+    #[test]
+    fn act_bits_override_restricts_codes() {
+        let bundle = toy_bundle(LutOrder::InputOriented);
+        let opts = EngineOptions { act_bits: Some(4), ..EngineOptions::default() };
+        let net = PreparedNet::from_bundle(&bundle, &opts);
+        assert_eq!(net.act_bits(), 4);
+        let inputs = net.fabricate_inputs(2, 5);
+        assert!(inputs.iter().flatten().all(|&c| (0..16).contains(&c)));
+        let out = net.run_one(&inputs[0]);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn signed_encoding_runs_end_to_end() {
+        // Regression: hidden-layer requant used to emit unsigned codes
+        // regardless of encoding, tripping conv_pooled's signed range
+        // check on the next pooled layer.
+        let bundle = toy_bundle(LutOrder::InputOriented);
+        let opts = EngineOptions {
+            encoding: ActEncoding::SignedTwosComplement,
+            requant_multiplier: 5e-3,
+            ..EngineOptions::default()
+        };
+        let net = PreparedNet::from_bundle(&bundle, &opts);
+        let inputs = net.fabricate_inputs(3, 3);
+        assert!(inputs.iter().flatten().all(|&c| (-128..=127).contains(&c)));
+        for input in &inputs {
+            let out = net.run_one(input);
+            assert_eq!(out.len(), 4);
+            assert!(out.iter().all(|&v| (-128..=127).contains(&v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn wrong_input_size_rejected() {
+        let net = PreparedNet::from_bundle(
+            &toy_bundle(LutOrder::InputOriented),
+            &EngineOptions::default(),
+        );
+        net.run_one(&[0i32; 7]);
+    }
+}

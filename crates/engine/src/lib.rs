@@ -1,0 +1,51 @@
+//! Native host-speed execution of weight-pool networks.
+//!
+//! The `wp-kernels` crate executes compressed networks through the
+//! cycle-accurate `wp_mcu::Mcu` cost model — ideal for
+//! reproducing the paper's on-device latency numbers, but orders of
+//! magnitude too slow to actually *serve* inferences. This crate is the
+//! other half of the story: the same bit-serial lookup-table arithmetic
+//! (SWIS-style shared-weight bit-serial execution, Li et al. 2021) in plain
+//! fast Rust, with no cycle charging, plus a threaded batch engine.
+//!
+//! Three layers:
+//!
+//! * [`NativeBackend`] — the per-layer kernels: bit-serial LUT convolution
+//!   (bit-identical to [`wp_core::reference::bitserial_conv_acc`], verified
+//!   by test across every activation bitwidth, encoding and LUT order),
+//!   direct int8 convolution, depthwise, dense, pooling and residual ops.
+//!   The LUT is flattened once into a [`LutCache`] — the host analogue of
+//!   the paper's §4.2 SRAM block cache — so lookups are a single indexed
+//!   load regardless of the bundle's [`wp_core::LutOrder`].
+//! * [`PreparedNet`] — a [`wp_core::deploy::DeployBundle`] compiled into a
+//!   flat execution plan: pooled convs run bit-serially from the bundle's
+//!   index maps, direct convs from its int8 weights, with per-layer
+//!   requantization via the exact same [`wp_kernels::OutputQuant`]
+//!   arithmetic the instrumented kernels use.
+//! * [`BatchRunner`] — fans a batch of inputs across worker threads with
+//!   `std::thread::scope`; workers share the read-only prepared network and
+//!   each own a private [`LutCache`] copy (the SRAM-per-core analogue).
+//!
+//! # Example
+//!
+//! ```
+//! use wp_core::reference::{ActEncoding, PooledConvShape};
+//! use wp_core::{LookupTable, LutOrder, WeightPool};
+//! use wp_engine::NativeBackend;
+//!
+//! let pool = WeightPool::from_vectors(vec![vec![1.0, -2.0, 0.5, 0.25]]);
+//! let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+//! let backend = NativeBackend::new(&lut, 8, ActEncoding::Unsigned);
+//! let shape =
+//!     PooledConvShape { in_ch: 4, out_ch: 1, kernel: 1, stride: 1, pad: 0, in_h: 1, in_w: 1 };
+//! let acc = backend.conv_pooled(&[1, 0, 1, 0], &shape, &[0]);
+//! assert_eq!(acc.len(), 1);
+//! ```
+
+pub mod backend;
+pub mod batch;
+pub mod bundle;
+
+pub use backend::{LutCache, NativeBackend, PreparedIndices};
+pub use batch::BatchRunner;
+pub use bundle::{EngineOptions, PreparedNet};

@@ -1,0 +1,65 @@
+//! Wall-clock sanity check of the engine's reason to exist: the native
+//! backend must beat the cycle-accurate simulated path by a wide margin on
+//! the same layer. The committed throughput benchmarks live in
+//! `crates/bench` (`engine_throughput` bin and `benches/engine.rs`) and
+//! demonstrate the ≥10x headline; this test pins a deliberately lower
+//! floor (typical measured margin is 15–20x) so a regression that erases
+//! the speedup fails CI without scheduler noise on shared runners causing
+//! flakes.
+
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use wp_core::reference::{ActEncoding, PooledConvShape};
+use wp_core::{LookupTable, LutOrder, WeightPool};
+use wp_engine::NativeBackend;
+use wp_kernels::{conv_bitserial, BitSerialOptions, OutputQuant};
+use wp_mcu::{Mcu, McuSpec};
+use wp_quant::Requantizer;
+
+#[test]
+fn native_is_many_times_faster_than_simulated() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5F33D);
+    let shape =
+        PooledConvShape { in_ch: 32, out_ch: 32, kernel: 3, stride: 1, pad: 1, in_h: 8, in_w: 8 };
+    let vectors: Vec<Vec<f32>> =
+        (0..64).map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect();
+    let pool = WeightPool::from_vectors(vectors);
+    let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    let codes: Vec<i32> = (0..32 * 64).map(|_| rng.gen_range(0..256)).collect();
+    let indices: Vec<u8> = (0..shape.index_count(8)).map(|_| rng.gen_range(0..64) as u8).collect();
+    let bias = vec![0i32; 32];
+    let oq =
+        OutputQuant { requant: Requantizer::from_real_multiplier(2e-4), relu: true, out_bits: 8 };
+    let opts = BitSerialOptions::paper_default(8);
+    let backend = NativeBackend::new(&lut, 8, ActEncoding::Unsigned);
+
+    // Equal work on both sides; take the fastest of five runs each so a
+    // scheduler hiccup cannot fail the test.
+    let mut sim_best = f64::INFINITY;
+    let mut native_best = f64::INFINITY;
+    let mut sim_out = Vec::new();
+    let mut native_acc = Vec::new();
+    for _ in 0..5 {
+        let t = Instant::now();
+        let mut mcu = Mcu::new(McuSpec::mc_large());
+        sim_out = conv_bitserial(&mut mcu, &codes, &shape, &indices, &lut, &bias, &oq, &opts);
+        sim_best = sim_best.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        native_acc = backend.conv_pooled(&codes, &shape, &indices);
+        native_best = native_best.min(t.elapsed().as_secs_f64());
+    }
+    // Same layer, same answer.
+    let native_out: Vec<i32> = native_acc.iter().map(|&a| oq.apply_value(a)).collect();
+    assert_eq!(native_out, sim_out);
+
+    // Floor at 5x (typical margin 15-20x): low enough that CI scheduler
+    // noise cannot trip it, high enough that losing the algorithmic
+    // advantage (input-stationary partials, contiguous LUT slabs) fails.
+    let speedup = sim_best / native_best;
+    eprintln!("native vs simulated: {speedup:.1}x ({sim_best:.6}s vs {native_best:.6}s)");
+    assert!(
+        speedup >= 5.0,
+        "native path only {speedup:.1}x faster than simulated ({sim_best:.6}s vs {native_best:.6}s)"
+    );
+}

@@ -23,16 +23,13 @@ impl OutputQuant {
         Self { requant: Requantizer::from_real_multiplier(1.0), relu: true, out_bits: bits }
     }
 
-    /// Applies requantization to one accumulator, charging `mcu` for the
-    /// widening multiply, rounding shift and clamp.
+    /// The pure requantization arithmetic: widening multiply, rounding
+    /// shift and clamp, with no cycle accounting. Host-speed backends
+    /// (`wp_engine`) call this directly so their outputs are bit-identical
+    /// to the instrumented kernels by construction.
     #[inline]
-    pub fn apply(&self, mcu: &mut Mcu, acc: i32) -> i32 {
-        // SMULL + shift + round on Cortex-M3.
-        mcu.mul();
-        mcu.alu_n(2);
+    pub fn apply_value(&self, acc: i32) -> i32 {
         let q = self.requant.apply(acc);
-        // Clamp into the output range.
-        mcu.alu_n(2);
         if self.relu {
             let hi = (1i32 << self.out_bits) - 1;
             q.clamp(0, hi)
@@ -40,6 +37,17 @@ impl OutputQuant {
             let hi = (1i32 << (self.out_bits - 1)) - 1;
             q.clamp(-hi - 1, hi)
         }
+    }
+
+    /// Applies requantization to one accumulator, charging `mcu` for the
+    /// widening multiply, rounding shift and clamp.
+    #[inline]
+    pub fn apply(&self, mcu: &mut Mcu, acc: i32) -> i32 {
+        // SMULL + shift + round on Cortex-M3, then the two-sided clamp.
+        mcu.mul();
+        mcu.alu_n(2);
+        mcu.alu_n(2);
+        self.apply_value(acc)
     }
 }
 
@@ -69,6 +77,19 @@ mod tests {
         assert_eq!(q.apply(&mut mcu, -300), -128);
         assert_eq!(q.apply(&mut mcu, 300), 127);
         assert_eq!(q.apply(&mut mcu, -7), -7);
+    }
+
+    #[test]
+    fn apply_value_matches_instrumented_apply() {
+        let q = OutputQuant {
+            requant: Requantizer::from_real_multiplier(0.37),
+            relu: false,
+            out_bits: 8,
+        };
+        let mut mcu = Mcu::new(McuSpec::mc_large());
+        for acc in [-1000, -128, -1, 0, 1, 77, 345, 100_000] {
+            assert_eq!(q.apply(&mut mcu, acc), q.apply_value(acc));
+        }
     }
 
     #[test]

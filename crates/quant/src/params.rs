@@ -149,6 +149,13 @@ impl UnsignedQuantParams {
     }
 
     /// Quantizes with round-to-nearest, clipping into `[0, qmax]`.
+    ///
+    /// Negative inputs (anything below half a step) are clamped to zero
+    /// *before* the float→`u32` cast, so no finite value ever reaches the
+    /// cast out of range. `NaN` fails both comparisons and does reach the
+    /// final cast, deliberately relying on Rust's saturating-cast rule
+    /// (`NaN as u32 == 0`) to land on the same code as a negative input —
+    /// do not replace the cast with an unchecked conversion.
     pub fn quantize(&self, value: f32) -> u32 {
         let q = (value / self.scale).round();
         if q <= 0.0 {
@@ -286,5 +293,70 @@ mod tests {
                 prop_assert!(p.quantize(a) <= p.quantize(b));
             }
         }
+
+        /// Negative inputs must clamp to code 0 — never wrap through the
+        /// float→u32 cast (the paper's unsigned path is post-ReLU, but the
+        /// quantizer itself has to be total).
+        #[test]
+        fn prop_unsigned_negatives_clamp_to_zero(
+            v in -1e30f32..-1e-30,
+            max in 0.1f32..10.0,
+            bits in 1u8..=8,
+        ) {
+            let p = UnsignedQuantParams::from_max(max, bits);
+            prop_assert_eq!(p.quantize(v), 0);
+        }
+
+        /// Extreme finite magnitudes stay in `[0, qmax]` for both
+        /// quantizer types (no overflow, no wrap).
+        #[test]
+        fn prop_extremes_stay_in_range(bits in 1u8..=8) {
+            let u = UnsignedQuantParams::from_max(1.0, bits);
+            for v in [f32::MAX, f32::MIN, f32::MIN_POSITIVE, -f32::MIN_POSITIVE, 0.0, -0.0] {
+                prop_assert!(u.quantize(v) <= u.qmax());
+            }
+            let s = QuantParams::symmetric_from_max_abs(1.0, (bits + 2).min(16));
+            for v in [f32::MAX, f32::MIN, f32::MIN_POSITIVE, -f32::MIN_POSITIVE] {
+                prop_assert!(s.quantize(v).abs() <= s.qmax());
+            }
+        }
+
+        /// Unsigned quantization is monotone non-decreasing.
+        #[test]
+        fn prop_unsigned_quantize_monotone(
+            a in -10.0f32..10.0,
+            b in -10.0f32..10.0,
+            bits in 1u8..=8,
+        ) {
+            let p = UnsignedQuantParams::from_max(4.0, bits);
+            if a <= b {
+                prop_assert!(p.quantize(a) <= p.quantize(b));
+            }
+        }
+
+        /// Round-trip monotonicity: dequantized codes preserve order for
+        /// both quantizer types.
+        #[test]
+        fn prop_round_trip_monotone(a in -10.0f32..10.0, b in -10.0f32..10.0) {
+            let u = UnsignedQuantParams::from_max(3.0, 6);
+            let s = QuantParams::symmetric_from_max_abs(3.0, 8);
+            if a <= b {
+                prop_assert!(u.dequantize(u.quantize(a)) <= u.dequantize(u.quantize(b)));
+                prop_assert!(s.dequantize(s.quantize(a)) <= s.dequantize(s.quantize(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn unsigned_nan_maps_to_zero() {
+        let p = UnsignedQuantParams::from_max(1.0, 8);
+        assert_eq!(p.quantize(f32::NAN), 0);
+    }
+
+    #[test]
+    fn unsigned_infinities_clamp() {
+        let p = UnsignedQuantParams::from_max(1.0, 4);
+        assert_eq!(p.quantize(f32::NEG_INFINITY), 0);
+        assert_eq!(p.quantize(f32::INFINITY), p.qmax());
     }
 }

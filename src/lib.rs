@@ -53,6 +53,9 @@ pub use wp_cluster as cluster;
 /// Synthetic datasets standing in for CIFAR-10 / Quickdraw-100.
 pub use wp_data as data;
 
+/// Native host-speed execution engine (bit-exact, threaded batch serving).
+pub use wp_engine as engine;
+
 /// Cost-model-instrumented MCU kernels (CMSIS baseline, bit-serial, BNN).
 pub use wp_kernels as kernels;
 
@@ -74,10 +77,12 @@ pub use wp_tensor as tensor;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use wp_core::compress;
+    pub use wp_core::deploy::{ConvPayload, DeployBundle};
     pub use wp_core::netspec::NetSpec;
     pub use wp_core::reference::{ActEncoding, PooledConvShape};
     pub use wp_core::simulate;
     pub use wp_core::{LookupTable, LutOrder, PoolConfig, WeightPool};
+    pub use wp_engine::{BatchRunner, EngineOptions, NativeBackend, PreparedNet};
     pub use wp_kernels::{conv_bitserial, BitSerialOptions, OutputQuant, PrecomputeMode};
     pub use wp_mcu::{Mcu, McuSpec};
     pub use wp_nn::train::{evaluate, train_epoch, Batch};

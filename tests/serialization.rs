@@ -1,8 +1,9 @@
 //! Serde round-trips of every persisted artifact: pools, lookup tables,
-//! network specs and model state dictionaries.
+//! network specs, deploy bundles and model state dictionaries.
 
 use rand::SeedableRng;
 use weight_pools::models::specs;
+use weight_pools::pool::netspec::{ConvSpec, LayerSpec};
 use weight_pools::prelude::*;
 
 #[test]
@@ -36,6 +37,87 @@ fn netspec_round_trips_through_json() {
         let back: NetSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(net, back);
         assert_eq!(net.params(), back.params());
+    }
+}
+
+/// A deployable bundle with both payload kinds: int8 stem + pooled conv +
+/// pooling/dense structure.
+fn toy_bundle(order: LutOrder) -> DeployBundle {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(3, 8, 3, 1, 1, &mut rng));
+    net.push(Relu::new());
+    net.push(Conv2d::new(8, 16, 3, 1, 1, &mut rng));
+    let cfg = PoolConfig::new(8);
+    let pool = compress::build_pool(&mut net, &cfg, &mut rng).unwrap();
+    compress::project(&mut net, &pool, &cfg);
+    let lut = LookupTable::build(&pool, 8, order);
+    let spec = NetSpec {
+        name: "serde-toy".into(),
+        input: (3, 8, 8),
+        classes: 4,
+        layers: vec![
+            LayerSpec::Conv(ConvSpec {
+                in_ch: 3,
+                out_ch: 8,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                compressed: false,
+            }),
+            LayerSpec::Conv(ConvSpec {
+                in_ch: 8,
+                out_ch: 16,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                compressed: true,
+            }),
+            LayerSpec::MaxPool { size: 2 },
+            LayerSpec::GlobalAvgPool,
+            LayerSpec::Dense { in_features: 16, out_features: 4, compressed: false },
+        ],
+    };
+    DeployBundle::from_model(&mut net, spec, &pool, lut, &cfg, 8)
+}
+
+#[test]
+fn deploy_bundle_round_trips_both_lut_orders() {
+    for order in [LutOrder::InputOriented, LutOrder::WeightOriented] {
+        let bundle = toy_bundle(order);
+        // Both payload kinds must be present and survive the round trip.
+        assert!(bundle.convs.iter().any(|c| matches!(c, ConvPayload::Direct { .. })));
+        assert!(bundle.convs.iter().any(|c| matches!(c, ConvPayload::Pooled { .. })));
+        let json = serde_json::to_string(&bundle).unwrap();
+        let back: DeployBundle = serde_json::from_str(&json).unwrap();
+        assert_eq!(bundle, back, "{order:?}");
+        assert_eq!(bundle.flash_bytes(), back.flash_bytes());
+        assert_eq!(bundle.index_histogram(), back.index_histogram());
+    }
+}
+
+#[test]
+fn deploy_bundle_file_round_trip_reruns_identically() {
+    for (i, order) in [LutOrder::InputOriented, LutOrder::WeightOriented].iter().enumerate() {
+        let bundle = toy_bundle(*order);
+        let dir = std::env::temp_dir().join("wp_serde_bundle_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("bundle_{i}.json"));
+        bundle.save(&path).unwrap();
+        let back = DeployBundle::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(bundle, back);
+
+        // Inference from the deserialized bundle must be code-for-code
+        // identical to the original — including through the threaded
+        // batch path.
+        let opts = EngineOptions::default();
+        let a = PreparedNet::from_bundle(&bundle, &opts);
+        let b = PreparedNet::from_bundle(&back, &opts);
+        let inputs = a.fabricate_inputs(5, 17);
+        let out_a = BatchRunner::new(1).run(&a, &inputs);
+        let out_b = BatchRunner::new(3).run(&b, &inputs);
+        assert_eq!(out_a, out_b, "{order:?}");
     }
 }
 
