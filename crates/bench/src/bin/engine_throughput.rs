@@ -86,4 +86,37 @@ fn main() {
         "(Thread scaling tracks physical cores; this machine reports {}.)",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
+    println!();
+
+    // --- 3. Batched vs solo whole-network execution ----------------------
+    // The serving path: `PreparedNet::run_batch` amortizes the pooled
+    // convs' tap-index decode across the batch (batch-minor scatter), on
+    // a single thread — this is what the server's micro-batcher buys
+    // over per-request execution, before any thread parallelism.
+    let net = wp_server::demo::demo_prepared(wp_server::demo::DemoSize::Serve, 1);
+    println!("== Batched vs solo execution (scatter-heavy serving demo, 1 thread) ==");
+    for batch in [1usize, 8, 32] {
+        let inputs = net.fabricate_inputs(batch, 5);
+        let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+        let solo_out: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+        assert_eq!(net.run_batch(&refs), solo_out, "batched must be bit-identical");
+        let mut solo = f64::INFINITY;
+        let mut batched = f64::INFINITY;
+        for _ in 0..reps.min(5) {
+            let t = Instant::now();
+            for x in &inputs {
+                std::hint::black_box(net.run_one(x));
+            }
+            solo = solo.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            std::hint::black_box(net.run_batch(&refs));
+            batched = batched.min(t.elapsed().as_secs_f64());
+        }
+        println!(
+            "batch {batch:>2}: solo {:>8.1} img/s  batched {:>8.1} img/s  ({:.2}x, outputs identical)",
+            batch as f64 / solo,
+            batch as f64 / batched,
+            solo / batched
+        );
+    }
 }

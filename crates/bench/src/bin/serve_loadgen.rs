@@ -1,0 +1,342 @@
+//! Load generator for `wp_server`: drives a server over real sockets at
+//! configurable concurrency, verifies every response bit-for-bit against
+//! direct engine execution, and reports throughput and latency.
+//!
+//! Two ways to run:
+//!
+//! * **Self-contained benchmark** (default): spawns an in-process server
+//!   on an ephemeral port, measures the `max_batch = 1` configuration
+//!   against the batched configuration on the same model, asserts the
+//!   responses are bit-identical to `PreparedNet::run_one`, and writes
+//!   `BENCH_serve.json`.
+//!
+//!   ```sh
+//!   cargo run --release --bin serve_loadgen -p wp_bench [-- --smoke]
+//!   ```
+//!
+//! * **External target**: `--url http://HOST:PORT` drives an already
+//!   running `wp_serve --demo` (same demo model seed, so bit-identity is
+//!   still checked); `--shutdown` sends `POST /v1/shutdown` afterwards
+//!   and verifies the server acknowledges (requires `--allow-shutdown`
+//!   on the server).
+//!
+//! Flags: `--concurrency N` (default 16), `--requests N` (default 384),
+//! `--smoke` (quick pass: fewer requests, no 2x assertion), `--out PATH`
+//! (default `BENCH_serve.json`).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wp_server::batcher::BatcherConfig;
+use wp_server::demo::{demo_deployment, DemoSize};
+use wp_server::metrics::Metrics;
+use wp_server::protocol::{InferRequest, InferResponse};
+use wp_server::registry::ModelRegistry;
+use wp_server::server::{serve, ServerConfig};
+
+/// The demo seed shared with `wp_serve --demo` (bit-identity across
+/// processes relies on both fabricating the same model).
+const DEMO_SEED: u64 = 1;
+
+struct Args {
+    url: Option<String>,
+    concurrency: usize,
+    requests: usize,
+    smoke: bool,
+    shutdown: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        url: None,
+        concurrency: 16,
+        requests: 384,
+        smoke: false,
+        shutdown: false,
+        out: "BENCH_serve.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--url" => args.url = Some(value("--url")),
+            "--concurrency" => args.concurrency = value("--concurrency").parse().expect("number"),
+            "--requests" => args.requests = value("--requests").parse().expect("number"),
+            "--smoke" => args.smoke = true,
+            "--shutdown" => args.shutdown = true,
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    if args.smoke {
+        args.requests = args.requests.min(96);
+    }
+    assert!(args.concurrency >= 1, "concurrency must be positive");
+    args
+}
+
+/// One measured configuration.
+struct RunResult {
+    label: String,
+    requests: usize,
+    errors: usize,
+    elapsed: Duration,
+    latencies_us: Vec<u64>,
+}
+
+impl RunResult {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn percentile(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+/// Sends `POST /v1/infer` over an existing connection, returns
+/// `(status, body, wall time)`.
+fn infer_once(
+    stream: &mut BufReader<TcpStream>,
+    host: &str,
+    body: &str,
+) -> (u16, String, Duration) {
+    let started = Instant::now();
+    write!(
+        stream.get_mut(),
+        "POST /v1/infer HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write");
+    stream.get_mut().flush().expect("flush");
+    let (status, body) = read_response(stream);
+    (status, body, started.elapsed())
+}
+
+fn read_response(stream: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut line = String::new();
+    stream.read_line(&mut line).expect("status line");
+    let status: u16 =
+        line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status code");
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        stream.read_line(&mut header).expect("header");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().expect("length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8"))
+}
+
+/// Drives `requests` inferences at `concurrency` over `addr`, verifying
+/// each response against `expected`.
+fn drive(
+    label: &str,
+    addr: &str,
+    inputs: &[Vec<i32>],
+    expected: &[Vec<i32>],
+    requests: usize,
+    concurrency: usize,
+) -> RunResult {
+    let cursor = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let started = Instant::now();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|_| {
+                let cursor = &cursor;
+                let errors = &errors;
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+                    let mut stream = BufReader::new(stream);
+                    let mut lat = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= requests {
+                            break;
+                        }
+                        let slot = i % inputs.len();
+                        let body = serde_json::to_string(&InferRequest {
+                            model: Some("demo".into()),
+                            inputs: vec![inputs[slot].clone()],
+                        })
+                        .unwrap();
+                        let (status, body, elapsed) = infer_once(&mut stream, addr, &body);
+                        lat.push(elapsed.as_micros() as u64);
+                        if status != 200 {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        let resp: InferResponse = serde_json::from_str(&body).expect("json");
+                        if resp.outputs.len() != 1 || resp.outputs[0] != expected[slot] {
+                            panic!(
+                                "response for input {slot} differs from direct execution \
+                                 (batching must be bit-invisible)"
+                            );
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    RunResult {
+        label: label.to_string(),
+        requests,
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        latencies_us: latencies.into_iter().flatten().collect(),
+    }
+}
+
+/// Starts an in-process demo server with the given flush size.
+fn local_server(max_batch: usize) -> wp_server::ServerHandle {
+    let batcher =
+        BatcherConfig { max_batch, max_wait: Duration::from_millis(2), ..BatcherConfig::default() };
+    let registry = Arc::new(ModelRegistry::new(batcher, Arc::new(Metrics::new())));
+    let (bundle, opts) = demo_deployment(DemoSize::Serve, DEMO_SEED);
+    registry.insert_bundle("demo", &bundle, opts);
+    serve(
+        ServerConfig { workers: 32, allow_remote_shutdown: true, ..ServerConfig::default() },
+        registry,
+    )
+    .expect("bind server")
+}
+
+fn report(result: &RunResult) {
+    println!(
+        "{:<18} {:>7} req  {:>9.1} req/s  p50 {:>7} us  p99 {:>7} us  errors {}",
+        result.label,
+        result.requests,
+        result.rps(),
+        result.percentile(0.50),
+        result.percentile(0.99),
+        result.errors
+    );
+}
+
+fn json_entry(result: &RunResult, max_batch: usize) -> String {
+    format!(
+        "{{\"label\":\"{}\",\"max_batch\":{},\"requests\":{},\"errors\":{},\"rps\":{:.1},\"p50_us\":{},\"p99_us\":{}}}",
+        result.label,
+        max_batch,
+        result.requests,
+        result.errors,
+        result.rps(),
+        result.percentile(0.50),
+        result.percentile(0.99)
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let net = wp_server::demo::demo_prepared(DemoSize::Serve, DEMO_SEED);
+    let inputs = net.fabricate_inputs(64, 777);
+    let expected: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+
+    println!(
+        "serve_loadgen: {} requests, concurrency {}{}",
+        args.requests,
+        args.concurrency,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+
+    let mut entries = Vec::new();
+    let speedup;
+    if let Some(url) = &args.url {
+        // External server: one configuration, whatever the server runs.
+        let addr = url.strip_prefix("http://").unwrap_or(url).trim_end_matches('/').to_string();
+        let result = drive("external", &addr, &inputs, &expected, args.requests, args.concurrency);
+        report(&result);
+        assert_eq!(result.errors, 0, "every request must return 200");
+        entries.push(json_entry(&result, 0));
+        speedup = 1.0;
+        if args.shutdown {
+            let stream = TcpStream::connect(&addr).expect("connect for shutdown");
+            let mut stream = BufReader::new(stream);
+            write!(
+                stream.get_mut(),
+                "POST /v1/shutdown HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\n\r\n"
+            )
+            .expect("write shutdown");
+            stream.get_mut().flush().unwrap();
+            let (status, body) = read_response(&mut stream);
+            assert_eq!(status, 200, "clean shutdown refused: {body}");
+            println!("server acknowledged shutdown");
+        }
+    } else {
+        // Self-contained A/B: unbatched vs batched server on one machine.
+        let batched_size = 32;
+        let mut unbatched_server = local_server(1);
+        let unbatched = drive(
+            "max_batch=1",
+            &unbatched_server.addr().to_string(),
+            &inputs,
+            &expected,
+            args.requests,
+            args.concurrency,
+        );
+        unbatched_server.shutdown();
+        report(&unbatched);
+
+        let mut batched_server = local_server(batched_size);
+        let batched = drive(
+            &format!("max_batch={batched_size}"),
+            &batched_server.addr().to_string(),
+            &inputs,
+            &expected,
+            args.requests,
+            args.concurrency,
+        );
+        let snapshot = batched_server.registry().metrics().snapshot();
+        batched_server.shutdown();
+        report(&batched);
+
+        assert_eq!(unbatched.errors + batched.errors, 0, "every request must return 200");
+        speedup = batched.rps() / unbatched.rps();
+        println!(
+            "batched/unbatched throughput: {speedup:.2}x  (batches: {}, mean planes/batch {:.1})",
+            snapshot.batches,
+            snapshot.inferences as f64 / snapshot.batches.max(1) as f64
+        );
+        entries.push(json_entry(&unbatched, 1));
+        entries.push(json_entry(&batched, batched_size));
+        if !args.smoke {
+            assert!(
+                speedup >= 2.0,
+                "dynamic micro-batching must be >= 2x over max_batch=1 (got {speedup:.2}x)"
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\"bench\":\"serve\",\"model\":\"demo-serve\",\"concurrency\":{},\"configs\":[{}],\"batched_speedup\":{:.2}}}\n",
+        args.concurrency,
+        entries.join(","),
+        speedup
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
+    println!("wrote {}", args.out);
+    println!("all responses bit-identical to direct PreparedNet execution");
+}

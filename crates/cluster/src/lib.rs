@@ -50,6 +50,14 @@ pub enum ClusterError {
     TooFewPoints { points: usize, k: usize },
     /// Points have inconsistent or zero dimensionality.
     BadDimensions,
+    /// A zero-norm point under [`DistanceMetric::Cosine`]: such a point
+    /// has no direction, so cosine distance to it is undefined (the old
+    /// behavior silently treated it as equidistant from everything, which
+    /// let degenerate weight groups poison centroid directions).
+    ZeroNormPoint {
+        /// Index of the offending point in the input slice.
+        index: usize,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -60,6 +68,13 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::BadDimensions => {
                 write!(f, "points must be non-empty and share one dimensionality")
+            }
+            ClusterError::ZeroNormPoint { index } => {
+                write!(
+                    f,
+                    "point {index} has zero norm; cosine distance is undefined for it \
+                     (filter zero vectors out or use the Euclidean metric)"
+                )
             }
         }
     }
@@ -117,8 +132,10 @@ impl KMeans {
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError::TooFewPoints`] if `points.len() < k` and
-    /// [`ClusterError::BadDimensions`] if points are empty or ragged.
+    /// Returns [`ClusterError::TooFewPoints`] if `points.len() < k`,
+    /// [`ClusterError::BadDimensions`] if points are empty or ragged, and
+    /// [`ClusterError::ZeroNormPoint`] if the metric is
+    /// [`DistanceMetric::Cosine`] and any point has zero norm.
     pub fn fit(
         &self,
         points: &[Vec<f32>],
@@ -130,6 +147,11 @@ impl KMeans {
         let dim = points.first().map(|p| p.len()).unwrap_or(0);
         if dim == 0 || points.iter().any(|p| p.len() != dim) {
             return Err(ClusterError::BadDimensions);
+        }
+        if self.metric == DistanceMetric::Cosine {
+            if let Some(index) = points.iter().position(|p| norm(p) == 0.0) {
+                return Err(ClusterError::ZeroNormPoint { index });
+            }
         }
 
         let mut centroids = self.init_plus_plus(points, rng);
@@ -387,11 +409,38 @@ mod tests {
     }
 
     #[test]
-    fn zero_vectors_under_cosine_do_not_crash() {
-        let points = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+    fn zero_vectors_under_cosine_are_a_typed_error() {
+        let points = vec![vec![1.0, 0.0], vec![0.0, 0.0], vec![0.0, 1.0]];
         let mut r = rng(8);
-        let res = KMeans::new(2, DistanceMetric::Cosine).fit(&points, &mut r).unwrap();
-        assert_eq!(res.assignments.len(), 3);
+        let err = KMeans::new(2, DistanceMetric::Cosine).fit(&points, &mut r);
+        assert_eq!(err, Err(ClusterError::ZeroNormPoint { index: 1 }));
+    }
+
+    #[test]
+    fn zero_vectors_under_euclidean_are_fine() {
+        // The zero vector is a perfectly good Euclidean point.
+        let points = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0]];
+        let mut r = rng(12);
+        let res = KMeans::new(2, DistanceMetric::Euclidean).fit(&points, &mut r).unwrap();
+        assert_eq!(res.assignments[0], res.assignments[1]);
+        assert_ne!(res.assignments[0], res.assignments[2]);
+    }
+
+    #[test]
+    fn k_boundaries_under_both_metrics() {
+        let points = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, 0.5]];
+        for metric in [DistanceMetric::Euclidean, DistanceMetric::Cosine] {
+            let mut r = rng(13);
+            // k == n is the boundary: every point its own cluster.
+            let res = KMeans::new(3, metric).fit(&points, &mut r).unwrap();
+            let mut seen: Vec<usize> = res.assignments.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), 3, "{metric:?}: all clusters used at k == n");
+            // k == n + 1 must be the typed error, not duplicate centroids.
+            let err = KMeans::new(4, metric).fit(&points, &mut r);
+            assert_eq!(err, Err(ClusterError::TooFewPoints { points: 3, k: 4 }), "{metric:?}");
+        }
     }
 
     #[test]

@@ -148,12 +148,22 @@ impl WeightPool {
         if samples.is_empty() {
             return Err(PoolError::NoVectors);
         }
-        let subsampled: Vec<Vec<f32>> = if samples.len() > cfg.sample_limit {
+        let mut subsampled: Vec<Vec<f32>> = if samples.len() > cfg.sample_limit {
             let stride = samples.len() as f64 / cfg.sample_limit as f64;
             (0..cfg.sample_limit).map(|i| samples[(i as f64 * stride) as usize].clone()).collect()
         } else {
             samples.to_vec()
         };
+        // Spherical K-means rejects zero-norm points (no direction). Dead
+        // weight groups contribute nothing to the pool's directions, so
+        // drop them from the clustering sample; projection still maps
+        // them onto a pool vector later.
+        if cfg.metric == DistanceMetric::Cosine {
+            subsampled.retain(|v| v.iter().any(|&x| x != 0.0));
+            if subsampled.is_empty() {
+                return Err(PoolError::NoVectors);
+            }
+        }
         let result = KMeans::new(cfg.pool_size, cfg.metric)
             .max_iters(cfg.kmeans_iters)
             .fit(&subsampled, rng)?;
@@ -309,5 +319,24 @@ mod tests {
     fn assign_wrong_length_rejected() {
         let pool = WeightPool::from_vectors(vec![vec![1.0, 2.0]]);
         pool.assign(&[1.0], DistanceMetric::Euclidean);
+    }
+
+    #[test]
+    fn dead_weight_groups_are_filtered_before_cosine_clustering() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        // Two dead groups among enough live ones to fill the pool; the
+        // strict spherical K-means would reject the zero vectors, so
+        // build must drop them from the clustering sample.
+        let mut samples = vec![vec![0.0f32; 4]; 2];
+        for i in 0..8 {
+            samples.push((0..4).map(|j| (i * 4 + j) as f32 * 0.1 + 0.1).collect());
+        }
+        let cfg = PoolConfig::new(4).group_size(4);
+        let pool = WeightPool::build(&samples, &cfg, &mut rng).expect("dead groups filtered");
+        assert_eq!(pool.len(), 4);
+        // All-dead input has no directions to cluster at all.
+        let all_dead = vec![vec![0.0f32; 4]; 8];
+        assert!(matches!(WeightPool::build(&all_dead, &cfg, &mut rng), Err(PoolError::NoVectors)));
     }
 }

@@ -33,6 +33,7 @@ pub struct LutCache {
     patterns: usize,
     group: usize,
     codes: Vec<i32>,
+    max_abs_code: i64,
 }
 
 impl LutCache {
@@ -46,7 +47,14 @@ impl LutCache {
                 *slot = lut.code(s, m);
             }
         }
-        Self { pool_size, patterns, group: lut.group_size(), codes }
+        let max_abs_code = codes.iter().map(|&c| (c as i64).abs()).max().unwrap_or(0);
+        Self { pool_size, patterns, group: lut.group_size(), codes, max_abs_code }
+    }
+
+    /// Largest absolute code in the table (used to prove accumulator
+    /// width bounds at execution time).
+    pub fn max_abs_code(&self) -> i64 {
+        self.max_abs_code
     }
 
     /// Pool size `S`.
@@ -91,6 +99,11 @@ pub struct PreparedIndices {
     k_count: usize,
     idx_stride: usize,
     tap_major: Vec<u8>,
+    /// The canonical `[k][g][r][s]` order, kept alongside the transpose:
+    /// the batched scatter iterates filters outermost (accumulator row in
+    /// registers) and walks each filter's taps contiguously in this
+    /// layout.
+    canonical: Vec<u8>,
 }
 
 /// Host-speed executor of the bit-serial weight-pool arithmetic.
@@ -107,6 +120,14 @@ pub struct NativeBackend {
 }
 
 impl NativeBackend {
+    /// Largest number of images a batched conv processes per internal tile
+    /// (outputs are identical for any tiling because images are
+    /// independent). Sized so the batched scatter's accumulator block
+    /// (`out_ch × BATCH_TILE × 8` bytes) stays L1-resident for typical
+    /// filter counts — larger tiles push it to L2 and lose more to memory
+    /// traffic than the wider sweeps gain.
+    pub const BATCH_TILE: usize = 8;
+
     /// Builds a backend executing at `act_bits`-bit activations under
     /// `encoding`, caching `lut` in pattern-major order.
     ///
@@ -185,7 +206,7 @@ impl NativeBackend {
                 tap_major[t * k_count + k] = indices[k * idx_stride + t];
             }
         }
-        PreparedIndices { k_count, idx_stride, tap_major }
+        PreparedIndices { k_count, idx_stride, tap_major, canonical: indices.to_vec() }
     }
 
     /// Native bit-serial LUT convolution: returns `[K, OH, OW]` raw
@@ -204,6 +225,86 @@ impl NativeBackend {
         self.conv_pooled_prepared(codes, shape, &self.prepare_indices(shape, indices))
     }
 
+    /// Validates one image's activations and prepared indices against
+    /// `shape`, returning the group count.
+    fn check_pooled_args(
+        &self,
+        codes: &[i32],
+        shape: &PooledConvShape,
+        prep: &PreparedIndices,
+    ) -> usize {
+        let groups = shape.groups(self.lut.group);
+        assert_eq!(codes.len(), shape.in_ch * shape.in_h * shape.in_w, "activation size mismatch");
+        assert_eq!(
+            (prep.k_count, prep.idx_stride),
+            (shape.out_ch, groups * shape.kernel * shape.kernel),
+            "prepared indices do not match shape"
+        );
+        let (lo, hi) = self.encoding.code_range(self.act_bits);
+        assert!(
+            codes.iter().all(|&c| (lo..=hi).contains(&c)),
+            "activation code outside [{lo}, {hi}]"
+        );
+        groups
+    }
+
+    /// Phase 1 — input-stationary precomputation: for every (group, input
+    /// position), bit-unpack the activation group once (§4.1) and compute
+    /// every pool vector's M-bit partial dot product once (§4.3
+    /// precomputation, hoisted out of the output loop entirely: a 3x3
+    /// kernel revisits each input position up to nine times, and every
+    /// filter sharing a pool vector reuses the same partial). Each bit row
+    /// selects one contiguous pattern-major LUT slab, so the inner sweep is
+    /// a dense multiply-accumulate the compiler can vectorize. Partials are
+    /// exact in `i32` (see `bit_weights`). Table layout: partial of vector
+    /// `s` at `(grp, iy, ix)` lives at
+    /// `((grp * in_h + iy) * in_w + ix) * s_count + s`.
+    fn fill_partials(&self, codes: &[i32], shape: &PooledConvShape, partials: &mut [i32]) {
+        let g = self.lut.group;
+        let groups = shape.groups(g);
+        let (in_h, in_w) = (shape.in_h, shape.in_w);
+        let m_bits = self.act_bits as usize;
+        partials.fill(0);
+        let mut chunks = partials.chunks_mut(self.lut.pool_size);
+        for grp in 0..groups {
+            let base = grp * g;
+            for iy in 0..in_h {
+                for ix in 0..in_w {
+                    let mut rows = [0usize; 8];
+                    if g == 8 {
+                        // Bit-unpack all eight codes at once: pack their
+                        // low bytes into a u64 and transpose the 8x8 bit
+                        // matrix, so byte `j` of the result is bit row `j`.
+                        // Identical to the scalar loop below (only bits
+                        // `j < m_bits` are read, and in-range codes agree
+                        // with their low byte on those bits under both
+                        // encodings).
+                        let mut x = 0u64;
+                        for i in 0..8 {
+                            let code = codes[((base + i) * in_h + iy) * in_w + ix];
+                            x |= ((code as u8) as u64) << (8 * i);
+                        }
+                        let t = transpose8(x);
+                        for (j, row) in rows.iter_mut().enumerate().take(m_bits) {
+                            *row = ((t >> (8 * j)) & 0xFF) as usize;
+                        }
+                    } else {
+                        for i in 0..g {
+                            let code = codes[((base + i) * in_h + iy) * in_w + ix];
+                            for (j, row) in rows.iter_mut().enumerate().take(m_bits) {
+                                *row |= (((code >> j) & 1) as usize) << i;
+                            }
+                        }
+                    }
+                    let dst = chunks.next().expect("partial table sized to positions");
+                    for (&row, &w) in rows.iter().zip(&self.bit_weights).take(m_bits) {
+                        self.sweep_row(dst, row, w);
+                    }
+                }
+            }
+        }
+    }
+
     /// [`NativeBackend::conv_pooled`] with the index transpose hoisted out:
     /// `prep` must come from [`NativeBackend::prepare_indices`] for the
     /// same shape.
@@ -219,61 +320,17 @@ impl NativeBackend {
         shape: &PooledConvShape,
         prep: &PreparedIndices,
     ) -> Vec<i32> {
-        let g = self.lut.group;
-        let groups = shape.groups(g);
-        assert_eq!(codes.len(), shape.in_ch * shape.in_h * shape.in_w, "activation size mismatch");
-        assert_eq!(
-            (prep.k_count, prep.idx_stride),
-            (shape.out_ch, groups * shape.kernel * shape.kernel),
-            "prepared indices do not match shape"
-        );
-        let (lo, hi) = self.encoding.code_range(self.act_bits);
-        assert!(
-            codes.iter().all(|&c| (lo..=hi).contains(&c)),
-            "activation code outside [{lo}, {hi}]"
-        );
+        let groups = self.check_pooled_args(codes, shape, prep);
 
         let geo = shape.geometry();
         let (oh, ow) = (geo.out_h(), geo.out_w());
         let (in_h, in_w) = (shape.in_h, shape.in_w);
         let k_count = shape.out_ch;
         let s_count = self.lut.pool_size;
-        let m_bits = self.act_bits as usize;
         let kernel = shape.kernel;
 
-        // Phase 1 — input-stationary precomputation: for every (group,
-        // input position), bit-unpack the activation group once (§4.1) and
-        // compute every pool vector's M-bit partial dot product once
-        // (§4.3 precomputation, hoisted out of the output loop entirely:
-        // a 3x3 kernel revisits each input position up to nine times, and
-        // every filter sharing a pool vector reuses the same partial).
-        // Each bit row selects one contiguous pattern-major LUT slab, so
-        // the inner sweep is a dense multiply-accumulate the compiler can
-        // vectorize. Partials are exact in `i32` (see `bit_weights`).
-        // Table layout: partial of vector `s` at `(grp, iy, ix)` lives at
-        // `((grp * in_h + iy) * in_w + ix) * s_count + s`.
         let mut partials = vec![0i32; groups * in_h * in_w * s_count];
-        {
-            let mut chunks = partials.chunks_mut(s_count);
-            for grp in 0..groups {
-                let base = grp * g;
-                for iy in 0..in_h {
-                    for ix in 0..in_w {
-                        let mut rows = [0usize; 8];
-                        for i in 0..g {
-                            let code = codes[((base + i) * in_h + iy) * in_w + ix];
-                            for (j, row) in rows.iter_mut().enumerate().take(m_bits) {
-                                *row |= (((code >> j) & 1) as usize) << i;
-                            }
-                        }
-                        let dst = chunks.next().expect("partial table sized to positions");
-                        for (&row, &w) in rows.iter().zip(&self.bit_weights).take(m_bits) {
-                            self.sweep_row(dst, row, w);
-                        }
-                    }
-                }
-            }
-        }
+        self.fill_partials(codes, shape, &mut partials);
 
         // Phase 2 — scatter: each output pixel sums its taps' precomputed
         // partials, selected per filter by the index map. Padding taps
@@ -307,6 +364,216 @@ impl NativeBackend {
         }
         out
     }
+
+    /// Batched [`NativeBackend::conv_pooled_prepared`]: executes every
+    /// image of `batch` through the same prepared layer, bit-identical to
+    /// running each image solo (each image's accumulation order is
+    /// unchanged; the batch dimension only reassociates *independent*
+    /// sums).
+    ///
+    /// This is where the paper's shared-weight arithmetic amortizes across
+    /// a batch (the SWIS observation): the tap index map and the scatter
+    /// loop bookkeeping are identical for every image, so the batched
+    /// scatter decodes each tap once and applies it to the whole batch as a
+    /// dense sweep over a batch-minor partial column — turning the
+    /// per-image random gather into contiguous vectorizable adds. Images
+    /// are processed in tiles of at most [`NativeBackend::BATCH_TILE`] to
+    /// bound scratch memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any per-image shape mismatch or out-of-range code, exactly
+    /// as the solo path does.
+    pub fn conv_pooled_prepared_batch(
+        &self,
+        batch: &[&[i32]],
+        shape: &PooledConvShape,
+        prep: &PreparedIndices,
+    ) -> Vec<Vec<i32>> {
+        let (in_h, in_w) = (shape.in_h, shape.in_w);
+        let s_count = self.lut.pool_size;
+        let kernel = shape.kernel;
+
+        let mut outs: Vec<Vec<i32>> = Vec::with_capacity(batch.len());
+        let mut scratch = Vec::new();
+        let mut columns = Vec::new();
+        for tile in batch.chunks(Self::BATCH_TILE) {
+            let b_count = tile.len();
+            if b_count < Self::BATCH_TILE {
+                // Partial tail tile: the batch-minor layout only pays for
+                // itself at full width, so run the remainder solo (the
+                // outputs are identical either way).
+                outs.extend(tile.iter().map(|codes| self.conv_pooled_prepared(codes, shape, prep)));
+                continue;
+            }
+            let mut groups = 0;
+            for &codes in tile {
+                groups = self.check_pooled_args(codes, shape, prep);
+            }
+
+            // Phase 1 per image (activations differ, nothing to share),
+            // then transpose to batch-minor columns: the partial of pool
+            // vector `s` for image `b` at input position `pos` lives at
+            // `(pos * s_count + s) * b_count + b`, so one `(pos, s)` pair's
+            // values for the whole tile are contiguous.
+            // No zero-fill needed: the transpose below writes every slot.
+            scratch.resize(groups * in_h * in_w * s_count, 0);
+            columns.resize(groups * in_h * in_w * s_count * b_count, 0i32);
+            for (b, &codes) in tile.iter().enumerate() {
+                self.fill_partials(codes, shape, &mut scratch);
+                for (ps, &v) in scratch.iter().enumerate() {
+                    columns[ps * b_count + b] = v;
+                }
+            }
+
+            // Phase 2 — batched scatter: per output pixel and tap, decode
+            // the pool index once and add its contiguous batch column into
+            // every image's accumulator row. Per image this sums the same
+            // taps in the same order as the solo path. Full tiles go
+            // through a const-width kernel so the row updates compile to
+            // fixed-size vector adds — in `i32` when the worst case
+            // (every tap at the largest LUT code and the largest
+            // activation) provably fits, which doubles the SIMD width and
+            // is exact precisely because it cannot overflow.
+            let taps_total = (kernel * kernel * groups) as i64;
+            let act_max = (1i64 << self.act_bits) - 1;
+            let fits_i32 = taps_total
+                .checked_mul(act_max)
+                .and_then(|v| v.checked_mul(self.lut.max_abs_code))
+                .is_some_and(|v| v <= i32::MAX as i64);
+            let tile_outs = if fits_i32 {
+                scatter_tile_i32::<{ Self::BATCH_TILE }>(&columns, shape, prep, groups, s_count)
+            } else {
+                scatter_tile::<{ Self::BATCH_TILE }>(&columns, shape, prep, groups, s_count)
+            };
+            outs.extend(tile_outs);
+        }
+        outs
+    }
+}
+
+/// Transposes an 8x8 bit matrix: bit `c` of input byte `r` moves to bit
+/// `r` of output byte `c` (three delta-swap rounds, Hacker's Delight
+/// §7-3).
+#[inline]
+fn transpose8(mut x: u64) -> u64 {
+    let mut t = (x ^ (x >> 7)) & 0x00AA_00AA_00AA_00AA;
+    x ^= t ^ (t << 7);
+    t = (x ^ (x >> 14)) & 0x0000_CCCC_0000_CCCC;
+    x ^= t ^ (t << 14);
+    t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
+    x ^= t ^ (t << 28);
+    x
+}
+
+/// Collects the in-bounds taps of one output pixel as
+/// `(canonical tap index, partial-column base)` pairs, in the solo
+/// scatter's `(ky, kx, grp)` visit order (padding taps contribute exactly
+/// zero and are skipped by both paths).
+fn valid_taps(
+    geo: &wp_tensor::Conv2dGeometry,
+    shape: &PooledConvShape,
+    groups: usize,
+    s_count: usize,
+    oy: usize,
+    ox: usize,
+    out: &mut Vec<(usize, usize)>,
+) {
+    out.clear();
+    for ky in 0..shape.kernel {
+        let Some(iy) = geo.input_row(oy, ky) else { continue };
+        for kx in 0..shape.kernel {
+            let Some(ix) = geo.input_col(ox, kx) else { continue };
+            for grp in 0..groups {
+                let t = (grp * shape.kernel + ky) * shape.kernel + kx;
+                let pos = (grp * shape.in_h + iy) * shape.in_w + ix;
+                out.push((t, pos * s_count));
+            }
+        }
+    }
+}
+
+/// The batched scatter pass at compile-time batch width `B`: `columns`
+/// holds batch-minor partials (`(pos * s_count + s) * B + b`). Filters are
+/// outermost so each filter's accumulator row lives in registers across
+/// all of its taps; per image the taps are still summed in the solo
+/// scatter's `(ky, kx, grp)` order, so outputs are bit-identical.
+fn scatter_tile<const B: usize>(
+    columns: &[i32],
+    shape: &PooledConvShape,
+    prep: &PreparedIndices,
+    groups: usize,
+    s_count: usize,
+) -> Vec<Vec<i32>> {
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let k_count = shape.out_ch;
+    let (cols, rest) = columns.as_chunks::<B>();
+    debug_assert!(rest.is_empty());
+
+    let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; k_count * oh * ow]).collect();
+    let mut taps = Vec::with_capacity(shape.kernel * shape.kernel * groups);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            valid_taps(&geo, shape, groups, s_count, oy, ox, &mut taps);
+            for k in 0..k_count {
+                let krow = &prep.canonical[k * prep.idx_stride..(k + 1) * prep.idx_stride];
+                let mut row = [0i64; B];
+                for &(t, base) in &taps {
+                    let col = &cols[base + krow[t] as usize];
+                    for (a, &p) in row.iter_mut().zip(col) {
+                        *a += p as i64;
+                    }
+                }
+                let o = (k * oh + oy) * ow + ox;
+                for (out, &a) in tile_outs.iter_mut().zip(&row) {
+                    out[o] = i32::try_from(a).expect("accumulator overflow");
+                }
+            }
+        }
+    }
+    tile_outs
+}
+
+/// [`scatter_tile`] with `i32` accumulators: callers must have proven that
+/// `taps × max_activation × max_abs_code` fits in `i32`, in which case no
+/// intermediate sum can overflow and the result is bit-identical to the
+/// widened path (whose final `i32` conversion also cannot trip).
+fn scatter_tile_i32<const B: usize>(
+    columns: &[i32],
+    shape: &PooledConvShape,
+    prep: &PreparedIndices,
+    groups: usize,
+    s_count: usize,
+) -> Vec<Vec<i32>> {
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let k_count = shape.out_ch;
+    let (cols, rest) = columns.as_chunks::<B>();
+    debug_assert!(rest.is_empty());
+
+    let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; k_count * oh * ow]).collect();
+    let mut taps = Vec::with_capacity(shape.kernel * shape.kernel * groups);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            valid_taps(&geo, shape, groups, s_count, oy, ox, &mut taps);
+            for k in 0..k_count {
+                let krow = &prep.canonical[k * prep.idx_stride..(k + 1) * prep.idx_stride];
+                let mut row = [0i32; B];
+                for &(t, base) in &taps {
+                    let col = &cols[base + krow[t] as usize];
+                    for (a, &p) in row.iter_mut().zip(col) {
+                        *a += p;
+                    }
+                }
+                let o = (k * oh + oy) * ow + ox;
+                for (out, &a) in tile_outs.iter_mut().zip(&row) {
+                    out[o] = a;
+                }
+            }
+        }
+    }
+    tile_outs
 }
 
 /// Native direct int8 convolution accumulators. The reference
@@ -516,6 +783,50 @@ mod tests {
     #[should_panic(expected = "activation bits")]
     fn zero_act_bits_rejected() {
         NativeBackend::new(&small_lut(LutOrder::InputOriented), 0, ActEncoding::Unsigned);
+    }
+
+    #[test]
+    fn batched_pooled_conv_matches_solo() {
+        let lut = small_lut(LutOrder::InputOriented);
+        for act_bits in [1u8, 4, 8] {
+            let backend = NativeBackend::new(&lut, act_bits, ActEncoding::Unsigned);
+            let shape = PooledConvShape {
+                in_ch: 8,
+                out_ch: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                in_h: 5,
+                in_w: 4,
+            };
+            let hi = (1i32 << act_bits) - 1;
+            let mut state = 0x9E3779B9u64;
+            let mut next = move |m: i32| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as i32).rem_euclid(m)
+            };
+            let indices: Vec<u8> = (0..shape.index_count(8)).map(|_| next(2) as u8).collect();
+            let prep = backend.prepare_indices(&shape, &indices);
+            let images: Vec<Vec<i32>> = (0..NativeBackend::BATCH_TILE + 3)
+                .map(|_| (0..8 * 5 * 4).map(|_| next(hi + 1)).collect())
+                .collect();
+            let refs: Vec<&[i32]> = images.iter().map(|x| x.as_slice()).collect();
+            let batched = backend.conv_pooled_prepared_batch(&refs, &shape, &prep);
+            assert_eq!(batched.len(), images.len());
+            for (img, out) in images.iter().zip(&batched) {
+                assert_eq!(&backend.conv_pooled_prepared(img, &shape, &prep), out, "M={act_bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pooled_conv_empty_batch() {
+        let lut = small_lut(LutOrder::InputOriented);
+        let backend = NativeBackend::new(&lut, 8, ActEncoding::Unsigned);
+        let shape =
+            PooledConvShape { in_ch: 8, out_ch: 2, kernel: 1, stride: 1, pad: 0, in_h: 1, in_w: 1 };
+        let prep = backend.prepare_indices(&shape, &[0, 1]);
+        assert!(backend.conv_pooled_prepared_batch(&[], &shape, &prep).is_empty());
     }
 
     #[test]

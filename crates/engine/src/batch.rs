@@ -32,16 +32,32 @@ impl BatchRunner {
         self.threads
     }
 
+    /// How many workers a batch of `batch_len` inputs actually uses: never
+    /// more than the batch has items, so a small batch on a wide runner
+    /// spawns no idle threads, and an empty batch spawns none at all.
+    pub fn planned_workers(&self, batch_len: usize) -> usize {
+        self.threads.min(batch_len)
+    }
+
     /// Runs every input through `net`, returning outputs in input order.
     /// Results are identical for any worker count (each inference is
-    /// independent and the arithmetic is deterministic).
+    /// independent and the arithmetic is deterministic). An empty batch
+    /// returns empty without touching any thread machinery.
+    ///
+    /// Work is distributed by an atomic cursor (fast workers steal the
+    /// tail), which suits heterogeneous per-item cost; serving coalescers
+    /// with uniform items should prefer [`BatchRunner::run_refs`], which
+    /// additionally amortizes work across each worker's chunk.
     ///
     /// # Panics
     ///
     /// Panics if any input has the wrong size, or if a worker thread
     /// panics (the panic is propagated).
     pub fn run(&self, net: &PreparedNet, inputs: &[Vec<i32>]) -> Vec<Vec<i32>> {
-        let workers = self.threads.min(inputs.len().max(1));
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.planned_workers(inputs.len());
         if workers <= 1 {
             return inputs.iter().map(|x| net.run_one(x)).collect();
         }
@@ -74,6 +90,47 @@ impl BatchRunner {
             }
         });
         results.into_iter().map(|r| r.expect("every input processed")).collect()
+    }
+
+    /// The borrowed-input path for request coalescers: runs a batch of
+    /// borrowed activation slices (e.g. one per queued request, with no
+    /// copy into an owned batch) and returns outputs in input order.
+    ///
+    /// The batch is split into contiguous per-worker chunks and each chunk
+    /// executes through [`PreparedNet::run_batch_with`], so the batched
+    /// pooled-conv kernel amortizes tap-index decoding across the chunk —
+    /// on top of (not instead of) thread parallelism. Outputs are
+    /// bit-identical to [`BatchRunner::run`] and to per-item
+    /// [`PreparedNet::run_one`] for any worker count. Degenerate batches
+    /// are handled explicitly: empty input returns empty, and a batch
+    /// smaller than the thread count spawns only `batch_len` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input has the wrong size, or if a worker thread
+    /// panics (the panic is propagated).
+    pub fn run_refs(&self, net: &PreparedNet, inputs: &[&[i32]]) -> Vec<Vec<i32>> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.planned_workers(inputs.len());
+        if workers <= 1 {
+            return net.run_batch(inputs);
+        }
+        let chunk = inputs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        // Per-worker LUT cache: no sharing on the hot path.
+                        let backend = net.worker_backend();
+                        net.run_batch_with(&backend, chunk)
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("batch worker panicked")).collect()
+        })
     }
 }
 
@@ -137,10 +194,42 @@ mod tests {
     fn empty_batch_is_fine() {
         let net = PreparedNet::from_bundle(&bundle(), &EngineOptions::default());
         assert!(BatchRunner::new(4).run(&net, &[]).is_empty());
+        assert!(BatchRunner::new(4).run_refs(&net, &[]).is_empty());
     }
 
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(BatchRunner::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn small_batches_never_plan_idle_workers() {
+        let runner = BatchRunner::new(8);
+        assert_eq!(runner.planned_workers(0), 0);
+        assert_eq!(runner.planned_workers(3), 3);
+        assert_eq!(runner.planned_workers(8), 8);
+        assert_eq!(runner.planned_workers(100), 8);
+        // And a batch shorter than the thread count still runs correctly.
+        let net = PreparedNet::from_bundle(&bundle(), &EngineOptions::default());
+        let inputs = net.fabricate_inputs(3, 17);
+        let expected: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+        assert_eq!(runner.run(&net, &inputs), expected);
+        let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+        assert_eq!(runner.run_refs(&net, &refs), expected);
+    }
+
+    #[test]
+    fn run_refs_matches_run_across_thread_counts() {
+        let net = PreparedNet::from_bundle(&bundle(), &EngineOptions::default());
+        let inputs = net.fabricate_inputs(13, 29);
+        let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+        let serial = BatchRunner::new(1).run(&net, &inputs);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(
+                BatchRunner::new(threads).run_refs(&net, &refs),
+                serial,
+                "{threads} threads"
+            );
+        }
     }
 }

@@ -19,7 +19,7 @@ use wp_kernels::OutputQuant;
 use wp_quant::Requantizer;
 
 /// Knobs for compiling a bundle into a [`PreparedNet`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Activation bitwidth override; `None` uses the bundle's calibrated
     /// `act_bits`.
@@ -30,6 +30,13 @@ pub struct EngineOptions {
     /// Real multiplier scaling accumulators into the next layer's code
     /// range (the simulator uses the same default).
     pub requant_multiplier: f64,
+    /// Per-layer requant multipliers, indexed over the bundle's
+    /// *requantized* layers (convs, depthwise, dense) in walk order;
+    /// layers beyond the vector fall back to `requant_multiplier`.
+    /// Networks whose layer fan-ins differ widely need this — see
+    /// [`PreparedNet::calibrate_multipliers`], which derives a set from
+    /// synthetic activation statistics.
+    pub layer_multipliers: Option<Vec<f64>>,
     /// Seed for the fabricated depthwise/dense weights.
     pub weight_seed: u64,
 }
@@ -40,6 +47,7 @@ impl Default for EngineOptions {
             act_bits: None,
             encoding: ActEncoding::Unsigned,
             requant_multiplier: 2e-4,
+            layer_multipliers: None,
             weight_seed: 0x5EED,
         }
     }
@@ -89,24 +97,46 @@ impl PreparedNet {
     pub fn from_bundle(bundle: &DeployBundle, opts: &EngineOptions) -> Self {
         let act_bits = opts.act_bits.unwrap_or(bundle.act_bits);
         let backend = NativeBackend::new(&bundle.lut, act_bits, opts.encoding);
-        let requant = Requantizer::from_real_multiplier(opts.requant_multiplier);
         // Hidden activations must land in the encoding's code range:
         // unsigned (post-ReLU) clamps to [0, 2^M - 1]; signed two's
         // complement clamps two-sided to [-2^(M-1), 2^(M-1) - 1], which is
         // exactly `OutputQuant`'s non-ReLU behavior at `act_bits`.
-        let oq_hidden = OutputQuant {
-            requant,
-            relu: opts.encoding == ActEncoding::Unsigned,
-            out_bits: act_bits,
+        let mut requantized = 0usize;
+        let mut next_requant = || {
+            let mult = opts
+                .layer_multipliers
+                .as_ref()
+                .and_then(|v| v.get(requantized))
+                .copied()
+                .unwrap_or(opts.requant_multiplier);
+            requantized += 1;
+            Requantizer::from_real_multiplier(mult)
         };
-        let oq_final = OutputQuant { requant, relu: false, out_bits: 8 };
         let mut rng = rand::rngs::StdRng::seed_from_u64(opts.weight_seed);
 
         let resolved = bundle.spec.resolve();
         let mut payloads = bundle.convs.iter();
         let mut layers = Vec::with_capacity(resolved.len());
         for (li, layer) in resolved.iter().enumerate() {
-            let oq = if li == resolved.len() - 1 { oq_final } else { oq_hidden };
+            // Pool/residual layers don't requantize; only the layers that
+            // do consume a per-layer multiplier slot.
+            let requant = if matches!(
+                layer.spec,
+                LayerSpec::Conv(_) | LayerSpec::DwConv { .. } | LayerSpec::Dense { .. }
+            ) {
+                next_requant()
+            } else {
+                Requantizer::from_real_multiplier(opts.requant_multiplier)
+            };
+            let oq = if li == resolved.len() - 1 {
+                OutputQuant { requant, relu: false, out_bits: 8 }
+            } else {
+                OutputQuant {
+                    requant,
+                    relu: opts.encoding == ActEncoding::Unsigned,
+                    out_bits: act_bits,
+                }
+            };
             let in_dims = (layer.in_ch, layer.in_h, layer.in_w);
             let (kind, bias) = match layer.spec {
                 LayerSpec::Conv(cs) => {
@@ -215,36 +245,156 @@ impl PreparedNet {
         assert_eq!(input.len(), c * h * w, "input size mismatch");
         let mut codes = input.to_vec();
         for layer in &self.layers {
-            let (in_ch, in_h, in_w) = layer.in_dims;
-            codes = match &layer.kind {
-                LayerKind::PooledConv { shape, indices } => {
-                    let acc = backend.conv_pooled_prepared(&codes, shape, indices);
-                    finish(acc, &layer.bias, &layer.oq, out_plane(shape))
-                }
-                LayerKind::DirectConv { shape, weights } => {
-                    let acc = backend::conv_direct(&codes, shape, weights);
-                    finish(acc, &layer.bias, &layer.oq, out_plane(shape))
-                }
-                LayerKind::DwConv { shape, weights } => {
-                    let acc = backend::dwconv_acc(&codes, shape, weights);
-                    finish(acc, &layer.bias, &layer.oq, out_plane(shape))
-                }
-                LayerKind::Dense { weights, out_features } => {
-                    let acc = backend::dense_acc(&codes, weights, *out_features);
-                    finish(acc, &layer.bias, &layer.oq, 1)
-                }
-                LayerKind::MaxPool { size } => backend::maxpool(&codes, in_ch, in_h, in_w, *size),
-                LayerKind::AvgPool { size } => backend::avgpool(&codes, in_ch, in_h, in_w, *size),
-                LayerKind::GlobalAvgPool => backend::global_avgpool(&codes, in_ch, in_h, in_w),
-                LayerKind::ResidualAdd => {
-                    // Self-add, mirroring the simulator's structural
-                    // stand-in; saturate into the encoding's code range.
-                    let (lo, hi) = backend.encoding().code_range(self.act_bits);
-                    backend::residual_add_range(&codes, &codes, lo, hi)
-                }
-            };
+            codes = self.run_layer(backend, layer, codes);
         }
         codes
+    }
+
+    /// Raw accumulators (and spatial positions per channel) of a
+    /// requantized layer, or `None` for layers that pass codes through
+    /// without requantization.
+    fn layer_acc(
+        &self,
+        backend: &NativeBackend,
+        layer: &PreparedLayer,
+        codes: &[i32],
+    ) -> Option<(Vec<i32>, usize)> {
+        match &layer.kind {
+            LayerKind::PooledConv { shape, indices } => {
+                Some((backend.conv_pooled_prepared(codes, shape, indices), out_plane(shape)))
+            }
+            LayerKind::DirectConv { shape, weights } => {
+                Some((backend::conv_direct(codes, shape, weights), out_plane(shape)))
+            }
+            LayerKind::DwConv { shape, weights } => {
+                Some((backend::dwconv_acc(codes, shape, weights), out_plane(shape)))
+            }
+            LayerKind::Dense { weights, out_features } => {
+                Some((backend::dense_acc(codes, weights, *out_features), 1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Executes one compiled layer on one image's activation plane.
+    fn run_layer(
+        &self,
+        backend: &NativeBackend,
+        layer: &PreparedLayer,
+        codes: Vec<i32>,
+    ) -> Vec<i32> {
+        if let Some((acc, plane)) = self.layer_acc(backend, layer, &codes) {
+            return finish(acc, &layer.bias, &layer.oq, plane);
+        }
+        let (in_ch, in_h, in_w) = layer.in_dims;
+        match &layer.kind {
+            LayerKind::MaxPool { size } => backend::maxpool(&codes, in_ch, in_h, in_w, *size),
+            LayerKind::AvgPool { size } => backend::avgpool(&codes, in_ch, in_h, in_w, *size),
+            LayerKind::GlobalAvgPool => backend::global_avgpool(&codes, in_ch, in_h, in_w),
+            LayerKind::ResidualAdd => {
+                // Self-add, mirroring the simulator's structural
+                // stand-in; saturate into the encoding's code range.
+                let (lo, hi) = backend.encoding().code_range(self.act_bits);
+                backend::residual_add_range(&codes, &codes, lo, hi)
+            }
+            _ => unreachable!("requantized layers are handled by layer_acc"),
+        }
+    }
+
+    /// Derives per-layer requant multipliers from synthetic activation
+    /// statistics: walks the network once on `samples` fabricated inputs
+    /// and, at every requantized layer, scales the observed peak
+    /// accumulator onto the layer's output code range before continuing
+    /// the walk with the calibrated codes. The result slots into
+    /// [`EngineOptions::layer_multipliers`] — without it, one global
+    /// multiplier has to fit every layer, which collapses deep networks
+    /// whose per-layer fan-ins differ by orders of magnitude.
+    pub fn calibrate_multipliers(
+        bundle: &DeployBundle,
+        opts: &EngineOptions,
+        samples: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut net = Self::from_bundle(bundle, opts);
+        let backend = net.backend.clone();
+        let mut planes = net.fabricate_inputs(samples.max(1), seed);
+        let mut multipliers = Vec::new();
+        for li in 0..net.layers.len() {
+            let infos: Option<Vec<(Vec<i32>, usize)>> =
+                planes.iter().map(|p| net.layer_acc(&backend, &net.layers[li], p)).collect();
+            let Some(infos) = infos else {
+                planes = planes
+                    .into_iter()
+                    .map(|p| net.run_layer(&backend, &net.layers[li], p))
+                    .collect();
+                continue;
+            };
+            let oq = net.layers[li].oq;
+            let bias = net.layers[li].bias.clone();
+            // For ReLU layers only positive accumulators survive, so only
+            // they constrain the scale.
+            let mut peak = 0i64;
+            for (acc, plane) in &infos {
+                for (chunk, &b) in acc.chunks(*plane).zip(&bias) {
+                    for &a in chunk {
+                        let v = a as i64 + b as i64;
+                        peak = peak.max(if oq.relu { v } else { v.abs() });
+                    }
+                }
+            }
+            let target =
+                if oq.relu { (1i64 << oq.out_bits) - 1 } else { (1i64 << (oq.out_bits - 1)) - 1 };
+            let mult =
+                if peak == 0 { opts.requant_multiplier } else { target as f64 / peak as f64 };
+            multipliers.push(mult);
+            net.layers[li].oq.requant = Requantizer::from_real_multiplier(mult);
+            let oq = net.layers[li].oq;
+            planes = infos.into_iter().map(|(acc, plane)| finish(acc, &bias, &oq, plane)).collect();
+        }
+        multipliers
+    }
+
+    /// Runs a whole batch through the plan with the plan's own LUT cache,
+    /// returning outputs in input order. See
+    /// [`PreparedNet::run_batch_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input has the wrong size.
+    pub fn run_batch(&self, inputs: &[&[i32]]) -> Vec<Vec<i32>> {
+        self.run_batch_with(&self.backend, inputs)
+    }
+
+    /// Runs a whole batch through the plan layer by layer: pooled convs
+    /// execute through the batched scatter kernel
+    /// ([`NativeBackend::conv_pooled_prepared_batch`]), which amortizes the
+    /// tap-index decode across the batch; every other layer type runs per
+    /// image. Outputs are **bit-identical** to calling
+    /// [`PreparedNet::run_one`] on each input (pinned by test), so serving
+    /// layers may coalesce requests freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input has the wrong size.
+    pub fn run_batch_with(&self, backend: &NativeBackend, inputs: &[&[i32]]) -> Vec<Vec<i32>> {
+        let (c, h, w) = self.input;
+        for input in inputs {
+            assert_eq!(input.len(), c * h * w, "input size mismatch");
+        }
+        let mut planes: Vec<Vec<i32>> = inputs.iter().map(|x| x.to_vec()).collect();
+        for layer in &self.layers {
+            if let LayerKind::PooledConv { shape, indices } = &layer.kind {
+                let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
+                let accs = backend.conv_pooled_prepared_batch(&refs, shape, indices);
+                planes = accs
+                    .into_iter()
+                    .map(|acc| finish(acc, &layer.bias, &layer.oq, out_plane(shape)))
+                    .collect();
+            } else {
+                planes = planes.into_iter().map(|p| self.run_layer(backend, layer, p)).collect();
+            }
+        }
+        planes
     }
 
     /// A fresh LUT-cache-bearing backend for one worker thread.
@@ -391,6 +541,52 @@ mod tests {
             assert_eq!(out.len(), 4);
             assert!(out.iter().all(|&v| (-128..=127).contains(&v)));
         }
+    }
+
+    #[test]
+    fn calibrated_multipliers_prevent_collapse_and_cover_all_layers() {
+        let bundle = toy_bundle(LutOrder::InputOriented);
+        let mut opts = EngineOptions::default();
+        let multipliers = PreparedNet::calibrate_multipliers(&bundle, &opts, 4, 77);
+        assert_eq!(multipliers.len(), 3, "two convs + dense head requantize");
+        assert!(multipliers.iter().all(|&m| m.is_finite() && m > 0.0));
+        opts.layer_multipliers = Some(multipliers);
+        let net = PreparedNet::from_bundle(&bundle, &opts);
+        let inputs = net.fabricate_inputs(3, 5);
+        let outs: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+        // Calibration must keep signal alive: distinct inputs map to
+        // distinct logits instead of a saturated or zeroed constant.
+        assert_ne!(outs[0], outs[1]);
+        assert_ne!(outs[1], outs[2]);
+        // And the batched path agrees under per-layer multipliers too.
+        let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+        assert_eq!(net.run_batch(&refs), outs);
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_to_run_one() {
+        // Includes a batch larger than the backend's internal tile so the
+        // tiling boundary is covered.
+        let bundle = toy_bundle(LutOrder::InputOriented);
+        let net = PreparedNet::from_bundle(&bundle, &EngineOptions::default());
+        let n = crate::NativeBackend::BATCH_TILE + 5;
+        let inputs = net.fabricate_inputs(n, 23);
+        let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+        let batched = net.run_batch(&refs);
+        for (input, out) in inputs.iter().zip(&batched) {
+            assert_eq!(&net.run_one(input), out);
+        }
+    }
+
+    #[test]
+    fn run_batch_handles_empty_and_single() {
+        let net = PreparedNet::from_bundle(
+            &toy_bundle(LutOrder::InputOriented),
+            &EngineOptions::default(),
+        );
+        assert!(net.run_batch(&[]).is_empty());
+        let input = net.fabricate_inputs(1, 31).pop().unwrap();
+        assert_eq!(net.run_batch(&[&input]), vec![net.run_one(&input)]);
     }
 
     #[test]

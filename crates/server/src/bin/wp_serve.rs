@@ -1,0 +1,174 @@
+//! The inference server binary.
+//!
+//! ```sh
+//! # Serve the built-in demo model on an ephemeral port:
+//! cargo run --release --bin wp_serve -p wp_server -- --demo --port 0
+//!
+//! # Serve bundles from disk, two models, fixed port:
+//! cargo run --release --bin wp_serve -p wp_server -- \
+//!     --model mnist=/path/mnist.json --model kws=/path/kws.json --port 8080
+//! ```
+//!
+//! Flags:
+//!
+//! * `--port N` / `--addr HOST:PORT` — bind address (default
+//!   `127.0.0.1:8080`; port 0 picks an ephemeral port).
+//! * `--model NAME=PATH` — deploy a `DeployBundle` JSON file (repeatable;
+//!   `POST /v1/models/NAME/reload` re-reads it).
+//! * `--demo` — deploy the fabricated demo model as `demo`.
+//! * `--max-batch N`, `--max-wait-us N` — micro-batcher flush thresholds.
+//! * `--threads N` — engine worker threads per batch.
+//! * `--workers N` — connection worker threads.
+//! * `--port-file PATH` — write the bound port there (for scripts driving
+//!   an ephemeral-port server).
+//! * `--allow-shutdown` — honor `POST /v1/shutdown`.
+
+use std::sync::Arc;
+use std::time::Duration;
+use wp_engine::EngineOptions;
+use wp_server::batcher::BatcherConfig;
+use wp_server::demo::{demo_deployment, DemoSize};
+use wp_server::metrics::Metrics;
+use wp_server::registry::ModelRegistry;
+use wp_server::server::{serve, ServerConfig};
+
+struct Args {
+    addr: String,
+    models: Vec<(String, String)>,
+    demo: bool,
+    batcher: BatcherConfig,
+    workers: usize,
+    port_file: Option<String>,
+    allow_shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8080".into(),
+        models: Vec::new(),
+        demo: false,
+        batcher: BatcherConfig::default(),
+        workers: 8,
+        port_file: None,
+        allow_shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--port" => {
+                let port: u16 = value("--port")?.parse().map_err(|e| format!("bad --port: {e}"))?;
+                args.addr = format!("127.0.0.1:{port}");
+            }
+            "--model" => {
+                let spec = value("--model")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--model expects NAME=PATH, got {spec:?}"))?;
+                args.models.push((name.to_string(), path.to_string()));
+            }
+            "--demo" => args.demo = true,
+            "--max-batch" => {
+                args.batcher.max_batch =
+                    value("--max-batch")?.parse().map_err(|e| format!("bad --max-batch: {e}"))?;
+            }
+            "--max-wait-us" => {
+                let us: u64 = value("--max-wait-us")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-wait-us: {e}"))?;
+                args.batcher.max_wait = Duration::from_micros(us);
+            }
+            "--threads" => {
+                args.batcher.threads =
+                    value("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--workers" => {
+                args.workers =
+                    value("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--allow-shutdown" => args.allow_shutdown = true,
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+    }
+    if args.models.is_empty() && !args.demo {
+        return Err("nothing to serve: pass --demo or --model NAME=PATH".into());
+    }
+    Ok(args)
+}
+
+const HELP: &str = "wp_serve — weight-pool inference server
+    --addr HOST:PORT     bind address (default 127.0.0.1:8080)
+    --port N             shorthand for --addr 127.0.0.1:N (0 = ephemeral)
+    --model NAME=PATH    deploy a DeployBundle JSON file (repeatable)
+    --demo               deploy the fabricated demo model as 'demo'
+    --max-batch N        micro-batch flush size (default 32)
+    --max-wait-us N      micro-batch flush deadline (default 2000)
+    --threads N          engine worker threads per batch
+    --workers N          connection worker threads (default 8)
+    --port-file PATH     write the bound port to PATH once listening
+    --allow-shutdown     honor POST /v1/shutdown";
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("wp_serve: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let registry = Arc::new(ModelRegistry::new(args.batcher, Arc::new(Metrics::new())));
+    if args.demo {
+        let (bundle, opts) = demo_deployment(DemoSize::Serve, 1);
+        registry.insert_bundle("demo", &bundle, opts);
+        println!("deployed demo model 'demo' (input 8x6x6, 10 classes)");
+    }
+    for (name, path) in &args.models {
+        if let Err(e) =
+            registry.insert_file(name, std::path::Path::new(path), EngineOptions::default())
+        {
+            eprintln!("wp_serve: deploying {name:?}: {e}");
+            std::process::exit(1);
+        }
+        println!("deployed model {name:?} from {path}");
+    }
+
+    let config = ServerConfig {
+        addr: args.addr,
+        workers: args.workers,
+        allow_remote_shutdown: args.allow_shutdown,
+        ..ServerConfig::default()
+    };
+    let mut handle = match serve(config, Arc::clone(&registry)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("wp_serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, handle.addr().port().to_string()) {
+            eprintln!("wp_serve: writing port file {path}: {e}");
+        }
+    }
+    println!(
+        "wp_serve listening on http://{} (batch<={}, wait<={:?})",
+        handle.addr(),
+        args.batcher.max_batch,
+        args.batcher.max_wait
+    );
+
+    // Serve until a remote shutdown (if enabled) flips the flag.
+    while !handle.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("wp_serve: shutdown requested, draining");
+    handle.shutdown();
+    println!("wp_serve: bye");
+}

@@ -1,0 +1,301 @@
+//! A minimal HTTP/1.1 layer over `std::net` — just enough protocol for the
+//! inference endpoints, with hard limits instead of dependencies.
+//!
+//! Supported: request line + headers + `Content-Length` bodies,
+//! keep-alive (HTTP/1.1 default, opt-in for 1.0), case-insensitive header
+//! lookup. Not supported (connection is closed or the request rejected):
+//! chunked transfer encoding, upgrades, pipelining beyond strict
+//! request/response alternation.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 32 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query string included, if any).
+    pub path: String,
+    /// HTTP minor version: `true` for 1.1 (keep-alive by default).
+    pub http11: bool,
+    /// Raw header pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, matched case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after responding.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before a request started (normal
+    /// keep-alive termination).
+    Eof,
+    /// An I/O error (includes read timeouts on idle keep-alive sockets).
+    Io(io::Error),
+    /// The request violates the protocol subset; the string is safe to
+    /// echo in a 400 response.
+    Malformed(String),
+    /// Head or body over the hard limits (maps to 431/413).
+    TooLarge(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Eof => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one request from a buffered stream.
+///
+/// # Errors
+///
+/// [`HttpError::Eof`] when the peer closed cleanly between requests,
+/// [`HttpError::Io`] on transport errors or idle timeouts, and
+/// [`HttpError::Malformed`]/[`HttpError::TooLarge`] when the bytes arrive
+/// but cannot be served.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+    read_line_limited(reader, &mut line, &mut head_bytes)?;
+    if line.is_empty() {
+        return Err(HttpError::Eof);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing target".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(HttpError::Malformed(format!("unsupported version {other}"))),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        read_line_limited(reader, &mut line, &mut head_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without colon: {line:?}")))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let mut request = Request { method, path, http11, headers, body: Vec::new() };
+    if let Some(te) = request.header("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::Malformed(format!("unsupported transfer-encoding {te}")));
+        }
+    }
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .trim()
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {len:?}")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge(format!("body of {len} bytes")));
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).map_err(HttpError::Io)?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Reads one CRLF-terminated line into `line` (terminator stripped),
+/// enforcing the cumulative head limit.
+fn read_line_limited(
+    reader: &mut impl BufRead,
+    line: &mut String,
+    head_bytes: &mut usize,
+) -> Result<(), HttpError> {
+    let mut raw = Vec::new();
+    // Cap the read itself so an endless unterminated line cannot grow
+    // without bound.
+    let mut limited = reader.by_ref().take((MAX_HEAD_BYTES - *head_bytes + 1) as u64);
+    limited.read_until(b'\n', &mut raw).map_err(HttpError::Io)?;
+    *head_bytes += raw.len();
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(HttpError::TooLarge(format!("request head over {MAX_HEAD_BYTES} bytes")));
+    }
+    if !raw.is_empty() && raw.last() != Some(&b'\n') {
+        return Err(HttpError::Malformed("truncated header line".into()));
+    }
+    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    *line = String::from_utf8(raw).map_err(|_| HttpError::Malformed("non-UTF-8 header".into()))?;
+    Ok(())
+}
+
+/// An HTTP status code with its canonical reason phrase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200.
+    pub const OK: Status = Status(200);
+    /// 400.
+    pub const BAD_REQUEST: Status = Status(400);
+    /// 403.
+    pub const FORBIDDEN: Status = Status(403);
+    /// 404.
+    pub const NOT_FOUND: Status = Status(404);
+    /// 405.
+    pub const METHOD_NOT_ALLOWED: Status = Status(405);
+    /// 409.
+    pub const CONFLICT: Status = Status(409);
+    /// 413.
+    pub const PAYLOAD_TOO_LARGE: Status = Status(413);
+    /// 500.
+    pub const INTERNAL: Status = Status(500);
+    /// 503.
+    pub const UNAVAILABLE: Status = Status(503);
+
+    /// The reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Writes one JSON response (flushes the stream).
+///
+/// # Errors
+///
+/// Returns any transport error.
+pub fn write_json_response(
+    stream: &mut impl Write,
+    status: Status,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status.0,
+        status.reason(),
+        body.len(),
+        connection
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_headers() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.http11);
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse("POST /v1/infer HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(r.body, b"abcd");
+        assert!(r.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let r = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive());
+        let r = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn eof_and_malformed_are_distinguished() {
+        assert!(matches!(parse(""), Err(HttpError::Eof)));
+        assert!(matches!(parse("BROKEN\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse("GET / HTTP/2\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let raw = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_json_response(&mut out, Status::OK, "{\"a\":1}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"a\":1}"));
+    }
+}

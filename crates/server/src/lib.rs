@@ -1,0 +1,71 @@
+//! A std-only HTTP/1.1 inference server with dynamic micro-batching over
+//! the native weight-pool engine.
+//!
+//! The ROADMAP's serving story: `wp_engine` executes compressed networks
+//! at host speed, and this crate puts a network in front of it — a
+//! dependency-free HTTP server (no async runtime; the build environment
+//! is offline) whose core is a **dynamic micro-batcher**: concurrent
+//! requests coalesce into batches that execute through the engine's
+//! batched kernels, which are bit-identical to solo execution and
+//! substantially faster per image. Batching is therefore invisible in
+//! responses and visible only in throughput — the paper's shared-weight
+//! arithmetic amortized across requests (the SWIS observation) instead of
+//! across a single image.
+//!
+//! Pieces:
+//!
+//! * [`http`] — minimal HTTP/1.1 parsing/writing with hard limits.
+//! * [`protocol`] — the JSON request/response types.
+//! * [`batcher`] — [`Batcher`]: flush on `max_batch` or `max_wait`,
+//!   whichever first.
+//! * [`registry`] — [`ModelRegistry`]: named models, atomic hot-swap
+//!   reload.
+//! * [`metrics`] — [`Metrics`]: counters + fixed-bucket latency
+//!   histograms (p50/p99) for `GET /metrics`.
+//! * [`server`] — accept loop, connection worker pool, routing.
+//! * [`demo`] — fabricated demo bundles for tests and load generation.
+//!
+//! # Endpoints
+//!
+//! | Method | Path | Purpose |
+//! |---|---|---|
+//! | GET | `/healthz` | liveness + registered model names |
+//! | GET | `/metrics` | counters, batch-size histogram, latency p50/p99 |
+//! | GET | `/v1/models` | model shapes and reload counts |
+//! | POST | `/v1/infer` | run activation planes through a model |
+//! | POST | `/v1/models/{name}/reload` | hot-swap a file-backed model |
+//! | POST | `/v1/shutdown` | clean remote shutdown (opt-in) |
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wp_server::batcher::BatcherConfig;
+//! use wp_server::demo::{demo_deployment, DemoSize};
+//! use wp_server::metrics::Metrics;
+//! use wp_server::registry::ModelRegistry;
+//! use wp_server::server::{serve, ServerConfig};
+//!
+//! let registry = Arc::new(ModelRegistry::new(
+//!     BatcherConfig::default(),
+//!     Arc::new(Metrics::new()),
+//! ));
+//! let (bundle, opts) = demo_deployment(DemoSize::Tiny, 1);
+//! registry.insert_bundle("demo", &bundle, opts);
+//! let mut handle = serve(ServerConfig::default(), Arc::clone(&registry)).unwrap();
+//! assert_ne!(handle.addr().port(), 0);
+//! handle.shutdown();
+//! ```
+
+pub mod batcher;
+pub mod demo;
+pub mod http;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{Batcher, BatcherConfig, InferError};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use registry::{ModelEntry, ModelRegistry, RegistryError};
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,273 @@
+//! Lock-free serving metrics: counters, a batch-size histogram, and a
+//! fixed-bucket latency histogram with percentile estimation.
+//!
+//! Everything is plain atomics so the hot path never takes a lock;
+//! `GET /metrics` snapshots the counters into a serializable report.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 includes 0), the last bucket is
+/// open-ended (~1.2 hours and up).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Largest exactly-tracked batch size; bigger batches land in the
+/// overflow bucket.
+pub const MAX_TRACKED_BATCH: usize = 64;
+
+/// A fixed power-of-two-bucket histogram of microsecond latencies.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Snapshots the histogram into a serializable summary.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let sum_us = self.sum_us.load(Ordering::Relaxed);
+        LatencySnapshot {
+            count,
+            mean_us: if count == 0 { 0.0 } else { sum_us as f64 / count as f64 },
+            p50_us: quantile(&buckets, count, 0.50),
+            p99_us: quantile(&buckets, count, 0.99),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            bucket_counts: buckets,
+        }
+    }
+}
+
+/// Upper bound (exclusive) of latency bucket `i`, in microseconds.
+fn bucket_bound_us(i: usize) -> u64 {
+    1u64 << (i + 1)
+}
+
+/// The value at quantile `q` estimated as the upper bound of the bucket
+/// containing that rank (an overestimate of at most 2x — the bucket
+/// resolution).
+fn quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= rank {
+            return bucket_bound_us(i);
+        }
+    }
+    bucket_bound_us(buckets.len() - 1)
+}
+
+/// Serializable [`LatencyHistogram`] state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median (bucket upper bound), microseconds.
+    pub p50_us: u64,
+    /// 99th percentile (bucket upper bound), microseconds.
+    pub p99_us: u64,
+    /// Largest sample, microseconds.
+    pub max_us: u64,
+    /// Raw per-bucket counts (bucket `i` covers `[2^i, 2^(i+1))` µs).
+    pub bucket_counts: Vec<u64>,
+}
+
+/// All serving metrics, shared across connection workers and batchers.
+#[derive(Debug)]
+pub struct Metrics {
+    /// HTTP requests accepted (any endpoint).
+    pub http_requests: AtomicU64,
+    /// 2xx responses.
+    pub responses_ok: AtomicU64,
+    /// 4xx responses.
+    pub responses_client_error: AtomicU64,
+    /// 5xx responses.
+    pub responses_server_error: AtomicU64,
+    /// Inference planes served (one per input vector).
+    pub inferences: AtomicU64,
+    /// Batches executed by the micro-batchers.
+    pub batches: AtomicU64,
+    batch_sizes: [AtomicU64; MAX_TRACKED_BATCH + 1],
+    /// Wall time of whole inference requests (parse to response).
+    pub request_latency: LatencyHistogram,
+    /// Time a plane waits in the queue before its batch starts.
+    pub queue_latency: LatencyHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            http_requests: AtomicU64::new(0),
+            responses_ok: AtomicU64::new(0),
+            responses_client_error: AtomicU64::new(0),
+            responses_server_error: AtomicU64::new(0),
+            inferences: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
+            request_latency: LatencyHistogram::default(),
+            queue_latency: LatencyHistogram::default(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed batch of `size` planes.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.inferences.fetch_add(size as u64, Ordering::Relaxed);
+        let slot = size.min(MAX_TRACKED_BATCH);
+        self.batch_sizes[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots everything into the `GET /metrics` payload.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let batch_size_hist: Vec<(usize, u64)> = self
+            .batch_sizes
+            .iter()
+            .enumerate()
+            .filter_map(|(size, count)| {
+                let count = count.load(Ordering::Relaxed);
+                (count > 0).then_some((size, count))
+            })
+            .collect();
+        MetricsSnapshot {
+            http_requests: self.http_requests.load(Ordering::Relaxed),
+            responses_ok: self.responses_ok.load(Ordering::Relaxed),
+            responses_client_error: self.responses_client_error.load(Ordering::Relaxed),
+            responses_server_error: self.responses_server_error.load(Ordering::Relaxed),
+            inferences: self.inferences.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_size_hist,
+            request_latency: self.request_latency.snapshot(),
+            queue_latency: self.queue_latency.snapshot(),
+        }
+    }
+}
+
+/// Body of `GET /metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// HTTP requests accepted.
+    pub http_requests: u64,
+    /// 2xx responses.
+    pub responses_ok: u64,
+    /// 4xx responses.
+    pub responses_client_error: u64,
+    /// 5xx responses.
+    pub responses_server_error: u64,
+    /// Inference planes served.
+    pub inferences: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// `(batch size, count)` pairs, sizes above the tracked maximum
+    /// collapsed into the last slot.
+    pub batch_size_hist: Vec<(usize, u64)>,
+    /// Whole-request latency.
+    pub request_latency: LatencySnapshot,
+    /// Queue-wait latency.
+    pub queue_latency: LatencySnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.bucket_counts[0], 2, "0us and 1us share bucket 0");
+        assert_eq!(snap.bucket_counts[1], 1, "3us lands in [2,4)");
+        assert_eq!(snap.bucket_counts[9], 1, "1000us lands in [512,1024)");
+        assert_eq!(snap.max_us, 1000);
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_bounds() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10));
+        }
+        h.record(Duration::from_micros(100_000));
+        let snap = h.snapshot();
+        assert_eq!(snap.p50_us, 16, "p50 in the [8,16) bucket");
+        assert_eq!(snap.p99_us, 16, "99 of 100 samples at 10us");
+        assert!(snap.bucket_counts[16] == 1, "outlier in [65536,131072)");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let snap = LatencyHistogram::default().snapshot();
+        assert_eq!((snap.count, snap.p50_us, snap.p99_us, snap.max_us), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn batch_hist_tracks_and_overflows() {
+        let m = Metrics::new();
+        m.record_batch(1);
+        m.record_batch(8);
+        m.record_batch(8);
+        m.record_batch(500);
+        let snap = m.snapshot();
+        assert_eq!(snap.batches, 4);
+        assert_eq!(snap.inferences, 1 + 8 + 8 + 500);
+        assert_eq!(
+            snap.batch_size_hist,
+            vec![(1, 1), (8, 2), (MAX_TRACKED_BATCH, 1)],
+            "oversize batch collapses into the last slot"
+        );
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let m = Metrics::new();
+        m.record_batch(2);
+        m.request_latency.record(Duration::from_micros(42));
+        let s = serde_json::to_string(&m.snapshot()).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.batches, 1);
+        assert_eq!(back.request_latency.count, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! The JSON request/response vocabulary of the inference endpoints.
+//!
+//! Activations travel as plain JSON integer arrays — the same `i32` codes
+//! [`wp_engine::PreparedNet::run_one`] consumes, so a response can be
+//! byte-compared against direct engine execution (the serving stack's
+//! bit-exactness contract).
+
+use serde::{Deserialize, Serialize};
+
+/// Body of `POST /v1/infer`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferRequest {
+    /// Model to run; may be omitted when exactly one model is registered.
+    #[serde(default)]
+    pub model: Option<String>,
+    /// One or more activation planes, each `C*H*W` codes in the model's
+    /// input range. Every plane is submitted to the micro-batcher
+    /// individually, so planes from one request may be served in
+    /// different batches (outputs are identical either way).
+    pub inputs: Vec<Vec<i32>>,
+}
+
+/// Body of a successful `POST /v1/infer`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferResponse {
+    /// Model that served the request.
+    pub model: String,
+    /// One output vector per input plane, in input order.
+    pub outputs: Vec<Vec<i32>>,
+}
+
+/// Body of every non-2xx response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable cause.
+    pub error: String,
+}
+
+/// Body of `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the listener is serving.
+    pub status: String,
+    /// Registered model names, sorted.
+    pub models: Vec<String>,
+}
+
+/// One model's row in `GET /v1/models`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub name: String,
+    /// Input shape `(C, H, W)`.
+    pub input: (usize, usize, usize),
+    /// Flat input length `C*H*W`.
+    pub input_len: usize,
+    /// Activation bitwidth the plan executes at.
+    pub act_bits: u8,
+    /// Times this model has been hot-swapped since registration.
+    pub reloads: u64,
+}
+
+/// Body of `GET /v1/models`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelsResponse {
+    /// All registered models, sorted by name.
+    pub models: Vec<ModelInfo>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_request_round_trips() {
+        let req = InferRequest { model: Some("demo".into()), inputs: vec![vec![1, 2], vec![3]] };
+        let s = serde_json::to_string(&req).unwrap();
+        assert_eq!(serde_json::from_str::<InferRequest>(&s).unwrap(), req);
+        // Model may be omitted entirely.
+        let req: InferRequest = serde_json::from_str("{\"inputs\":[[5,6,7]]}").unwrap();
+        assert_eq!(req.model, None);
+        assert_eq!(req.inputs, vec![vec![5, 6, 7]]);
+    }
+
+    #[test]
+    fn infer_response_is_plain_json() {
+        let resp = InferResponse { model: "m".into(), outputs: vec![vec![-1, 2]] };
+        assert_eq!(serde_json::to_string(&resp).unwrap(), "{\"model\":\"m\",\"outputs\":[[-1,2]]}");
+    }
+}

@@ -1,0 +1,327 @@
+//! The model registry: named deployed models with atomic hot-swap reload.
+//!
+//! Each registered model owns one [`Batcher`] (queue + flusher thread)
+//! and one [`ModelSlot`] holding the compiled plan. Reloading rebuilds
+//! the plan — from the original bundle file for file-backed models, or
+//! from a caller-provided bundle — and swaps the slot's `Arc` under a
+//! write lock. Requests already queued keep flowing: the batcher reads
+//! the slot per batch, so every batch executes wholly on one plan and the
+//! swap is atomic from the client's point of view.
+
+use crate::batcher::{Batcher, BatcherConfig, ModelSlot};
+use crate::metrics::Metrics;
+use crate::protocol::ModelInfo;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use wp_core::deploy::DeployBundle;
+use wp_engine::{EngineOptions, PreparedNet};
+
+/// Seed for reload-time recalibration (deterministic across reloads).
+const CALIBRATION_SEED: u64 = 0xCA11;
+
+/// Errors from registry operations.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No model under that name.
+    UnknownModel(String),
+    /// The model was registered from an in-memory bundle; there is no
+    /// file to reload it from.
+    NotFileBacked(String),
+    /// Reading or parsing a bundle file failed.
+    LoadFailed(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            RegistryError::NotFileBacked(name) => {
+                write!(f, "model {name:?} was not loaded from a file; nothing to reload")
+            }
+            RegistryError::LoadFailed(m) => write!(f, "bundle load failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One deployed model.
+pub struct ModelEntry {
+    name: String,
+    slot: Arc<ModelSlot>,
+    batcher: Batcher,
+    source: Option<PathBuf>,
+    opts: EngineOptions,
+    reloads: AtomicU64,
+}
+
+impl ModelEntry {
+    /// The model's batcher (submit planes here).
+    pub fn batcher(&self) -> &Batcher {
+        &self.batcher
+    }
+
+    /// The currently-deployed plan.
+    pub fn net(&self) -> Arc<PreparedNet> {
+        self.slot.read().expect("model slot poisoned").clone()
+    }
+
+    /// Registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The `GET /v1/models` row.
+    pub fn info(&self) -> ModelInfo {
+        let net = self.net();
+        let input = net.input_shape();
+        ModelInfo {
+            name: self.name.clone(),
+            input,
+            input_len: input.0 * input.1 * input.2,
+            act_bits: net.act_bits(),
+            reloads: self.reloads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A set of deployed models addressable by name.
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    batcher_config: BatcherConfig,
+    metrics: Arc<Metrics>,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry").field("models", &self.names()).finish_non_exhaustive()
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry; every model it deploys batches under
+    /// `batcher_config` and reports into `metrics`.
+    pub fn new(batcher_config: BatcherConfig, metrics: Arc<Metrics>) -> Self {
+        Self { models: RwLock::new(HashMap::new()), batcher_config, metrics }
+    }
+
+    /// The metrics sink shared with the server.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Deploys `bundle` as `name` (replacing any existing model of that
+    /// name wholesale, batcher included).
+    pub fn insert_bundle(&self, name: &str, bundle: &DeployBundle, opts: EngineOptions) {
+        self.insert(name, bundle, opts, None);
+    }
+
+    /// Loads a bundle file and deploys it as `name`; `reload` re-reads
+    /// the same path later.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::LoadFailed`] when the file cannot be read or
+    /// parsed.
+    pub fn insert_file(
+        &self,
+        name: &str,
+        path: &Path,
+        opts: EngineOptions,
+    ) -> Result<(), RegistryError> {
+        let bundle = DeployBundle::load(path)
+            .map_err(|e| RegistryError::LoadFailed(format!("{}: {e}", path.display())))?;
+        self.insert(name, &bundle, opts, Some(path.to_path_buf()));
+        Ok(())
+    }
+
+    fn insert(
+        &self,
+        name: &str,
+        bundle: &DeployBundle,
+        opts: EngineOptions,
+        source: Option<PathBuf>,
+    ) {
+        let net = Arc::new(PreparedNet::from_bundle(bundle, &opts));
+        let slot: Arc<ModelSlot> = Arc::new(RwLock::new(net));
+        let batcher =
+            Batcher::start(Arc::clone(&slot), self.batcher_config, Arc::clone(&self.metrics));
+        let entry = Arc::new(ModelEntry {
+            name: name.to_string(),
+            slot,
+            batcher,
+            source,
+            opts,
+            reloads: AtomicU64::new(0),
+        });
+        let old = self.models.write().expect("registry poisoned").insert(name.to_string(), entry);
+        if let Some(old) = old {
+            old.batcher.shutdown();
+        }
+    }
+
+    /// Atomically hot-swaps `name` to a freshly compiled copy of its
+    /// bundle file. The batcher, its queue, and in-flight batches are
+    /// untouched; new batches pick up the new plan. If the model was
+    /// deployed with calibrated per-layer requant multipliers, calibration
+    /// is re-run against the new bundle — multipliers fitted to the old
+    /// weights' accumulator peaks would silently saturate or zero the new
+    /// ones.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] for unregistered names,
+    /// [`RegistryError::NotFileBacked`] for in-memory models, and
+    /// [`RegistryError::LoadFailed`] when the file no longer parses (the
+    /// old plan keeps serving in that case).
+    pub fn reload(&self, name: &str) -> Result<(), RegistryError> {
+        let entry = self.get(name)?;
+        let path =
+            entry.source.clone().ok_or_else(|| RegistryError::NotFileBacked(name.to_string()))?;
+        let bundle = DeployBundle::load(&path)
+            .map_err(|e| RegistryError::LoadFailed(format!("{}: {e}", path.display())))?;
+        let mut opts = entry.opts.clone();
+        if opts.layer_multipliers.is_some() {
+            let mut base = opts.clone();
+            base.layer_multipliers = None;
+            opts.layer_multipliers =
+                Some(PreparedNet::calibrate_multipliers(&bundle, &base, 8, CALIBRATION_SEED));
+        }
+        let net = Arc::new(PreparedNet::from_bundle(&bundle, &opts));
+        *entry.slot.write().expect("model slot poisoned") = net;
+        entry.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Looks up a model by name.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] when absent.
+    pub fn get(&self, name: &str) -> Result<Arc<ModelEntry>, RegistryError> {
+        self.models
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))
+    }
+
+    /// Resolves an infer request's optional model name: an explicit name
+    /// must exist; an omitted name is allowed only when exactly one model
+    /// is registered.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownModel`] otherwise.
+    pub fn resolve(&self, name: Option<&str>) -> Result<Arc<ModelEntry>, RegistryError> {
+        match name {
+            Some(name) => self.get(name),
+            None => {
+                let models = self.models.read().expect("registry poisoned");
+                if models.len() == 1 {
+                    Ok(models.values().next().expect("len checked").clone())
+                } else {
+                    Err(RegistryError::UnknownModel(format!(
+                        "(unspecified, {} models registered)",
+                        models.len()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.models.read().expect("registry poisoned").keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// `GET /v1/models` rows, sorted by name.
+    pub fn infos(&self) -> Vec<ModelInfo> {
+        let mut infos: Vec<ModelInfo> =
+            self.models.read().expect("registry poisoned").values().map(|e| e.info()).collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Drains and joins every model's batcher (used at server shutdown).
+    pub fn shutdown(&self) {
+        let entries: Vec<Arc<ModelEntry>> =
+            self.models.read().expect("registry poisoned").values().cloned().collect();
+        for entry in entries {
+            entry.batcher.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{demo_bundle, demo_deployment, DemoSize};
+
+    fn registry() -> ModelRegistry {
+        ModelRegistry::new(
+            BatcherConfig { max_batch: 4, ..BatcherConfig::default() },
+            Arc::new(Metrics::new()),
+        )
+    }
+
+    #[test]
+    fn resolve_rules() {
+        let reg = registry();
+        assert!(reg.resolve(None).is_err(), "no models yet");
+        let (bundle, opts) = demo_deployment(DemoSize::Tiny, 1);
+        reg.insert_bundle("a", &bundle, opts);
+        assert_eq!(reg.resolve(None).unwrap().name(), "a", "single model is the default");
+        reg.insert_bundle("b", &demo_bundle(DemoSize::Tiny, 2), EngineOptions::default());
+        assert!(reg.resolve(None).is_err(), "ambiguous with two models");
+        assert_eq!(reg.resolve(Some("b")).unwrap().name(), "b");
+        assert!(matches!(reg.resolve(Some("c")), Err(RegistryError::UnknownModel(_))));
+        assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
+        reg.shutdown();
+    }
+
+    #[test]
+    fn file_backed_reload_swaps_the_plan() {
+        let dir = std::env::temp_dir().join("wp_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let (bundle, opts) = demo_deployment(DemoSize::Tiny, 1);
+        bundle.save(&path).unwrap();
+
+        let reg = registry();
+        reg.insert_file("m", &path, opts).unwrap();
+        let entry = reg.get("m").unwrap();
+        let input = entry.net().fabricate_inputs(1, 4).pop().unwrap();
+        let before = entry.batcher().infer(input.clone()).unwrap();
+
+        // Overwrite the file with a different bundle and hot-swap.
+        demo_bundle(DemoSize::Tiny, 2).save(&path).unwrap();
+        reg.reload("m").unwrap();
+        let after = entry.batcher().infer(input.clone()).unwrap();
+        assert_ne!(before, after, "reload must change the serving plan");
+        assert_eq!(entry.info().reloads, 1);
+
+        // A corrupt file fails the reload but keeps the old plan serving.
+        std::fs::write(&path, b"{ not json").unwrap();
+        assert!(matches!(reg.reload("m"), Err(RegistryError::LoadFailed(_))));
+        assert_eq!(entry.batcher().infer(input).unwrap(), after);
+
+        std::fs::remove_file(&path).ok();
+        reg.shutdown();
+    }
+
+    #[test]
+    fn in_memory_models_cannot_reload() {
+        let reg = registry();
+        reg.insert_bundle("mem", &demo_bundle(DemoSize::Tiny, 1), EngineOptions::default());
+        assert!(matches!(reg.reload("mem"), Err(RegistryError::NotFileBacked(_))));
+        assert!(matches!(reg.reload("ghost"), Err(RegistryError::UnknownModel(_))));
+        reg.shutdown();
+    }
+}

@@ -1,0 +1,407 @@
+//! The TCP front end: accept loop, connection worker pool, and routing.
+//!
+//! ```text
+//! TcpListener ──accept──▶ mpsc queue ──▶ N connection workers
+//!                                            │  parse HTTP + JSON
+//!                                            ▼
+//!                                    ModelRegistry.resolve()
+//!                                            │  submit plane(s)
+//!                                            ▼
+//!                                   per-model Batcher queue
+//!                                            │  flush on max_batch
+//!                                            ▼      or max_wait
+//!                                  BatchRunner.run_refs (batched,
+//!                                   bit-identical to solo runs)
+//! ```
+//!
+//! This is a thread-per-connection front: a worker owns a connection for
+//! its whole keep-alive lifetime (parsing, blocking in the batcher, and
+//! idling between requests up to `read_timeout`), so `workers` bounds
+//! concurrent *connections*, not just requests — size it for the expected
+//! connection count, and let the batcher govern inference throughput.
+//! Accepted-but-unclaimed sockets wait in a bounded queue; when it fills,
+//! the accept loop stops accepting and further connects back up into the
+//! kernel backlog instead of growing server memory. An event-driven front
+//! that multiplexes idle connections is a ROADMAP follow-up.
+
+use crate::batcher::InferError;
+use crate::http::{self, HttpError, Request, Status};
+use crate::protocol::{ErrorResponse, HealthResponse, InferRequest, InferResponse, ModelsResponse};
+use crate::registry::{ModelRegistry, RegistryError};
+use serde::Serialize;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Connection worker threads.
+    pub workers: usize,
+    /// Per-read socket timeout (bounds idle keep-alive connections and
+    /// shutdown latency).
+    pub read_timeout: Duration,
+    /// Accepted connections waiting for a worker; when full, accepting
+    /// pauses and further connects queue in the kernel backlog (bounded
+    /// backpressure instead of unbounded socket buffering).
+    pub pending_connections: usize,
+    /// Whether `POST /v1/shutdown` is honored (off unless the operator
+    /// opts in — a load generator's clean-shutdown hook, not a public
+    /// endpoint).
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            read_timeout: Duration::from_secs(5),
+            pending_connections: 1024,
+            allow_remote_shutdown: false,
+        }
+    }
+}
+
+/// A running server; dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    registry: Arc<ModelRegistry>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server serves from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Whether the server has begun shutting down.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown: stop accepting, finish in-flight requests,
+    /// drain the batchers, join every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Nudge the accept loop out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        self.registry.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds and starts serving `registry` under `config`.
+///
+/// # Errors
+///
+/// Returns any bind error.
+pub fn serve(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.pending_connections.max(1));
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let workers: Vec<_> = (0..config.workers.max(1))
+        .map(|i| {
+            let conn_rx = Arc::clone(&conn_rx);
+            let registry = Arc::clone(&registry);
+            let shutdown = Arc::clone(&shutdown);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name(format!("wp-conn-{i}"))
+                .spawn(move || worker_loop(&conn_rx, &registry, &shutdown, &config))
+                .expect("spawn connection worker")
+        })
+        .collect();
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("wp-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        // A send error means the workers are gone, which
+                        // only happens at shutdown.
+                        Ok(stream) => {
+                            if conn_tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // conn_tx drops here; idle workers see the disconnect.
+            })
+            .expect("spawn accept loop")
+    };
+
+    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread), workers, registry })
+}
+
+/// One connection worker: pulls sockets and serves them to completion.
+fn worker_loop(
+    conn_rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    registry: &ModelRegistry,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) {
+    loop {
+        let next = {
+            let rx = conn_rx.lock().expect("connection queue poisoned");
+            rx.recv_timeout(Duration::from_millis(100))
+        };
+        match next {
+            Ok(stream) => {
+                // Connection errors only affect that peer.
+                let _ = serve_connection(stream, registry, shutdown, config);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Granularity of the between-requests idle poll (bounds how long an
+/// idle keep-alive connection can delay shutdown).
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Serves one (possibly keep-alive) connection until close.
+fn serve_connection(
+    stream: TcpStream,
+    registry: &ModelRegistry,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let metrics = Arc::clone(registry.metrics());
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        // Idle phase: wait for the next request's first byte under a
+        // short poll so shutdown is honored promptly, giving up once the
+        // configured idle timeout has passed. `fill_buf` buffers nothing
+        // on timeout, so retrying loses no bytes.
+        writer.get_ref().set_read_timeout(Some(IDLE_POLL))?;
+        let mut idle = Duration::ZERO;
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            use std::io::BufRead;
+            match reader.fill_buf() {
+                Ok([]) => return Ok(()), // clean EOF
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    idle += IDLE_POLL;
+                    if idle >= config.read_timeout {
+                        return Ok(());
+                    }
+                }
+                Err(_) => return Ok(()),
+            }
+        }
+        // A request is arriving: switch to the full per-read timeout for
+        // its head and body.
+        writer.get_ref().set_read_timeout(Some(config.read_timeout))?;
+        let request = match http::read_request(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::Eof) | Err(HttpError::Io(_)) => return Ok(()),
+            Err(HttpError::Malformed(m)) => {
+                metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                metrics.responses_client_error.fetch_add(1, Ordering::Relaxed);
+                respond(&mut writer, Status::BAD_REQUEST, &ErrorResponse { error: m }, false)?;
+                return Ok(());
+            }
+            Err(HttpError::TooLarge(m)) => {
+                metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                metrics.responses_client_error.fetch_add(1, Ordering::Relaxed);
+                respond(
+                    &mut writer,
+                    Status::PAYLOAD_TOO_LARGE,
+                    &ErrorResponse { error: m },
+                    false,
+                )?;
+                return Ok(());
+            }
+        };
+        metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let keep_alive = request.keep_alive() && !shutdown.load(Ordering::SeqCst);
+        let (status, body) = route(&request, registry, shutdown, config);
+        let class = match status.0 {
+            200..=299 => &metrics.responses_ok,
+            400..=499 => &metrics.responses_client_error,
+            _ => &metrics.responses_server_error,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        metrics.request_latency.record(started.elapsed());
+        http::write_json_response(&mut writer, status, &body, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Serializes and writes an early (pre-routing) error response.
+fn respond<T: Serialize>(
+    writer: &mut impl std::io::Write,
+    status: Status,
+    body: &T,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let body = serde_json::to_string(body).unwrap_or_else(|_| "{}".into());
+    http::write_json_response(writer, status, &body, keep_alive)
+}
+
+/// Routes one parsed request to its endpoint, returning status and JSON
+/// body.
+fn route(
+    request: &Request,
+    registry: &ModelRegistry,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) -> (Status, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            ok(&HealthResponse { status: "ok".into(), models: registry.names() })
+        }
+        ("GET", "/metrics") => ok(&registry.metrics().snapshot()),
+        ("GET", "/v1/models") => ok(&ModelsResponse { models: registry.infos() }),
+        ("POST", "/v1/infer") => infer(request, registry),
+        ("POST", path) => {
+            if let Some(name) =
+                path.strip_prefix("/v1/models/").and_then(|rest| rest.strip_suffix("/reload"))
+            {
+                return reload(name, registry);
+            }
+            if path == "/v1/shutdown" {
+                if !config.allow_remote_shutdown {
+                    return error(
+                        Status::FORBIDDEN,
+                        "shutdown endpoint disabled; start the server with it enabled to use it",
+                    );
+                }
+                shutdown.store(true, Ordering::SeqCst);
+                return ok(&HealthResponse { status: "shutting down".into(), models: vec![] });
+            }
+            error(Status::NOT_FOUND, &format!("no route for POST {path}"))
+        }
+        (method, path) => error(Status::NOT_FOUND, &format!("no route for {method} {path}")),
+    }
+}
+
+/// `POST /v1/infer`: decode, submit every plane, await them all.
+fn infer(request: &Request, registry: &ModelRegistry) -> (Status, String) {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(s) => s,
+        Err(_) => return error(Status::BAD_REQUEST, "body is not UTF-8"),
+    };
+    let req: InferRequest = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => return error(Status::BAD_REQUEST, &format!("bad request body: {e}")),
+    };
+    if req.inputs.is_empty() {
+        return error(Status::BAD_REQUEST, "inputs must not be empty");
+    }
+    let entry = match registry.resolve(req.model.as_deref()) {
+        Ok(e) => e,
+        Err(e) => return registry_error(&e),
+    };
+    // Two-phase so one request's planes can share a batch: enqueue all,
+    // then wait for all.
+    let mut tickets = Vec::with_capacity(req.inputs.len());
+    for input in req.inputs {
+        match entry.batcher().submit(input) {
+            Ok(t) => tickets.push(t),
+            Err(e) => return infer_error(&e),
+        }
+    }
+    let mut outputs = Vec::with_capacity(tickets.len());
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(out) => outputs.push(out),
+            Err(e) => return infer_error(&e),
+        }
+    }
+    ok(&InferResponse { model: entry.name().to_string(), outputs })
+}
+
+/// `POST /v1/models/{name}/reload`.
+fn reload(name: &str, registry: &ModelRegistry) -> (Status, String) {
+    match registry.reload(name) {
+        Ok(()) => match registry.get(name) {
+            Ok(entry) => ok(&entry.info()),
+            Err(e) => registry_error(&e),
+        },
+        Err(e) => registry_error(&e),
+    }
+}
+
+fn ok<T: Serialize>(body: &T) -> (Status, String) {
+    match serde_json::to_string(body) {
+        Ok(s) => (Status::OK, s),
+        Err(e) => error(Status::INTERNAL, &format!("serialization failed: {e}")),
+    }
+}
+
+fn error(status: Status, message: &str) -> (Status, String) {
+    let body = serde_json::to_string(&ErrorResponse { error: message.to_string() })
+        .unwrap_or_else(|_| "{\"error\":\"error\"}".into());
+    (status, body)
+}
+
+fn registry_error(e: &RegistryError) -> (Status, String) {
+    let status = match e {
+        RegistryError::UnknownModel(_) => Status::NOT_FOUND,
+        RegistryError::NotFileBacked(_) => Status::CONFLICT,
+        RegistryError::LoadFailed(_) => Status::INTERNAL,
+    };
+    error(status, &e.to_string())
+}
+
+fn infer_error(e: &InferError) -> (Status, String) {
+    let status = match e {
+        InferError::BadInput(_) => Status::BAD_REQUEST,
+        InferError::Overloaded | InferError::ShuttingDown => Status::UNAVAILABLE,
+    };
+    error(status, &e.to_string())
+}

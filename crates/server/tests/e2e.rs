@@ -1,0 +1,254 @@
+//! End-to-end tests: a real server on a real loopback socket, driven by a
+//! hand-rolled HTTP client, checked bit-for-bit against direct engine
+//! execution.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use wp_server::batcher::BatcherConfig;
+use wp_server::demo::{demo_deployment, DemoSize};
+use wp_server::metrics::Metrics;
+use wp_server::protocol::{InferRequest, InferResponse};
+use wp_server::registry::ModelRegistry;
+use wp_server::server::{serve, ServerConfig, ServerHandle};
+use wp_server::MetricsSnapshot;
+
+/// A minimal blocking HTTP client for the tests.
+struct Client {
+    stream: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Self {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        Self { stream: BufReader::new(stream) }
+    }
+
+    /// Sends one request, returns `(status, body)`.
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+        let body = body.unwrap_or("");
+        write!(
+            self.stream.get_mut(),
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+        self.stream.get_mut().flush().unwrap();
+
+        let mut line = String::new();
+        self.stream.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.stream.read_line(&mut header).expect("header line");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = header.split_once(':') {
+                if k.eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().expect("content-length");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.stream.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf-8 body"))
+    }
+}
+
+fn start_server(max_batch: usize) -> ServerHandle {
+    let batcher =
+        BatcherConfig { max_batch, max_wait: Duration::from_millis(2), ..BatcherConfig::default() };
+    let registry = Arc::new(ModelRegistry::new(batcher, Arc::new(Metrics::new())));
+    let (bundle, opts) = demo_deployment(DemoSize::Tiny, 3);
+    registry.insert_bundle("demo", &bundle, opts);
+    serve(ServerConfig { allow_remote_shutdown: true, ..ServerConfig::default() }, registry)
+        .expect("bind")
+}
+
+#[test]
+fn healthz_models_and_metrics_respond() {
+    let mut handle = start_server(8);
+    let mut client = Client::connect(&handle);
+
+    let (status, body) = client.request("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\"") && body.contains("demo"), "{body}");
+
+    let (status, body) = client.request("GET", "/v1/models", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"demo\"") && body.contains("\"input_len\":288"), "{body}");
+
+    let (status, body) = client.request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let snap: MetricsSnapshot = serde_json::from_str(&body).expect("metrics json");
+    assert!(snap.http_requests >= 2, "own requests counted: {snap:?}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn infer_is_bit_identical_to_direct_execution_under_concurrency() {
+    let mut handle = start_server(8);
+    let net = handle.registry().get("demo").unwrap().net();
+    let inputs = net.fabricate_inputs(32, 1234);
+    let expected: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+
+    // 16 concurrent keep-alive connections, two requests each.
+    let outputs: Vec<Vec<i32>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(2)
+            .map(|pair| {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let mut client = Client::connect(handle);
+                    let mut outs = Vec::new();
+                    for input in pair {
+                        let req = InferRequest {
+                            model: Some("demo".into()),
+                            inputs: vec![input.clone()],
+                        };
+                        let (status, body) = client.request(
+                            "POST",
+                            "/v1/infer",
+                            Some(&serde_json::to_string(&req).unwrap()),
+                        );
+                        assert_eq!(status, 200, "{body}");
+                        let resp: InferResponse = serde_json::from_str(&body).unwrap();
+                        assert_eq!(resp.model, "demo");
+                        outs.extend(resp.outputs);
+                    }
+                    outs
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(outputs, expected, "served responses must equal direct engine outputs");
+
+    // The micro-batcher must actually have coalesced something: with 16
+    // concurrent connections and max_batch 8, fewer batches than planes.
+    let snap = handle.registry().metrics().snapshot();
+    assert_eq!(snap.inferences, 32);
+    assert!(snap.batches <= snap.inferences, "{snap:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn multi_plane_requests_and_default_model() {
+    let mut handle = start_server(4);
+    let net = handle.registry().get("demo").unwrap().net();
+    let inputs = net.fabricate_inputs(3, 9);
+    let expected: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+
+    // No model name: the lone registered model serves it. Three planes in
+    // one request come back in order.
+    let req = InferRequest { model: None, inputs: inputs.clone() };
+    let mut client = Client::connect(&handle);
+    let (status, body) =
+        client.request("POST", "/v1/infer", Some(&serde_json::to_string(&req).unwrap()));
+    assert_eq!(status, 200, "{body}");
+    let resp: InferResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(resp.outputs, expected);
+    handle.shutdown();
+}
+
+#[test]
+fn error_paths_speak_json() {
+    let mut handle = start_server(4);
+    let mut client = Client::connect(&handle);
+
+    let (status, body) = client.request("GET", "/nope", None);
+    assert_eq!(status, 404);
+    assert!(body.contains("error"), "{body}");
+
+    let (status, body) = client.request("POST", "/v1/infer", Some("{ not json"));
+    assert_eq!(status, 400);
+    assert!(body.contains("error"), "{body}");
+
+    let (status, body) = client.request("POST", "/v1/infer", Some("{\"inputs\":[]}"));
+    assert_eq!(status, 400);
+    assert!(body.contains("empty"), "{body}");
+
+    let (status, body) =
+        client.request("POST", "/v1/infer", Some("{\"model\":\"ghost\",\"inputs\":[[1,2,3]]}"));
+    assert_eq!(status, 404);
+    assert!(body.contains("ghost"), "{body}");
+
+    let (status, body) = client.request("POST", "/v1/infer", Some("{\"inputs\":[[1,2,3]]}"));
+    assert_eq!(status, 400, "wrong input size: {body}");
+    assert!(body.contains("288"), "mentions expected size: {body}");
+
+    let (status, _) = client.request("POST", "/v1/models/ghost/reload", None);
+    assert_eq!(status, 404);
+
+    let (status, _) = client.request("POST", "/v1/models/demo/reload", None);
+    assert_eq!(status, 409, "in-memory model is not file-backed");
+
+    handle.shutdown();
+}
+
+#[test]
+fn file_backed_reload_over_http() {
+    let dir = std::env::temp_dir().join("wp_e2e_reload");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    let (bundle, opts) = demo_deployment(DemoSize::Tiny, 21);
+    bundle.save(&path).unwrap();
+
+    let registry = Arc::new(ModelRegistry::new(
+        BatcherConfig { max_batch: 4, ..BatcherConfig::default() },
+        Arc::new(Metrics::new()),
+    ));
+    registry.insert_file("m", &path, opts).unwrap();
+    let mut handle = serve(ServerConfig::default(), Arc::clone(&registry)).expect("bind");
+
+    let net = registry.get("m").unwrap().net();
+    let input = net.fabricate_inputs(1, 2).pop().unwrap();
+    let req =
+        serde_json::to_string(&InferRequest { model: None, inputs: vec![input.clone()] }).unwrap();
+
+    let mut client = Client::connect(&handle);
+    let (status, before) = client.request("POST", "/v1/infer", Some(&req));
+    assert_eq!(status, 200);
+
+    // Swap the file, reload over HTTP, observe different outputs.
+    demo_deployment(DemoSize::Tiny, 22).0.save(&path).unwrap();
+    let (status, body) = client.request("POST", "/v1/models/m/reload", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"reloads\":1"), "{body}");
+    let (status, after) = client.request("POST", "/v1/infer", Some(&req));
+    assert_eq!(status, 200);
+    assert_ne!(before, after, "hot swap must change responses");
+
+    std::fs::remove_file(&path).ok();
+    handle.shutdown();
+}
+
+#[test]
+fn remote_shutdown_drains_cleanly() {
+    let mut handle = start_server(4);
+    let mut client = Client::connect(&handle);
+    let (status, body) = client.request("POST", "/v1/shutdown", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(handle.is_shutting_down());
+    handle.shutdown();
+
+    // And a server without the opt-in refuses.
+    let registry = Arc::new(ModelRegistry::new(BatcherConfig::default(), Arc::new(Metrics::new())));
+    let (bundle, opts) = demo_deployment(DemoSize::Tiny, 1);
+    registry.insert_bundle("demo", &bundle, opts);
+    let mut handle = serve(ServerConfig::default(), registry).expect("bind");
+    let mut client = Client::connect(&handle);
+    let (status, _) = client.request("POST", "/v1/shutdown", None);
+    assert_eq!(status, 403, "disabled endpoint is forbidden, not method-not-allowed");
+    handle.shutdown();
+}

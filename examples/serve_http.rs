@@ -1,0 +1,144 @@
+//! Serving a weight-pool network over HTTP with dynamic micro-batching.
+//!
+//! The full serving path in one file: fabricate a deployable bundle,
+//! calibrate per-layer requantization, register it, start the std-only
+//! HTTP server on an ephemeral port, fire concurrent clients at it over
+//! real sockets, verify bit-exactness against direct engine execution,
+//! and read the metrics endpoint — then shut down cleanly.
+//!
+//! ```sh
+//! cargo run --release --example serve_http
+//! ```
+//!
+//! While it runs you can also poke the server from another terminal:
+//!
+//! ```sh
+//! curl -s http://127.0.0.1:<printed port>/healthz
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use weight_pools::server::batcher::BatcherConfig;
+use weight_pools::server::demo::{demo_deployment, DemoSize};
+use weight_pools::server::metrics::Metrics;
+use weight_pools::server::protocol::{InferRequest, InferResponse};
+use weight_pools::server::registry::ModelRegistry;
+use weight_pools::server::server::{serve, ServerConfig};
+use weight_pools::server::MetricsSnapshot;
+
+fn main() {
+    // --- Deploy: bundle + calibrated engine options into the registry ----
+    let (bundle, opts) = demo_deployment(DemoSize::Serve, 1);
+    println!(
+        "demo bundle: {} conv payloads, {} B flash, input {:?}",
+        bundle.convs.len(),
+        bundle.flash_bytes(),
+        bundle.spec.input
+    );
+    let batcher = BatcherConfig {
+        max_batch: 32,
+        max_wait: Duration::from_millis(2),
+        ..BatcherConfig::default()
+    };
+    let registry = Arc::new(ModelRegistry::new(batcher, Arc::new(Metrics::new())));
+    registry.insert_bundle("demo", &bundle, opts);
+
+    // --- Serve on an ephemeral loopback port ------------------------------
+    let mut handle = serve(ServerConfig::default(), Arc::clone(&registry)).expect("bind");
+    println!("serving on http://{} (try GET /healthz)", handle.addr());
+
+    // --- Drive it: 16 concurrent clients, 128 requests --------------------
+    let net = registry.get("demo").unwrap().net();
+    let inputs = net.fabricate_inputs(128, 7);
+    let expected: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+    let addr = handle.addr().to_string();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for (c, chunk) in inputs.chunks(8).enumerate() {
+            let addr = &addr;
+            let expected = &expected;
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut stream = BufReader::new(stream);
+                for (i, input) in chunk.iter().enumerate() {
+                    let body = serde_json::to_string(&InferRequest {
+                        model: Some("demo".into()),
+                        inputs: vec![input.clone()],
+                    })
+                    .unwrap();
+                    write!(
+                        stream.get_mut(),
+                        "POST /v1/infer HTTP/1.1\r\nHost: demo\r\nContent-Length: {}\r\n\r\n{}",
+                        body.len(),
+                        body
+                    )
+                    .unwrap();
+                    stream.get_mut().flush().unwrap();
+                    let (status, body) = read_response(&mut stream);
+                    assert_eq!(status, 200, "{body}");
+                    let resp: InferResponse = serde_json::from_str(&body).unwrap();
+                    assert_eq!(
+                        resp.outputs,
+                        vec![expected[c * 8 + i].clone()],
+                        "coalesced responses must be bit-identical to solo execution"
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    println!(
+        "served {} requests from 16 keep-alive connections in {:.2?} ({:.0} req/s)",
+        inputs.len(),
+        elapsed,
+        inputs.len() as f64 / elapsed.as_secs_f64()
+    );
+
+    // --- Observe: the metrics endpoint ------------------------------------
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut stream = BufReader::new(stream);
+    write!(stream.get_mut(), "GET /metrics HTTP/1.1\r\nHost: demo\r\n\r\n").unwrap();
+    stream.get_mut().flush().unwrap();
+    let (status, body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    let snap: MetricsSnapshot = serde_json::from_str(&body).unwrap();
+    println!(
+        "metrics: {} inferences in {} batches (mean batch {:.1}), request p50 {} us, p99 {} us",
+        snap.inferences,
+        snap.batches,
+        snap.inferences as f64 / snap.batches.max(1) as f64,
+        snap.request_latency.p50_us,
+        snap.request_latency.p99_us
+    );
+    println!("batch-size histogram: {:?}", snap.batch_size_hist);
+
+    // --- Shut down cleanly -------------------------------------------------
+    handle.shutdown();
+    println!("server drained and joined; all outputs bit-identical");
+}
+
+/// Reads one HTTP response, returning `(status, body)`.
+fn read_response(stream: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut line = String::new();
+    stream.read_line(&mut line).expect("status line");
+    let status: u16 = line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status");
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        stream.read_line(&mut header).expect("header");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().expect("length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8"))
+}

@@ -71,6 +71,9 @@ pub use wp_nn as nn;
 /// Quantizers, activation-range search, fixed-point requantization.
 pub use wp_quant as quant;
 
+/// HTTP inference serving: micro-batching, model registry, metrics.
+pub use wp_server as server;
+
 /// Dense NCHW tensors and convolution geometry.
 pub use wp_tensor as tensor;
 
@@ -91,5 +94,6 @@ pub mod prelude {
         SoftmaxCrossEntropy,
     };
     pub use wp_quant::{QuantParams, Requantizer, UnsignedQuantParams};
+    pub use wp_server::{serve, BatcherConfig, Metrics, ModelRegistry, ServerConfig, ServerHandle};
     pub use wp_tensor::{Conv2dGeometry, Shape, Tensor};
 }
