@@ -1,0 +1,1365 @@
+//! Bundle (de)serialization codecs: JSON and the entropy-coded binary
+//! **WPB** format.
+//!
+//! A [`DeployBundle`]'s dominant storage term is its pool-index streams
+//! (SWIS and CIMPool make the same observation), and
+//! [`DeployBundle::index_entropy_bits`] measures how far the fixed-width
+//! encoding sits above the empirical entropy. WPB closes that gap: each
+//! pooled layer's index stream is Rice/Golomb coded with a per-layer
+//! parameter chosen from the layer's measured index statistics (with an
+//! optional frequency-rank remap for skewed streams, and a raw
+//! fixed-width fallback whenever entropy coding would *expand* the
+//! stream), the LUT is bit-packed at its entry width, and pool vectors
+//! and direct weights are stored as raw little-endian bytes.
+//!
+//! # WPB layout
+//!
+//! ```text
+//! "WPB1"  magic (4 bytes)
+//! u8      version (currently 1)
+//! u8      act_bits
+//! u32le   CRC-32 of the six header bytes above
+//! then sections, each:
+//!   u8      tag        1=spec  2=pool  3=lut  4=convs
+//!   varint  payload length (LEB128)
+//!   [...]   payload
+//!   u32le   CRC-32 (IEEE) of the payload
+//! ```
+//!
+//! Unknown section tags are skipped (forward compatibility); a missing or
+//! duplicated known section, a failed checksum, or a truncated buffer all
+//! fail loudly with a typed [`CodecError`]. Multi-byte integers are
+//! little-endian; bitstreams fill bytes LSB-first.
+//!
+//! Section payloads:
+//!
+//! * **spec** — the [`NetSpec`] as JSON bytes (shapes are tiny; keeping
+//!   them readable costs nothing next to the index streams).
+//! * **pool** — `varint S`, `varint G`, then `S·G` f32 bit patterns.
+//! * **lut** — `varint G`, `varint S`, `u8 bits`, `u8 order`, `f32 scale`,
+//!   then the codes bit-packed at `bits`-bit two's complement in storage
+//!   order.
+//! * **convs** — `varint n`, then per conv a `u8` kind: direct convs store
+//!   `varint n`, `f32 scale` and raw int8 bytes; pooled convs store
+//!   `varint n`, a coding-mode header and the coded bitstream (see
+//!   [`IndexCoding`]).
+
+use super::{ConvPayload, DeployBundle};
+use crate::netspec::NetSpec;
+use crate::{LookupTable, LutOrder, WeightPool};
+use std::fmt;
+use std::path::Path;
+
+/// Magic bytes opening every WPB file.
+pub const WPB_MAGIC: [u8; 4] = *b"WPB1";
+
+/// The WPB format version this codec writes.
+pub const WPB_VERSION: u8 = 1;
+
+/// Largest Rice parameter the encoder considers (indices are bytes, so
+/// larger parameters always lose to the raw fallback).
+const MAX_RICE_K: u8 = 7;
+
+/// Section tags.
+const SEC_SPEC: u8 = 1;
+const SEC_POOL: u8 = 2;
+const SEC_LUT: u8 = 3;
+const SEC_CONVS: u8 = 4;
+
+/// Why encoding or decoding a bundle failed.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// The file's version is newer than this codec understands.
+    UnsupportedVersion(u8),
+    /// The buffer ended before the named piece could be read.
+    Truncated(&'static str),
+    /// A section's checksum did not match its payload.
+    Checksum(&'static str),
+    /// The bytes parsed but violate the format's invariants.
+    Malformed(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a WPB bundle (bad magic)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported WPB version {v} (this codec reads {WPB_VERSION})")
+            }
+            CodecError::Truncated(what) => write!(f, "truncated bundle: {what}"),
+            CodecError::Checksum(section) => {
+                write!(f, "checksum mismatch in {section} section (corrupt or truncated file)")
+            }
+            CodecError::Malformed(m) => write!(f, "malformed bundle: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A bundle serialization format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable JSON (the original interchange format).
+    Json,
+    /// Entropy-coded binary WPB.
+    Wpb,
+}
+
+impl Format {
+    /// Detects the format of serialized bytes from their magic prefix.
+    pub fn sniff(bytes: &[u8]) -> Self {
+        if bytes.starts_with(&WPB_MAGIC) {
+            Format::Wpb
+        } else {
+            Format::Json
+        }
+    }
+
+    /// Picks a format from a path's extension: `.wpb` (case-insensitive)
+    /// is WPB, anything else JSON.
+    pub fn for_path(path: &Path) -> Self {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some(ext) if ext.eq_ignore_ascii_case("wpb") => Format::Wpb,
+            _ => Format::Json,
+        }
+    }
+
+    /// The codec implementing this format.
+    pub fn codec(self) -> &'static dyn BundleCodec {
+        match self {
+            Format::Json => &JsonCodec,
+            Format::Wpb => &WpbCodec,
+        }
+    }
+}
+
+/// Format-agnostic bundle (de)serialization.
+///
+/// Both implementations are round-trip equal by construction:
+/// `decode(encode(b)) == b` for every valid bundle (pinned by unit and
+/// property tests, including both [`LutOrder`]s and both
+/// [`ConvPayload`] kinds).
+pub trait BundleCodec: Sync {
+    /// The format this codec implements.
+    fn format(&self) -> Format;
+
+    /// Serializes `bundle` to bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Malformed`] if the bundle violates the
+    /// format's representable range (e.g. LUT codes outside their stated
+    /// bitwidth).
+    fn encode(&self, bundle: &DeployBundle) -> Result<Vec<u8>, CodecError>;
+
+    /// Reconstructs a bundle from bytes produced by [`BundleCodec::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CodecError`]; truncated or corrupted input fails
+    /// loudly rather than yielding a partial bundle.
+    fn decode(&self, bytes: &[u8]) -> Result<DeployBundle, CodecError>;
+}
+
+/// The JSON codec (serde over the vendored shim).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonCodec;
+
+impl BundleCodec for JsonCodec {
+    fn format(&self) -> Format {
+        Format::Json
+    }
+
+    fn encode(&self, bundle: &DeployBundle) -> Result<Vec<u8>, CodecError> {
+        serde_json::to_string(bundle)
+            .map(String::into_bytes)
+            .map_err(|e| CodecError::Malformed(format!("json: {e}")))
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<DeployBundle, CodecError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| CodecError::Malformed("json bundle is not UTF-8".into()))?;
+        serde_json::from_str(text).map_err(|e| CodecError::Malformed(format!("json: {e}")))
+    }
+}
+
+/// The entropy-coded binary codec (see the module docs for the layout).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WpbCodec;
+
+impl BundleCodec for WpbCodec {
+    fn format(&self) -> Format {
+        Format::Wpb
+    }
+
+    fn encode(&self, bundle: &DeployBundle) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&WPB_MAGIC);
+        out.push(WPB_VERSION);
+        out.push(bundle.act_bits);
+        // The header gets its own checksum: act_bits lives outside every
+        // section, and a flipped bit there would otherwise decode into a
+        // quietly wrong bundle.
+        let header_crc = crc32(&out);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+        write_section(&mut out, SEC_SPEC, &encode_spec(&bundle.spec)?);
+        write_section(&mut out, SEC_POOL, &encode_pool(&bundle.pool));
+        write_section(&mut out, SEC_LUT, &encode_lut(&bundle.lut)?);
+        write_section(&mut out, SEC_CONVS, &encode_convs(&bundle.convs));
+        Ok(out)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<DeployBundle, CodecError> {
+        if !bytes.starts_with(&WPB_MAGIC) {
+            return Err(CodecError::BadMagic);
+        }
+        let mut r = ByteReader::new(&bytes[WPB_MAGIC.len()..]);
+        let version = r.u8("version")?;
+        if version != WPB_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let act_bits = r.u8("act_bits")?;
+        let header_crc = r.u32le("header checksum")?;
+        if crc32(&bytes[..WPB_MAGIC.len() + 2]) != header_crc {
+            return Err(CodecError::Checksum("header"));
+        }
+
+        let mut spec: Option<NetSpec> = None;
+        let mut pool: Option<WeightPool> = None;
+        let mut lut: Option<LookupTable> = None;
+        let mut convs: Option<Vec<ConvPayload>> = None;
+        while !r.is_empty() {
+            let tag = r.u8("section tag")?;
+            let len = r.varint("section length")? as usize;
+            let payload = r.take(len, "section payload")?;
+            let crc = u32::from_le_bytes(
+                r.take(4, "section checksum")?.try_into().expect("4-byte slice"),
+            );
+            let name = section_name(tag);
+            if crc32(payload) != crc {
+                return Err(CodecError::Checksum(name));
+            }
+            match tag {
+                SEC_SPEC => store(&mut spec, decode_spec(payload)?, name)?,
+                SEC_POOL => store(&mut pool, decode_pool(payload)?, name)?,
+                SEC_LUT => store(&mut lut, decode_lut(payload)?, name)?,
+                SEC_CONVS => store(&mut convs, decode_convs(payload)?, name)?,
+                // Unknown sections are checksummed and skipped so older
+                // readers survive additive format growth.
+                _ => {}
+            }
+        }
+        let missing = |name: &'static str| CodecError::Truncated(name);
+        Ok(DeployBundle {
+            spec: spec.ok_or_else(|| missing("missing spec section"))?,
+            pool: pool.ok_or_else(|| missing("missing pool section"))?,
+            lut: lut.ok_or_else(|| missing("missing lut section"))?,
+            convs: convs.ok_or_else(|| missing("missing convs section"))?,
+            act_bits,
+        })
+    }
+}
+
+/// Fills a section slot, rejecting duplicates.
+fn store<T>(slot: &mut Option<T>, value: T, name: &'static str) -> Result<(), CodecError> {
+    if slot.replace(value).is_some() {
+        return Err(CodecError::Malformed(format!("duplicate {name} section")));
+    }
+    Ok(())
+}
+
+fn section_name(tag: u8) -> &'static str {
+    match tag {
+        SEC_SPEC => "spec",
+        SEC_POOL => "pool",
+        SEC_LUT => "lut",
+        SEC_CONVS => "convs",
+        _ => "unknown",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section payloads
+// ---------------------------------------------------------------------------
+
+fn encode_spec(spec: &NetSpec) -> Result<Vec<u8>, CodecError> {
+    serde_json::to_string(spec)
+        .map(String::into_bytes)
+        .map_err(|e| CodecError::Malformed(format!("spec: {e}")))
+}
+
+fn decode_spec(payload: &[u8]) -> Result<NetSpec, CodecError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| CodecError::Malformed("spec section is not UTF-8".into()))?;
+    serde_json::from_str(text).map_err(|e| CodecError::Malformed(format!("spec: {e}")))
+}
+
+fn encode_pool(pool: &WeightPool) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, pool.len() as u64);
+    write_varint(&mut out, pool.group_size() as u64);
+    for v in pool.vectors() {
+        for &x in v {
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_pool(payload: &[u8]) -> Result<WeightPool, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let s = r.varint("pool size")? as usize;
+    let g = r.varint("pool group size")? as usize;
+    if s == 0 || g == 0 {
+        return Err(CodecError::Malformed(format!("empty pool ({s} vectors of {g})")));
+    }
+    // Claimed element count must fit the remaining payload *before* any
+    // allocation: a crafted varint must be a typed error, not a
+    // capacity-overflow panic or a huge allocation.
+    let needed = s
+        .checked_mul(g)
+        .and_then(|e| e.checked_mul(4))
+        .ok_or_else(|| CodecError::Malformed(format!("pool of {s}x{g} overflows")))?;
+    if needed > r.remaining() {
+        return Err(CodecError::Truncated("pool vector elements"));
+    }
+    let mut vectors = Vec::with_capacity(s);
+    for _ in 0..s {
+        let mut v = Vec::with_capacity(g);
+        for _ in 0..g {
+            v.push(f32::from_bits(r.u32le("pool vector element")?));
+        }
+        vectors.push(v);
+    }
+    r.expect_empty("pool")?;
+    Ok(WeightPool::from_vectors(vectors))
+}
+
+fn encode_lut(lut: &LookupTable) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    write_varint(&mut out, lut.group_size() as u64);
+    write_varint(&mut out, lut.pool_size() as u64);
+    out.push(lut.bits());
+    out.push(match lut.order() {
+        LutOrder::InputOriented => 0,
+        LutOrder::WeightOriented => 1,
+    });
+    out.extend_from_slice(&lut.scale().to_bits().to_le_bytes());
+    let bits = u32::from(lut.bits());
+    let (lo, hi) = (-(1i64 << (bits - 1)), (1i64 << (bits - 1)) - 1);
+    let mut w = BitWriter::new();
+    for &code in lut.codes() {
+        if i64::from(code) < lo || i64::from(code) > hi {
+            return Err(CodecError::Malformed(format!(
+                "lut code {code} does not fit the table's {bits}-bit width"
+            )));
+        }
+        w.write_bits(code as u32 as u64, bits);
+    }
+    out.extend_from_slice(&w.into_bytes());
+    Ok(out)
+}
+
+fn decode_lut(payload: &[u8]) -> Result<LookupTable, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let group = r.varint("lut group size")? as usize;
+    let pool_size = r.varint("lut pool size")? as usize;
+    let bits = r.u8("lut bits")?;
+    let order = match r.u8("lut order")? {
+        0 => LutOrder::InputOriented,
+        1 => LutOrder::WeightOriented,
+        other => return Err(CodecError::Malformed(format!("unknown lut order {other}"))),
+    };
+    let scale = f32::from_bits(r.u32le("lut scale")?);
+    if group == 0 || group > 12 || pool_size == 0 || !(2..=16).contains(&bits) {
+        return Err(CodecError::Malformed(format!(
+            "implausible lut shape: group {group}, pool {pool_size}, {bits} bits"
+        )));
+    }
+    // Shape is bounded (group <= 12 checked above), but pool_size comes
+    // from the wire: the code count and its bit cost must fit the
+    // remaining payload before allocating.
+    let count = pool_size
+        .checked_mul(1usize << group)
+        .ok_or_else(|| CodecError::Malformed(format!("lut of {pool_size} << {group} overflows")))?;
+    let width = u32::from(bits);
+    let needed_bits = (count as u64)
+        .checked_mul(u64::from(width))
+        .ok_or_else(|| CodecError::Malformed(format!("lut of {count} codes overflows")))?;
+    if needed_bits.div_ceil(8) > r.remaining() as u64 {
+        return Err(CodecError::Truncated("lut codes"));
+    }
+    let mut b = BitReader::new(r.rest());
+    let mut codes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let raw = b.read_bits(width, "lut code")? as u32;
+        codes.push(sign_extend(raw, width));
+    }
+    LookupTable::from_parts(group, pool_size, bits, scale, order, codes)
+        .map_err(CodecError::Malformed)
+}
+
+fn encode_convs(convs: &[ConvPayload]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, convs.len() as u64);
+    for conv in convs {
+        match conv {
+            ConvPayload::Pooled { indices } => {
+                out.push(0);
+                write_varint(&mut out, indices.len() as u64);
+                let coding = IndexCoding::choose(indices);
+                coding.write_header(&mut out);
+                let stream = coding.encode_stream(indices);
+                write_varint(&mut out, stream.len() as u64);
+                out.extend_from_slice(&stream);
+            }
+            ConvPayload::Direct { weights, scale } => {
+                out.push(1);
+                write_varint(&mut out, weights.len() as u64);
+                out.extend_from_slice(&scale.to_bits().to_le_bytes());
+                out.extend(weights.iter().map(|&w| w as u8));
+            }
+        }
+    }
+    out
+}
+
+fn decode_convs(payload: &[u8]) -> Result<Vec<ConvPayload>, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let n = r.varint("conv count")? as usize;
+    // Each conv costs at least two bytes on the wire.
+    if n > r.remaining() / 2 + 1 {
+        return Err(CodecError::Malformed(format!(
+            "{n} convs in a {}-byte section",
+            payload.len()
+        )));
+    }
+    let mut convs = Vec::with_capacity(n);
+    for _ in 0..n {
+        match r.u8("conv kind")? {
+            0 => {
+                let count = r.varint("index count")? as usize;
+                let coding = IndexCoding::read_header(&mut r)?;
+                let stream_len = r.varint("index stream length")? as usize;
+                let stream = r.take(stream_len, "index stream")?;
+                // Every coding spends >= 1 bit per index except raw at
+                // width 0, where the whole stream is implicit; cap that
+                // case by the section size so a crafted count cannot
+                // balloon the decode.
+                let max_count = match coding {
+                    IndexCoding::Raw { width: 0 } => payload.len().saturating_mul(8),
+                    _ => stream.len().saturating_mul(8),
+                };
+                if count > max_count {
+                    return Err(CodecError::Malformed(format!(
+                        "{count} indices cannot fit a {}-byte stream",
+                        stream.len()
+                    )));
+                }
+                let indices = coding.decode_stream(stream, count)?;
+                convs.push(ConvPayload::Pooled { indices });
+            }
+            1 => {
+                let count = r.varint("weight count")? as usize;
+                let scale = f32::from_bits(r.u32le("weight scale")?);
+                let bytes = r.take(count, "direct weights")?;
+                let weights = bytes.iter().map(|&b| b as i8).collect();
+                convs.push(ConvPayload::Direct { weights, scale });
+            }
+            other => {
+                return Err(CodecError::Malformed(format!("unknown conv payload kind {other}")))
+            }
+        }
+    }
+    r.expect_empty("convs")?;
+    Ok(convs)
+}
+
+// ---------------------------------------------------------------------------
+// Index-stream coding
+// ---------------------------------------------------------------------------
+
+/// How one pooled layer's index stream is coded.
+///
+/// The encoder measures the layer's index histogram and picks whichever
+/// representation is smallest *for that layer*:
+///
+/// * `Raw` — fixed width at the stream's own `ceil(log2(max+1))` bits:
+///   the fallback whenever entropy coding would expand the stream (e.g.
+///   near-uniform index usage, where fixed width already sits on the
+///   entropy).
+/// * `Rice` — Rice/Golomb codes of the raw index values with per-layer
+///   parameter `k` (quotient in unary, remainder in `k` bits).
+/// * `RiceRemap` — Rice codes of frequency ranks: a small rank→index
+///   table (stored with the layer) maps the most frequent index to rank
+///   0, which turns any skewed histogram into the decaying shape Rice
+///   coding wants. The table's 8 bits/entry are charged against the mode
+///   when choosing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexCoding {
+    /// Fixed-width indices at `width` bits each.
+    Raw {
+        /// Bits per index (0 when every index is 0).
+        width: u8,
+    },
+    /// Rice codes of the raw index values.
+    Rice {
+        /// The Rice parameter (remainder width).
+        k: u8,
+    },
+    /// Rice codes of frequency ranks via a rank→index side table.
+    RiceRemap {
+        /// The Rice parameter (remainder width).
+        k: u8,
+        /// `table[rank]` is the pool index with that frequency rank.
+        table: Vec<u8>,
+    },
+}
+
+impl IndexCoding {
+    /// Measures `indices` and picks the smallest representation.
+    pub fn choose(indices: &[u8]) -> Self {
+        if indices.is_empty() {
+            return IndexCoding::Raw { width: 0 };
+        }
+        let hist = histogram(indices);
+        let max = indices.iter().copied().max().expect("non-empty") as u32;
+        let width = bits_for(max);
+        let mut best = IndexCoding::Raw { width: width as u8 };
+        let mut best_bits = indices.len() as u64 * u64::from(width);
+
+        for k in 0..=MAX_RICE_K {
+            let bits = rice_cost(&hist, u32::from(k));
+            if bits < best_bits {
+                best = IndexCoding::Rice { k };
+                best_bits = bits;
+            }
+        }
+
+        // Frequency-rank remap: most frequent symbol becomes rank 0.
+        let mut by_freq: Vec<(u8, u64)> =
+            hist.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(v, &c)| (v as u8, c)).collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut rank_hist = [0u64; 256];
+        for (rank, &(_, count)) in by_freq.iter().enumerate() {
+            rank_hist[rank] = count;
+        }
+        let table: Vec<u8> = by_freq.iter().map(|&(v, _)| v).collect();
+        let table_bits = 8 * table.len() as u64;
+        for k in 0..=MAX_RICE_K {
+            let bits = table_bits + rice_cost(&rank_hist, u32::from(k));
+            if bits < best_bits {
+                best = IndexCoding::RiceRemap { k, table: table.clone() };
+                best_bits = bits;
+            }
+        }
+        best
+    }
+
+    /// Total coded bits `encode_stream` will produce for `indices` under
+    /// this coding, side table included (used by the size accounting; the
+    /// actual stream is byte-padded).
+    pub fn coded_bits(&self, indices: &[u8]) -> u64 {
+        let hist = histogram(indices);
+        match self {
+            IndexCoding::Raw { width } => indices.len() as u64 * u64::from(*width),
+            IndexCoding::Rice { k } => rice_cost(&hist, u32::from(*k)),
+            IndexCoding::RiceRemap { k, table } => {
+                let mut rank_hist = [0u64; 256];
+                for (rank, &v) in table.iter().enumerate() {
+                    rank_hist[rank] = hist[v as usize];
+                }
+                8 * table.len() as u64 + rice_cost(&rank_hist, u32::from(*k))
+            }
+        }
+    }
+
+    /// Short human-readable description (`raw[4b]`, `rice[k=1]`, ...).
+    pub fn describe(&self) -> String {
+        match self {
+            IndexCoding::Raw { width } => format!("raw[{width}b]"),
+            IndexCoding::Rice { k } => format!("rice[k={k}]"),
+            IndexCoding::RiceRemap { k, table } => {
+                format!("rice+remap[k={k},{} syms]", table.len())
+            }
+        }
+    }
+
+    fn write_header(&self, out: &mut Vec<u8>) {
+        match self {
+            IndexCoding::Raw { width } => {
+                out.push(0);
+                out.push(*width);
+            }
+            IndexCoding::Rice { k } => {
+                out.push(1);
+                out.push(*k);
+            }
+            IndexCoding::RiceRemap { k, table } => {
+                out.push(2);
+                out.push(*k);
+                write_varint(out, table.len() as u64);
+                out.extend_from_slice(table);
+            }
+        }
+    }
+
+    fn read_header(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.u8("index coding mode")? {
+            0 => {
+                let width = r.u8("raw index width")?;
+                if width > 8 {
+                    return Err(CodecError::Malformed(format!("raw index width {width} > 8")));
+                }
+                Ok(IndexCoding::Raw { width })
+            }
+            1 => {
+                let k = r.u8("rice parameter")?;
+                if k > MAX_RICE_K {
+                    return Err(CodecError::Malformed(format!(
+                        "rice parameter {k} > {MAX_RICE_K}"
+                    )));
+                }
+                Ok(IndexCoding::Rice { k })
+            }
+            2 => {
+                let k = r.u8("rice parameter")?;
+                if k > MAX_RICE_K {
+                    return Err(CodecError::Malformed(format!(
+                        "rice parameter {k} > {MAX_RICE_K}"
+                    )));
+                }
+                let len = r.varint("remap table length")? as usize;
+                if len == 0 || len > 256 {
+                    return Err(CodecError::Malformed(format!("remap table of {len} entries")));
+                }
+                let table = r.take(len, "remap table")?.to_vec();
+                Ok(IndexCoding::RiceRemap { k, table })
+            }
+            other => Err(CodecError::Malformed(format!("unknown index coding mode {other}"))),
+        }
+    }
+
+    fn encode_stream(&self, indices: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        match self {
+            IndexCoding::Raw { width } => {
+                for &v in indices {
+                    w.write_bits(u64::from(v), u32::from(*width));
+                }
+            }
+            IndexCoding::Rice { k } => {
+                for &v in indices {
+                    w.write_rice(u32::from(v), u32::from(*k));
+                }
+            }
+            IndexCoding::RiceRemap { k, table } => {
+                let mut rank_of = [0u8; 256];
+                for (rank, &v) in table.iter().enumerate() {
+                    rank_of[v as usize] = rank as u8;
+                }
+                for &v in indices {
+                    w.write_rice(u32::from(rank_of[v as usize]), u32::from(*k));
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_stream(&self, stream: &[u8], count: usize) -> Result<Vec<u8>, CodecError> {
+        let mut b = BitReader::new(stream);
+        let mut out = Vec::with_capacity(count);
+        match self {
+            IndexCoding::Raw { width } => {
+                for _ in 0..count {
+                    out.push(b.read_bits(u32::from(*width), "raw index")? as u8);
+                }
+            }
+            IndexCoding::Rice { k } => {
+                for _ in 0..count {
+                    let v = b.read_rice(u32::from(*k), "index")?;
+                    let v = u8::try_from(v).map_err(|_| {
+                        CodecError::Malformed(format!("rice-coded index {v} exceeds a byte"))
+                    })?;
+                    out.push(v);
+                }
+            }
+            IndexCoding::RiceRemap { k, table } => {
+                for _ in 0..count {
+                    let rank = b.read_rice(u32::from(*k), "index rank")? as usize;
+                    let v = *table.get(rank).ok_or_else(|| {
+                        CodecError::Malformed(format!(
+                            "index rank {rank} outside the {}-entry remap table",
+                            table.len()
+                        ))
+                    })?;
+                    out.push(v);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Sum of Rice-coded bit lengths over a value histogram.
+fn rice_cost(hist: &[u64; 256], k: u32) -> u64 {
+    hist.iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(v, &c)| c * ((v as u64 >> k) + 1 + u64::from(k)))
+        .sum()
+}
+
+/// Bits needed to represent `max` (0 for 0).
+fn bits_for(max: u32) -> u32 {
+    32 - max.leading_zeros()
+}
+
+/// Sign-extends a `width`-bit two's-complement value.
+fn sign_extend(raw: u32, width: u32) -> i32 {
+    if width == 32 || raw & (1 << (width - 1)) == 0 {
+        raw as i32
+    } else {
+        (raw | !((1u32 << width) - 1)) as i32
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-layer statistics (wp_bundle inspect, bundle_size bench)
+// ---------------------------------------------------------------------------
+
+/// One pooled layer's index-stream coding report.
+#[derive(Debug, Clone)]
+pub struct IndexStreamStats {
+    /// Position in [`DeployBundle::convs`].
+    pub conv: usize,
+    /// Indices in the stream.
+    pub count: usize,
+    /// Empirical entropy in bits per index ([`stream_entropy_bits`]).
+    pub entropy_bits: f64,
+    /// WPB coded size in bits per index (remap table amortized in).
+    pub coded_bits: f64,
+    /// The chosen coding, human readable.
+    pub coding: String,
+}
+
+/// Per-pooled-layer coding statistics for `bundle` (direct convs carry no
+/// index stream and are omitted).
+pub fn index_stream_stats(bundle: &DeployBundle) -> Vec<IndexStreamStats> {
+    bundle
+        .convs
+        .iter()
+        .enumerate()
+        .filter_map(|(conv, payload)| match payload {
+            ConvPayload::Pooled { indices } => {
+                let coding = IndexCoding::choose(indices);
+                let coded = coding.coded_bits(indices);
+                let per_index =
+                    if indices.is_empty() { 0.0 } else { coded as f64 / indices.len() as f64 };
+                Some(IndexStreamStats {
+                    conv,
+                    count: indices.len(),
+                    entropy_bits: stream_entropy_bits(indices),
+                    coded_bits: per_index,
+                    coding: coding.describe(),
+                })
+            }
+            ConvPayload::Direct { .. } => None,
+        })
+        .collect()
+}
+
+/// Empirical entropy of one index stream in bits per index.
+///
+/// An empty stream has zero entropy (not NaN): there is nothing to code.
+pub fn stream_entropy_bits(indices: &[u8]) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    let total = indices.len() as f64;
+    histogram(indices)
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Byte-value histogram of one index stream.
+fn histogram(indices: &[u8]) -> [u64; 256] {
+    let mut hist = [0u64; 256];
+    for &i in indices {
+        hist[i as usize] += 1;
+    }
+    hist
+}
+
+// ---------------------------------------------------------------------------
+// Primitives: varints, checksums, bitstreams
+// ---------------------------------------------------------------------------
+
+/// Appends a LEB128 varint.
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `tag`, varint length, `payload`, and the payload's CRC-32.
+fn write_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    write_varint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            j += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// A bounds-checked byte cursor; every overrun is a loud
+/// [`CodecError::Truncated`] naming what was being read.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+
+    fn expect_empty(&self, section: &'static str) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed(format!(
+                "{} trailing bytes in {section} section",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(CodecError::Truncated(what));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32le(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4-byte slice")))
+    }
+
+    fn varint(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8(what)?;
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::Malformed(format!("varint too long reading {what}")))
+    }
+}
+
+/// LSB-first bit appender.
+struct BitWriter {
+    bytes: Vec<u8>,
+    used: u8,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        Self { bytes: Vec::new(), used: 0 }
+    }
+
+    fn push_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            *self.bytes.last_mut().expect("pushed above") |= 1 << self.used;
+        }
+        self.used = (self.used + 1) & 7;
+    }
+
+    /// Writes the low `n` bits of `v`, LSB first.
+    fn write_bits(&mut self, v: u64, n: u32) {
+        for i in 0..n {
+            self.push_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Rice code: quotient `v >> k` in unary (ones, zero-terminated),
+    /// then the low `k` remainder bits.
+    fn write_rice(&mut self, v: u32, k: u32) {
+        for _ in 0..(v >> k) {
+            self.push_bit(true);
+        }
+        self.push_bit(false);
+        self.write_bits(u64::from(v), k);
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// LSB-first bit cursor over a byte slice.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn read_bit(&mut self, what: &'static str) -> Result<bool, CodecError> {
+        let byte = (self.pos / 8) as usize;
+        if byte >= self.bytes.len() {
+            return Err(CodecError::Truncated(what));
+        }
+        let bit = (self.bytes[byte] >> (self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    fn read_bits(&mut self, n: u32, what: &'static str) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        for i in 0..n {
+            if self.read_bit(what)? {
+                v |= 1 << i;
+            }
+        }
+        Ok(v)
+    }
+
+    fn read_rice(&mut self, k: u32, what: &'static str) -> Result<u32, CodecError> {
+        let mut q = 0u32;
+        while self.read_bit(what)? {
+            q += 1;
+            if q > 4096 {
+                return Err(CodecError::Malformed(format!("runaway rice quotient reading {what}")));
+            }
+        }
+        let r = self.read_bits(k, what)? as u32;
+        Ok((q << k) | r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netspec::{ConvSpec, LayerSpec};
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A hand-built bundle exercising both payload kinds and a controllable
+    /// index distribution (`skew` 0 = uniform, larger = more peaked).
+    fn fabricated_bundle(seed: u64, pool_size: usize, order: LutOrder, skew: u32) -> DeployBundle {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let group = 8usize;
+        let vectors: Vec<Vec<f32>> = (0..pool_size)
+            .map(|_| (0..group).map(|_| rng.gen_range(-0.5f32..0.5)).collect())
+            .collect();
+        let pool = WeightPool::from_vectors(vectors);
+        let lut = LookupTable::build(&pool, 8, order);
+        let spec = NetSpec {
+            name: format!("fab-{seed}"),
+            input: (3, 6, 6),
+            classes: 4,
+            layers: vec![
+                LayerSpec::Conv(ConvSpec {
+                    in_ch: 3,
+                    out_ch: 8,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    compressed: false,
+                }),
+                LayerSpec::Conv(ConvSpec {
+                    in_ch: 8,
+                    out_ch: 16,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    compressed: true,
+                }),
+                LayerSpec::GlobalAvgPool,
+                LayerSpec::Dense { in_features: 16, out_features: 4, compressed: false },
+            ],
+        };
+        let direct: Vec<i8> = (0..8 * 3 * 9).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+        let indices: Vec<u8> = (0..16 * 9)
+            .map(|_| {
+                let mut v = rng.gen_range(0..pool_size);
+                for _ in 0..skew {
+                    v = v.min(rng.gen_range(0..pool_size));
+                }
+                v as u8
+            })
+            .collect();
+        DeployBundle {
+            spec,
+            pool,
+            lut,
+            convs: vec![
+                ConvPayload::Direct { weights: direct, scale: 0.0625 },
+                ConvPayload::Pooled { indices },
+            ],
+            act_bits: 8,
+        }
+    }
+
+    #[test]
+    fn wpb_round_trips_both_orders_and_payload_kinds() {
+        for order in [LutOrder::InputOriented, LutOrder::WeightOriented] {
+            for skew in [0, 3] {
+                let b = fabricated_bundle(7, 16, order, skew);
+                let bytes = WpbCodec.encode(&b).unwrap();
+                assert_eq!(Format::sniff(&bytes), Format::Wpb);
+                let back = WpbCodec.decode(&bytes).unwrap();
+                assert_eq!(b, back);
+            }
+        }
+    }
+
+    #[test]
+    fn json_and_wpb_decode_to_the_same_bundle() {
+        let b = fabricated_bundle(9, 8, LutOrder::InputOriented, 2);
+        let json = JsonCodec.encode(&b).unwrap();
+        let wpb = WpbCodec.encode(&b).unwrap();
+        assert_eq!(JsonCodec.decode(&json).unwrap(), WpbCodec.decode(&wpb).unwrap());
+        assert!(wpb.len() < json.len(), "wpb {} vs json {}", wpb.len(), json.len());
+    }
+
+    #[test]
+    fn empty_index_stream_round_trips() {
+        let mut b = fabricated_bundle(3, 4, LutOrder::InputOriented, 0);
+        b.convs[1] = ConvPayload::Pooled { indices: Vec::new() };
+        let bytes = WpbCodec.encode(&b).unwrap();
+        assert_eq!(WpbCodec.decode(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn stream_entropy_of_empty_stream_is_zero() {
+        assert_eq!(stream_entropy_bits(&[]), 0.0);
+        // Single-symbol streams are also zero-entropy, not NaN.
+        assert_eq!(stream_entropy_bits(&[5; 100]), 0.0);
+    }
+
+    #[test]
+    fn uniform_streams_fall_back_to_raw_fixed_width() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let uniform: Vec<u8> = (0..4096).map(|_| rng.gen_range(0..16) as u8).collect();
+        let coding = IndexCoding::choose(&uniform);
+        assert_eq!(coding, IndexCoding::Raw { width: 4 }, "uniform: {}", coding.describe());
+        assert_eq!(coding.coded_bits(&uniform), 4 * 4096);
+    }
+
+    #[test]
+    fn skewed_streams_choose_rice_and_beat_fixed_width() {
+        // Geometric-ish: symbol v with probability ~2^-v.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let skewed: Vec<u8> = (0..4096)
+            .map(|_| {
+                let mut v = 0u8;
+                while v < 15 && rng.gen_range(0..2) == 0 {
+                    v += 1;
+                }
+                v
+            })
+            .collect();
+        let coding = IndexCoding::choose(&skewed);
+        assert!(
+            matches!(coding, IndexCoding::Rice { .. } | IndexCoding::RiceRemap { .. }),
+            "skewed stream should entropy-code, chose {}",
+            coding.describe()
+        );
+        let coded = coding.coded_bits(&skewed) as f64 / skewed.len() as f64;
+        let fixed = 4.0;
+        let entropy = stream_entropy_bits(&skewed);
+        assert!(coded < fixed, "coded {coded:.3} must beat fixed {fixed}");
+        assert!(coded <= entropy * 1.15 + 0.2, "coded {coded:.3} vs entropy {entropy:.3}");
+    }
+
+    #[test]
+    fn remap_handles_skew_on_arbitrary_symbols() {
+        // Heavy mass on a *high* index: plain Rice on raw values is poor,
+        // the rank remap makes it geometric again.
+        let mut stream = vec![200u8; 1000];
+        stream.extend(std::iter::repeat_n(13u8, 100));
+        stream.extend(std::iter::repeat_n(77u8, 10));
+        let coding = IndexCoding::choose(&stream);
+        assert!(
+            matches!(coding, IndexCoding::RiceRemap { .. }),
+            "expected remap, chose {}",
+            coding.describe()
+        );
+        // Round trip through the actual bitstream.
+        let stream_bytes = coding.encode_stream(&stream);
+        let back = coding.decode_stream(&stream_bytes, stream.len()).unwrap();
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn truncated_files_fail_loudly() {
+        let b = fabricated_bundle(5, 8, LutOrder::WeightOriented, 1);
+        let bytes = WpbCodec.encode(&b).unwrap();
+        // Every proper prefix must error, never yield a bundle.
+        for cut in [3, 5, 7, bytes.len() / 4, bytes.len() / 2, bytes.len() - 5, bytes.len() - 1] {
+            let err = WpbCodec.decode(&bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let b = fabricated_bundle(6, 8, LutOrder::InputOriented, 0);
+        let mut bytes = WpbCodec.encode(&b).unwrap();
+        // Flip a bit inside the convs payload (late in the buffer, past
+        // every header byte).
+        let at = bytes.len() - 40;
+        bytes[at] ^= 0x10;
+        match WpbCodec.decode(&bytes) {
+            Err(CodecError::Checksum(_)) | Err(CodecError::Malformed(_)) => {}
+            other => panic!("corruption must fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_header_fails_the_header_checksum() {
+        // act_bits lives outside every section; a flipped bit there must
+        // not decode into a quietly wrong bundle.
+        let b = fabricated_bundle(6, 8, LutOrder::InputOriented, 0);
+        let mut bytes = WpbCodec.encode(&b).unwrap();
+        bytes[5] ^= 0x04; // act_bits
+        assert!(matches!(WpbCodec.decode(&bytes), Err(CodecError::Checksum("header"))));
+    }
+
+    #[test]
+    fn hostile_counts_are_errors_not_panics() {
+        // Hand-build sections whose varint counts claim far more elements
+        // than the payload holds; decode must return typed errors (never
+        // a capacity-overflow panic or a giant allocation).
+        let huge_pool = {
+            let mut p = Vec::new();
+            write_varint(&mut p, 1 << 62); // S
+            write_varint(&mut p, 8); // G
+            p
+        };
+        assert!(decode_pool(&huge_pool).is_err());
+
+        let huge_lut = {
+            let mut p = Vec::new();
+            write_varint(&mut p, 12); // group
+            write_varint(&mut p, 1 << 60); // pool_size
+            p.push(8); // bits
+            p.push(0); // order
+            p.extend_from_slice(&1.0f32.to_bits().to_le_bytes());
+            p
+        };
+        assert!(decode_lut(&huge_lut).is_err());
+
+        let huge_convs = {
+            let mut p = Vec::new();
+            write_varint(&mut p, 1); // one conv
+            p.push(0); // pooled
+            write_varint(&mut p, 1 << 50); // indices "count"
+            p.push(0); // raw mode
+            p.push(0); // width 0 (zero stream bits per index)
+            write_varint(&mut p, 0); // empty stream
+            p
+        };
+        assert!(decode_convs(&huge_convs).is_err());
+
+        let many_convs = {
+            let mut p = Vec::new();
+            write_varint(&mut p, 1 << 55);
+            p
+        };
+        assert!(decode_convs(&many_convs).is_err());
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let b = fabricated_bundle(8, 4, LutOrder::InputOriented, 0);
+        let bytes = WpbCodec.encode(&b).unwrap();
+        assert!(matches!(WpbCodec.decode(b"JSON{}"), Err(CodecError::BadMagic)));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert!(matches!(WpbCodec.decode(&wrong_version), Err(CodecError::UnsupportedVersion(99))));
+    }
+
+    #[test]
+    fn format_sniffing_and_extensions() {
+        assert_eq!(Format::sniff(b"WPB1...."), Format::Wpb);
+        assert_eq!(Format::sniff(b"{\"spec\":..."), Format::Json);
+        assert_eq!(Format::for_path(Path::new("m.wpb")), Format::Wpb);
+        assert_eq!(Format::for_path(Path::new("m.WPB")), Format::Wpb);
+        assert_eq!(Format::for_path(Path::new("m.json")), Format::Json);
+        assert_eq!(Format::for_path(Path::new("m")), Format::Json);
+        assert_eq!(Format::Wpb.codec().format(), Format::Wpb);
+        assert_eq!(Format::Json.codec().format(), Format::Json);
+    }
+
+    #[test]
+    fn stats_cover_pooled_layers_only() {
+        let b = fabricated_bundle(11, 16, LutOrder::InputOriented, 2);
+        let stats = index_stream_stats(&b);
+        assert_eq!(stats.len(), 1, "one pooled conv");
+        assert_eq!(stats[0].conv, 1);
+        assert_eq!(stats[0].count, 16 * 9);
+        assert!(stats[0].entropy_bits > 0.0);
+        assert!(stats[0].coded_bits > 0.0);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn bitstream_primitives_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_rice(37, 3);
+        w.write_rice(0, 0);
+        w.write_bits(0x5A5A, 16);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4, "t").unwrap(), 0b1011);
+        assert_eq!(r.read_rice(3, "t").unwrap(), 37);
+        assert_eq!(r.read_rice(0, "t").unwrap(), 0);
+        assert_eq!(r.read_bits(16, "t").unwrap(), 0x5A5A);
+        assert!(r.read_bits(64, "past the end").is_err());
+    }
+
+    #[test]
+    fn sign_extension_is_exact() {
+        assert_eq!(sign_extend(0b1111_1111, 8), -1);
+        assert_eq!(sign_extend(0b0111_1111, 8), 127);
+        assert_eq!(sign_extend(0b10, 2), -2);
+        assert_eq!(sign_extend(5, 16), 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// WPB and JSON reconstruct the identical bundle for arbitrary
+        /// pools, orders, skews and payload mixes.
+        #[test]
+        fn prop_wpb_round_trip_equals_json(
+            seed in 0u64..1000,
+            pool_size in 2usize..32,
+            order_bit in 0u8..2,
+            skew in 0u32..5,
+        ) {
+            let order = if order_bit == 0 {
+                LutOrder::InputOriented
+            } else {
+                LutOrder::WeightOriented
+            };
+            let b = fabricated_bundle(seed, pool_size, order, skew);
+            let wpb = WpbCodec.encode(&b).unwrap();
+            let json = JsonCodec.encode(&b).unwrap();
+            prop_assert_eq!(&WpbCodec.decode(&wpb).unwrap(), &b);
+            prop_assert_eq!(&JsonCodec.decode(&json).unwrap(), &b);
+        }
+
+        /// Every index coding the chooser can emit decodes its own stream
+        /// back bit-identically.
+        #[test]
+        fn prop_index_coding_round_trips(seed in 0u64..500, skew in 0u32..6, n in 0usize..600) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let indices: Vec<u8> = (0..n)
+                .map(|_| {
+                    let mut v = rng.gen_range(0..250u32);
+                    for _ in 0..skew {
+                        v = v.min(rng.gen_range(0..250));
+                    }
+                    v as u8
+                })
+                .collect();
+            let coding = IndexCoding::choose(&indices);
+            let stream = coding.encode_stream(&indices);
+            let back = coding.decode_stream(&stream, indices.len()).unwrap();
+            prop_assert_eq!(back, indices);
+        }
+
+        /// The chooser never does worse than the raw fixed-width fallback.
+        #[test]
+        fn prop_chosen_coding_never_expands(seed in 0u64..500, skew in 0u32..6) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let indices: Vec<u8> = (0..512)
+                .map(|_| {
+                    let mut v = rng.gen_range(0..64u32);
+                    for _ in 0..skew {
+                        v = v.min(rng.gen_range(0..64));
+                    }
+                    v as u8
+                })
+                .collect();
+            let max = indices.iter().copied().max().unwrap_or(0);
+            let raw_bits = indices.len() as u64 * u64::from(bits_for(u32::from(max)));
+            let coding = IndexCoding::choose(&indices);
+            prop_assert!(coding.coded_bits(&indices) <= raw_bits);
+        }
+    }
+}

@@ -12,9 +12,12 @@
 //! storage below the flat `log2 S` bits — a natural extension the paper
 //! leaves open).
 
+pub mod codec;
+
 use crate::compress::{self, is_compressible};
 use crate::netspec::{LayerSpec, NetSpec};
 use crate::{LookupTable, PoolConfig, WeightPool};
+use codec::{CodecError, Format};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use wp_nn::Sequential;
@@ -147,24 +150,50 @@ impl DeployBundle {
         h
     }
 
-    /// Saves the bundle as JSON.
+    /// Saves the bundle, choosing the format from the path's extension:
+    /// `.wpb` writes the entropy-coded binary format
+    /// ([`codec::WpbCodec`]), anything else JSON.
     ///
     /// # Errors
     ///
     /// Returns any I/O or serialization error.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
+        let path = path.as_ref();
+        let bytes = self.to_bytes(Format::for_path(path)).map_err(std::io::Error::other)?;
+        std::fs::write(path, bytes)
     }
 
-    /// Loads a bundle saved by [`DeployBundle::save`].
+    /// Loads a bundle saved by [`DeployBundle::save`] in either format;
+    /// the format is sniffed from the file's magic bytes, so JSON and
+    /// `.wpb` files load interchangeably everywhere a bundle path is
+    /// accepted (engine loader, server hot-swap, `wp_serve --model`).
     ///
     /// # Errors
     ///
-    /// Returns any I/O or deserialization error.
+    /// Returns any I/O or deserialization error (truncated or corrupted
+    /// WPB files fail their section checksums loudly).
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let file = std::fs::File::open(path)?;
-        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes).map_err(std::io::Error::other)
+    }
+
+    /// Serializes the bundle with the given format's codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CodecError`] from the codec.
+    pub fn to_bytes(&self, format: Format) -> Result<Vec<u8>, CodecError> {
+        format.codec().encode(self)
+    }
+
+    /// Reconstructs a bundle from serialized bytes in either format
+    /// (sniffed via [`Format::sniff`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CodecError`] from the sniffed codec.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        Format::sniff(bytes).codec().decode(bytes)
     }
 }
 
@@ -264,6 +293,33 @@ mod tests {
         let back = DeployBundle::load(&path).unwrap();
         assert_eq!(b, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wpb_save_load_round_trip_by_extension() {
+        let b = bundle();
+        let dir = std::env::temp_dir().join("wp_deploy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.wpb");
+        b.save(&path).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert!(raw.starts_with(b"WPB1"), "extension .wpb must write the binary format");
+        let back = DeployBundle::load(&path).unwrap();
+        assert_eq!(b, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_index_stream_has_zero_entropy() {
+        // A bundle whose every conv is direct has an empty index stream;
+        // its entropy is 0.0, never NaN.
+        let mut b = bundle();
+        b.convs[1] = ConvPayload::Direct { weights: vec![0; 8 * 16 * 9], scale: 1.0 };
+        assert_eq!(b.index_entropy_bits(), 0.0);
+        assert!(!b.index_entropy_bits().is_nan());
+        // Same for an empty pooled payload.
+        b.convs[1] = ConvPayload::Pooled { indices: Vec::new() };
+        assert_eq!(b.index_entropy_bits(), 0.0);
     }
 
     #[test]

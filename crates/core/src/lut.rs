@@ -85,6 +85,51 @@ impl LookupTable {
         Self { group, pool_size, bits, scale: params.scale(), order, codes }
     }
 
+    /// Reassembles a table from its stored parts — the binary bundle
+    /// codec's decode path. `codes` must be in storage order for `order`
+    /// (exactly what [`LookupTable::codes`] returns).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant: the same shape
+    /// limits [`LookupTable::build`] enforces, a `codes` length other
+    /// than `pool_size * 2^group`, codes outside the `bits`-bit two's
+    /// complement range, or a non-finite scale.
+    pub fn from_parts(
+        group: usize,
+        pool_size: usize,
+        bits: u8,
+        scale: f32,
+        order: LutOrder,
+        codes: Vec<i32>,
+    ) -> Result<Self, String> {
+        if group == 0 || group > 12 {
+            return Err(format!("lut group size {group} outside 1..=12"));
+        }
+        if !(2..=16).contains(&bits) {
+            return Err(format!("lut bits {bits} outside 2..=16"));
+        }
+        if pool_size == 0 {
+            return Err("lut pool size must be nonzero".into());
+        }
+        if !scale.is_finite() {
+            return Err(format!("lut scale {scale} is not finite"));
+        }
+        // `group` is already bounded to 12, but `pool_size` is caller
+        // data: the shift must not silently wrap.
+        let expect = pool_size
+            .checked_mul(1usize << group)
+            .ok_or_else(|| format!("lut shape {pool_size} << {group} overflows"))?;
+        if codes.len() != expect {
+            return Err(format!("lut has {} codes, shape needs {expect}", codes.len()));
+        }
+        let (lo, hi) = (-(1i64 << (bits - 1)), (1i64 << (bits - 1)) - 1);
+        if let Some(&bad) = codes.iter().find(|&&c| i64::from(c) < lo || i64::from(c) > hi) {
+            return Err(format!("lut code {bad} outside the {bits}-bit range"));
+        }
+        Ok(Self { group, pool_size, bits, scale, order, codes })
+    }
+
     /// The exact (unquantized) dot product of `vector` with bit pattern
     /// `m`: sums elements whose bit is set.
     pub fn exact_dot(vector: &[f32], m: u32) -> f32 {

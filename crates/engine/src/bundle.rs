@@ -200,6 +200,25 @@ impl PreparedNet {
         Self { backend, layers, input: bundle.spec.input, act_bits }
     }
 
+    /// Loads a bundle file and compiles it in one step. The on-disk
+    /// format — JSON or entropy-coded WPB — is sniffed from the file's
+    /// magic bytes, so both deploy interchangeably; the compiled plan is
+    /// bit-identical either way (WPB round-trips the bundle exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or decode error (truncated/corrupt WPB files fail
+    /// their section checksums rather than compiling a partial plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decoded bundle's payloads disagree with its spec,
+    /// as in [`PreparedNet::from_bundle`].
+    pub fn load(path: impl AsRef<std::path::Path>, opts: &EngineOptions) -> std::io::Result<Self> {
+        let bundle = DeployBundle::load(path)?;
+        Ok(Self::from_bundle(&bundle, opts))
+    }
+
     /// The network's input shape `(C, H, W)`.
     pub fn input_shape(&self) -> (usize, usize, usize) {
         self.input
@@ -587,6 +606,47 @@ mod tests {
         assert!(net.run_batch(&[]).is_empty());
         let input = net.fabricate_inputs(1, 31).pop().unwrap();
         assert_eq!(net.run_batch(&[&input]), vec![net.run_one(&input)]);
+    }
+
+    #[test]
+    fn load_compiles_identically_from_json_and_wpb() {
+        let bundle = toy_bundle(LutOrder::WeightOriented);
+        let dir = std::env::temp_dir().join("wp_engine_load_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("net.json");
+        let wpb_path = dir.join("net.wpb");
+        bundle.save(&json_path).unwrap();
+        bundle.save(&wpb_path).unwrap();
+        assert!(
+            std::fs::metadata(&wpb_path).unwrap().len()
+                < std::fs::metadata(&json_path).unwrap().len(),
+            "binary bundle must be smaller"
+        );
+
+        let opts = EngineOptions::default();
+        let from_json = PreparedNet::load(&json_path, &opts).unwrap();
+        let from_wpb = PreparedNet::load(&wpb_path, &opts).unwrap();
+        let direct = PreparedNet::from_bundle(&bundle, &opts);
+        for input in direct.fabricate_inputs(4, 17) {
+            let expect = direct.run_one(&input);
+            assert_eq!(from_json.run_one(&input), expect);
+            assert_eq!(from_wpb.run_one(&input), expect, "wpb-loaded plan must match exactly");
+        }
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_file(&wpb_path).ok();
+    }
+
+    #[test]
+    fn load_rejects_truncated_wpb() {
+        let bundle = toy_bundle(LutOrder::InputOriented);
+        let dir = std::env::temp_dir().join("wp_engine_load_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.wpb");
+        bundle.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(PreparedNet::load(&path, &EngineOptions::default()).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -4,17 +4,18 @@
 //! # Serve the built-in demo model on an ephemeral port:
 //! cargo run --release --bin wp_serve -p wp_server -- --demo --port 0
 //!
-//! # Serve bundles from disk, two models, fixed port:
+//! # Serve bundles from disk, two models, fixed port (JSON or binary
+//! # WPB bundles — the format is sniffed from the file's magic bytes):
 //! cargo run --release --bin wp_serve -p wp_server -- \
-//!     --model mnist=/path/mnist.json --model kws=/path/kws.json --port 8080
+//!     --model mnist=/path/mnist.wpb --model kws=/path/kws.json --port 8080
 //! ```
 //!
 //! Flags:
 //!
 //! * `--port N` / `--addr HOST:PORT` — bind address (default
 //!   `127.0.0.1:8080`; port 0 picks an ephemeral port).
-//! * `--model NAME=PATH` — deploy a `DeployBundle` JSON file (repeatable;
-//!   `POST /v1/models/NAME/reload` re-reads it).
+//! * `--model NAME=PATH` — deploy a `DeployBundle` file, JSON or `.wpb`
+//!   (repeatable; `POST /v1/models/NAME/reload` re-reads it).
 //! * `--demo` — deploy the fabricated demo model as `demo`.
 //! * `--max-batch N`, `--max-wait-us N` — micro-batcher flush thresholds.
 //! * `--threads N` — engine worker threads per batch.
@@ -105,7 +106,7 @@ fn parse_args() -> Result<Args, String> {
 const HELP: &str = "wp_serve — weight-pool inference server
     --addr HOST:PORT     bind address (default 127.0.0.1:8080)
     --port N             shorthand for --addr 127.0.0.1:N (0 = ephemeral)
-    --model NAME=PATH    deploy a DeployBundle JSON file (repeatable)
+    --model NAME=PATH    deploy a DeployBundle file, JSON or .wpb (repeatable)
     --demo               deploy the fabricated demo model as 'demo'
     --max-batch N        micro-batch flush size (default 32)
     --max-wait-us N      micro-batch flush deadline (default 2000)

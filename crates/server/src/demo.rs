@@ -7,6 +7,14 @@
 //! small shared pool): that is the regime the paper compresses best, and
 //! the one where the engine's batched scatter amortizes most, so it shows
 //! the micro-batcher's value honestly.
+//!
+//! Index maps are drawn from a **skewed** distribution (truncated
+//! geometric over a per-layer permutation of the pool) rather than a
+//! uniform one: K-means pools in trained networks have strongly
+//! non-uniform usage histograms, and the uniform draw is the one
+//! distribution no entropy coder can touch — a demo fabricated that way
+//! would misrepresent both the paper's regime and the WPB codec's
+//! behavior on real bundles.
 
 use rand::{Rng, SeedableRng};
 use wp_core::deploy::{ConvPayload, DeployBundle};
@@ -72,8 +80,23 @@ pub fn demo_bundle(size: DemoSize, seed: u64) -> DeployBundle {
     let stem: Vec<i8> = (0..stem_out * 8 * 9).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
     let mut convs = vec![ConvPayload::Direct { weights: stem, scale: 0.01 }];
     for (out_ch, groups) in pooled_dims {
-        let indices: Vec<u8> =
-            (0..out_ch * groups * 9).map(|_| rng.gen_range(0..pool_size) as u8).collect();
+        // A fresh pool-entry permutation per layer, so the layer's most
+        // frequent index is an arbitrary symbol (not always 0) — real
+        // usage histograms peak wherever K-means put the popular vector.
+        let mut perm: Vec<u8> = (0..pool_size as u8).collect();
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, rng.gen_range(0..i + 1));
+        }
+        let indices: Vec<u8> = (0..out_ch * groups * 9)
+            .map(|_| {
+                // Truncated geometric (p = 1/2) over the permuted pool.
+                let mut v = 0usize;
+                while v + 1 < pool_size && rng.gen_range(0..2) == 0 {
+                    v += 1;
+                }
+                perm[v]
+            })
+            .collect();
         convs.push(ConvPayload::Pooled { indices });
     }
     DeployBundle { spec, pool, lut, convs, act_bits: 8 }

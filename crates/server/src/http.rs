@@ -277,6 +277,34 @@ mod tests {
     }
 
     #[test]
+    fn malformed_lengths_and_bytes_are_rejected() {
+        // Content-Length that isn't a number, or is negative.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // A head that stops without its blank-line terminator.
+        assert!(matches!(parse("POST / HTTP/1.1\r\nHost: x"), Err(HttpError::Malformed(_))));
+        // Non-UTF-8 bytes in the head.
+        let mut raw = Vec::from(&b"GET / HTTP/1.1\r\nX-Bin: "[..]);
+        raw.extend_from_slice(&[0xFF, 0xFE]);
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(
+            read_request(&mut BufReader::new(raw.as_slice())),
+            Err(HttpError::Malformed(_))
+        ));
+        // Chunked transfer encoding is outside the supported subset.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn oversized_head_is_rejected() {
         let raw = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
         assert!(matches!(parse(&raw), Err(HttpError::TooLarge(_))));

@@ -119,7 +119,10 @@ impl ModelRegistry {
     }
 
     /// Loads a bundle file and deploys it as `name`; `reload` re-reads
-    /// the same path later.
+    /// the same path later. Both bundle formats are accepted — JSON and
+    /// the entropy-coded binary `.wpb` (sniffed from the file's magic
+    /// bytes, not its extension); WPB decodes substantially faster for
+    /// large models, which shortens the hot-swap window.
     ///
     /// # Errors
     ///
@@ -309,6 +312,38 @@ mod tests {
 
         // A corrupt file fails the reload but keeps the old plan serving.
         std::fs::write(&path, b"{ not json").unwrap();
+        assert!(matches!(reg.reload("m"), Err(RegistryError::LoadFailed(_))));
+        assert_eq!(entry.batcher().infer(input).unwrap(), after);
+
+        std::fs::remove_file(&path).ok();
+        reg.shutdown();
+    }
+
+    #[test]
+    fn wpb_file_backed_reload_hot_swaps() {
+        // The whole reload path — insert_file, reload-from-path, corrupt
+        // file rejection — must work identically for binary bundles.
+        let dir = std::env::temp_dir().join("wp_registry_wpb_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.wpb");
+        let (bundle, opts) = demo_deployment(DemoSize::Tiny, 1);
+        bundle.save(&path).unwrap();
+        assert!(std::fs::read(&path).unwrap().starts_with(b"WPB1"));
+
+        let reg = registry();
+        reg.insert_file("m", &path, opts).unwrap();
+        let entry = reg.get("m").unwrap();
+        let input = entry.net().fabricate_inputs(1, 4).pop().unwrap();
+        let before = entry.batcher().infer(input.clone()).unwrap();
+
+        demo_bundle(DemoSize::Tiny, 2).save(&path).unwrap();
+        reg.reload("m").unwrap();
+        let after = entry.batcher().infer(input.clone()).unwrap();
+        assert_ne!(before, after, "wpb reload must change the serving plan");
+
+        // Truncated WPB fails the checksum; the old plan keeps serving.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
         assert!(matches!(reg.reload("m"), Err(RegistryError::LoadFailed(_))));
         assert_eq!(entry.batcher().infer(input).unwrap(), after);
 

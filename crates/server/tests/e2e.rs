@@ -234,6 +234,139 @@ fn file_backed_reload_over_http() {
 }
 
 #[test]
+fn file_backed_reload_over_http_accepts_wpb() {
+    // Same hot-swap flow as the JSON test, but the bundle on disk is the
+    // entropy-coded binary format.
+    let dir = std::env::temp_dir().join("wp_e2e_reload_wpb");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.wpb");
+    let (bundle, opts) = demo_deployment(DemoSize::Tiny, 31);
+    bundle.save(&path).unwrap();
+    assert!(std::fs::read(&path).unwrap().starts_with(b"WPB1"), "must be binary on disk");
+
+    let registry = Arc::new(ModelRegistry::new(
+        BatcherConfig { max_batch: 4, ..BatcherConfig::default() },
+        Arc::new(Metrics::new()),
+    ));
+    registry.insert_file("m", &path, opts).unwrap();
+    let mut handle = serve(ServerConfig::default(), Arc::clone(&registry)).expect("bind");
+
+    let net = registry.get("m").unwrap().net();
+    let input = net.fabricate_inputs(1, 6).pop().unwrap();
+    let req =
+        serde_json::to_string(&InferRequest { model: None, inputs: vec![input.clone()] }).unwrap();
+
+    let mut client = Client::connect(&handle);
+    let (status, before) = client.request("POST", "/v1/infer", Some(&req));
+    assert_eq!(status, 200);
+
+    demo_deployment(DemoSize::Tiny, 32).0.save(&path).unwrap();
+    let (status, body) = client.request("POST", "/v1/models/m/reload", None);
+    assert_eq!(status, 200, "{body}");
+    let (status, after) = client.request("POST", "/v1/infer", Some(&req));
+    assert_eq!(status, 200);
+    assert_ne!(before, after, "wpb hot swap must change responses");
+
+    std::fs::remove_file(&path).ok();
+    handle.shutdown();
+}
+
+/// Sends raw (possibly broken) bytes, optionally half-closing the write
+/// side, and returns the response status line — or `None` if the server
+/// closed (or reset) the connection without one. A read timeout bounds
+/// the wait, so a hanging server fails the test instead of wedging it.
+fn raw_request(handle: &ServerHandle, bytes: &[u8], shutdown_write: bool) -> Option<String> {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // The server may reject and close mid-write (e.g. an oversized head);
+    // a failed tail write is part of the scenario, not a test error.
+    let _ = stream.write_all(bytes);
+    let _ = stream.flush();
+    if shutdown_write {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+    let mut response = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => response.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                panic!("server hung: no response within the client timeout")
+            }
+            // A reset after the server closed with our bytes still
+            // unread; keep whatever arrived before it.
+            Err(_) => break,
+        }
+    }
+    if response.is_empty() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&response);
+    Some(text.lines().next().unwrap_or_default().to_string())
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_hangs() {
+    let mut handle = start_server(4);
+
+    // Oversized Content-Length: rejected up front with 413, body unread.
+    let status = raw_request(
+        &handle,
+        format!("POST /v1/infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1_usize << 40).as_bytes(),
+        false,
+    );
+    assert_eq!(status.as_deref(), Some("HTTP/1.1 413 Payload Too Large"));
+
+    // Bad Content-Length value: 400.
+    let status =
+        raw_request(&handle, b"POST /v1/infer HTTP/1.1\r\nContent-Length: banana\r\n\r\n", false);
+    assert_eq!(status.as_deref(), Some("HTTP/1.1 400 Bad Request"));
+
+    // Missing header terminator: the head just stops mid-headers and the
+    // peer half-closes. The server must answer 400, not block on more
+    // bytes that never come.
+    let status = raw_request(&handle, b"POST /v1/infer HTTP/1.1\r\nHost: x", true);
+    assert_eq!(status.as_deref(), Some("HTTP/1.1 400 Bad Request"));
+
+    // Garbage method: parses as an unknown method and routes to 404.
+    let status =
+        raw_request(&handle, b"%%GARBAGE%% /v1/infer HTTP/1.1\r\nConnection: close\r\n\r\n", false);
+    assert_eq!(status.as_deref(), Some("HTTP/1.1 404 Not Found"));
+
+    // Non-UTF-8 binary noise in the request line: 400. (Half-close after
+    // the line so no unread bytes linger to race the response with RST.)
+    let status = raw_request(&handle, b"\xFF\xFE\x00\x01 / HTTP/1.1\r\n", true);
+    assert_eq!(status.as_deref(), Some("HTTP/1.1 400 Bad Request"));
+
+    // Unsupported HTTP version: 400.
+    let status = raw_request(&handle, b"GET / HTTP/2\r\n", true);
+    assert_eq!(status.as_deref(), Some("HTTP/1.1 400 Bad Request"));
+
+    // An oversized head (endless header line) is cut off at the limit
+    // and answered 413 — though the answer can be lost to a TCP reset
+    // when the server closes with our surplus bytes unread, so a silent
+    // close is also acceptable. Either way: no hang.
+    let mut huge = Vec::from(&b"GET / HTTP/1.1\r\nX-Pad: "[..]);
+    huge.extend(std::iter::repeat_n(b'a', 64 * 1024));
+    huge.extend_from_slice(b"\r\n\r\n");
+    let status = raw_request(&handle, &huge, false);
+    assert!(
+        status.is_none() || status.as_deref() == Some("HTTP/1.1 413 Payload Too Large"),
+        "unexpected response to oversized head: {status:?}"
+    );
+
+    // The server is still healthy afterwards.
+    let mut client = Client::connect(&handle);
+    let (status, _) = client.request("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
 fn remote_shutdown_drains_cleanly() {
     let mut handle = start_server(4);
     let mut client = Client::connect(&handle);
