@@ -89,34 +89,43 @@ fn main() {
     println!();
 
     // --- 3. Batched vs solo whole-network execution ----------------------
-    // The serving path: `PreparedNet::run_batch` amortizes the pooled
-    // convs' tap-index decode across the batch (batch-minor scatter), on
-    // a single thread — this is what the server's micro-batcher buys
-    // over per-request execution, before any thread parallelism.
-    let net = wp_server::demo::demo_prepared(wp_server::demo::DemoSize::Serve, 1);
-    println!("== Batched vs solo execution (scatter-heavy serving demo, 1 thread) ==");
-    for batch in [1usize, 8, 32] {
-        let inputs = net.fabricate_inputs(batch, 5);
-        let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
-        let solo_out: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
-        assert_eq!(net.run_batch(&refs), solo_out, "batched must be bit-identical");
-        let mut solo = f64::INFINITY;
-        let mut batched = f64::INFINITY;
-        for _ in 0..reps.min(5) {
-            let t = Instant::now();
-            for x in &inputs {
-                std::hint::black_box(net.run_one(x));
+    // The serving path: `PreparedNet::run_batch` executes every layer
+    // through its Kernel::run_batch entry point, amortizing each
+    // weight/tap decode across the batch, on a single thread — this is
+    // what the server's micro-batcher buys over per-request execution,
+    // before any thread parallelism. Both serving regimes are measured:
+    // the scatter-heavy pooled demo and the stem-heavy direct/dw/dense
+    // demo (the batched kernels this harness used to lack).
+    for (label, size) in [
+        ("scatter-heavy serving demo", wp_server::demo::DemoSize::Serve),
+        ("stem-heavy serving demo", wp_server::demo::DemoSize::Stem),
+    ] {
+        let net = wp_server::demo::demo_prepared(size, 1);
+        println!("== Batched vs solo execution ({label}, 1 thread) ==");
+        for batch in [1usize, 8, 32] {
+            let inputs = net.fabricate_inputs(batch, 5);
+            let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+            let solo_out: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+            assert_eq!(net.run_batch(&refs), solo_out, "batched must be bit-identical");
+            let mut solo = f64::INFINITY;
+            let mut batched = f64::INFINITY;
+            for _ in 0..reps.min(5) {
+                let t = Instant::now();
+                for x in &inputs {
+                    std::hint::black_box(net.run_one(x));
+                }
+                solo = solo.min(t.elapsed().as_secs_f64());
+                let t = Instant::now();
+                std::hint::black_box(net.run_batch(&refs));
+                batched = batched.min(t.elapsed().as_secs_f64());
             }
-            solo = solo.min(t.elapsed().as_secs_f64());
-            let t = Instant::now();
-            std::hint::black_box(net.run_batch(&refs));
-            batched = batched.min(t.elapsed().as_secs_f64());
+            println!(
+                "batch {batch:>2}: solo {:>8.1} img/s  batched {:>8.1} img/s  ({:.2}x, outputs identical)",
+                batch as f64 / solo,
+                batch as f64 / batched,
+                solo / batched
+            );
         }
-        println!(
-            "batch {batch:>2}: solo {:>8.1} img/s  batched {:>8.1} img/s  ({:.2}x, outputs identical)",
-            batch as f64 / solo,
-            batch as f64 / batched,
-            solo / batched
-        );
+        println!();
     }
 }

@@ -4,10 +4,12 @@
 //!
 //! Two ways to run:
 //!
-//! * **Self-contained benchmark** (default): spawns an in-process server
-//!   on an ephemeral port, measures the `max_batch = 1` configuration
-//!   against the batched configuration on the same model, asserts the
-//!   responses are bit-identical to `PreparedNet::run_one`, and writes
+//! * **Self-contained benchmark** (default): spawns in-process servers on
+//!   ephemeral ports and measures the `max_batch = 1` configuration
+//!   against the batched configuration for **both** serving regimes — the
+//!   scatter-heavy pooled demo (`demo-serve`) and the stem-heavy
+//!   direct/depthwise/dense demo (`demo-stem`) — asserting every response
+//!   is bit-identical to `PreparedNet::run_one`, and writes a sectioned
 //!   `BENCH_serve.json`.
 //!
 //!   ```sh
@@ -15,14 +17,16 @@
 //!   ```
 //!
 //! * **External target**: `--url http://HOST:PORT` drives an already
-//!   running `wp_serve --demo` (same demo model seed, so bit-identity is
-//!   still checked); `--shutdown` sends `POST /v1/shutdown` afterwards
-//!   and verifies the server acknowledges (requires `--allow-shutdown`
-//!   on the server).
+//!   running `wp_serve` (same demo model seeds, so bit-identity is still
+//!   checked); `--model demo|demo-stem` picks which deployed demo to
+//!   drive (`wp_serve --demo` serves `demo`, `--demo-stem` adds
+//!   `demo-stem`); `--shutdown` sends `POST /v1/shutdown` afterwards and
+//!   verifies the server acknowledges (requires `--allow-shutdown` on the
+//!   server).
 //!
 //! Flags: `--concurrency N` (default 16), `--requests N` (default 384),
-//! `--smoke` (quick pass: fewer requests, no 2x assertion), `--out PATH`
-//! (default `BENCH_serve.json`).
+//! `--smoke` (quick pass: fewer requests, no speedup assertions),
+//! `--out PATH` (default `BENCH_serve.json`).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -42,6 +46,7 @@ const DEMO_SEED: u64 = 1;
 
 struct Args {
     url: Option<String>,
+    model: String,
     concurrency: usize,
     requests: usize,
     smoke: bool,
@@ -52,6 +57,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         url: None,
+        model: "demo".into(),
         concurrency: 16,
         requests: 384,
         smoke: false,
@@ -63,6 +69,7 @@ fn parse_args() -> Args {
         let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
         match flag.as_str() {
             "--url" => args.url = Some(value("--url")),
+            "--model" => args.model = value("--model"),
             "--concurrency" => args.concurrency = value("--concurrency").parse().expect("number"),
             "--requests" => args.requests = value("--requests").parse().expect("number"),
             "--smoke" => args.smoke = true,
@@ -151,6 +158,7 @@ fn read_response(stream: &mut BufReader<TcpStream>) -> (u16, String) {
 fn drive(
     label: &str,
     addr: &str,
+    model: &str,
     inputs: &[Vec<i32>],
     expected: &[Vec<i32>],
     requests: usize,
@@ -177,7 +185,7 @@ fn drive(
                         }
                         let slot = i % inputs.len();
                         let body = serde_json::to_string(&InferRequest {
-                            model: Some("demo".into()),
+                            model: Some(model.to_string()),
                             inputs: vec![inputs[slot].clone()],
                         })
                         .unwrap();
@@ -210,13 +218,14 @@ fn drive(
     }
 }
 
-/// Starts an in-process demo server with the given flush size.
-fn local_server(max_batch: usize) -> wp_server::ServerHandle {
+/// Starts an in-process server deploying one demo model under `name`
+/// with the given flush size.
+fn local_server(max_batch: usize, size: DemoSize, name: &str) -> wp_server::ServerHandle {
     let batcher =
         BatcherConfig { max_batch, max_wait: Duration::from_millis(2), ..BatcherConfig::default() };
     let registry = Arc::new(ModelRegistry::new(batcher, Arc::new(Metrics::new())));
-    let (bundle, opts) = demo_deployment(DemoSize::Serve, DEMO_SEED);
-    registry.insert_bundle("demo", &bundle, opts);
+    let (bundle, opts) = demo_deployment(size, DEMO_SEED);
+    registry.insert_bundle(name, &bundle, opts);
     serve(
         ServerConfig { workers: 32, allow_remote_shutdown: true, ..ServerConfig::default() },
         registry,
@@ -249,12 +258,88 @@ fn json_entry(result: &RunResult, max_batch: usize) -> String {
     )
 }
 
-fn main() {
-    let args = parse_args();
-    let net = wp_server::demo::demo_prepared(DemoSize::Serve, DEMO_SEED);
+/// The demo a deployed model name refers to — bit-identity checks only
+/// make sense against the demo fabrication, so anything else is a hard
+/// error, not a silent fallback to the wrong oracle.
+fn demo_size_for(model: &str) -> DemoSize {
+    match model {
+        "demo" | "demo-serve" => DemoSize::Serve,
+        "demo-stem" => DemoSize::Stem,
+        other => panic!(
+            "--model {other:?} is not a fabricated demo model; this load generator verifies \
+             responses bit-for-bit against the demo oracle, so only 'demo', 'demo-serve' and \
+             'demo-stem' are supported"
+        ),
+    }
+}
+
+/// The expected-output oracle for a deployed demo model name.
+fn oracle(model: &str) -> (Vec<Vec<i32>>, Vec<Vec<i32>>) {
+    let net = wp_server::demo::demo_prepared(demo_size_for(model), DEMO_SEED);
     let inputs = net.fabricate_inputs(64, 777);
     let expected: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+    (inputs, expected)
+}
 
+/// One self-contained A/B section: unbatched vs batched server over one
+/// demo model, returning the section's JSON and its measured speedup.
+fn run_ab_section(model: &str, min_speedup: f64, args: &Args) -> (String, f64) {
+    let batched_size = 32;
+    let size = demo_size_for(model);
+    let (inputs, expected) = oracle(model);
+
+    println!("-- model {model} --");
+    let mut unbatched_server = local_server(1, size, model);
+    let unbatched = drive(
+        "max_batch=1",
+        &unbatched_server.addr().to_string(),
+        model,
+        &inputs,
+        &expected,
+        args.requests,
+        args.concurrency,
+    );
+    unbatched_server.shutdown();
+    report(&unbatched);
+
+    let mut batched_server = local_server(batched_size, size, model);
+    let batched = drive(
+        &format!("max_batch={batched_size}"),
+        &batched_server.addr().to_string(),
+        model,
+        &inputs,
+        &expected,
+        args.requests,
+        args.concurrency,
+    );
+    let snapshot = batched_server.registry().metrics().snapshot();
+    batched_server.shutdown();
+    report(&batched);
+
+    assert_eq!(unbatched.errors + batched.errors, 0, "every request must return 200");
+    let speedup = batched.rps() / unbatched.rps();
+    println!(
+        "batched/unbatched throughput ({model}): {speedup:.2}x  (batches: {}, mean planes/batch {:.1})",
+        snapshot.batches,
+        snapshot.inferences as f64 / snapshot.batches.max(1) as f64
+    );
+    if !args.smoke {
+        assert!(
+            speedup >= min_speedup,
+            "dynamic micro-batching on {model} must be >= {min_speedup}x over max_batch=1 \
+             (got {speedup:.2}x)"
+        );
+    }
+    let section = format!(
+        "{{\"model\":\"{model}\",\"configs\":[{},{}],\"batched_speedup\":{speedup:.2}}}",
+        json_entry(&unbatched, 1),
+        json_entry(&batched, batched_size)
+    );
+    (section, speedup)
+}
+
+fn main() {
+    let args = parse_args();
     println!(
         "serve_loadgen: {} requests, concurrency {}{}",
         args.requests,
@@ -262,16 +347,27 @@ fn main() {
         if args.smoke { " (smoke)" } else { "" }
     );
 
-    let mut entries = Vec::new();
-    let speedup;
+    let mut sections = Vec::new();
     if let Some(url) = &args.url {
         // External server: one configuration, whatever the server runs.
+        let (inputs, expected) = oracle(&args.model);
         let addr = url.strip_prefix("http://").unwrap_or(url).trim_end_matches('/').to_string();
-        let result = drive("external", &addr, &inputs, &expected, args.requests, args.concurrency);
+        let result = drive(
+            "external",
+            &addr,
+            &args.model,
+            &inputs,
+            &expected,
+            args.requests,
+            args.concurrency,
+        );
         report(&result);
         assert_eq!(result.errors, 0, "every request must return 200");
-        entries.push(json_entry(&result, 0));
-        speedup = 1.0;
+        sections.push(format!(
+            "{{\"model\":\"{}\",\"configs\":[{}],\"batched_speedup\":1.0}}",
+            args.model,
+            json_entry(&result, 0)
+        ));
         if args.shutdown {
             let stream = TcpStream::connect(&addr).expect("connect for shutdown");
             let mut stream = BufReader::new(stream);
@@ -286,55 +382,18 @@ fn main() {
             println!("server acknowledged shutdown");
         }
     } else {
-        // Self-contained A/B: unbatched vs batched server on one machine.
-        let batched_size = 32;
-        let mut unbatched_server = local_server(1);
-        let unbatched = drive(
-            "max_batch=1",
-            &unbatched_server.addr().to_string(),
-            &inputs,
-            &expected,
-            args.requests,
-            args.concurrency,
-        );
-        unbatched_server.shutdown();
-        report(&unbatched);
-
-        let mut batched_server = local_server(batched_size);
-        let batched = drive(
-            &format!("max_batch={batched_size}"),
-            &batched_server.addr().to_string(),
-            &inputs,
-            &expected,
-            args.requests,
-            args.concurrency,
-        );
-        let snapshot = batched_server.registry().metrics().snapshot();
-        batched_server.shutdown();
-        report(&batched);
-
-        assert_eq!(unbatched.errors + batched.errors, 0, "every request must return 200");
-        speedup = batched.rps() / unbatched.rps();
-        println!(
-            "batched/unbatched throughput: {speedup:.2}x  (batches: {}, mean planes/batch {:.1})",
-            snapshot.batches,
-            snapshot.inferences as f64 / snapshot.batches.max(1) as f64
-        );
-        entries.push(json_entry(&unbatched, 1));
-        entries.push(json_entry(&batched, batched_size));
-        if !args.smoke {
-            assert!(
-                speedup >= 2.0,
-                "dynamic micro-batching must be >= 2x over max_batch=1 (got {speedup:.2}x)"
-            );
+        // Self-contained A/B over both serving regimes: the scatter-heavy
+        // pooled demo and the stem-heavy direct/depthwise/dense demo.
+        for (model, min_speedup) in [("demo-serve", 2.0), ("demo-stem", 1.8)] {
+            let (section, _) = run_ab_section(model, min_speedup, &args);
+            sections.push(section);
         }
     }
 
     let json = format!(
-        "{{\"bench\":\"serve\",\"model\":\"demo-serve\",\"concurrency\":{},\"configs\":[{}],\"batched_speedup\":{:.2}}}\n",
+        "{{\"bench\":\"serve\",\"concurrency\":{},\"sections\":[{}]}}\n",
         args.concurrency,
-        entries.join(","),
-        speedup
+        sections.join(",")
     );
     std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
     println!("wrote {}", args.out);

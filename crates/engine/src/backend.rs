@@ -642,6 +642,335 @@ pub fn dense_acc(codes: &[i32], weights: &[i8], out_features: usize) -> Vec<i32>
     out
 }
 
+/// Accumulator element for the weight-stationary batched tile kernels.
+/// `i64` is the always-exact path; `i32` is selected only when the caller
+/// has proven (from the tile's largest activation magnitude and the
+/// layer's term count) that no per-pixel sum can leave `i32`, in which
+/// case the two produce the same integers — the fast path halves the
+/// accumulator footprint and doubles the SIMD width.
+trait TileAcc: Copy + Default {
+    fn madd(self, w: i32, a: i32) -> Self;
+    fn finish(self) -> i32;
+}
+
+impl TileAcc for i64 {
+    #[inline(always)]
+    fn madd(self, w: i32, a: i32) -> Self {
+        self + w as i64 * a as i64
+    }
+
+    #[inline(always)]
+    fn finish(self) -> i32 {
+        i32::try_from(self).expect("accumulator overflow")
+    }
+}
+
+impl TileAcc for i32 {
+    #[inline(always)]
+    fn madd(self, w: i32, a: i32) -> Self {
+        self + w * a
+    }
+
+    #[inline(always)]
+    fn finish(self) -> i32 {
+        self
+    }
+}
+
+/// Transposes a full tile of `B` equally-sized activation planes into
+/// batch-minor columns: the value of image `b` at flat position `pos`
+/// lands at `pos * B + b`, so one position's values for the whole tile
+/// are contiguous (the layout every tile kernel sweeps).
+fn fill_columns<const B: usize>(tile: &[&[i32]], columns: &mut Vec<i32>) {
+    debug_assert_eq!(tile.len(), B);
+    let len = tile[0].len();
+    columns.clear();
+    columns.resize(len * B, 0);
+    for (b, &codes) in tile.iter().enumerate() {
+        for (pos, &v) in codes.iter().enumerate() {
+            columns[pos * B + b] = v;
+        }
+    }
+}
+
+/// Whether every per-pixel sum of `terms` products `w · a` (with
+/// `|w| <= 128` int8 weights and activations drawn from `tile`) provably
+/// fits in `i32` — the admission test for the [`TileAcc`] `i32` fast
+/// path. Conservative by construction: it bounds with the tile's largest
+/// activation magnitude, so a `true` here means no intermediate partial
+/// sum can overflow in any accumulation order.
+fn tile_fits_i32(tile: &[&[i32]], terms: i64) -> bool {
+    let max_abs = tile.iter().flat_map(|c| c.iter()).map(|&v| (v as i64).abs()).max().unwrap_or(0);
+    terms
+        .checked_mul(max_abs)
+        .and_then(|v| v.checked_mul(128))
+        .is_some_and(|v| v <= i32::MAX as i64)
+}
+
+/// Batched [`conv_direct`]: weight-stationary direct int8 convolution
+/// over a batch of images, bit-identical to running each image solo.
+///
+/// The weights and the per-pixel loop bookkeeping are the same for every
+/// image, so full tiles of [`NativeBackend::BATCH_TILE`] images execute
+/// through a batch-minor tile kernel: each weight is loaded once per
+/// output pixel and applied to the whole tile as a dense sweep over a
+/// contiguous batch column — the direct-conv analogue of the pooled
+/// scatter's tap amortization. Per image the sum per output pixel is the
+/// exact integer sum the solo path computes (in `i64`, or in `i32` when
+/// [`tile_fits_i32`] proves overflow impossible), so outputs match
+/// bit-for-bit; a partial tail tile runs solo, which is identical by the
+/// same argument.
+///
+/// # Panics
+///
+/// Panics on any per-image shape mismatch, exactly as the solo path does.
+pub fn conv_direct_batch(
+    batch: &[&[i32]],
+    shape: &PooledConvShape,
+    weights: &[i8],
+) -> Vec<Vec<i32>> {
+    const B: usize = NativeBackend::BATCH_TILE;
+    let mut outs = Vec::with_capacity(batch.len());
+    let mut columns = Vec::new();
+    for tile in batch.chunks(B) {
+        if tile.len() < B {
+            outs.extend(tile.iter().map(|codes| conv_direct(codes, shape, weights)));
+            continue;
+        }
+        for &codes in tile {
+            assert_eq!(
+                codes.len(),
+                shape.in_ch * shape.in_h * shape.in_w,
+                "activation size mismatch"
+            );
+        }
+        assert_eq!(
+            weights.len(),
+            shape.out_ch * shape.in_ch * shape.kernel * shape.kernel,
+            "weight size mismatch"
+        );
+        fill_columns::<B>(tile, &mut columns);
+        let terms = (shape.in_ch * shape.kernel * shape.kernel) as i64;
+        if tile_fits_i32(tile, terms) {
+            outs.extend(direct_tile::<i32, B>(&columns, shape, weights));
+        } else {
+            outs.extend(direct_tile::<i64, B>(&columns, shape, weights));
+        }
+    }
+    outs
+}
+
+/// The in-bounds spatial taps of one output pixel as
+/// `(ky * kernel + kx, iy * in_w + ix)` pairs, in the solo kernels'
+/// `(ky, kx)` visit order (padding taps contribute zero and are skipped
+/// by both paths).
+fn valid_spatial_taps(
+    geo: &wp_tensor::Conv2dGeometry,
+    kernel: usize,
+    in_w: usize,
+    oy: usize,
+    ox: usize,
+    out: &mut Vec<(usize, usize)>,
+) {
+    out.clear();
+    for ky in 0..kernel {
+        let Some(iy) = geo.input_row(oy, ky) else { continue };
+        for kx in 0..kernel {
+            let Some(ix) = geo.input_col(ox, kx) else { continue };
+            out.push((ky * kernel + kx, iy * in_w + ix));
+        }
+    }
+}
+
+/// The direct-conv tile kernel at compile-time batch width `B`:
+/// `columns` holds batch-minor activations (`pos * B + b`). Output pixels
+/// are outermost and filters next, so each filter's accumulator row lives
+/// in registers across all of its `C · R · S` weights, each loaded once
+/// and swept across the whole tile.
+fn direct_tile<A: TileAcc, const B: usize>(
+    columns: &[i32],
+    shape: &PooledConvShape,
+    weights: &[i8],
+) -> Vec<Vec<i32>> {
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let (k_sz, in_ch) = (shape.kernel, shape.in_ch);
+    let plane = shape.in_h * shape.in_w;
+    let (cols, rest) = columns.as_chunks::<B>();
+    debug_assert!(rest.is_empty());
+
+    let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; shape.out_ch * oh * ow]).collect();
+    let mut taps = Vec::with_capacity(k_sz * k_sz);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            valid_spatial_taps(&geo, k_sz, shape.in_w, oy, ox, &mut taps);
+            for k in 0..shape.out_ch {
+                let mut row = [A::default(); B];
+                for c in 0..in_ch {
+                    let wrow = &weights[(k * in_ch + c) * k_sz * k_sz..][..k_sz * k_sz];
+                    for &(t, sp) in &taps {
+                        let w = wrow[t] as i32;
+                        let col = &cols[c * plane + sp];
+                        for (a, &p) in row.iter_mut().zip(col) {
+                            *a = a.madd(w, p);
+                        }
+                    }
+                }
+                let o = (k * oh + oy) * ow + ox;
+                for (out, &a) in tile_outs.iter_mut().zip(&row) {
+                    out[o] = a.finish();
+                }
+            }
+        }
+    }
+    tile_outs
+}
+
+/// Batched [`dwconv_acc`]: weight-stationary depthwise int8 convolution,
+/// bit-identical to solo (same tiling, fast-path admission and exactness
+/// argument as [`conv_direct_batch`]; a depthwise pixel sums at most
+/// `R · S` terms, so the `i32` fast path almost always applies).
+///
+/// # Panics
+///
+/// Panics on any per-image shape mismatch, exactly as the solo path does.
+pub fn dwconv_acc_batch(
+    batch: &[&[i32]],
+    shape: &PooledConvShape,
+    weights: &[i8],
+) -> Vec<Vec<i32>> {
+    const B: usize = NativeBackend::BATCH_TILE;
+    assert_eq!(shape.out_ch, shape.in_ch, "depthwise conv requires in_ch == out_ch");
+    let mut outs = Vec::with_capacity(batch.len());
+    let mut columns = Vec::new();
+    for tile in batch.chunks(B) {
+        if tile.len() < B {
+            outs.extend(tile.iter().map(|codes| dwconv_acc(codes, shape, weights)));
+            continue;
+        }
+        for &codes in tile {
+            assert_eq!(
+                codes.len(),
+                shape.in_ch * shape.in_h * shape.in_w,
+                "activation size mismatch"
+            );
+        }
+        assert_eq!(
+            weights.len(),
+            shape.in_ch * shape.kernel * shape.kernel,
+            "weight size mismatch"
+        );
+        fill_columns::<B>(tile, &mut columns);
+        let terms = (shape.kernel * shape.kernel) as i64;
+        if tile_fits_i32(tile, terms) {
+            outs.extend(dw_tile::<i32, B>(&columns, shape, weights));
+        } else {
+            outs.extend(dw_tile::<i64, B>(&columns, shape, weights));
+        }
+    }
+    outs
+}
+
+/// The depthwise tile kernel at compile-time batch width `B` (one kernel
+/// per channel; each weight loaded once per output pixel and swept across
+/// the tile).
+fn dw_tile<A: TileAcc, const B: usize>(
+    columns: &[i32],
+    shape: &PooledConvShape,
+    weights: &[i8],
+) -> Vec<Vec<i32>> {
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let k_sz = shape.kernel;
+    let plane = shape.in_h * shape.in_w;
+    let (cols, rest) = columns.as_chunks::<B>();
+    debug_assert!(rest.is_empty());
+
+    let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; shape.in_ch * oh * ow]).collect();
+    let mut taps = Vec::with_capacity(k_sz * k_sz);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            valid_spatial_taps(&geo, k_sz, shape.in_w, oy, ox, &mut taps);
+            for ch in 0..shape.in_ch {
+                let wrow = &weights[ch * k_sz * k_sz..][..k_sz * k_sz];
+                let mut row = [A::default(); B];
+                for &(t, sp) in &taps {
+                    let w = wrow[t] as i32;
+                    let col = &cols[ch * plane + sp];
+                    for (a, &p) in row.iter_mut().zip(col) {
+                        *a = a.madd(w, p);
+                    }
+                }
+                let o = (ch * oh + oy) * ow + ox;
+                for (out, &a) in tile_outs.iter_mut().zip(&row) {
+                    out[o] = a.finish();
+                }
+            }
+        }
+    }
+    tile_outs
+}
+
+/// Batched [`dense_acc`]: weight-stationary dense matmul over a batch,
+/// bit-identical to solo. Full tiles load each of the `O · I` weights
+/// once and apply it to the whole tile as one dense sweep over a
+/// batch-minor feature column — the regime where a dense head's weight
+/// traffic amortizes (same tiling, fast-path admission and exactness
+/// argument as [`conv_direct_batch`]).
+///
+/// # Panics
+///
+/// Panics on any per-image size mismatch, exactly as the solo path does.
+pub fn dense_acc_batch(batch: &[&[i32]], weights: &[i8], out_features: usize) -> Vec<Vec<i32>> {
+    const B: usize = NativeBackend::BATCH_TILE;
+    let mut outs = Vec::with_capacity(batch.len());
+    let mut columns = Vec::new();
+    for tile in batch.chunks(B) {
+        if tile.len() < B {
+            outs.extend(tile.iter().map(|codes| dense_acc(codes, weights, out_features)));
+            continue;
+        }
+        let in_features = tile[0].len();
+        for &codes in tile {
+            assert_eq!(codes.len(), in_features, "activation size mismatch");
+        }
+        assert_eq!(weights.len(), in_features * out_features, "weight size mismatch");
+        fill_columns::<B>(tile, &mut columns);
+        if tile_fits_i32(tile, in_features as i64) {
+            outs.extend(dense_tile::<i32, B>(&columns, weights, in_features, out_features));
+        } else {
+            outs.extend(dense_tile::<i64, B>(&columns, weights, in_features, out_features));
+        }
+    }
+    outs
+}
+
+/// The dense tile kernel at compile-time batch width `B`.
+fn dense_tile<A: TileAcc, const B: usize>(
+    columns: &[i32],
+    weights: &[i8],
+    in_features: usize,
+    out_features: usize,
+) -> Vec<Vec<i32>> {
+    let (cols, rest) = columns.as_chunks::<B>();
+    debug_assert!(rest.is_empty());
+    let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; out_features]).collect();
+    for o in 0..out_features {
+        let wrow = &weights[o * in_features..(o + 1) * in_features];
+        let mut row = [A::default(); B];
+        for (&w, col) in wrow.iter().zip(cols) {
+            let w = w as i32;
+            for (a, &p) in row.iter_mut().zip(col) {
+                *a = a.madd(w, p);
+            }
+        }
+        for (out, &a) in tile_outs.iter_mut().zip(&row) {
+            out[o] = a.finish();
+        }
+    }
+    tile_outs
+}
+
 /// Max pooling over non-overlapping square windows (mirrors
 /// `wp_kernels::cmsis::maxpool` arithmetic).
 ///
@@ -834,6 +1163,80 @@ mod tests {
         let codes = vec![1, 2, 3];
         let weights: Vec<i8> = vec![1, 0, -1, 2, 2, 2];
         assert_eq!(dense_acc(&codes, &weights, 2), vec![-2, 12]);
+    }
+
+    /// Deterministic LCG for shape/value fuzzing without `rand`.
+    fn lcg(state: &mut u64, m: i32) -> i32 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 33) as i32).rem_euclid(m)
+    }
+
+    #[test]
+    fn batched_direct_conv_matches_solo_including_tail() {
+        let shape =
+            PooledConvShape { in_ch: 5, out_ch: 7, kernel: 3, stride: 2, pad: 1, in_h: 6, in_w: 5 };
+        let mut s = 0xD1CE;
+        let weights: Vec<i8> =
+            (0..shape.out_ch * shape.in_ch * 9).map(|_| (lcg(&mut s, 255) - 127) as i8).collect();
+        // A full tile plus a partial tail, to cover both code paths.
+        let images: Vec<Vec<i32>> = (0..NativeBackend::BATCH_TILE + 3)
+            .map(|_| (0..5 * 6 * 5).map(|_| lcg(&mut s, 256)).collect())
+            .collect();
+        let refs: Vec<&[i32]> = images.iter().map(|x| x.as_slice()).collect();
+        let batched = conv_direct_batch(&refs, &shape, &weights);
+        assert_eq!(batched.len(), images.len());
+        for (img, out) in images.iter().zip(&batched) {
+            assert_eq!(&conv_direct(img, &shape, &weights), out);
+        }
+    }
+
+    #[test]
+    fn batched_dwconv_matches_solo() {
+        let shape =
+            PooledConvShape { in_ch: 6, out_ch: 6, kernel: 3, stride: 1, pad: 1, in_h: 4, in_w: 7 };
+        let mut s = 0xD3;
+        let weights: Vec<i8> = (0..6 * 9).map(|_| (lcg(&mut s, 255) - 127) as i8).collect();
+        let images: Vec<Vec<i32>> = (0..NativeBackend::BATCH_TILE * 2 + 1)
+            .map(|_| (0..6 * 4 * 7).map(|_| lcg(&mut s, 256)).collect())
+            .collect();
+        let refs: Vec<&[i32]> = images.iter().map(|x| x.as_slice()).collect();
+        for (img, out) in images.iter().zip(&dwconv_acc_batch(&refs, &shape, &weights)) {
+            assert_eq!(&dwconv_acc(img, &shape, &weights), out);
+        }
+    }
+
+    #[test]
+    fn batched_dense_matches_solo_on_both_accumulator_paths() {
+        let mut s = 0x5EED;
+        let (in_features, out_features) = (37usize, 11usize);
+        let weights: Vec<i8> =
+            (0..in_features * out_features).map(|_| (lcg(&mut s, 255) - 127) as i8).collect();
+
+        // Small codes: the proven-overflow-free i32 fast path.
+        let small: Vec<Vec<i32>> = (0..NativeBackend::BATCH_TILE)
+            .map(|_| (0..in_features).map(|_| lcg(&mut s, 256)).collect())
+            .collect();
+        // Huge codes (dense accepts arbitrary i32 activations): forces the
+        // widened i64 path; mixed signs keep the final sums inside i32.
+        let huge: Vec<Vec<i32>> = (0..NativeBackend::BATCH_TILE)
+            .map(|_| (0..in_features).map(|_| lcg(&mut s, 400_001) - 200_000).collect())
+            .collect();
+        for images in [small, huge] {
+            let refs: Vec<&[i32]> = images.iter().map(|x| x.as_slice()).collect();
+            let batched = dense_acc_batch(&refs, &weights, out_features);
+            for (img, out) in images.iter().zip(&batched) {
+                assert_eq!(&dense_acc(img, &weights, out_features), out);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernels_handle_empty_batch() {
+        let shape =
+            PooledConvShape { in_ch: 2, out_ch: 2, kernel: 1, stride: 1, pad: 0, in_h: 1, in_w: 1 };
+        assert!(conv_direct_batch(&[], &shape, &[1, 2, 3, 4]).is_empty());
+        assert!(dwconv_acc_batch(&[], &shape, &[3, 4]).is_empty());
+        assert!(dense_acc_batch(&[], &[1, -1], 2).is_empty());
     }
 
     #[test]

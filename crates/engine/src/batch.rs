@@ -57,6 +57,7 @@ impl BatchRunner {
         if inputs.is_empty() {
             return Vec::new();
         }
+        net.validate_batch_inputs(inputs.iter().map(|x| x.len()));
         let workers = self.planned_workers(inputs.len());
         if workers <= 1 {
             return inputs.iter().map(|x| net.run_one(x)).collect();
@@ -113,6 +114,7 @@ impl BatchRunner {
         if inputs.is_empty() {
             return Vec::new();
         }
+        net.validate_batch_inputs(inputs.iter().map(|x| x.len()));
         let workers = self.planned_workers(inputs.len());
         if workers <= 1 {
             return net.run_batch(inputs);

@@ -10,8 +10,13 @@
 //! as the simulator's `wp_kernels::network::run_network`, which makes
 //! side-by-side throughput comparisons apples-to-apples.
 
-use crate::backend::{self, LutCache, NativeBackend, PreparedIndices};
+use crate::backend::{LutCache, NativeBackend};
+use crate::kernel::{
+    AvgPoolKernel, DenseKernel, DirectConvKernel, DwConvKernel, GlobalAvgPoolKernel, Kernel,
+    KernelCtx, MaxPoolKernel, PooledConvKernel, ResidualAddKernel,
+};
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use wp_core::deploy::{ConvPayload, DeployBundle};
 use wp_core::netspec::LayerSpec;
 use wp_core::reference::{ActEncoding, PooledConvShape};
@@ -53,28 +58,24 @@ impl Default for EngineOptions {
     }
 }
 
-/// One compiled layer: the op plus everything it needs at run time.
-#[derive(Debug, Clone)]
-enum LayerKind {
-    PooledConv { shape: PooledConvShape, indices: PreparedIndices },
-    DirectConv { shape: PooledConvShape, weights: Vec<i8> },
-    DwConv { shape: PooledConvShape, weights: Vec<i8> },
-    Dense { weights: Vec<i8>, out_features: usize },
-    MaxPool { size: usize },
-    AvgPool { size: usize },
-    GlobalAvgPool,
-    ResidualAdd,
-}
-
+/// One compiled layer: its [`Kernel`] plus everything the kernel needs
+/// at run time (handed over as a [`KernelCtx`] per call).
 #[derive(Debug, Clone)]
 struct PreparedLayer {
-    kind: LayerKind,
+    kernel: Arc<dyn Kernel>,
     /// Input activation dims `(C, H, W)` at this point of the walk.
     in_dims: (usize, usize, usize),
     /// Per-filter biases (zero — bundles carry no biases yet).
     bias: Vec<i32>,
     /// Requantization into the next layer's code range.
     oq: OutputQuant,
+}
+
+impl PreparedLayer {
+    /// The execution context for one call through `backend`.
+    fn ctx<'a>(&'a self, backend: &'a NativeBackend, act_bits: u8) -> KernelCtx<'a> {
+        KernelCtx { backend, in_dims: self.in_dims, bias: &self.bias, oq: &self.oq, act_bits }
+    }
 }
 
 /// A [`DeployBundle`] compiled for native execution.
@@ -138,7 +139,7 @@ impl PreparedNet {
                 }
             };
             let in_dims = (layer.in_ch, layer.in_h, layer.in_w);
-            let (kind, bias) = match layer.spec {
+            let (kernel, bias): (Arc<dyn Kernel>, Vec<i32>) = match layer.spec {
                 LayerSpec::Conv(cs) => {
                     let shape = PooledConvShape {
                         in_ch: cs.in_ch,
@@ -150,12 +151,12 @@ impl PreparedNet {
                         in_w: layer.in_w,
                     };
                     let payload = payloads.next().expect("spec has more convs than payloads");
-                    let kind = match payload {
+                    let kernel: Arc<dyn Kernel> = match payload {
                         ConvPayload::Pooled { indices } => {
                             // Transpose once at compile time; runs reuse it
                             // (prepare_indices validates the count).
                             let prepared = backend.prepare_indices(&shape, indices);
-                            LayerKind::PooledConv { shape, indices: prepared }
+                            Arc::new(PooledConvKernel { shape, indices: prepared })
                         }
                         ConvPayload::Direct { weights, .. } => {
                             assert_eq!(
@@ -163,10 +164,10 @@ impl PreparedNet {
                                 cs.out_ch * cs.in_ch * cs.kernel * cs.kernel,
                                 "weight size mismatch"
                             );
-                            LayerKind::DirectConv { shape, weights: weights.clone() }
+                            Arc::new(DirectConvKernel { shape, weights: weights.clone() })
                         }
                     };
-                    (kind, vec![0i32; cs.out_ch])
+                    (kernel, vec![0i32; cs.out_ch])
                 }
                 LayerSpec::DwConv { channels, kernel, stride, pad } => {
                     let shape = PooledConvShape {
@@ -181,20 +182,20 @@ impl PreparedNet {
                     let weights: Vec<i8> = (0..channels * kernel * kernel)
                         .map(|_| rng.gen_range(-127i32..=127) as i8)
                         .collect();
-                    (LayerKind::DwConv { shape, weights }, vec![0i32; channels])
+                    (Arc::new(DwConvKernel { shape, weights }), vec![0i32; channels])
                 }
                 LayerSpec::Dense { in_features, out_features, .. } => {
                     let weights: Vec<i8> = (0..in_features * out_features)
                         .map(|_| rng.gen_range(-127i32..=127) as i8)
                         .collect();
-                    (LayerKind::Dense { weights, out_features }, vec![0i32; out_features])
+                    (Arc::new(DenseKernel { weights, out_features }), vec![0i32; out_features])
                 }
-                LayerSpec::MaxPool { size } => (LayerKind::MaxPool { size }, Vec::new()),
-                LayerSpec::AvgPool { size } => (LayerKind::AvgPool { size }, Vec::new()),
-                LayerSpec::GlobalAvgPool => (LayerKind::GlobalAvgPool, Vec::new()),
-                LayerSpec::ResidualAdd => (LayerKind::ResidualAdd, Vec::new()),
+                LayerSpec::MaxPool { size } => (Arc::new(MaxPoolKernel { size }), Vec::new()),
+                LayerSpec::AvgPool { size } => (Arc::new(AvgPoolKernel { size }), Vec::new()),
+                LayerSpec::GlobalAvgPool => (Arc::new(GlobalAvgPoolKernel), Vec::new()),
+                LayerSpec::ResidualAdd => (Arc::new(ResidualAddKernel), Vec::new()),
             };
-            layers.push(PreparedLayer { kind, in_dims, bias, oq });
+            layers.push(PreparedLayer { kernel, in_dims, bias, oq });
         }
         assert!(payloads.next().is_none(), "bundle has more conv payloads than spec convs");
         Self { backend, layers, input: bundle.spec.input, act_bits }
@@ -264,60 +265,9 @@ impl PreparedNet {
         assert_eq!(input.len(), c * h * w, "input size mismatch");
         let mut codes = input.to_vec();
         for layer in &self.layers {
-            codes = self.run_layer(backend, layer, codes);
+            codes = layer.kernel.run_solo(&layer.ctx(backend, self.act_bits), codes);
         }
         codes
-    }
-
-    /// Raw accumulators (and spatial positions per channel) of a
-    /// requantized layer, or `None` for layers that pass codes through
-    /// without requantization.
-    fn layer_acc(
-        &self,
-        backend: &NativeBackend,
-        layer: &PreparedLayer,
-        codes: &[i32],
-    ) -> Option<(Vec<i32>, usize)> {
-        match &layer.kind {
-            LayerKind::PooledConv { shape, indices } => {
-                Some((backend.conv_pooled_prepared(codes, shape, indices), out_plane(shape)))
-            }
-            LayerKind::DirectConv { shape, weights } => {
-                Some((backend::conv_direct(codes, shape, weights), out_plane(shape)))
-            }
-            LayerKind::DwConv { shape, weights } => {
-                Some((backend::dwconv_acc(codes, shape, weights), out_plane(shape)))
-            }
-            LayerKind::Dense { weights, out_features } => {
-                Some((backend::dense_acc(codes, weights, *out_features), 1))
-            }
-            _ => None,
-        }
-    }
-
-    /// Executes one compiled layer on one image's activation plane.
-    fn run_layer(
-        &self,
-        backend: &NativeBackend,
-        layer: &PreparedLayer,
-        codes: Vec<i32>,
-    ) -> Vec<i32> {
-        if let Some((acc, plane)) = self.layer_acc(backend, layer, &codes) {
-            return finish(acc, &layer.bias, &layer.oq, plane);
-        }
-        let (in_ch, in_h, in_w) = layer.in_dims;
-        match &layer.kind {
-            LayerKind::MaxPool { size } => backend::maxpool(&codes, in_ch, in_h, in_w, *size),
-            LayerKind::AvgPool { size } => backend::avgpool(&codes, in_ch, in_h, in_w, *size),
-            LayerKind::GlobalAvgPool => backend::global_avgpool(&codes, in_ch, in_h, in_w),
-            LayerKind::ResidualAdd => {
-                // Self-add, mirroring the simulator's structural
-                // stand-in; saturate into the encoding's code range.
-                let (lo, hi) = backend.encoding().code_range(self.act_bits);
-                backend::residual_add_range(&codes, &codes, lo, hi)
-            }
-            _ => unreachable!("requantized layers are handled by layer_acc"),
-        }
     }
 
     /// Derives per-layer requant multipliers from synthetic activation
@@ -336,20 +286,21 @@ impl PreparedNet {
     ) -> Vec<f64> {
         let mut net = Self::from_bundle(bundle, opts);
         let backend = net.backend.clone();
+        let act_bits = net.act_bits;
         let mut planes = net.fabricate_inputs(samples.max(1), seed);
         let mut multipliers = Vec::new();
         for li in 0..net.layers.len() {
+            let layer = &net.layers[li];
+            let ctx = layer.ctx(&backend, act_bits);
             let infos: Option<Vec<(Vec<i32>, usize)>> =
-                planes.iter().map(|p| net.layer_acc(&backend, &net.layers[li], p)).collect();
+                planes.iter().map(|p| layer.kernel.accumulate(&ctx, p)).collect();
             let Some(infos) = infos else {
-                planes = planes
-                    .into_iter()
-                    .map(|p| net.run_layer(&backend, &net.layers[li], p))
-                    .collect();
+                let kernel = Arc::clone(&layer.kernel);
+                planes = planes.into_iter().map(|p| kernel.run_solo(&ctx, p)).collect();
                 continue;
             };
-            let oq = net.layers[li].oq;
-            let bias = net.layers[li].bias.clone();
+            let oq = layer.oq;
+            let bias = layer.bias.clone();
             // For ReLU layers only positive accumulators survive, so only
             // they constrain the scale.
             let mut peak = 0i64;
@@ -368,7 +319,8 @@ impl PreparedNet {
             multipliers.push(mult);
             net.layers[li].oq.requant = Requantizer::from_real_multiplier(mult);
             let oq = net.layers[li].oq;
-            planes = infos.into_iter().map(|(acc, plane)| finish(acc, &bias, &oq, plane)).collect();
+            planes =
+                infos.into_iter().map(|(acc, plane)| oq.apply_plane(&acc, &bias, plane)).collect();
         }
         multipliers
     }
@@ -379,41 +331,50 @@ impl PreparedNet {
     ///
     /// # Panics
     ///
-    /// Panics if any input has the wrong size.
+    /// Panics if any input has the wrong size (validated up front, with
+    /// the offending batch index in the message).
     pub fn run_batch(&self, inputs: &[&[i32]]) -> Vec<Vec<i32>> {
         self.run_batch_with(&self.backend, inputs)
     }
 
-    /// Runs a whole batch through the plan layer by layer: pooled convs
-    /// execute through the batched scatter kernel
-    /// ([`NativeBackend::conv_pooled_prepared_batch`]), which amortizes the
-    /// tap-index decode across the batch; every other layer type runs per
+    /// Runs a whole batch through the plan layer by layer, each layer
+    /// through its [`Kernel::run_batch`] entry point: every requantizing
+    /// kernel (pooled conv, direct conv, depthwise, dense) executes a
+    /// weight-stationary batched implementation that decodes each
+    /// weight/tap once per batch tile, and pass-through layers map per
     /// image. Outputs are **bit-identical** to calling
     /// [`PreparedNet::run_one`] on each input (pinned by test), so serving
     /// layers may coalesce requests freely.
     ///
     /// # Panics
     ///
-    /// Panics if any input has the wrong size.
+    /// Panics if any input has the wrong size. All inputs are validated
+    /// up front — before any layer executes — and the panic message names
+    /// the offending batch index, not a position buried inside a layer
+    /// loop.
     pub fn run_batch_with(&self, backend: &NativeBackend, inputs: &[&[i32]]) -> Vec<Vec<i32>> {
-        let (c, h, w) = self.input;
-        for input in inputs {
-            assert_eq!(input.len(), c * h * w, "input size mismatch");
-        }
+        self.validate_batch_inputs(inputs.iter().map(|x| x.len()));
         let mut planes: Vec<Vec<i32>> = inputs.iter().map(|x| x.to_vec()).collect();
         for layer in &self.layers {
-            if let LayerKind::PooledConv { shape, indices } = &layer.kind {
-                let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
-                let accs = backend.conv_pooled_prepared_batch(&refs, shape, indices);
-                planes = accs
-                    .into_iter()
-                    .map(|acc| finish(acc, &layer.bias, &layer.oq, out_plane(shape)))
-                    .collect();
-            } else {
-                planes = planes.into_iter().map(|p| self.run_layer(backend, layer, p)).collect();
-            }
+            planes = layer.kernel.run_batch(&layer.ctx(backend, self.act_bits), planes);
         }
         planes
+    }
+
+    /// Validates a batch's input lengths up front, before any layer
+    /// executes, panicking with the offending *batch* index — shared by
+    /// every batch entry point ([`PreparedNet::run_batch_with`],
+    /// [`crate::BatchRunner`]) so the message never degrades to a
+    /// chunk-local position from inside a worker's layer loop.
+    pub(crate) fn validate_batch_inputs(&self, lens: impl Iterator<Item = usize>) {
+        let (c, h, w) = self.input;
+        let expected = c * h * w;
+        for (i, len) in lens.enumerate() {
+            assert!(
+                len == expected,
+                "input {i} has {len} codes; model expects {c}x{h}x{w} = {expected}"
+            );
+        }
     }
 
     /// A fresh LUT-cache-bearing backend for one worker thread.
@@ -425,27 +386,6 @@ impl PreparedNet {
     pub fn lut_cache(&self) -> &LutCache {
         self.backend.lut()
     }
-}
-
-/// Spatial positions per output channel.
-fn out_plane(shape: &PooledConvShape) -> usize {
-    let geo = shape.geometry();
-    geo.out_h() * geo.out_w()
-}
-
-/// Bias add + requantization per output channel: `plane` is the number of
-/// spatial positions per channel. Matches the instrumented kernels'
-/// `acc + bias → OutputQuant::apply` arithmetic exactly.
-fn finish(acc: Vec<i32>, bias: &[i32], oq: &OutputQuant, plane: usize) -> Vec<i32> {
-    debug_assert_eq!(acc.len(), bias.len() * plane);
-    acc.chunks(plane)
-        .zip(bias)
-        .flat_map(|(chunk, &b)| {
-            chunk.iter().map(move |&a| {
-                oq.apply_value(i32::try_from(a as i64 + b as i64).expect("accumulator overflow"))
-            })
-        })
-        .collect()
 }
 
 #[cfg(test)]

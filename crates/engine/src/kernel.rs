@@ -1,0 +1,325 @@
+//! The unified per-layer execution interface.
+//!
+//! Every compiled layer — pooled conv, direct conv, depthwise, dense,
+//! pooling, residual — executes through one [`Kernel`] trait with two
+//! entry points: [`Kernel::run_solo`] for a single activation plane and
+//! [`Kernel::run_batch`] for a coalesced batch. The trait replaces the
+//! per-layer-kind `match` arms the executor used to carry: the executor
+//! walks a list of `Arc<dyn Kernel>` and never inspects layer kinds.
+//!
+//! The contract every implementation upholds (pinned by the batch-parity
+//! tests): **`run_batch` is bit-identical to mapping `run_solo` over the
+//! batch.** Requantizing kernels achieve batching the weight-stationary
+//! way (SWIS-style): a batch tile is transposed to batch-minor columns
+//! and each weight/tap is decoded once per tile instead of once per
+//! image, which only reassociates *independent* per-image sums — see
+//! [`crate::backend`] for each kernel's exactness argument. Pass-through
+//! kernels (pooling, residual) are elementwise and simply map solo
+//! execution, which the default method bodies provide.
+//!
+//! Requantizing kernels also expose their raw accumulators through
+//! [`Kernel::accumulate`], which is what per-layer requant calibration
+//! consumes ([`crate::PreparedNet::calibrate_multipliers`]).
+
+use crate::backend::{self, NativeBackend, PreparedIndices};
+use wp_core::reference::PooledConvShape;
+use wp_kernels::OutputQuant;
+
+/// Everything a kernel needs at run time beyond its own compiled state:
+/// the executing backend (LUT cache, activation encoding), the layer's
+/// input dims, and the bias/requant applied after accumulation. Built
+/// per layer per call by the executor; kernels stay stateless across
+/// calls.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelCtx<'a> {
+    /// The executing backend (each worker thread passes its own copy).
+    pub backend: &'a NativeBackend,
+    /// Input activation dims `(C, H, W)` at this layer.
+    pub in_dims: (usize, usize, usize),
+    /// Per-output-channel biases (empty for pass-through kernels).
+    pub bias: &'a [i32],
+    /// Requantization into the next layer's code range.
+    pub oq: &'a OutputQuant,
+    /// Activation bitwidth the plan executes at.
+    pub act_bits: u8,
+}
+
+/// One compiled layer op. See the module docs for the solo/batch
+/// bit-identity contract.
+pub trait Kernel: std::fmt::Debug + Send + Sync {
+    /// Short op name (diagnostics, coverage reports).
+    fn name(&self) -> &'static str;
+
+    /// Raw accumulators for one image plus the spatial positions per
+    /// output channel, for requantizing ops — or `None` for pass-through
+    /// ops (pooling, residual), which transform codes without an
+    /// accumulate/requantize stage.
+    fn accumulate(&self, ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)>;
+
+    /// Executes the layer on one image's activation plane.
+    ///
+    /// Default: accumulate, then bias-add + requantize through the shared
+    /// [`OutputQuant::apply_plane`] arithmetic. Pass-through kernels
+    /// (those returning `None` from [`Kernel::accumulate`]) must
+    /// override this.
+    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: Vec<i32>) -> Vec<i32> {
+        let (acc, plane) =
+            self.accumulate(ctx, &codes).expect("pass-through kernels must override run_solo");
+        ctx.oq.apply_plane(&acc, ctx.bias, plane)
+    }
+
+    /// Batched raw accumulators plus the spatial positions per output
+    /// channel — `Some` exactly when [`Kernel::accumulate`] is `Some`,
+    /// and bit-identical to mapping it over the batch.
+    ///
+    /// Default: that per-image map. Kernels with per-layer state worth
+    /// amortizing (weights, tap indices) override **only this** with
+    /// their weight-stationary batched implementation; the bias+requant
+    /// finish stays in the shared [`Kernel::run_batch`] body, so no
+    /// kernel can batch-accumulate and skip it.
+    fn accumulate_batch(
+        &self,
+        ctx: &KernelCtx<'_>,
+        batch: &[&[i32]],
+    ) -> Option<(Vec<Vec<i32>>, usize)> {
+        let mut plane = 0;
+        let accs: Option<Vec<Vec<i32>>> = batch
+            .iter()
+            .map(|codes| {
+                self.accumulate(ctx, codes).map(|(acc, p)| {
+                    plane = p;
+                    acc
+                })
+            })
+            .collect();
+        accs.map(|accs| (accs, plane))
+    }
+
+    /// Executes the layer on a whole batch of activation planes,
+    /// bit-identical to mapping [`Kernel::run_solo`] over them.
+    ///
+    /// Requantizing kernels accumulate through
+    /// [`Kernel::accumulate_batch`] and finish through the shared
+    /// [`OutputQuant::apply_plane`] arithmetic; pass-through kernels
+    /// (accumulate = `None`) map [`Kernel::run_solo`] per image — the
+    /// right cost model for cheap elementwise ops.
+    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+        let batched = {
+            let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
+            self.accumulate_batch(ctx, &refs)
+        };
+        match batched {
+            Some((accs, plane)) => {
+                accs.into_iter().map(|acc| ctx.oq.apply_plane(&acc, ctx.bias, plane)).collect()
+            }
+            None => planes.into_iter().map(|p| self.run_solo(ctx, p)).collect(),
+        }
+    }
+}
+
+/// Spatial positions per output channel of a conv-shaped layer.
+pub(crate) fn out_plane(shape: &PooledConvShape) -> usize {
+    let geo = shape.geometry();
+    geo.out_h() * geo.out_w()
+}
+
+/// Bit-serial pooled convolution from a prepared (transposed) index map.
+#[derive(Debug, Clone)]
+pub struct PooledConvKernel {
+    /// Conv geometry.
+    pub shape: PooledConvShape,
+    /// Tap indices from [`NativeBackend::prepare_indices`] for `shape`.
+    pub indices: PreparedIndices,
+}
+
+impl Kernel for PooledConvKernel {
+    fn name(&self) -> &'static str {
+        "pooled_conv"
+    }
+
+    fn accumulate(&self, ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+        Some((
+            ctx.backend.conv_pooled_prepared(codes, &self.shape, &self.indices),
+            out_plane(&self.shape),
+        ))
+    }
+
+    fn accumulate_batch(
+        &self,
+        ctx: &KernelCtx<'_>,
+        batch: &[&[i32]],
+    ) -> Option<(Vec<Vec<i32>>, usize)> {
+        Some((
+            ctx.backend.conv_pooled_prepared_batch(batch, &self.shape, &self.indices),
+            out_plane(&self.shape),
+        ))
+    }
+}
+
+/// Direct int8 convolution (uncompressed stem layers).
+#[derive(Debug, Clone)]
+pub struct DirectConvKernel {
+    /// Conv geometry.
+    pub shape: PooledConvShape,
+    /// `[K, C, R, S]` int8 weights.
+    pub weights: Vec<i8>,
+}
+
+impl Kernel for DirectConvKernel {
+    fn name(&self) -> &'static str {
+        "direct_conv"
+    }
+
+    fn accumulate(&self, _ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+        Some((backend::conv_direct(codes, &self.shape, &self.weights), out_plane(&self.shape)))
+    }
+
+    fn accumulate_batch(
+        &self,
+        _ctx: &KernelCtx<'_>,
+        batch: &[&[i32]],
+    ) -> Option<(Vec<Vec<i32>>, usize)> {
+        Some((
+            backend::conv_direct_batch(batch, &self.shape, &self.weights),
+            out_plane(&self.shape),
+        ))
+    }
+}
+
+/// Depthwise int8 convolution (one kernel per channel).
+#[derive(Debug, Clone)]
+pub struct DwConvKernel {
+    /// Conv geometry (`out_ch == in_ch`).
+    pub shape: PooledConvShape,
+    /// `[C, R, S]` int8 weights.
+    pub weights: Vec<i8>,
+}
+
+impl Kernel for DwConvKernel {
+    fn name(&self) -> &'static str {
+        "dw_conv"
+    }
+
+    fn accumulate(&self, _ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+        Some((backend::dwconv_acc(codes, &self.shape, &self.weights), out_plane(&self.shape)))
+    }
+
+    fn accumulate_batch(
+        &self,
+        _ctx: &KernelCtx<'_>,
+        batch: &[&[i32]],
+    ) -> Option<(Vec<Vec<i32>>, usize)> {
+        Some((backend::dwconv_acc_batch(batch, &self.shape, &self.weights), out_plane(&self.shape)))
+    }
+}
+
+/// Fully-connected int8 layer.
+#[derive(Debug, Clone)]
+pub struct DenseKernel {
+    /// `[O, I]` int8 weights, row per output feature.
+    pub weights: Vec<i8>,
+    /// Output features `O`.
+    pub out_features: usize,
+}
+
+impl Kernel for DenseKernel {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn accumulate(&self, _ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+        Some((backend::dense_acc(codes, &self.weights, self.out_features), 1))
+    }
+
+    fn accumulate_batch(
+        &self,
+        _ctx: &KernelCtx<'_>,
+        batch: &[&[i32]],
+    ) -> Option<(Vec<Vec<i32>>, usize)> {
+        Some((backend::dense_acc_batch(batch, &self.weights, self.out_features), 1))
+    }
+}
+
+/// Max pooling over non-overlapping square windows (pass-through: no
+/// requantization).
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPoolKernel {
+    /// Window side.
+    pub size: usize,
+}
+
+impl Kernel for MaxPoolKernel {
+    fn name(&self) -> &'static str {
+        "max_pool"
+    }
+
+    fn accumulate(&self, _ctx: &KernelCtx<'_>, _codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+        None
+    }
+
+    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: Vec<i32>) -> Vec<i32> {
+        let (c, h, w) = ctx.in_dims;
+        backend::maxpool(&codes, c, h, w, self.size)
+    }
+}
+
+/// Average pooling over non-overlapping square windows (pass-through).
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPoolKernel {
+    /// Window side.
+    pub size: usize,
+}
+
+impl Kernel for AvgPoolKernel {
+    fn name(&self) -> &'static str {
+        "avg_pool"
+    }
+
+    fn accumulate(&self, _ctx: &KernelCtx<'_>, _codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+        None
+    }
+
+    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: Vec<i32>) -> Vec<i32> {
+        let (c, h, w) = ctx.in_dims;
+        backend::avgpool(&codes, c, h, w, self.size)
+    }
+}
+
+/// Global average pooling to one value per channel (pass-through).
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalAvgPoolKernel;
+
+impl Kernel for GlobalAvgPoolKernel {
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn accumulate(&self, _ctx: &KernelCtx<'_>, _codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+        None
+    }
+
+    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: Vec<i32>) -> Vec<i32> {
+        let (c, h, w) = ctx.in_dims;
+        backend::global_avgpool(&codes, c, h, w)
+    }
+}
+
+/// Structural residual self-add saturating into the encoding's code range
+/// (pass-through), mirroring the simulator's stand-in.
+#[derive(Debug, Clone, Copy)]
+pub struct ResidualAddKernel;
+
+impl Kernel for ResidualAddKernel {
+    fn name(&self) -> &'static str {
+        "residual_add"
+    }
+
+    fn accumulate(&self, _ctx: &KernelCtx<'_>, _codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+        None
+    }
+
+    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: Vec<i32>) -> Vec<i32> {
+        let (lo, hi) = ctx.backend.encoding().code_range(ctx.act_bits);
+        backend::residual_add_range(&codes, &codes, lo, hi)
+    }
+}

@@ -8,15 +8,22 @@
 //! (SWIS-style shared-weight bit-serial execution, Li et al. 2021) in plain
 //! fast Rust, with no cycle charging, plus a threaded batch engine.
 //!
-//! Three layers:
+//! Four layers:
 //!
-//! * [`NativeBackend`] — the per-layer kernels: bit-serial LUT convolution
-//!   (bit-identical to [`wp_core::reference::bitserial_conv_acc`], verified
-//!   by test across every activation bitwidth, encoding and LUT order),
-//!   direct int8 convolution, depthwise, dense, pooling and residual ops.
-//!   The LUT is flattened once into a [`LutCache`] — the host analogue of
-//!   the paper's §4.2 SRAM block cache — so lookups are a single indexed
-//!   load regardless of the bundle's [`wp_core::LutOrder`].
+//! * [`NativeBackend`] — the raw per-op arithmetic: bit-serial LUT
+//!   convolution (bit-identical to
+//!   [`wp_core::reference::bitserial_conv_acc`], verified by test across
+//!   every activation bitwidth, encoding and LUT order), direct int8
+//!   convolution, depthwise, dense, pooling and residual ops — each with a
+//!   solo form and a weight-stationary **batched** form that decodes every
+//!   weight/tap once per batch tile and is bit-identical to solo. The LUT
+//!   is flattened once into a [`LutCache`] — the host analogue of the
+//!   paper's §4.2 SRAM block cache — so lookups are a single indexed load
+//!   regardless of the bundle's [`wp_core::LutOrder`].
+//! * [`Kernel`] (in [`kernel`]) — the unified per-layer interface: every
+//!   compiled layer is an `Arc<dyn Kernel>` with `run_solo` / `run_batch`
+//!   entry points, so the executor never matches on layer kinds and every
+//!   layer type batches.
 //! * [`PreparedNet`] — a [`wp_core::deploy::DeployBundle`] compiled into a
 //!   flat execution plan: pooled convs run bit-serially from the bundle's
 //!   index maps, direct convs from its int8 weights, with per-layer
@@ -45,7 +52,9 @@
 pub mod backend;
 pub mod batch;
 pub mod bundle;
+pub mod kernel;
 
 pub use backend::{LutCache, NativeBackend, PreparedIndices};
 pub use batch::BatchRunner;
 pub use bundle::{EngineOptions, PreparedNet};
+pub use kernel::{Kernel, KernelCtx};

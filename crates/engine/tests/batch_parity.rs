@@ -1,0 +1,239 @@
+//! Batched == solo, bit-identical, for every layer kind.
+//!
+//! The Kernel trait's contract is that [`wp_engine::kernel::Kernel::run_batch`]
+//! reproduces `run_solo` exactly; the serving stack (micro-batcher,
+//! `BatchRunner`) leans on that to coalesce requests invisibly. These
+//! tests pin the contract at two levels:
+//!
+//! * **Backend kernels** — property tests fuzz shapes and activations for
+//!   the batched direct-conv, depthwise and dense kernels against their
+//!   solo forms (the pooled scatter has its own sweep in the unit tests
+//!   and `tests/parity.rs`).
+//! * **Whole networks** — an all-kinds network (direct conv, pooled conv,
+//!   max pool, depthwise, residual add, avg pool, global avg pool, dense)
+//!   executes batched across batch sizes {1, 2, 7, 16} × worker threads
+//!   {1, 4} and must match per-image `run_one` everywhere.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use wp_core::deploy::{ConvPayload, DeployBundle};
+use wp_core::netspec::{ConvSpec, LayerSpec, NetSpec};
+use wp_core::reference::PooledConvShape;
+use wp_core::{LookupTable, LutOrder, WeightPool};
+use wp_engine::{backend, BatchRunner, EngineOptions, NativeBackend, PreparedNet};
+
+/// A bundle whose walk visits every kernel the engine implements.
+fn all_kinds_bundle(seed: u64) -> DeployBundle {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vectors: Vec<Vec<f32>> =
+        (0..16).map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect();
+    let pool = WeightPool::from_vectors(vectors);
+    let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    let conv = |in_ch: usize, out_ch: usize, compressed: bool| {
+        LayerSpec::Conv(ConvSpec { in_ch, out_ch, kernel: 3, stride: 1, pad: 1, compressed })
+    };
+    let spec = NetSpec {
+        name: "all-kinds".into(),
+        input: (8, 8, 8),
+        classes: 5,
+        layers: vec![
+            conv(8, 8, false),              // direct conv
+            conv(8, 16, true),              // pooled conv
+            LayerSpec::MaxPool { size: 2 }, // -> (16, 4, 4)
+            LayerSpec::DwConv { channels: 16, kernel: 3, stride: 1, pad: 1 },
+            LayerSpec::ResidualAdd,
+            LayerSpec::AvgPool { size: 2 }, // -> (16, 2, 2)
+            LayerSpec::GlobalAvgPool,       // -> (16, 1, 1)
+            LayerSpec::Dense { in_features: 16, out_features: 5, compressed: false },
+        ],
+    };
+    let direct: Vec<i8> = (0..8 * 8 * 9).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+    let indices: Vec<u8> = (0..16 * 9).map(|_| rng.gen_range(0..16) as u8).collect();
+    DeployBundle {
+        spec,
+        pool,
+        lut,
+        convs: vec![
+            ConvPayload::Direct { weights: direct, scale: 0.01 },
+            ConvPayload::Pooled { indices },
+        ],
+        act_bits: 8,
+    }
+}
+
+/// The acceptance sweep: all layer kinds × batch sizes {1, 2, 7, 16} ×
+/// thread counts {1, 4}, outputs bit-identical to solo execution.
+#[test]
+fn all_kinds_batched_matches_solo_across_batch_sizes_and_threads() {
+    let bundle = all_kinds_bundle(0xA11);
+    let net = PreparedNet::from_bundle(&bundle, &EngineOptions::default());
+    let inputs = net.fabricate_inputs(16, 7);
+    let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+    let solo: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+    for batch in [1usize, 2, 7, 16] {
+        // The direct engine-level batched path...
+        assert_eq!(net.run_batch(&refs[..batch]), solo[..batch], "run_batch, batch={batch}");
+        // ...and the threaded serving path on top of it.
+        for threads in [1usize, 4] {
+            assert_eq!(
+                BatchRunner::new(threads).run_refs(&net, &refs[..batch]),
+                solo[..batch],
+                "run_refs, batch={batch}, threads={threads}"
+            );
+        }
+    }
+}
+
+/// Per-layer multipliers (the serving configuration) must not disturb
+/// batch/solo parity either.
+#[test]
+fn all_kinds_batched_matches_solo_under_calibration() {
+    let bundle = all_kinds_bundle(0xCA1B);
+    let mut opts = EngineOptions::default();
+    opts.layer_multipliers = Some(PreparedNet::calibrate_multipliers(&bundle, &opts, 4, 3));
+    let net = PreparedNet::from_bundle(&bundle, &opts);
+    let inputs = net.fabricate_inputs(11, 13);
+    let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+    let solo: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+    assert_eq!(net.run_batch(&refs), solo);
+}
+
+/// A wrong-size input in a batch must be reported by batch index, up
+/// front, before any layer executes.
+#[test]
+#[should_panic(expected = "input 2 has 5 codes")]
+fn run_batch_reports_offending_input_index() {
+    let bundle = all_kinds_bundle(0xBAD);
+    let net = PreparedNet::from_bundle(&bundle, &EngineOptions::default());
+    let good = net.fabricate_inputs(2, 1);
+    let bad = vec![0i32; 5];
+    let refs: Vec<&[i32]> = vec![&good[0], &good[1], &bad];
+    net.run_batch(&refs);
+}
+
+/// And the threaded runner reports the same global index (not a
+/// chunk-local one from inside a worker).
+#[test]
+#[should_panic(expected = "input 3 has 2 codes")]
+fn batch_runner_reports_offending_input_index() {
+    let bundle = all_kinds_bundle(0xBAD);
+    let net = PreparedNet::from_bundle(&bundle, &EngineOptions::default());
+    let good = net.fabricate_inputs(3, 1);
+    let bad = vec![0i32; 2];
+    let refs: Vec<&[i32]> = vec![&good[0], &good[1], &good[2], &bad];
+    BatchRunner::new(2).run_refs(&net, &refs);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fuzzed direct conv: batched accumulators equal solo for arbitrary
+    /// geometry (including strides, padding and tail tiles).
+    #[test]
+    fn prop_direct_conv_batch_matches_solo(
+        seed in 0u64..1_000_000,
+        in_ch in 1usize..6,
+        out_ch in 1usize..6,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        hw in 3usize..7,
+        batch in 1usize..12,
+    ) {
+        prop_assume!(hw + 2 * pad >= kernel);
+        let shape = PooledConvShape { in_ch, out_ch, kernel, stride, pad, in_h: hw, in_w: hw };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights: Vec<i8> =
+            (0..out_ch * in_ch * kernel * kernel).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+        let images: Vec<Vec<i32>> = (0..batch)
+            .map(|_| (0..in_ch * hw * hw).map(|_| rng.gen_range(0..256)).collect())
+            .collect();
+        let refs: Vec<&[i32]> = images.iter().map(|x| x.as_slice()).collect();
+        let batched = backend::conv_direct_batch(&refs, &shape, &weights);
+        for (img, out) in images.iter().zip(&batched) {
+            prop_assert_eq!(&backend::conv_direct(img, &shape, &weights), out);
+        }
+    }
+
+    /// Fuzzed depthwise conv: batched accumulators equal solo.
+    #[test]
+    fn prop_dwconv_batch_matches_solo(
+        seed in 0u64..1_000_000,
+        ch in 1usize..8,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        hw in 3usize..8,
+        batch in 1usize..12,
+    ) {
+        prop_assume!(hw + 2 * pad >= kernel);
+        let shape =
+            PooledConvShape { in_ch: ch, out_ch: ch, kernel, stride, pad, in_h: hw, in_w: hw };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights: Vec<i8> =
+            (0..ch * kernel * kernel).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+        let images: Vec<Vec<i32>> = (0..batch)
+            .map(|_| (0..ch * hw * hw).map(|_| rng.gen_range(0..256)).collect())
+            .collect();
+        let refs: Vec<&[i32]> = images.iter().map(|x| x.as_slice()).collect();
+        let batched = backend::dwconv_acc_batch(&refs, &shape, &weights);
+        for (img, out) in images.iter().zip(&batched) {
+            prop_assert_eq!(&backend::dwconv_acc(img, &shape, &weights), out);
+        }
+    }
+
+    /// Fuzzed dense: batched accumulators equal solo, including the
+    /// widened-accumulator path (dense takes arbitrary i32 activations).
+    #[test]
+    fn prop_dense_batch_matches_solo(
+        seed in 0u64..1_000_000,
+        in_features in 1usize..40,
+        out_features in 1usize..10,
+        batch in 1usize..12,
+        magnitude in 1i32..300_000,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let weights: Vec<i8> =
+            (0..in_features * out_features).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+        let images: Vec<Vec<i32>> = (0..batch)
+            .map(|_| (0..in_features).map(|_| rng.gen_range(-magnitude..=magnitude)).collect())
+            .collect();
+        let refs: Vec<&[i32]> = images.iter().map(|x| x.as_slice()).collect();
+        let batched = backend::dense_acc_batch(&refs, &weights, out_features);
+        for (img, out) in images.iter().zip(&batched) {
+            prop_assert_eq!(&backend::dense_acc(img, &weights, out_features), out);
+        }
+    }
+
+    /// Fuzzed whole-network parity: random seeds for the all-kinds net,
+    /// random batch sizes, threaded and unthreaded.
+    #[test]
+    fn prop_all_kinds_net_batch_matches_solo(
+        seed in 0u64..1_000_000,
+        batch in 1usize..10,
+        threads in 1usize..5,
+    ) {
+        let bundle = all_kinds_bundle(seed);
+        let net = PreparedNet::from_bundle(&bundle, &EngineOptions::default());
+        let inputs = net.fabricate_inputs(batch, seed ^ 0xF00D);
+        let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+        let solo: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+        prop_assert_eq!(net.run_batch(&refs), solo.clone());
+        prop_assert_eq!(BatchRunner::new(threads).run_refs(&net, &refs), solo);
+    }
+}
+
+/// The batched path must still reject the degenerate shapes solo rejects.
+#[test]
+fn batched_direct_conv_rejects_wrong_activation_size() {
+    let shape =
+        PooledConvShape { in_ch: 2, out_ch: 1, kernel: 1, stride: 1, pad: 0, in_h: 2, in_w: 2 };
+    let weights = vec![1i8, -1];
+    let good = vec![0i32; 8];
+    let bad = vec![0i32; 7];
+    // Full tile: 8 images, one of them wrong.
+    let mut refs: Vec<&[i32]> = vec![&good; NativeBackend::BATCH_TILE];
+    refs[3] = &bad;
+    let result = std::panic::catch_unwind(|| backend::conv_direct_batch(&refs, &shape, &weights));
+    assert!(result.is_err(), "wrong-size image inside a full tile must panic");
+}

@@ -39,6 +39,33 @@ impl OutputQuant {
         }
     }
 
+    /// Bias add + requantization over a whole accumulator block: `acc` is
+    /// `[K, plane]` raw accumulators (one `plane`-long chunk per output
+    /// channel), `bias` one value per channel. This is *the* shared finish
+    /// path: every host-speed kernel (`wp_engine`'s solo and batched
+    /// paths alike) funnels through it, so batched execution is
+    /// bit-identical to solo in the requant stage by construction. The
+    /// bias add widens to `i64` before the checked narrowing so a bias
+    /// pushing an accumulator past `i32` panics instead of wrapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != bias.len() * plane` or if `acc + bias`
+    /// overflows `i32`.
+    pub fn apply_plane(&self, acc: &[i32], bias: &[i32], plane: usize) -> Vec<i32> {
+        assert_eq!(acc.len(), bias.len() * plane, "accumulator/bias plane mismatch");
+        acc.chunks(plane)
+            .zip(bias)
+            .flat_map(|(chunk, &b)| {
+                chunk.iter().map(move |&a| {
+                    self.apply_value(
+                        i32::try_from(a as i64 + b as i64).expect("accumulator overflow"),
+                    )
+                })
+            })
+            .collect()
+    }
+
     /// Applies requantization to one accumulator, charging `mcu` for the
     /// widening multiply, rounding shift and clamp.
     #[inline]
@@ -90,6 +117,31 @@ mod tests {
         for acc in [-1000, -128, -1, 0, 1, 77, 345, 100_000] {
             assert_eq!(q.apply(&mut mcu, acc), q.apply_value(acc));
         }
+    }
+
+    #[test]
+    fn apply_plane_matches_per_value_application() {
+        let q = OutputQuant {
+            requant: Requantizer::from_real_multiplier(0.11),
+            relu: true,
+            out_bits: 8,
+        };
+        let acc = [10, -400, 3000, 7, 0, -1];
+        let bias = [5, -9];
+        let plane = 3;
+        let got = q.apply_plane(&acc, &bias, plane);
+        let expect: Vec<i32> = acc
+            .chunks(plane)
+            .zip(&bias)
+            .flat_map(|(chunk, &b)| chunk.iter().map(move |&a| q.apply_value(a + b)))
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator/bias plane mismatch")]
+    fn apply_plane_rejects_size_mismatch() {
+        OutputQuant::identity(8).apply_plane(&[1, 2, 3], &[0, 0], 2);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //!   `127.0.0.1:8080`; port 0 picks an ephemeral port).
 //! * `--model NAME=PATH` — deploy a `DeployBundle` file, JSON or `.wpb`
 //!   (repeatable; `POST /v1/models/NAME/reload` re-reads it).
-//! * `--demo` — deploy the fabricated demo model as `demo`.
+//! * `--demo` — deploy the fabricated scatter-heavy demo model as `demo`.
+//! * `--demo-stem` — deploy the fabricated stem-heavy demo model as
+//!   `demo-stem` (direct/depthwise/dense dominated; no pooled convs).
 //! * `--max-batch N`, `--max-wait-us N` — micro-batcher flush thresholds.
 //! * `--threads N` — engine worker threads per batch.
 //! * `--workers N` — connection worker threads.
@@ -37,6 +39,7 @@ struct Args {
     addr: String,
     models: Vec<(String, String)>,
     demo: bool,
+    demo_stem: bool,
     batcher: BatcherConfig,
     workers: usize,
     port_file: Option<String>,
@@ -48,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:8080".into(),
         models: Vec::new(),
         demo: false,
+        demo_stem: false,
         batcher: BatcherConfig::default(),
         workers: 8,
         port_file: None,
@@ -70,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
                 args.models.push((name.to_string(), path.to_string()));
             }
             "--demo" => args.demo = true,
+            "--demo-stem" => args.demo_stem = true,
             "--max-batch" => {
                 args.batcher.max_batch =
                     value("--max-batch")?.parse().map_err(|e| format!("bad --max-batch: {e}"))?;
@@ -97,8 +102,8 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?} (see --help)")),
         }
     }
-    if args.models.is_empty() && !args.demo {
-        return Err("nothing to serve: pass --demo or --model NAME=PATH".into());
+    if args.models.is_empty() && !args.demo && !args.demo_stem {
+        return Err("nothing to serve: pass --demo, --demo-stem or --model NAME=PATH".into());
     }
     Ok(args)
 }
@@ -107,7 +112,8 @@ const HELP: &str = "wp_serve — weight-pool inference server
     --addr HOST:PORT     bind address (default 127.0.0.1:8080)
     --port N             shorthand for --addr 127.0.0.1:N (0 = ephemeral)
     --model NAME=PATH    deploy a DeployBundle file, JSON or .wpb (repeatable)
-    --demo               deploy the fabricated demo model as 'demo'
+    --demo               deploy the fabricated scatter-heavy demo model as 'demo'
+    --demo-stem          deploy the fabricated stem-heavy demo model as 'demo-stem'
     --max-batch N        micro-batch flush size (default 32)
     --max-wait-us N      micro-batch flush deadline (default 2000)
     --threads N          engine worker threads per batch
@@ -129,6 +135,11 @@ fn main() {
         let (bundle, opts) = demo_deployment(DemoSize::Serve, 1);
         registry.insert_bundle("demo", &bundle, opts);
         println!("deployed demo model 'demo' (input 8x6x6, 10 classes)");
+    }
+    if args.demo_stem {
+        let (bundle, opts) = demo_deployment(DemoSize::Stem, 1);
+        registry.insert_bundle("demo-stem", &bundle, opts);
+        println!("deployed demo model 'demo-stem' (input 8x10x10, 10 classes)");
     }
     for (name, path) in &args.models {
         if let Err(e) =

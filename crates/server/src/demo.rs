@@ -6,7 +6,10 @@
 //! serving demo is deliberately **scatter-heavy** (many filters over a
 //! small shared pool): that is the regime the paper compresses best, and
 //! the one where the engine's batched scatter amortizes most, so it shows
-//! the micro-batcher's value honestly.
+//! the micro-batcher's value honestly. Its counterpart,
+//! [`DemoSize::Stem`], is **stem-heavy** (direct convs, depthwise, dense
+//! — no pooled convs), exercising the weight-stationary batched
+//! direct/depthwise/dense kernels end to end instead.
 //!
 //! Index maps are drawn from a **skewed** distribution (truncated
 //! geometric over a per-layer permutation of the pool) rather than a
@@ -30,6 +33,14 @@ pub enum DemoSize {
     /// The serving demo: a deep pooled-conv stack whose batched execution
     /// visibly outruns solo execution.
     Serve,
+    /// The stem-heavy serving demo: dominated by direct convs, a
+    /// depthwise layer and a dense head, with **no** pooled convs at all
+    /// — the regime the paper leaves uncompressed (stems, depthwise,
+    /// heads) and the one the engine's weight-stationary batched
+    /// direct/depthwise/dense kernels accelerate. Pairs with
+    /// [`DemoSize::Serve`] in the load generator so both batched regimes
+    /// are measured.
+    Stem,
 }
 
 /// Fabricates a deterministic demo bundle.
@@ -44,21 +55,26 @@ pub fn demo_bundle(size: DemoSize, seed: u64) -> DeployBundle {
         LayerSpec::Conv(ConvSpec { in_ch, out_ch, kernel: 3, stride: 1, pad: 1, compressed })
     };
 
-    let (name, layers, stem_out, pooled_dims): (_, Vec<LayerSpec>, usize, Vec<(usize, usize)>) =
+    // `direct_dims`/`pooled_dims` mirror the uncompressed/compressed conv
+    // layers in walk order; payloads are fabricated from them below.
+    type Dims = Vec<(usize, usize)>;
+    let (name, input, layers, direct_dims, pooled_dims): (_, _, Vec<LayerSpec>, Dims, Dims) =
         match size {
             DemoSize::Tiny => (
                 "demo-tiny",
+                (8, 6, 6),
                 vec![
                     conv(8, 8, false),
                     conv(8, 16, true),
                     LayerSpec::GlobalAvgPool,
                     LayerSpec::Dense { in_features: 16, out_features: 4, compressed: false },
                 ],
-                8,
+                vec![(8, 8)],
                 vec![(16, 1)],
             ),
             DemoSize::Serve => (
                 "demo-serve",
+                (8, 6, 6),
                 vec![
                     conv(8, 16, false),
                     conv(16, 128, true),
@@ -67,18 +83,38 @@ pub fn demo_bundle(size: DemoSize, seed: u64) -> DeployBundle {
                     LayerSpec::GlobalAvgPool,
                     LayerSpec::Dense { in_features: 256, out_features: 10, compressed: false },
                 ],
-                16,
+                vec![(8, 16)],
                 vec![(128, 2), (256, 16), (256, 32)],
+            ),
+            DemoSize::Stem => (
+                "demo-stem",
+                (8, 10, 10),
+                vec![
+                    conv(8, 64, false),
+                    LayerSpec::DwConv { channels: 64, kernel: 3, stride: 1, pad: 1 },
+                    conv(64, 96, false),
+                    LayerSpec::MaxPool { size: 2 },
+                    conv(96, 96, false),
+                    LayerSpec::GlobalAvgPool,
+                    LayerSpec::Dense { in_features: 96, out_features: 256, compressed: false },
+                    LayerSpec::Dense { in_features: 256, out_features: 10, compressed: false },
+                ],
+                vec![(8, 64), (64, 96), (96, 96)],
+                Vec::new(),
             ),
         };
     let classes = match layers.last() {
         Some(LayerSpec::Dense { out_features, .. }) => *out_features,
         _ => 0,
     };
-    let spec = NetSpec { name: name.into(), input: (8, 6, 6), classes, layers };
+    let spec = NetSpec { name: name.into(), input, classes, layers };
 
-    let stem: Vec<i8> = (0..stem_out * 8 * 9).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
-    let mut convs = vec![ConvPayload::Direct { weights: stem, scale: 0.01 }];
+    let mut convs = Vec::new();
+    for (in_ch, out_ch) in direct_dims {
+        let weights: Vec<i8> =
+            (0..out_ch * in_ch * 9).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+        convs.push(ConvPayload::Direct { weights, scale: 0.01 });
+    }
     for (out_ch, groups) in pooled_dims {
         // A fresh pool-entry permutation per layer, so the layer's most
         // frequent index is an arbitrary symbol (not always 0) — real
@@ -127,7 +163,7 @@ mod tests {
 
     #[test]
     fn demo_bundles_run_and_are_not_degenerate() {
-        for size in [DemoSize::Tiny, DemoSize::Serve] {
+        for size in [DemoSize::Tiny, DemoSize::Serve, DemoSize::Stem] {
             let net = demo_prepared(size, 42);
             let inputs = net.fabricate_inputs(4, 1);
             let outputs: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
@@ -139,6 +175,20 @@ mod tests {
             // And the same input twice is deterministic.
             assert_eq!(net.run_one(&inputs[0]), outputs[0]);
         }
+    }
+
+    #[test]
+    fn stem_demo_is_pooled_free_and_batches_bit_identically() {
+        let bundle = demo_bundle(DemoSize::Stem, 5);
+        assert!(
+            bundle.convs.iter().all(|c| matches!(c, ConvPayload::Direct { .. })),
+            "the stem demo must not contain pooled convs"
+        );
+        let net = demo_prepared(DemoSize::Stem, 5);
+        let inputs = net.fabricate_inputs(9, 2);
+        let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+        let solo: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+        assert_eq!(net.run_batch(&refs), solo, "stem batched path must be bit-identical");
     }
 
     #[test]

@@ -142,6 +142,61 @@ fn infer_is_bit_identical_to_direct_execution_under_concurrency() {
     handle.shutdown();
 }
 
+/// The stem-heavy demo (direct convs + depthwise + dense, no pooled
+/// convs) served over real sockets: coalesced responses must be
+/// bit-identical to direct execution — this is the end-to-end pin on the
+/// weight-stationary batched direct/depthwise/dense kernels.
+#[test]
+fn stem_heavy_model_serves_bit_identically_under_concurrency() {
+    let batcher = BatcherConfig {
+        max_batch: 8,
+        max_wait: Duration::from_millis(2),
+        ..BatcherConfig::default()
+    };
+    let registry = Arc::new(ModelRegistry::new(batcher, Arc::new(Metrics::new())));
+    let (bundle, opts) = demo_deployment(DemoSize::Stem, 3);
+    registry.insert_bundle("demo-stem", &bundle, opts);
+    let mut handle =
+        serve(ServerConfig { allow_remote_shutdown: true, ..ServerConfig::default() }, registry)
+            .expect("bind");
+
+    let net = handle.registry().get("demo-stem").unwrap().net();
+    let inputs = net.fabricate_inputs(12, 555);
+    let expected: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+
+    let outputs: Vec<Vec<i32>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(2)
+            .map(|pair| {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let mut client = Client::connect(handle);
+                    let mut outs = Vec::new();
+                    for input in pair {
+                        let req = InferRequest {
+                            model: Some("demo-stem".into()),
+                            inputs: vec![input.clone()],
+                        };
+                        let (status, body) = client.request(
+                            "POST",
+                            "/v1/infer",
+                            Some(&serde_json::to_string(&req).unwrap()),
+                        );
+                        assert_eq!(status, 200, "{body}");
+                        let resp: InferResponse = serde_json::from_str(&body).unwrap();
+                        assert_eq!(resp.model, "demo-stem");
+                        outs.extend(resp.outputs);
+                    }
+                    outs
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(outputs, expected, "stem-heavy batched serving must equal direct execution");
+    handle.shutdown();
+}
+
 #[test]
 fn multi_plane_requests_and_default_model() {
     let mut handle = start_server(4);
