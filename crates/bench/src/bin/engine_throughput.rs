@@ -6,9 +6,15 @@
 //!    path (both produce identical codes; only wall-clock differs).
 //! 2. **Batch scaling**: whole-network images/sec through
 //!    `wp_engine::BatchRunner` at increasing worker-thread counts.
+//! 3. **Batched vs solo** whole-network execution on one thread.
+//! 4. **Backend tiers**: the same serving demos A/B'd across the
+//!    `scalar` / `swar` / `avx2` kernel tiers, outputs verified
+//!    bit-identical, with the ≥2x swar-over-scalar acceptance gate
+//!    (pooled-conv and batched tile sections) enforced at exit.
 //!
 //! ```sh
-//! cargo run --release --bin engine_throughput -p wp_bench [-- --fast]
+//! cargo run --release --bin engine_throughput -p wp_bench \
+//!     [-- --fast] [-- --out BENCH_engine.json]
 //! ```
 
 use rand::{Rng, SeedableRng};
@@ -16,7 +22,7 @@ use std::time::Instant;
 use wp_bench::runtime::{synthetic_lut, synthetic_prepared_net};
 use wp_bench::Effort;
 use wp_core::reference::{ActEncoding, PooledConvShape};
-use wp_engine::{BatchRunner, NativeBackend};
+use wp_engine::{avx2_available, BackendKind, BatchRunner, NativeBackend, PreparedNet};
 use wp_kernels::{conv_bitserial, BitSerialOptions, OutputQuant};
 use wp_mcu::{Mcu, McuSpec};
 use wp_quant::Requantizer;
@@ -24,6 +30,13 @@ use wp_quant::Requantizer;
 fn main() {
     let effort = Effort::from_env();
     let reps = if effort.fast { 3 } else { 10 };
+    let mut out_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--out" {
+            out_path = Some(argv.next().expect("--out needs a value"));
+        }
+    }
 
     // --- 1. Single layer: native vs cycle-simulated -----------------------
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
@@ -127,5 +140,87 @@ fn main() {
             );
         }
         println!();
+    }
+
+    // --- 4. Backend tiers: scalar vs swar (vs avx2) -----------------------
+    // The backend-selection A/B: the same serving demos compiled per
+    // kernel tier via EngineOptions::with_backend, run through the plain
+    // run_batch serving path on one thread. The scalar tier executes the
+    // reference per-element loops per image; swar adds the bit-plane
+    // fills, the weight-stationary batched tile kernels with fused
+    // bias+requant write-out, and batched pooling; avx2 routes popcount
+    // inner loops through 256-bit lanes. Outputs must be bit-identical
+    // across every tier, and the acceptance gate pins swar >= 2x scalar
+    // on both serving regimes.
+    let ab_batch = if effort.fast { 16 } else { 64 };
+    let mut kinds = vec![BackendKind::Scalar, BackendKind::Swar];
+    if avx2_available() {
+        kinds.push(BackendKind::Avx2);
+    }
+    let mut sections = Vec::new(); // (key, Vec<(name, img/s)>)
+    for (label, key, size) in [
+        ("pooled-conv serving demo", "pooled_conv", wp_server::demo::DemoSize::Serve),
+        ("batched tile (stem) demo", "tile_kernels", wp_server::demo::DemoSize::Stem),
+    ] {
+        let (bundle, opts) = wp_server::demo::demo_deployment(size, 1);
+        println!("== Backend tiers ({label}, batch {ab_batch}, 1 thread) ==");
+        let mut rates: Vec<(&'static str, f64)> = Vec::new();
+        let mut reference: Option<Vec<Vec<i32>>> = None;
+        for &kind in &kinds {
+            let net = PreparedNet::from_bundle(&bundle, &opts.clone().with_backend(kind));
+            let inputs = net.fabricate_inputs(ab_batch, 5);
+            let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+            let out = net.run_batch(&refs);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "{} outputs must be bit-identical", kind),
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..reps.min(5) {
+                let t = Instant::now();
+                std::hint::black_box(net.run_batch(&refs));
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            let name = net.backend_kind().name();
+            let ips = ab_batch as f64 / best;
+            println!("{name:>7}: {ips:>10.1} images/sec");
+            rates.push((name, ips));
+        }
+        let scalar = rates[0].1;
+        let swar = rates[1].1;
+        println!("swar vs scalar: {:.2}x  (outputs verified identical)", swar / scalar);
+        println!();
+        sections.push((key, rates));
+    }
+
+    if let Some(path) = &out_path {
+        let body: Vec<String> = sections
+            .iter()
+            .map(|(key, rates)| {
+                let tiers: Vec<String> = rates
+                    .iter()
+                    .map(|(name, ips)| format!("\"{name}\":{ips:.1}"))
+                    .collect();
+                format!(
+                    "\"{key}\":{{\"batch\":{ab_batch},\"images_per_sec\":{{{}}},\"swar_over_scalar\":{:.2}}}",
+                    tiers.join(","),
+                    rates[1].1 / rates[0].1
+                )
+            })
+            .collect();
+        let report = format!("{{\"bench\":\"engine_backends\",{}}}\n", body.join(","));
+        std::fs::write(path, &report).expect("write bench JSON");
+        println!("wrote {path}");
+    }
+
+    // Acceptance gates: the swar tier must hold >=2x over scalar on both
+    // serving regimes (floor well under the typical measured margin, so
+    // shared-runner scheduler noise cannot flake CI).
+    for (key, rates) in &sections {
+        let ratio = rates[1].1 / rates[0].1;
+        assert!(
+            ratio >= 2.0,
+            "swar backend only {ratio:.2}x over scalar on the {key} section (gate: >=2x)"
+        );
     }
 }

@@ -13,8 +13,10 @@
 //! [`wp_core::reference::bitserial_conv_acc`] — a property pinned down by
 //! the parity tests in `tests/parity.rs`.
 
+use crate::options::{BackendKind, ResolvedBackend};
 use wp_core::reference::{ActEncoding, PooledConvShape};
 use wp_core::LookupTable;
+use wp_kernels::OutputQuant;
 
 /// The lookup table flattened into contiguous pattern-major blocks — the
 /// host analogue of the paper's §4.2 SRAM-cached LUT blocks.
@@ -117,6 +119,12 @@ pub struct NativeBackend {
     /// exact, and a whole partial (`|code| * (2^M - 1) <= 32767 * 255`)
     /// stays far inside `i32`.
     bit_weights: [i32; 8],
+    /// The resolved kernel tier. `Scalar` keeps every op on the
+    /// per-element reference loops (generic bit-unpack, per-image
+    /// batching); `Swar`/`Avx2` engage the SWAR bit-matrix fill, the
+    /// bit-plane popcount kernels and the batched tile kernels. Every
+    /// tier computes identical integers.
+    simd: ResolvedBackend,
 }
 
 impl NativeBackend {
@@ -138,6 +146,21 @@ impl NativeBackend {
         Self::from_cache(LutCache::new(lut), act_bits, encoding)
     }
 
+    /// [`NativeBackend::new`] with an explicit kernel-tier selection
+    /// (resolved here; see [`BackendKind::resolve`] for the `Auto` rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= act_bits <= 8`.
+    pub fn new_with(
+        lut: &LookupTable,
+        act_bits: u8,
+        encoding: ActEncoding,
+        backend: BackendKind,
+    ) -> Self {
+        Self::from_cache_with(LutCache::new(lut), act_bits, encoding, backend)
+    }
+
     /// Builds a backend around an already-flattened [`LutCache`] (used by
     /// the batch engine to hand each worker its own copy).
     ///
@@ -145,12 +168,32 @@ impl NativeBackend {
     ///
     /// Panics unless `1 <= act_bits <= 8`.
     pub fn from_cache(lut: LutCache, act_bits: u8, encoding: ActEncoding) -> Self {
+        Self::from_cache_with(lut, act_bits, encoding, BackendKind::Auto)
+    }
+
+    /// [`NativeBackend::from_cache`] with an explicit kernel-tier
+    /// selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= act_bits <= 8`.
+    pub fn from_cache_with(
+        lut: LutCache,
+        act_bits: u8,
+        encoding: ActEncoding,
+        backend: BackendKind,
+    ) -> Self {
         assert!((1..=8).contains(&act_bits), "activation bits must be 1..=8, got {act_bits}");
         let mut bit_weights = [0i32; 8];
         for (j, w) in bit_weights.iter_mut().enumerate().take(act_bits as usize) {
             *w = encoding.bit_weight(j as u8, act_bits) as i32;
         }
-        Self { lut, act_bits, encoding, bit_weights }
+        Self { lut, act_bits, encoding, bit_weights, simd: backend.resolve() }
+    }
+
+    /// The resolved kernel tier this backend executes with.
+    pub fn simd(&self) -> ResolvedBackend {
+        self.simd
     }
 
     /// Activation bitwidth `M`.
@@ -271,14 +314,14 @@ impl NativeBackend {
             for iy in 0..in_h {
                 for ix in 0..in_w {
                     let mut rows = [0usize; 8];
-                    if g == 8 {
-                        // Bit-unpack all eight codes at once: pack their
-                        // low bytes into a u64 and transpose the 8x8 bit
-                        // matrix, so byte `j` of the result is bit row `j`.
-                        // Identical to the scalar loop below (only bits
-                        // `j < m_bits` are read, and in-range codes agree
-                        // with their low byte on those bits under both
-                        // encodings).
+                    if g == 8 && self.simd != ResolvedBackend::Scalar {
+                        // SWAR bit-unpack: all eight codes at once — pack
+                        // their low bytes into a u64 and transpose the 8x8
+                        // bit matrix, so byte `j` of the result is bit row
+                        // `j`. Identical to the scalar loop below (only
+                        // bits `j < m_bits` are read, and in-range codes
+                        // agree with their low byte on those bits under
+                        // both encodings).
                         let mut x = 0u64;
                         for i in 0..8 {
                             let code = codes[((base + i) * in_h + iy) * in_w + ix];
@@ -390,9 +433,44 @@ impl NativeBackend {
         shape: &PooledConvShape,
         prep: &PreparedIndices,
     ) -> Vec<Vec<i32>> {
+        self.conv_pooled_prepared_batch_with(batch, shape, prep, &RawOut)
+    }
+
+    /// [`NativeBackend::conv_pooled_prepared_batch`] with the bias +
+    /// requant finish fused into the scatter write-out: each output
+    /// leaves its accumulator register straight through
+    /// [`OutputQuant::apply_value`] instead of being stored raw and
+    /// re-walked by a separate `apply_plane` pass. Element-for-element
+    /// (and panic-for-panic) identical to accumulating raw and then
+    /// applying [`OutputQuant::apply_plane`] — see [`WriteOut`].
+    ///
+    /// # Panics
+    ///
+    /// As [`NativeBackend::conv_pooled_prepared_batch`], plus the
+    /// bias/requant panics of [`OutputQuant::apply_plane`].
+    pub fn conv_pooled_prepared_batch_fused(
+        &self,
+        batch: &[&[i32]],
+        shape: &PooledConvShape,
+        prep: &PreparedIndices,
+        bias: &[i32],
+        oq: &OutputQuant,
+    ) -> Vec<Vec<i32>> {
+        self.conv_pooled_prepared_batch_with(batch, shape, prep, &FusedOut { bias, oq })
+    }
+
+    fn conv_pooled_prepared_batch_with(
+        &self,
+        batch: &[&[i32]],
+        shape: &PooledConvShape,
+        prep: &PreparedIndices,
+        w_out: &impl WriteOut,
+    ) -> Vec<Vec<i32>> {
         let (in_h, in_w) = (shape.in_h, shape.in_w);
         let s_count = self.lut.pool_size;
         let kernel = shape.kernel;
+        let geo = shape.geometry();
+        let out_plane = geo.out_h() * geo.out_w();
 
         let mut outs: Vec<Vec<i32>> = Vec::with_capacity(batch.len());
         let mut scratch = Vec::new();
@@ -403,7 +481,9 @@ impl NativeBackend {
                 // Partial tail tile: the batch-minor layout only pays for
                 // itself at full width, so run the remainder solo (the
                 // outputs are identical either way).
-                outs.extend(tile.iter().map(|codes| self.conv_pooled_prepared(codes, shape, prep)));
+                outs.extend(tile.iter().map(|codes| {
+                    w_out.finish_solo(self.conv_pooled_prepared(codes, shape, prep), out_plane)
+                }));
                 continue;
             }
             let mut groups = 0;
@@ -442,9 +522,13 @@ impl NativeBackend {
                 .and_then(|v| v.checked_mul(self.lut.max_abs_code))
                 .is_some_and(|v| v <= i32::MAX as i64);
             let tile_outs = if fits_i32 {
-                scatter_tile_i32::<{ Self::BATCH_TILE }>(&columns, shape, prep, groups, s_count)
+                scatter_tile::<i32, { Self::BATCH_TILE }>(
+                    &columns, shape, prep, groups, s_count, w_out,
+                )
             } else {
-                scatter_tile::<{ Self::BATCH_TILE }>(&columns, shape, prep, groups, s_count)
+                scatter_tile::<i64, { Self::BATCH_TILE }>(
+                    &columns, shape, prep, groups, s_count, w_out,
+                )
             };
             outs.extend(tile_outs);
         }
@@ -497,13 +581,18 @@ fn valid_taps(
 /// holds batch-minor partials (`(pos * s_count + s) * B + b`). Filters are
 /// outermost so each filter's accumulator row lives in registers across
 /// all of its taps; per image the taps are still summed in the solo
-/// scatter's `(ky, kx, grp)` order, so outputs are bit-identical.
-fn scatter_tile<const B: usize>(
+/// scatter's `(ky, kx, grp)` order, so outputs are bit-identical. The
+/// `i32` accumulator instantiation requires the caller to have proven
+/// that `taps × max_activation × max_abs_code` fits in `i32`, in which
+/// case no intermediate sum can overflow and it matches the widened path
+/// exactly.
+fn scatter_tile<A: TileAcc, const B: usize>(
     columns: &[i32],
     shape: &PooledConvShape,
     prep: &PreparedIndices,
     groups: usize,
     s_count: usize,
+    w_out: &impl WriteOut,
 ) -> Vec<Vec<i32>> {
     let geo = shape.geometry();
     let (oh, ow) = (geo.out_h(), geo.out_w());
@@ -518,57 +607,16 @@ fn scatter_tile<const B: usize>(
             valid_taps(&geo, shape, groups, s_count, oy, ox, &mut taps);
             for k in 0..k_count {
                 let krow = &prep.canonical[k * prep.idx_stride..(k + 1) * prep.idx_stride];
-                let mut row = [0i64; B];
+                let mut row = [A::default(); B];
                 for &(t, base) in &taps {
                     let col = &cols[base + krow[t] as usize];
                     for (a, &p) in row.iter_mut().zip(col) {
-                        *a += p as i64;
+                        *a = a.add(p);
                     }
                 }
                 let o = (k * oh + oy) * ow + ox;
                 for (out, &a) in tile_outs.iter_mut().zip(&row) {
-                    out[o] = i32::try_from(a).expect("accumulator overflow");
-                }
-            }
-        }
-    }
-    tile_outs
-}
-
-/// [`scatter_tile`] with `i32` accumulators: callers must have proven that
-/// `taps × max_activation × max_abs_code` fits in `i32`, in which case no
-/// intermediate sum can overflow and the result is bit-identical to the
-/// widened path (whose final `i32` conversion also cannot trip).
-fn scatter_tile_i32<const B: usize>(
-    columns: &[i32],
-    shape: &PooledConvShape,
-    prep: &PreparedIndices,
-    groups: usize,
-    s_count: usize,
-) -> Vec<Vec<i32>> {
-    let geo = shape.geometry();
-    let (oh, ow) = (geo.out_h(), geo.out_w());
-    let k_count = shape.out_ch;
-    let (cols, rest) = columns.as_chunks::<B>();
-    debug_assert!(rest.is_empty());
-
-    let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; k_count * oh * ow]).collect();
-    let mut taps = Vec::with_capacity(shape.kernel * shape.kernel * groups);
-    for oy in 0..oh {
-        for ox in 0..ow {
-            valid_taps(&geo, shape, groups, s_count, oy, ox, &mut taps);
-            for k in 0..k_count {
-                let krow = &prep.canonical[k * prep.idx_stride..(k + 1) * prep.idx_stride];
-                let mut row = [0i32; B];
-                for &(t, base) in &taps {
-                    let col = &cols[base + krow[t] as usize];
-                    for (a, &p) in row.iter_mut().zip(col) {
-                        *a += p;
-                    }
-                }
-                let o = (k * oh + oy) * ow + ox;
-                for (out, &a) in tile_outs.iter_mut().zip(&row) {
-                    out[o] = a;
+                    out[o] = w_out.emit(k, a.widen());
                 }
             }
         }
@@ -650,7 +698,8 @@ pub fn dense_acc(codes: &[i32], weights: &[i8], out_features: usize) -> Vec<i32>
 /// accumulator footprint and doubles the SIMD width.
 trait TileAcc: Copy + Default {
     fn madd(self, w: i32, a: i32) -> Self;
-    fn finish(self) -> i32;
+    fn add(self, a: i32) -> Self;
+    fn widen(self) -> i64;
 }
 
 impl TileAcc for i64 {
@@ -660,8 +709,13 @@ impl TileAcc for i64 {
     }
 
     #[inline(always)]
-    fn finish(self) -> i32 {
-        i32::try_from(self).expect("accumulator overflow")
+    fn add(self, a: i32) -> Self {
+        self + a as i64
+    }
+
+    #[inline(always)]
+    fn widen(self) -> i64 {
+        self
     }
 }
 
@@ -672,8 +726,69 @@ impl TileAcc for i32 {
     }
 
     #[inline(always)]
-    fn finish(self) -> i32 {
-        self
+    fn add(self, a: i32) -> Self {
+        self + a
+    }
+
+    #[inline(always)]
+    fn widen(self) -> i64 {
+        self as i64
+    }
+}
+
+/// How a batched tile kernel writes a finished accumulator out: raw
+/// checked narrowing (the `accumulate_batch` surface), or the bias +
+/// requant arithmetic fused in as the value leaves registers (the
+/// `run_batch` surface) — dropping the separate finish pass that used
+/// to re-walk every output plane.
+///
+/// `emit` must be arithmetic-identical — **including the panics** — to
+/// the raw narrowing followed by [`OutputQuant::apply_plane`]:
+/// [`FusedOut`] reproduces that path's exact checked-narrow, widening
+/// bias add, second checked-narrow and requant sequence per element, so
+/// fusion cannot change (or silently skip) a single output or overflow
+/// check.
+trait WriteOut {
+    /// Finishes one accumulator belonging to output channel `k`.
+    fn emit(&self, k: usize, acc: i64) -> i32;
+
+    /// Finishes a whole raw solo-path accumulator plane (tail tiles run
+    /// through the solo kernels, which produce raw accumulators).
+    fn finish_solo(&self, acc: Vec<i32>, plane: usize) -> Vec<i32>;
+}
+
+/// Raw accumulators out — the historical behavior.
+struct RawOut;
+
+impl WriteOut for RawOut {
+    #[inline(always)]
+    fn emit(&self, _k: usize, acc: i64) -> i32 {
+        i32::try_from(acc).expect("accumulator overflow")
+    }
+
+    fn finish_solo(&self, acc: Vec<i32>, _plane: usize) -> Vec<i32> {
+        acc
+    }
+}
+
+/// Fused bias+requant write-out (see [`WriteOut`] for the exactness
+/// contract).
+struct FusedOut<'a> {
+    bias: &'a [i32],
+    oq: &'a OutputQuant,
+}
+
+impl WriteOut for FusedOut<'_> {
+    #[inline(always)]
+    fn emit(&self, k: usize, acc: i64) -> i32 {
+        let raw = i32::try_from(acc).expect("accumulator overflow");
+        self.oq.apply_value(
+            i32::try_from(raw as i64 + self.bias[k] as i64).expect("accumulator overflow"),
+        )
+    }
+
+    fn finish_solo(&self, acc: Vec<i32>, plane: usize) -> Vec<i32> {
+        self.oq.apply_plane(&acc, self.bias, plane)
     }
 }
 
@@ -729,12 +844,44 @@ pub fn conv_direct_batch(
     shape: &PooledConvShape,
     weights: &[i8],
 ) -> Vec<Vec<i32>> {
+    conv_direct_batch_with(batch, shape, weights, &RawOut)
+}
+
+/// [`conv_direct_batch`] with the bias+requant finish fused into the tile
+/// write-out (see [`NativeBackend::conv_pooled_prepared_batch_fused`] for
+/// the exactness contract).
+///
+/// # Panics
+///
+/// As [`conv_direct_batch`], plus the bias/requant panics of
+/// [`OutputQuant::apply_plane`].
+pub fn conv_direct_batch_fused(
+    batch: &[&[i32]],
+    shape: &PooledConvShape,
+    weights: &[i8],
+    bias: &[i32],
+    oq: &OutputQuant,
+) -> Vec<Vec<i32>> {
+    conv_direct_batch_with(batch, shape, weights, &FusedOut { bias, oq })
+}
+
+fn conv_direct_batch_with(
+    batch: &[&[i32]],
+    shape: &PooledConvShape,
+    weights: &[i8],
+    w_out: &impl WriteOut,
+) -> Vec<Vec<i32>> {
     const B: usize = NativeBackend::BATCH_TILE;
+    let geo = shape.geometry();
+    let out_plane = geo.out_h() * geo.out_w();
     let mut outs = Vec::with_capacity(batch.len());
     let mut columns = Vec::new();
     for tile in batch.chunks(B) {
         if tile.len() < B {
-            outs.extend(tile.iter().map(|codes| conv_direct(codes, shape, weights)));
+            outs.extend(
+                tile.iter()
+                    .map(|codes| w_out.finish_solo(conv_direct(codes, shape, weights), out_plane)),
+            );
             continue;
         }
         for &codes in tile {
@@ -752,9 +899,9 @@ pub fn conv_direct_batch(
         fill_columns::<B>(tile, &mut columns);
         let terms = (shape.in_ch * shape.kernel * shape.kernel) as i64;
         if tile_fits_i32(tile, terms) {
-            outs.extend(direct_tile::<i32, B>(&columns, shape, weights));
+            outs.extend(direct_tile::<i32, B>(&columns, shape, weights, w_out));
         } else {
-            outs.extend(direct_tile::<i64, B>(&columns, shape, weights));
+            outs.extend(direct_tile::<i64, B>(&columns, shape, weights, w_out));
         }
     }
     outs
@@ -791,6 +938,7 @@ fn direct_tile<A: TileAcc, const B: usize>(
     columns: &[i32],
     shape: &PooledConvShape,
     weights: &[i8],
+    w_out: &impl WriteOut,
 ) -> Vec<Vec<i32>> {
     let geo = shape.geometry();
     let (oh, ow) = (geo.out_h(), geo.out_w());
@@ -818,7 +966,7 @@ fn direct_tile<A: TileAcc, const B: usize>(
                 }
                 let o = (k * oh + oy) * ow + ox;
                 for (out, &a) in tile_outs.iter_mut().zip(&row) {
-                    out[o] = a.finish();
+                    out[o] = w_out.emit(k, a.widen());
                 }
             }
         }
@@ -839,13 +987,45 @@ pub fn dwconv_acc_batch(
     shape: &PooledConvShape,
     weights: &[i8],
 ) -> Vec<Vec<i32>> {
+    dwconv_acc_batch_with(batch, shape, weights, &RawOut)
+}
+
+/// [`dwconv_acc_batch`] with the bias+requant finish fused into the tile
+/// write-out (see [`NativeBackend::conv_pooled_prepared_batch_fused`] for
+/// the exactness contract).
+///
+/// # Panics
+///
+/// As [`dwconv_acc_batch`], plus the bias/requant panics of
+/// [`OutputQuant::apply_plane`].
+pub fn dwconv_acc_batch_fused(
+    batch: &[&[i32]],
+    shape: &PooledConvShape,
+    weights: &[i8],
+    bias: &[i32],
+    oq: &OutputQuant,
+) -> Vec<Vec<i32>> {
+    dwconv_acc_batch_with(batch, shape, weights, &FusedOut { bias, oq })
+}
+
+fn dwconv_acc_batch_with(
+    batch: &[&[i32]],
+    shape: &PooledConvShape,
+    weights: &[i8],
+    w_out: &impl WriteOut,
+) -> Vec<Vec<i32>> {
     const B: usize = NativeBackend::BATCH_TILE;
     assert_eq!(shape.out_ch, shape.in_ch, "depthwise conv requires in_ch == out_ch");
+    let geo = shape.geometry();
+    let out_plane = geo.out_h() * geo.out_w();
     let mut outs = Vec::with_capacity(batch.len());
     let mut columns = Vec::new();
     for tile in batch.chunks(B) {
         if tile.len() < B {
-            outs.extend(tile.iter().map(|codes| dwconv_acc(codes, shape, weights)));
+            outs.extend(
+                tile.iter()
+                    .map(|codes| w_out.finish_solo(dwconv_acc(codes, shape, weights), out_plane)),
+            );
             continue;
         }
         for &codes in tile {
@@ -863,9 +1043,9 @@ pub fn dwconv_acc_batch(
         fill_columns::<B>(tile, &mut columns);
         let terms = (shape.kernel * shape.kernel) as i64;
         if tile_fits_i32(tile, terms) {
-            outs.extend(dw_tile::<i32, B>(&columns, shape, weights));
+            outs.extend(dw_tile::<i32, B>(&columns, shape, weights, w_out));
         } else {
-            outs.extend(dw_tile::<i64, B>(&columns, shape, weights));
+            outs.extend(dw_tile::<i64, B>(&columns, shape, weights, w_out));
         }
     }
     outs
@@ -878,6 +1058,7 @@ fn dw_tile<A: TileAcc, const B: usize>(
     columns: &[i32],
     shape: &PooledConvShape,
     weights: &[i8],
+    w_out: &impl WriteOut,
 ) -> Vec<Vec<i32>> {
     let geo = shape.geometry();
     let (oh, ow) = (geo.out_h(), geo.out_w());
@@ -903,7 +1084,7 @@ fn dw_tile<A: TileAcc, const B: usize>(
                 }
                 let o = (ch * oh + oy) * ow + ox;
                 for (out, &a) in tile_outs.iter_mut().zip(&row) {
-                    out[o] = a.finish();
+                    out[o] = w_out.emit(ch, a.widen());
                 }
             }
         }
@@ -922,12 +1103,42 @@ fn dw_tile<A: TileAcc, const B: usize>(
 ///
 /// Panics on any per-image size mismatch, exactly as the solo path does.
 pub fn dense_acc_batch(batch: &[&[i32]], weights: &[i8], out_features: usize) -> Vec<Vec<i32>> {
+    dense_acc_batch_with(batch, weights, out_features, &RawOut)
+}
+
+/// [`dense_acc_batch`] with the bias+requant finish fused into the tile
+/// write-out (see [`NativeBackend::conv_pooled_prepared_batch_fused`] for
+/// the exactness contract).
+///
+/// # Panics
+///
+/// As [`dense_acc_batch`], plus the bias/requant panics of
+/// [`OutputQuant::apply_plane`].
+pub fn dense_acc_batch_fused(
+    batch: &[&[i32]],
+    weights: &[i8],
+    out_features: usize,
+    bias: &[i32],
+    oq: &OutputQuant,
+) -> Vec<Vec<i32>> {
+    dense_acc_batch_with(batch, weights, out_features, &FusedOut { bias, oq })
+}
+
+fn dense_acc_batch_with(
+    batch: &[&[i32]],
+    weights: &[i8],
+    out_features: usize,
+    w_out: &impl WriteOut,
+) -> Vec<Vec<i32>> {
     const B: usize = NativeBackend::BATCH_TILE;
     let mut outs = Vec::with_capacity(batch.len());
     let mut columns = Vec::new();
     for tile in batch.chunks(B) {
         if tile.len() < B {
-            outs.extend(tile.iter().map(|codes| dense_acc(codes, weights, out_features)));
+            outs.extend(
+                tile.iter()
+                    .map(|codes| w_out.finish_solo(dense_acc(codes, weights, out_features), 1)),
+            );
             continue;
         }
         let in_features = tile[0].len();
@@ -937,9 +1148,9 @@ pub fn dense_acc_batch(batch: &[&[i32]], weights: &[i8], out_features: usize) ->
         assert_eq!(weights.len(), in_features * out_features, "weight size mismatch");
         fill_columns::<B>(tile, &mut columns);
         if tile_fits_i32(tile, in_features as i64) {
-            outs.extend(dense_tile::<i32, B>(&columns, weights, in_features, out_features));
+            outs.extend(dense_tile::<i32, B>(&columns, weights, in_features, out_features, w_out));
         } else {
-            outs.extend(dense_tile::<i64, B>(&columns, weights, in_features, out_features));
+            outs.extend(dense_tile::<i64, B>(&columns, weights, in_features, out_features, w_out));
         }
     }
     outs
@@ -951,6 +1162,7 @@ fn dense_tile<A: TileAcc, const B: usize>(
     weights: &[i8],
     in_features: usize,
     out_features: usize,
+    w_out: &impl WriteOut,
 ) -> Vec<Vec<i32>> {
     let (cols, rest) = columns.as_chunks::<B>();
     debug_assert!(rest.is_empty());
@@ -965,7 +1177,7 @@ fn dense_tile<A: TileAcc, const B: usize>(
             }
         }
         for (out, &a) in tile_outs.iter_mut().zip(&row) {
-            out[o] = a.finish();
+            out[o] = w_out.emit(o, a.widen());
         }
     }
     tile_outs
@@ -1055,6 +1267,120 @@ pub fn residual_add_range(a: &[i32], b: &[i32], lo: i32, hi: i32) -> Vec<i32> {
 /// Panics if lengths differ.
 pub fn residual_add(a: &[i32], b: &[i32], out_bits: u8) -> Vec<i32> {
     residual_add_range(a, b, 0, (1i32 << out_bits) - 1)
+}
+
+/// Batched [`maxpool`]: full tiles of [`NativeBackend::BATCH_TILE`] images
+/// run the window loop once with the max taken across batch-minor lanes;
+/// tail images fall back to the solo kernel. Bit-identical to mapping
+/// [`maxpool`] over the batch.
+///
+/// # Panics
+///
+/// Panics if the window exceeds the input or an image's size does not
+/// match `ch * h * w`.
+pub fn maxpool_batch(
+    batch: &[&[i32]],
+    ch: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+) -> Vec<Vec<i32>> {
+    assert!(h >= size && w >= size, "pool window larger than input");
+    const B: usize = NativeBackend::BATCH_TILE;
+    let (oh, ow) = (h / size, w / size);
+    let mut outs = Vec::with_capacity(batch.len());
+    let mut columns = Vec::new();
+    for tile in batch.chunks(B) {
+        if tile.len() < B {
+            outs.extend(tile.iter().map(|codes| maxpool(codes, ch, h, w, size)));
+            continue;
+        }
+        for &codes in tile {
+            assert_eq!(codes.len(), ch * h * w, "activation size mismatch");
+        }
+        fill_columns::<B>(tile, &mut columns);
+        let (cols, rest) = columns.as_chunks::<B>();
+        debug_assert!(rest.is_empty());
+        let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; ch * oh * ow]).collect();
+        for c in 0..ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = [i32::MIN; B];
+                    for dy in 0..size {
+                        for dx in 0..size {
+                            let col = &cols[(c * h + oy * size + dy) * w + ox * size + dx];
+                            for (b, &p) in best.iter_mut().zip(col) {
+                                *b = (*b).max(p);
+                            }
+                        }
+                    }
+                    let o = (c * oh + oy) * ow + ox;
+                    for (out, &b) in tile_outs.iter_mut().zip(&best) {
+                        out[o] = b;
+                    }
+                }
+            }
+        }
+        outs.extend(tile_outs);
+    }
+    outs
+}
+
+/// Batched [`avgpool`]: lane-parallel window sums with the same rounded
+/// integer division as the solo kernel. Bit-identical to mapping
+/// [`avgpool`] over the batch.
+///
+/// # Panics
+///
+/// Panics if the window exceeds the input or an image's size does not
+/// match `ch * h * w`.
+pub fn avgpool_batch(
+    batch: &[&[i32]],
+    ch: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+) -> Vec<Vec<i32>> {
+    assert!(h >= size && w >= size, "pool window larger than input");
+    const B: usize = NativeBackend::BATCH_TILE;
+    let (oh, ow) = (h / size, w / size);
+    let div = (size * size) as i32;
+    let mut outs = Vec::with_capacity(batch.len());
+    let mut columns = Vec::new();
+    for tile in batch.chunks(B) {
+        if tile.len() < B {
+            outs.extend(tile.iter().map(|codes| avgpool(codes, ch, h, w, size)));
+            continue;
+        }
+        for &codes in tile {
+            assert_eq!(codes.len(), ch * h * w, "activation size mismatch");
+        }
+        fill_columns::<B>(tile, &mut columns);
+        let (cols, rest) = columns.as_chunks::<B>();
+        debug_assert!(rest.is_empty());
+        let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; ch * oh * ow]).collect();
+        for c in 0..ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = [0i32; B];
+                    for dy in 0..size {
+                        for dx in 0..size {
+                            let col = &cols[(c * h + oy * size + dy) * w + ox * size + dx];
+                            for (a, &p) in acc.iter_mut().zip(col) {
+                                *a += p;
+                            }
+                        }
+                    }
+                    let o = (c * oh + oy) * ow + ox;
+                    for (out, &a) in tile_outs.iter_mut().zip(&acc) {
+                        out[o] = (a + div / 2).div_euclid(div);
+                    }
+                }
+            }
+        }
+        outs.extend(tile_outs);
+    }
+    outs
 }
 
 #[cfg(test)]

@@ -139,7 +139,7 @@ impl BatchRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bundle::EngineOptions;
+    use crate::options::EngineOptions;
     use rand::{Rng, SeedableRng};
     use wp_core::deploy::{ConvPayload, DeployBundle};
     use wp_core::netspec::{ConvSpec, LayerSpec, NetSpec};

@@ -15,6 +15,7 @@ use crate::kernel::{
     AvgPoolKernel, DenseKernel, DirectConvKernel, DwConvKernel, GlobalAvgPoolKernel, Kernel,
     KernelCtx, MaxPoolKernel, PooledConvKernel, ResidualAddKernel,
 };
+use crate::options::{EngineOptions, ResolvedBackend};
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use wp_core::deploy::{ConvPayload, DeployBundle};
@@ -22,41 +23,6 @@ use wp_core::netspec::LayerSpec;
 use wp_core::reference::{ActEncoding, PooledConvShape};
 use wp_kernels::OutputQuant;
 use wp_quant::Requantizer;
-
-/// Knobs for compiling a bundle into a [`PreparedNet`].
-#[derive(Debug, Clone)]
-pub struct EngineOptions {
-    /// Activation bitwidth override; `None` uses the bundle's calibrated
-    /// `act_bits`.
-    pub act_bits: Option<u8>,
-    /// Activation bit decomposition (the bundle's layers are post-ReLU, so
-    /// unsigned is the paper's setting).
-    pub encoding: ActEncoding,
-    /// Real multiplier scaling accumulators into the next layer's code
-    /// range (the simulator uses the same default).
-    pub requant_multiplier: f64,
-    /// Per-layer requant multipliers, indexed over the bundle's
-    /// *requantized* layers (convs, depthwise, dense) in walk order;
-    /// layers beyond the vector fall back to `requant_multiplier`.
-    /// Networks whose layer fan-ins differ widely need this — see
-    /// [`PreparedNet::calibrate_multipliers`], which derives a set from
-    /// synthetic activation statistics.
-    pub layer_multipliers: Option<Vec<f64>>,
-    /// Seed for the fabricated depthwise/dense weights.
-    pub weight_seed: u64,
-}
-
-impl Default for EngineOptions {
-    fn default() -> Self {
-        Self {
-            act_bits: None,
-            encoding: ActEncoding::Unsigned,
-            requant_multiplier: 2e-4,
-            layer_multipliers: None,
-            weight_seed: 0x5EED,
-        }
-    }
-}
 
 /// One compiled layer: its [`Kernel`] plus everything the kernel needs
 /// at run time (handed over as a [`KernelCtx`] per call).
@@ -97,7 +63,7 @@ impl PreparedNet {
     /// group size on a pooled layer).
     pub fn from_bundle(bundle: &DeployBundle, opts: &EngineOptions) -> Self {
         let act_bits = opts.act_bits.unwrap_or(bundle.act_bits);
-        let backend = NativeBackend::new(&bundle.lut, act_bits, opts.encoding);
+        let backend = NativeBackend::new_with(&bundle.lut, act_bits, opts.encoding, opts.backend);
         // Hidden activations must land in the encoding's code range:
         // unsigned (post-ReLU) clamps to [0, 2^M - 1]; signed two's
         // complement clamps two-sided to [-2^(M-1), 2^(M-1) - 1], which is
@@ -164,7 +130,7 @@ impl PreparedNet {
                                 cs.out_ch * cs.in_ch * cs.kernel * cs.kernel,
                                 "weight size mismatch"
                             );
-                            Arc::new(DirectConvKernel { shape, weights: weights.clone() })
+                            Arc::new(DirectConvKernel::new(shape, weights.clone()))
                         }
                     };
                     (kernel, vec![0i32; cs.out_ch])
@@ -188,7 +154,7 @@ impl PreparedNet {
                     let weights: Vec<i8> = (0..in_features * out_features)
                         .map(|_| rng.gen_range(-127i32..=127) as i8)
                         .collect();
-                    (Arc::new(DenseKernel { weights, out_features }), vec![0i32; out_features])
+                    (Arc::new(DenseKernel::new(weights, out_features)), vec![0i32; out_features])
                 }
                 LayerSpec::MaxPool { size } => (Arc::new(MaxPoolKernel { size }), Vec::new()),
                 LayerSpec::AvgPool { size } => (Arc::new(AvgPoolKernel { size }), Vec::new()),
@@ -233,6 +199,13 @@ impl PreparedNet {
     /// The shared backend (read-only; workers clone it).
     pub fn backend(&self) -> &NativeBackend {
         &self.backend
+    }
+
+    /// The concrete kernel tier this plan executes with (after `Auto`
+    /// resolution) — what `wp_serve` reports in `/v1/models` and
+    /// `/metrics`.
+    pub fn backend_kind(&self) -> ResolvedBackend {
+        self.backend.simd()
     }
 
     /// Deterministic synthetic input batch with codes in the encoding's
@@ -472,7 +445,7 @@ mod tests {
     #[test]
     fn act_bits_override_restricts_codes() {
         let bundle = toy_bundle(LutOrder::InputOriented);
-        let opts = EngineOptions { act_bits: Some(4), ..EngineOptions::default() };
+        let opts = EngineOptions::new().with_act_bits(4);
         let net = PreparedNet::from_bundle(&bundle, &opts);
         assert_eq!(net.act_bits(), 4);
         let inputs = net.fabricate_inputs(2, 5);
@@ -487,11 +460,9 @@ mod tests {
         // regardless of encoding, tripping conv_pooled's signed range
         // check on the next pooled layer.
         let bundle = toy_bundle(LutOrder::InputOriented);
-        let opts = EngineOptions {
-            encoding: ActEncoding::SignedTwosComplement,
-            requant_multiplier: 5e-3,
-            ..EngineOptions::default()
-        };
+        let opts = EngineOptions::new()
+            .with_encoding(ActEncoding::SignedTwosComplement)
+            .with_requant_multiplier(5e-3);
         let net = PreparedNet::from_bundle(&bundle, &opts);
         let inputs = net.fabricate_inputs(3, 3);
         assert!(inputs.iter().flatten().all(|&c| (-128..=127).contains(&c)));
@@ -505,11 +476,11 @@ mod tests {
     #[test]
     fn calibrated_multipliers_prevent_collapse_and_cover_all_layers() {
         let bundle = toy_bundle(LutOrder::InputOriented);
-        let mut opts = EngineOptions::default();
+        let opts = EngineOptions::default();
         let multipliers = PreparedNet::calibrate_multipliers(&bundle, &opts, 4, 77);
         assert_eq!(multipliers.len(), 3, "two convs + dense head requantize");
         assert!(multipliers.iter().all(|&m| m.is_finite() && m > 0.0));
-        opts.layer_multipliers = Some(multipliers);
+        let opts = opts.with_layer_multipliers(Some(multipliers));
         let net = PreparedNet::from_bundle(&bundle, &opts);
         let inputs = net.fabricate_inputs(3, 5);
         let outs: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();

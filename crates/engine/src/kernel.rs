@@ -22,8 +22,28 @@
 //! consumes ([`crate::PreparedNet::calibrate_multipliers`]).
 
 use crate::backend::{self, NativeBackend, PreparedIndices};
+use crate::options::ResolvedBackend;
+use crate::swar;
 use wp_core::reference::PooledConvShape;
 use wp_kernels::OutputQuant;
+
+/// Whether this call executes on the scalar tier — reference per-element
+/// loops, one image at a time, no batched tile kernels.
+fn scalar_tier(ctx: &KernelCtx<'_>) -> bool {
+    ctx.backend.simd() == ResolvedBackend::Scalar
+}
+
+/// `Some(use_avx2)` when the solo bit-plane popcount kernels should run
+/// for this call: a swar-or-better tier at an activation bitwidth low
+/// enough that popcounting 8 weight planes beats the per-element MAC
+/// (see [`swar::POPCOUNT_MAX_BITS`]). The scalar tier never routes here.
+fn popcount_path(ctx: &KernelCtx<'_>) -> Option<bool> {
+    match ctx.backend.simd() {
+        ResolvedBackend::Scalar => None,
+        tier if ctx.act_bits <= swar::POPCOUNT_MAX_BITS => Some(tier == ResolvedBackend::Avx2),
+        _ => None,
+    }
+}
 
 /// Everything a kernel needs at run time beyond its own compiled state:
 /// the executing backend (LUT cache, activation encoding), the layer's
@@ -72,11 +92,12 @@ pub trait Kernel: std::fmt::Debug + Send + Sync {
     /// channel — `Some` exactly when [`Kernel::accumulate`] is `Some`,
     /// and bit-identical to mapping it over the batch.
     ///
-    /// Default: that per-image map. Kernels with per-layer state worth
-    /// amortizing (weights, tap indices) override **only this** with
-    /// their weight-stationary batched implementation; the bias+requant
-    /// finish stays in the shared [`Kernel::run_batch`] body, so no
-    /// kernel can batch-accumulate and skip it.
+    /// Default: that per-image map. On the scalar tier this is the
+    /// batched story for every kernel; the swar/avx2 tiers skip it —
+    /// their [`Kernel::run_batch`] overrides run the batched tile
+    /// kernels with the bias+requant finish fused into the tile
+    /// write-out, so the raw-accumulator split only ever feeds the
+    /// reference path.
     fn accumulate_batch(
         &self,
         ctx: &KernelCtx<'_>,
@@ -98,11 +119,14 @@ pub trait Kernel: std::fmt::Debug + Send + Sync {
     /// Executes the layer on a whole batch of activation planes,
     /// bit-identical to mapping [`Kernel::run_solo`] over them.
     ///
-    /// Requantizing kernels accumulate through
-    /// [`Kernel::accumulate_batch`] and finish through the shared
-    /// [`OutputQuant::apply_plane`] arithmetic; pass-through kernels
-    /// (accumulate = `None`) map [`Kernel::run_solo`] per image — the
-    /// right cost model for cheap elementwise ops.
+    /// Default: accumulate through [`Kernel::accumulate_batch`] and
+    /// finish through the shared [`OutputQuant::apply_plane`]
+    /// arithmetic; pass-through kernels (accumulate = `None`) map
+    /// [`Kernel::run_solo`] per image. Requantizing kernels override
+    /// this on the swar/avx2 tiers to call the fused batched tile
+    /// kernels (bias+requant applied in the tile write-out), which are
+    /// pinned bit-identical to this default by the backend-parity
+    /// tests.
     fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
         let batched = {
             let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
@@ -149,20 +173,61 @@ impl Kernel for PooledConvKernel {
         ctx: &KernelCtx<'_>,
         batch: &[&[i32]],
     ) -> Option<(Vec<Vec<i32>>, usize)> {
+        if scalar_tier(ctx) {
+            let accs = batch.iter().map(|codes| self.accumulate(ctx, codes).unwrap().0).collect();
+            return Some((accs, out_plane(&self.shape)));
+        }
         Some((
             ctx.backend.conv_pooled_prepared_batch(batch, &self.shape, &self.indices),
             out_plane(&self.shape),
         ))
     }
+
+    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+        if scalar_tier(ctx) {
+            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
+        }
+        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
+        ctx.backend.conv_pooled_prepared_batch_fused(
+            &refs,
+            &self.shape,
+            &self.indices,
+            ctx.bias,
+            ctx.oq,
+        )
+    }
 }
 
 /// Direct int8 convolution (uncompressed stem layers).
+///
+/// Compiled once per plan: the weights are also packed into bit planes
+/// ([`swar::PackedWeights`]) so the swar/avx2 tiers can run the solo
+/// popcount kernel at low activation bitwidths.
 #[derive(Debug, Clone)]
 pub struct DirectConvKernel {
     /// Conv geometry.
-    pub shape: PooledConvShape,
+    shape: PooledConvShape,
     /// `[K, C, R, S]` int8 weights.
-    pub weights: Vec<i8>,
+    weights: Vec<i8>,
+    /// The same weights as bit planes, one row per output channel.
+    packed: swar::PackedWeights,
+}
+
+impl DirectConvKernel {
+    /// Compiles the kernel, packing `weights` (`[K, C, R, S]`, one row of
+    /// `C*R*S` taps per output channel) into bit planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not match the shape's filter count.
+    pub fn new(shape: PooledConvShape, weights: Vec<i8>) -> Self {
+        let packed = swar::PackedWeights::pack(
+            &weights,
+            shape.out_ch,
+            shape.in_ch * shape.kernel * shape.kernel,
+        );
+        Self { shape, weights, packed }
+    }
 }
 
 impl Kernel for DirectConvKernel {
@@ -170,19 +235,35 @@ impl Kernel for DirectConvKernel {
         "direct_conv"
     }
 
-    fn accumulate(&self, _ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
-        Some((backend::conv_direct(codes, &self.shape, &self.weights), out_plane(&self.shape)))
+    fn accumulate(&self, ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+        let acc = match popcount_path(ctx) {
+            Some(use_avx2) => swar::conv_direct(codes, &self.shape, &self.packed, use_avx2),
+            None => backend::conv_direct(codes, &self.shape, &self.weights),
+        };
+        Some((acc, out_plane(&self.shape)))
     }
 
     fn accumulate_batch(
         &self,
-        _ctx: &KernelCtx<'_>,
+        ctx: &KernelCtx<'_>,
         batch: &[&[i32]],
     ) -> Option<(Vec<Vec<i32>>, usize)> {
+        if scalar_tier(ctx) {
+            let accs = batch.iter().map(|codes| self.accumulate(ctx, codes).unwrap().0).collect();
+            return Some((accs, out_plane(&self.shape)));
+        }
         Some((
             backend::conv_direct_batch(batch, &self.shape, &self.weights),
             out_plane(&self.shape),
         ))
+    }
+
+    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+        if scalar_tier(ctx) {
+            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
+        }
+        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
+        backend::conv_direct_batch_fused(&refs, &self.shape, &self.weights, ctx.bias, ctx.oq)
     }
 }
 
@@ -206,20 +287,52 @@ impl Kernel for DwConvKernel {
 
     fn accumulate_batch(
         &self,
-        _ctx: &KernelCtx<'_>,
+        ctx: &KernelCtx<'_>,
         batch: &[&[i32]],
     ) -> Option<(Vec<Vec<i32>>, usize)> {
+        if scalar_tier(ctx) {
+            let accs = batch.iter().map(|codes| self.accumulate(ctx, codes).unwrap().0).collect();
+            return Some((accs, out_plane(&self.shape)));
+        }
         Some((backend::dwconv_acc_batch(batch, &self.shape, &self.weights), out_plane(&self.shape)))
+    }
+
+    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+        if scalar_tier(ctx) {
+            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
+        }
+        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
+        backend::dwconv_acc_batch_fused(&refs, &self.shape, &self.weights, ctx.bias, ctx.oq)
     }
 }
 
 /// Fully-connected int8 layer.
+///
+/// Like [`DirectConvKernel`], carries a bit-plane packing of its weights
+/// for the swar/avx2 solo popcount path.
 #[derive(Debug, Clone)]
 pub struct DenseKernel {
     /// `[O, I]` int8 weights, row per output feature.
-    pub weights: Vec<i8>,
+    weights: Vec<i8>,
     /// Output features `O`.
-    pub out_features: usize,
+    out_features: usize,
+    /// The same weights as bit planes, one row per output feature.
+    packed: swar::PackedWeights,
+}
+
+impl DenseKernel {
+    /// Compiles the kernel, packing `weights` (`[O, I]`) into bit planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is not a multiple of `out_features`.
+    pub fn new(weights: Vec<i8>, out_features: usize) -> Self {
+        assert!(out_features > 0, "dense layer needs at least one output feature");
+        assert_eq!(weights.len() % out_features, 0, "weight size mismatch");
+        let in_features = weights.len() / out_features;
+        let packed = swar::PackedWeights::pack(&weights, out_features, in_features);
+        Self { weights, out_features, packed }
+    }
 }
 
 impl Kernel for DenseKernel {
@@ -227,16 +340,32 @@ impl Kernel for DenseKernel {
         "dense"
     }
 
-    fn accumulate(&self, _ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
-        Some((backend::dense_acc(codes, &self.weights, self.out_features), 1))
+    fn accumulate(&self, ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+        let acc = match popcount_path(ctx) {
+            Some(use_avx2) => swar::dense_acc(codes, &self.packed, use_avx2),
+            None => backend::dense_acc(codes, &self.weights, self.out_features),
+        };
+        Some((acc, 1))
     }
 
     fn accumulate_batch(
         &self,
-        _ctx: &KernelCtx<'_>,
+        ctx: &KernelCtx<'_>,
         batch: &[&[i32]],
     ) -> Option<(Vec<Vec<i32>>, usize)> {
+        if scalar_tier(ctx) {
+            let accs = batch.iter().map(|codes| self.accumulate(ctx, codes).unwrap().0).collect();
+            return Some((accs, 1));
+        }
         Some((backend::dense_acc_batch(batch, &self.weights, self.out_features), 1))
+    }
+
+    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+        if scalar_tier(ctx) {
+            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
+        }
+        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
+        backend::dense_acc_batch_fused(&refs, &self.weights, self.out_features, ctx.bias, ctx.oq)
     }
 }
 
@@ -261,6 +390,15 @@ impl Kernel for MaxPoolKernel {
         let (c, h, w) = ctx.in_dims;
         backend::maxpool(&codes, c, h, w, self.size)
     }
+
+    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+        if scalar_tier(ctx) {
+            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
+        }
+        let (c, h, w) = ctx.in_dims;
+        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
+        backend::maxpool_batch(&refs, c, h, w, self.size)
+    }
 }
 
 /// Average pooling over non-overlapping square windows (pass-through).
@@ -282,6 +420,15 @@ impl Kernel for AvgPoolKernel {
     fn run_solo(&self, ctx: &KernelCtx<'_>, codes: Vec<i32>) -> Vec<i32> {
         let (c, h, w) = ctx.in_dims;
         backend::avgpool(&codes, c, h, w, self.size)
+    }
+
+    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+        if scalar_tier(ctx) {
+            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
+        }
+        let (c, h, w) = ctx.in_dims;
+        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
+        backend::avgpool_batch(&refs, c, h, w, self.size)
     }
 }
 

@@ -53,8 +53,11 @@ pub mod backend;
 pub mod batch;
 pub mod bundle;
 pub mod kernel;
+pub mod options;
+pub mod swar;
 
 pub use backend::{LutCache, NativeBackend, PreparedIndices};
 pub use batch::BatchRunner;
-pub use bundle::{EngineOptions, PreparedNet};
+pub use bundle::PreparedNet;
 pub use kernel::{Kernel, KernelCtx};
+pub use options::{avx2_available, BackendKind, EngineOptions, ResolvedBackend};

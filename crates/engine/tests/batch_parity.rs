@@ -89,8 +89,9 @@ fn all_kinds_batched_matches_solo_across_batch_sizes_and_threads() {
 #[test]
 fn all_kinds_batched_matches_solo_under_calibration() {
     let bundle = all_kinds_bundle(0xCA1B);
-    let mut opts = EngineOptions::default();
-    opts.layer_multipliers = Some(PreparedNet::calibrate_multipliers(&bundle, &opts, 4, 3));
+    let opts = EngineOptions::default();
+    let multipliers = PreparedNet::calibrate_multipliers(&bundle, &opts, 4, 3);
+    let opts = opts.with_layer_multipliers(Some(multipliers));
     let net = PreparedNet::from_bundle(&bundle, &opts);
     let inputs = net.fabricate_inputs(11, 13);
     let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();

@@ -435,8 +435,7 @@ mod tests {
 
         // Swap to a 4-bit plan: the queued 8-bit plane no longer fits.
         let bundle = demo::demo_bundle(demo::DemoSize::Tiny, 7);
-        let opts =
-            wp_engine::EngineOptions { act_bits: Some(4), ..wp_engine::EngineOptions::default() };
+        let opts = wp_engine::EngineOptions::new().with_act_bits(4);
         let swapped = Arc::new(PreparedNet::from_bundle(&bundle, &opts));
         *slot.write().unwrap() = Arc::clone(&swapped);
 

@@ -19,6 +19,10 @@
 //! * `--demo` — deploy the fabricated scatter-heavy demo model as `demo`.
 //! * `--demo-stem` — deploy the fabricated stem-heavy demo model as
 //!   `demo-stem` (direct/depthwise/dense dominated; no pooled convs).
+//! * `--backend KIND` — kernel tier for every deployed model: `auto`
+//!   (default; runtime CPU detection, `WP_BACKEND` env override),
+//!   `scalar`, `swar`, or `avx2`. The resolved tier is printed per model
+//!   and reported in `/v1/models` and `/metrics`.
 //! * `--max-batch N`, `--max-wait-us N` — micro-batcher flush thresholds.
 //! * `--threads N` — engine worker threads per batch.
 //! * `--workers N` — connection worker threads.
@@ -28,7 +32,7 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use wp_engine::EngineOptions;
+use wp_engine::{BackendKind, EngineOptions};
 use wp_server::batcher::BatcherConfig;
 use wp_server::demo::{demo_deployment, DemoSize};
 use wp_server::metrics::Metrics;
@@ -40,6 +44,7 @@ struct Args {
     models: Vec<(String, String)>,
     demo: bool,
     demo_stem: bool,
+    backend: BackendKind,
     batcher: BatcherConfig,
     workers: usize,
     port_file: Option<String>,
@@ -52,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         models: Vec::new(),
         demo: false,
         demo_stem: false,
+        backend: BackendKind::Auto,
         batcher: BatcherConfig::default(),
         workers: 8,
         port_file: None,
@@ -75,6 +81,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--demo" => args.demo = true,
             "--demo-stem" => args.demo_stem = true,
+            "--backend" => {
+                args.backend =
+                    value("--backend")?.parse().map_err(|e| format!("bad --backend: {e}"))?;
+            }
             "--max-batch" => {
                 args.batcher.max_batch =
                     value("--max-batch")?.parse().map_err(|e| format!("bad --max-batch: {e}"))?;
@@ -114,6 +124,8 @@ const HELP: &str = "wp_serve — weight-pool inference server
     --model NAME=PATH    deploy a DeployBundle file, JSON or .wpb (repeatable)
     --demo               deploy the fabricated scatter-heavy demo model as 'demo'
     --demo-stem          deploy the fabricated stem-heavy demo model as 'demo-stem'
+    --backend KIND       kernel tier: auto|scalar|swar|avx2 (default auto;
+                         auto honors WP_BACKEND, then CPU detection)
     --max-batch N        micro-batch flush size (default 32)
     --max-wait-us N      micro-batch flush deadline (default 2000)
     --threads N          engine worker threads per batch
@@ -131,24 +143,24 @@ fn main() {
     };
 
     let registry = Arc::new(ModelRegistry::new(args.batcher, Arc::new(Metrics::new())));
+    let resolved = args.backend.resolve();
     if args.demo {
         let (bundle, opts) = demo_deployment(DemoSize::Serve, 1);
-        registry.insert_bundle("demo", &bundle, opts);
-        println!("deployed demo model 'demo' (input 8x6x6, 10 classes)");
+        registry.insert_bundle("demo", &bundle, opts.with_backend(args.backend));
+        println!("deployed demo model 'demo' (input 8x6x6, 10 classes, backend {resolved})");
     }
     if args.demo_stem {
         let (bundle, opts) = demo_deployment(DemoSize::Stem, 1);
-        registry.insert_bundle("demo-stem", &bundle, opts);
-        println!("deployed demo model 'demo-stem' (input 8x10x10, 10 classes)");
+        registry.insert_bundle("demo-stem", &bundle, opts.with_backend(args.backend));
+        println!("deployed demo model 'demo-stem' (input 8x10x10, 10 classes, backend {resolved})");
     }
     for (name, path) in &args.models {
-        if let Err(e) =
-            registry.insert_file(name, std::path::Path::new(path), EngineOptions::default())
-        {
+        let opts = EngineOptions::new().with_backend(args.backend);
+        if let Err(e) = registry.insert_file(name, std::path::Path::new(path), opts) {
             eprintln!("wp_serve: deploying {name:?}: {e}");
             std::process::exit(1);
         }
-        println!("deployed model {name:?} from {path}");
+        println!("deployed model {name:?} from {path} (backend {resolved})");
     }
 
     let config = ServerConfig {

@@ -145,10 +145,9 @@ pub fn demo_bundle(size: DemoSize, seed: u64) -> DeployBundle {
 /// [`PreparedNet::calibrate_multipliers`] result.
 pub fn demo_deployment(size: DemoSize, seed: u64) -> (DeployBundle, EngineOptions) {
     let bundle = demo_bundle(size, seed);
-    let mut opts = EngineOptions::default();
-    opts.layer_multipliers =
-        Some(PreparedNet::calibrate_multipliers(&bundle, &opts, 8, seed ^ 0xCA11));
-    (bundle, opts)
+    let opts = EngineOptions::default();
+    let multipliers = PreparedNet::calibrate_multipliers(&bundle, &opts, 8, seed ^ 0xCA11);
+    (bundle, opts.with_layer_multipliers(Some(multipliers)))
 }
 
 /// Fabricates and compiles a demo model in one step.

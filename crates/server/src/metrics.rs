@@ -177,6 +177,7 @@ impl Metrics {
             batch_size_hist,
             request_latency: self.request_latency.snapshot(),
             queue_latency: self.queue_latency.snapshot(),
+            model_backends: Vec::new(),
         }
     }
 }
@@ -203,6 +204,11 @@ pub struct MetricsSnapshot {
     pub request_latency: LatencySnapshot,
     /// Queue-wait latency.
     pub queue_latency: LatencySnapshot,
+    /// `(model name, resolved kernel tier)` per registered model — filled
+    /// in by the `/metrics` route (the raw counters don't know the
+    /// registry).
+    #[serde(default)]
+    pub model_backends: Vec<(String, String)>,
 }
 
 #[cfg(test)]

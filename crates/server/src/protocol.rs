@@ -56,6 +56,10 @@ pub struct ModelInfo {
     pub input_len: usize,
     /// Activation bitwidth the plan executes at.
     pub act_bits: u8,
+    /// Resolved kernel tier the plan executes with (`scalar`, `swar`,
+    /// `avx2`).
+    #[serde(default)]
+    pub backend: String,
     /// Times this model has been hot-swapped since registration.
     pub reloads: u64,
 }

@@ -82,6 +82,7 @@ impl ModelEntry {
             input,
             input_len: input.0 * input.1 * input.2,
             act_bits: net.act_bits(),
+            backend: net.backend_kind().name().to_string(),
             reloads: self.reloads.load(Ordering::Relaxed),
         }
     }
@@ -186,11 +187,11 @@ impl ModelRegistry {
         let bundle = DeployBundle::load(&path)
             .map_err(|e| RegistryError::LoadFailed(format!("{}: {e}", path.display())))?;
         let mut opts = entry.opts.clone();
-        if opts.layer_multipliers.is_some() {
-            let mut base = opts.clone();
-            base.layer_multipliers = None;
-            opts.layer_multipliers =
-                Some(PreparedNet::calibrate_multipliers(&bundle, &base, 8, CALIBRATION_SEED));
+        if opts.layer_multipliers().is_some() {
+            let base = opts.clone().with_layer_multipliers(None);
+            let multipliers =
+                PreparedNet::calibrate_multipliers(&bundle, &base, 8, CALIBRATION_SEED);
+            opts = opts.with_layer_multipliers(Some(multipliers));
         }
         let net = Arc::new(PreparedNet::from_bundle(&bundle, &opts));
         *entry.slot.write().expect("model slot poisoned") = net;

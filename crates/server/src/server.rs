@@ -304,7 +304,12 @@ fn route(
         ("GET", "/healthz") => {
             ok(&HealthResponse { status: "ok".into(), models: registry.names() })
         }
-        ("GET", "/metrics") => ok(&registry.metrics().snapshot()),
+        ("GET", "/metrics") => {
+            let mut snap = registry.metrics().snapshot();
+            snap.model_backends =
+                registry.infos().into_iter().map(|m| (m.name, m.backend)).collect();
+            ok(&snap)
+        }
         ("GET", "/v1/models") => ok(&ModelsResponse { models: registry.infos() }),
         ("POST", "/v1/infer") => infer(request, registry),
         ("POST", path) => {

@@ -85,7 +85,9 @@ pub mod prelude {
     pub use wp_core::reference::{ActEncoding, PooledConvShape};
     pub use wp_core::simulate;
     pub use wp_core::{LookupTable, LutOrder, PoolConfig, WeightPool};
-    pub use wp_engine::{BatchRunner, EngineOptions, NativeBackend, PreparedNet};
+    pub use wp_engine::{
+        BackendKind, BatchRunner, EngineOptions, NativeBackend, PreparedNet, ResolvedBackend,
+    };
     pub use wp_kernels::{conv_bitserial, BitSerialOptions, OutputQuant, PrecomputeMode};
     pub use wp_mcu::{Mcu, McuSpec};
     pub use wp_nn::train::{evaluate, train_epoch, Batch};
