@@ -16,7 +16,7 @@
 //!
 //! ```text
 //! "WPB1"  magic (4 bytes)
-//! u8      version (currently 1)
+//! u8      version (1 = Rice-era streams, 2 = at least one ANS stream)
 //! u8      act_bits
 //! u32le   CRC-32 of the six header bytes above
 //! then sections, each:
@@ -27,9 +27,18 @@
 //! ```
 //!
 //! Unknown section tags are skipped (forward compatibility); a missing or
-//! duplicated known section, a failed checksum, or a truncated buffer all
+//! duplicated known section, a failed checksum, or a truncated stream all
 //! fail loudly with a typed [`CodecError`]. Multi-byte integers are
 //! little-endian; bitstreams fill bytes LSB-first.
+//!
+//! Decoding is **streaming and section-oriented**: the one real decoder
+//! ([`WpbCodec::decode_from`]) pulls sections from any [`std::io::Read`]
+//! through a [`super::stream::SectionReader`], verifying each CRC and
+//! decoding into destinations preallocated from validated counts — peak
+//! transient memory is bounded by the largest section, never the whole
+//! file. The buffer entry points ([`BundleCodec::decode`],
+//! [`DeployBundle::from_bytes`]) run the same streaming decoder over the
+//! slice, so the two paths cannot drift apart.
 //!
 //! Section payloads:
 //!
@@ -42,19 +51,30 @@
 //! * **convs** — `varint n`, then per conv a `u8` kind: direct convs store
 //!   `varint n`, `f32 scale` and raw int8 bytes; pooled convs store
 //!   `varint n`, a coding-mode header and the coded bitstream (see
-//!   [`IndexCoding`]).
+//!   [`IndexCoding`]). Because the spec and pool sections precede convs in
+//!   every stream this codec writes, pooled index counts are validated
+//!   against the spec-derived expectation before anything is allocated.
 
+use super::ans;
+use super::stream::{DecodeStats, SectionReader};
 use super::{ConvPayload, DeployBundle};
-use crate::netspec::NetSpec;
+use crate::netspec::{LayerSpec, NetSpec};
 use crate::{LookupTable, LutOrder, WeightPool};
 use std::fmt;
+use std::io::Read;
 use std::path::Path;
 
 /// Magic bytes opening every WPB file.
 pub const WPB_MAGIC: [u8; 4] = *b"WPB1";
 
-/// The WPB format version this codec writes.
-pub const WPB_VERSION: u8 = 1;
+/// The newest WPB format version this codec reads and writes. Version 2
+/// added the per-layer ANS index-stream coding; bundles whose every
+/// stream still codes as Rice/raw are written as version 1 so pre-ANS
+/// readers keep loading them.
+pub const WPB_VERSION: u8 = 2;
+
+/// The oldest WPB version this codec still reads.
+pub const WPB_MIN_VERSION: u8 = 1;
 
 /// Largest Rice parameter the encoder considers (indices are bytes, so
 /// larger parameters always lose to the raw fallback).
@@ -79,6 +99,9 @@ pub enum CodecError {
     Checksum(&'static str),
     /// The bytes parsed but violate the format's invariants.
     Malformed(String),
+    /// The underlying stream failed with a real I/O error (not EOF —
+    /// running dry is [`CodecError::Truncated`]).
+    Io(std::io::Error),
 }
 
 impl fmt::Display for CodecError {
@@ -93,6 +116,7 @@ impl fmt::Display for CodecError {
                 write!(f, "checksum mismatch in {section} section (corrupt or truncated file)")
             }
             CodecError::Malformed(m) => write!(f, "malformed bundle: {m}"),
+            CodecError::Io(e) => write!(f, "bundle stream i/o error: {e}"),
         }
     }
 }
@@ -127,11 +151,121 @@ impl Format {
         }
     }
 
-    /// The codec implementing this format.
+    /// The codec implementing this format (with the default [`Auto`]
+    /// index-codec preference; use [`EncodeOptions`] to force one).
+    ///
+    /// [`Auto`]: IndexCodecPref::Auto
     pub fn codec(self) -> &'static dyn BundleCodec {
+        static WPB: WpbCodec = WpbCodec { pref: IndexCodecPref::Auto };
         match self {
             Format::Json => &JsonCodec,
-            Format::Wpb => &WpbCodec,
+            Format::Wpb => &WPB,
+        }
+    }
+}
+
+/// Which index-stream entropy coder the WPB encoder may pick per layer.
+///
+/// [`Auto`](IndexCodecPref::Auto) measures each layer's histogram and
+/// takes whichever coding is smallest in actual bits; the forced modes
+/// exist for A/B comparisons (`wp_bundle convert --codec`) and for
+/// pinning the Rice baseline in benchmarks. Decoding is unaffected — the
+/// chosen coding is recorded per layer in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexCodecPref {
+    /// Smallest of raw / Rice / Rice+remap / ANS, measured per layer.
+    #[default]
+    Auto,
+    /// Restrict to the WPB v1 codings (raw / Rice / Rice+remap).
+    Rice,
+    /// Force tabled ANS on every non-empty stream.
+    Ans,
+}
+
+impl IndexCodecPref {
+    /// Short lowercase name (`auto`, `rice`, `ans`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexCodecPref::Auto => "auto",
+            IndexCodecPref::Rice => "rice",
+            IndexCodecPref::Ans => "ans",
+        }
+    }
+}
+
+impl std::str::FromStr for IndexCodecPref {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(IndexCodecPref::Auto),
+            "rice" => Ok(IndexCodecPref::Rice),
+            "ans" => Ok(IndexCodecPref::Ans),
+            other => Err(format!("unknown index codec {other:?} (auto|rice|ans)")),
+        }
+    }
+}
+
+impl fmt::Display for IndexCodecPref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The one place a bundle's serialization is chosen: format plus
+/// index-codec preference. [`DeployBundle::save`], [`DeployBundle::to_bytes`],
+/// the `wp_bundle` CLI and the server registry all route through this,
+/// so path-based and explicit-format call sites cannot disagree about
+/// which codec a given target gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeOptions {
+    format: Format,
+    index_codec: IndexCodecPref,
+}
+
+impl EncodeOptions {
+    /// Options for an explicit format with the default ([`Auto`]) index
+    /// codec.
+    ///
+    /// [`Auto`]: IndexCodecPref::Auto
+    pub fn new(format: Format) -> Self {
+        Self { format, index_codec: IndexCodecPref::Auto }
+    }
+
+    /// The selection rule shared by every path-based writer: format from
+    /// the extension ([`Format::for_path`]), [`Auto`] index codec.
+    ///
+    /// [`Auto`]: IndexCodecPref::Auto
+    pub fn for_path(path: &Path) -> Self {
+        Self::new(Format::for_path(path))
+    }
+
+    /// Forces a per-layer index codec (ignored by the JSON format, which
+    /// has no coded streams).
+    pub fn with_index_codec(mut self, pref: IndexCodecPref) -> Self {
+        self.index_codec = pref;
+        self
+    }
+
+    /// The chosen format.
+    pub fn format(&self) -> Format {
+        self.format
+    }
+
+    /// The chosen index-codec preference.
+    pub fn index_codec(&self) -> IndexCodecPref {
+        self.index_codec
+    }
+
+    /// Serializes `bundle` under these options.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CodecError`] from the codec.
+    pub fn encode(&self, bundle: &DeployBundle) -> Result<Vec<u8>, CodecError> {
+        match self.format {
+            Format::Json => JsonCodec.encode(bundle),
+            Format::Wpb => WpbCodec::with_pref(self.index_codec).encode(bundle),
         }
     }
 }
@@ -187,8 +321,96 @@ impl BundleCodec for JsonCodec {
 }
 
 /// The entropy-coded binary codec (see the module docs for the layout).
+///
+/// Carries the per-layer index-codec preference used at encode time;
+/// decoding reads whatever coding each layer recorded.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct WpbCodec;
+pub struct WpbCodec {
+    /// Index-stream codec preference applied to every pooled layer.
+    pub pref: IndexCodecPref,
+}
+
+impl WpbCodec {
+    /// A codec with a forced index-stream preference.
+    pub fn with_pref(pref: IndexCodecPref) -> Self {
+        Self { pref }
+    }
+
+    /// Streaming decode from any [`Read`]: sections are pulled one at a
+    /// time through a [`SectionReader`], so peak transient memory is
+    /// bounded by the largest section rather than the whole stream. This
+    /// is *the* WPB decoder — the buffer path runs it over a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CodecError`]; truncated or corrupted streams
+    /// fail loudly rather than yielding a partial bundle.
+    pub fn decode_from<R: Read>(reader: R) -> Result<DeployBundle, CodecError> {
+        Self::decode_from_with_stats(reader).map(|(bundle, _)| bundle)
+    }
+
+    /// [`WpbCodec::decode_from`] plus [`DecodeStats`] accounting of what
+    /// the decode buffered — the hook behind the "peak transient stays
+    /// <= largest section" tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`WpbCodec::decode_from`].
+    pub fn decode_from_with_stats<R: Read>(
+        reader: R,
+    ) -> Result<(DeployBundle, DecodeStats), CodecError> {
+        let mut r = SectionReader::new(reader);
+        let act_bits = read_wpb_prologue(&mut r)?;
+
+        let mut spec: Option<NetSpec> = None;
+        let mut pool: Option<WeightPool> = None;
+        let mut lut: Option<LookupTable> = None;
+        let mut convs: Option<Vec<ConvPayload>> = None;
+        while let Some(header) = r.next_section()? {
+            let name = section_name(header.tag);
+            match header.tag {
+                SEC_SPEC => {
+                    let payload = r.payload(&header, name)?;
+                    let decoded = decode_spec(payload)?;
+                    store(&mut spec, decoded, name)?;
+                }
+                SEC_POOL => {
+                    let payload = r.payload(&header, name)?;
+                    let decoded = decode_pool(payload)?;
+                    store(&mut pool, decoded, name)?;
+                }
+                SEC_LUT => {
+                    let payload = r.payload(&header, name)?;
+                    let decoded = decode_lut(payload)?;
+                    store(&mut lut, decoded, name)?;
+                }
+                SEC_CONVS => {
+                    // The spec and pool sections precede convs in every
+                    // stream we write, so pooled index counts can be
+                    // validated against the spec-derived expectation and
+                    // destinations preallocated exactly.
+                    let ctx = ConvContext::from_sections(spec.as_ref(), pool.as_ref());
+                    let payload = r.payload(&header, name)?;
+                    let decoded = decode_convs(payload, ctx.as_ref())?;
+                    store(&mut convs, decoded, name)?;
+                }
+                // Unknown sections are CRC-checked and skipped in chunks
+                // (never buffered) so older readers survive additive
+                // format growth without paying for it.
+                _ => r.skip_payload(&header)?,
+            }
+        }
+        let missing = |name: &'static str| CodecError::Truncated(name);
+        let bundle = DeployBundle {
+            spec: spec.ok_or_else(|| missing("missing spec section"))?,
+            pool: pool.ok_or_else(|| missing("missing pool section"))?,
+            lut: lut.ok_or_else(|| missing("missing lut section"))?,
+            convs: convs.ok_or_else(|| missing("missing convs section"))?,
+            act_bits,
+        };
+        Ok((bundle, r.stats()))
+    }
+}
 
 impl BundleCodec for WpbCodec {
     fn format(&self) -> Format {
@@ -196,71 +418,108 @@ impl BundleCodec for WpbCodec {
     }
 
     fn encode(&self, bundle: &DeployBundle) -> Result<Vec<u8>, CodecError> {
+        // Sections are built before the header: the version byte depends
+        // on whether any layer chose ANS (version 2) so Rice-era readers
+        // keep loading bundles that don't use the new coding.
+        let spec = encode_spec(&bundle.spec)?;
+        let pool = encode_pool(&bundle.pool);
+        let lut = encode_lut(&bundle.lut)?;
+        let (convs, used_ans) = encode_convs(&bundle.convs, self.pref);
+        let version = if used_ans { WPB_VERSION } else { WPB_MIN_VERSION };
+
         let mut out = Vec::new();
         out.extend_from_slice(&WPB_MAGIC);
-        out.push(WPB_VERSION);
+        out.push(version);
         out.push(bundle.act_bits);
         // The header gets its own checksum: act_bits lives outside every
         // section, and a flipped bit there would otherwise decode into a
         // quietly wrong bundle.
         let header_crc = crc32(&out);
         out.extend_from_slice(&header_crc.to_le_bytes());
-        write_section(&mut out, SEC_SPEC, &encode_spec(&bundle.spec)?);
-        write_section(&mut out, SEC_POOL, &encode_pool(&bundle.pool));
-        write_section(&mut out, SEC_LUT, &encode_lut(&bundle.lut)?);
-        write_section(&mut out, SEC_CONVS, &encode_convs(&bundle.convs));
+        write_section(&mut out, SEC_SPEC, &spec);
+        write_section(&mut out, SEC_POOL, &pool);
+        write_section(&mut out, SEC_LUT, &lut);
+        write_section(&mut out, SEC_CONVS, &convs);
         Ok(out)
     }
 
     fn decode(&self, bytes: &[u8]) -> Result<DeployBundle, CodecError> {
-        if !bytes.starts_with(&WPB_MAGIC) {
-            return Err(CodecError::BadMagic);
-        }
-        let mut r = ByteReader::new(&bytes[WPB_MAGIC.len()..]);
-        let version = r.u8("version")?;
-        if version != WPB_VERSION {
-            return Err(CodecError::UnsupportedVersion(version));
-        }
-        let act_bits = r.u8("act_bits")?;
-        let header_crc = r.u32le("header checksum")?;
-        if crc32(&bytes[..WPB_MAGIC.len() + 2]) != header_crc {
-            return Err(CodecError::Checksum("header"));
-        }
-
-        let mut spec: Option<NetSpec> = None;
-        let mut pool: Option<WeightPool> = None;
-        let mut lut: Option<LookupTable> = None;
-        let mut convs: Option<Vec<ConvPayload>> = None;
-        while !r.is_empty() {
-            let tag = r.u8("section tag")?;
-            let len = r.varint("section length")? as usize;
-            let payload = r.take(len, "section payload")?;
-            let crc = u32::from_le_bytes(
-                r.take(4, "section checksum")?.try_into().expect("4-byte slice"),
-            );
-            let name = section_name(tag);
-            if crc32(payload) != crc {
-                return Err(CodecError::Checksum(name));
-            }
-            match tag {
-                SEC_SPEC => store(&mut spec, decode_spec(payload)?, name)?,
-                SEC_POOL => store(&mut pool, decode_pool(payload)?, name)?,
-                SEC_LUT => store(&mut lut, decode_lut(payload)?, name)?,
-                SEC_CONVS => store(&mut convs, decode_convs(payload)?, name)?,
-                // Unknown sections are checksummed and skipped so older
-                // readers survive additive format growth.
-                _ => {}
-            }
-        }
-        let missing = |name: &'static str| CodecError::Truncated(name);
-        Ok(DeployBundle {
-            spec: spec.ok_or_else(|| missing("missing spec section"))?,
-            pool: pool.ok_or_else(|| missing("missing pool section"))?,
-            lut: lut.ok_or_else(|| missing("missing lut section"))?,
-            convs: convs.ok_or_else(|| missing("missing convs section"))?,
-            act_bits,
-        })
+        Self::decode_from(bytes)
     }
+}
+
+/// Reads and validates the fixed WPB prologue (magic, version, act_bits,
+/// header CRC), returning `act_bits`.
+fn read_wpb_prologue<R: Read>(r: &mut SectionReader<R>) -> Result<u8, CodecError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic, "magic")?;
+    if magic != WPB_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.read_u8("version")?;
+    if !(WPB_MIN_VERSION..=WPB_VERSION).contains(&version) {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let act_bits = r.read_u8("act_bits")?;
+    let header_crc = r.read_u32le("header checksum")?;
+    if crc32(&[magic.as_slice(), &[version, act_bits]].concat()) != header_crc {
+        return Err(CodecError::Checksum("header"));
+    }
+    Ok(act_bits)
+}
+
+/// The index coding each conv payload in a WPB byte buffer **actually
+/// recorded** — as opposed to what [`IndexCoding::choose`] would pick
+/// for the decoded streams today. Entries align with
+/// [`DeployBundle::convs`]; `None` marks a direct (int8) conv, which
+/// carries no index stream. This is what `wp_bundle inspect` reports
+/// for `.wpb` files, and how a forced `--codec` conversion is audited.
+///
+/// # Errors
+///
+/// Returns a typed [`CodecError`] for non-WPB input or malformed convs
+/// sections.
+pub fn wpb_recorded_codings(bytes: &[u8]) -> Result<Vec<Option<IndexCoding>>, CodecError> {
+    let mut r = SectionReader::new(bytes);
+    read_wpb_prologue(&mut r)?;
+    while let Some(header) = r.next_section()? {
+        if header.tag != SEC_CONVS {
+            r.skip_payload(&header)?;
+            continue;
+        }
+        let payload = r.payload(&header, "convs")?;
+        let mut b = ByteReader::new(payload);
+        let n = b.varint("conv count")? as usize;
+        if n > b.remaining() / 2 + 1 {
+            return Err(CodecError::Malformed(format!(
+                "{n} convs in a {}-byte section",
+                payload.len()
+            )));
+        }
+        let mut codings = Vec::with_capacity(n);
+        for _ in 0..n {
+            match b.u8("conv kind")? {
+                0 => {
+                    b.varint("index count")?;
+                    let coding = IndexCoding::read_header(&mut b)?;
+                    let stream_len = b.varint("index stream length")? as usize;
+                    b.take(stream_len, "index stream")?;
+                    codings.push(Some(coding));
+                }
+                1 => {
+                    let count = b.varint("weight count")? as usize;
+                    b.u32le("weight scale")?;
+                    b.take(count, "direct weights")?;
+                    codings.push(None);
+                }
+                other => {
+                    return Err(CodecError::Malformed(format!("unknown conv payload kind {other}")))
+                }
+            }
+        }
+        return Ok(codings);
+    }
+    Err(CodecError::Truncated("missing convs section"))
 }
 
 /// Fills a section slot, rejecting duplicates.
@@ -402,15 +661,17 @@ fn decode_lut(payload: &[u8]) -> Result<LookupTable, CodecError> {
         .map_err(CodecError::Malformed)
 }
 
-fn encode_convs(convs: &[ConvPayload]) -> Vec<u8> {
+fn encode_convs(convs: &[ConvPayload], pref: IndexCodecPref) -> (Vec<u8>, bool) {
     let mut out = Vec::new();
+    let mut used_ans = false;
     write_varint(&mut out, convs.len() as u64);
     for conv in convs {
         match conv {
             ConvPayload::Pooled { indices } => {
                 out.push(0);
                 write_varint(&mut out, indices.len() as u64);
-                let coding = IndexCoding::choose(indices);
+                let coding = IndexCoding::choose_with(indices, pref);
+                used_ans |= matches!(coding, IndexCoding::Ans { .. });
                 coding.write_header(&mut out);
                 let stream = coding.encode_stream(indices);
                 write_varint(&mut out, stream.len() as u64);
@@ -424,10 +685,44 @@ fn encode_convs(convs: &[ConvPayload]) -> Vec<u8> {
             }
         }
     }
-    out
+    (out, used_ans)
 }
 
-fn decode_convs(payload: &[u8]) -> Result<Vec<ConvPayload>, CodecError> {
+/// Spec/pool-derived expectations for the convs section: how many conv
+/// payloads there should be and, per pooled layer, how many indices.
+/// Built when the spec and pool sections were decoded first (which is
+/// how this codec always writes them).
+struct ConvContext {
+    /// Per conv (in spec order): expected pooled index count, when the
+    /// spec marks the conv compressed and the pool's group size divides
+    /// its input depth.
+    pooled_counts: Vec<Option<usize>>,
+}
+
+impl ConvContext {
+    fn from_sections(spec: Option<&NetSpec>, pool: Option<&WeightPool>) -> Option<Self> {
+        let (spec, pool) = (spec?, pool?);
+        let group = pool.group_size();
+        if group == 0 {
+            return None;
+        }
+        let pooled_counts = spec
+            .layers
+            .iter()
+            .filter_map(|layer| match layer {
+                LayerSpec::Conv(cs) => Some(cs),
+                _ => None,
+            })
+            .map(|cs| {
+                (cs.compressed && cs.in_ch % group == 0)
+                    .then(|| cs.out_ch * (cs.in_ch / group) * cs.kernel * cs.kernel)
+            })
+            .collect();
+        Some(Self { pooled_counts })
+    }
+}
+
+fn decode_convs(payload: &[u8], ctx: Option<&ConvContext>) -> Result<Vec<ConvPayload>, CodecError> {
     let mut r = ByteReader::new(payload);
     let n = r.varint("conv count")? as usize;
     // Each conv costs at least two bytes on the wire.
@@ -437,23 +732,40 @@ fn decode_convs(payload: &[u8]) -> Result<Vec<ConvPayload>, CodecError> {
             payload.len()
         )));
     }
+    if let Some(ctx) = ctx {
+        if n != ctx.pooled_counts.len() {
+            return Err(CodecError::Malformed(format!(
+                "{n} conv payloads but the spec section declares {} convs",
+                ctx.pooled_counts.len()
+            )));
+        }
+    }
     let mut convs = Vec::with_capacity(n);
-    for _ in 0..n {
+    for position in 0..n {
         match r.u8("conv kind")? {
             0 => {
                 let count = r.varint("index count")? as usize;
+                // When the spec section was decoded first (always, for
+                // streams this codec writes), the index count must not
+                // exceed the spec-derived expectation — a crafted count
+                // cannot balloon the decode no matter what the coded
+                // stream claims it holds.
+                let expected = ctx.and_then(|c| c.pooled_counts.get(position).copied().flatten());
+                if let Some(expected) = expected {
+                    if count > expected {
+                        return Err(CodecError::Malformed(format!(
+                            "conv {position} claims {count} indices; its spec shape holds {expected}"
+                        )));
+                    }
+                }
                 let coding = IndexCoding::read_header(&mut r)?;
                 let stream_len = r.varint("index stream length")? as usize;
                 let stream = r.take(stream_len, "index stream")?;
-                // Every coding spends >= 1 bit per index except raw at
-                // width 0, where the whole stream is implicit; cap that
-                // case by the section size so a crafted count cannot
-                // balloon the decode.
-                let max_count = match coding {
-                    IndexCoding::Raw { width: 0 } => payload.len().saturating_mul(8),
-                    _ => stream.len().saturating_mul(8),
-                };
-                if count > max_count {
+                // Fallback cap when no spec expectation exists: bound the
+                // claimed count by what the stream could possibly encode
+                // (raw width 0 and ANS spend sub-bit per index, so they
+                // get coding-aware bounds).
+                if count > coding.max_decodable(stream.len(), payload.len()) {
                     return Err(CodecError::Malformed(format!(
                         "{count} indices cannot fit a {}-byte stream",
                         stream.len()
@@ -498,6 +810,12 @@ fn decode_convs(payload: &[u8]) -> Result<Vec<ConvPayload>, CodecError> {
 ///   0, which turns any skewed histogram into the decaying shape Rice
 ///   coding wants. The table's 8 bits/entry are charged against the mode
 ///   when choosing.
+/// * `Ans` — tabled rANS over the raw index values (see
+///   [`super::ans`]): fractional bits per symbol under the layer's own
+///   normalized histogram, which is what closes the gap Rice leaves on
+///   non-geometric or low-entropy streams. The normalized frequency
+///   table ships with the layer and is charged against the mode when
+///   choosing. Introduced in WPB version 2.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexCoding {
     /// Fixed-width indices at `width` bits each.
@@ -517,15 +835,36 @@ pub enum IndexCoding {
         /// `table[rank]` is the pool index with that frequency rank.
         table: Vec<u8>,
     },
+    /// Tabled rANS under a per-layer normalized histogram.
+    Ans {
+        /// Normalized frequencies summing to [`ans::ANS_TOTAL`],
+        /// truncated after the last occurring symbol.
+        freqs: Vec<u16>,
+    },
 }
 
 impl IndexCoding {
-    /// Measures `indices` and picks the smallest representation.
+    /// Measures `indices` and picks the smallest representation among
+    /// every coding (the [`IndexCodecPref::Auto`] rule).
     pub fn choose(indices: &[u8]) -> Self {
+        Self::choose_with(indices, IndexCodecPref::Auto)
+    }
+
+    /// Measures `indices` and picks a representation under `pref`:
+    /// [`Auto`](IndexCodecPref::Auto) takes the smallest in actual coded
+    /// bits (side tables included), [`Rice`](IndexCodecPref::Rice)
+    /// restricts the choice to the v1 codings, and
+    /// [`Ans`](IndexCodecPref::Ans) forces ANS on every non-empty
+    /// stream.
+    pub fn choose_with(indices: &[u8], pref: IndexCodecPref) -> Self {
         if indices.is_empty() {
             return IndexCoding::Raw { width: 0 };
         }
         let hist = histogram(indices);
+        if pref == IndexCodecPref::Ans {
+            let freqs = ans::normalize_freqs(&hist).expect("non-empty stream");
+            return IndexCoding::Ans { freqs };
+        }
         let max = indices.iter().copied().max().expect("non-empty") as u32;
         let width = bits_for(max);
         let mut best = IndexCoding::Raw { width: width as u8 };
@@ -556,6 +895,18 @@ impl IndexCoding {
                 best_bits = bits;
             }
         }
+
+        if pref == IndexCodecPref::Auto {
+            // ANS enters the race on its *actual* coded size (header plus
+            // real stream), not an estimate — renormalization is
+            // byte-granular, and a near-tie decided on an estimate could
+            // pick a coding that then expands past the raw fallback.
+            let freqs = ans::normalize_freqs(&hist).expect("non-empty stream");
+            let candidate = IndexCoding::Ans { freqs };
+            if candidate.coded_bits(indices) < best_bits {
+                best = candidate;
+            }
+        }
         best
     }
 
@@ -574,6 +925,16 @@ impl IndexCoding {
                 }
                 8 * table.len() as u64 + rice_cost(&rank_hist, u32::from(*k))
             }
+            IndexCoding::Ans { freqs } => {
+                // Exact: the serialized frequency table plus the real
+                // stream (state flush and renormalization included).
+                let mut header = Vec::new();
+                write_varint(&mut header, freqs.len() as u64);
+                for &f in freqs {
+                    write_varint(&mut header, u64::from(f));
+                }
+                8 * (header.len() as u64 + ans::encode(indices, freqs).len() as u64)
+            }
         }
     }
 
@@ -585,6 +946,28 @@ impl IndexCoding {
             IndexCoding::RiceRemap { k, table } => {
                 format!("rice+remap[k={k},{} syms]", table.len())
             }
+            IndexCoding::Ans { freqs } => {
+                format!("ans[{} syms]", freqs.iter().filter(|&&f| f > 0).count())
+            }
+        }
+    }
+
+    /// The most indices a `stream_len`-byte stream could possibly encode
+    /// under this coding — the decode-side amplification cap when no
+    /// spec-derived expectation is available. Bit codings spend >= 1 bit
+    /// per index; raw width 0 is implicit (capped by the section size);
+    /// ANS spends at least `log2(total/max_freq)` bits per symbol.
+    fn max_decodable(&self, stream_len: usize, section_len: usize) -> usize {
+        match self {
+            IndexCoding::Raw { width: 0 } => section_len.saturating_mul(8),
+            IndexCoding::Ans { freqs } => {
+                let max_f = freqs.iter().copied().max().unwrap_or(0);
+                let min_bits =
+                    (f64::from(ans::ANS_TOTAL) / f64::from(max_f.max(1))).log2().max(1e-4);
+                let cap = ((stream_len as f64 * 8.0 + 64.0) / min_bits).min(usize::MAX as f64);
+                cap as usize
+            }
+            _ => stream_len.saturating_mul(8),
         }
     }
 
@@ -603,6 +986,13 @@ impl IndexCoding {
                 out.push(*k);
                 write_varint(out, table.len() as u64);
                 out.extend_from_slice(table);
+            }
+            IndexCoding::Ans { freqs } => {
+                out.push(3);
+                write_varint(out, freqs.len() as u64);
+                for &f in freqs {
+                    write_varint(out, u64::from(f));
+                }
             }
         }
     }
@@ -639,13 +1029,35 @@ impl IndexCoding {
                 let table = r.take(len, "remap table")?.to_vec();
                 Ok(IndexCoding::RiceRemap { k, table })
             }
+            3 => {
+                let len = r.varint("ans frequency table length")? as usize;
+                if len == 0 || len > 256 {
+                    return Err(CodecError::Malformed(format!(
+                        "ans frequency table of {len} entries"
+                    )));
+                }
+                let mut freqs = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let f = r.varint("ans frequency")?;
+                    let f = u16::try_from(f).map_err(|_| {
+                        CodecError::Malformed(format!("ans frequency {f} exceeds 16 bits"))
+                    })?;
+                    freqs.push(f);
+                }
+                ans::validate_freqs(&freqs)?;
+                Ok(IndexCoding::Ans { freqs })
+            }
             other => Err(CodecError::Malformed(format!("unknown index coding mode {other}"))),
         }
     }
 
     fn encode_stream(&self, indices: &[u8]) -> Vec<u8> {
+        if let IndexCoding::Ans { freqs } = self {
+            return ans::encode(indices, freqs);
+        }
         let mut w = BitWriter::new();
         match self {
+            IndexCoding::Ans { .. } => unreachable!("handled above"),
             IndexCoding::Raw { width } => {
                 for &v in indices {
                     w.write_bits(u64::from(v), u32::from(*width));
@@ -670,9 +1082,15 @@ impl IndexCoding {
     }
 
     fn decode_stream(&self, stream: &[u8], count: usize) -> Result<Vec<u8>, CodecError> {
+        if let IndexCoding::Ans { freqs } = self {
+            let mut out = Vec::with_capacity(count);
+            ans::decode_into(stream, freqs, count, &mut out)?;
+            return Ok(out);
+        }
         let mut b = BitReader::new(stream);
         let mut out = Vec::with_capacity(count);
         match self {
+            IndexCoding::Ans { .. } => unreachable!("handled above"),
             IndexCoding::Raw { width } => {
                 for _ in 0..count {
                     out.push(b.read_bits(u32::from(*width), "raw index")? as u8);
@@ -841,13 +1259,23 @@ const CRC_TABLE: [u32; 256] = {
     table
 };
 
-/// CRC-32 (IEEE) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
+/// Initial CRC-32 state for [`crc32_update`] (finalize by XORing with
+/// `0xFFFF_FFFF`).
+pub(crate) const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Folds `bytes` into a running CRC-32 (IEEE) state — how the streaming
+/// reader checksums skipped sections chunk-by-chunk without buffering.
+pub(crate) fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    let mut c = state;
     for &b in bytes {
         c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
-    c ^ 0xFFFF_FFFF
+    c
+}
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(CRC_INIT, bytes) ^ 0xFFFF_FFFF
 }
 
 /// A bounds-checked byte cursor; every overrun is a loud
@@ -1071,9 +1499,9 @@ mod tests {
         for order in [LutOrder::InputOriented, LutOrder::WeightOriented] {
             for skew in [0, 3] {
                 let b = fabricated_bundle(7, 16, order, skew);
-                let bytes = WpbCodec.encode(&b).unwrap();
+                let bytes = WpbCodec::default().encode(&b).unwrap();
                 assert_eq!(Format::sniff(&bytes), Format::Wpb);
-                let back = WpbCodec.decode(&bytes).unwrap();
+                let back = WpbCodec::default().decode(&bytes).unwrap();
                 assert_eq!(b, back);
             }
         }
@@ -1083,8 +1511,8 @@ mod tests {
     fn json_and_wpb_decode_to_the_same_bundle() {
         let b = fabricated_bundle(9, 8, LutOrder::InputOriented, 2);
         let json = JsonCodec.encode(&b).unwrap();
-        let wpb = WpbCodec.encode(&b).unwrap();
-        assert_eq!(JsonCodec.decode(&json).unwrap(), WpbCodec.decode(&wpb).unwrap());
+        let wpb = WpbCodec::default().encode(&b).unwrap();
+        assert_eq!(JsonCodec.decode(&json).unwrap(), WpbCodec::default().decode(&wpb).unwrap());
         assert!(wpb.len() < json.len(), "wpb {} vs json {}", wpb.len(), json.len());
     }
 
@@ -1092,8 +1520,8 @@ mod tests {
     fn empty_index_stream_round_trips() {
         let mut b = fabricated_bundle(3, 4, LutOrder::InputOriented, 0);
         b.convs[1] = ConvPayload::Pooled { indices: Vec::new() };
-        let bytes = WpbCodec.encode(&b).unwrap();
-        assert_eq!(WpbCodec.decode(&bytes).unwrap(), b);
+        let bytes = WpbCodec::default().encode(&b).unwrap();
+        assert_eq!(WpbCodec::default().decode(&bytes).unwrap(), b);
     }
 
     #[test]
@@ -1160,10 +1588,10 @@ mod tests {
     #[test]
     fn truncated_files_fail_loudly() {
         let b = fabricated_bundle(5, 8, LutOrder::WeightOriented, 1);
-        let bytes = WpbCodec.encode(&b).unwrap();
+        let bytes = WpbCodec::default().encode(&b).unwrap();
         // Every proper prefix must error, never yield a bundle.
         for cut in [3, 5, 7, bytes.len() / 4, bytes.len() / 2, bytes.len() - 5, bytes.len() - 1] {
-            let err = WpbCodec.decode(&bytes[..cut]);
+            let err = WpbCodec::default().decode(&bytes[..cut]);
             assert!(err.is_err(), "prefix of {cut} bytes decoded successfully");
         }
     }
@@ -1171,12 +1599,12 @@ mod tests {
     #[test]
     fn corrupted_payload_fails_the_checksum() {
         let b = fabricated_bundle(6, 8, LutOrder::InputOriented, 0);
-        let mut bytes = WpbCodec.encode(&b).unwrap();
+        let mut bytes = WpbCodec::default().encode(&b).unwrap();
         // Flip a bit inside the convs payload (late in the buffer, past
         // every header byte).
         let at = bytes.len() - 40;
         bytes[at] ^= 0x10;
-        match WpbCodec.decode(&bytes) {
+        match WpbCodec::default().decode(&bytes) {
             Err(CodecError::Checksum(_)) | Err(CodecError::Malformed(_)) => {}
             other => panic!("corruption must fail, got {other:?}"),
         }
@@ -1187,9 +1615,9 @@ mod tests {
         // act_bits lives outside every section; a flipped bit there must
         // not decode into a quietly wrong bundle.
         let b = fabricated_bundle(6, 8, LutOrder::InputOriented, 0);
-        let mut bytes = WpbCodec.encode(&b).unwrap();
+        let mut bytes = WpbCodec::default().encode(&b).unwrap();
         bytes[5] ^= 0x04; // act_bits
-        assert!(matches!(WpbCodec.decode(&bytes), Err(CodecError::Checksum("header"))));
+        assert!(matches!(WpbCodec::default().decode(&bytes), Err(CodecError::Checksum("header"))));
     }
 
     #[test]
@@ -1226,24 +1654,27 @@ mod tests {
             write_varint(&mut p, 0); // empty stream
             p
         };
-        assert!(decode_convs(&huge_convs).is_err());
+        assert!(decode_convs(&huge_convs, None).is_err());
 
         let many_convs = {
             let mut p = Vec::new();
             write_varint(&mut p, 1 << 55);
             p
         };
-        assert!(decode_convs(&many_convs).is_err());
+        assert!(decode_convs(&many_convs, None).is_err());
     }
 
     #[test]
     fn bad_magic_and_version_are_typed_errors() {
         let b = fabricated_bundle(8, 4, LutOrder::InputOriented, 0);
-        let bytes = WpbCodec.encode(&b).unwrap();
-        assert!(matches!(WpbCodec.decode(b"JSON{}"), Err(CodecError::BadMagic)));
+        let bytes = WpbCodec::default().encode(&b).unwrap();
+        assert!(matches!(WpbCodec::default().decode(b"JSON{}"), Err(CodecError::BadMagic)));
         let mut wrong_version = bytes.clone();
         wrong_version[4] = 99;
-        assert!(matches!(WpbCodec.decode(&wrong_version), Err(CodecError::UnsupportedVersion(99))));
+        assert!(matches!(
+            WpbCodec::default().decode(&wrong_version),
+            Err(CodecError::UnsupportedVersion(99))
+        ));
     }
 
     #[test]
@@ -1267,6 +1698,114 @@ mod tests {
         assert_eq!(stats[0].count, 16 * 9);
         assert!(stats[0].entropy_bits > 0.0);
         assert!(stats[0].coded_bits > 0.0);
+    }
+
+    #[test]
+    fn rice_only_bundles_keep_wire_version_1() {
+        // Old readers must keep working as long as no layer actually uses
+        // the v2 ANS coding: the version byte is data-dependent.
+        let b = fabricated_bundle(7, 16, LutOrder::InputOriented, 0);
+        let rice = WpbCodec::with_pref(IndexCodecPref::Rice).encode(&b).unwrap();
+        assert_eq!(rice[4], WPB_MIN_VERSION, "rice-only bundle must stay readable by v1");
+        let ans = WpbCodec::with_pref(IndexCodecPref::Ans).encode(&b).unwrap();
+        assert_eq!(ans[4], WPB_VERSION, "ans bundle needs the v2 reader");
+        assert_eq!(WpbCodec::decode_from(ans.as_slice()).unwrap(), b);
+    }
+
+    #[test]
+    fn truncated_and_corrupted_ans_bundles_fail_loudly() {
+        // Mirror of the Rice corruption suite under the forced-ANS codec:
+        // every truncation and byte flip is a typed error, never a panic
+        // or a partial bundle.
+        let b = fabricated_bundle(13, 16, LutOrder::WeightOriented, 3);
+        let bytes = WpbCodec::with_pref(IndexCodecPref::Ans).encode(&b).unwrap();
+        assert_eq!(WpbCodec::decode_from(bytes.as_slice()).unwrap(), b);
+        for cut in [3, 5, 7, bytes.len() / 4, bytes.len() / 2, bytes.len() - 5, bytes.len() - 1] {
+            assert!(
+                WpbCodec::decode_from(&bytes[..cut]).is_err(),
+                "ans prefix of {cut} bytes decoded successfully"
+            );
+        }
+        for at in (10..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x20;
+            match WpbCodec::decode_from(bad.as_slice()) {
+                Ok(decoded) => assert_eq!(decoded, b, "accepted corruption must be harmless"),
+                Err(
+                    CodecError::Checksum(_)
+                    | CodecError::Malformed(_)
+                    | CodecError::Truncated(_)
+                    | CodecError::UnsupportedVersion(_)
+                    | CodecError::BadMagic,
+                ) => {}
+                Err(other) => panic!("untyped failure {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped_over_streams() {
+        // Forward compatibility: a section tag this reader doesn't know is
+        // CRC-checked and skipped without buffering — both through the
+        // buffer path and the streaming path.
+        let b = fabricated_bundle(17, 8, LutOrder::InputOriented, 1);
+        let bytes = WpbCodec::default().encode(&b).unwrap();
+        let mut with_extra = bytes[..10].to_vec(); // magic+version+act_bits+crc
+        let payload = [1u8, 2, 3, 4, 5];
+        with_extra.push(200); // tag from the unknown range
+        write_varint(&mut with_extra, payload.len() as u64);
+        with_extra.extend_from_slice(&payload);
+        with_extra.extend_from_slice(&crc32(&payload).to_le_bytes());
+        with_extra.extend_from_slice(&bytes[10..]);
+
+        assert_eq!(WpbCodec::decode_from(with_extra.as_slice()).unwrap(), b);
+        let (decoded, stats) = WpbCodec::decode_from_with_stats(with_extra.as_slice()).unwrap();
+        assert_eq!(decoded, b);
+        assert_eq!(stats.total_bytes as usize, with_extra.len());
+
+        // Corrupting the unknown payload still fails its checksum.
+        let mut bad = with_extra.clone();
+        bad[12] ^= 0xFF;
+        assert!(matches!(
+            WpbCodec::decode_from(bad.as_slice()),
+            Err(CodecError::Checksum("unknown"))
+        ));
+    }
+
+    #[test]
+    fn streaming_decode_matches_buffer_decode_with_bounded_scratch() {
+        for pref in [IndexCodecPref::Auto, IndexCodecPref::Rice, IndexCodecPref::Ans] {
+            let b = fabricated_bundle(23, 32, LutOrder::WeightOriented, 2);
+            let bytes = WpbCodec::with_pref(pref).encode(&b).unwrap();
+            let buffered = WpbCodec::default().decode(&bytes).unwrap();
+            let (streamed, stats) = WpbCodec::decode_from_with_stats(bytes.as_slice()).unwrap();
+            assert_eq!(buffered, streamed);
+            assert_eq!(streamed, b);
+            assert!(stats.peak_transient_bytes <= stats.largest_section_bytes);
+            assert_eq!(stats.total_bytes as usize, bytes.len());
+            assert_eq!(stats.sections, 4, "spec, pool, lut, convs");
+        }
+    }
+
+    #[test]
+    fn low_entropy_streams_choose_ans_below_rice_floor() {
+        // Rice spends >= 1 bit per symbol; a heavily repeated stream has
+        // sub-bit entropy, which only ANS can reach. The chooser must pick
+        // it and actually land below 1 bit/symbol.
+        let mut indices = vec![3u8; 6000];
+        for i in 0..200 {
+            indices[i * 30] = (i % 5) as u8;
+        }
+        let coding = IndexCoding::choose(&indices);
+        assert!(
+            matches!(coding, IndexCoding::Ans { .. }),
+            "sub-bit stream should pick ans, chose {}",
+            coding.describe()
+        );
+        let per_sym = coding.coded_bits(&indices) as f64 / indices.len() as f64;
+        assert!(per_sym < 1.0, "ans must beat the 1 bit/sym rice floor, got {per_sym:.3}");
+        let stream = coding.encode_stream(&indices);
+        assert_eq!(coding.decode_stream(&stream, indices.len()).unwrap(), indices);
     }
 
     #[test]
@@ -1317,9 +1856,9 @@ mod tests {
                 LutOrder::WeightOriented
             };
             let b = fabricated_bundle(seed, pool_size, order, skew);
-            let wpb = WpbCodec.encode(&b).unwrap();
+            let wpb = WpbCodec::default().encode(&b).unwrap();
             let json = JsonCodec.encode(&b).unwrap();
-            prop_assert_eq!(&WpbCodec.decode(&wpb).unwrap(), &b);
+            prop_assert_eq!(&WpbCodec::default().decode(&wpb).unwrap(), &b);
             prop_assert_eq!(&JsonCodec.decode(&json).unwrap(), &b);
         }
 
@@ -1360,6 +1899,55 @@ mod tests {
             let raw_bits = indices.len() as u64 * u64::from(bits_for(u32::from(max)));
             let coding = IndexCoding::choose(&indices);
             prop_assert!(coding.coded_bits(&indices) <= raw_bits);
+        }
+
+        /// Forced-ANS and forced-Rice bundles reconstruct the identical
+        /// bundle on fuzzed skewed and uniform index streams — codec
+        /// choice is a size concern, never a fidelity one.
+        #[test]
+        fn prop_ans_and_rice_decode_identically(
+            seed in 0u64..1000,
+            pool_size in 2usize..32,
+            skew in 0u32..6,
+        ) {
+            let b = fabricated_bundle(seed, pool_size, LutOrder::InputOriented, skew);
+            let rice = WpbCodec::with_pref(IndexCodecPref::Rice).encode(&b).unwrap();
+            let ans = WpbCodec::with_pref(IndexCodecPref::Ans).encode(&b).unwrap();
+            prop_assert_eq!(&WpbCodec::decode_from(rice.as_slice()).unwrap(), &b);
+            prop_assert_eq!(&WpbCodec::decode_from(ans.as_slice()).unwrap(), &b);
+        }
+
+        /// The streaming section pipeline reconstructs exactly what the
+        /// buffer decode does, with transient scratch bounded by the
+        /// largest section — for every codec preference.
+        #[test]
+        fn prop_streaming_equals_buffer_decode(
+            seed in 0u64..1000,
+            pool_size in 2usize..32,
+            skew in 0u32..6,
+            pref_bit in 0u8..3,
+        ) {
+            let pref = match pref_bit {
+                0 => IndexCodecPref::Auto,
+                1 => IndexCodecPref::Rice,
+                _ => IndexCodecPref::Ans,
+            };
+            let b = fabricated_bundle(seed, pool_size, LutOrder::WeightOriented, skew);
+            let bytes = WpbCodec::with_pref(pref).encode(&b).unwrap();
+            let buffered = WpbCodec::default().decode(&bytes).unwrap();
+            let (streamed, stats) = WpbCodec::decode_from_with_stats(bytes.as_slice()).unwrap();
+            prop_assert_eq!(&buffered, &streamed);
+            prop_assert!(stats.peak_transient_bytes <= stats.largest_section_bytes);
+        }
+
+        /// Truncating a forced-ANS bundle anywhere yields a typed error,
+        /// never a panic or a partial bundle.
+        #[test]
+        fn prop_truncated_ans_bundles_error(seed in 0u64..300, frac in 0.0f64..1.0) {
+            let b = fabricated_bundle(seed, 16, LutOrder::InputOriented, 4);
+            let bytes = WpbCodec::with_pref(IndexCodecPref::Ans).encode(&b).unwrap();
+            let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+            prop_assert!(WpbCodec::decode_from(&bytes[..cut]).is_err());
         }
     }
 }

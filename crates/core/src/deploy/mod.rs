@@ -12,14 +12,18 @@
 //! storage below the flat `log2 S` bits — a natural extension the paper
 //! leaves open).
 
+pub mod ans;
 pub mod codec;
+pub mod stream;
 
 use crate::compress::{self, is_compressible};
 use crate::netspec::{LayerSpec, NetSpec};
 use crate::{LookupTable, PoolConfig, WeightPool};
-use codec::{CodecError, Format};
+use codec::{CodecError, EncodeOptions, Format, WpbCodec};
 use serde::{Deserialize, Serialize};
+use std::io::Read;
 use std::path::Path;
+use stream::DecodeStats;
 use wp_nn::Sequential;
 use wp_quant::QuantParams;
 
@@ -150,16 +154,28 @@ impl DeployBundle {
         h
     }
 
-    /// Saves the bundle, choosing the format from the path's extension:
-    /// `.wpb` writes the entropy-coded binary format
-    /// ([`codec::WpbCodec`]), anything else JSON.
+    /// Saves the bundle with the path's default encode options
+    /// ([`EncodeOptions::for_path`]): `.wpb` writes the entropy-coded
+    /// binary format ([`codec::WpbCodec`]) with automatic per-layer
+    /// index-codec selection, anything else JSON.
     ///
     /// # Errors
     ///
     /// Returns any I/O or serialization error.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let path = path.as_ref();
-        let bytes = self.to_bytes(Format::for_path(path)).map_err(std::io::Error::other)?;
+        self.save_with(path, &EncodeOptions::for_path(path))
+    }
+
+    /// Saves the bundle under explicit [`EncodeOptions`] — the same
+    /// selection helper `save`, `to_bytes`, the CLI, and the registry
+    /// all route through, so they can't disagree about codec choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error.
+    pub fn save_with(&self, path: impl AsRef<Path>, opts: &EncodeOptions) -> std::io::Result<()> {
+        let bytes = self.to_bytes_with(opts).map_err(std::io::Error::other)?;
         std::fs::write(path, bytes)
     }
 
@@ -168,22 +184,40 @@ impl DeployBundle {
     /// `.wpb` files load interchangeably everywhere a bundle path is
     /// accepted (engine loader, server hot-swap, `wp_serve --model`).
     ///
+    /// WPB files stream through [`DeployBundle::from_reader`]: peak
+    /// transient memory is bounded by the largest section, not the file
+    /// size.
+    ///
     /// # Errors
     ///
     /// Returns any I/O or deserialization error (truncated or corrupted
     /// WPB files fail their section checksums loudly).
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let bytes = std::fs::read(path)?;
-        Self::from_bytes(&bytes).map_err(std::io::Error::other)
+        let file = std::fs::File::open(path)?;
+        Self::from_reader(std::io::BufReader::new(file)).map_err(|e| match e {
+            CodecError::Io(io) => io,
+            other => std::io::Error::other(other),
+        })
     }
 
-    /// Serializes the bundle with the given format's codec.
+    /// Serializes the bundle with the given format's codec (automatic
+    /// index-codec selection; use [`DeployBundle::to_bytes_with`] to
+    /// force one).
     ///
     /// # Errors
     ///
     /// Returns any [`CodecError`] from the codec.
     pub fn to_bytes(&self, format: Format) -> Result<Vec<u8>, CodecError> {
-        format.codec().encode(self)
+        self.to_bytes_with(&EncodeOptions::new(format))
+    }
+
+    /// Serializes the bundle under explicit [`EncodeOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CodecError`] from the codec.
+    pub fn to_bytes_with(&self, opts: &EncodeOptions) -> Result<Vec<u8>, CodecError> {
+        opts.encode(self)
     }
 
     /// Reconstructs a bundle from serialized bytes in either format
@@ -194,6 +228,63 @@ impl DeployBundle {
     /// Returns any [`CodecError`] from the sniffed codec.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
         Format::sniff(bytes).codec().decode(bytes)
+    }
+
+    /// Reads a bundle from any [`Read`] stream, sniffing the format from
+    /// the first bytes. WPB streams decode section-by-section through
+    /// [`stream::SectionReader`] — no whole-file intermediate buffer is
+    /// ever built, and peak transient allocation is bounded by the
+    /// largest section. JSON streams (no fixed-size magic; the format is
+    /// one document) still buffer fully.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CodecError`]; stream-level I/O failures surface as
+    /// [`CodecError::Io`], truncation as [`CodecError::Truncated`].
+    pub fn from_reader<R: Read>(reader: R) -> Result<Self, CodecError> {
+        Self::from_reader_with_stats(reader).map(|(bundle, _)| bundle)
+    }
+
+    /// [`DeployBundle::from_reader`], also returning [`DecodeStats`] —
+    /// the allocation accounting the registry's streaming-reload test
+    /// asserts on (`peak_transient_bytes <= largest_section_bytes`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CodecError`] from the stream or the codec.
+    pub fn from_reader_with_stats<R: Read>(
+        mut reader: R,
+    ) -> Result<(Self, DecodeStats), CodecError> {
+        // Sniff the format from the first 4 bytes without consuming them
+        // from the logical stream: WPB gets the streaming section path,
+        // anything else is JSON and buffers (serde_json needs the full
+        // document anyway).
+        let mut head = [0u8; 4];
+        let mut got = 0usize;
+        while got < head.len() {
+            match reader.read(&mut head[got..]) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(CodecError::Io(e)),
+            }
+        }
+        let head = &head[..got];
+        if Format::sniff(head) == Format::Wpb {
+            WpbCodec::decode_from_with_stats(head.chain(reader))
+        } else {
+            let mut bytes = head.to_vec();
+            reader.read_to_end(&mut bytes).map_err(CodecError::Io)?;
+            let n = bytes.len();
+            let bundle = Format::Json.codec().decode(&bytes)?;
+            let stats = DecodeStats {
+                sections: 1,
+                largest_section_bytes: n,
+                peak_transient_bytes: n,
+                total_bytes: n as u64,
+            };
+            Ok((bundle, stats))
+        }
     }
 }
 

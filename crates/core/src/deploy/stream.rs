@@ -1,0 +1,225 @@
+//! Streaming, section-oriented WPB reading.
+//!
+//! [`SectionReader`] pulls a WPB byte stream from any [`std::io::Read`]
+//! one section at a time: it owns a single scratch buffer that is reused
+//! for every known section's payload (so peak transient memory while
+//! decoding is bounded by the **largest section**, not the whole file),
+//! verifies each section's CRC-32 before handing the payload out, and
+//! skips unknown tags in fixed-size chunks without buffering them at
+//! all — forward compatibility costs no memory. [`DecodeStats`] reports
+//! what a decode actually allocated, which is how the registry's
+//! streaming-reload test proves cold-starting a node never slurps whole
+//! bundles.
+
+use super::codec::{crc32_update, CodecError, CRC_INIT};
+use std::io::Read;
+
+/// Chunk size for skipping unknown sections and for filling the scratch
+/// buffer: bounds the per-read transient even when a crafted length field
+/// claims a section far larger than the stream behind it.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// One section's wire header.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionHeader {
+    /// The section tag byte.
+    pub tag: u8,
+    /// Payload length in bytes (CRC excluded).
+    pub len: usize,
+}
+
+/// What a streaming decode allocated and read — the observability hook
+/// behind the "peak transient buffering stays <= largest section"
+/// guarantee.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Sections encountered (known and skipped).
+    pub sections: usize,
+    /// Largest section payload in bytes.
+    pub largest_section_bytes: usize,
+    /// Peak size of the reusable payload scratch buffer — the decode's
+    /// transient high-water mark, <= `largest_section_bytes` always
+    /// (skipped sections never enter the scratch at all).
+    pub peak_transient_bytes: usize,
+    /// Total stream bytes consumed (headers, payloads, checksums).
+    pub total_bytes: u64,
+}
+
+/// A bounds-checked, CRC-verifying section cursor over any [`Read`].
+///
+/// Every read error is a typed [`CodecError`]: unexpected end of stream
+/// is [`CodecError::Truncated`] naming what was being read, other I/O
+/// failures surface as [`CodecError::Io`].
+pub struct SectionReader<R> {
+    inner: R,
+    scratch: Vec<u8>,
+    stats: DecodeStats,
+}
+
+impl<R: Read> SectionReader<R> {
+    /// Wraps a byte stream positioned **after** the 4 magic bytes (the
+    /// caller sniffs those to pick a format).
+    pub fn new(inner: R) -> Self {
+        Self { inner, scratch: Vec::new(), stats: DecodeStats::default() }
+    }
+
+    /// Decode accounting so far.
+    pub fn stats(&self) -> DecodeStats {
+        self.stats
+    }
+
+    /// Reads the next section header, or `None` at a clean end of stream
+    /// (end of stream mid-header is [`CodecError::Truncated`]).
+    pub fn next_section(&mut self) -> Result<Option<SectionHeader>, CodecError> {
+        let Some(tag) = self.read_u8_or_eof("section tag")? else {
+            return Ok(None);
+        };
+        let len = self.read_varint("section length")?;
+        let len = usize::try_from(len)
+            .map_err(|_| CodecError::Malformed(format!("section of {len} bytes")))?;
+        self.stats.sections += 1;
+        self.stats.largest_section_bytes = self.stats.largest_section_bytes.max(len);
+        Ok(Some(SectionHeader { tag, len }))
+    }
+
+    /// Reads a section's payload into the reusable scratch buffer,
+    /// verifies its trailing CRC-32, and returns it. The returned slice
+    /// is valid until the next call on the reader.
+    pub fn payload(
+        &mut self,
+        header: &SectionHeader,
+        name: &'static str,
+    ) -> Result<&[u8], CodecError> {
+        // Growing in capped steps (instead of resizing to the claimed
+        // length up front) means a crafted length field on a short stream
+        // costs at most one chunk of allocation past the actual data
+        // before it fails loudly. Reads land directly in the scratch tail
+        // — no bounce buffer, no second copy.
+        let mut filled = 0usize;
+        while filled < header.len {
+            let want = (header.len - filled).min(READ_CHUNK);
+            if self.scratch.len() < filled + want {
+                self.scratch.resize(filled + want, 0);
+            }
+            let n = read_some(
+                &mut self.inner,
+                &mut self.stats,
+                &mut self.scratch[filled..filled + want],
+                "section payload",
+            )?;
+            filled += n;
+        }
+        self.scratch.truncate(filled);
+        self.stats.peak_transient_bytes = self.stats.peak_transient_bytes.max(self.scratch.len());
+        let crc = self.read_u32le("section checksum")?;
+        if crc32_update(CRC_INIT, &self.scratch) ^ 0xFFFF_FFFF != crc {
+            return Err(CodecError::Checksum(name));
+        }
+        Ok(&self.scratch)
+    }
+
+    /// Consumes and CRC-checks a section's payload without buffering it:
+    /// how unknown tags skip over streams.
+    pub fn skip_payload(&mut self, header: &SectionHeader) -> Result<(), CodecError> {
+        let mut remaining = header.len;
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut crc = CRC_INIT;
+        while remaining > 0 {
+            let want = remaining.min(READ_CHUNK);
+            let n = self.read_some(&mut chunk[..want], "skipped section payload")?;
+            crc = crc32_update(crc, &chunk[..n]);
+            remaining -= n;
+        }
+        let stored = self.read_u32le("skipped section checksum")?;
+        if crc ^ 0xFFFF_FFFF != stored {
+            return Err(CodecError::Checksum("unknown"));
+        }
+        Ok(())
+    }
+
+    /// Reads exactly one byte, mapping a clean EOF to `None`.
+    fn read_u8_or_eof(&mut self, what: &'static str) -> Result<Option<u8>, CodecError> {
+        let mut byte = [0u8; 1];
+        loop {
+            match self.inner.read(&mut byte) {
+                Ok(0) => return Ok(None),
+                Ok(_) => {
+                    self.stats.total_bytes += 1;
+                    return Ok(Some(byte[0]));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(map_io(e, what)),
+            }
+        }
+    }
+
+    /// Reads exactly one byte; EOF is [`CodecError::Truncated`].
+    pub fn read_u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        self.read_u8_or_eof(what)?.ok_or(CodecError::Truncated(what))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32le(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        let mut buf = [0u8; 4];
+        self.read_exact(&mut buf, what)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Reads a LEB128 varint (same wire shape as the buffer reader's).
+    pub fn read_varint(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.read_u8(what)?;
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::Malformed(format!("varint too long reading {what}")))
+    }
+
+    /// Fills `buf` exactly; EOF is [`CodecError::Truncated`].
+    pub fn read_exact(&mut self, buf: &mut [u8], what: &'static str) -> Result<(), CodecError> {
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            filled += self.read_some(&mut buf[filled..], what)?;
+        }
+        Ok(())
+    }
+
+    /// One non-empty read into `buf` (retrying interrupts), with EOF and
+    /// I/O failures mapped to typed errors.
+    fn read_some(&mut self, buf: &mut [u8], what: &'static str) -> Result<usize, CodecError> {
+        read_some(&mut self.inner, &mut self.stats, buf, what)
+    }
+}
+
+/// One non-empty read into `buf` (retrying interrupts), with EOF and I/O
+/// failures mapped to typed errors. A free function so `payload` can
+/// read straight into the scratch buffer while `self` fields are split.
+fn read_some<R: Read>(
+    inner: &mut R,
+    stats: &mut DecodeStats,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<usize, CodecError> {
+    loop {
+        match inner.read(buf) {
+            Ok(0) => return Err(CodecError::Truncated(what)),
+            Ok(n) => {
+                stats.total_bytes += n as u64;
+                return Ok(n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(map_io(e, what)),
+        }
+    }
+}
+
+fn map_io(e: std::io::Error, what: &'static str) -> CodecError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        CodecError::Truncated(what)
+    } else {
+        CodecError::Io(e)
+    }
+}

@@ -172,6 +172,10 @@ impl PreparedNet {
     /// magic bytes, so both deploy interchangeably; the compiled plan is
     /// bit-identical either way (WPB round-trips the bundle exactly).
     ///
+    /// WPB files decode through the streaming section pipeline
+    /// ([`DeployBundle::from_reader`]): the file is never buffered whole,
+    /// and peak transient allocation is bounded by the largest section.
+    ///
     /// # Errors
     ///
     /// Returns any I/O or decode error (truncated/corrupt WPB files fail
@@ -183,6 +187,27 @@ impl PreparedNet {
     /// as in [`PreparedNet::from_bundle`].
     pub fn load(path: impl AsRef<std::path::Path>, opts: &EngineOptions) -> std::io::Result<Self> {
         let bundle = DeployBundle::load(path)?;
+        Ok(Self::from_bundle(&bundle, opts))
+    }
+
+    /// Compiles a plan straight off any [`std::io::Read`] bundle stream —
+    /// a socket, a pipe, an in-flight HTTP body — with the same
+    /// streaming, section-bounded decode as [`PreparedNet::load`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`wp_core::deploy::codec::CodecError`] from the
+    /// stream or codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decoded bundle's payloads disagree with its spec,
+    /// as in [`PreparedNet::from_bundle`].
+    pub fn from_reader<R: std::io::Read>(
+        reader: R,
+        opts: &EngineOptions,
+    ) -> Result<Self, wp_core::deploy::codec::CodecError> {
+        let bundle = DeployBundle::from_reader(reader)?;
         Ok(Self::from_bundle(&bundle, opts))
     }
 
@@ -545,6 +570,29 @@ mod tests {
         }
         std::fs::remove_file(&json_path).ok();
         std::fs::remove_file(&wpb_path).ok();
+    }
+
+    #[test]
+    fn from_reader_compiles_bit_identically_to_buffer_path() {
+        // The streaming section pipeline and the in-memory buffer decode
+        // must produce byte-for-byte the same bundle — and therefore the
+        // same compiled plan — for both index codecs.
+        use wp_core::deploy::codec::{EncodeOptions, Format, IndexCodecPref};
+        let bundle = toy_bundle(LutOrder::InputOriented);
+        let opts = EngineOptions::default();
+        let direct = PreparedNet::from_bundle(&bundle, &opts);
+        for pref in [IndexCodecPref::Auto, IndexCodecPref::Rice, IndexCodecPref::Ans] {
+            let bytes = bundle
+                .to_bytes_with(&EncodeOptions::new(Format::Wpb).with_index_codec(pref))
+                .unwrap();
+            let buffered = DeployBundle::from_bytes(&bytes).unwrap();
+            let streamed = DeployBundle::from_reader(bytes.as_slice()).unwrap();
+            assert_eq!(buffered, streamed, "streamed bundle differs under {pref}");
+            let net = PreparedNet::from_reader(bytes.as_slice(), &opts).unwrap();
+            for input in direct.fabricate_inputs(2, 41) {
+                assert_eq!(net.run_one(&input), direct.run_one(&input));
+            }
+        }
     }
 
     #[test]

@@ -123,7 +123,11 @@ impl ModelRegistry {
     /// the same path later. Both bundle formats are accepted — JSON and
     /// the entropy-coded binary `.wpb` (sniffed from the file's magic
     /// bytes, not its extension); WPB decodes substantially faster for
-    /// large models, which shortens the hot-swap window.
+    /// large models, which shortens the hot-swap window, and streams
+    /// section-by-section ([`DeployBundle::from_reader`]) so deploying a
+    /// model never transiently allocates more than its largest section —
+    /// the property that keeps cold-starting a node with many tenant
+    /// bundles I/O-bound rather than allocation-bound.
     ///
     /// # Errors
     ///
@@ -347,6 +351,113 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
         assert!(matches!(reg.reload("m"), Err(RegistryError::LoadFailed(_))));
         assert_eq!(entry.batcher().infer(input).unwrap(), after);
+
+        std::fs::remove_file(&path).ok();
+        reg.shutdown();
+    }
+
+    #[test]
+    fn multi_megabyte_bundle_streams_with_section_bounded_memory() {
+        // A node deploying a big bundle must stay allocation-bounded by
+        // the *largest section*, never the whole file — the property the
+        // streaming decode pipeline exists for. Fabricate a bundle whose
+        // conv section alone is multiple megabytes, deploy and hot-swap
+        // it through the registry, then assert the decode accounting.
+        use wp_core::deploy::ConvPayload;
+        use wp_core::netspec::{ConvSpec, LayerSpec, NetSpec};
+        use wp_core::{LookupTable, LutOrder, WeightPool};
+
+        let vectors: Vec<Vec<f32>> =
+            (0..64).map(|i| (0..8).map(|j| ((i * 8 + j) as f32).sin() * 0.1).collect()).collect();
+        let pool = WeightPool::from_vectors(vectors);
+        let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+        let conv = |in_ch: usize, out_ch: usize| {
+            LayerSpec::Conv(ConvSpec {
+                in_ch,
+                out_ch,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                compressed: false,
+            })
+        };
+        let weights = |n: usize| -> Vec<i8> { (0..n).map(|i| (i % 251) as i8).collect() };
+        let bundle = wp_core::deploy::DeployBundle {
+            spec: NetSpec {
+                name: "big".into(),
+                input: (256, 16, 16),
+                classes: 0,
+                layers: vec![conv(256, 384), conv(384, 384)],
+            },
+            pool,
+            lut,
+            convs: vec![
+                ConvPayload::Direct { weights: weights(384 * 256 * 9), scale: 0.01 },
+                ConvPayload::Direct { weights: weights(384 * 384 * 9), scale: 0.01 },
+            ],
+            act_bits: 8,
+        };
+
+        let dir = std::env::temp_dir().join("wp_registry_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big.wpb");
+        bundle.save(&path).unwrap();
+        let file_len = std::fs::metadata(&path).unwrap().len();
+        assert!(file_len > 2 * 1024 * 1024, "bundle must be multi-megabyte, got {file_len}");
+
+        let reg = registry();
+        reg.insert_file("big", &path, EngineOptions::default()).unwrap();
+        reg.reload("big").unwrap();
+        assert_eq!(reg.get("big").unwrap().info().reloads, 1);
+
+        // The same streaming path the registry load used, instrumented:
+        // peak transient buffering is the largest section, which is well
+        // short of the whole file.
+        let file = std::fs::File::open(&path).unwrap();
+        let (streamed, stats) =
+            DeployBundle::from_reader_with_stats(std::io::BufReader::new(file)).unwrap();
+        assert_eq!(streamed, bundle);
+        assert!(
+            stats.peak_transient_bytes <= stats.largest_section_bytes,
+            "peak transient {} exceeds largest section {}",
+            stats.peak_transient_bytes,
+            stats.largest_section_bytes
+        );
+        assert!(
+            (stats.largest_section_bytes as u64) < stats.total_bytes,
+            "largest section must be smaller than the whole stream"
+        );
+        assert_eq!(stats.total_bytes, file_len, "decode must consume exactly the file");
+
+        std::fs::remove_file(&path).ok();
+        reg.shutdown();
+    }
+
+    #[test]
+    fn truncated_ans_bundle_reload_keeps_old_plan_serving() {
+        // Force the ANS index codec, then truncate the file mid-stream:
+        // the reload must fail with a typed error and the previously
+        // deployed plan must keep answering, bit-identically.
+        use wp_core::deploy::codec::{EncodeOptions, Format, IndexCodecPref};
+
+        let dir = std::env::temp_dir().join("wp_registry_ans_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.wpb");
+        let (bundle, opts) = demo_deployment(DemoSize::Tiny, 1);
+        let ans = EncodeOptions::new(Format::Wpb).with_index_codec(IndexCodecPref::Ans);
+        bundle.save_with(&path, &ans).unwrap();
+
+        let reg = registry();
+        reg.insert_file("m", &path, opts).unwrap();
+        let entry = reg.get("m").unwrap();
+        let input = entry.net().fabricate_inputs(1, 4).pop().unwrap();
+        let before = entry.batcher().infer(input.clone()).unwrap();
+
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(matches!(reg.reload("m"), Err(RegistryError::LoadFailed(_))));
+        assert_eq!(entry.batcher().infer(input).unwrap(), before, "old plan must keep serving");
+        assert_eq!(entry.info().reloads, 0);
 
         std::fs::remove_file(&path).ok();
         reg.shutdown();
