@@ -11,10 +11,14 @@
 //!    `scalar` / `swar` / `avx2` kernel tiers, outputs verified
 //!    bit-identical, with the ≥2x swar-over-scalar acceptance gate
 //!    (pooled-conv and batched tile sections) enforced at exit.
+//! 5. **Tracing overhead + profile**: the serving demo with and without
+//!    the engine's aggregate [`wp_engine::NetProfile`] attached — the
+//!    profile-off run must match the plain tier numbers — plus the
+//!    per-layer share breakdown (`--profile` prints the full table).
 //!
 //! ```sh
 //! cargo run --release --bin engine_throughput -p wp_bench \
-//!     [-- --fast] [-- --out BENCH_engine.json]
+//!     [-- --fast] [-- --profile] [-- --out BENCH_engine.json]
 //! ```
 
 use rand::{Rng, SeedableRng};
@@ -31,10 +35,13 @@ fn main() {
     let effort = Effort::from_env();
     let reps = if effort.fast { 3 } else { 10 };
     let mut out_path: Option<String> = None;
+    let mut show_profile = false;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         if flag == "--out" {
             out_path = Some(argv.next().expect("--out needs a value"));
+        } else if flag == "--profile" {
+            show_profile = true;
         }
     }
 
@@ -193,6 +200,71 @@ fn main() {
         sections.push((key, rates));
     }
 
+    // --- 5. Tracing overhead + per-layer profile --------------------------
+    // The observability gate: the aggregate profile is a handful of
+    // relaxed atomic adds per layer span when attached and a single
+    // Option check per run when not, so the profile-off path must sit
+    // within noise of the plain serving numbers and the profile-on path
+    // within a couple percent of profile-off. The resulting per-layer
+    // shares are the committed breakdown of where engine time goes.
+    let (bundle, opts) = wp_server::demo::demo_deployment(wp_server::demo::DemoSize::Serve, 1);
+    let mut net = PreparedNet::from_bundle(&bundle, &opts);
+    let inputs = net.fabricate_inputs(ab_batch, 5);
+    let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+    let expected = net.run_batch(&refs);
+    let mut disabled = f64::INFINITY;
+    for _ in 0..reps.min(5) {
+        let t = Instant::now();
+        std::hint::black_box(net.run_batch(&refs));
+        disabled = disabled.min(t.elapsed().as_secs_f64());
+    }
+    let profile = std::sync::Arc::new(net.make_profile());
+    net.set_profile(Some(std::sync::Arc::clone(&profile)));
+    assert_eq!(net.run_batch(&refs), expected, "profiled run must be bit-identical");
+    let mut profiled = f64::INFINITY;
+    for _ in 0..reps.min(5) {
+        let t = Instant::now();
+        std::hint::black_box(net.run_batch(&refs));
+        profiled = profiled.min(t.elapsed().as_secs_f64());
+    }
+    let disabled_ips = ab_batch as f64 / disabled;
+    let profiled_ips = ab_batch as f64 / profiled;
+    let overhead_pct = (profiled - disabled) / disabled * 100.0;
+    let tier = net.backend_kind().name();
+    // The pooled_conv A/B above ran the same demo at the same batch per
+    // tier — the profile-off rate must match the auto-resolved tier's.
+    let baseline = sections[0]
+        .1
+        .iter()
+        .find(|(name, _)| *name == tier)
+        .map(|(_, ips)| *ips)
+        .expect("auto-resolved tier measured in the pooled_conv section");
+    let vs_baseline_pct = (disabled_ips / baseline - 1.0) * 100.0;
+    println!("== Tracing overhead (scatter-heavy serving demo, batch {ab_batch}, 1 thread) ==");
+    println!("profile off: {disabled_ips:>10.1} images/sec  ({vs_baseline_pct:+.2}% vs plain {tier} run)");
+    println!("profile on:  {profiled_ips:>10.1} images/sec  ({overhead_pct:+.2}% wall time)");
+    let prof = profile.snapshot();
+    let share_sum: f64 = prof.layers.iter().map(|l| l.share).sum();
+    println!("layer shares cover {:.1}% of recorded engine time", share_sum * 100.0);
+    if show_profile {
+        println!(
+            "  {:<3} {:<16} {:>7} {:>10} {:>10} {:>10}",
+            "L", "kind", "share", "p50 us", "p99 us", "mean us"
+        );
+        for l in &prof.layers {
+            println!(
+                "  {:<3} {:<16} {:>6.1}% {:>10.1} {:>10.1} {:>10.1}",
+                l.index,
+                l.kind,
+                l.share * 100.0,
+                l.latency.p50 as f64 / 1e3,
+                l.latency.p99 as f64 / 1e3,
+                l.latency.mean / 1e3
+            );
+        }
+    }
+    println!();
+
     if let Some(path) = &out_path {
         let body: Vec<String> = sections
             .iter()
@@ -208,7 +280,25 @@ fn main() {
                 )
             })
             .collect();
-        let report = format!("{{\"bench\":\"engine_backends\",{}}}\n", body.join(","));
+        let layer_rows: Vec<String> = prof
+            .layers
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"layer\":{},\"kind\":\"{}\",\"share\":{:.4},\"p50_ns\":{},\"p99_ns\":{},\"mean_ns\":{:.0}}}",
+                    l.index, l.kind, l.share, l.latency.p50, l.latency.p99, l.latency.mean
+                )
+            })
+            .collect();
+        let report = format!(
+            "{{\"bench\":\"engine_backends\",{},\
+             \"trace_overhead\":{{\"batch\":{ab_batch},\"backend\":\"{tier}\",\
+             \"images_per_sec\":{{\"disabled\":{disabled_ips:.1},\"profiled\":{profiled_ips:.1}}},\
+             \"disabled_vs_baseline_pct\":{vs_baseline_pct:.2},\"profiled_overhead_pct\":{overhead_pct:.2}}},\
+             \"profile\":{{\"model\":\"demo-serve\",\"share_sum\":{share_sum:.4},\"layers\":[{}]}}}}\n",
+            body.join(","),
+            layer_rows.join(",")
+        );
         std::fs::write(path, &report).expect("write bench JSON");
         println!("wrote {path}");
     }

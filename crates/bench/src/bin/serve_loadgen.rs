@@ -26,7 +26,11 @@
 //!
 //! Flags: `--concurrency N` (default 16), `--requests N` (default 384),
 //! `--smoke` (quick pass: fewer requests, no speedup assertions),
-//! `--out PATH` (default `BENCH_serve.json`).
+//! `--out PATH` (default `BENCH_serve.json`), `--trace PATH` (export the
+//! driven server's span ring as Chrome `trace_event` JSON after the run —
+//! self-contained mode enables tracing on the batched server; `--url`
+//! mode asks the external server, which must have been started with
+//! `--trace-events`).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -52,6 +56,7 @@ struct Args {
     smoke: bool,
     shutdown: bool,
     out: String,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +68,7 @@ fn parse_args() -> Args {
         smoke: false,
         shutdown: false,
         out: "BENCH_serve.json".into(),
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -75,6 +81,7 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--shutdown" => args.shutdown = true,
             "--out" => args.out = value("--out"),
+            "--trace" => args.trace = Some(value("--trace")),
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -219,11 +226,19 @@ fn drive(
 }
 
 /// Starts an in-process server deploying one demo model under `name`
-/// with the given flush size.
-fn local_server(max_batch: usize, size: DemoSize, name: &str) -> wp_server::ServerHandle {
+/// with the given flush size; `trace_events > 0` attaches a span ring of
+/// that many events.
+fn local_server(
+    max_batch: usize,
+    size: DemoSize,
+    name: &str,
+    trace_events: usize,
+) -> wp_server::ServerHandle {
     let batcher =
         BatcherConfig { max_batch, max_wait: Duration::from_millis(2), ..BatcherConfig::default() };
-    let registry = Arc::new(ModelRegistry::new(batcher, Arc::new(Metrics::new())));
+    let registry = Arc::new(
+        ModelRegistry::new(batcher, Arc::new(Metrics::new())).with_trace_capacity(trace_events),
+    );
     let (bundle, opts) = demo_deployment(size, DEMO_SEED);
     registry.insert_bundle(name, &bundle, opts);
     serve(
@@ -231,6 +246,30 @@ fn local_server(max_batch: usize, size: DemoSize, name: &str) -> wp_server::Serv
         registry,
     )
     .expect("bind server")
+}
+
+/// One plain GET over a fresh connection.
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut stream = BufReader::new(stream);
+    write!(stream.get_mut(), "GET {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\n\r\n")
+        .expect("write");
+    stream.get_mut().flush().expect("flush");
+    read_response(&mut stream)
+}
+
+/// Exports the server's span ring for `model` to `path` (Chrome
+/// `trace_event` JSON, loadable in chrome://tracing or Perfetto).
+fn export_trace(addr: &str, model: &str, path: &str) {
+    let (status, body) = http_get(addr, &format!("/v1/models/{model}/trace"));
+    assert_eq!(
+        status, 200,
+        "trace export failed ({status}); external servers need --trace-events: {body}"
+    );
+    assert!(body.contains("\"traceEvents\""), "not a Chrome trace: {body}");
+    std::fs::write(path, &body).expect("write trace file");
+    println!("wrote {path} ({} bytes of Chrome trace)", body.len());
 }
 
 fn report(result: &RunResult) {
@@ -289,7 +328,10 @@ fn run_ab_section(model: &str, min_speedup: f64, args: &Args) -> (String, f64) {
     let (inputs, expected) = oracle(model);
 
     println!("-- model {model} --");
-    let mut unbatched_server = local_server(1, size, model);
+    // Trace export (when asked) comes from the batched server of the
+    // first section, the configuration the trace is most useful for.
+    let trace_out = args.trace.as_deref().filter(|_| model == "demo-serve");
+    let mut unbatched_server = local_server(1, size, model, 0);
     let unbatched = drive(
         "max_batch=1",
         &unbatched_server.addr().to_string(),
@@ -302,7 +344,8 @@ fn run_ab_section(model: &str, min_speedup: f64, args: &Args) -> (String, f64) {
     unbatched_server.shutdown();
     report(&unbatched);
 
-    let mut batched_server = local_server(batched_size, size, model);
+    let mut batched_server =
+        local_server(batched_size, size, model, if trace_out.is_some() { 1 << 16 } else { 0 });
     let batched = drive(
         &format!("max_batch={batched_size}"),
         &batched_server.addr().to_string(),
@@ -312,7 +355,10 @@ fn run_ab_section(model: &str, min_speedup: f64, args: &Args) -> (String, f64) {
         args.requests,
         args.concurrency,
     );
-    let snapshot = batched_server.registry().metrics().snapshot();
+    let snapshot = batched_server.registry().metrics_snapshot();
+    if let Some(path) = trace_out {
+        export_trace(&batched_server.addr().to_string(), model, path);
+    }
     batched_server.shutdown();
     report(&batched);
 
@@ -368,6 +414,9 @@ fn main() {
             args.model,
             json_entry(&result, 0)
         ));
+        if let Some(path) = &args.trace {
+            export_trace(&addr, &args.model, path);
+        }
         if args.shutdown {
             let stream = TcpStream::connect(&addr).expect("connect for shutdown");
             let mut stream = BufReader::new(stream);

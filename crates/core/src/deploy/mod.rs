@@ -23,7 +23,7 @@ use codec::{CodecError, EncodeOptions, Format, WpbCodec};
 use serde::{Deserialize, Serialize};
 use std::io::Read;
 use std::path::Path;
-use stream::DecodeStats;
+pub use stream::DecodeStats;
 use wp_nn::Sequential;
 use wp_quant::QuantParams;
 

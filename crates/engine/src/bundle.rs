@@ -16,6 +16,7 @@ use crate::kernel::{
     KernelCtx, MaxPoolKernel, PooledConvKernel, ResidualAddKernel,
 };
 use crate::options::{EngineOptions, ResolvedBackend};
+use crate::trace::{self, NetProfile, SpanKind, TraceEvent, TraceSink};
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use wp_core::deploy::{ConvPayload, DeployBundle};
@@ -51,6 +52,11 @@ pub struct PreparedNet {
     layers: Vec<PreparedLayer>,
     input: (usize, usize, usize),
     act_bits: u8,
+    /// Always-on aggregate profile (per-layer latency histograms); `None`
+    /// keeps the hot loop exactly as fast as before tracing existed.
+    profile: Option<Arc<NetProfile>>,
+    /// Opt-in event sink (ring buffer for Chrome trace export).
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl PreparedNet {
@@ -164,7 +170,7 @@ impl PreparedNet {
             layers.push(PreparedLayer { kernel, in_dims, bias, oq });
         }
         assert!(payloads.next().is_none(), "bundle has more conv payloads than spec convs");
-        Self { backend, layers, input: bundle.spec.input, act_bits }
+        Self { backend, layers, input: bundle.spec.input, act_bits, profile: None, sink: None }
     }
 
     /// Loads a bundle file and compiles it in one step. The on-disk
@@ -262,9 +268,24 @@ impl PreparedNet {
         let (c, h, w) = self.input;
         assert_eq!(input.len(), c * h * w, "input size mismatch");
         let mut codes = input.to_vec();
-        for layer in &self.layers {
-            codes = layer.kernel.run_solo(&layer.ctx(backend, self.act_bits), codes);
+        if self.profile.is_none() && self.sink.is_none() {
+            // The untraced hot path: one Option check per run, zero
+            // per-layer overhead (pinned by the trace_overhead bench).
+            for layer in &self.layers {
+                codes = layer.kernel.run_solo(&layer.ctx(backend, self.act_bits), codes);
+            }
+            return codes;
         }
+
+        let tier = trace::tier_code(self.backend.simd());
+        let run_start = trace::now_ns();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let t0 = trace::now_ns();
+            codes = layer.kernel.run_solo(&layer.ctx(backend, self.act_bits), codes);
+            let dur = trace::now_ns().saturating_sub(t0);
+            self.observe_layer(li, 1, tier, t0, dur);
+        }
+        self.observe_run(1, tier, run_start);
         codes
     }
 
@@ -352,11 +373,79 @@ impl PreparedNet {
     /// loop.
     pub fn run_batch_with(&self, backend: &NativeBackend, inputs: &[&[i32]]) -> Vec<Vec<i32>> {
         self.validate_batch_inputs(inputs.iter().map(|x| x.len()));
-        let mut planes: Vec<Vec<i32>> = inputs.iter().map(|x| x.to_vec()).collect();
-        for layer in &self.layers {
-            planes = layer.kernel.run_batch(&layer.ctx(backend, self.act_bits), planes);
+        if self.profile.is_none() && self.sink.is_none() {
+            // The untraced hot path (see `run_one_with`).
+            let mut planes: Vec<Vec<i32>> = inputs.iter().map(|x| x.to_vec()).collect();
+            for layer in &self.layers {
+                planes = layer.kernel.run_batch(&layer.ctx(backend, self.act_bits), planes);
+            }
+            return planes;
         }
+
+        let batch = u16::try_from(inputs.len()).unwrap_or(u16::MAX);
+        let tier = trace::tier_code(self.backend.simd());
+        let run_start = trace::now_ns();
+        let mut planes: Vec<Vec<i32>> = inputs.iter().map(|x| x.to_vec()).collect();
+        if let Some(sink) = &self.sink {
+            sink.record_span(&TraceEvent {
+                kind: SpanKind::Pack,
+                track: trace::current_track(),
+                layer: 0,
+                batch,
+                tier,
+                id: 0,
+                start_ns: run_start,
+                dur_ns: trace::now_ns().saturating_sub(run_start),
+            });
+        }
+        for (li, layer) in self.layers.iter().enumerate() {
+            let t0 = trace::now_ns();
+            planes = layer.kernel.run_batch(&layer.ctx(backend, self.act_bits), planes);
+            let dur = trace::now_ns().saturating_sub(t0);
+            self.observe_layer(li, batch, tier, t0, dur);
+        }
+        self.observe_run(batch, tier, run_start);
         planes
+    }
+
+    /// Records one traced layer execution into whichever observers are
+    /// attached (only called on the traced path).
+    fn observe_layer(&self, layer: usize, batch: u16, tier: u8, start_ns: u64, dur_ns: u64) {
+        if let Some(profile) = &self.profile {
+            profile.record_layer(layer, dur_ns);
+        }
+        if let Some(sink) = &self.sink {
+            sink.record_span(&TraceEvent {
+                kind: SpanKind::Layer,
+                track: trace::current_track(),
+                layer: u16::try_from(layer).unwrap_or(u16::MAX),
+                batch,
+                tier,
+                id: 0,
+                start_ns,
+                dur_ns,
+            });
+        }
+    }
+
+    /// Records one traced whole pass (all layers) into the observers.
+    fn observe_run(&self, batch: u16, tier: u8, start_ns: u64) {
+        let dur_ns = trace::now_ns().saturating_sub(start_ns);
+        if let Some(profile) = &self.profile {
+            profile.record_run(dur_ns);
+        }
+        if let Some(sink) = &self.sink {
+            sink.record_span(&TraceEvent {
+                kind: SpanKind::Run,
+                track: trace::current_track(),
+                layer: 0,
+                batch,
+                tier,
+                id: 0,
+                start_ns,
+                dur_ns,
+            });
+        }
     }
 
     /// Validates a batch's input lengths up front, before any layer
@@ -373,6 +462,41 @@ impl PreparedNet {
                 "input {i} has {len} codes; model expects {c}x{h}x{w} = {expected}"
             );
         }
+    }
+
+    /// Layer kernel names in execution order (`direct_conv`,
+    /// `pooled_conv`, `dense`, ...): the vocabulary of per-layer profile
+    /// rows and trace span names.
+    pub fn layer_kinds(&self) -> Vec<String> {
+        self.layers.iter().map(|l| l.kernel.name().to_string()).collect()
+    }
+
+    /// A fresh [`NetProfile`] sized and named for this plan (attach it
+    /// with [`PreparedNet::set_profile`]).
+    pub fn make_profile(&self) -> NetProfile {
+        NetProfile::new(self.layer_kinds())
+    }
+
+    /// Attaches (or detaches) the aggregate per-layer profile. With
+    /// `None` — the default — execution takes the untraced hot path.
+    pub fn set_profile(&mut self, profile: Option<Arc<NetProfile>>) {
+        self.profile = profile;
+    }
+
+    /// The attached aggregate profile, if any.
+    pub fn profile(&self) -> Option<&Arc<NetProfile>> {
+        self.profile.as_ref()
+    }
+
+    /// Attaches (or detaches) the event-trace sink (a
+    /// [`crate::TraceBuffer`] for Chrome trace export).
+    pub fn set_trace_sink(&mut self, sink: Option<Arc<dyn TraceSink>>) {
+        self.sink = sink;
+    }
+
+    /// The attached event sink, if any.
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.sink.as_ref()
     }
 
     /// A fresh LUT-cache-bearing backend for one worker thread.

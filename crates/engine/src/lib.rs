@@ -55,9 +55,14 @@ pub mod bundle;
 pub mod kernel;
 pub mod options;
 pub mod swar;
+pub mod trace;
 
 pub use backend::{LutCache, NativeBackend, PreparedIndices};
 pub use batch::BatchRunner;
 pub use bundle::PreparedNet;
 pub use kernel::{Kernel, KernelCtx};
 pub use options::{avx2_available, BackendKind, EngineOptions, ResolvedBackend};
+pub use trace::{
+    chrome_trace_json, LatencyHistogram, LatencySnapshot, NetProfile, NetProfileSnapshot, SpanKind,
+    TraceBuffer, TraceEvent, TraceSink,
+};

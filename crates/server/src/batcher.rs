@@ -16,12 +16,13 @@
 //! hot-swaps atomic: every batch runs entirely on one plan, and in-flight
 //! batches finish on the plan they started with.
 
-use crate::metrics::Metrics;
+use crate::metrics::ModelMetrics;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
+use wp_engine::trace::{self, SpanKind, TraceEvent};
 use wp_engine::{BatchRunner, PreparedNet};
 
 /// A hot-swappable handle to the currently-deployed plan.
@@ -81,6 +82,9 @@ impl std::error::Error for InferError {}
 struct Pending {
     input: Vec<i32>,
     enqueued: Instant,
+    /// Request trace id ([`trace::span_id_from`] of the HTTP
+    /// `X-Request-Id`); 0 for untraced submissions.
+    span_id: u64,
     tx: mpsc::Sender<Result<Vec<i32>, InferError>>,
 }
 
@@ -130,8 +134,8 @@ impl std::fmt::Debug for Batcher {
 
 impl Batcher {
     /// Starts a flusher thread serving `slot` under `config`, reporting
-    /// into `metrics`.
-    pub fn start(slot: Arc<ModelSlot>, config: BatcherConfig, metrics: Arc<Metrics>) -> Self {
+    /// into this model's `metrics`.
+    pub fn start(slot: Arc<ModelSlot>, config: BatcherConfig, metrics: Arc<ModelMetrics>) -> Self {
         let config = BatcherConfig {
             max_batch: config.max_batch.max(1),
             max_wait: config.max_wait,
@@ -181,6 +185,17 @@ impl Batcher {
     /// code, [`InferError::Overloaded`] at the queue cap, and
     /// [`InferError::ShuttingDown`] after [`Batcher::shutdown`].
     pub fn submit(&self, input: Vec<i32>) -> Result<Ticket, InferError> {
+        self.submit_traced(input, 0)
+    }
+
+    /// [`Batcher::submit`] carrying a request trace id: the id is stamped
+    /// on the queue-wait span the flusher emits for this plane, tying the
+    /// span back to the HTTP request that caused it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Batcher::submit`].
+    pub fn submit_traced(&self, input: Vec<i32>, span_id: u64) -> Result<Ticket, InferError> {
         let net = self.slot.read().expect("model slot poisoned").clone();
         let (c, h, w) = net.input_shape();
         if input.len() != c * h * w {
@@ -206,7 +221,7 @@ impl Batcher {
             if state.pending.len() >= self.config.max_queue {
                 return Err(InferError::Overloaded);
             }
-            state.pending.push_back(Pending { input, enqueued: Instant::now(), tx });
+            state.pending.push_back(Pending { input, enqueued: Instant::now(), span_id, tx });
         }
         self.shared.wake_flusher.notify_one();
         Ok(Ticket { rx })
@@ -246,7 +261,7 @@ fn flusher_loop(
     shared: &Shared,
     slot: &ModelSlot,
     config: BatcherConfig,
-    metrics: &Metrics,
+    metrics: &ModelMetrics,
     batches_flushed: &AtomicU64,
 ) {
     let runner = BatchRunner::new(config.threads);
@@ -282,11 +297,33 @@ fn flusher_loop(
 
         let started = Instant::now();
         for p in &batch {
-            metrics.queue_latency.record(started.duration_since(p.enqueued));
+            metrics.queue_latency.record_micros(started.duration_since(p.enqueued));
         }
         // One Arc clone per batch: the whole batch runs on one plan even
         // if the registry swaps the slot mid-flight.
         let net = slot.read().expect("model slot poisoned").clone();
+        if let Some(sink) = net.trace_sink() {
+            // One queue-wait span per plane, ending at batch start and
+            // carrying the submitting request's trace id.
+            let batch_start_ns = trace::now_ns();
+            let track = trace::current_track();
+            let tier = trace::tier_code(net.backend().simd());
+            let size = u16::try_from(batch.len()).unwrap_or(u16::MAX);
+            for p in &batch {
+                let wait_ns = u64::try_from(started.duration_since(p.enqueued).as_nanos())
+                    .unwrap_or(u64::MAX);
+                sink.record_span(&TraceEvent {
+                    kind: SpanKind::QueueWait,
+                    track,
+                    layer: 0,
+                    batch: size,
+                    tier,
+                    id: p.span_id,
+                    start_ns: batch_start_ns.saturating_sub(wait_ns),
+                    dur_ns: wait_ns,
+                });
+            }
+        }
         // Re-validate against the plan actually being run: submit-time
         // validation used whatever plan was deployed then, and a hot swap
         // in between may have changed the input shape or code range. A
@@ -340,7 +377,7 @@ mod tests {
 
     fn start(slot: Arc<ModelSlot>, max_batch: usize, max_wait: Duration) -> Batcher {
         let config = BatcherConfig { max_batch, max_wait, threads: 2, max_queue: 1024 };
-        Batcher::start(slot, config, Arc::new(Metrics::new()))
+        Batcher::start(slot, config, Arc::new(ModelMetrics::new()))
     }
 
     /// Satellite pin: solo, coalesced-full-batch, and timeout-flushed

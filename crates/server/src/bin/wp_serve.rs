@@ -26,6 +26,10 @@
 //! * `--max-batch N`, `--max-wait-us N` — micro-batcher flush thresholds.
 //! * `--threads N` — engine worker threads per batch.
 //! * `--workers N` — connection worker threads.
+//! * `--trace-events N` — give every model an N-event trace ring;
+//!   `GET /v1/models/NAME/trace` exports it as Chrome `trace_event` JSON
+//!   (the always-on per-layer profile at `GET /v1/models/NAME/profile`
+//!   needs no flag).
 //! * `--port-file PATH` — write the bound port there (for scripts driving
 //!   an ephemeral-port server).
 //! * `--allow-shutdown` — honor `POST /v1/shutdown`.
@@ -47,6 +51,7 @@ struct Args {
     backend: BackendKind,
     batcher: BatcherConfig,
     workers: usize,
+    trace_events: usize,
     port_file: Option<String>,
     allow_shutdown: bool,
 }
@@ -60,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         backend: BackendKind::Auto,
         batcher: BatcherConfig::default(),
         workers: 8,
+        trace_events: 0,
         port_file: None,
         allow_shutdown: false,
     };
@@ -103,6 +109,11 @@ fn parse_args() -> Result<Args, String> {
                 args.workers =
                     value("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?;
             }
+            "--trace-events" => {
+                args.trace_events = value("--trace-events")?
+                    .parse()
+                    .map_err(|e| format!("bad --trace-events: {e}"))?;
+            }
             "--port-file" => args.port_file = Some(value("--port-file")?),
             "--allow-shutdown" => args.allow_shutdown = true,
             "--help" | "-h" => {
@@ -130,6 +141,10 @@ const HELP: &str = "wp_serve — weight-pool inference server
     --max-wait-us N      micro-batch flush deadline (default 2000)
     --threads N          engine worker threads per batch
     --workers N          connection worker threads (default 8)
+    --trace-events N     per-model trace ring of N events, exported at
+                         GET /v1/models/NAME/trace as Chrome trace JSON
+                         (default 0 = event tracing off; the per-layer
+                         profile endpoint is always on)
     --port-file PATH     write the bound port to PATH once listening
     --allow-shutdown     honor POST /v1/shutdown";
 
@@ -142,8 +157,17 @@ fn main() {
         }
     };
 
-    let registry = Arc::new(ModelRegistry::new(args.batcher, Arc::new(Metrics::new())));
+    let registry = Arc::new(
+        ModelRegistry::new(args.batcher, Arc::new(Metrics::new()))
+            .with_trace_capacity(args.trace_events),
+    );
     let resolved = args.backend.resolve();
+    if args.trace_events > 0 {
+        println!(
+            "event tracing on: {} events per model (GET /v1/models/NAME/trace)",
+            args.trace_events
+        );
+    }
     if args.demo {
         let (bundle, opts) = demo_deployment(DemoSize::Serve, 1);
         registry.insert_bundle("demo", &bundle, opts.with_backend(args.backend));

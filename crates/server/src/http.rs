@@ -218,15 +218,38 @@ pub fn write_json_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response(stream, status, "application/json", &[], body, keep_alive)
+}
+
+/// Writes one response with an explicit content type and extra headers
+/// (flushes the stream). Header names and values must already be valid
+/// header text — nothing is escaped here.
+///
+/// # Errors
+///
+/// Returns any transport error.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: Status,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status.0,
         status.reason(),
+        content_type,
         body.len(),
         connection
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
@@ -322,8 +345,28 @@ mod tests {
         write_json_response(&mut out, Status::OK, "{\"a\":1}", true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("{\"a\":1}"));
+    }
+
+    #[test]
+    fn response_carries_content_type_and_extra_headers() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            Status::OK,
+            "text/plain; version=0.0.4",
+            &[("X-Request-Id", "req-7")],
+            "wp_http_requests_total 1\n",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.contains("X-Request-Id: req-7\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nwp_http_requests_total 1\n"));
     }
 }

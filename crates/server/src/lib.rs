@@ -20,9 +20,13 @@
 //!   whichever first.
 //! * [`registry`] — [`ModelRegistry`]: named models, atomic hot-swap
 //!   reload.
-//! * [`metrics`] — [`Metrics`]: counters + fixed-bucket latency
-//!   histograms (p50/p99) for `GET /metrics`.
-//! * [`server`] — accept loop, connection worker pool, routing.
+//! * [`metrics`] — global HTTP [`Metrics`] + per-model
+//!   [`metrics::ModelMetrics`] (the `GET /metrics` totals are the sum of
+//!   the per-model rows).
+//! * [`prometheus`] — Prometheus text exposition of the same snapshot.
+//! * [`server`] — accept loop, connection worker pool, routing,
+//!   request-scoped trace ids (`X-Request-Id` in, echoed out, stamped on
+//!   engine spans and error bodies).
 //! * [`demo`] — fabricated demo bundles for tests and load generation.
 //!
 //! # Endpoints
@@ -30,10 +34,13 @@
 //! | Method | Path | Purpose |
 //! |---|---|---|
 //! | GET | `/healthz` | liveness + registered model names |
-//! | GET | `/metrics` | counters, batch-size histogram, latency p50/p99 |
-//! | GET | `/v1/models` | model shapes and reload counts |
+//! | GET | `/metrics` | global + per-model counters and histograms (JSON; Prometheus text via `Accept: text/plain` or `?format=prometheus`) |
+//! | GET | `/v1/models` | model shapes, reload counts, bundle decode stats |
+//! | GET | `/v1/models/{name}/profile` | per-layer engine latency profile (p50/p99/mean, share of run) |
+//! | GET | `/v1/models/{name}/trace` | Chrome `trace_event` JSON of the model's span ring (when tracing is on) |
 //! | POST | `/v1/infer` | run activation planes through a model |
 //! | POST | `/v1/models/{name}/reload` | hot-swap a file-backed model |
+//! | POST | `/v1/models/{name}/profile/reset` | zero the per-layer profile counters |
 //! | POST | `/v1/shutdown` | clean remote shutdown (opt-in) |
 //!
 //! # Example
@@ -61,11 +68,12 @@ pub mod batcher;
 pub mod demo;
 pub mod http;
 pub mod metrics;
+pub mod prometheus;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
 pub use batcher::{Batcher, BatcherConfig, InferError};
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{Metrics, MetricsSnapshot, ModelMetrics, ModelMetricsSnapshot};
 pub use registry::{ModelEntry, ModelRegistry, RegistryError};
 pub use server::{serve, ServerConfig, ServerHandle};

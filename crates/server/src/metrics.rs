@@ -1,111 +1,34 @@
-//! Lock-free serving metrics: counters, a batch-size histogram, and a
-//! fixed-bucket latency histogram with percentile estimation.
+//! Serving metrics: a global HTTP layer plus per-model instances.
 //!
-//! Everything is plain atomics so the hot path never takes a lock;
-//! `GET /metrics` snapshots the counters into a serializable report.
+//! Everything is plain atomics so the hot path never takes a lock. The
+//! split mirrors ownership: [`Metrics`] counts what the connection
+//! front sees (requests, response classes, whole-request latency) and
+//! is shared server-wide; [`ModelMetrics`] counts what one model's
+//! batcher does (inferences, batches, queue wait, per-model request
+//! latency) and lives on that model's registry entry — so multi-tenant
+//! traffic is attributable per model, and the global view in
+//! [`MetricsSnapshot`] is **assembled as the sum** of the per-model
+//! instances at snapshot time (see
+//! [`crate::registry::ModelRegistry::metrics_snapshot`]).
+//!
+//! The histogram machinery lives in [`wp_engine::trace`] (the engine's
+//! per-layer profiles use the same buckets); this module records
+//! **microseconds**. Quantiles are geometric bucket midpoints and every
+//! snapshot carries `bucket_bounds`, so `/metrics` scrapers never
+//! re-derive the log2 scheme.
 
+use crate::protocol::DecodeStatsInfo;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
-/// Number of power-of-two latency buckets: bucket `i` counts samples in
-/// `[2^i, 2^(i+1))` microseconds (bucket 0 includes 0), the last bucket is
-/// open-ended (~1.2 hours and up).
-pub const LATENCY_BUCKETS: usize = 32;
+pub use wp_engine::trace::{LatencyHistogram, LatencySnapshot, LATENCY_BUCKETS};
 
 /// Largest exactly-tracked batch size; bigger batches land in the
 /// overflow bucket.
 pub const MAX_TRACKED_BATCH: usize = 64;
 
-/// A fixed power-of-two-bucket histogram of microsecond latencies.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one latency sample.
-    pub fn record(&self, elapsed: Duration) {
-        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        let bucket = (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Snapshots the histogram into a serializable summary.
-    pub fn snapshot(&self) -> LatencySnapshot {
-        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let count = self.count.load(Ordering::Relaxed);
-        let sum_us = self.sum_us.load(Ordering::Relaxed);
-        LatencySnapshot {
-            count,
-            mean_us: if count == 0 { 0.0 } else { sum_us as f64 / count as f64 },
-            p50_us: quantile(&buckets, count, 0.50),
-            p99_us: quantile(&buckets, count, 0.99),
-            max_us: self.max_us.load(Ordering::Relaxed),
-            bucket_counts: buckets,
-        }
-    }
-}
-
-/// Upper bound (exclusive) of latency bucket `i`, in microseconds.
-fn bucket_bound_us(i: usize) -> u64 {
-    1u64 << (i + 1)
-}
-
-/// The value at quantile `q` estimated as the upper bound of the bucket
-/// containing that rank (an overestimate of at most 2x — the bucket
-/// resolution).
-fn quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
-    if count == 0 {
-        return 0;
-    }
-    let rank = ((count as f64) * q).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for (i, &b) in buckets.iter().enumerate() {
-        seen += b;
-        if seen >= rank {
-            return bucket_bound_us(i);
-        }
-    }
-    bucket_bound_us(buckets.len() - 1)
-}
-
-/// Serializable [`LatencyHistogram`] state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LatencySnapshot {
-    /// Samples recorded.
-    pub count: u64,
-    /// Mean latency in microseconds.
-    pub mean_us: f64,
-    /// Median (bucket upper bound), microseconds.
-    pub p50_us: u64,
-    /// 99th percentile (bucket upper bound), microseconds.
-    pub p99_us: u64,
-    /// Largest sample, microseconds.
-    pub max_us: u64,
-    /// Raw per-bucket counts (bucket `i` covers `[2^i, 2^(i+1))` µs).
-    pub bucket_counts: Vec<u64>,
-}
-
-/// All serving metrics, shared across connection workers and batchers.
-#[derive(Debug)]
+/// Server-wide HTTP metrics, shared across connection workers.
+#[derive(Debug, Default)]
 pub struct Metrics {
     /// HTTP requests accepted (any endpoint).
     pub http_requests: AtomicU64,
@@ -115,34 +38,48 @@ pub struct Metrics {
     pub responses_client_error: AtomicU64,
     /// 5xx responses.
     pub responses_server_error: AtomicU64,
-    /// Inference planes served (one per input vector).
-    pub inferences: AtomicU64,
-    /// Batches executed by the micro-batchers.
-    pub batches: AtomicU64,
-    batch_sizes: [AtomicU64; MAX_TRACKED_BATCH + 1],
-    /// Wall time of whole inference requests (parse to response).
+    /// Wall time of whole requests (parse to response), microseconds —
+    /// every endpoint, every model.
     pub request_latency: LatencyHistogram,
-    /// Time a plane waits in the queue before its batch starts.
-    pub queue_latency: LatencyHistogram,
 }
 
-impl Default for Metrics {
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One model's serving metrics, owned by its registry entry and written
+/// by its batcher.
+#[derive(Debug)]
+pub struct ModelMetrics {
+    /// Inference planes served (one per input vector).
+    pub inferences: AtomicU64,
+    /// Batches executed by the micro-batcher.
+    pub batches: AtomicU64,
+    batch_sizes: [AtomicU64; MAX_TRACKED_BATCH + 1],
+    /// Time a plane waits in the queue before its batch starts,
+    /// microseconds.
+    pub queue_latency: LatencyHistogram,
+    /// Submit-to-last-output time of `/v1/infer` requests against this
+    /// model, microseconds.
+    pub request_latency: LatencyHistogram,
+}
+
+impl Default for ModelMetrics {
     fn default() -> Self {
         Self {
-            http_requests: AtomicU64::new(0),
-            responses_ok: AtomicU64::new(0),
-            responses_client_error: AtomicU64::new(0),
-            responses_server_error: AtomicU64::new(0),
             inferences: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
-            request_latency: LatencyHistogram::default(),
-            queue_latency: LatencyHistogram::default(),
+            queue_latency: LatencyHistogram::new(),
+            request_latency: LatencyHistogram::new(),
         }
     }
 }
 
-impl Metrics {
+impl ModelMetrics {
     /// Fresh, zeroed metrics.
     pub fn new() -> Self {
         Self::default()
@@ -156,33 +93,71 @@ impl Metrics {
         self.batch_sizes[slot].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshots everything into the `GET /metrics` payload.
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        let batch_size_hist: Vec<(usize, u64)> = self
-            .batch_sizes
+    /// `(batch size, count)` pairs, sizes above the tracked maximum
+    /// collapsed into the last slot.
+    pub fn batch_size_hist(&self) -> Vec<(usize, u64)> {
+        self.batch_sizes
             .iter()
             .enumerate()
             .filter_map(|(size, count)| {
                 let count = count.load(Ordering::Relaxed);
                 (count > 0).then_some((size, count))
             })
-            .collect();
-        MetricsSnapshot {
-            http_requests: self.http_requests.load(Ordering::Relaxed),
-            responses_ok: self.responses_ok.load(Ordering::Relaxed),
-            responses_client_error: self.responses_client_error.load(Ordering::Relaxed),
-            responses_server_error: self.responses_server_error.load(Ordering::Relaxed),
-            inferences: self.inferences.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batch_size_hist,
-            request_latency: self.request_latency.snapshot(),
-            queue_latency: self.queue_latency.snapshot(),
-            model_backends: Vec::new(),
+            .collect()
+    }
+}
+
+/// One model's row in a [`MetricsSnapshot`] — identity, deploy
+/// provenance, and this model's own counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelMetricsSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Resolved kernel tier the deployed plan executes with.
+    pub backend: String,
+    /// Hot-swap count since registration.
+    pub reloads: u64,
+    /// Inference planes served.
+    pub inferences: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// `(batch size, count)` pairs.
+    pub batch_size_hist: Vec<(usize, u64)>,
+    /// Queue-wait latency, microseconds.
+    pub queue_latency: LatencySnapshot,
+    /// Submit-to-output request latency, microseconds.
+    pub request_latency: LatencySnapshot,
+    /// Decode accounting from the model's last bundle load/reload
+    /// (`None` for models deployed from in-memory bundles).
+    #[serde(default)]
+    pub decode: Option<DecodeStatsInfo>,
+}
+
+impl ModelMetricsSnapshot {
+    /// Snapshots `metrics` under a model's identity.
+    pub fn capture(
+        name: String,
+        backend: String,
+        reloads: u64,
+        decode: Option<DecodeStatsInfo>,
+        metrics: &ModelMetrics,
+    ) -> Self {
+        Self {
+            name,
+            backend,
+            reloads,
+            inferences: metrics.inferences.load(Ordering::Relaxed),
+            batches: metrics.batches.load(Ordering::Relaxed),
+            batch_size_hist: metrics.batch_size_hist(),
+            queue_latency: metrics.queue_latency.snapshot(),
+            request_latency: metrics.request_latency.snapshot(),
+            decode,
         }
     }
 }
 
-/// Body of `GET /metrics`.
+/// Body of `GET /metrics` (JSON form). The top-level totals are the
+/// **sum of the per-model rows** plus the global HTTP counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// HTTP requests accepted.
@@ -193,87 +168,152 @@ pub struct MetricsSnapshot {
     pub responses_client_error: u64,
     /// 5xx responses.
     pub responses_server_error: u64,
-    /// Inference planes served.
+    /// Inference planes served, summed over models.
     pub inferences: u64,
-    /// Batches executed.
+    /// Batches executed, summed over models.
     pub batches: u64,
-    /// `(batch size, count)` pairs, sizes above the tracked maximum
-    /// collapsed into the last slot.
+    /// `(batch size, count)` pairs, merged over models.
     pub batch_size_hist: Vec<(usize, u64)>,
-    /// Whole-request latency.
+    /// Whole-request latency (parse to response, every endpoint),
+    /// microseconds.
     pub request_latency: LatencySnapshot,
-    /// Queue-wait latency.
+    /// Queue-wait latency, merged over models, microseconds.
     pub queue_latency: LatencySnapshot,
-    /// `(model name, resolved kernel tier)` per registered model — filled
-    /// in by the `/metrics` route (the raw counters don't know the
-    /// registry).
+    /// Per-model breakdown, sorted by name.
     #[serde(default)]
-    pub model_backends: Vec<(String, String)>,
+    pub models: Vec<ModelMetricsSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Assembles the global view: HTTP counters from `http`, totals
+    /// summed from `models`.
+    pub fn assemble(http: &Metrics, models: Vec<ModelMetricsSnapshot>) -> Self {
+        let mut inferences = 0u64;
+        let mut batches = 0u64;
+        let mut merged_sizes = std::collections::BTreeMap::<usize, u64>::new();
+        let mut queue_latency = LatencySnapshot::zero();
+        for m in &models {
+            inferences += m.inferences;
+            batches += m.batches;
+            for &(size, count) in &m.batch_size_hist {
+                *merged_sizes.entry(size).or_default() += count;
+            }
+            queue_latency.merge(&m.queue_latency);
+        }
+        Self {
+            http_requests: http.http_requests.load(Ordering::Relaxed),
+            responses_ok: http.responses_ok.load(Ordering::Relaxed),
+            responses_client_error: http.responses_client_error.load(Ordering::Relaxed),
+            responses_server_error: http.responses_server_error.load(Ordering::Relaxed),
+            inferences,
+            batches,
+            batch_size_hist: merged_sizes.into_iter().collect(),
+            request_latency: http.request_latency.snapshot(),
+            queue_latency,
+            models,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn latency_buckets_are_log2() {
-        let h = LatencyHistogram::default();
-        h.record(Duration::from_micros(0));
-        h.record(Duration::from_micros(1));
-        h.record(Duration::from_micros(3));
-        h.record(Duration::from_micros(1000));
-        let snap = h.snapshot();
-        assert_eq!(snap.count, 4);
-        assert_eq!(snap.bucket_counts[0], 2, "0us and 1us share bucket 0");
-        assert_eq!(snap.bucket_counts[1], 1, "3us lands in [2,4)");
-        assert_eq!(snap.bucket_counts[9], 1, "1000us lands in [512,1024)");
-        assert_eq!(snap.max_us, 1000);
-    }
-
-    #[test]
-    fn quantiles_come_from_bucket_bounds() {
-        let h = LatencyHistogram::default();
-        for _ in 0..99 {
-            h.record(Duration::from_micros(10));
-        }
-        h.record(Duration::from_micros(100_000));
-        let snap = h.snapshot();
-        assert_eq!(snap.p50_us, 16, "p50 in the [8,16) bucket");
-        assert_eq!(snap.p99_us, 16, "99 of 100 samples at 10us");
-        assert!(snap.bucket_counts[16] == 1, "outlier in [65536,131072)");
-    }
-
-    #[test]
-    fn empty_histogram_is_all_zero() {
-        let snap = LatencyHistogram::default().snapshot();
-        assert_eq!((snap.count, snap.p50_us, snap.p99_us, snap.max_us), (0, 0, 0, 0));
-    }
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn batch_hist_tracks_and_overflows() {
-        let m = Metrics::new();
+        let m = ModelMetrics::new();
         m.record_batch(1);
         m.record_batch(8);
         m.record_batch(8);
         m.record_batch(500);
-        let snap = m.snapshot();
-        assert_eq!(snap.batches, 4);
-        assert_eq!(snap.inferences, 1 + 8 + 8 + 500);
+        assert_eq!(m.batches.load(Ordering::Relaxed), 4);
+        assert_eq!(m.inferences.load(Ordering::Relaxed), 1 + 8 + 8 + 500);
         assert_eq!(
-            snap.batch_size_hist,
+            m.batch_size_hist(),
             vec![(1, 1), (8, 2), (MAX_TRACKED_BATCH, 1)],
             "oversize batch collapses into the last slot"
         );
     }
 
     #[test]
+    fn snapshot_sums_models_into_global_totals() {
+        let http = Metrics::new();
+        http.http_requests.fetch_add(10, Ordering::Relaxed);
+        http.responses_ok.fetch_add(9, Ordering::Relaxed);
+        http.request_latency.record_micros(Duration::from_micros(100));
+
+        let a = ModelMetrics::new();
+        let b = ModelMetrics::new();
+        a.record_batch(4);
+        a.queue_latency.record(10);
+        b.record_batch(4);
+        b.record_batch(2);
+        b.queue_latency.record(1000);
+
+        let models = vec![
+            ModelMetricsSnapshot::capture("a".into(), "swar".into(), 0, None, &a),
+            ModelMetricsSnapshot::capture("b".into(), "scalar".into(), 2, None, &b),
+        ];
+        let snap = MetricsSnapshot::assemble(&http, models);
+        assert_eq!(snap.http_requests, 10);
+        assert_eq!(snap.inferences, 4 + 4 + 2);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.batch_size_hist, vec![(2, 1), (4, 2)], "merged across models");
+        assert_eq!(snap.queue_latency.count, 2);
+        assert_eq!(snap.queue_latency.sum, 1010);
+        assert_eq!(snap.queue_latency.max, 1000);
+        assert_eq!(snap.models.len(), 2);
+        assert_eq!(snap.models[1].backend, "scalar");
+    }
+
+    #[test]
     fn snapshot_serializes() {
-        let m = Metrics::new();
+        let http = Metrics::new();
+        let m = ModelMetrics::new();
         m.record_batch(2);
-        m.request_latency.record(Duration::from_micros(42));
-        let s = serde_json::to_string(&m.snapshot()).unwrap();
+        m.request_latency.record_micros(Duration::from_micros(42));
+        let models = vec![ModelMetricsSnapshot::capture("demo".into(), "avx2".into(), 1, None, &m)];
+        let snap = MetricsSnapshot::assemble(&http, models);
+        let s = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&s).unwrap();
-        assert_eq!(back.batches, 1);
-        assert_eq!(back.request_latency.count, 1);
+        assert_eq!(back, snap);
+        assert_eq!(back.models[0].request_latency.count, 1);
+        assert_eq!(back.models[0].request_latency.bucket_bounds.len(), LATENCY_BUCKETS);
+    }
+
+    /// Satellite pin: N threads x M records against one model's metrics;
+    /// the snapshot sums must be exact — lock-free must not mean lossy.
+    #[test]
+    fn concurrent_recording_sums_exactly() {
+        let m = Arc::new(ModelMetrics::new());
+        let threads = 8u64;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let size = 1 + (i % 7) as usize;
+                        m.record_batch(size);
+                        m.queue_latency.record(i % 5000);
+                        m.request_latency.record(1 + i % 100);
+                    }
+                });
+            }
+        });
+        let snap = ModelMetricsSnapshot::capture("m".into(), "swar".into(), 0, None, &m);
+        let n = threads * per_thread;
+        assert_eq!(snap.batches, n);
+        let planes_per_thread: u64 = (0..per_thread).map(|i| 1 + i % 7).sum();
+        assert_eq!(snap.inferences, threads * planes_per_thread);
+        let batch_total: u64 = snap.batch_size_hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(batch_total, n);
+        assert_eq!(snap.queue_latency.count, n);
+        let queue_sum_per_thread: u64 = (0..per_thread).map(|i| i % 5000).sum();
+        assert_eq!(snap.queue_latency.sum, threads * queue_sum_per_thread);
+        assert_eq!(snap.request_latency.count, n);
+        assert_eq!(snap.request_latency.max, 100);
     }
 }

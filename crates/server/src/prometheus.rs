@@ -1,0 +1,239 @@
+//! Prometheus text exposition (format 0.0.4) of a [`MetricsSnapshot`].
+//!
+//! Rendered on demand from the same snapshot `GET /metrics` serves as
+//! JSON, so the two views can never disagree. Counters become
+//! `wp_*_total`, per-model series carry a `model` label, and the
+//! power-of-two latency histograms are emitted as native Prometheus
+//! histograms: cumulative `le` buckets **in seconds** (converted from
+//! the recorded microseconds), a `+Inf` bucket, and `_sum`/`_count`
+//! series — so `histogram_quantile()` works out of the box.
+
+use crate::metrics::{LatencySnapshot, MetricsSnapshot};
+use std::fmt::Write;
+
+/// The `Content-Type` of the rendered exposition.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Renders `snap` in Prometheus text exposition format.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+
+    counter(&mut out, "wp_http_requests_total", "HTTP requests accepted.", snap.http_requests);
+    push(&mut out, "# HELP wp_http_responses_total HTTP responses by status class.\n");
+    push(&mut out, "# TYPE wp_http_responses_total counter\n");
+    let _ = writeln!(out, "wp_http_responses_total{{class=\"2xx\"}} {}", snap.responses_ok);
+    let _ =
+        writeln!(out, "wp_http_responses_total{{class=\"4xx\"}} {}", snap.responses_client_error);
+    let _ =
+        writeln!(out, "wp_http_responses_total{{class=\"5xx\"}} {}", snap.responses_server_error);
+
+    counter(
+        &mut out,
+        "wp_inferences_total",
+        "Inference planes served (all models).",
+        snap.inferences,
+    );
+    counter(&mut out, "wp_batches_total", "Batches executed (all models).", snap.batches);
+
+    histogram(
+        &mut out,
+        "wp_request_seconds",
+        "Whole-request wall time, parse to response (every endpoint).",
+        "",
+        &snap.request_latency,
+    );
+
+    // Per-model series.
+    push(&mut out, "# HELP wp_model_inferences_total Inference planes served per model.\n");
+    push(&mut out, "# TYPE wp_model_inferences_total counter\n");
+    for m in &snap.models {
+        let _ = writeln!(
+            out,
+            "wp_model_inferences_total{{model=\"{}\"}} {}",
+            escape_label(&m.name),
+            m.inferences
+        );
+    }
+    push(&mut out, "# HELP wp_model_batches_total Batches executed per model.\n");
+    push(&mut out, "# TYPE wp_model_batches_total counter\n");
+    for m in &snap.models {
+        let _ = writeln!(
+            out,
+            "wp_model_batches_total{{model=\"{}\"}} {}",
+            escape_label(&m.name),
+            m.batches
+        );
+    }
+    push(&mut out, "# HELP wp_model_reloads_total Hot swaps per model since registration.\n");
+    push(&mut out, "# TYPE wp_model_reloads_total counter\n");
+    for m in &snap.models {
+        let _ = writeln!(
+            out,
+            "wp_model_reloads_total{{model=\"{}\",backend=\"{}\"}} {}",
+            escape_label(&m.name),
+            escape_label(&m.backend),
+            m.reloads
+        );
+    }
+    push(&mut out, "# HELP wp_model_batch_size Executed batches by exact batch size.\n");
+    push(&mut out, "# TYPE wp_model_batch_size gauge\n");
+    for m in &snap.models {
+        for &(size, count) in &m.batch_size_hist {
+            let _ = writeln!(
+                out,
+                "wp_model_batch_size{{model=\"{}\",size=\"{}\"}} {}",
+                escape_label(&m.name),
+                size,
+                count
+            );
+        }
+    }
+
+    let mut queue_help = true;
+    let mut req_help = true;
+    for m in &snap.models {
+        let label = format!("model=\"{}\"", escape_label(&m.name));
+        histogram_with(
+            &mut out,
+            "wp_model_queue_seconds",
+            "Queue wait before a plane's batch starts, per model.",
+            &label,
+            &m.queue_latency,
+            &mut queue_help,
+        );
+        histogram_with(
+            &mut out,
+            "wp_model_request_seconds",
+            "Submit-to-output inference latency, per model.",
+            &label,
+            &m.request_latency,
+            &mut req_help,
+        );
+    }
+    out
+}
+
+fn push(out: &mut String, s: &str) {
+    out.push_str(s);
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Emits one histogram metric (HELP/TYPE once, then the series).
+fn histogram(out: &mut String, name: &str, help: &str, labels: &str, snap: &LatencySnapshot) {
+    let mut first = true;
+    histogram_with(out, name, help, labels, snap, &mut first);
+}
+
+/// Emits a histogram's series, writing HELP/TYPE only when `emit_help`
+/// is still set (Prometheus requires them once per metric family even
+/// when the family has a series per model).
+fn histogram_with(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &str,
+    snap: &LatencySnapshot,
+    emit_help: &mut bool,
+) {
+    if *emit_help {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        *emit_help = false;
+    }
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (i, &count) in snap.bucket_counts.iter().enumerate() {
+        cumulative += count;
+        // Upper bound of bucket i, microseconds -> seconds.
+        let le = snap.bucket_bounds.get(i).copied().unwrap_or(u64::MAX) as f64 / 1e6;
+        let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(out, "{name}_sum{{{labels}}} {}", snap.sum as f64 / 1e6);
+    let _ = writeln!(out, "{name}_count{{{labels}}} {}", snap.count);
+}
+
+/// Escapes a label value per the exposition format (`\`, `"`, newline).
+fn escape_label(value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            other => escaped.push(other),
+        }
+    }
+    escaped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Metrics, ModelMetrics, ModelMetricsSnapshot};
+    use std::sync::atomic::Ordering;
+
+    fn snapshot() -> MetricsSnapshot {
+        let http = Metrics::new();
+        http.http_requests.fetch_add(3, Ordering::Relaxed);
+        http.responses_ok.fetch_add(2, Ordering::Relaxed);
+        http.responses_client_error.fetch_add(1, Ordering::Relaxed);
+        http.request_latency.record(120);
+        let m = ModelMetrics::new();
+        m.record_batch(4);
+        m.queue_latency.record(10);
+        m.queue_latency.record(700);
+        m.request_latency.record(90);
+        let models = vec![ModelMetricsSnapshot::capture("demo".into(), "swar".into(), 1, None, &m)];
+        MetricsSnapshot::assemble(&http, models)
+    }
+
+    #[test]
+    fn renders_counters_and_labels() {
+        let text = render(&snapshot());
+        assert!(text.contains("# TYPE wp_http_requests_total counter\n"));
+        assert!(text.contains("wp_http_requests_total 3\n"));
+        assert!(text.contains("wp_http_responses_total{class=\"2xx\"} 2\n"));
+        assert!(text.contains("wp_http_responses_total{class=\"4xx\"} 1\n"));
+        assert!(text.contains("wp_inferences_total 4\n"));
+        assert!(text.contains("wp_model_inferences_total{model=\"demo\"} 4\n"));
+        assert!(text.contains("wp_model_reloads_total{model=\"demo\",backend=\"swar\"} 1\n"));
+        assert!(text.contains("wp_model_batch_size{model=\"demo\",size=\"4\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_seconds() {
+        let text = render(&snapshot());
+        // 10us lands in bucket [8,16) -> le=1.6e-5 s; 700us in [512,1024)
+        // -> le=0.001024 s. Buckets are cumulative and capped by +Inf.
+        assert!(text.contains("# TYPE wp_model_queue_seconds histogram\n"));
+        assert!(
+            text.contains("wp_model_queue_seconds_bucket{model=\"demo\",le=\"0.000016\"} 1\n"),
+            "10us must be cumulative-visible at le=16us:\n{text}"
+        );
+        assert!(text.contains("wp_model_queue_seconds_bucket{model=\"demo\",le=\"0.001024\"} 2\n"));
+        assert!(text.contains("wp_model_queue_seconds_bucket{model=\"demo\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("wp_model_queue_seconds_sum{model=\"demo\"} 0.00071\n"));
+        assert!(text.contains("wp_model_queue_seconds_count{model=\"demo\"} 2\n"));
+        // Global histogram has no label separator artifacts.
+        assert!(text.contains("wp_request_seconds_bucket{le=\""));
+        assert!(text.contains("wp_request_seconds_sum{} 0.00012\n"));
+        assert!(!text.contains("{,le="), "separator must be omitted when unlabelled");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let http = Metrics::new();
+        let m = ModelMetrics::new();
+        m.record_batch(1);
+        let models =
+            vec![ModelMetricsSnapshot::capture("we\"ird\\name".into(), "swar".into(), 0, None, &m)];
+        let text = render(&MetricsSnapshot::assemble(&http, models));
+        assert!(text.contains("wp_model_inferences_total{model=\"we\\\"ird\\\\name\"} 1\n"));
+    }
+}

@@ -6,6 +6,8 @@
 //! bit-exactness contract).
 
 use serde::{Deserialize, Serialize};
+use wp_core::deploy::DecodeStats;
+use wp_engine::NetProfileSnapshot;
 
 /// Body of `POST /v1/infer`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,6 +36,12 @@ pub struct InferResponse {
 pub struct ErrorResponse {
     /// Human-readable cause.
     pub error: String,
+    /// The request's trace id (the caller's `X-Request-Id`, or the
+    /// server-generated one), so a failed call can be located in traces
+    /// and logs. Absent only for errors raised before a request line was
+    /// parsed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub request_id: Option<String>,
 }
 
 /// Body of `GET /healthz`.
@@ -62,6 +70,48 @@ pub struct ModelInfo {
     pub backend: String,
     /// Times this model has been hot-swapped since registration.
     pub reloads: u64,
+    /// Decode accounting from the last bundle load/reload (`None` for
+    /// models deployed from in-memory bundles).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub decode: Option<DecodeStatsInfo>,
+}
+
+/// Wire mirror of [`wp_core::deploy::DecodeStats`]: what it cost to
+/// decode the model's deploy bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeStatsInfo {
+    /// Container sections decoded (1 for legacy JSON bundles).
+    pub sections: usize,
+    /// Largest single section, bytes.
+    pub largest_section_bytes: usize,
+    /// Peak transient decode memory, bytes.
+    pub peak_transient_bytes: usize,
+    /// Total bundle bytes read.
+    pub total_bytes: u64,
+}
+
+impl From<DecodeStats> for DecodeStatsInfo {
+    fn from(s: DecodeStats) -> Self {
+        Self {
+            sections: s.sections,
+            largest_section_bytes: s.largest_section_bytes,
+            peak_transient_bytes: s.peak_transient_bytes,
+            total_bytes: s.total_bytes,
+        }
+    }
+}
+
+/// Body of `GET /v1/models/{name}/profile` and of the `POST
+/// /v1/models/{name}/profile/reset` acknowledgement (which returns the
+/// freshly zeroed profile).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfileResponse {
+    /// Model the profile belongs to.
+    pub model: String,
+    /// Resolved kernel tier the plan executes with.
+    pub backend: String,
+    /// Per-layer latency profile (engine-side, nanoseconds).
+    pub profile: NetProfileSnapshot,
 }
 
 /// Body of `GET /v1/models`.

@@ -9,14 +9,14 @@
 //! swap is atomic from the client's point of view.
 
 use crate::batcher::{Batcher, BatcherConfig, ModelSlot};
-use crate::metrics::Metrics;
-use crate::protocol::ModelInfo;
+use crate::metrics::{Metrics, MetricsSnapshot, ModelMetrics, ModelMetricsSnapshot};
+use crate::protocol::{DecodeStatsInfo, ModelInfo};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use wp_core::deploy::DeployBundle;
-use wp_engine::{EngineOptions, PreparedNet};
+use wp_engine::{EngineOptions, NetProfileSnapshot, PreparedNet, TraceBuffer};
 
 /// Seed for reload-time recalibration (deterministic across reloads).
 const CALIBRATION_SEED: u64 = 0xCA11;
@@ -55,6 +55,13 @@ pub struct ModelEntry {
     source: Option<PathBuf>,
     opts: EngineOptions,
     reloads: AtomicU64,
+    metrics: Arc<ModelMetrics>,
+    /// Decode accounting from the last file load/reload; `None` for
+    /// in-memory deployments.
+    decode: RwLock<Option<DecodeStatsInfo>>,
+    /// The model's trace ring, shared across reloads so a hot swap never
+    /// loses in-flight spans; `None` when event tracing is disabled.
+    trace: Option<Arc<TraceBuffer>>,
 }
 
 impl ModelEntry {
@@ -73,6 +80,46 @@ impl ModelEntry {
         &self.name
     }
 
+    /// This model's serving metrics (the batcher writes them).
+    pub fn metrics(&self) -> &Arc<ModelMetrics> {
+        &self.metrics
+    }
+
+    /// The model's trace event ring (`None` when tracing is disabled).
+    pub fn trace(&self) -> Option<&Arc<TraceBuffer>> {
+        self.trace.as_ref()
+    }
+
+    /// Decode accounting from the last bundle file load/reload.
+    pub fn decode_stats(&self) -> Option<DecodeStatsInfo> {
+        *self.decode.read().expect("decode stats poisoned")
+    }
+
+    /// The engine-side per-layer latency profile of the deployed plan.
+    /// Counters reset on hot swap (the new plan gets a fresh profile —
+    /// mixing layer timings across plans would misattribute).
+    pub fn profile_snapshot(&self) -> NetProfileSnapshot {
+        let net = self.net();
+        net.profile().expect("registry nets always carry a profile").snapshot()
+    }
+
+    /// Zeroes the deployed plan's per-layer profile counters.
+    pub fn reset_profile(&self) {
+        let net = self.net();
+        net.profile().expect("registry nets always carry a profile").reset();
+    }
+
+    /// This model's row in the metrics snapshot.
+    pub fn model_snapshot(&self) -> ModelMetricsSnapshot {
+        ModelMetricsSnapshot::capture(
+            self.name.clone(),
+            self.net().backend_kind().name().to_string(),
+            self.reloads.load(Ordering::Relaxed),
+            self.decode_stats(),
+            &self.metrics,
+        )
+    }
+
     /// The `GET /v1/models` row.
     pub fn info(&self) -> ModelInfo {
         let net = self.net();
@@ -84,6 +131,7 @@ impl ModelEntry {
             act_bits: net.act_bits(),
             backend: net.backend_kind().name().to_string(),
             reloads: self.reloads.load(Ordering::Relaxed),
+            decode: self.decode_stats(),
         }
     }
 }
@@ -93,6 +141,9 @@ pub struct ModelRegistry {
     models: RwLock<HashMap<String, Arc<ModelEntry>>>,
     batcher_config: BatcherConfig,
     metrics: Arc<Metrics>,
+    /// Trace ring capacity (events) given to each deployed model;
+    /// 0 disables event tracing (the aggregate profile stays on).
+    trace_capacity: usize,
 }
 
 impl std::fmt::Debug for ModelRegistry {
@@ -105,18 +156,41 @@ impl ModelRegistry {
     /// An empty registry; every model it deploys batches under
     /// `batcher_config` and reports into `metrics`.
     pub fn new(batcher_config: BatcherConfig, metrics: Arc<Metrics>) -> Self {
-        Self { models: RwLock::new(HashMap::new()), batcher_config, metrics }
+        Self { models: RwLock::new(HashMap::new()), batcher_config, metrics, trace_capacity: 0 }
     }
 
-    /// The metrics sink shared with the server.
+    /// Enables per-model event tracing: every model deployed afterwards
+    /// gets a `capacity`-event trace ring (exported by
+    /// `GET /v1/models/{name}/trace`). 0 disables.
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// The global HTTP metrics sink shared with the server.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// The `GET /metrics` body: global HTTP counters plus per-model rows
+    /// (sorted by name), totals summed from the rows.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut models: Vec<ModelMetricsSnapshot> = self
+            .models
+            .read()
+            .expect("registry poisoned")
+            .values()
+            .map(|e| e.model_snapshot())
+            .collect();
+        models.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot::assemble(&self.metrics, models)
     }
 
     /// Deploys `bundle` as `name` (replacing any existing model of that
     /// name wholesale, batcher included).
     pub fn insert_bundle(&self, name: &str, bundle: &DeployBundle, opts: EngineOptions) {
-        self.insert(name, bundle, opts, None);
+        self.insert(name, bundle, opts, None, None);
     }
 
     /// Loads a bundle file and deploys it as `name`; `reload` re-reads
@@ -139,9 +213,8 @@ impl ModelRegistry {
         path: &Path,
         opts: EngineOptions,
     ) -> Result<(), RegistryError> {
-        let bundle = DeployBundle::load(path)
-            .map_err(|e| RegistryError::LoadFailed(format!("{}: {e}", path.display())))?;
-        self.insert(name, &bundle, opts, Some(path.to_path_buf()));
+        let (bundle, decode) = load_with_stats(path)?;
+        self.insert(name, &bundle, opts, Some(path.to_path_buf()), Some(decode));
         Ok(())
     }
 
@@ -151,11 +224,14 @@ impl ModelRegistry {
         bundle: &DeployBundle,
         opts: EngineOptions,
         source: Option<PathBuf>,
+        decode: Option<DecodeStatsInfo>,
     ) {
-        let net = Arc::new(PreparedNet::from_bundle(bundle, &opts));
+        let trace =
+            (self.trace_capacity > 0).then(|| Arc::new(TraceBuffer::new(self.trace_capacity)));
+        let net = Arc::new(self.prepare_observed(bundle, &opts, trace.as_ref()));
         let slot: Arc<ModelSlot> = Arc::new(RwLock::new(net));
-        let batcher =
-            Batcher::start(Arc::clone(&slot), self.batcher_config, Arc::clone(&self.metrics));
+        let metrics = Arc::new(ModelMetrics::new());
+        let batcher = Batcher::start(Arc::clone(&slot), self.batcher_config, Arc::clone(&metrics));
         let entry = Arc::new(ModelEntry {
             name: name.to_string(),
             slot,
@@ -163,11 +239,30 @@ impl ModelRegistry {
             source,
             opts,
             reloads: AtomicU64::new(0),
+            metrics,
+            decode: RwLock::new(decode),
+            trace,
         });
         let old = self.models.write().expect("registry poisoned").insert(name.to_string(), entry);
         if let Some(old) = old {
             old.batcher.shutdown();
         }
+    }
+
+    /// Compiles a bundle and attaches observation: a fresh per-layer
+    /// profile always, plus the model's trace ring when tracing is on.
+    fn prepare_observed(
+        &self,
+        bundle: &DeployBundle,
+        opts: &EngineOptions,
+        trace: Option<&Arc<TraceBuffer>>,
+    ) -> PreparedNet {
+        let mut net = PreparedNet::from_bundle(bundle, opts);
+        net.set_profile(Some(Arc::new(net.make_profile())));
+        if let Some(buf) = trace {
+            net.set_trace_sink(Some(Arc::clone(buf) as _));
+        }
+        net
     }
 
     /// Atomically hot-swaps `name` to a freshly compiled copy of its
@@ -188,8 +283,7 @@ impl ModelRegistry {
         let entry = self.get(name)?;
         let path =
             entry.source.clone().ok_or_else(|| RegistryError::NotFileBacked(name.to_string()))?;
-        let bundle = DeployBundle::load(&path)
-            .map_err(|e| RegistryError::LoadFailed(format!("{}: {e}", path.display())))?;
+        let (bundle, decode) = load_with_stats(&path)?;
         let mut opts = entry.opts.clone();
         if opts.layer_multipliers().is_some() {
             let base = opts.clone().with_layer_multipliers(None);
@@ -197,8 +291,11 @@ impl ModelRegistry {
                 PreparedNet::calibrate_multipliers(&bundle, &base, 8, CALIBRATION_SEED);
             opts = opts.with_layer_multipliers(Some(multipliers));
         }
-        let net = Arc::new(PreparedNet::from_bundle(&bundle, &opts));
+        // Fresh profile (the new plan's layers may differ), same trace
+        // ring (spans from before and after the swap share one timeline).
+        let net = Arc::new(self.prepare_observed(&bundle, &opts, entry.trace.as_ref()));
         *entry.slot.write().expect("model slot poisoned") = net;
+        *entry.decode.write().expect("decode stats poisoned") = Some(decode);
         entry.reloads.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -265,6 +362,16 @@ impl ModelRegistry {
             entry.batcher.shutdown();
         }
     }
+}
+
+/// Loads a bundle file through the instrumented streaming decoder,
+/// capturing the decode accounting surfaced in `/v1/models`.
+fn load_with_stats(path: &Path) -> Result<(DeployBundle, DecodeStatsInfo), RegistryError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| RegistryError::LoadFailed(format!("{}: {e}", path.display())))?;
+    let (bundle, stats) = DeployBundle::from_reader_with_stats(std::io::BufReader::new(file))
+        .map_err(|e| RegistryError::LoadFailed(format!("{}: {e}", path.display())))?;
+    Ok((bundle, stats.into()))
 }
 
 #[cfg(test)]

@@ -26,14 +26,19 @@
 
 use crate::batcher::InferError;
 use crate::http::{self, HttpError, Request, Status};
-use crate::protocol::{ErrorResponse, HealthResponse, InferRequest, InferResponse, ModelsResponse};
+use crate::prometheus;
+use crate::protocol::{
+    ErrorResponse, HealthResponse, InferRequest, InferResponse, ModelProfileResponse,
+    ModelsResponse,
+};
 use crate::registry::{ModelRegistry, RegistryError};
 use serde::Serialize;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+use wp_engine::trace;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -248,7 +253,12 @@ fn serve_connection(
             Err(HttpError::Malformed(m)) => {
                 metrics.http_requests.fetch_add(1, Ordering::Relaxed);
                 metrics.responses_client_error.fetch_add(1, Ordering::Relaxed);
-                respond(&mut writer, Status::BAD_REQUEST, &ErrorResponse { error: m }, false)?;
+                respond(
+                    &mut writer,
+                    Status::BAD_REQUEST,
+                    &ErrorResponse { error: m, request_id: None },
+                    false,
+                )?;
                 return Ok(());
             }
             Err(HttpError::TooLarge(m)) => {
@@ -257,7 +267,7 @@ fn serve_connection(
                 respond(
                     &mut writer,
                     Status::PAYLOAD_TOO_LARGE,
-                    &ErrorResponse { error: m },
+                    &ErrorResponse { error: m, request_id: None },
                     false,
                 )?;
                 return Ok(());
@@ -266,19 +276,46 @@ fn serve_connection(
         metrics.http_requests.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         let keep_alive = request.keep_alive() && !shutdown.load(Ordering::SeqCst);
-        let (status, body) = route(&request, registry, shutdown, config);
-        let class = match status.0 {
+        let rid = request_id(&request);
+        let reply = route(&request, registry, shutdown, config, &rid);
+        let class = match reply.status.0 {
             200..=299 => &metrics.responses_ok,
             400..=499 => &metrics.responses_client_error,
             _ => &metrics.responses_server_error,
         };
         class.fetch_add(1, Ordering::Relaxed);
-        metrics.request_latency.record(started.elapsed());
-        http::write_json_response(&mut writer, status, &body, keep_alive)?;
+        metrics.request_latency.record_micros(started.elapsed());
+        http::write_response(
+            &mut writer,
+            reply.status,
+            reply.content_type,
+            &[("X-Request-Id", &rid)],
+            &reply.body,
+            keep_alive,
+        )?;
         if !keep_alive {
             return Ok(());
         }
     }
+}
+
+/// Ticks the fallback request-id generator.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The request's trace id: the caller's `X-Request-Id` when present and
+/// clean (printable ASCII, bounded length), else a generated `req-N`.
+/// The id is echoed as a response header, stamped into error bodies, and
+/// hashed ([`trace::span_id_from`]) onto the batcher's queue-wait spans.
+fn request_id(request: &Request) -> String {
+    if let Some(id) = request.header("x-request-id") {
+        let clean = id.len() <= 128
+            && !id.is_empty()
+            && id.chars().all(|c| c.is_ascii_graphic() && c != '"' && c != '\\');
+        if clean {
+            return id.to_string();
+        }
+    }
+    format!("req-{}", NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed))
 }
 
 /// Serializes and writes an early (pre-routing) error response.
@@ -292,121 +329,233 @@ fn respond<T: Serialize>(
     http::write_json_response(writer, status, &body, keep_alive)
 }
 
-/// Routes one parsed request to its endpoint, returning status and JSON
-/// body.
+/// One routed response: status, content type, rendered body.
+struct Reply {
+    status: Status,
+    content_type: &'static str,
+    body: String,
+}
+
+/// Routes one parsed request to its endpoint.
 fn route(
     request: &Request,
     registry: &ModelRegistry,
     shutdown: &AtomicBool,
     config: &ServerConfig,
-) -> (Status, String) {
-    match (request.method.as_str(), request.path.as_str()) {
+    rid: &str,
+) -> Reply {
+    let (path, query) = match request.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (request.path.as_str(), ""),
+    };
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
-            ok(&HealthResponse { status: "ok".into(), models: registry.names() })
+            ok(&HealthResponse { status: "ok".into(), models: registry.names() }, rid)
         }
         ("GET", "/metrics") => {
-            let mut snap = registry.metrics().snapshot();
-            snap.model_backends =
-                registry.infos().into_iter().map(|m| (m.name, m.backend)).collect();
-            ok(&snap)
+            let snap = registry.metrics_snapshot();
+            if wants_prometheus(request, query) {
+                Reply {
+                    status: Status::OK,
+                    content_type: prometheus::CONTENT_TYPE,
+                    body: prometheus::render(&snap),
+                }
+            } else {
+                ok(&snap, rid)
+            }
         }
-        ("GET", "/v1/models") => ok(&ModelsResponse { models: registry.infos() }),
-        ("POST", "/v1/infer") => infer(request, registry),
+        ("GET", "/v1/models") => ok(&ModelsResponse { models: registry.infos() }, rid),
+        ("GET", path) => {
+            if let Some(name) =
+                path.strip_prefix("/v1/models/").and_then(|rest| rest.strip_suffix("/profile"))
+            {
+                return profile(name, registry, rid);
+            }
+            if let Some(name) =
+                path.strip_prefix("/v1/models/").and_then(|rest| rest.strip_suffix("/trace"))
+            {
+                return export_trace(name, registry, rid);
+            }
+            error(Status::NOT_FOUND, &format!("no route for GET {path}"), rid)
+        }
+        ("POST", "/v1/infer") => infer(request, registry, rid),
         ("POST", path) => {
             if let Some(name) =
                 path.strip_prefix("/v1/models/").and_then(|rest| rest.strip_suffix("/reload"))
             {
-                return reload(name, registry);
+                return reload(name, registry, rid);
+            }
+            if let Some(name) = path
+                .strip_prefix("/v1/models/")
+                .and_then(|rest| rest.strip_suffix("/profile/reset"))
+            {
+                return reset_profile(name, registry, rid);
             }
             if path == "/v1/shutdown" {
                 if !config.allow_remote_shutdown {
                     return error(
                         Status::FORBIDDEN,
                         "shutdown endpoint disabled; start the server with it enabled to use it",
+                        rid,
                     );
                 }
                 shutdown.store(true, Ordering::SeqCst);
-                return ok(&HealthResponse { status: "shutting down".into(), models: vec![] });
+                return ok(&HealthResponse { status: "shutting down".into(), models: vec![] }, rid);
             }
-            error(Status::NOT_FOUND, &format!("no route for POST {path}"))
+            error(Status::NOT_FOUND, &format!("no route for POST {path}"), rid)
         }
-        (method, path) => error(Status::NOT_FOUND, &format!("no route for {method} {path}")),
+        (method, path) => error(Status::NOT_FOUND, &format!("no route for {method} {path}"), rid),
     }
 }
 
+/// Whether `GET /metrics` should render the Prometheus text exposition
+/// instead of JSON: `?format=prometheus`, or an `Accept` header asking
+/// for `text/plain` (what a Prometheus scraper sends).
+fn wants_prometheus(request: &Request, query: &str) -> bool {
+    if query.split('&').any(|kv| kv == "format=prometheus") {
+        return true;
+    }
+    request.header("accept").is_some_and(|a| a.to_ascii_lowercase().contains("text/plain"))
+}
+
 /// `POST /v1/infer`: decode, submit every plane, await them all.
-fn infer(request: &Request, registry: &ModelRegistry) -> (Status, String) {
+fn infer(request: &Request, registry: &ModelRegistry, rid: &str) -> Reply {
     let body = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
-        Err(_) => return error(Status::BAD_REQUEST, "body is not UTF-8"),
+        Err(_) => return error(Status::BAD_REQUEST, "body is not UTF-8", rid),
     };
     let req: InferRequest = match serde_json::from_str(body) {
         Ok(r) => r,
-        Err(e) => return error(Status::BAD_REQUEST, &format!("bad request body: {e}")),
+        Err(e) => return error(Status::BAD_REQUEST, &format!("bad request body: {e}"), rid),
     };
     if req.inputs.is_empty() {
-        return error(Status::BAD_REQUEST, "inputs must not be empty");
+        return error(Status::BAD_REQUEST, "inputs must not be empty", rid);
     }
     let entry = match registry.resolve(req.model.as_deref()) {
         Ok(e) => e,
-        Err(e) => return registry_error(&e),
+        Err(e) => return registry_error(&e, rid),
     };
     // Two-phase so one request's planes can share a batch: enqueue all,
-    // then wait for all.
+    // then wait for all. The span id ties this request's queue-wait
+    // spans back to its X-Request-Id.
+    let span_id = trace::span_id_from(rid);
+    let submitted = Instant::now();
     let mut tickets = Vec::with_capacity(req.inputs.len());
     for input in req.inputs {
-        match entry.batcher().submit(input) {
+        match entry.batcher().submit_traced(input, span_id) {
             Ok(t) => tickets.push(t),
-            Err(e) => return infer_error(&e),
+            Err(e) => return infer_error(&e, rid),
         }
     }
     let mut outputs = Vec::with_capacity(tickets.len());
     for ticket in tickets {
         match ticket.wait() {
             Ok(out) => outputs.push(out),
-            Err(e) => return infer_error(&e),
+            Err(e) => return infer_error(&e, rid),
         }
     }
-    ok(&InferResponse { model: entry.name().to_string(), outputs })
+    entry.metrics().request_latency.record_micros(submitted.elapsed());
+    ok(&InferResponse { model: entry.name().to_string(), outputs }, rid)
 }
 
 /// `POST /v1/models/{name}/reload`.
-fn reload(name: &str, registry: &ModelRegistry) -> (Status, String) {
+fn reload(name: &str, registry: &ModelRegistry, rid: &str) -> Reply {
     match registry.reload(name) {
         Ok(()) => match registry.get(name) {
-            Ok(entry) => ok(&entry.info()),
-            Err(e) => registry_error(&e),
+            Ok(entry) => ok(&entry.info(), rid),
+            Err(e) => registry_error(&e, rid),
         },
-        Err(e) => registry_error(&e),
+        Err(e) => registry_error(&e, rid),
     }
 }
 
-fn ok<T: Serialize>(body: &T) -> (Status, String) {
+/// `GET /v1/models/{name}/profile`: the deployed plan's per-layer
+/// latency profile.
+fn profile(name: &str, registry: &ModelRegistry, rid: &str) -> Reply {
+    match registry.get(name) {
+        Ok(entry) => ok(
+            &ModelProfileResponse {
+                model: entry.name().to_string(),
+                backend: entry.net().backend_kind().name().to_string(),
+                profile: entry.profile_snapshot(),
+            },
+            rid,
+        ),
+        Err(e) => registry_error(&e, rid),
+    }
+}
+
+/// `POST /v1/models/{name}/profile/reset`: zero the per-layer counters
+/// and return the freshly zeroed profile.
+fn reset_profile(name: &str, registry: &ModelRegistry, rid: &str) -> Reply {
+    match registry.get(name) {
+        Ok(entry) => {
+            entry.reset_profile();
+            ok(
+                &ModelProfileResponse {
+                    model: entry.name().to_string(),
+                    backend: entry.net().backend_kind().name().to_string(),
+                    profile: entry.profile_snapshot(),
+                },
+                rid,
+            )
+        }
+        Err(e) => registry_error(&e, rid),
+    }
+}
+
+/// `GET /v1/models/{name}/trace`: the model's trace ring as Chrome
+/// `trace_event` JSON (load into `chrome://tracing` or Perfetto).
+fn export_trace(name: &str, registry: &ModelRegistry, rid: &str) -> Reply {
+    let entry = match registry.get(name) {
+        Ok(e) => e,
+        Err(e) => return registry_error(&e, rid),
+    };
+    let Some(buffer) = entry.trace() else {
+        return error(
+            Status::CONFLICT,
+            "event tracing is disabled; restart the server with a trace buffer (--trace-events)",
+            rid,
+        );
+    };
+    let net = entry.net();
+    let events = buffer.snapshot();
+    Reply {
+        status: Status::OK,
+        content_type: "application/json",
+        body: wp_engine::chrome_trace_json(&events, &net.layer_kinds(), entry.name()),
+    }
+}
+
+fn ok<T: Serialize>(body: &T, rid: &str) -> Reply {
     match serde_json::to_string(body) {
-        Ok(s) => (Status::OK, s),
-        Err(e) => error(Status::INTERNAL, &format!("serialization failed: {e}")),
+        Ok(s) => Reply { status: Status::OK, content_type: "application/json", body: s },
+        Err(e) => error(Status::INTERNAL, &format!("serialization failed: {e}"), rid),
     }
 }
 
-fn error(status: Status, message: &str) -> (Status, String) {
-    let body = serde_json::to_string(&ErrorResponse { error: message.to_string() })
-        .unwrap_or_else(|_| "{\"error\":\"error\"}".into());
-    (status, body)
+fn error(status: Status, message: &str, rid: &str) -> Reply {
+    let body = serde_json::to_string(&ErrorResponse {
+        error: message.to_string(),
+        request_id: Some(rid.to_string()),
+    })
+    .unwrap_or_else(|_| "{\"error\":\"error\"}".into());
+    Reply { status, content_type: "application/json", body }
 }
 
-fn registry_error(e: &RegistryError) -> (Status, String) {
+fn registry_error(e: &RegistryError, rid: &str) -> Reply {
     let status = match e {
         RegistryError::UnknownModel(_) => Status::NOT_FOUND,
         RegistryError::NotFileBacked(_) => Status::CONFLICT,
         RegistryError::LoadFailed(_) => Status::INTERNAL,
     };
-    error(status, &e.to_string())
+    error(status, &e.to_string(), rid)
 }
 
-fn infer_error(e: &InferError) -> (Status, String) {
+fn infer_error(e: &InferError, rid: &str) -> Reply {
     let status = match e {
         InferError::BadInput(_) => Status::BAD_REQUEST,
         InferError::Overloaded | InferError::ShuttingDown => Status::UNAVAILABLE,
     };
-    error(status, &e.to_string())
+    error(status, &e.to_string(), rid)
 }

@@ -28,13 +28,26 @@ impl Client {
 
     /// Sends one request, returns `(status, body)`.
     fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+        let (status, _, body) = self.request_full(method, path, &[], body);
+        (status, body)
+    }
+
+    /// Sends one request with extra headers, returns
+    /// `(status, response headers, body)`.
+    fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> (u16, Vec<(String, String)>, String) {
         let body = body.unwrap_or("");
-        write!(
-            self.stream.get_mut(),
-            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len()
-        )
-        .expect("write request");
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+        for (k, v) in extra_headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        write!(self.stream.get_mut(), "{head}{body}").expect("write request");
         self.stream.get_mut().flush().unwrap();
 
         let mut line = String::new();
@@ -44,6 +57,7 @@ impl Client {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| panic!("bad status line {line:?}"));
+        let mut headers = Vec::new();
         let mut content_length = 0usize;
         loop {
             let mut header = String::new();
@@ -56,11 +70,12 @@ impl Client {
                 if k.eq_ignore_ascii_case("content-length") {
                     content_length = v.trim().parse().expect("content-length");
                 }
+                headers.push((k.trim().to_string(), v.trim().to_string()));
             }
         }
         let mut body = vec![0u8; content_length];
         self.stream.read_exact(&mut body).expect("body");
-        (status, String::from_utf8(body).expect("utf-8 body"))
+        (status, headers, String::from_utf8(body).expect("utf-8 body"))
     }
 }
 
@@ -136,9 +151,14 @@ fn infer_is_bit_identical_to_direct_execution_under_concurrency() {
 
     // The micro-batcher must actually have coalesced something: with 16
     // concurrent connections and max_batch 8, fewer batches than planes.
-    let snap = handle.registry().metrics().snapshot();
+    let snap = handle.registry().metrics_snapshot();
     assert_eq!(snap.inferences, 32);
     assert!(snap.batches <= snap.inferences, "{snap:?}");
+    // The totals are assembled from the per-model rows.
+    assert_eq!(snap.models.len(), 1);
+    assert_eq!(snap.models[0].name, "demo");
+    assert_eq!(snap.models[0].inferences, 32);
+    assert_eq!(snap.models[0].request_latency.count, 32, "per-model request latency recorded");
     handle.shutdown();
 }
 
@@ -275,11 +295,17 @@ fn file_backed_reload_over_http() {
     let (status, before) = client.request("POST", "/v1/infer", Some(&req));
     assert_eq!(status, 200);
 
+    // File-backed models surface their bundle decode accounting.
+    let (status, body) = client.request("GET", "/v1/models", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"decode\":{\"sections\":"), "decode stats missing: {body}");
+
     // Swap the file, reload over HTTP, observe different outputs.
     demo_deployment(DemoSize::Tiny, 22).0.save(&path).unwrap();
     let (status, body) = client.request("POST", "/v1/models/m/reload", None);
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"reloads\":1"), "{body}");
+    assert!(body.contains("\"total_bytes\":"), "reload refreshes decode stats: {body}");
     let (status, after) = client.request("POST", "/v1/infer", Some(&req));
     assert_eq!(status, 200);
     assert_ne!(before, after, "hot swap must change responses");
@@ -418,6 +444,136 @@ fn malformed_requests_get_4xx_not_hangs() {
     let mut client = Client::connect(&handle);
     let (status, _) = client.request("GET", "/healthz", None);
     assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+/// The whole observability surface over real sockets: request-id echo,
+/// Prometheus and JSON metrics views, per-layer profile + reset, and the
+/// Chrome trace export carrying this request's span id.
+#[test]
+fn observability_endpoints_end_to_end() {
+    use wp_server::protocol::ModelProfileResponse;
+
+    let batcher = BatcherConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(2),
+        ..BatcherConfig::default()
+    };
+    let registry =
+        Arc::new(ModelRegistry::new(batcher, Arc::new(Metrics::new())).with_trace_capacity(4096));
+    let (bundle, opts) = demo_deployment(DemoSize::Tiny, 3);
+    registry.insert_bundle("demo", &bundle, opts);
+    let mut handle = serve(ServerConfig::default(), registry).expect("bind");
+    let net = handle.registry().get("demo").unwrap().net();
+    let inputs = net.fabricate_inputs(6, 77);
+    let mut client = Client::connect(&handle);
+
+    // Infer with a caller-chosen request id: it must be echoed back.
+    let req = serde_json::to_string(&InferRequest { model: None, inputs: inputs.clone() }).unwrap();
+    let (status, headers, _) =
+        client.request_full("POST", "/v1/infer", &[("X-Request-Id", "trace-me-42")], Some(&req));
+    assert_eq!(status, 200);
+    let echoed = headers.iter().find(|(k, _)| k.eq_ignore_ascii_case("x-request-id"));
+    assert_eq!(echoed.map(|(_, v)| v.as_str()), Some("trace-me-42"));
+
+    // Without a caller id the server generates one and still echoes it.
+    let (_, headers, _) = client.request_full("GET", "/healthz", &[], None);
+    let generated = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("x-request-id"))
+        .map(|(_, v)| v.clone())
+        .expect("generated request id");
+    assert!(generated.starts_with("req-"), "{generated}");
+
+    // JSON metrics: per-model rows carry the inference counts.
+    let (status, body) = client.request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let snap: MetricsSnapshot = serde_json::from_str(&body).expect("metrics json");
+    assert_eq!(snap.models.len(), 1);
+    assert_eq!(snap.models[0].inferences, 6);
+    assert_eq!(snap.inferences, 6, "global total is the per-model sum");
+
+    // Prometheus via query param and via Accept header.
+    let (status, headers, text) =
+        client.request_full("GET", "/metrics?format=prometheus", &[], None);
+    assert_eq!(status, 200);
+    let ct = headers.iter().find(|(k, _)| k.eq_ignore_ascii_case("content-type")).unwrap();
+    assert!(ct.1.starts_with("text/plain"), "{ct:?}");
+    assert!(text.contains("wp_model_inferences_total{model=\"demo\"} 6\n"), "{text}");
+    assert!(text.contains("wp_model_queue_seconds_bucket{model=\"demo\",le=\"+Inf\"} 6"), "{text}");
+    let (_, _, via_accept) =
+        client.request_full("GET", "/metrics", &[("Accept", "text/plain")], None);
+    assert!(via_accept.contains("wp_http_requests_total"), "{via_accept}");
+
+    // Per-layer profile: layers record once per engine run (a batch
+    // chunk is one run), so every layer's count equals the run count.
+    let (status, body) = client.request("GET", "/v1/models/demo/profile", None);
+    assert_eq!(status, 200, "{body}");
+    let prof: ModelProfileResponse = serde_json::from_str(&body).expect("profile json");
+    assert_eq!(prof.model, "demo");
+    assert!(!prof.profile.layers.is_empty());
+    assert!(prof.profile.runs > 0, "{body}");
+    for layer in &prof.profile.layers {
+        assert_eq!(layer.latency.count, prof.profile.runs, "layer {} miscounted", layer.index);
+    }
+    let share_sum: f64 = prof.profile.layers.iter().map(|l| l.share).sum();
+    assert!(share_sum > 0.4 && share_sum <= 1.0 + 1e-9, "share sum {share_sum}");
+
+    // Chrome trace export: valid JSON, has layer spans, and the queue
+    // wait span carries our request id's hash.
+    let (status, body) = client.request("GET", "/v1/models/demo/trace", None);
+    assert_eq!(status, 200, "{body}");
+    let trace = serde_json::value_from_str(&body).expect("trace json");
+    fn field<'a>(v: &'a serde::Value, key: &str) -> Option<&'a serde::Value> {
+        v.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+    let events = match field(&trace, "traceEvents") {
+        Some(serde::Value::Array(events)) => events,
+        other => panic!("traceEvents array missing: {other:?}"),
+    };
+    let name_of = |e: &serde::Value| field(e, "name").and_then(|n| n.as_str()).map(str::to_string);
+    assert!(
+        events.iter().any(|e| name_of(e).is_some_and(|n| n.starts_with("L0 "))),
+        "per-layer span missing:\n{body}"
+    );
+    let expected_span = wp_engine::trace::span_id_from("trace-me-42");
+    let hex = format!("{expected_span:016x}");
+    assert!(
+        events.iter().any(|e| {
+            name_of(e).as_deref() == Some("queue-wait")
+                && field(e, "args").and_then(|a| field(a, "span_id")).and_then(|s| s.as_str())
+                    == Some(hex.as_str())
+        }),
+        "queue-wait span with id {hex} missing:\n{body}"
+    );
+
+    // Reset zeroes the profile.
+    let (status, body) = client.request("POST", "/v1/models/demo/profile/reset", None);
+    assert_eq!(status, 200, "{body}");
+    let prof: ModelProfileResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(prof.profile.runs, 0);
+    assert!(prof.profile.layers.iter().all(|l| l.latency.count == 0));
+
+    // Errors carry the request id in the body.
+    let (status, _, body) =
+        client.request_full("GET", "/v1/models/ghost/profile", &[("X-Request-Id", "oops-1")], None);
+    assert_eq!(status, 404);
+    assert!(body.contains("\"request_id\":\"oops-1\""), "{body}");
+
+    handle.shutdown();
+}
+
+/// With tracing off (the default), the trace endpoint refuses with 409
+/// while the always-on profile keeps working.
+#[test]
+fn trace_endpoint_requires_tracing_enabled() {
+    let mut handle = start_server(4);
+    let mut client = Client::connect(&handle);
+    let (status, body) = client.request("GET", "/v1/models/demo/trace", None);
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("tracing"), "{body}");
+    let (status, _) = client.request("GET", "/v1/models/demo/profile", None);
+    assert_eq!(status, 200, "profile is always on");
     handle.shutdown();
 }
 

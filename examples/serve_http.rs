@@ -109,10 +109,16 @@ fn main() {
         snap.inferences,
         snap.batches,
         snap.inferences as f64 / snap.batches.max(1) as f64,
-        snap.request_latency.p50_us,
-        snap.request_latency.p99_us
+        snap.request_latency.p50,
+        snap.request_latency.p99
     );
     println!("batch-size histogram: {:?}", snap.batch_size_hist);
+    for model in &snap.models {
+        println!(
+            "model {:?} ({}): {} inferences, queue p99 {} us",
+            model.name, model.backend, model.inferences, model.queue_latency.p99
+        );
+    }
 
     // --- Shut down cleanly -------------------------------------------------
     handle.shutdown();
