@@ -11,7 +11,11 @@
 //!    `scalar` / `swar` / `avx2` kernel tiers, outputs verified
 //!    bit-identical, with the ≥2x swar-over-scalar acceptance gate
 //!    (pooled-conv and batched tile sections) enforced at exit.
-//! 5. **Tracing overhead + profile**: the serving demo with and without
+//! 5. **Batched popcount vs int8 tiles**: both serving demos at
+//!    `act_bits` {1, 2, 3, 4}, the same tier with the bit-plane popcount
+//!    routing disabled vs enabled, outputs verified bit-identical, with
+//!    a ≥1.5x popcount-over-int8 gate on the best regime.
+//! 6. **Tracing overhead + profile**: the serving demo with and without
 //!    the engine's aggregate [`wp_engine::NetProfile`] attached — the
 //!    profile-off run must match the plain tier numbers — plus the
 //!    per-layer share breakdown (`--profile` prints the full table).
@@ -200,6 +204,66 @@ fn main() {
         sections.push((key, rates));
     }
 
+    // --- 5. Batched bit-plane popcount vs int8 tiles ----------------------
+    // At act_bits <= POPCOUNT_BATCH_MAX_BITS the direct-conv and dense
+    // kernels route batches through the 8-lane bit-plane popcount tiles:
+    // each packed weight-plane word is loaded once and AND+popcounted
+    // against all eight images' activation planes. The A/B compiles the
+    // same demo twice on the auto-resolved tier — popcount routing
+    // disabled (with_popcount_max_bits(0), the int8 batched tile path)
+    // vs enabled — with bit-identical outputs required, and the exit
+    // gate pins the popcount win at >=1.5x on at least one regime.
+    let mut popcount_rows: Vec<String> = Vec::new();
+    let mut popcount_best = 0.0f64;
+    for (label, key, size) in [
+        ("scatter-heavy serving demo", "serve", wp_server::demo::DemoSize::Serve),
+        ("stem-heavy serving demo", "stem", wp_server::demo::DemoSize::Stem),
+    ] {
+        let (bundle, opts) = wp_server::demo::demo_deployment(size, 1);
+        println!("== Batched popcount vs int8 tiles ({label}, batch {ab_batch}, 1 thread) ==");
+        let mut bits_rows: Vec<String> = Vec::new();
+        for bits in [1u8, 2, 3, 4] {
+            let tile_net = PreparedNet::from_bundle(
+                &bundle,
+                &opts.clone().with_act_bits(bits).with_popcount_max_bits(0),
+            );
+            let pop_net = PreparedNet::from_bundle(
+                &bundle,
+                &opts.clone().with_act_bits(bits).with_popcount_max_bits(bits),
+            );
+            let inputs = tile_net.fabricate_inputs(ab_batch, 5);
+            let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+            let expected = tile_net.run_batch(&refs);
+            assert_eq!(
+                pop_net.run_batch(&refs),
+                expected,
+                "popcount routing must be bit-identical at act_bits {bits}"
+            );
+            let mut tile = f64::INFINITY;
+            let mut pop = f64::INFINITY;
+            for _ in 0..reps.min(5) {
+                let t = Instant::now();
+                std::hint::black_box(tile_net.run_batch(&refs));
+                tile = tile.min(t.elapsed().as_secs_f64());
+                let t = Instant::now();
+                std::hint::black_box(pop_net.run_batch(&refs));
+                pop = pop.min(t.elapsed().as_secs_f64());
+            }
+            let tile_ips = ab_batch as f64 / tile;
+            let pop_ips = ab_batch as f64 / pop;
+            let ratio = tile / pop;
+            popcount_best = popcount_best.max(ratio);
+            println!(
+                "act_bits {bits}: int8 tile {tile_ips:>9.1} img/s  popcount {pop_ips:>9.1} img/s  ({ratio:.2}x, outputs identical)"
+            );
+            bits_rows.push(format!(
+                "\"{bits}\":{{\"int8_tile\":{tile_ips:.1},\"popcount\":{pop_ips:.1},\"ratio\":{ratio:.2}}}"
+            ));
+        }
+        println!();
+        popcount_rows.push(format!("\"{key}\":{{{}}}", bits_rows.join(",")));
+    }
+
     // --- 5. Tracing overhead + per-layer profile --------------------------
     // The observability gate: the aggregate profile is a handful of
     // relaxed atomic adds per layer span when attached and a single
@@ -292,11 +356,13 @@ fn main() {
             .collect();
         let report = format!(
             "{{\"bench\":\"engine_backends\",{},\
+             \"popcount_batched\":{{\"batch\":{ab_batch},\"best_ratio\":{popcount_best:.2},\"regimes\":{{{}}}}},\
              \"trace_overhead\":{{\"batch\":{ab_batch},\"backend\":\"{tier}\",\
              \"images_per_sec\":{{\"disabled\":{disabled_ips:.1},\"profiled\":{profiled_ips:.1}}},\
              \"disabled_vs_baseline_pct\":{vs_baseline_pct:.2},\"profiled_overhead_pct\":{overhead_pct:.2}}},\
              \"profile\":{{\"model\":\"demo-serve\",\"share_sum\":{share_sum:.4},\"layers\":[{}]}}}}\n",
             body.join(","),
+            popcount_rows.join(","),
             layer_rows.join(",")
         );
         std::fs::write(path, &report).expect("write bench JSON");
@@ -313,4 +379,10 @@ fn main() {
             "swar backend only {ratio:.2}x over scalar on the {key} section (gate: >=2x)"
         );
     }
+    // And the batched popcount tiles must beat the int8 tiles by >=1.5x
+    // at low act_bits on at least one serving regime.
+    assert!(
+        popcount_best >= 1.5,
+        "batched popcount only {popcount_best:.2}x over int8 tiles at best (gate: >=1.5x)"
+    );
 }

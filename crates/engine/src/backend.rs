@@ -14,6 +14,8 @@
 //! the parity tests in `tests/parity.rs`.
 
 use crate::options::{BackendKind, ResolvedBackend};
+use crate::scratch::Scratch;
+use crate::swar::resolve_popcount_max_bits;
 use wp_core::reference::{ActEncoding, PooledConvShape};
 use wp_core::LookupTable;
 use wp_kernels::OutputQuant;
@@ -100,11 +102,17 @@ impl LutCache {
 pub struct PreparedIndices {
     k_count: usize,
     idx_stride: usize,
+    /// `[g][r][s][k]` order: the **solo** scatter iterates taps outermost
+    /// and reads one tap's indices for every filter as a contiguous run.
     tap_major: Vec<u8>,
-    /// The canonical `[k][g][r][s]` order, kept alongside the transpose:
-    /// the batched scatter iterates filters outermost (accumulator row in
-    /// registers) and walks each filter's taps contiguously in this
-    /// layout.
+    /// The canonical `[k][g][r][s]` order, kept alongside the transpose —
+    /// both layouts are load-bearing: the **batched** scatter iterates
+    /// filters outermost (so each filter's accumulator row stays in
+    /// registers across all of its taps) and walks that filter's taps
+    /// contiguously in this layout, while the solo scatter streams
+    /// `tap_major`. Dropping either would force one path through a
+    /// strided walk of the other's layout; the duplicate costs one byte
+    /// per index, paid once at prepare time.
     canonical: Vec<u8>,
 }
 
@@ -125,6 +133,13 @@ pub struct NativeBackend {
     /// bit-plane popcount kernels and the batched tile kernels. Every
     /// tier computes identical integers.
     simd: ResolvedBackend,
+    /// Largest activation bitwidth routed through the bit-plane popcount
+    /// kernels (solo direct/dense; the batched path further caps at
+    /// [`crate::swar::POPCOUNT_BATCH_MAX_BITS`]). Resolved at build time
+    /// from the explicit engine option or `WP_POPCOUNT_MAX_BITS`; `0`
+    /// disables the popcount path. Routing only — every path computes
+    /// identical integers.
+    popcount_max_bits: u8,
 }
 
 impl NativeBackend {
@@ -188,12 +203,38 @@ impl NativeBackend {
         for (j, w) in bit_weights.iter_mut().enumerate().take(act_bits as usize) {
             *w = encoding.bit_weight(j as u8, act_bits) as i32;
         }
-        Self { lut, act_bits, encoding, bit_weights, simd: backend.resolve() }
+        Self {
+            lut,
+            act_bits,
+            encoding,
+            bit_weights,
+            simd: backend.resolve(),
+            popcount_max_bits: resolve_popcount_max_bits(None),
+        }
     }
 
     /// The resolved kernel tier this backend executes with.
     pub fn simd(&self) -> ResolvedBackend {
         self.simd
+    }
+
+    /// The popcount routing threshold this backend executes with (see
+    /// [`crate::swar::resolve_popcount_max_bits`]).
+    pub fn popcount_max_bits(&self) -> u8 {
+        self.popcount_max_bits
+    }
+
+    /// Overrides the popcount routing threshold: act_bits up to `bits`
+    /// route direct/dense work through the bit-plane kernels, `0`
+    /// disables them entirely. Routing only — outputs are identical at
+    /// any setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 8`.
+    pub fn with_popcount_limit(mut self, bits: u8) -> Self {
+        self.popcount_max_bits = resolve_popcount_max_bits(Some(bits));
+        self
     }
 
     /// Activation bitwidth `M`.
@@ -363,6 +404,20 @@ impl NativeBackend {
         shape: &PooledConvShape,
         prep: &PreparedIndices,
     ) -> Vec<i32> {
+        self.conv_pooled_prepared_scratch(codes, shape, prep, &mut Scratch::new())
+    }
+
+    /// [`NativeBackend::conv_pooled_prepared`] drawing its working set
+    /// (partial table, accumulator row, output buffer) from a scratch
+    /// arena — the allocation-free form the prepared-plan executor calls.
+    /// The returned buffer comes from the arena.
+    pub(crate) fn conv_pooled_prepared_scratch(
+        &self,
+        codes: &[i32],
+        shape: &PooledConvShape,
+        prep: &PreparedIndices,
+        scratch: &mut Scratch,
+    ) -> Vec<i32> {
         let groups = self.check_pooled_args(codes, shape, prep);
 
         let geo = shape.geometry();
@@ -372,15 +427,15 @@ impl NativeBackend {
         let s_count = self.lut.pool_size;
         let kernel = shape.kernel;
 
-        let mut partials = vec![0i32; groups * in_h * in_w * s_count];
+        let mut partials = scratch.take_i32(groups * in_h * in_w * s_count);
         self.fill_partials(codes, shape, &mut partials);
 
         // Phase 2 — scatter: each output pixel sums its taps' precomputed
         // partials, selected per filter by the index map. Padding taps
         // contribute pattern 0 whose LUT entry is exactly 0, so skipping
         // them is bit-exact.
-        let mut out = vec![0i32; k_count * oh * ow];
-        let mut acc = vec![0i64; k_count];
+        let mut out = scratch.take_i32(k_count * oh * ow);
+        let mut acc = scratch.take_i64(k_count);
         for oy in 0..oh {
             for ox in 0..ow {
                 acc.fill(0);
@@ -405,6 +460,8 @@ impl NativeBackend {
                 }
             }
         }
+        scratch.put_i32(partials);
+        scratch.put_i64(acc);
         out
     }
 
@@ -427,13 +484,22 @@ impl NativeBackend {
     ///
     /// Panics on any per-image shape mismatch or out-of-range code, exactly
     /// as the solo path does.
-    pub fn conv_pooled_prepared_batch(
+    pub fn conv_pooled_prepared_batch<S: AsRef<[i32]>>(
         &self,
-        batch: &[&[i32]],
+        batch: &[S],
         shape: &PooledConvShape,
         prep: &PreparedIndices,
     ) -> Vec<Vec<i32>> {
-        self.conv_pooled_prepared_batch_with(batch, shape, prep, &RawOut)
+        let mut outs = Vec::with_capacity(batch.len());
+        self.conv_pooled_prepared_batch_core(
+            batch,
+            shape,
+            prep,
+            &RawOut,
+            &mut Scratch::new(),
+            &mut outs,
+        );
+        outs
     }
 
     /// [`NativeBackend::conv_pooled_prepared_batch`] with the bias +
@@ -456,39 +522,55 @@ impl NativeBackend {
         bias: &[i32],
         oq: &OutputQuant,
     ) -> Vec<Vec<i32>> {
-        self.conv_pooled_prepared_batch_with(batch, shape, prep, &FusedOut { bias, oq })
+        let mut outs = Vec::with_capacity(batch.len());
+        self.conv_pooled_prepared_batch_core(
+            batch,
+            shape,
+            prep,
+            &FusedOut { bias, oq },
+            &mut Scratch::new(),
+            &mut outs,
+        );
+        outs
     }
 
-    fn conv_pooled_prepared_batch_with(
+    /// The batched pooled-conv engine: finished output planes (written
+    /// through `w_out`) are appended to `outs` from arena buffers, and
+    /// every intermediate (partial tables, batch-minor columns, tile
+    /// accumulators, tap lists) is drawn from `scratch` — zero heap
+    /// allocations once the arena is warm.
+    pub(crate) fn conv_pooled_prepared_batch_core<S: AsRef<[i32]>>(
         &self,
-        batch: &[&[i32]],
+        batch: &[S],
         shape: &PooledConvShape,
         prep: &PreparedIndices,
         w_out: &impl WriteOut,
-    ) -> Vec<Vec<i32>> {
+        scratch: &mut Scratch,
+        outs: &mut Vec<Vec<i32>>,
+    ) {
         let (in_h, in_w) = (shape.in_h, shape.in_w);
         let s_count = self.lut.pool_size;
         let kernel = shape.kernel;
         let geo = shape.geometry();
         let out_plane = geo.out_h() * geo.out_w();
 
-        let mut outs: Vec<Vec<i32>> = Vec::with_capacity(batch.len());
-        let mut scratch = Vec::new();
-        let mut columns = Vec::new();
         for tile in batch.chunks(Self::BATCH_TILE) {
             let b_count = tile.len();
             if b_count < Self::BATCH_TILE {
                 // Partial tail tile: the batch-minor layout only pays for
                 // itself at full width, so run the remainder solo (the
                 // outputs are identical either way).
-                outs.extend(tile.iter().map(|codes| {
-                    w_out.finish_solo(self.conv_pooled_prepared(codes, shape, prep), out_plane)
-                }));
+                for codes in tile {
+                    let mut acc =
+                        self.conv_pooled_prepared_scratch(codes.as_ref(), shape, prep, scratch);
+                    w_out.finish_solo_in_place(&mut acc, out_plane);
+                    outs.push(acc);
+                }
                 continue;
             }
             let mut groups = 0;
-            for &codes in tile {
-                groups = self.check_pooled_args(codes, shape, prep);
+            for codes in tile {
+                groups = self.check_pooled_args(codes.as_ref(), shape, prep);
             }
 
             // Phase 1 per image (activations differ, nothing to share),
@@ -496,12 +578,11 @@ impl NativeBackend {
             // vector `s` for image `b` at input position `pos` lives at
             // `(pos * s_count + s) * b_count + b`, so one `(pos, s)` pair's
             // values for the whole tile are contiguous.
-            // No zero-fill needed: the transpose below writes every slot.
-            scratch.resize(groups * in_h * in_w * s_count, 0);
-            columns.resize(groups * in_h * in_w * s_count * b_count, 0i32);
-            for (b, &codes) in tile.iter().enumerate() {
-                self.fill_partials(codes, shape, &mut scratch);
-                for (ps, &v) in scratch.iter().enumerate() {
+            let mut partials = scratch.take_i32(groups * in_h * in_w * s_count);
+            let mut columns = scratch.take_i32(groups * in_h * in_w * s_count * b_count);
+            for (b, codes) in tile.iter().enumerate() {
+                self.fill_partials(codes.as_ref(), shape, &mut partials);
+                for (ps, &v) in partials.iter().enumerate() {
                     columns[ps * b_count + b] = v;
                 }
             }
@@ -521,18 +602,38 @@ impl NativeBackend {
                 .checked_mul(act_max)
                 .and_then(|v| v.checked_mul(self.lut.max_abs_code))
                 .is_some_and(|v| v <= i32::MAX as i64);
-            let tile_outs = if fits_i32 {
+            let base = outs.len();
+            for _ in 0..Self::BATCH_TILE {
+                outs.push(scratch.take_i32(shape.out_ch * out_plane));
+            }
+            let mut taps = scratch.take_pairs();
+            if fits_i32 {
                 scatter_tile::<i32, { Self::BATCH_TILE }>(
-                    &columns, shape, prep, groups, s_count, w_out,
-                )
+                    &columns,
+                    shape,
+                    prep,
+                    groups,
+                    s_count,
+                    w_out,
+                    &mut taps,
+                    &mut outs[base..],
+                );
             } else {
                 scatter_tile::<i64, { Self::BATCH_TILE }>(
-                    &columns, shape, prep, groups, s_count, w_out,
-                )
-            };
-            outs.extend(tile_outs);
+                    &columns,
+                    shape,
+                    prep,
+                    groups,
+                    s_count,
+                    w_out,
+                    &mut taps,
+                    &mut outs[base..],
+                );
+            }
+            scratch.put_pairs(taps);
+            scratch.put_i32(partials);
+            scratch.put_i32(columns);
         }
-        outs
     }
 }
 
@@ -586,6 +687,7 @@ fn valid_taps(
 /// that `taps × max_activation × max_abs_code` fits in `i32`, in which
 /// case no intermediate sum can overflow and it matches the widened path
 /// exactly.
+#[allow(clippy::too_many_arguments)]
 fn scatter_tile<A: TileAcc, const B: usize>(
     columns: &[i32],
     shape: &PooledConvShape,
@@ -593,22 +695,23 @@ fn scatter_tile<A: TileAcc, const B: usize>(
     groups: usize,
     s_count: usize,
     w_out: &impl WriteOut,
-) -> Vec<Vec<i32>> {
+    taps: &mut Vec<(usize, usize)>,
+    tile_outs: &mut [Vec<i32>],
+) {
     let geo = shape.geometry();
     let (oh, ow) = (geo.out_h(), geo.out_w());
     let k_count = shape.out_ch;
     let (cols, rest) = columns.as_chunks::<B>();
     debug_assert!(rest.is_empty());
+    debug_assert_eq!(tile_outs.len(), B);
 
-    let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; k_count * oh * ow]).collect();
-    let mut taps = Vec::with_capacity(shape.kernel * shape.kernel * groups);
     for oy in 0..oh {
         for ox in 0..ow {
-            valid_taps(&geo, shape, groups, s_count, oy, ox, &mut taps);
+            valid_taps(&geo, shape, groups, s_count, oy, ox, taps);
             for k in 0..k_count {
                 let krow = &prep.canonical[k * prep.idx_stride..(k + 1) * prep.idx_stride];
                 let mut row = [A::default(); B];
-                for &(t, base) in &taps {
+                for &(t, base) in taps.iter() {
                     let col = &cols[base + krow[t] as usize];
                     for (a, &p) in row.iter_mut().zip(col) {
                         *a = a.add(p);
@@ -621,18 +724,52 @@ fn scatter_tile<A: TileAcc, const B: usize>(
             }
         }
     }
-    tile_outs
 }
 
-/// Native direct int8 convolution accumulators. The reference
-/// implementation is already a plain fast loop with no cycle charging, so
-/// this simply delegates to [`wp_core::reference::direct_conv_acc`].
+/// Native direct int8 convolution accumulators, loop-for-loop the
+/// arithmetic of [`wp_core::reference::direct_conv_acc`] (pinned by the
+/// parity suites).
 ///
 /// # Panics
 ///
 /// Panics on shape mismatches.
 pub fn conv_direct(codes: &[i32], shape: &PooledConvShape, weights: &[i8]) -> Vec<i32> {
-    wp_core::reference::direct_conv_acc(codes, shape, weights)
+    conv_direct_scratch(codes, shape, weights, &mut Scratch::new())
+}
+
+/// [`conv_direct`] writing into an arena buffer (returned to the caller).
+pub(crate) fn conv_direct_scratch(
+    codes: &[i32],
+    shape: &PooledConvShape,
+    weights: &[i8],
+    scratch: &mut Scratch,
+) -> Vec<i32> {
+    let (in_ch, in_h, in_w) = (shape.in_ch, shape.in_h, shape.in_w);
+    let k_sz = shape.kernel;
+    assert_eq!(codes.len(), in_ch * in_h * in_w, "activation size mismatch");
+    assert_eq!(weights.len(), shape.out_ch * in_ch * k_sz * k_sz, "weight size mismatch");
+    let geo = shape.geometry();
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    let mut out = scratch.take_i32(shape.out_ch * oh * ow);
+    for k in 0..shape.out_ch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i64;
+                for c in 0..in_ch {
+                    for ky in 0..k_sz {
+                        let Some(iy) = geo.input_row(oy, ky) else { continue };
+                        for kx in 0..k_sz {
+                            let Some(ix) = geo.input_col(ox, kx) else { continue };
+                            acc += codes[(c * in_h + iy) * in_w + ix] as i64
+                                * weights[((k * in_ch + c) * k_sz + ky) * k_sz + kx] as i64;
+                        }
+                    }
+                }
+                out[(k * oh + oy) * ow + ox] = i32::try_from(acc).expect("accumulator overflow");
+            }
+        }
+    }
+    out
 }
 
 /// Native depthwise int8 convolution: `[C, OH, OW]` accumulators from a
@@ -642,13 +779,23 @@ pub fn conv_direct(codes: &[i32], shape: &PooledConvShape, weights: &[i8]) -> Ve
 ///
 /// Panics on shape mismatches (`shape.out_ch` must equal `shape.in_ch`).
 pub fn dwconv_acc(codes: &[i32], shape: &PooledConvShape, weights: &[i8]) -> Vec<i32> {
+    dwconv_acc_scratch(codes, shape, weights, &mut Scratch::new())
+}
+
+/// [`dwconv_acc`] writing into an arena buffer (returned to the caller).
+pub(crate) fn dwconv_acc_scratch(
+    codes: &[i32],
+    shape: &PooledConvShape,
+    weights: &[i8],
+    scratch: &mut Scratch,
+) -> Vec<i32> {
     assert_eq!(shape.out_ch, shape.in_ch, "depthwise conv requires in_ch == out_ch");
     let (c, k_sz) = (shape.in_ch, shape.kernel);
     assert_eq!(codes.len(), c * shape.in_h * shape.in_w, "activation size mismatch");
     assert_eq!(weights.len(), c * k_sz * k_sz, "weight size mismatch");
     let geo = shape.geometry();
     let (oh, ow) = (geo.out_h(), geo.out_w());
-    let mut out = vec![0i32; c * oh * ow];
+    let mut out = scratch.take_i32(c * oh * ow);
     for ch in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -676,9 +823,19 @@ pub fn dwconv_acc(codes: &[i32], shape: &PooledConvShape, weights: &[i8]) -> Vec
 ///
 /// Panics on size mismatches.
 pub fn dense_acc(codes: &[i32], weights: &[i8], out_features: usize) -> Vec<i32> {
+    dense_acc_scratch(codes, weights, out_features, &mut Scratch::new())
+}
+
+/// [`dense_acc`] writing into an arena buffer (returned to the caller).
+pub(crate) fn dense_acc_scratch(
+    codes: &[i32],
+    weights: &[i8],
+    out_features: usize,
+    scratch: &mut Scratch,
+) -> Vec<i32> {
     let in_features = codes.len();
     assert_eq!(weights.len(), in_features * out_features, "weight size mismatch");
-    let mut out = vec![0i32; out_features];
+    let mut out = scratch.take_i32(out_features);
     for (o, slot) in out.iter_mut().enumerate() {
         let row = &weights[o * in_features..(o + 1) * in_features];
         let mut acc = 0i64;
@@ -700,6 +857,11 @@ trait TileAcc: Copy + Default {
     fn madd(self, w: i32, a: i32) -> Self;
     fn add(self, a: i32) -> Self;
     fn widen(self) -> i64;
+    /// Checks a zeroed accumulator buffer out of the arena (the blocked
+    /// dense kernel keeps a whole output block of accumulators live).
+    fn take_buf(scratch: &mut Scratch, len: usize) -> Vec<Self>;
+    /// Returns an accumulator buffer to the arena.
+    fn put_buf(scratch: &mut Scratch, buf: Vec<Self>);
 }
 
 impl TileAcc for i64 {
@@ -716,6 +878,14 @@ impl TileAcc for i64 {
     #[inline(always)]
     fn widen(self) -> i64 {
         self
+    }
+
+    fn take_buf(scratch: &mut Scratch, len: usize) -> Vec<Self> {
+        scratch.take_i64(len)
+    }
+
+    fn put_buf(scratch: &mut Scratch, buf: Vec<Self>) {
+        scratch.put_i64(buf);
     }
 }
 
@@ -734,6 +904,14 @@ impl TileAcc for i32 {
     fn widen(self) -> i64 {
         self as i64
     }
+
+    fn take_buf(scratch: &mut Scratch, len: usize) -> Vec<Self> {
+        scratch.take_i32(len)
+    }
+
+    fn put_buf(scratch: &mut Scratch, buf: Vec<Self>) {
+        scratch.put_i32(buf);
+    }
 }
 
 /// How a batched tile kernel writes a finished accumulator out: raw
@@ -748,17 +926,18 @@ impl TileAcc for i32 {
 /// bias add, second checked-narrow and requant sequence per element, so
 /// fusion cannot change (or silently skip) a single output or overflow
 /// check.
-trait WriteOut {
+pub(crate) trait WriteOut {
     /// Finishes one accumulator belonging to output channel `k`.
     fn emit(&self, k: usize, acc: i64) -> i32;
 
-    /// Finishes a whole raw solo-path accumulator plane (tail tiles run
-    /// through the solo kernels, which produce raw accumulators).
-    fn finish_solo(&self, acc: Vec<i32>, plane: usize) -> Vec<i32>;
+    /// Finishes a whole raw solo-path accumulator plane in place (tail
+    /// tiles run through the solo kernels, which produce raw
+    /// accumulators into arena buffers).
+    fn finish_solo_in_place(&self, acc: &mut [i32], plane: usize);
 }
 
 /// Raw accumulators out — the historical behavior.
-struct RawOut;
+pub(crate) struct RawOut;
 
 impl WriteOut for RawOut {
     #[inline(always)]
@@ -766,16 +945,14 @@ impl WriteOut for RawOut {
         i32::try_from(acc).expect("accumulator overflow")
     }
 
-    fn finish_solo(&self, acc: Vec<i32>, _plane: usize) -> Vec<i32> {
-        acc
-    }
+    fn finish_solo_in_place(&self, _acc: &mut [i32], _plane: usize) {}
 }
 
 /// Fused bias+requant write-out (see [`WriteOut`] for the exactness
 /// contract).
-struct FusedOut<'a> {
-    bias: &'a [i32],
-    oq: &'a OutputQuant,
+pub(crate) struct FusedOut<'a> {
+    pub(crate) bias: &'a [i32],
+    pub(crate) oq: &'a OutputQuant,
 }
 
 impl WriteOut for FusedOut<'_> {
@@ -787,23 +964,36 @@ impl WriteOut for FusedOut<'_> {
         )
     }
 
-    fn finish_solo(&self, acc: Vec<i32>, plane: usize) -> Vec<i32> {
-        self.oq.apply_plane(&acc, self.bias, plane)
+    fn finish_solo_in_place(&self, acc: &mut [i32], plane: usize) {
+        self.oq.apply_plane_in_place(acc, self.bias, plane);
     }
 }
 
 /// Transposes a full tile of `B` equally-sized activation planes into
 /// batch-minor columns: the value of image `b` at flat position `pos`
 /// lands at `pos * B + b`, so one position's values for the whole tile
-/// are contiguous (the layout every tile kernel sweeps).
-fn fill_columns<const B: usize>(tile: &[&[i32]], columns: &mut Vec<i32>) {
+/// are contiguous (the layout every tile kernel sweeps). `columns` must
+/// be pre-sized to `len * B` (every slot is written).
+fn fill_columns<S: AsRef<[i32]>, const B: usize>(tile: &[S], columns: &mut [i32]) {
     debug_assert_eq!(tile.len(), B);
-    let len = tile[0].len();
-    columns.clear();
-    columns.resize(len * B, 0);
-    for (b, &codes) in tile.iter().enumerate() {
-        for (pos, &v) in codes.iter().enumerate() {
+    debug_assert_eq!(columns.len(), tile[0].as_ref().len() * B);
+    for (b, codes) in tile.iter().enumerate() {
+        for (pos, &v) in codes.as_ref().iter().enumerate() {
             columns[pos * B + b] = v;
+        }
+    }
+}
+
+/// [`fill_columns`] at a run-time lane count (the blocked dense kernel
+/// spans every full tile of a batch at once, so its lane count is not a
+/// compile-time constant): image `b` at position `pos` lands at
+/// `pos * lanes + b`.
+fn fill_columns_dyn<S: AsRef<[i32]>>(tile: &[S], columns: &mut [i32]) {
+    let lanes = tile.len();
+    debug_assert_eq!(columns.len(), tile[0].as_ref().len() * lanes);
+    for (b, codes) in tile.iter().enumerate() {
+        for (pos, &v) in codes.as_ref().iter().enumerate() {
+            columns[pos * lanes + b] = v;
         }
     }
 }
@@ -814,8 +1004,9 @@ fn fill_columns<const B: usize>(tile: &[&[i32]], columns: &mut Vec<i32>) {
 /// path. Conservative by construction: it bounds with the tile's largest
 /// activation magnitude, so a `true` here means no intermediate partial
 /// sum can overflow in any accumulation order.
-fn tile_fits_i32(tile: &[&[i32]], terms: i64) -> bool {
-    let max_abs = tile.iter().flat_map(|c| c.iter()).map(|&v| (v as i64).abs()).max().unwrap_or(0);
+fn tile_fits_i32<S: AsRef<[i32]>>(tile: &[S], terms: i64) -> bool {
+    let max_abs =
+        tile.iter().flat_map(|c| c.as_ref().iter()).map(|&v| (v as i64).abs()).max().unwrap_or(0);
     terms
         .checked_mul(max_abs)
         .and_then(|v| v.checked_mul(128))
@@ -839,12 +1030,14 @@ fn tile_fits_i32(tile: &[&[i32]], terms: i64) -> bool {
 /// # Panics
 ///
 /// Panics on any per-image shape mismatch, exactly as the solo path does.
-pub fn conv_direct_batch(
-    batch: &[&[i32]],
+pub fn conv_direct_batch<S: AsRef<[i32]>>(
+    batch: &[S],
     shape: &PooledConvShape,
     weights: &[i8],
 ) -> Vec<Vec<i32>> {
-    conv_direct_batch_with(batch, shape, weights, &RawOut)
+    let mut outs = Vec::with_capacity(batch.len());
+    conv_direct_batch_core(batch, shape, weights, &RawOut, &mut Scratch::new(), &mut outs);
+    outs
 }
 
 /// [`conv_direct_batch`] with the bias+requant finish fused into the tile
@@ -862,31 +1055,44 @@ pub fn conv_direct_batch_fused(
     bias: &[i32],
     oq: &OutputQuant,
 ) -> Vec<Vec<i32>> {
-    conv_direct_batch_with(batch, shape, weights, &FusedOut { bias, oq })
+    let mut outs = Vec::with_capacity(batch.len());
+    conv_direct_batch_core(
+        batch,
+        shape,
+        weights,
+        &FusedOut { bias, oq },
+        &mut Scratch::new(),
+        &mut outs,
+    );
+    outs
 }
 
-fn conv_direct_batch_with(
-    batch: &[&[i32]],
+/// The batched direct-conv engine (see
+/// [`NativeBackend::conv_pooled_prepared_batch_core`] for the
+/// outs/scratch contract).
+pub(crate) fn conv_direct_batch_core<S: AsRef<[i32]>>(
+    batch: &[S],
     shape: &PooledConvShape,
     weights: &[i8],
     w_out: &impl WriteOut,
-) -> Vec<Vec<i32>> {
+    scratch: &mut Scratch,
+    outs: &mut Vec<Vec<i32>>,
+) {
     const B: usize = NativeBackend::BATCH_TILE;
     let geo = shape.geometry();
     let out_plane = geo.out_h() * geo.out_w();
-    let mut outs = Vec::with_capacity(batch.len());
-    let mut columns = Vec::new();
     for tile in batch.chunks(B) {
         if tile.len() < B {
-            outs.extend(
-                tile.iter()
-                    .map(|codes| w_out.finish_solo(conv_direct(codes, shape, weights), out_plane)),
-            );
+            for codes in tile {
+                let mut acc = conv_direct_scratch(codes.as_ref(), shape, weights, scratch);
+                w_out.finish_solo_in_place(&mut acc, out_plane);
+                outs.push(acc);
+            }
             continue;
         }
-        for &codes in tile {
+        for codes in tile {
             assert_eq!(
-                codes.len(),
+                codes.as_ref().len(),
                 shape.in_ch * shape.in_h * shape.in_w,
                 "activation size mismatch"
             );
@@ -896,15 +1102,22 @@ fn conv_direct_batch_with(
             shape.out_ch * shape.in_ch * shape.kernel * shape.kernel,
             "weight size mismatch"
         );
-        fill_columns::<B>(tile, &mut columns);
+        let mut columns = scratch.take_i32(tile[0].as_ref().len() * B);
+        fill_columns::<_, B>(tile, &mut columns);
+        let base = outs.len();
+        for _ in 0..B {
+            outs.push(scratch.take_i32(shape.out_ch * out_plane));
+        }
+        let mut taps = scratch.take_pairs();
         let terms = (shape.in_ch * shape.kernel * shape.kernel) as i64;
         if tile_fits_i32(tile, terms) {
-            outs.extend(direct_tile::<i32, B>(&columns, shape, weights, w_out));
+            direct_tile::<i32, B>(&columns, shape, weights, w_out, &mut taps, &mut outs[base..]);
         } else {
-            outs.extend(direct_tile::<i64, B>(&columns, shape, weights, w_out));
+            direct_tile::<i64, B>(&columns, shape, weights, w_out, &mut taps, &mut outs[base..]);
         }
+        scratch.put_pairs(taps);
+        scratch.put_i32(columns);
     }
-    outs
 }
 
 /// The in-bounds spatial taps of one output pixel as
@@ -939,24 +1152,25 @@ fn direct_tile<A: TileAcc, const B: usize>(
     shape: &PooledConvShape,
     weights: &[i8],
     w_out: &impl WriteOut,
-) -> Vec<Vec<i32>> {
+    taps: &mut Vec<(usize, usize)>,
+    tile_outs: &mut [Vec<i32>],
+) {
     let geo = shape.geometry();
     let (oh, ow) = (geo.out_h(), geo.out_w());
     let (k_sz, in_ch) = (shape.kernel, shape.in_ch);
     let plane = shape.in_h * shape.in_w;
     let (cols, rest) = columns.as_chunks::<B>();
     debug_assert!(rest.is_empty());
+    debug_assert_eq!(tile_outs.len(), B);
 
-    let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; shape.out_ch * oh * ow]).collect();
-    let mut taps = Vec::with_capacity(k_sz * k_sz);
     for oy in 0..oh {
         for ox in 0..ow {
-            valid_spatial_taps(&geo, k_sz, shape.in_w, oy, ox, &mut taps);
+            valid_spatial_taps(&geo, k_sz, shape.in_w, oy, ox, taps);
             for k in 0..shape.out_ch {
                 let mut row = [A::default(); B];
                 for c in 0..in_ch {
                     let wrow = &weights[(k * in_ch + c) * k_sz * k_sz..][..k_sz * k_sz];
-                    for &(t, sp) in &taps {
+                    for &(t, sp) in taps.iter() {
                         let w = wrow[t] as i32;
                         let col = &cols[c * plane + sp];
                         for (a, &p) in row.iter_mut().zip(col) {
@@ -971,7 +1185,6 @@ fn direct_tile<A: TileAcc, const B: usize>(
             }
         }
     }
-    tile_outs
 }
 
 /// Batched [`dwconv_acc`]: weight-stationary depthwise int8 convolution,
@@ -982,12 +1195,14 @@ fn direct_tile<A: TileAcc, const B: usize>(
 /// # Panics
 ///
 /// Panics on any per-image shape mismatch, exactly as the solo path does.
-pub fn dwconv_acc_batch(
-    batch: &[&[i32]],
+pub fn dwconv_acc_batch<S: AsRef<[i32]>>(
+    batch: &[S],
     shape: &PooledConvShape,
     weights: &[i8],
 ) -> Vec<Vec<i32>> {
-    dwconv_acc_batch_with(batch, shape, weights, &RawOut)
+    let mut outs = Vec::with_capacity(batch.len());
+    dwconv_acc_batch_core(batch, shape, weights, &RawOut, &mut Scratch::new(), &mut outs);
+    outs
 }
 
 /// [`dwconv_acc_batch`] with the bias+requant finish fused into the tile
@@ -1005,32 +1220,45 @@ pub fn dwconv_acc_batch_fused(
     bias: &[i32],
     oq: &OutputQuant,
 ) -> Vec<Vec<i32>> {
-    dwconv_acc_batch_with(batch, shape, weights, &FusedOut { bias, oq })
+    let mut outs = Vec::with_capacity(batch.len());
+    dwconv_acc_batch_core(
+        batch,
+        shape,
+        weights,
+        &FusedOut { bias, oq },
+        &mut Scratch::new(),
+        &mut outs,
+    );
+    outs
 }
 
-fn dwconv_acc_batch_with(
-    batch: &[&[i32]],
+/// The batched depthwise engine (see
+/// [`NativeBackend::conv_pooled_prepared_batch_core`] for the
+/// outs/scratch contract).
+pub(crate) fn dwconv_acc_batch_core<S: AsRef<[i32]>>(
+    batch: &[S],
     shape: &PooledConvShape,
     weights: &[i8],
     w_out: &impl WriteOut,
-) -> Vec<Vec<i32>> {
+    scratch: &mut Scratch,
+    outs: &mut Vec<Vec<i32>>,
+) {
     const B: usize = NativeBackend::BATCH_TILE;
     assert_eq!(shape.out_ch, shape.in_ch, "depthwise conv requires in_ch == out_ch");
     let geo = shape.geometry();
     let out_plane = geo.out_h() * geo.out_w();
-    let mut outs = Vec::with_capacity(batch.len());
-    let mut columns = Vec::new();
     for tile in batch.chunks(B) {
         if tile.len() < B {
-            outs.extend(
-                tile.iter()
-                    .map(|codes| w_out.finish_solo(dwconv_acc(codes, shape, weights), out_plane)),
-            );
+            for codes in tile {
+                let mut acc = dwconv_acc_scratch(codes.as_ref(), shape, weights, scratch);
+                w_out.finish_solo_in_place(&mut acc, out_plane);
+                outs.push(acc);
+            }
             continue;
         }
-        for &codes in tile {
+        for codes in tile {
             assert_eq!(
-                codes.len(),
+                codes.as_ref().len(),
                 shape.in_ch * shape.in_h * shape.in_w,
                 "activation size mismatch"
             );
@@ -1040,15 +1268,22 @@ fn dwconv_acc_batch_with(
             shape.in_ch * shape.kernel * shape.kernel,
             "weight size mismatch"
         );
-        fill_columns::<B>(tile, &mut columns);
+        let mut columns = scratch.take_i32(tile[0].as_ref().len() * B);
+        fill_columns::<_, B>(tile, &mut columns);
+        let base = outs.len();
+        for _ in 0..B {
+            outs.push(scratch.take_i32(shape.in_ch * out_plane));
+        }
+        let mut taps = scratch.take_pairs();
         let terms = (shape.kernel * shape.kernel) as i64;
         if tile_fits_i32(tile, terms) {
-            outs.extend(dw_tile::<i32, B>(&columns, shape, weights, w_out));
+            dw_tile::<i32, B>(&columns, shape, weights, w_out, &mut taps, &mut outs[base..]);
         } else {
-            outs.extend(dw_tile::<i64, B>(&columns, shape, weights, w_out));
+            dw_tile::<i64, B>(&columns, shape, weights, w_out, &mut taps, &mut outs[base..]);
         }
+        scratch.put_pairs(taps);
+        scratch.put_i32(columns);
     }
-    outs
 }
 
 /// The depthwise tile kernel at compile-time batch width `B` (one kernel
@@ -1059,23 +1294,24 @@ fn dw_tile<A: TileAcc, const B: usize>(
     shape: &PooledConvShape,
     weights: &[i8],
     w_out: &impl WriteOut,
-) -> Vec<Vec<i32>> {
+    taps: &mut Vec<(usize, usize)>,
+    tile_outs: &mut [Vec<i32>],
+) {
     let geo = shape.geometry();
     let (oh, ow) = (geo.out_h(), geo.out_w());
     let k_sz = shape.kernel;
     let plane = shape.in_h * shape.in_w;
     let (cols, rest) = columns.as_chunks::<B>();
     debug_assert!(rest.is_empty());
+    debug_assert_eq!(tile_outs.len(), B);
 
-    let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; shape.in_ch * oh * ow]).collect();
-    let mut taps = Vec::with_capacity(k_sz * k_sz);
     for oy in 0..oh {
         for ox in 0..ow {
-            valid_spatial_taps(&geo, k_sz, shape.in_w, oy, ox, &mut taps);
+            valid_spatial_taps(&geo, k_sz, shape.in_w, oy, ox, taps);
             for ch in 0..shape.in_ch {
                 let wrow = &weights[ch * k_sz * k_sz..][..k_sz * k_sz];
                 let mut row = [A::default(); B];
-                for &(t, sp) in &taps {
+                for &(t, sp) in taps.iter() {
                     let w = wrow[t] as i32;
                     let col = &cols[ch * plane + sp];
                     for (a, &p) in row.iter_mut().zip(col) {
@@ -1089,7 +1325,6 @@ fn dw_tile<A: TileAcc, const B: usize>(
             }
         }
     }
-    tile_outs
 }
 
 /// Batched [`dense_acc`]: weight-stationary dense matmul over a batch,
@@ -1102,8 +1337,14 @@ fn dw_tile<A: TileAcc, const B: usize>(
 /// # Panics
 ///
 /// Panics on any per-image size mismatch, exactly as the solo path does.
-pub fn dense_acc_batch(batch: &[&[i32]], weights: &[i8], out_features: usize) -> Vec<Vec<i32>> {
-    dense_acc_batch_with(batch, weights, out_features, &RawOut)
+pub fn dense_acc_batch<S: AsRef<[i32]>>(
+    batch: &[S],
+    weights: &[i8],
+    out_features: usize,
+) -> Vec<Vec<i32>> {
+    let mut outs = Vec::with_capacity(batch.len());
+    dense_acc_batch_core(batch, weights, out_features, &RawOut, &mut Scratch::new(), &mut outs);
+    outs
 }
 
 /// [`dense_acc_batch`] with the bias+requant finish fused into the tile
@@ -1121,39 +1362,136 @@ pub fn dense_acc_batch_fused(
     bias: &[i32],
     oq: &OutputQuant,
 ) -> Vec<Vec<i32>> {
-    dense_acc_batch_with(batch, weights, out_features, &FusedOut { bias, oq })
+    let mut outs = Vec::with_capacity(batch.len());
+    dense_acc_batch_core(
+        batch,
+        weights,
+        out_features,
+        &FusedOut { bias, oq },
+        &mut Scratch::new(),
+        &mut outs,
+    );
+    outs
 }
 
-fn dense_acc_batch_with(
-    batch: &[&[i32]],
+/// A dense head whose weight matrix is at least this many entries (16 K
+/// int8 weights = one typical L1's worth) routes batches through the
+/// blocked kernel: smaller heads fit in cache anyway, so re-streaming
+/// them per tile costs nothing and the plain tile kernel's simpler loop
+/// wins.
+const DENSE_BLOCK_MIN_WEIGHTS: usize = 16 * 1024;
+
+/// Output-feature block height of the blocked dense kernel.
+const DENSE_BLOCK_OUT: usize = 32;
+
+/// Input-feature block depth of the blocked dense kernel:
+/// `DENSE_BLOCK_OUT × DENSE_BLOCK_IN` int8 weights (8 KB) plus the
+/// activation column block stay cache-resident while each weight is
+/// applied to **every** lane of the batch.
+const DENSE_BLOCK_IN: usize = 256;
+
+/// The batched dense engine (see
+/// [`NativeBackend::conv_pooled_prepared_batch_core`] for the
+/// outs/scratch contract). Large heads re-stream their weight matrix
+/// once per [`NativeBackend::BATCH_TILE`]-wide tile in the plain tile
+/// kernel — for a 2-tile-or-larger batch on a matrix past
+/// [`DENSE_BLOCK_MIN_WEIGHTS`] the blocked kernel instead spans all full
+/// tiles at once, loading each weight block **once per batch**.
+pub(crate) fn dense_acc_batch_core<S: AsRef<[i32]>>(
+    batch: &[S],
     weights: &[i8],
     out_features: usize,
     w_out: &impl WriteOut,
-) -> Vec<Vec<i32>> {
+    scratch: &mut Scratch,
+    outs: &mut Vec<Vec<i32>>,
+) {
     const B: usize = NativeBackend::BATCH_TILE;
-    let mut outs = Vec::with_capacity(batch.len());
-    let mut columns = Vec::new();
-    for tile in batch.chunks(B) {
-        if tile.len() < B {
-            outs.extend(
-                tile.iter()
-                    .map(|codes| w_out.finish_solo(dense_acc(codes, weights, out_features), 1)),
-            );
-            continue;
-        }
-        let in_features = tile[0].len();
-        for &codes in tile {
-            assert_eq!(codes.len(), in_features, "activation size mismatch");
+    if batch.is_empty() {
+        return;
+    }
+    let in_features = batch[0].as_ref().len();
+    let full = batch.len() / B * B;
+    if full >= 2 * B && in_features * out_features >= DENSE_BLOCK_MIN_WEIGHTS {
+        for codes in batch {
+            assert_eq!(codes.as_ref().len(), in_features, "activation size mismatch");
         }
         assert_eq!(weights.len(), in_features * out_features, "weight size mismatch");
-        fill_columns::<B>(tile, &mut columns);
-        if tile_fits_i32(tile, in_features as i64) {
-            outs.extend(dense_tile::<i32, B>(&columns, weights, in_features, out_features, w_out));
-        } else {
-            outs.extend(dense_tile::<i64, B>(&columns, weights, in_features, out_features, w_out));
+        let lanes = &batch[..full];
+        let mut columns = scratch.take_i32(in_features * full);
+        fill_columns_dyn(lanes, &mut columns);
+        let base = outs.len();
+        for _ in 0..full {
+            outs.push(scratch.take_i32(out_features));
         }
+        if tile_fits_i32(lanes, in_features as i64) {
+            dense_blocked::<i32>(
+                &columns,
+                weights,
+                in_features,
+                out_features,
+                w_out,
+                scratch,
+                &mut outs[base..],
+            );
+        } else {
+            dense_blocked::<i64>(
+                &columns,
+                weights,
+                in_features,
+                out_features,
+                w_out,
+                scratch,
+                &mut outs[base..],
+            );
+        }
+        scratch.put_i32(columns);
+        for codes in &batch[full..] {
+            let mut acc = dense_acc_scratch(codes.as_ref(), weights, out_features, scratch);
+            w_out.finish_solo_in_place(&mut acc, 1);
+            outs.push(acc);
+        }
+        return;
     }
-    outs
+    for tile in batch.chunks(B) {
+        if tile.len() < B {
+            for codes in tile {
+                let mut acc = dense_acc_scratch(codes.as_ref(), weights, out_features, scratch);
+                w_out.finish_solo_in_place(&mut acc, 1);
+                outs.push(acc);
+            }
+            continue;
+        }
+        for codes in tile {
+            assert_eq!(codes.as_ref().len(), in_features, "activation size mismatch");
+        }
+        assert_eq!(weights.len(), in_features * out_features, "weight size mismatch");
+        let mut columns = scratch.take_i32(in_features * B);
+        fill_columns::<_, B>(tile, &mut columns);
+        let base = outs.len();
+        for _ in 0..B {
+            outs.push(scratch.take_i32(out_features));
+        }
+        if tile_fits_i32(tile, in_features as i64) {
+            dense_tile::<i32, B>(
+                &columns,
+                weights,
+                in_features,
+                out_features,
+                w_out,
+                &mut outs[base..],
+            );
+        } else {
+            dense_tile::<i64, B>(
+                &columns,
+                weights,
+                in_features,
+                out_features,
+                w_out,
+                &mut outs[base..],
+            );
+        }
+        scratch.put_i32(columns);
+    }
 }
 
 /// The dense tile kernel at compile-time batch width `B`.
@@ -1163,10 +1501,11 @@ fn dense_tile<A: TileAcc, const B: usize>(
     in_features: usize,
     out_features: usize,
     w_out: &impl WriteOut,
-) -> Vec<Vec<i32>> {
+    tile_outs: &mut [Vec<i32>],
+) {
     let (cols, rest) = columns.as_chunks::<B>();
     debug_assert!(rest.is_empty());
-    let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; out_features]).collect();
+    debug_assert_eq!(tile_outs.len(), B);
     for o in 0..out_features {
         let wrow = &weights[o * in_features..(o + 1) * in_features];
         let mut row = [A::default(); B];
@@ -1180,7 +1519,55 @@ fn dense_tile<A: TileAcc, const B: usize>(
             out[o] = w_out.emit(o, a.widen());
         }
     }
-    tile_outs
+}
+
+/// The blocked dense kernel at run-time lane count: `columns` holds the
+/// whole batch's activations batch-minor (`pos * lanes + b`), and the
+/// `(out, in)` weight matrix is walked in `DENSE_BLOCK_OUT ×
+/// DENSE_BLOCK_IN` blocks — each block's weights are loaded from memory
+/// **once** and applied to every lane before moving on, instead of the
+/// plain tile kernel's full-matrix re-stream per eight images. Per
+/// `(output, lane)` pair the input features are still summed in
+/// ascending order across blocks (the accumulator block persists over
+/// `i`-blocks), so every output is bit-identical to the solo kernel's
+/// sum.
+fn dense_blocked<A: TileAcc>(
+    columns: &[i32],
+    weights: &[i8],
+    in_features: usize,
+    out_features: usize,
+    w_out: &impl WriteOut,
+    scratch: &mut Scratch,
+    lane_outs: &mut [Vec<i32>],
+) {
+    let lanes = lane_outs.len();
+    debug_assert_eq!(columns.len(), in_features * lanes);
+    let mut acc = A::take_buf(scratch, DENSE_BLOCK_OUT * lanes);
+    for o_base in (0..out_features).step_by(DENSE_BLOCK_OUT) {
+        let o_count = DENSE_BLOCK_OUT.min(out_features - o_base);
+        acc[..o_count * lanes].fill(A::default());
+        for i_base in (0..in_features).step_by(DENSE_BLOCK_IN) {
+            let i_count = DENSE_BLOCK_IN.min(in_features - i_base);
+            let col_block = &columns[i_base * lanes..(i_base + i_count) * lanes];
+            for o_local in 0..o_count {
+                let wrow = &weights[(o_base + o_local) * in_features + i_base..][..i_count];
+                let arow = &mut acc[o_local * lanes..(o_local + 1) * lanes];
+                for (&w, col) in wrow.iter().zip(col_block.chunks_exact(lanes)) {
+                    let w = w as i32;
+                    for (a, &p) in arow.iter_mut().zip(col) {
+                        *a = a.madd(w, p);
+                    }
+                }
+            }
+        }
+        for o_local in 0..o_count {
+            let o = o_base + o_local;
+            for (out, &a) in lane_outs.iter_mut().zip(&acc[o_local * lanes..]) {
+                out[o] = w_out.emit(o, a.widen());
+            }
+        }
+    }
+    A::put_buf(scratch, acc);
 }
 
 /// Max pooling over non-overlapping square windows (mirrors
@@ -1190,9 +1577,21 @@ fn dense_tile<A: TileAcc, const B: usize>(
 ///
 /// Panics if the window exceeds the input.
 pub fn maxpool(codes: &[i32], ch: usize, h: usize, w: usize, size: usize) -> Vec<i32> {
+    maxpool_scratch(codes, ch, h, w, size, &mut Scratch::new())
+}
+
+/// [`maxpool`] writing into an arena buffer (returned to the caller).
+pub(crate) fn maxpool_scratch(
+    codes: &[i32],
+    ch: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+    scratch: &mut Scratch,
+) -> Vec<i32> {
     assert!(h >= size && w >= size, "pool window larger than input");
     let (oh, ow) = (h / size, w / size);
-    let mut out = vec![0i32; ch * oh * ow];
+    let mut out = scratch.take_i32(ch * oh * ow);
     for c in 0..ch {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -1216,10 +1615,22 @@ pub fn maxpool(codes: &[i32], ch: usize, h: usize, w: usize, size: usize) -> Vec
 ///
 /// Panics if the window exceeds the input.
 pub fn avgpool(codes: &[i32], ch: usize, h: usize, w: usize, size: usize) -> Vec<i32> {
+    avgpool_scratch(codes, ch, h, w, size, &mut Scratch::new())
+}
+
+/// [`avgpool`] writing into an arena buffer (returned to the caller).
+pub(crate) fn avgpool_scratch(
+    codes: &[i32],
+    ch: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+    scratch: &mut Scratch,
+) -> Vec<i32> {
     assert!(h >= size && w >= size, "pool window larger than input");
     let (oh, ow) = (h / size, w / size);
     let div = (size * size) as i32;
-    let mut out = vec![0i32; ch * oh * ow];
+    let mut out = scratch.take_i32(ch * oh * ow);
     for c in 0..ch {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -1239,8 +1650,20 @@ pub fn avgpool(codes: &[i32], ch: usize, h: usize, w: usize, size: usize) -> Vec
 /// Global average pooling to one value per channel (rounded integer mean,
 /// identical to `wp_kernels::cmsis::global_avgpool`).
 pub fn global_avgpool(codes: &[i32], ch: usize, h: usize, w: usize) -> Vec<i32> {
+    global_avgpool_scratch(codes, ch, h, w, &mut Scratch::new())
+}
+
+/// [`global_avgpool`] writing into an arena buffer (returned to the
+/// caller).
+pub(crate) fn global_avgpool_scratch(
+    codes: &[i32],
+    ch: usize,
+    h: usize,
+    w: usize,
+    scratch: &mut Scratch,
+) -> Vec<i32> {
     let n = (h * w) as i32;
-    let mut out = vec![0i32; ch];
+    let mut out = scratch.take_i32(ch);
     for (c, slot) in out.iter_mut().enumerate() {
         let acc: i32 = codes[c * h * w..(c + 1) * h * w].iter().sum();
         *slot = (acc + n / 2).div_euclid(n);
@@ -1255,8 +1678,24 @@ pub fn global_avgpool(codes: &[i32], ch: usize, h: usize, w: usize) -> Vec<i32> 
 ///
 /// Panics if lengths differ.
 pub fn residual_add_range(a: &[i32], b: &[i32], lo: i32, hi: i32) -> Vec<i32> {
+    residual_add_range_scratch(a, b, lo, hi, &mut Scratch::new())
+}
+
+/// [`residual_add_range`] writing into an arena buffer (returned to the
+/// caller).
+pub(crate) fn residual_add_range_scratch(
+    a: &[i32],
+    b: &[i32],
+    lo: i32,
+    hi: i32,
+    scratch: &mut Scratch,
+) -> Vec<i32> {
     assert_eq!(a.len(), b.len(), "residual operands must match");
-    a.iter().zip(b).map(|(&x, &y)| (x + y).clamp(lo, hi)).collect()
+    let mut out = scratch.take_i32(a.len());
+    for (slot, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *slot = (x + y).clamp(lo, hi);
+    }
+    out
 }
 
 /// Saturating elementwise residual add of two unsigned code planes
@@ -1278,30 +1717,51 @@ pub fn residual_add(a: &[i32], b: &[i32], out_bits: u8) -> Vec<i32> {
 ///
 /// Panics if the window exceeds the input or an image's size does not
 /// match `ch * h * w`.
-pub fn maxpool_batch(
-    batch: &[&[i32]],
+pub fn maxpool_batch<S: AsRef<[i32]>>(
+    batch: &[S],
     ch: usize,
     h: usize,
     w: usize,
     size: usize,
 ) -> Vec<Vec<i32>> {
+    let mut outs = Vec::with_capacity(batch.len());
+    maxpool_batch_core(batch, ch, h, w, size, &mut Scratch::new(), &mut outs);
+    outs
+}
+
+/// The batched max-pool engine (see
+/// [`NativeBackend::conv_pooled_prepared_batch_core`] for the
+/// outs/scratch contract).
+pub(crate) fn maxpool_batch_core<S: AsRef<[i32]>>(
+    batch: &[S],
+    ch: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+    scratch: &mut Scratch,
+    outs: &mut Vec<Vec<i32>>,
+) {
     assert!(h >= size && w >= size, "pool window larger than input");
     const B: usize = NativeBackend::BATCH_TILE;
     let (oh, ow) = (h / size, w / size);
-    let mut outs = Vec::with_capacity(batch.len());
-    let mut columns = Vec::new();
     for tile in batch.chunks(B) {
         if tile.len() < B {
-            outs.extend(tile.iter().map(|codes| maxpool(codes, ch, h, w, size)));
+            for codes in tile {
+                outs.push(maxpool_scratch(codes.as_ref(), ch, h, w, size, scratch));
+            }
             continue;
         }
-        for &codes in tile {
-            assert_eq!(codes.len(), ch * h * w, "activation size mismatch");
+        for codes in tile {
+            assert_eq!(codes.as_ref().len(), ch * h * w, "activation size mismatch");
         }
-        fill_columns::<B>(tile, &mut columns);
+        let mut columns = scratch.take_i32(ch * h * w * B);
+        fill_columns::<_, B>(tile, &mut columns);
         let (cols, rest) = columns.as_chunks::<B>();
         debug_assert!(rest.is_empty());
-        let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; ch * oh * ow]).collect();
+        let base = outs.len();
+        for _ in 0..B {
+            outs.push(scratch.take_i32(ch * oh * ow));
+        }
         for c in 0..ch {
             for oy in 0..oh {
                 for ox in 0..ow {
@@ -1315,15 +1775,14 @@ pub fn maxpool_batch(
                         }
                     }
                     let o = (c * oh + oy) * ow + ox;
-                    for (out, &b) in tile_outs.iter_mut().zip(&best) {
+                    for (out, &b) in outs[base..].iter_mut().zip(&best) {
                         out[o] = b;
                     }
                 }
             }
         }
-        outs.extend(tile_outs);
+        scratch.put_i32(columns);
     }
-    outs
 }
 
 /// Batched [`avgpool`]: lane-parallel window sums with the same rounded
@@ -1334,31 +1793,52 @@ pub fn maxpool_batch(
 ///
 /// Panics if the window exceeds the input or an image's size does not
 /// match `ch * h * w`.
-pub fn avgpool_batch(
-    batch: &[&[i32]],
+pub fn avgpool_batch<S: AsRef<[i32]>>(
+    batch: &[S],
     ch: usize,
     h: usize,
     w: usize,
     size: usize,
 ) -> Vec<Vec<i32>> {
+    let mut outs = Vec::with_capacity(batch.len());
+    avgpool_batch_core(batch, ch, h, w, size, &mut Scratch::new(), &mut outs);
+    outs
+}
+
+/// The batched average-pool engine (see
+/// [`NativeBackend::conv_pooled_prepared_batch_core`] for the
+/// outs/scratch contract).
+pub(crate) fn avgpool_batch_core<S: AsRef<[i32]>>(
+    batch: &[S],
+    ch: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+    scratch: &mut Scratch,
+    outs: &mut Vec<Vec<i32>>,
+) {
     assert!(h >= size && w >= size, "pool window larger than input");
     const B: usize = NativeBackend::BATCH_TILE;
     let (oh, ow) = (h / size, w / size);
     let div = (size * size) as i32;
-    let mut outs = Vec::with_capacity(batch.len());
-    let mut columns = Vec::new();
     for tile in batch.chunks(B) {
         if tile.len() < B {
-            outs.extend(tile.iter().map(|codes| avgpool(codes, ch, h, w, size)));
+            for codes in tile {
+                outs.push(avgpool_scratch(codes.as_ref(), ch, h, w, size, scratch));
+            }
             continue;
         }
-        for &codes in tile {
-            assert_eq!(codes.len(), ch * h * w, "activation size mismatch");
+        for codes in tile {
+            assert_eq!(codes.as_ref().len(), ch * h * w, "activation size mismatch");
         }
-        fill_columns::<B>(tile, &mut columns);
+        let mut columns = scratch.take_i32(ch * h * w * B);
+        fill_columns::<_, B>(tile, &mut columns);
         let (cols, rest) = columns.as_chunks::<B>();
         debug_assert!(rest.is_empty());
-        let mut tile_outs: Vec<Vec<i32>> = (0..B).map(|_| vec![0i32; ch * oh * ow]).collect();
+        let base = outs.len();
+        for _ in 0..B {
+            outs.push(scratch.take_i32(ch * oh * ow));
+        }
         for c in 0..ch {
             for oy in 0..oh {
                 for ox in 0..ow {
@@ -1372,15 +1852,14 @@ pub fn avgpool_batch(
                         }
                     }
                     let o = (c * oh + oy) * ow + ox;
-                    for (out, &a) in tile_outs.iter_mut().zip(&acc) {
+                    for (out, &a) in outs[base..].iter_mut().zip(&acc) {
                         out[o] = (a + div / 2).div_euclid(div);
                     }
                 }
             }
         }
-        outs.extend(tile_outs);
+        scratch.put_i32(columns);
     }
-    outs
 }
 
 #[cfg(test)]
@@ -1481,7 +1960,7 @@ mod tests {
         let shape =
             PooledConvShape { in_ch: 8, out_ch: 2, kernel: 1, stride: 1, pad: 0, in_h: 1, in_w: 1 };
         let prep = backend.prepare_indices(&shape, &[0, 1]);
-        assert!(backend.conv_pooled_prepared_batch(&[], &shape, &prep).is_empty());
+        assert!(backend.conv_pooled_prepared_batch::<&[i32]>(&[], &shape, &prep).is_empty());
     }
 
     #[test]
@@ -1557,12 +2036,47 @@ mod tests {
     }
 
     #[test]
+    fn blocked_dense_matches_solo_on_large_heads() {
+        // in * out = 160 * 128 = 20480 >= DENSE_BLOCK_MIN_WEIGHTS and the
+        // batch spans two full tiles plus a tail, so this exercises the
+        // blocked kernel (with non-multiple block edges: 128 % 32 == 0 but
+        // 160 % 256 != 0 covers the ragged i-block) and the solo tail.
+        let mut s = 0xB10C;
+        let (in_features, out_features) = (160usize, 128usize);
+        assert!(in_features * out_features >= DENSE_BLOCK_MIN_WEIGHTS);
+        let weights: Vec<i8> =
+            (0..in_features * out_features).map(|_| (lcg(&mut s, 255) - 127) as i8).collect();
+        let small: Vec<Vec<i32>> = (0..NativeBackend::BATCH_TILE * 2 + 3)
+            .map(|_| (0..in_features).map(|_| lcg(&mut s, 256)).collect())
+            .collect();
+        // Huge codes force the i64 accumulator instantiation.
+        let huge: Vec<Vec<i32>> = (0..NativeBackend::BATCH_TILE * 2)
+            .map(|_| (0..in_features).map(|_| lcg(&mut s, 400_001) - 200_000).collect())
+            .collect();
+        for images in [small, huge] {
+            let batched = dense_acc_batch(&images, &weights, out_features);
+            assert_eq!(batched.len(), images.len());
+            for (img, out) in images.iter().zip(&batched) {
+                assert_eq!(&dense_acc(img, &weights, out_features), out);
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_limit_builder_overrides_resolved_default() {
+        let lut = small_lut(LutOrder::InputOriented);
+        let backend = NativeBackend::new(&lut, 4, ActEncoding::Unsigned);
+        assert_eq!(backend.clone().with_popcount_limit(0).popcount_max_bits(), 0);
+        assert_eq!(backend.with_popcount_limit(8).popcount_max_bits(), 8);
+    }
+
+    #[test]
     fn batched_kernels_handle_empty_batch() {
         let shape =
             PooledConvShape { in_ch: 2, out_ch: 2, kernel: 1, stride: 1, pad: 0, in_h: 1, in_w: 1 };
-        assert!(conv_direct_batch(&[], &shape, &[1, 2, 3, 4]).is_empty());
-        assert!(dwconv_acc_batch(&[], &shape, &[3, 4]).is_empty());
-        assert!(dense_acc_batch(&[], &[1, -1], 2).is_empty());
+        assert!(conv_direct_batch::<&[i32]>(&[], &shape, &[1, 2, 3, 4]).is_empty());
+        assert!(dwconv_acc_batch::<&[i32]>(&[], &shape, &[3, 4]).is_empty());
+        assert!(dense_acc_batch::<&[i32]>(&[], &[1, -1], 2).is_empty());
     }
 
     #[test]

@@ -3,10 +3,13 @@
 //! [`BatchRunner`] fans a batch of inputs across scoped worker threads.
 //! The prepared network is shared read-only; each worker owns a private
 //! copy of the flattened LUT blocks (the per-core "SRAM" analogue of the
-//! paper's §4.2 cache), and work is distributed by an atomic cursor so
-//! fast workers steal the tail of the batch instead of idling.
+//! paper's §4.2 cache) plus a private [`crate::Scratch`] arena that
+//! recycles every working buffer across the worker's items, and work is
+//! distributed by an atomic cursor so fast workers steal the tail of the
+//! batch instead of idling.
 
 use crate::bundle::PreparedNet;
+use crate::scratch::Scratch;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A fixed-width pool of inference workers over one [`PreparedNet`].
@@ -70,15 +73,18 @@ impl BatchRunner {
                 .map(|_| {
                     let cursor = &cursor;
                     scope.spawn(move || {
-                        // Per-worker LUT cache: no sharing on the hot path.
+                        // Per-worker LUT cache and scratch arena: no
+                        // sharing (and after warmup, no allocation) on
+                        // the hot path.
                         let backend = net.worker_backend();
+                        let mut scratch = Scratch::new();
                         let mut done = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= inputs.len() {
                                 break;
                             }
-                            done.push((i, net.run_one_with(&backend, &inputs[i])));
+                            done.push((i, net.run_one_scratch(&backend, &inputs[i], &mut scratch)));
                         }
                         done
                     })
@@ -125,9 +131,11 @@ impl BatchRunner {
                 .chunks(chunk)
                 .map(|chunk| {
                     scope.spawn(move || {
-                        // Per-worker LUT cache: no sharing on the hot path.
+                        // Per-worker LUT cache and scratch arena: no
+                        // sharing on the hot path.
                         let backend = net.worker_backend();
-                        net.run_batch_with(&backend, chunk)
+                        let mut scratch = Scratch::new();
+                        net.run_batch_scratch(&backend, chunk, &mut scratch)
                     })
                 })
                 .collect();

@@ -16,6 +16,7 @@ use crate::kernel::{
     KernelCtx, MaxPoolKernel, PooledConvKernel, ResidualAddKernel,
 };
 use crate::options::{EngineOptions, ResolvedBackend};
+use crate::scratch::Scratch;
 use crate::trace::{self, NetProfile, SpanKind, TraceEvent, TraceSink};
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -69,7 +70,11 @@ impl PreparedNet {
     /// group size on a pooled layer).
     pub fn from_bundle(bundle: &DeployBundle, opts: &EngineOptions) -> Self {
         let act_bits = opts.act_bits.unwrap_or(bundle.act_bits);
-        let backend = NativeBackend::new_with(&bundle.lut, act_bits, opts.encoding, opts.backend);
+        let mut backend =
+            NativeBackend::new_with(&bundle.lut, act_bits, opts.encoding, opts.backend);
+        if let Some(bits) = opts.popcount_max_bits {
+            backend = backend.with_popcount_limit(bits);
+        }
         // Hidden activations must land in the encoding's code range:
         // unsigned (post-ReLU) clamps to [0, 2^M - 1]; signed two's
         // complement clamps two-sided to [-2^(M-1), 2^(M-1) - 1], which is
@@ -265,28 +270,75 @@ impl PreparedNet {
     ///
     /// Panics if `input` does not match the network's input size.
     pub fn run_one_with(&self, backend: &NativeBackend, input: &[i32]) -> Vec<i32> {
+        let mut scratch = Scratch::new();
+        self.run_one_scratch(backend, input, &mut scratch)
+    }
+
+    /// [`PreparedNet::run_one_with`] against a caller-owned [`Scratch`]
+    /// arena: every intermediate plane comes from (and returns to) the
+    /// arena, so repeated runs against the same warmed arena allocate
+    /// only the returned output buffer. Hand the output back via
+    /// [`Scratch::put_i32`] — or use [`PreparedNet::run_one_into`] — for
+    /// the fully zero-allocation steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the network's input size.
+    pub fn run_one_scratch(
+        &self,
+        backend: &NativeBackend,
+        input: &[i32],
+        scratch: &mut Scratch,
+    ) -> Vec<i32> {
         let (c, h, w) = self.input;
         assert_eq!(input.len(), c * h * w, "input size mismatch");
-        let mut codes = input.to_vec();
+        let mut codes = scratch.take_i32(input.len());
+        codes.copy_from_slice(input);
         if self.profile.is_none() && self.sink.is_none() {
             // The untraced hot path: one Option check per run, zero
             // per-layer overhead (pinned by the trace_overhead bench).
             for layer in &self.layers {
-                codes = layer.kernel.run_solo(&layer.ctx(backend, self.act_bits), codes);
+                let ctx = layer.ctx(backend, self.act_bits);
+                let next = layer.kernel.run_solo(&ctx, &codes, scratch);
+                scratch.put_i32(std::mem::replace(&mut codes, next));
             }
             return codes;
         }
 
-        let tier = trace::tier_code(self.backend.simd());
+        let run_tier = trace::tier_code(self.backend.simd());
         let run_start = trace::now_ns();
         for (li, layer) in self.layers.iter().enumerate() {
+            let ctx = layer.ctx(backend, self.act_bits);
+            let tier = layer.kernel.span_tier(&ctx, false);
             let t0 = trace::now_ns();
-            codes = layer.kernel.run_solo(&layer.ctx(backend, self.act_bits), codes);
+            let next = layer.kernel.run_solo(&ctx, &codes, scratch);
+            scratch.put_i32(std::mem::replace(&mut codes, next));
             let dur = trace::now_ns().saturating_sub(t0);
             self.observe_layer(li, 1, tier, t0, dur);
         }
-        self.observe_run(1, tier, run_start);
+        self.observe_run(1, run_tier, run_start);
         codes
+    }
+
+    /// Runs one inference entirely out of the arena, writing the output
+    /// codes into `out` (cleared and refilled). With a warmed `scratch`
+    /// and an `out` reused across calls, this is the zero-heap-allocation
+    /// serving path (pinned by `tests/zero_alloc.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the network's input size.
+    pub fn run_one_into(
+        &self,
+        backend: &NativeBackend,
+        input: &[i32],
+        scratch: &mut Scratch,
+        out: &mut Vec<i32>,
+    ) {
+        let codes = self.run_one_scratch(backend, input, scratch);
+        out.clear();
+        out.extend_from_slice(&codes);
+        scratch.put_i32(codes);
     }
 
     /// Derives per-layer requant multipliers from synthetic activation
@@ -306,16 +358,17 @@ impl PreparedNet {
         let mut net = Self::from_bundle(bundle, opts);
         let backend = net.backend.clone();
         let act_bits = net.act_bits;
+        let mut scratch = Scratch::new();
         let mut planes = net.fabricate_inputs(samples.max(1), seed);
         let mut multipliers = Vec::new();
         for li in 0..net.layers.len() {
             let layer = &net.layers[li];
             let ctx = layer.ctx(&backend, act_bits);
             let infos: Option<Vec<(Vec<i32>, usize)>> =
-                planes.iter().map(|p| layer.kernel.accumulate(&ctx, p)).collect();
+                planes.iter().map(|p| layer.kernel.accumulate(&ctx, p, &mut scratch)).collect();
             let Some(infos) = infos else {
                 let kernel = Arc::clone(&layer.kernel);
-                planes = planes.into_iter().map(|p| kernel.run_solo(&ctx, p)).collect();
+                planes = planes.iter().map(|p| kernel.run_solo(&ctx, p, &mut scratch)).collect();
                 continue;
             };
             let oq = layer.oq;
@@ -372,40 +425,90 @@ impl PreparedNet {
     /// the offending batch index, not a position buried inside a layer
     /// loop.
     pub fn run_batch_with(&self, backend: &NativeBackend, inputs: &[&[i32]]) -> Vec<Vec<i32>> {
+        let mut scratch = Scratch::new();
+        self.run_batch_scratch(backend, inputs, &mut scratch)
+    }
+
+    /// [`PreparedNet::run_batch_with`] against a caller-owned [`Scratch`]
+    /// arena: input staging, every intermediate plane set and every
+    /// kernel working set come from (and return to) the arena. Hand the
+    /// returned planes back via [`Scratch::put_planes`] — or use
+    /// [`PreparedNet::run_batch_into`] — for the fully zero-allocation
+    /// steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input has the wrong size, as in
+    /// [`PreparedNet::run_batch_with`].
+    pub fn run_batch_scratch(
+        &self,
+        backend: &NativeBackend,
+        inputs: &[&[i32]],
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<i32>> {
         self.validate_batch_inputs(inputs.iter().map(|x| x.len()));
         if self.profile.is_none() && self.sink.is_none() {
-            // The untraced hot path (see `run_one_with`).
-            let mut planes: Vec<Vec<i32>> = inputs.iter().map(|x| x.to_vec()).collect();
+            // The untraced hot path (see `run_one_scratch`).
+            let mut planes = stage_batch(inputs, scratch);
             for layer in &self.layers {
-                planes = layer.kernel.run_batch(&layer.ctx(backend, self.act_bits), planes);
+                let ctx = layer.ctx(backend, self.act_bits);
+                planes = layer.kernel.run_batch(&ctx, planes, scratch);
             }
             return planes;
         }
 
         let batch = u16::try_from(inputs.len()).unwrap_or(u16::MAX);
-        let tier = trace::tier_code(self.backend.simd());
+        let run_tier = trace::tier_code(self.backend.simd());
         let run_start = trace::now_ns();
-        let mut planes: Vec<Vec<i32>> = inputs.iter().map(|x| x.to_vec()).collect();
+        let mut planes = stage_batch(inputs, scratch);
         if let Some(sink) = &self.sink {
             sink.record_span(&TraceEvent {
                 kind: SpanKind::Pack,
                 track: trace::current_track(),
                 layer: 0,
                 batch,
-                tier,
+                tier: run_tier,
                 id: 0,
                 start_ns: run_start,
                 dur_ns: trace::now_ns().saturating_sub(run_start),
             });
         }
         for (li, layer) in self.layers.iter().enumerate() {
+            let ctx = layer.ctx(backend, self.act_bits);
+            let tier = layer.kernel.span_tier(&ctx, true);
             let t0 = trace::now_ns();
-            planes = layer.kernel.run_batch(&layer.ctx(backend, self.act_bits), planes);
+            planes = layer.kernel.run_batch(&ctx, planes, scratch);
             let dur = trace::now_ns().saturating_sub(t0);
             self.observe_layer(li, batch, tier, t0, dur);
         }
-        self.observe_run(batch, tier, run_start);
+        self.observe_run(batch, run_tier, run_start);
         planes
+    }
+
+    /// Runs a whole batch entirely out of the arena, writing the outputs
+    /// into `outs` (resized to the batch, each entry cleared and
+    /// refilled). With a warmed `scratch` and `outs` reused across calls,
+    /// this is the zero-heap-allocation serving path (pinned by
+    /// `tests/zero_alloc.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input has the wrong size, as in
+    /// [`PreparedNet::run_batch_with`].
+    pub fn run_batch_into(
+        &self,
+        backend: &NativeBackend,
+        inputs: &[&[i32]],
+        scratch: &mut Scratch,
+        outs: &mut Vec<Vec<i32>>,
+    ) {
+        let planes = self.run_batch_scratch(backend, inputs, scratch);
+        outs.resize_with(planes.len(), Vec::new);
+        for (out, plane) in outs.iter_mut().zip(&planes) {
+            out.clear();
+            out.extend_from_slice(plane);
+        }
+        scratch.put_planes(planes);
     }
 
     /// Records one traced layer execution into whichever observers are
@@ -508,6 +611,17 @@ impl PreparedNet {
     pub fn lut_cache(&self) -> &LutCache {
         self.backend.lut()
     }
+}
+
+/// Copies a (validated) input batch into arena planes.
+fn stage_batch(inputs: &[&[i32]], scratch: &mut Scratch) -> Vec<Vec<i32>> {
+    let mut planes = scratch.take_planes(inputs.len());
+    for x in inputs {
+        let mut plane = scratch.take_i32(x.len());
+        plane.copy_from_slice(x);
+        planes.push(plane);
+    }
+    planes
 }
 
 #[cfg(test)]

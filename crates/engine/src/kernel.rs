@@ -13,17 +13,30 @@
 //! way (SWIS-style): a batch tile is transposed to batch-minor columns
 //! and each weight/tap is decoded once per tile instead of once per
 //! image, which only reassociates *independent* per-image sums — see
-//! [`crate::backend`] for each kernel's exactness argument. Pass-through
-//! kernels (pooling, residual) are elementwise and simply map solo
-//! execution, which the default method bodies provide.
+//! [`crate::backend`] for each kernel's exactness argument. At low
+//! activation bitwidths the direct-conv and dense kernels route batches
+//! through the bit-plane popcount tiles instead
+//! ([`swar::conv_direct_batch`]/[`swar::dense_acc_batch`]), where one
+//! weight-plane load feeds eight images — same contract, same integers.
+//! Pass-through kernels (pooling, residual) are elementwise and simply
+//! map solo execution, which the default method bodies provide.
+//!
+//! Every method threads a [`Scratch`] arena: activation planes, raw
+//! accumulators and kernel working sets are checked out of per-worker
+//! pools and returned after use, so a warmed plan executes with zero
+//! heap allocations (`tests/zero_alloc.rs`). `run_solo` borrows its
+//! input (the executor owns the plane and recycles it); `run_batch`
+//! consumes its input planes and drains them back into the arena.
 //!
 //! Requantizing kernels also expose their raw accumulators through
 //! [`Kernel::accumulate`], which is what per-layer requant calibration
 //! consumes ([`crate::PreparedNet::calibrate_multipliers`]).
 
-use crate::backend::{self, NativeBackend, PreparedIndices};
+use crate::backend::{self, FusedOut, NativeBackend, PreparedIndices, RawOut};
 use crate::options::ResolvedBackend;
+use crate::scratch::Scratch;
 use crate::swar;
+use crate::trace;
 use wp_core::reference::PooledConvShape;
 use wp_kernels::OutputQuant;
 
@@ -35,12 +48,33 @@ fn scalar_tier(ctx: &KernelCtx<'_>) -> bool {
 
 /// `Some(use_avx2)` when the solo bit-plane popcount kernels should run
 /// for this call: a swar-or-better tier at an activation bitwidth low
-/// enough that popcounting 8 weight planes beats the per-element MAC
-/// (see [`swar::POPCOUNT_MAX_BITS`]). The scalar tier never routes here.
+/// enough that popcounting 8 weight planes beats the per-element MAC.
+/// The threshold is the backend's resolved routing limit (engine option
+/// or `WP_POPCOUNT_MAX_BITS`, default [`swar::POPCOUNT_MAX_BITS`]). The
+/// scalar tier never routes here.
 fn popcount_path(ctx: &KernelCtx<'_>) -> Option<bool> {
     match ctx.backend.simd() {
         ResolvedBackend::Scalar => None,
-        tier if ctx.act_bits <= swar::POPCOUNT_MAX_BITS => Some(tier == ResolvedBackend::Avx2),
+        tier if ctx.act_bits <= ctx.backend.popcount_max_bits() => {
+            Some(tier == ResolvedBackend::Avx2)
+        }
+        _ => None,
+    }
+}
+
+/// `Some(use_avx2)` when the **batched** bit-plane popcount tiles should
+/// run: as [`popcount_path`], but against the stronger int8-tile
+/// baseline, so capped at [`swar::POPCOUNT_BATCH_MAX_BITS`] (and never
+/// above the backend's solo threshold — `WP_POPCOUNT_MAX_BITS=0` turns
+/// both paths off).
+fn popcount_batch_path(ctx: &KernelCtx<'_>) -> Option<bool> {
+    match ctx.backend.simd() {
+        ResolvedBackend::Scalar => None,
+        tier if ctx.act_bits
+            <= ctx.backend.popcount_max_bits().min(swar::POPCOUNT_BATCH_MAX_BITS) =>
+        {
+            Some(tier == ResolvedBackend::Avx2)
+        }
         _ => None,
     }
 }
@@ -65,32 +99,52 @@ pub struct KernelCtx<'a> {
 }
 
 /// One compiled layer op. See the module docs for the solo/batch
-/// bit-identity contract.
+/// bit-identity contract and the scratch-arena discipline.
 pub trait Kernel: std::fmt::Debug + Send + Sync {
     /// Short op name (diagnostics, coverage reports).
     fn name(&self) -> &'static str;
 
+    /// The trace tier code this call's span should carry (see
+    /// [`trace::tier_name`]): the backend tier by default; kernels that
+    /// route through the bit-plane popcount path report the popcount
+    /// variant so profiles distinguish it from the int8 tile path.
+    fn span_tier(&self, ctx: &KernelCtx<'_>, batched: bool) -> u8 {
+        let _ = batched;
+        trace::tier_code(ctx.backend.simd())
+    }
+
     /// Raw accumulators for one image plus the spatial positions per
     /// output channel, for requantizing ops — or `None` for pass-through
     /// ops (pooling, residual), which transform codes without an
-    /// accumulate/requantize stage.
-    fn accumulate(&self, ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)>;
+    /// accumulate/requantize stage. The returned buffer comes from the
+    /// arena.
+    fn accumulate(
+        &self,
+        ctx: &KernelCtx<'_>,
+        codes: &[i32],
+        scratch: &mut Scratch,
+    ) -> Option<(Vec<i32>, usize)>;
 
-    /// Executes the layer on one image's activation plane.
+    /// Executes the layer on one image's activation plane. The returned
+    /// buffer comes from the arena; the input plane stays owned by the
+    /// caller (the executor recycles it).
     ///
-    /// Default: accumulate, then bias-add + requantize through the shared
-    /// [`OutputQuant::apply_plane`] arithmetic. Pass-through kernels
-    /// (those returning `None` from [`Kernel::accumulate`]) must
-    /// override this.
-    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: Vec<i32>) -> Vec<i32> {
-        let (acc, plane) =
-            self.accumulate(ctx, &codes).expect("pass-through kernels must override run_solo");
-        ctx.oq.apply_plane(&acc, ctx.bias, plane)
+    /// Default: accumulate, then bias-add + requantize in place through
+    /// the shared [`OutputQuant::apply_plane_in_place`] arithmetic.
+    /// Pass-through kernels (those returning `None` from
+    /// [`Kernel::accumulate`]) must override this.
+    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: &[i32], scratch: &mut Scratch) -> Vec<i32> {
+        let (mut acc, plane) = self
+            .accumulate(ctx, codes, scratch)
+            .expect("pass-through kernels must override run_solo");
+        ctx.oq.apply_plane_in_place(&mut acc, ctx.bias, plane);
+        acc
     }
 
     /// Batched raw accumulators plus the spatial positions per output
     /// channel — `Some` exactly when [`Kernel::accumulate`] is `Some`,
-    /// and bit-identical to mapping it over the batch.
+    /// and bit-identical to mapping it over the batch. Buffers (and the
+    /// outer container) come from the arena.
     ///
     /// Default: that per-image map. On the scalar tier this is the
     /// batched story for every kernel; the swar/avx2 tiers skip it —
@@ -101,43 +155,63 @@ pub trait Kernel: std::fmt::Debug + Send + Sync {
     fn accumulate_batch(
         &self,
         ctx: &KernelCtx<'_>,
-        batch: &[&[i32]],
+        batch: &[Vec<i32>],
+        scratch: &mut Scratch,
     ) -> Option<(Vec<Vec<i32>>, usize)> {
         let mut plane = 0;
-        let accs: Option<Vec<Vec<i32>>> = batch
-            .iter()
-            .map(|codes| {
-                self.accumulate(ctx, codes).map(|(acc, p)| {
+        let mut accs = scratch.take_planes(batch.len());
+        for codes in batch {
+            match self.accumulate(ctx, codes, scratch) {
+                Some((acc, p)) => {
                     plane = p;
-                    acc
-                })
-            })
-            .collect();
-        accs.map(|accs| (accs, plane))
+                    accs.push(acc);
+                }
+                None => {
+                    scratch.put_planes(accs);
+                    return None;
+                }
+            }
+        }
+        Some((accs, plane))
     }
 
     /// Executes the layer on a whole batch of activation planes,
-    /// bit-identical to mapping [`Kernel::run_solo`] over them.
+    /// bit-identical to mapping [`Kernel::run_solo`] over them. Consumes
+    /// the input planes (draining them back into the arena) and returns
+    /// arena buffers.
     ///
     /// Default: accumulate through [`Kernel::accumulate_batch`] and
-    /// finish through the shared [`OutputQuant::apply_plane`]
-    /// arithmetic; pass-through kernels (accumulate = `None`) map
+    /// finish through the shared in-place bias+requant arithmetic;
+    /// pass-through kernels (accumulate = `None`) map
     /// [`Kernel::run_solo`] per image. Requantizing kernels override
     /// this on the swar/avx2 tiers to call the fused batched tile
     /// kernels (bias+requant applied in the tile write-out), which are
     /// pinned bit-identical to this default by the backend-parity
     /// tests.
-    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
-        let batched = {
-            let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
-            self.accumulate_batch(ctx, &refs)
-        };
-        match batched {
-            Some((accs, plane)) => {
-                accs.into_iter().map(|acc| ctx.oq.apply_plane(&acc, ctx.bias, plane)).collect()
+    fn run_batch(
+        &self,
+        ctx: &KernelCtx<'_>,
+        planes: Vec<Vec<i32>>,
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<i32>> {
+        let outs = match self.accumulate_batch(ctx, &planes, scratch) {
+            Some((mut accs, plane)) => {
+                for acc in &mut accs {
+                    ctx.oq.apply_plane_in_place(acc, ctx.bias, plane);
+                }
+                accs
             }
-            None => planes.into_iter().map(|p| self.run_solo(ctx, p)).collect(),
-        }
+            None => {
+                let mut outs = scratch.take_planes(planes.len());
+                for p in &planes {
+                    let out = self.run_solo(ctx, p, scratch);
+                    outs.push(out);
+                }
+                outs
+            }
+        };
+        scratch.put_planes(planes);
+        outs
     }
 }
 
@@ -145,6 +219,23 @@ pub trait Kernel: std::fmt::Debug + Send + Sync {
 pub(crate) fn out_plane(shape: &PooledConvShape) -> usize {
     let geo = shape.geometry();
     geo.out_h() * geo.out_w()
+}
+
+/// Maps [`Kernel::run_solo`] over a batch — the scalar tier's batched
+/// story for requantizing kernels.
+fn run_batch_solo_map(
+    kernel: &impl Kernel,
+    ctx: &KernelCtx<'_>,
+    planes: Vec<Vec<i32>>,
+    scratch: &mut Scratch,
+) -> Vec<Vec<i32>> {
+    let mut outs = scratch.take_planes(planes.len());
+    for p in &planes {
+        let out = kernel.run_solo(ctx, p, scratch);
+        outs.push(out);
+    }
+    scratch.put_planes(planes);
+    outs
 }
 
 /// Bit-serial pooled convolution from a prepared (transposed) index map.
@@ -161,9 +252,14 @@ impl Kernel for PooledConvKernel {
         "pooled_conv"
     }
 
-    fn accumulate(&self, ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+    fn accumulate(
+        &self,
+        ctx: &KernelCtx<'_>,
+        codes: &[i32],
+        scratch: &mut Scratch,
+    ) -> Option<(Vec<i32>, usize)> {
         Some((
-            ctx.backend.conv_pooled_prepared(codes, &self.shape, &self.indices),
+            ctx.backend.conv_pooled_prepared_scratch(codes, &self.shape, &self.indices, scratch),
             out_plane(&self.shape),
         ))
     }
@@ -171,30 +267,49 @@ impl Kernel for PooledConvKernel {
     fn accumulate_batch(
         &self,
         ctx: &KernelCtx<'_>,
-        batch: &[&[i32]],
+        batch: &[Vec<i32>],
+        scratch: &mut Scratch,
     ) -> Option<(Vec<Vec<i32>>, usize)> {
         if scalar_tier(ctx) {
-            let accs = batch.iter().map(|codes| self.accumulate(ctx, codes).unwrap().0).collect();
+            let mut accs = scratch.take_planes(batch.len());
+            for codes in batch {
+                let acc = self.accumulate(ctx, codes, scratch).unwrap().0;
+                accs.push(acc);
+            }
             return Some((accs, out_plane(&self.shape)));
         }
-        Some((
-            ctx.backend.conv_pooled_prepared_batch(batch, &self.shape, &self.indices),
-            out_plane(&self.shape),
-        ))
-    }
-
-    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
-        if scalar_tier(ctx) {
-            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
-        }
-        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
-        ctx.backend.conv_pooled_prepared_batch_fused(
-            &refs,
+        let mut outs = scratch.take_planes(batch.len());
+        ctx.backend.conv_pooled_prepared_batch_core(
+            batch,
             &self.shape,
             &self.indices,
-            ctx.bias,
-            ctx.oq,
-        )
+            &RawOut,
+            scratch,
+            &mut outs,
+        );
+        Some((outs, out_plane(&self.shape)))
+    }
+
+    fn run_batch(
+        &self,
+        ctx: &KernelCtx<'_>,
+        planes: Vec<Vec<i32>>,
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<i32>> {
+        if scalar_tier(ctx) {
+            return run_batch_solo_map(self, ctx, planes, scratch);
+        }
+        let mut outs = scratch.take_planes(planes.len());
+        ctx.backend.conv_pooled_prepared_batch_core(
+            &planes,
+            &self.shape,
+            &self.indices,
+            &FusedOut { bias: ctx.bias, oq: ctx.oq },
+            scratch,
+            &mut outs,
+        );
+        scratch.put_planes(planes);
+        outs
     }
 }
 
@@ -202,7 +317,7 @@ impl Kernel for PooledConvKernel {
 ///
 /// Compiled once per plan: the weights are also packed into bit planes
 /// ([`swar::PackedWeights`]) so the swar/avx2 tiers can run the solo
-/// popcount kernel at low activation bitwidths.
+/// *and batched* popcount kernels at low activation bitwidths.
 #[derive(Debug, Clone)]
 pub struct DirectConvKernel {
     /// Conv geometry.
@@ -235,10 +350,24 @@ impl Kernel for DirectConvKernel {
         "direct_conv"
     }
 
-    fn accumulate(&self, ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+    fn span_tier(&self, ctx: &KernelCtx<'_>, batched: bool) -> u8 {
+        match if batched { popcount_batch_path(ctx) } else { popcount_path(ctx) } {
+            Some(use_avx2) => trace::popcount_tier_code(use_avx2),
+            None => trace::tier_code(ctx.backend.simd()),
+        }
+    }
+
+    fn accumulate(
+        &self,
+        ctx: &KernelCtx<'_>,
+        codes: &[i32],
+        scratch: &mut Scratch,
+    ) -> Option<(Vec<i32>, usize)> {
         let acc = match popcount_path(ctx) {
-            Some(use_avx2) => swar::conv_direct(codes, &self.shape, &self.packed, use_avx2),
-            None => backend::conv_direct(codes, &self.shape, &self.weights),
+            Some(use_avx2) => {
+                swar::conv_direct_scratch(codes, &self.shape, &self.packed, use_avx2, scratch)
+            }
+            None => backend::conv_direct_scratch(codes, &self.shape, &self.weights, scratch),
         };
         Some((acc, out_plane(&self.shape)))
     }
@@ -246,24 +375,72 @@ impl Kernel for DirectConvKernel {
     fn accumulate_batch(
         &self,
         ctx: &KernelCtx<'_>,
-        batch: &[&[i32]],
+        batch: &[Vec<i32>],
+        scratch: &mut Scratch,
     ) -> Option<(Vec<Vec<i32>>, usize)> {
         if scalar_tier(ctx) {
-            let accs = batch.iter().map(|codes| self.accumulate(ctx, codes).unwrap().0).collect();
+            let mut accs = scratch.take_planes(batch.len());
+            for codes in batch {
+                let acc = self.accumulate(ctx, codes, scratch).unwrap().0;
+                accs.push(acc);
+            }
             return Some((accs, out_plane(&self.shape)));
         }
-        Some((
-            backend::conv_direct_batch(batch, &self.shape, &self.weights),
-            out_plane(&self.shape),
-        ))
+        let mut outs = scratch.take_planes(batch.len());
+        match popcount_batch_path(ctx) {
+            Some(use_avx2) => swar::conv_direct_batch_core(
+                batch,
+                &self.shape,
+                &self.packed,
+                use_avx2,
+                &RawOut,
+                scratch,
+                &mut outs,
+            ),
+            None => backend::conv_direct_batch_core(
+                batch,
+                &self.shape,
+                &self.weights,
+                &RawOut,
+                scratch,
+                &mut outs,
+            ),
+        }
+        Some((outs, out_plane(&self.shape)))
     }
 
-    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+    fn run_batch(
+        &self,
+        ctx: &KernelCtx<'_>,
+        planes: Vec<Vec<i32>>,
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<i32>> {
         if scalar_tier(ctx) {
-            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
+            return run_batch_solo_map(self, ctx, planes, scratch);
         }
-        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
-        backend::conv_direct_batch_fused(&refs, &self.shape, &self.weights, ctx.bias, ctx.oq)
+        let mut outs = scratch.take_planes(planes.len());
+        let w_out = FusedOut { bias: ctx.bias, oq: ctx.oq };
+        match popcount_batch_path(ctx) {
+            Some(use_avx2) => swar::conv_direct_batch_core(
+                &planes,
+                &self.shape,
+                &self.packed,
+                use_avx2,
+                &w_out,
+                scratch,
+                &mut outs,
+            ),
+            None => backend::conv_direct_batch_core(
+                &planes,
+                &self.shape,
+                &self.weights,
+                &w_out,
+                scratch,
+                &mut outs,
+            ),
+        }
+        scratch.put_planes(planes);
+        outs
     }
 }
 
@@ -281,35 +458,71 @@ impl Kernel for DwConvKernel {
         "dw_conv"
     }
 
-    fn accumulate(&self, _ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
-        Some((backend::dwconv_acc(codes, &self.shape, &self.weights), out_plane(&self.shape)))
+    fn accumulate(
+        &self,
+        _ctx: &KernelCtx<'_>,
+        codes: &[i32],
+        scratch: &mut Scratch,
+    ) -> Option<(Vec<i32>, usize)> {
+        Some((
+            backend::dwconv_acc_scratch(codes, &self.shape, &self.weights, scratch),
+            out_plane(&self.shape),
+        ))
     }
 
     fn accumulate_batch(
         &self,
         ctx: &KernelCtx<'_>,
-        batch: &[&[i32]],
+        batch: &[Vec<i32>],
+        scratch: &mut Scratch,
     ) -> Option<(Vec<Vec<i32>>, usize)> {
         if scalar_tier(ctx) {
-            let accs = batch.iter().map(|codes| self.accumulate(ctx, codes).unwrap().0).collect();
+            let mut accs = scratch.take_planes(batch.len());
+            for codes in batch {
+                let acc = self.accumulate(ctx, codes, scratch).unwrap().0;
+                accs.push(acc);
+            }
             return Some((accs, out_plane(&self.shape)));
         }
-        Some((backend::dwconv_acc_batch(batch, &self.shape, &self.weights), out_plane(&self.shape)))
+        let mut outs = scratch.take_planes(batch.len());
+        backend::dwconv_acc_batch_core(
+            batch,
+            &self.shape,
+            &self.weights,
+            &RawOut,
+            scratch,
+            &mut outs,
+        );
+        Some((outs, out_plane(&self.shape)))
     }
 
-    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+    fn run_batch(
+        &self,
+        ctx: &KernelCtx<'_>,
+        planes: Vec<Vec<i32>>,
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<i32>> {
         if scalar_tier(ctx) {
-            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
+            return run_batch_solo_map(self, ctx, planes, scratch);
         }
-        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
-        backend::dwconv_acc_batch_fused(&refs, &self.shape, &self.weights, ctx.bias, ctx.oq)
+        let mut outs = scratch.take_planes(planes.len());
+        backend::dwconv_acc_batch_core(
+            &planes,
+            &self.shape,
+            &self.weights,
+            &FusedOut { bias: ctx.bias, oq: ctx.oq },
+            scratch,
+            &mut outs,
+        );
+        scratch.put_planes(planes);
+        outs
     }
 }
 
 /// Fully-connected int8 layer.
 ///
 /// Like [`DirectConvKernel`], carries a bit-plane packing of its weights
-/// for the swar/avx2 solo popcount path.
+/// for the swar/avx2 solo and batched popcount paths.
 #[derive(Debug, Clone)]
 pub struct DenseKernel {
     /// `[O, I]` int8 weights, row per output feature.
@@ -340,10 +553,22 @@ impl Kernel for DenseKernel {
         "dense"
     }
 
-    fn accumulate(&self, ctx: &KernelCtx<'_>, codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+    fn span_tier(&self, ctx: &KernelCtx<'_>, batched: bool) -> u8 {
+        match if batched { popcount_batch_path(ctx) } else { popcount_path(ctx) } {
+            Some(use_avx2) => trace::popcount_tier_code(use_avx2),
+            None => trace::tier_code(ctx.backend.simd()),
+        }
+    }
+
+    fn accumulate(
+        &self,
+        ctx: &KernelCtx<'_>,
+        codes: &[i32],
+        scratch: &mut Scratch,
+    ) -> Option<(Vec<i32>, usize)> {
         let acc = match popcount_path(ctx) {
-            Some(use_avx2) => swar::dense_acc(codes, &self.packed, use_avx2),
-            None => backend::dense_acc(codes, &self.weights, self.out_features),
+            Some(use_avx2) => swar::dense_acc_scratch(codes, &self.packed, use_avx2, scratch),
+            None => backend::dense_acc_scratch(codes, &self.weights, self.out_features, scratch),
         };
         Some((acc, 1))
     }
@@ -351,21 +576,70 @@ impl Kernel for DenseKernel {
     fn accumulate_batch(
         &self,
         ctx: &KernelCtx<'_>,
-        batch: &[&[i32]],
+        batch: &[Vec<i32>],
+        scratch: &mut Scratch,
     ) -> Option<(Vec<Vec<i32>>, usize)> {
         if scalar_tier(ctx) {
-            let accs = batch.iter().map(|codes| self.accumulate(ctx, codes).unwrap().0).collect();
+            let mut accs = scratch.take_planes(batch.len());
+            for codes in batch {
+                let acc = self.accumulate(ctx, codes, scratch).unwrap().0;
+                accs.push(acc);
+            }
             return Some((accs, 1));
         }
-        Some((backend::dense_acc_batch(batch, &self.weights, self.out_features), 1))
+        let mut outs = scratch.take_planes(batch.len());
+        match popcount_batch_path(ctx) {
+            Some(use_avx2) => swar::dense_acc_batch_core(
+                batch,
+                &self.packed,
+                use_avx2,
+                &RawOut,
+                scratch,
+                &mut outs,
+            ),
+            None => backend::dense_acc_batch_core(
+                batch,
+                &self.weights,
+                self.out_features,
+                &RawOut,
+                scratch,
+                &mut outs,
+            ),
+        }
+        Some((outs, 1))
     }
 
-    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+    fn run_batch(
+        &self,
+        ctx: &KernelCtx<'_>,
+        planes: Vec<Vec<i32>>,
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<i32>> {
         if scalar_tier(ctx) {
-            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
+            return run_batch_solo_map(self, ctx, planes, scratch);
         }
-        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
-        backend::dense_acc_batch_fused(&refs, &self.weights, self.out_features, ctx.bias, ctx.oq)
+        let mut outs = scratch.take_planes(planes.len());
+        let w_out = FusedOut { bias: ctx.bias, oq: ctx.oq };
+        match popcount_batch_path(ctx) {
+            Some(use_avx2) => swar::dense_acc_batch_core(
+                &planes,
+                &self.packed,
+                use_avx2,
+                &w_out,
+                scratch,
+                &mut outs,
+            ),
+            None => backend::dense_acc_batch_core(
+                &planes,
+                &self.weights,
+                self.out_features,
+                &w_out,
+                scratch,
+                &mut outs,
+            ),
+        }
+        scratch.put_planes(planes);
+        outs
     }
 }
 
@@ -382,22 +656,34 @@ impl Kernel for MaxPoolKernel {
         "max_pool"
     }
 
-    fn accumulate(&self, _ctx: &KernelCtx<'_>, _codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+    fn accumulate(
+        &self,
+        _ctx: &KernelCtx<'_>,
+        _codes: &[i32],
+        _scratch: &mut Scratch,
+    ) -> Option<(Vec<i32>, usize)> {
         None
     }
 
-    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: Vec<i32>) -> Vec<i32> {
+    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: &[i32], scratch: &mut Scratch) -> Vec<i32> {
         let (c, h, w) = ctx.in_dims;
-        backend::maxpool(&codes, c, h, w, self.size)
+        backend::maxpool_scratch(codes, c, h, w, self.size, scratch)
     }
 
-    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+    fn run_batch(
+        &self,
+        ctx: &KernelCtx<'_>,
+        planes: Vec<Vec<i32>>,
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<i32>> {
         if scalar_tier(ctx) {
-            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
+            return run_batch_solo_map(self, ctx, planes, scratch);
         }
         let (c, h, w) = ctx.in_dims;
-        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
-        backend::maxpool_batch(&refs, c, h, w, self.size)
+        let mut outs = scratch.take_planes(planes.len());
+        backend::maxpool_batch_core(&planes, c, h, w, self.size, scratch, &mut outs);
+        scratch.put_planes(planes);
+        outs
     }
 }
 
@@ -413,22 +699,34 @@ impl Kernel for AvgPoolKernel {
         "avg_pool"
     }
 
-    fn accumulate(&self, _ctx: &KernelCtx<'_>, _codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+    fn accumulate(
+        &self,
+        _ctx: &KernelCtx<'_>,
+        _codes: &[i32],
+        _scratch: &mut Scratch,
+    ) -> Option<(Vec<i32>, usize)> {
         None
     }
 
-    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: Vec<i32>) -> Vec<i32> {
+    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: &[i32], scratch: &mut Scratch) -> Vec<i32> {
         let (c, h, w) = ctx.in_dims;
-        backend::avgpool(&codes, c, h, w, self.size)
+        backend::avgpool_scratch(codes, c, h, w, self.size, scratch)
     }
 
-    fn run_batch(&self, ctx: &KernelCtx<'_>, planes: Vec<Vec<i32>>) -> Vec<Vec<i32>> {
+    fn run_batch(
+        &self,
+        ctx: &KernelCtx<'_>,
+        planes: Vec<Vec<i32>>,
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<i32>> {
         if scalar_tier(ctx) {
-            return planes.into_iter().map(|p| self.run_solo(ctx, p)).collect();
+            return run_batch_solo_map(self, ctx, planes, scratch);
         }
         let (c, h, w) = ctx.in_dims;
-        let refs: Vec<&[i32]> = planes.iter().map(|p| p.as_slice()).collect();
-        backend::avgpool_batch(&refs, c, h, w, self.size)
+        let mut outs = scratch.take_planes(planes.len());
+        backend::avgpool_batch_core(&planes, c, h, w, self.size, scratch, &mut outs);
+        scratch.put_planes(planes);
+        outs
     }
 }
 
@@ -441,13 +739,18 @@ impl Kernel for GlobalAvgPoolKernel {
         "global_avg_pool"
     }
 
-    fn accumulate(&self, _ctx: &KernelCtx<'_>, _codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+    fn accumulate(
+        &self,
+        _ctx: &KernelCtx<'_>,
+        _codes: &[i32],
+        _scratch: &mut Scratch,
+    ) -> Option<(Vec<i32>, usize)> {
         None
     }
 
-    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: Vec<i32>) -> Vec<i32> {
+    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: &[i32], scratch: &mut Scratch) -> Vec<i32> {
         let (c, h, w) = ctx.in_dims;
-        backend::global_avgpool(&codes, c, h, w)
+        backend::global_avgpool_scratch(codes, c, h, w, scratch)
     }
 }
 
@@ -461,12 +764,17 @@ impl Kernel for ResidualAddKernel {
         "residual_add"
     }
 
-    fn accumulate(&self, _ctx: &KernelCtx<'_>, _codes: &[i32]) -> Option<(Vec<i32>, usize)> {
+    fn accumulate(
+        &self,
+        _ctx: &KernelCtx<'_>,
+        _codes: &[i32],
+        _scratch: &mut Scratch,
+    ) -> Option<(Vec<i32>, usize)> {
         None
     }
 
-    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: Vec<i32>) -> Vec<i32> {
+    fn run_solo(&self, ctx: &KernelCtx<'_>, codes: &[i32], scratch: &mut Scratch) -> Vec<i32> {
         let (lo, hi) = ctx.backend.encoding().code_range(ctx.act_bits);
-        backend::residual_add_range(&codes, &codes, lo, hi)
+        backend::residual_add_range_scratch(codes, codes, lo, hi, scratch)
     }
 }

@@ -54,6 +54,7 @@ pub mod batch;
 pub mod bundle;
 pub mod kernel;
 pub mod options;
+pub mod scratch;
 pub mod swar;
 pub mod trace;
 
@@ -62,6 +63,7 @@ pub use batch::BatchRunner;
 pub use bundle::PreparedNet;
 pub use kernel::{Kernel, KernelCtx};
 pub use options::{avx2_available, BackendKind, EngineOptions, ResolvedBackend};
+pub use scratch::Scratch;
 pub use trace::{
     chrome_trace_json, LatencyHistogram, LatencySnapshot, NetProfile, NetProfileSnapshot, SpanKind,
     TraceBuffer, TraceEvent, TraceSink,

@@ -179,6 +179,10 @@ pub struct EngineOptions {
     pub(crate) weight_seed: u64,
     /// Kernel tier selection, resolved at plan-compile time.
     pub(crate) backend: BackendKind,
+    /// Bit-plane popcount routing threshold override (see
+    /// [`crate::swar::resolve_popcount_max_bits`]); `None` resolves from
+    /// `WP_POPCOUNT_MAX_BITS` / the built-in default.
+    pub(crate) popcount_max_bits: Option<u8>,
 }
 
 impl Default for EngineOptions {
@@ -190,6 +194,7 @@ impl Default for EngineOptions {
             layer_multipliers: None,
             weight_seed: 0x5EED,
             backend: BackendKind::Auto,
+            popcount_max_bits: None,
         }
     }
 }
@@ -238,6 +243,16 @@ impl EngineOptions {
         self
     }
 
+    /// Overrides the activation bitwidth at or below which the swar/avx2
+    /// tiers route direct-conv and dense layers through the bit-plane
+    /// popcount kernels (0 disables them; `from_bundle` panics above 8).
+    /// Unset, the threshold resolves from `WP_POPCOUNT_MAX_BITS` or the
+    /// built-in default — see [`crate::swar::resolve_popcount_max_bits`].
+    pub fn with_popcount_max_bits(mut self, bits: u8) -> Self {
+        self.popcount_max_bits = Some(bits);
+        self
+    }
+
     /// The activation bitwidth override, if any.
     pub fn act_bits(&self) -> Option<u8> {
         self.act_bits
@@ -266,6 +281,11 @@ impl EngineOptions {
     /// The selected (unresolved) kernel tier.
     pub fn backend(&self) -> BackendKind {
         self.backend
+    }
+
+    /// The popcount routing threshold override, if any.
+    pub fn popcount_max_bits(&self) -> Option<u8> {
+        self.popcount_max_bits
     }
 }
 
@@ -305,13 +325,15 @@ mod tests {
             .with_requant_multiplier(0.5)
             .with_layer_multipliers(Some(vec![1.0, 2.0]))
             .with_weight_seed(7)
-            .with_backend(BackendKind::Swar);
+            .with_backend(BackendKind::Swar)
+            .with_popcount_max_bits(2);
         assert_eq!(opts.act_bits(), Some(3));
         assert_eq!(opts.encoding(), ActEncoding::SignedTwosComplement);
         assert_eq!(opts.requant_multiplier(), 0.5);
         assert_eq!(opts.layer_multipliers(), Some(&[1.0, 2.0][..]));
         assert_eq!(opts.weight_seed(), 7);
         assert_eq!(opts.backend(), BackendKind::Swar);
+        assert_eq!(opts.popcount_max_bits(), Some(2));
         let cleared = opts.with_layer_multipliers(None);
         assert_eq!(cleared.layer_multipliers(), None);
     }

@@ -1,0 +1,163 @@
+//! A warmed plan executes with zero heap allocations.
+//!
+//! The scratch arena ([`wp_engine::Scratch`]) exists so the global
+//! allocator is off the engine hot path: every activation plane, raw
+//! accumulator and kernel working set is checked out of per-worker pools
+//! and returned after use. A run's buffer demand is fixed by the plan,
+//! so after a handful of warmup runs every pool holds its peak demand
+//! and the `run_one_into` / `run_batch_into` entry points stop touching
+//! the allocator entirely. This test pins that with a counting global
+//! allocator: warm the arena, then assert **zero** allocations across
+//! whole solo and batched inferences.
+//!
+//! One `#[test]` only: the counting allocator is process-global, and a
+//! concurrent test's allocations would race the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use rand::{Rng, SeedableRng};
+use wp_core::deploy::{ConvPayload, DeployBundle};
+use wp_core::netspec::{ConvSpec, LayerSpec, NetSpec};
+use wp_core::{LookupTable, LutOrder, WeightPool};
+use wp_engine::{BackendKind, EngineOptions, PreparedNet, Scratch};
+
+/// Counts allocator entries (alloc/realloc) while armed; frees are not
+/// counted — a steady state may still *return* warmup memory, it just
+/// must not request more.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations observed while running `f` with the counter armed.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// Every kernel kind the engine implements, so the steady state covers
+/// the whole dispatch surface: direct conv (popcount-routed at these
+/// act_bits), pooled conv, max/avg pool, depthwise, residual, global
+/// avg pool and dense.
+fn all_kinds_bundle() -> DeployBundle {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0A11);
+    let vectors: Vec<Vec<f32>> =
+        (0..16).map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect();
+    let pool = WeightPool::from_vectors(vectors);
+    let lut = LookupTable::build(&pool, 8, LutOrder::InputOriented);
+    let spec = NetSpec {
+        name: "zero-alloc".into(),
+        input: (8, 8, 8),
+        classes: 5,
+        layers: vec![
+            LayerSpec::Conv(ConvSpec {
+                in_ch: 8,
+                out_ch: 8,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                compressed: false,
+            }),
+            LayerSpec::Conv(ConvSpec {
+                in_ch: 8,
+                out_ch: 16,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                compressed: true,
+            }),
+            LayerSpec::MaxPool { size: 2 },
+            LayerSpec::DwConv { channels: 16, kernel: 3, stride: 1, pad: 1 },
+            LayerSpec::ResidualAdd,
+            LayerSpec::AvgPool { size: 2 },
+            LayerSpec::GlobalAvgPool,
+            LayerSpec::Dense { in_features: 16, out_features: 5, compressed: false },
+        ],
+    };
+    let direct: Vec<i8> = (0..8 * 8 * 9).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+    let indices: Vec<u8> = (0..16 * 9).map(|_| rng.gen_range(0..16) as u8).collect();
+    DeployBundle {
+        spec,
+        pool,
+        lut,
+        convs: vec![
+            ConvPayload::Direct { weights: direct, scale: 0.01 },
+            ConvPayload::Pooled { indices },
+        ],
+        act_bits: 8,
+    }
+}
+
+#[test]
+fn warmed_runs_do_not_allocate() {
+    // The swar tier at a popcount-routable bitwidth: the steady state
+    // covers the batched tile kernels, the bit-plane popcount paths and
+    // the fused write-out. Untraced — the traced path is allowed to
+    // allocate in its observers.
+    let opts = EngineOptions::new().with_act_bits(2).with_backend(BackendKind::Swar);
+    let net = PreparedNet::from_bundle(&all_kinds_bundle(), &opts);
+    let backend = net.worker_backend();
+    let mut scratch = Scratch::new();
+
+    let inputs = net.fabricate_inputs(11, 7);
+    let refs: Vec<&[i32]> = inputs.iter().map(|x| x.as_slice()).collect();
+    let mut solo_out = Vec::new();
+    let mut batch_outs = Vec::new();
+
+    // Warm every pool to its peak demand (the demand multiset is fixed
+    // by the plan, so a few runs converge).
+    for _ in 0..8 {
+        net.run_one_into(&backend, &inputs[0], &mut scratch, &mut solo_out);
+        net.run_batch_into(&backend, &refs, &mut scratch, &mut batch_outs);
+    }
+    let want_solo = solo_out.clone();
+    let want_batch = batch_outs.clone();
+
+    let solo_allocs = allocations_during(|| {
+        net.run_one_into(&backend, &inputs[0], &mut scratch, &mut solo_out);
+    });
+    let batch_allocs = allocations_during(|| {
+        net.run_batch_into(&backend, &refs, &mut scratch, &mut batch_outs);
+    });
+
+    // The runs must still compute the right thing...
+    assert_eq!(solo_out, want_solo);
+    assert_eq!(batch_outs, want_batch);
+    // ...without ever entering the allocator.
+    assert_eq!(solo_allocs, 0, "solo steady state must not allocate");
+    assert_eq!(batch_allocs, 0, "batched steady state must not allocate");
+}

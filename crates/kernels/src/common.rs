@@ -53,17 +53,29 @@ impl OutputQuant {
     /// Panics if `acc.len() != bias.len() * plane` or if `acc + bias`
     /// overflows `i32`.
     pub fn apply_plane(&self, acc: &[i32], bias: &[i32], plane: usize) -> Vec<i32> {
+        let mut out = acc.to_vec();
+        self.apply_plane_in_place(&mut out, bias, plane);
+        out
+    }
+
+    /// [`OutputQuant::apply_plane`] rewritten in place: the accumulator
+    /// buffer becomes the output code buffer, element for element (and
+    /// panic for panic), with no intermediate allocation — the finish
+    /// path of the engine's zero-allocation steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != bias.len() * plane` or if `acc + bias`
+    /// overflows `i32`.
+    pub fn apply_plane_in_place(&self, acc: &mut [i32], bias: &[i32], plane: usize) {
         assert_eq!(acc.len(), bias.len() * plane, "accumulator/bias plane mismatch");
-        acc.chunks(plane)
-            .zip(bias)
-            .flat_map(|(chunk, &b)| {
-                chunk.iter().map(move |&a| {
-                    self.apply_value(
-                        i32::try_from(a as i64 + b as i64).expect("accumulator overflow"),
-                    )
-                })
-            })
-            .collect()
+        for (chunk, &b) in acc.chunks_mut(plane).zip(bias) {
+            for a in chunk {
+                *a = self.apply_value(
+                    i32::try_from(*a as i64 + b as i64).expect("accumulator overflow"),
+                );
+            }
+        }
     }
 
     /// Applies requantization to one accumulator, charging `mcu` for the
