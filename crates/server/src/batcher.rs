@@ -2,7 +2,9 @@
 //! into batches for the native engine.
 //!
 //! Connection threads [`Batcher::submit`] one activation plane each and
-//! block until their result is ready. A dedicated flusher thread drains
+//! block until their result is ready; the event-driven front instead
+//! uses [`Batcher::submit_callback`], which never blocks and delivers
+//! the result to a completion callback. A dedicated flusher thread drains
 //! the queue into batches, flushing as soon as **either** `max_batch`
 //! planes are waiting **or** the oldest plane has waited `max_wait`
 //! (whichever comes first — a solo request on an idle server pays at most
@@ -78,14 +80,39 @@ impl std::fmt::Display for InferError {
 
 impl std::error::Error for InferError {}
 
-/// One queued plane and the channel its result goes back on.
+/// How a served (or failed) plane's result reaches its submitter.
+enum Responder {
+    /// A blocking waiter holds the [`Ticket`] end of this channel
+    /// (thread-per-connection front, tests, CLI).
+    Channel(mpsc::Sender<Result<Vec<i32>, InferError>>),
+    /// The event-driven front: invoked on the flusher thread right after
+    /// the batch executes (or synchronously at submit time on a
+    /// validation/overload failure). Must be cheap and must not block —
+    /// the intended use hands the result to an event thread's completion
+    /// queue and wakes its eventfd.
+    Callback(Box<dyn FnOnce(Result<Vec<i32>, InferError>) + Send>),
+}
+
+impl Responder {
+    fn respond(self, result: Result<Vec<i32>, InferError>) {
+        match self {
+            // A dropped ticket (client gone) is fine to ignore.
+            Responder::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Responder::Callback(f) => f(result),
+        }
+    }
+}
+
+/// One queued plane and the responder its result goes back through.
 struct Pending {
     input: Vec<i32>,
     enqueued: Instant,
     /// Request trace id ([`trace::span_id_from`] of the HTTP
     /// `X-Request-Id`); 0 for untraced submissions.
     span_id: u64,
-    tx: mpsc::Sender<Result<Vec<i32>, InferError>>,
+    responder: Responder,
 }
 
 /// Queue state behind the mutex.
@@ -98,6 +125,14 @@ struct Shared {
     state: Mutex<QueueState>,
     /// Signals the flusher that work arrived or shutdown was requested.
     wake_flusher: Condvar,
+}
+
+/// A refused submission: the error plus the responder handed back
+/// un-invoked (nothing was enqueued), so the submit path controls
+/// whether the failure is returned or called back.
+struct SubmitRejected {
+    error: InferError,
+    responder: Responder,
 }
 
 /// A ticket for a submitted plane; redeem with [`Ticket::wait`].
@@ -196,35 +231,70 @@ impl Batcher {
     ///
     /// See [`Batcher::submit`].
     pub fn submit_traced(&self, input: Vec<i32>, span_id: u64) -> Result<Ticket, InferError> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_with(input, span_id, Responder::Channel(tx)).map_err(|r| r.error)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Nonblocking submission for the event-driven front: instead of a
+    /// [`Ticket`] to block on, `done` is invoked with the result — on the
+    /// flusher thread once the plane's batch executes, or synchronously
+    /// *before this returns* when validation fails, the queue is at
+    /// capacity, or the batcher is shutting down. Exactly one invocation
+    /// either way, so callers never poll and never block.
+    pub fn submit_callback(
+        &self,
+        input: Vec<i32>,
+        span_id: u64,
+        done: impl FnOnce(Result<Vec<i32>, InferError>) + Send + 'static,
+    ) {
+        let responder = Responder::Callback(Box::new(done));
+        if let Err(rejected) = self.submit_with(input, span_id, responder) {
+            rejected.responder.respond(Err(rejected.error));
+        }
+    }
+
+    /// Validates and enqueues one plane. On failure the responder is
+    /// handed back un-invoked so the caller decides delivery.
+    fn submit_with(
+        &self,
+        input: Vec<i32>,
+        span_id: u64,
+        responder: Responder,
+    ) -> Result<(), SubmitRejected> {
         let net = self.slot.read().expect("model slot poisoned").clone();
         let (c, h, w) = net.input_shape();
         if input.len() != c * h * w {
-            return Err(InferError::BadInput(format!(
+            let error = InferError::BadInput(format!(
                 "expected {} activation codes ({c}x{h}x{w}), got {}",
                 c * h * w,
                 input.len()
-            )));
+            ));
+            return Err(SubmitRejected { error, responder });
         }
         let (lo, hi) = net.backend().encoding().code_range(net.act_bits());
         if let Some(&bad) = input.iter().find(|&&v| !(lo..=hi).contains(&v)) {
-            return Err(InferError::BadInput(format!(
-                "activation code {bad} outside [{lo}, {hi}]"
-            )));
+            let error = InferError::BadInput(format!("activation code {bad} outside [{lo}, {hi}]"));
+            return Err(SubmitRejected { error, responder });
         }
 
-        let (tx, rx) = mpsc::channel();
         {
             let mut state = self.shared.state.lock().expect("batcher queue poisoned");
             if state.shutdown {
-                return Err(InferError::ShuttingDown);
+                return Err(SubmitRejected { error: InferError::ShuttingDown, responder });
             }
             if state.pending.len() >= self.config.max_queue {
-                return Err(InferError::Overloaded);
+                return Err(SubmitRejected { error: InferError::Overloaded, responder });
             }
-            state.pending.push_back(Pending { input, enqueued: Instant::now(), span_id, tx });
+            state.pending.push_back(Pending {
+                input,
+                enqueued: Instant::now(),
+                span_id,
+                responder,
+            });
         }
         self.shared.wake_flusher.notify_one();
-        Ok(Ticket { rx })
+        Ok(())
     }
 
     /// Convenience: submit one plane and wait for its result.
@@ -356,8 +426,7 @@ fn flusher_loop(
                     "plane no longer matches the deployed model (hot-swapped mid-queue?)".into(),
                 )
             });
-            // A dropped ticket (client gone) is fine to ignore.
-            let _ = p.tx.send(reply);
+            p.responder.respond(reply);
         }
 
         state = shared.state.lock().expect("batcher queue poisoned");
@@ -445,6 +514,42 @@ mod tests {
         bad[0] = 100_000;
         assert!(matches!(batcher.infer(bad), Err(InferError::BadInput(_))));
         batcher.shutdown();
+    }
+
+    /// Callback submission matches ticket submission bit-for-bit, and
+    /// failure paths (bad input, shutdown) invoke the callback instead of
+    /// dropping it.
+    #[test]
+    fn callback_submission_is_bit_identical_and_always_invoked() {
+        let (slot, net) = slot();
+        let inputs = net.fabricate_inputs(8, 42);
+        let expected: Vec<Vec<i32>> = inputs.iter().map(|x| net.run_one(x)).collect();
+        let batcher = start(Arc::clone(&slot), 4, Duration::from_millis(1));
+
+        let (tx, rx) = mpsc::channel();
+        for (i, input) in inputs.iter().enumerate() {
+            let tx = tx.clone();
+            batcher.submit_callback(input.clone(), 0, move |r| {
+                tx.send((i, r)).unwrap();
+            });
+        }
+        let mut outputs: Vec<Option<Vec<i32>>> = vec![None; inputs.len()];
+        for _ in 0..inputs.len() {
+            let (i, r) = rx.recv_timeout(Duration::from_secs(10)).expect("callback fired");
+            outputs[i] = Some(r.expect("served"));
+        }
+        let outputs: Vec<Vec<i32>> = outputs.into_iter().map(|o| o.unwrap()).collect();
+        assert_eq!(outputs, expected);
+
+        // Validation failure: callback fires synchronously with the error.
+        let (tx, rx) = mpsc::channel();
+        batcher.submit_callback(vec![0i32; 3], 0, move |r| tx.send(r).unwrap());
+        assert!(matches!(rx.try_recv(), Ok(Err(InferError::BadInput(_)))));
+
+        batcher.shutdown();
+        let (tx, rx) = mpsc::channel();
+        batcher.submit_callback(inputs[0].clone(), 0, move |r| tx.send(r).unwrap());
+        assert!(matches!(rx.try_recv(), Ok(Err(InferError::ShuttingDown))));
     }
 
     #[test]

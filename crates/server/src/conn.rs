@@ -1,0 +1,585 @@
+//! Per-connection state for the event-driven front: a generation-checked
+//! slab keyed by token, a hashed deadline wheel, and partial-write-aware
+//! output buffers.
+//!
+//! Everything here is plain data-structure code with no epoll (or even
+//! socket) dependency, so it unit-tests on any platform; `event.rs` wires
+//! it to readiness events on Linux.
+
+use crate::http::RequestParser;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Tokens and the slab
+// ---------------------------------------------------------------------------
+
+/// A slab key carried through the event loop as epoll user data: slot
+/// index in the low 32 bits, slot generation in the high 32. The
+/// generation makes stale events harmless — when a slot is reused after a
+/// close, events queued for the old connection no longer resolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub u64);
+
+impl Token {
+    fn new(index: u32, generation: u32) -> Self {
+        Token(u64::from(generation) << 32 | u64::from(index))
+    }
+
+    fn index(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+enum Slot<T> {
+    /// Free slot; remembers the generation the *next* occupant gets and
+    /// the next free slot in the free list.
+    Vacant {
+        generation: u32,
+        next_free: Option<u32>,
+    },
+    Occupied {
+        generation: u32,
+        value: T,
+    },
+}
+
+/// A slab of connections addressed by generation-checked [`Token`]s.
+/// Lookups with a token from a previous occupancy of the slot return
+/// `None` instead of aliasing the new connection.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free_head: Option<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Self { slots: Vec::new(), free_head: None, len: 0 }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value, reusing a freed slot when one exists.
+    pub fn insert(&mut self, value: T) -> Token {
+        self.len += 1;
+        if let Some(index) = self.free_head {
+            let slot = &mut self.slots[index as usize];
+            let Slot::Vacant { generation, next_free } = *slot else {
+                unreachable!("free list points at an occupied slot");
+            };
+            self.free_head = next_free;
+            *slot = Slot::Occupied { generation, value };
+            return Token::new(index, generation);
+        }
+        let index = u32::try_from(self.slots.len()).expect("slab over u32::MAX slots");
+        self.slots.push(Slot::Occupied { generation: 0, value });
+        Token::new(index, 0)
+    }
+
+    /// The value for a live token, or `None` when the token is stale or
+    /// out of range.
+    pub fn get(&self, token: Token) -> Option<&T> {
+        match self.slots.get(token.index()) {
+            Some(Slot::Occupied { generation, value }) if *generation == token.generation() => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access for a live token.
+    pub fn get_mut(&mut self, token: Token) -> Option<&mut T> {
+        match self.slots.get_mut(token.index()) {
+            Some(Slot::Occupied { generation, value }) if *generation == token.generation() => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes and returns a live entry, bumping the slot's generation so
+    /// the token (and any queued events carrying it) goes stale.
+    pub fn remove(&mut self, token: Token) -> Option<T> {
+        let slot = self.slots.get_mut(token.index())?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == token.generation() => {
+                let next_generation = generation.wrapping_add(1);
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Vacant { generation: next_generation, next_free: self.free_head },
+                );
+                self.free_head = Some(token.index() as u32);
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Vacant { .. } => unreachable!("matched occupied above"),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Tokens of every live entry (used for drain-at-shutdown).
+    pub fn tokens(&self) -> Vec<Token> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Occupied { generation, .. } => Some(Token::new(i as u32, *generation)),
+                Slot::Vacant { .. } => None,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline wheel
+// ---------------------------------------------------------------------------
+
+/// A hashed timer wheel over connection deadlines.
+///
+/// Deadlines are bucketed by coarse tick; [`DeadlineWheel::expired`]
+/// returns candidates whose bucket has passed. Entries are **lazy**: the
+/// wheel never removes or re-files a token when its connection's deadline
+/// moves or the connection closes — the caller re-checks the authoritative
+/// deadline on the connection itself and simply reinserts still-live,
+/// not-yet-due tokens. Stale tokens fall out naturally because the slab
+/// lookup fails. This keeps insert/expire O(1) amortized with zero
+/// bookkeeping on the (hot) request path.
+pub struct DeadlineWheel {
+    slots: Vec<Vec<Token>>,
+    tick: Duration,
+    /// Wheel time origin; slot of instant `t` = (t - origin)/tick % N.
+    origin: Instant,
+    /// Next tick index to drain (absolute, not wrapped).
+    cursor: u64,
+}
+
+impl DeadlineWheel {
+    /// A wheel of `slots` buckets of width `tick`, starting at `now`.
+    pub fn new(slots: usize, tick: Duration, now: Instant) -> Self {
+        assert!(slots >= 2 && !tick.is_zero());
+        Self { slots: vec![Vec::new(); slots], tick, origin: now, cursor: 0 }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.origin);
+        // Integer division truncates, so a deadline lands in the bucket
+        // whose drain happens at-or-after it.
+        (elapsed.as_nanos() / self.tick.as_nanos()).min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Files a token to surface once `deadline` has passed. Deadlines
+    /// already in a drained bucket surface on the next `expired` call.
+    pub fn insert(&mut self, token: Token, deadline: Instant) {
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(token);
+    }
+
+    /// Drains every bucket up to `now`, returning the candidate tokens.
+    /// Callers must verify each candidate's real deadline (and liveness)
+    /// and reinsert the ones that are not actually due.
+    pub fn expired(&mut self, now: Instant) -> Vec<Token> {
+        let mut due = Vec::new();
+        let target = self.tick_of(now);
+        // Cap one sweep at a full revolution: older buckets would be
+        // revisited anyway (they alias the same slots).
+        let sweep_end = target.min(self.cursor + self.slots.len() as u64 - 1);
+        while self.cursor <= sweep_end {
+            let slot = (self.cursor % self.slots.len() as u64) as usize;
+            due.append(&mut self.slots[slot]);
+            self.cursor += 1;
+        }
+        self.cursor = self.cursor.max(target);
+        due
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write buffer
+// ---------------------------------------------------------------------------
+
+/// Queued response bytes for one connection, drained opportunistically
+/// and on `EPOLLOUT`. Tracks a head offset so a partial nonblocking write
+/// resumes exactly where the kernel stopped.
+#[derive(Default)]
+pub struct WriteBuf {
+    queue: VecDeque<Vec<u8>>,
+    /// Bytes of `queue[0]` already written.
+    head: usize,
+    len: usize,
+}
+
+impl WriteBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues one pre-rendered response (or response fragment).
+    pub fn push(&mut self, bytes: Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.len += bytes.len();
+        self.queue.push_back(bytes);
+    }
+
+    /// Unwritten bytes remaining.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes as much as the sink will take. Stops (without error) on
+    /// `WouldBlock`, retries `Interrupted`, and propagates anything else.
+    /// Returns the bytes written this call.
+    ///
+    /// # Errors
+    ///
+    /// Any sink error other than `WouldBlock`/`Interrupted`.
+    pub fn write_to(&mut self, sink: &mut impl Write) -> io::Result<usize> {
+        let mut written = 0;
+        while let Some(front) = self.queue.front() {
+            match sink.write(&front[self.head..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(io::ErrorKind::WriteZero, "sink accepted 0 bytes"));
+                }
+                Ok(n) => {
+                    written += n;
+                    self.len -= n;
+                    self.head += n;
+                    if self.head == front.len() {
+                        self.queue.pop_front();
+                        self.head = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(written)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection state
+// ---------------------------------------------------------------------------
+
+/// Which deadline currently governs a connection; reported in metrics and
+/// decides the close behavior when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlinePhase {
+    /// Keep-alive, nothing buffered: fire → close silently.
+    Idle,
+    /// Mid-request (partial head or body): fire → respond 408, close.
+    Read,
+    /// Unflushed response bytes, peer not draining: fire → close.
+    Write,
+}
+
+/// Everything the event loop tracks per connection. The socket stays in
+/// nonblocking mode for its whole life; all progress is made from
+/// readiness events and completion callbacks.
+pub struct Connection {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Incremental request parser (owns buffered pipelined bytes).
+    pub parser: RequestParser,
+    /// Pending response bytes.
+    pub out: WriteBuf,
+    /// When the current [`DeadlinePhase`] expires.
+    pub deadline: Instant,
+    /// Which timeout `deadline` represents.
+    pub phase: DeadlinePhase,
+    /// Where this connection's wheel entry currently sits. The wheel
+    /// holds exactly one entry per connection (inserted at accept,
+    /// reinserted on fire); when a rearm moves `deadline` *earlier* than
+    /// this, the event loop files an extra entry so the new deadline is
+    /// honored promptly, and tracks it here.
+    pub wheel_at: Instant,
+    /// Close once `out` drains (sent `Connection: close`, or a 4xx/timeout
+    /// response that must be the connection's last).
+    pub close_after_flush: bool,
+    /// A request from this connection is inside the batcher; its
+    /// completion callback re-enters via the completion queue. While set,
+    /// buffered pipelined requests are *not* parsed, which guarantees
+    /// in-order responses.
+    pub inflight: bool,
+    /// Whether `EPOLLOUT` is currently part of the registered interest
+    /// set (toggled only when it changes — `epoll_ctl` per transition,
+    /// not per event).
+    pub interest_out: bool,
+    /// Peer closed its read side or the socket errored; reap once any
+    /// queued response drains or immediately when `out` is empty.
+    pub peer_closed: bool,
+}
+
+impl Connection {
+    /// Wraps a freshly accepted socket, starting in the idle phase.
+    pub fn new(stream: TcpStream, now: Instant, idle_timeout: Duration) -> Self {
+        Self {
+            stream,
+            parser: RequestParser::new(),
+            out: WriteBuf::new(),
+            deadline: now + idle_timeout,
+            phase: DeadlinePhase::Idle,
+            wheel_at: now + idle_timeout,
+            close_after_flush: false,
+            inflight: false,
+            interest_out: false,
+            peer_closed: false,
+        }
+    }
+
+    /// Recomputes the governing deadline after progress was made.
+    /// Priority: unflushed output → write deadline; partial request →
+    /// read deadline; otherwise idle. An inflight request holds the idle
+    /// deadline (the server, not the peer, is the reason we're waiting —
+    /// don't 408 a well-behaved client mid-inference).
+    ///
+    /// The deadline is **anchored at phase entry**, not refreshed per
+    /// call: a slowloris client trickling one byte a second makes the
+    /// parser "progress" every second, but its read deadline keeps
+    /// counting from the first byte of the request. The one refresh
+    /// signal is `wrote`: response bytes reaching the peer are proof of
+    /// life — they extend a draining peer's write deadline and re-anchor
+    /// the idle deadline of a keep-alive connection that just got its
+    /// answer. A stalled or trickling peer never produces it.
+    pub fn rearm_deadline(&mut self, now: Instant, timeouts: &Timeouts, wrote: bool) {
+        let (phase, dur) = if !self.out.is_empty() {
+            (DeadlinePhase::Write, timeouts.write)
+        } else if self.inflight {
+            (DeadlinePhase::Idle, timeouts.idle)
+        } else if self.parser.mid_request() {
+            (DeadlinePhase::Read, timeouts.read)
+        } else {
+            (DeadlinePhase::Idle, timeouts.idle)
+        };
+        if phase != self.phase || wrote {
+            self.phase = phase;
+            self.deadline = now + dur;
+        }
+    }
+}
+
+/// The three per-connection timeout knobs, bundled for rearming.
+#[derive(Debug, Clone, Copy)]
+pub struct Timeouts {
+    /// Keep-alive idle limit (silent close).
+    pub idle: Duration,
+    /// Mid-request limit — slowloris bound (408 then close).
+    pub read: Duration,
+    /// Unflushed-output limit — dead-peer bound (close).
+    pub write: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_insert_get_remove_roundtrip() {
+        let mut slab: Slab<&str> = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn slab_stale_token_does_not_alias_reused_slot() {
+        let mut slab: Slab<u32> = Slab::new();
+        let first = slab.insert(1);
+        slab.remove(first);
+        let second = slab.insert(2);
+        // Slot reused, generation bumped.
+        assert_eq!(first.index(), second.index());
+        assert_ne!(first.generation(), second.generation());
+        assert_eq!(slab.get(first), None, "stale token must miss");
+        assert_eq!(slab.remove(first), None, "stale remove must be a no-op");
+        assert_eq!(slab.get(second), Some(&2));
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots_and_lists_tokens() {
+        let mut slab: Slab<u32> = Slab::new();
+        let tokens: Vec<_> = (0..8).map(|i| slab.insert(i)).collect();
+        for t in &tokens[2..5] {
+            slab.remove(*t);
+        }
+        for i in 0..3 {
+            slab.insert(100 + i);
+        }
+        assert_eq!(slab.slots.len(), 8, "freed slots must be reused, not appended");
+        assert_eq!(slab.tokens().len(), 8);
+    }
+
+    #[test]
+    fn wheel_fires_due_tokens_once() {
+        let now = Instant::now();
+        let mut wheel = DeadlineWheel::new(16, Duration::from_millis(100), now);
+        let t1 = Token(1);
+        let t2 = Token(2);
+        wheel.insert(t1, now + Duration::from_millis(250));
+        wheel.insert(t2, now + Duration::from_millis(950));
+        assert!(wheel.expired(now + Duration::from_millis(100)).is_empty());
+        let due = wheel.expired(now + Duration::from_millis(400));
+        assert_eq!(due, vec![t1]);
+        assert!(wheel.expired(now + Duration::from_millis(500)).is_empty(), "fires once");
+        let due = wheel.expired(now + Duration::from_secs(2));
+        assert_eq!(due, vec![t2]);
+    }
+
+    #[test]
+    fn wheel_far_deadline_wraps_and_still_fires() {
+        let now = Instant::now();
+        let mut wheel = DeadlineWheel::new(4, Duration::from_millis(10), now);
+        // 25 ticks out — wraps the 4-slot wheel several times. It may
+        // surface early on intermediate sweeps (lazy semantics allow
+        // that; callers reinsert), but after the deadline has truly
+        // passed it must have surfaced at least once.
+        let t = Token(7);
+        wheel.insert(t, now + Duration::from_millis(250));
+        let mut seen = false;
+        for ms in (0..=300).step_by(10) {
+            for fired in wheel.expired(now + Duration::from_millis(ms)) {
+                seen = true;
+                assert_eq!(fired, t);
+            }
+        }
+        assert!(seen, "wrapped deadline must surface");
+    }
+
+    #[test]
+    fn wheel_past_deadline_fires_on_next_sweep() {
+        let now = Instant::now();
+        let mut wheel = DeadlineWheel::new(8, Duration::from_millis(100), now);
+        wheel.expired(now + Duration::from_secs(1)); // advance the cursor
+        let t = Token(3);
+        wheel.insert(t, now); // already past
+        assert_eq!(wheel.expired(now + Duration::from_millis(1100)), vec![t]);
+    }
+
+    /// A sink that accepts a fixed number of bytes per call, then
+    /// `WouldBlock`s — the nonblocking-socket shape.
+    struct Throttled {
+        accepted: Vec<u8>,
+        per_call: usize,
+        calls_left: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.calls_left == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            self.calls_left -= 1;
+            let n = buf.len().min(self.per_call);
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_buf_resumes_partial_writes_across_calls() {
+        let mut buf = WriteBuf::new();
+        buf.push(b"hello ".to_vec());
+        buf.push(b"event ".to_vec());
+        buf.push(b"world".to_vec());
+        assert_eq!(buf.len(), 17);
+
+        let mut sink = Throttled { accepted: Vec::new(), per_call: 4, calls_left: 2 };
+        let n = buf.write_to(&mut sink).unwrap();
+        // Writes go chunk-at-a-time: 4 bytes of "hello ", then its
+        // 2-byte tail, then WouldBlock.
+        assert_eq!(n, 6, "head chunk drained across two throttled calls");
+        assert!(!buf.is_empty());
+
+        sink.calls_left = 100;
+        let n = buf.write_to(&mut sink).unwrap();
+        assert_eq!(n, 11);
+        assert!(buf.is_empty());
+        assert_eq!(sink.accepted, b"hello event world");
+    }
+
+    #[test]
+    fn rearm_priority_write_over_read_over_idle() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let now = Instant::now();
+        let timeouts = Timeouts {
+            idle: Duration::from_secs(60),
+            read: Duration::from_secs(5),
+            write: Duration::from_secs(10),
+        };
+        let mut conn = Connection::new(stream, now, timeouts.idle);
+        assert_eq!(conn.phase, DeadlinePhase::Idle);
+
+        conn.parser.feed(b"GET / HT"); // partial head → read phase
+        conn.rearm_deadline(now, &timeouts, false);
+        assert_eq!(conn.phase, DeadlinePhase::Read);
+        assert_eq!(conn.deadline, now + timeouts.read);
+
+        // Anchored, not refreshed: more trickled bytes later must NOT
+        // push the read deadline out (the slowloris defense).
+        conn.parser.feed(b"TP/1.1\r\nHost:");
+        let later = now + Duration::from_secs(1);
+        conn.rearm_deadline(later, &timeouts, false);
+        assert_eq!(conn.phase, DeadlinePhase::Read);
+        assert_eq!(conn.deadline, now + timeouts.read, "trickling must not extend the deadline");
+
+        conn.out.push(b"partial response".to_vec()); // output pending → write phase
+        conn.rearm_deadline(now, &timeouts, false);
+        assert_eq!(conn.phase, DeadlinePhase::Write);
+        assert_eq!(conn.deadline, now + timeouts.write);
+
+        // Write progress is proof of life: it refreshes the deadline.
+        conn.rearm_deadline(later, &timeouts, true);
+        assert_eq!(conn.deadline, later + timeouts.write);
+        // No progress: anchored.
+        conn.rearm_deadline(later + Duration::from_secs(2), &timeouts, false);
+        assert_eq!(conn.deadline, later + timeouts.write);
+
+        conn.out = WriteBuf::new();
+        conn.inflight = true; // server is the slow party — no 408
+        conn.rearm_deadline(now, &timeouts, false);
+        assert_eq!(conn.phase, DeadlinePhase::Idle);
+    }
+}

@@ -24,9 +24,16 @@
 //!   [`metrics::ModelMetrics`] (the `GET /metrics` totals are the sum of
 //!   the per-model rows).
 //! * [`prometheus`] — Prometheus text exposition of the same snapshot.
-//! * [`server`] — accept loop, connection worker pool, routing,
-//!   request-scoped trace ids (`X-Request-Id` in, echoed out, stamped on
-//!   engine spans and error bodies).
+//! * [`server`] — front selection and routing, request-scoped trace ids
+//!   (`X-Request-Id` in, echoed out, stamped on engine spans and error
+//!   bodies).
+//! * [`event`] — the default front on Linux: a vendored-FFI epoll
+//!   readiness loop; a few event threads carry thousands of mostly-idle
+//!   keep-alive connections (per-connection slab, deadline wheel,
+//!   chunked responses from nonblocking write buffers).
+//! * [`conn`] — the event front's data structures: generation-checked
+//!   [`conn::Slab`], hashed [`conn::DeadlineWheel`], per-connection
+//!   state.
 //! * [`demo`] — fabricated demo bundles for tests and load generation.
 //!
 //! # Endpoints
@@ -65,7 +72,10 @@
 //! ```
 
 pub mod batcher;
+pub mod conn;
 pub mod demo;
+#[cfg(target_os = "linux")]
+pub mod event;
 pub mod http;
 pub mod metrics;
 pub mod prometheus;
@@ -76,4 +86,4 @@ pub mod server;
 pub use batcher::{Batcher, BatcherConfig, InferError};
 pub use metrics::{Metrics, MetricsSnapshot, ModelMetrics, ModelMetricsSnapshot};
 pub use registry::{ModelEntry, ModelRegistry, RegistryError};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, FrontKind, ServerConfig, ServerHandle};

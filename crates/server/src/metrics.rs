@@ -20,6 +20,7 @@
 use crate::protocol::DecodeStatsInfo;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 pub use wp_engine::trace::{LatencyHistogram, LatencySnapshot, LATENCY_BUCKETS};
 
@@ -38,15 +39,48 @@ pub struct Metrics {
     pub responses_client_error: AtomicU64,
     /// 5xx responses.
     pub responses_server_error: AtomicU64,
+    /// Connections accepted since start (either front).
+    pub connections_accepted: AtomicU64,
+    /// Currently-open connections — a gauge: incremented on accept,
+    /// decremented on close.
+    pub connections_open: AtomicU64,
+    /// Connections closed by a per-connection deadline: keep-alive idle
+    /// reaps, slowloris read timeouts (408), and dead-peer write
+    /// timeouts.
+    pub connections_timed_out: AtomicU64,
     /// Wall time of whole requests (parse to response), microseconds —
     /// every endpoint, every model.
     pub request_latency: LatencyHistogram,
+    /// Per-event-thread loop-iteration *busy* time (readiness dispatch +
+    /// completion drain + deadline sweep, excluding the `epoll_wait`
+    /// sleep), microseconds. One histogram per event thread, registered
+    /// at front startup; empty under the threaded front.
+    event_loops: Mutex<Vec<Arc<LatencyHistogram>>>,
 }
 
 impl Metrics {
     /// Fresh, zeroed metrics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Registers (and returns) the loop-iteration histogram for one
+    /// event thread. Called once per thread at front startup.
+    pub fn register_event_loop(&self) -> Arc<LatencyHistogram> {
+        let hist = Arc::new(LatencyHistogram::new());
+        self.event_loops.lock().expect("event loop registry poisoned").push(Arc::clone(&hist));
+        hist
+    }
+
+    /// Snapshots every registered event thread's loop histogram, in
+    /// registration (= thread index) order.
+    pub fn event_loop_snapshots(&self) -> Vec<LatencySnapshot> {
+        self.event_loops
+            .lock()
+            .expect("event loop registry poisoned")
+            .iter()
+            .map(|h| h.snapshot())
+            .collect()
     }
 }
 
@@ -168,6 +202,15 @@ pub struct MetricsSnapshot {
     pub responses_client_error: u64,
     /// 5xx responses.
     pub responses_server_error: u64,
+    /// Connections accepted since start.
+    #[serde(default)]
+    pub connections_accepted: u64,
+    /// Currently-open connections (gauge).
+    #[serde(default)]
+    pub connections_open: u64,
+    /// Connections closed by a per-connection deadline.
+    #[serde(default)]
+    pub connections_timed_out: u64,
     /// Inference planes served, summed over models.
     pub inferences: u64,
     /// Batches executed, summed over models.
@@ -179,6 +222,10 @@ pub struct MetricsSnapshot {
     pub request_latency: LatencySnapshot,
     /// Queue-wait latency, merged over models, microseconds.
     pub queue_latency: LatencySnapshot,
+    /// Per-event-thread loop-iteration busy time, microseconds, indexed
+    /// by event thread (empty under the threaded front).
+    #[serde(default)]
+    pub event_loops: Vec<LatencySnapshot>,
     /// Per-model breakdown, sorted by name.
     #[serde(default)]
     pub models: Vec<ModelMetricsSnapshot>,
@@ -205,11 +252,15 @@ impl MetricsSnapshot {
             responses_ok: http.responses_ok.load(Ordering::Relaxed),
             responses_client_error: http.responses_client_error.load(Ordering::Relaxed),
             responses_server_error: http.responses_server_error.load(Ordering::Relaxed),
+            connections_accepted: http.connections_accepted.load(Ordering::Relaxed),
+            connections_open: http.connections_open.load(Ordering::Relaxed),
+            connections_timed_out: http.connections_timed_out.load(Ordering::Relaxed),
             inferences,
             batches,
             batch_size_hist: merged_sizes.into_iter().collect(),
             request_latency: http.request_latency.snapshot(),
             queue_latency,
+            event_loops: http.event_loop_snapshots(),
             models,
         }
     }
@@ -266,6 +317,46 @@ mod tests {
         assert_eq!(snap.queue_latency.max, 1000);
         assert_eq!(snap.models.len(), 2);
         assert_eq!(snap.models[1].backend, "scalar");
+    }
+
+    /// Connection counters and event-loop histograms flow into the
+    /// snapshot, and a snapshot without them (an old client's JSON)
+    /// still deserializes.
+    #[test]
+    fn connection_metrics_flow_into_snapshot() {
+        let http = Metrics::new();
+        http.connections_accepted.fetch_add(5, Ordering::Relaxed);
+        http.connections_open.fetch_add(3, Ordering::Relaxed);
+        http.connections_timed_out.fetch_add(2, Ordering::Relaxed);
+        let loop0 = http.register_event_loop();
+        let loop1 = http.register_event_loop();
+        loop0.record(40);
+        loop1.record(90);
+        loop1.record(10);
+
+        let snap = MetricsSnapshot::assemble(&http, vec![]);
+        assert_eq!(snap.connections_accepted, 5);
+        assert_eq!(snap.connections_open, 3);
+        assert_eq!(snap.connections_timed_out, 2);
+        assert_eq!(snap.event_loops.len(), 2);
+        assert_eq!(snap.event_loops[0].count, 1);
+        assert_eq!(snap.event_loops[1].count, 2);
+        assert_eq!(snap.event_loops[1].sum, 100);
+
+        // Back-compat: JSON missing the new fields still parses. Strip
+        // the (zero-valued) new fields from a fresh snapshot's JSON to
+        // fabricate what an old server would have emitted.
+        let fresh =
+            serde_json::to_string(&MetricsSnapshot::assemble(&Metrics::new(), vec![])).unwrap();
+        let old = fresh
+            .replace(",\"connections_accepted\":0", "")
+            .replace(",\"connections_open\":0", "")
+            .replace(",\"connections_timed_out\":0", "")
+            .replace(",\"event_loops\":[]", "");
+        assert_ne!(old, fresh, "stripping must have removed the new fields");
+        let back: MetricsSnapshot = serde_json::from_str(&old).unwrap();
+        assert_eq!(back.connections_accepted, 0);
+        assert!(back.event_loops.is_empty());
     }
 
     #[test]

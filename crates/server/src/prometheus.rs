@@ -29,6 +29,34 @@ pub fn render(snap: &MetricsSnapshot) -> String {
 
     counter(
         &mut out,
+        "wp_connections_accepted_total",
+        "Connections accepted since start.",
+        snap.connections_accepted,
+    );
+    counter(
+        &mut out,
+        "wp_connections_timed_out_total",
+        "Connections closed by a per-connection deadline (idle reap, slowloris 408, dead-peer write timeout).",
+        snap.connections_timed_out,
+    );
+    push(&mut out, "# HELP wp_open_connections Currently-open connections.\n");
+    push(&mut out, "# TYPE wp_open_connections gauge\n");
+    let _ = writeln!(out, "wp_open_connections {}", snap.connections_open);
+
+    let mut loop_help = true;
+    for (i, h) in snap.event_loops.iter().enumerate() {
+        histogram_with(
+            &mut out,
+            "wp_event_loop_iteration_seconds",
+            "Event loop iteration busy time (dispatch + completions + deadline sweep), per event thread.",
+            &format!("thread=\"{i}\""),
+            h,
+            &mut loop_help,
+        );
+    }
+
+    counter(
+        &mut out,
         "wp_inferences_total",
         "Inference planes served (all models).",
         snap.inferences,
@@ -191,6 +219,34 @@ mod tests {
         m.request_latency.record(90);
         let models = vec![ModelMetricsSnapshot::capture("demo".into(), "swar".into(), 1, None, &m)];
         MetricsSnapshot::assemble(&http, models)
+    }
+
+    /// The connection-front series: accepted/timed-out counters, the
+    /// open-connections gauge, and one loop-iteration histogram series
+    /// per registered event thread.
+    #[test]
+    fn renders_connection_front_series() {
+        let http = Metrics::new();
+        http.connections_accepted.fetch_add(7, Ordering::Relaxed);
+        http.connections_open.fetch_add(4, Ordering::Relaxed);
+        http.connections_timed_out.fetch_add(2, Ordering::Relaxed);
+        http.register_event_loop().record(50);
+        http.register_event_loop().record(900);
+        let text = render(&MetricsSnapshot::assemble(&http, vec![]));
+        assert!(text.contains("# TYPE wp_connections_accepted_total counter\n"));
+        assert!(text.contains("wp_connections_accepted_total 7\n"));
+        assert!(text.contains("wp_connections_timed_out_total 2\n"));
+        assert!(text.contains("# TYPE wp_open_connections gauge\n"));
+        assert!(text.contains("wp_open_connections 4\n"));
+        assert!(text.contains("# TYPE wp_event_loop_iteration_seconds histogram\n"));
+        assert!(text.contains("wp_event_loop_iteration_seconds_count{thread=\"0\"} 1\n"));
+        assert!(text.contains("wp_event_loop_iteration_seconds_count{thread=\"1\"} 1\n"));
+        assert!(text.contains("wp_event_loop_iteration_seconds_sum{thread=\"1\"} 0.0009\n"));
+        assert_eq!(
+            text.matches("# HELP wp_event_loop_iteration_seconds").count(),
+            1,
+            "HELP/TYPE once per family, not per thread"
+        );
     }
 
     #[test]

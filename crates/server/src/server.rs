@@ -1,28 +1,31 @@
-//! The TCP front end: accept loop, connection worker pool, and routing.
+//! The TCP front end: connection fronts (event-driven and threaded),
+//! routing, and request-scoped ids.
 //!
 //! ```text
-//! TcpListener ──accept──▶ mpsc queue ──▶ N connection workers
-//!                                            │  parse HTTP + JSON
-//!                                            ▼
-//!                                    ModelRegistry.resolve()
-//!                                            │  submit plane(s)
-//!                                            ▼
-//!                                   per-model Batcher queue
-//!                                            │  flush on max_batch
-//!                                            ▼      or max_wait
-//!                                  BatchRunner.run_refs (batched,
-//!                                   bit-identical to solo runs)
+//!                 ┌─ event front (default on Linux) ──────────────┐
+//! TcpListener ──▶ │ epoll readiness loop × event_threads:         │
+//!   accept        │   nonblocking sockets, incremental parse,     │
+//!                 │   callback infer, chunked writes on EPOLLOUT  │
+//!                 └───────────────┬───────────────────────────────┘
+//!                 ┌─ threaded front (reference / fallback) ───────┐
+//!                 │ mpsc queue ──▶ N workers, blocking parse+wait │
+//!                 └───────────────┬───────────────────────────────┘
+//!                                 ▼  ModelRegistry.resolve()
+//!                        per-model Batcher queue
+//!                                 │  flush on max_batch or max_wait
+//!                                 ▼
+//!                  BatchRunner.run_refs (batched, bit-identical)
 //! ```
 //!
-//! This is a thread-per-connection front: a worker owns a connection for
-//! its whole keep-alive lifetime (parsing, blocking in the batcher, and
-//! idling between requests up to `read_timeout`), so `workers` bounds
-//! concurrent *connections*, not just requests — size it for the expected
-//! connection count, and let the batcher govern inference throughput.
-//! Accepted-but-unclaimed sockets wait in a bounded queue; when it fills,
-//! the accept loop stops accepting and further connects back up into the
-//! kernel backlog instead of growing server memory. An event-driven front
-//! that multiplexes idle connections is a ROADMAP follow-up.
+//! Both fronts route through the same [`route`]/[`Reply`] code and the
+//! same batcher, so responses are byte-identical between them (pinned by
+//! e2e tests); they differ only in how connections are multiplexed. The
+//! **event front** ([`crate::event`]) multiplexes thousands of mostly-idle
+//! keep-alive connections over a few epoll threads. The **threaded
+//! front** owns a connection per worker for its keep-alive lifetime, so
+//! `workers` bounds concurrent *connections* — it remains as the
+//! non-Linux fallback and the reference implementation the event front is
+//! diffed against.
 
 use crate::batcher::InferError;
 use crate::http::{self, HttpError, Request, Status};
@@ -31,7 +34,7 @@ use crate::protocol::{
     ErrorResponse, HealthResponse, InferRequest, InferResponse, ModelProfileResponse,
     ModelsResponse,
 };
-use crate::registry::{ModelRegistry, RegistryError};
+use crate::registry::{ModelEntry, ModelRegistry, RegistryError};
 use serde::Serialize;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,19 +43,44 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use wp_engine::trace;
 
+/// Which connection front multiplexes sockets onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontKind {
+    /// Readiness-based epoll loop: a few event threads own all
+    /// connections (Linux; silently falls back to [`FrontKind::Threaded`]
+    /// elsewhere).
+    Event,
+    /// Thread-per-connection worker pool.
+    Threaded,
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Connection worker threads.
+    /// Connection front. Defaults to [`FrontKind::Event`].
+    pub front: FrontKind,
+    /// Event threads for the event front (each owns an epoll instance
+    /// and a share of the connections).
+    pub event_threads: usize,
+    /// Connection worker threads (threaded front only).
     pub workers: usize,
-    /// Per-read socket timeout (bounds idle keep-alive connections and
-    /// shutdown latency).
+    /// Mid-request deadline: a peer that started a request must finish
+    /// sending it within this long or gets `408` and a close (the
+    /// slowloris bound). The threaded front also uses it as its per-read
+    /// socket timeout.
     pub read_timeout: Duration,
-    /// Accepted connections waiting for a worker; when full, accepting
-    /// pauses and further connects queue in the kernel backlog (bounded
-    /// backpressure instead of unbounded socket buffering).
+    /// Keep-alive idle deadline: a connection with no partial request is
+    /// silently closed after this long (event front; the threaded front
+    /// reaps idles at `read_timeout`, its historical behavior).
+    pub idle_timeout: Duration,
+    /// Unflushed-response deadline: a peer that stops draining its
+    /// responses for this long is closed (event front).
+    pub write_timeout: Duration,
+    /// Accepted connections waiting for a worker (threaded front); when
+    /// full, accepting pauses and further connects queue in the kernel
+    /// backlog (bounded backpressure instead of unbounded buffering).
     pub pending_connections: usize,
     /// Whether `POST /v1/shutdown` is honored (off unless the operator
     /// opts in — a load generator's clean-shutdown hook, not a public
@@ -64,20 +92,32 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".into(),
+            front: FrontKind::Event,
+            event_threads: 2,
             workers: 8,
             read_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
             pending_connections: 1024,
             allow_remote_shutdown: false,
         }
     }
 }
 
+/// What a running front hands back: its threads (accept + workers or
+/// accept + event loops) and an optional waker that unblocks threads
+/// sleeping in something other than `accept` (the event front's
+/// eventfds).
+pub(crate) struct FrontRuntime {
+    pub(crate) threads: Vec<std::thread::JoinHandle<()>>,
+    pub(crate) wake: Option<Box<dyn Fn() + Send + Sync>>,
+}
+
 /// A running server; dropping the handle shuts it down.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    front: FrontRuntime,
     registry: Arc<ModelRegistry>,
 }
 
@@ -103,12 +143,13 @@ impl ServerHandle {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Nudge the accept loop out of its blocking accept.
+        // Nudge the accept loop out of its blocking accept, and wake any
+        // event threads out of epoll_wait.
         let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        if let Some(wake) = &self.front.wake {
+            wake();
         }
-        for t in self.workers.drain(..) {
+        for t in self.front.threads.drain(..) {
             let _ = t.join();
         }
         self.registry.shutdown();
@@ -121,23 +162,58 @@ impl Drop for ServerHandle {
     }
 }
 
+/// The front that will actually run: [`FrontKind::Event`] needs epoll, so
+/// off Linux it falls back to the threaded front.
+fn effective_front(requested: FrontKind) -> FrontKind {
+    #[cfg(target_os = "linux")]
+    {
+        requested
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        match requested {
+            FrontKind::Event => FrontKind::Threaded,
+            other => other,
+        }
+    }
+}
+
 /// Binds and starts serving `registry` under `config`.
 ///
 /// # Errors
 ///
-/// Returns any bind error.
+/// Returns any bind error, or an epoll/eventfd setup error for the event
+/// front.
 pub fn serve(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let front = match effective_front(config.front) {
+        #[cfg(target_os = "linux")]
+        FrontKind::Event => crate::event::start(listener, &config, &registry, &shutdown)?,
+        #[cfg(not(target_os = "linux"))]
+        FrontKind::Event => unreachable!("effective_front maps Event to Threaded off Linux"),
+        FrontKind::Threaded => start_threaded(listener, &config, &registry, &shutdown),
+    };
+    Ok(ServerHandle { addr, shutdown, front, registry })
+}
+
+/// Starts the thread-per-connection front: a blocking accept loop feeding
+/// a worker pool through a bounded queue.
+fn start_threaded(
+    listener: TcpListener,
+    config: &ServerConfig,
+    registry: &Arc<ModelRegistry>,
+    shutdown: &Arc<AtomicBool>,
+) -> FrontRuntime {
     let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.pending_connections.max(1));
     let conn_rx = Arc::new(Mutex::new(conn_rx));
 
-    let workers: Vec<_> = (0..config.workers.max(1))
+    let mut threads: Vec<_> = (0..config.workers.max(1))
         .map(|i| {
             let conn_rx = Arc::clone(&conn_rx);
-            let registry = Arc::clone(&registry);
-            let shutdown = Arc::clone(&shutdown);
+            let registry = Arc::clone(registry);
+            let shutdown = Arc::clone(shutdown);
             let config = config.clone();
             std::thread::Builder::new()
                 .name(format!("wp-conn-{i}"))
@@ -147,7 +223,8 @@ pub fn serve(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Res
         .collect();
 
     let accept_thread = {
-        let shutdown = Arc::clone(&shutdown);
+        let shutdown = Arc::clone(shutdown);
+        let metrics = Arc::clone(registry.metrics());
         std::thread::Builder::new()
             .name("wp-accept".into())
             .spawn(move || {
@@ -159,6 +236,7 @@ pub fn serve(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Res
                         // A send error means the workers are gone, which
                         // only happens at shutdown.
                         Ok(stream) => {
+                            metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
                             if conn_tx.send(stream).is_err() {
                                 break;
                             }
@@ -170,8 +248,8 @@ pub fn serve(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Res
             })
             .expect("spawn accept loop")
     };
-
-    Ok(ServerHandle { addr, shutdown, accept_thread: Some(accept_thread), workers, registry })
+    threads.push(accept_thread);
+    FrontRuntime { threads, wake: None }
 }
 
 /// One connection worker: pulls sockets and serves them to completion.
@@ -212,8 +290,21 @@ fn serve_connection(
     shutdown: &AtomicBool,
     config: &ServerConfig,
 ) -> std::io::Result<()> {
-    stream.set_nodelay(true).ok();
     let metrics = Arc::clone(registry.metrics());
+    metrics.connections_open.fetch_add(1, Ordering::Relaxed);
+    let result = serve_connection_inner(stream, registry, shutdown, config, &metrics);
+    metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+    result
+}
+
+fn serve_connection_inner(
+    stream: TcpStream,
+    registry: &ModelRegistry,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+    metrics: &crate::metrics::Metrics,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
 
@@ -238,6 +329,7 @@ fn serve_connection(
                 {
                     idle += IDLE_POLL;
                     if idle >= config.read_timeout {
+                        metrics.connections_timed_out.fetch_add(1, Ordering::Relaxed);
                         return Ok(());
                     }
                 }
@@ -285,11 +377,16 @@ fn serve_connection(
         };
         class.fetch_add(1, Ordering::Relaxed);
         metrics.request_latency.record_micros(started.elapsed());
+        let retry_after = reply.retry_after.map(|s| s.to_string());
+        let mut headers: Vec<(&str, &str)> = vec![("X-Request-Id", &rid)];
+        if let Some(retry_after) = &retry_after {
+            headers.push(("Retry-After", retry_after));
+        }
         http::write_response(
             &mut writer,
             reply.status,
             reply.content_type,
-            &[("X-Request-Id", &rid)],
+            &headers,
             &reply.body,
             keep_alive,
         )?;
@@ -306,7 +403,7 @@ static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 /// clean (printable ASCII, bounded length), else a generated `req-N`.
 /// The id is echoed as a response header, stamped into error bodies, and
 /// hashed ([`trace::span_id_from`]) onto the batcher's queue-wait spans.
-fn request_id(request: &Request) -> String {
+pub(crate) fn request_id(request: &Request) -> String {
     if let Some(id) = request.header("x-request-id") {
         let clean = id.len() <= 128
             && !id.is_empty()
@@ -329,15 +426,20 @@ fn respond<T: Serialize>(
     http::write_json_response(writer, status, &body, keep_alive)
 }
 
-/// One routed response: status, content type, rendered body.
-struct Reply {
-    status: Status,
-    content_type: &'static str,
-    body: String,
+/// One routed response: status, content type, rendered body, and an
+/// optional `Retry-After` hint in seconds (set on overload 503s so
+/// well-behaved clients back off instead of hammering a full queue).
+pub(crate) struct Reply {
+    pub(crate) status: Status,
+    pub(crate) content_type: &'static str,
+    pub(crate) body: String,
+    pub(crate) retry_after: Option<u32>,
 }
 
-/// Routes one parsed request to its endpoint.
-fn route(
+/// Routes one parsed request to its endpoint. Shared by both fronts —
+/// the event front intercepts `POST /v1/infer` before calling this (its
+/// infer path must not block), every other endpoint is served inline.
+pub(crate) fn route(
     request: &Request,
     registry: &ModelRegistry,
     shutdown: &AtomicBool,
@@ -359,6 +461,7 @@ fn route(
                     status: Status::OK,
                     content_type: prometheus::CONTENT_TYPE,
                     body: prometheus::render(&snap),
+                    retry_after: None,
                 }
             } else {
                 ok(&snap, rid)
@@ -418,31 +521,62 @@ fn wants_prometheus(request: &Request, query: &str) -> bool {
     request.header("accept").is_some_and(|a| a.to_ascii_lowercase().contains("text/plain"))
 }
 
-/// `POST /v1/infer`: decode, submit every plane, await them all.
-fn infer(request: &Request, registry: &ModelRegistry, rid: &str) -> Reply {
+/// A decoded, validated `/v1/infer` request, ready to submit: the
+/// resolved model, its input planes, and the trace span id derived from
+/// the request id. Shared by the blocking path ([`infer`]) and the event
+/// front's callback path.
+pub(crate) struct InferPlan {
+    pub(crate) entry: Arc<ModelEntry>,
+    pub(crate) inputs: Vec<Vec<i32>>,
+    pub(crate) span_id: u64,
+}
+
+/// Decodes and resolves an infer request body, without submitting
+/// anything.
+///
+/// # Errors
+///
+/// The ready-to-send error [`Reply`] (bad JSON, empty inputs, unknown
+/// model).
+pub(crate) fn decode_infer(
+    request: &Request,
+    registry: &ModelRegistry,
+    rid: &str,
+) -> Result<InferPlan, Reply> {
     let body = match std::str::from_utf8(&request.body) {
         Ok(s) => s,
-        Err(_) => return error(Status::BAD_REQUEST, "body is not UTF-8", rid),
+        Err(_) => return Err(error(Status::BAD_REQUEST, "body is not UTF-8", rid)),
     };
     let req: InferRequest = match serde_json::from_str(body) {
         Ok(r) => r,
-        Err(e) => return error(Status::BAD_REQUEST, &format!("bad request body: {e}"), rid),
+        Err(e) => return Err(error(Status::BAD_REQUEST, &format!("bad request body: {e}"), rid)),
     };
     if req.inputs.is_empty() {
-        return error(Status::BAD_REQUEST, "inputs must not be empty", rid);
+        return Err(error(Status::BAD_REQUEST, "inputs must not be empty", rid));
     }
     let entry = match registry.resolve(req.model.as_deref()) {
         Ok(e) => e,
-        Err(e) => return registry_error(&e, rid),
+        Err(e) => return Err(registry_error(&e, rid)),
+    };
+    // The span id ties this request's queue-wait spans back to its
+    // X-Request-Id.
+    let span_id = trace::span_id_from(rid);
+    Ok(InferPlan { entry, inputs: req.inputs, span_id })
+}
+
+/// `POST /v1/infer`, blocking flavor (threaded front): decode, submit
+/// every plane, await them all.
+fn infer(request: &Request, registry: &ModelRegistry, rid: &str) -> Reply {
+    let plan = match decode_infer(request, registry, rid) {
+        Ok(p) => p,
+        Err(reply) => return reply,
     };
     // Two-phase so one request's planes can share a batch: enqueue all,
-    // then wait for all. The span id ties this request's queue-wait
-    // spans back to its X-Request-Id.
-    let span_id = trace::span_id_from(rid);
+    // then wait for all.
     let submitted = Instant::now();
-    let mut tickets = Vec::with_capacity(req.inputs.len());
-    for input in req.inputs {
-        match entry.batcher().submit_traced(input, span_id) {
+    let mut tickets = Vec::with_capacity(plan.inputs.len());
+    for input in plan.inputs {
+        match plan.entry.batcher().submit_traced(input, plan.span_id) {
             Ok(t) => tickets.push(t),
             Err(e) => return infer_error(&e, rid),
         }
@@ -454,8 +588,8 @@ fn infer(request: &Request, registry: &ModelRegistry, rid: &str) -> Reply {
             Err(e) => return infer_error(&e, rid),
         }
     }
-    entry.metrics().request_latency.record_micros(submitted.elapsed());
-    ok(&InferResponse { model: entry.name().to_string(), outputs }, rid)
+    plan.entry.metrics().request_latency.record_micros(submitted.elapsed());
+    ok(&InferResponse { model: plan.entry.name().to_string(), outputs }, rid)
 }
 
 /// `POST /v1/models/{name}/reload`.
@@ -524,26 +658,32 @@ fn export_trace(name: &str, registry: &ModelRegistry, rid: &str) -> Reply {
         status: Status::OK,
         content_type: "application/json",
         body: wp_engine::chrome_trace_json(&events, &net.layer_kinds(), entry.name()),
+        retry_after: None,
     }
 }
 
-fn ok<T: Serialize>(body: &T, rid: &str) -> Reply {
+pub(crate) fn ok<T: Serialize>(body: &T, rid: &str) -> Reply {
     match serde_json::to_string(body) {
-        Ok(s) => Reply { status: Status::OK, content_type: "application/json", body: s },
+        Ok(s) => Reply {
+            status: Status::OK,
+            content_type: "application/json",
+            body: s,
+            retry_after: None,
+        },
         Err(e) => error(Status::INTERNAL, &format!("serialization failed: {e}"), rid),
     }
 }
 
-fn error(status: Status, message: &str, rid: &str) -> Reply {
+pub(crate) fn error(status: Status, message: &str, rid: &str) -> Reply {
     let body = serde_json::to_string(&ErrorResponse {
         error: message.to_string(),
         request_id: Some(rid.to_string()),
     })
     .unwrap_or_else(|_| "{\"error\":\"error\"}".into());
-    Reply { status, content_type: "application/json", body }
+    Reply { status, content_type: "application/json", body, retry_after: None }
 }
 
-fn registry_error(e: &RegistryError, rid: &str) -> Reply {
+pub(crate) fn registry_error(e: &RegistryError, rid: &str) -> Reply {
     let status = match e {
         RegistryError::UnknownModel(_) => Status::NOT_FOUND,
         RegistryError::NotFileBacked(_) => Status::CONFLICT,
@@ -552,10 +692,16 @@ fn registry_error(e: &RegistryError, rid: &str) -> Reply {
     error(status, &e.to_string(), rid)
 }
 
-fn infer_error(e: &InferError, rid: &str) -> Reply {
+pub(crate) fn infer_error(e: &InferError, rid: &str) -> Reply {
     let status = match e {
         InferError::BadInput(_) => Status::BAD_REQUEST,
         InferError::Overloaded | InferError::ShuttingDown => Status::UNAVAILABLE,
     };
-    error(status, &e.to_string(), rid)
+    let mut reply = error(status, &e.to_string(), rid);
+    if matches!(e, InferError::Overloaded) {
+        // The queue drains within a flush interval; 1s is a safe floor
+        // for the minimum Retry-After granularity HTTP allows.
+        reply.retry_after = Some(1);
+    }
+    reply
 }
